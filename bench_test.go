@@ -1,0 +1,78 @@
+package neurogo
+
+// One benchmark per reconstructed table and figure (see DESIGN.md §3 and
+// EXPERIMENTS.md). Each bench executes its experiment end to end and
+// reports the experiment's headline metrics through b.ReportMetric, so
+// `go test -bench=.` regenerates the whole evaluation:
+//
+//	go test -bench=BenchmarkT3 -benchmem   # one experiment
+//	go test -bench=. -benchmem             # all of them
+//
+// Benches run the quick configurations; cmd/npaper runs the full ones.
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and republishes its
+// metrics.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for k, v := range last.Metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkT1Capacity regenerates the capacity/memory table (T1).
+func BenchmarkT1Capacity(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkF1Behaviors regenerates the neuron behaviour gallery (F1).
+func BenchmarkF1Behaviors(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkT2Energy regenerates the chip power / pJ-per-event table (T2).
+func BenchmarkT2Energy(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkF2PowerSweep regenerates power vs firing rate (F2).
+func BenchmarkF2PowerSweep(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkF3NoCLatency regenerates NoC latency vs injection rate (F3).
+func BenchmarkF3NoCLatency(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkF4Locality regenerates the placement hop-distribution figure (F4).
+func BenchmarkF4Locality(b *testing.B) { benchExperiment(b, "F4") }
+
+// BenchmarkT3Classification regenerates the application accuracy/energy
+// table (T3).
+func BenchmarkT3Classification(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkF5Window regenerates the latency-accuracy trade-off (F5).
+func BenchmarkF5Window(b *testing.B) { benchExperiment(b, "F5") }
+
+// BenchmarkT4Engines regenerates the engine-throughput comparison (T4).
+func BenchmarkT4Engines(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkF6Scaling regenerates throughput vs core count (F6).
+func BenchmarkF6Scaling(b *testing.B) { benchExperiment(b, "F6") }
+
+// BenchmarkT5Placement regenerates the placement ablation table (T5).
+func BenchmarkT5Placement(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkF7Detector regenerates the detector precision/recall sweep (F7).
+func BenchmarkF7Detector(b *testing.B) { benchExperiment(b, "F7") }
+
+// BenchmarkE1Conv regenerates the conv-stack extension comparison (E1).
+func BenchmarkE1Conv(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2System regenerates the multi-chip boundary-traffic
+// extension (E2).
+func BenchmarkE2System(b *testing.B) { benchExperiment(b, "E2") }

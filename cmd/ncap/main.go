@@ -1,0 +1,38 @@
+// Command ncap prints the capacity and memory figures for arbitrary
+// chip tilings (the T1 calculator).
+//
+// Usage:
+//
+//	ncap                     # the standard 64x64-core chip
+//	ncap -width 128 -height 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/neurogo/neurogo"
+	"github.com/neurogo/neurogo/internal/report"
+)
+
+func main() {
+	var (
+		width  = flag.Int("width", 64, "core grid width")
+		height = flag.Int("height", 64, "core grid height")
+	)
+	flag.Parse()
+	if *width <= 0 || *height <= 0 {
+		fmt.Fprintln(os.Stderr, "ncap: dimensions must be positive")
+		os.Exit(1)
+	}
+	c := neurogo.CapacityOf(*width, *height)
+	tb := report.NewTable(fmt.Sprintf("Capacity of a %dx%d-core build", *width, *height),
+		"quantity", "value")
+	tb.AddRow("cores", report.I(int64(c.Cores)))
+	tb.AddRow("neurons", report.I(int64(c.Neurons)))
+	tb.AddRow("synapses", report.I(int64(c.Synapses)))
+	tb.AddRow("SRAM (Mbit)", report.F(float64(c.SRAMBits)/1e6))
+	tb.AddRow("mesh diameter (hops)", report.I(int64(c.MeshDiameter)))
+	tb.Render(os.Stdout)
+}

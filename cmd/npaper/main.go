@@ -1,0 +1,46 @@
+// Command npaper regenerates the reconstructed evaluation: every table
+// and figure listed in DESIGN.md section 3 and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	npaper                 # run every experiment at full size
+//	npaper -quick          # shrunken workloads (seconds, for smoke runs)
+//	npaper -exp T3,F5      # run a subset
+//	npaper -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/neurogo/neurogo/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use shrunken workloads")
+		exp   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		r, err := experiments.Run(strings.TrimSpace(id), *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npaper:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
+}

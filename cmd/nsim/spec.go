@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/neurogo/neurogo"
+)
+
+// Spec is the JSON network description nsim executes.
+type Spec struct {
+	// Grid optionally forces the core-grid dimensions (0 = auto).
+	Grid struct {
+		Width  int `json:"width"`
+		Height int `json:"height"`
+	} `json:"grid"`
+	// Placer selects placement: "greedy" (default), "random", "anneal".
+	Placer string `json:"placer"`
+	// Seed drives placement and per-core PRNGs.
+	Seed uint64 `json:"seed"`
+	// Inputs declares external input banks.
+	Inputs []InputSpec `json:"inputs"`
+	// Populations declares neuron populations.
+	Populations []PopSpec `json:"populations"`
+	// Edges wires sources ("bank:i" or "pop:i") to neurons ("pop:i").
+	Edges []EdgeSpec `json:"edges"`
+	// Outputs lists externally observed neurons ("pop:i").
+	Outputs []string `json:"outputs"`
+	// Schedule lists input injections.
+	Schedule []ScheduleSpec `json:"schedule"`
+	// Ticks is the simulation length.
+	Ticks int `json:"ticks"`
+}
+
+// InputSpec declares one input bank.
+type InputSpec struct {
+	Name  string `json:"name"`
+	N     int    `json:"n"`
+	Type  uint8  `json:"type"`
+	Delay uint8  `json:"delay"`
+}
+
+// PopSpec declares one population; zero-valued fields fall back to the
+// default integrator configuration.
+type PopSpec struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	Weights      []int16 `json:"weights"`
+	Threshold    int32   `json:"threshold"`
+	NegThreshold int32   `json:"negThreshold"`
+	NegSaturate  bool    `json:"negSaturate"`
+	Leak         int16   `json:"leak"`
+	LeakReversal bool    `json:"leakReversal"`
+	Reset        string  `json:"reset"` // normal|linear|none
+	ResetV       int32   `json:"resetV"`
+	MaskBits     uint8   `json:"maskBits"`
+	OutType      uint8   `json:"outType"`
+	OutDelay     uint8   `json:"outDelay"`
+}
+
+// EdgeSpec wires one connection.
+type EdgeSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ScheduleSpec injects a line at a tick, optionally repeating.
+type ScheduleSpec struct {
+	Tick   int64  `json:"tick"`
+	Line   string `json:"line"`
+	Repeat int    `json:"repeat"` // additional injections (default 0)
+	Every  int64  `json:"every"`  // tick spacing for repeats (default 1)
+}
+
+// Built is the compiled form of a Spec.
+type Built struct {
+	Net     *neurogo.Network
+	Mapping *neurogo.Mapping
+	// Lines resolves "bank:i" to global input line indices.
+	Lines map[string]int32
+	// OutputName labels each output neuron for display.
+	OutputName map[neurogo.NeuronID]string
+	Spec       *Spec
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("nsim: parsing spec: %w", err)
+	}
+	if s.Ticks <= 0 {
+		s.Ticks = 50
+	}
+	if len(s.Populations) == 0 {
+		return nil, fmt.Errorf("nsim: spec has no populations")
+	}
+	return &s, nil
+}
+
+// splitRef parses "name:index".
+func splitRef(ref string) (string, int, error) {
+	i := strings.LastIndex(ref, ":")
+	if i < 0 {
+		return "", 0, fmt.Errorf("nsim: reference %q is not name:index", ref)
+	}
+	idx, err := strconv.Atoi(ref[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("nsim: reference %q has bad index", ref)
+	}
+	return ref[:i], idx, nil
+}
+
+// Build lowers the spec to a compiled mapping.
+func (s *Spec) Build() (*Built, error) {
+	net := neurogo.NewNetwork()
+	banks := map[string]*neurogo.InputBank{}
+	pops := map[string]*neurogo.Population{}
+
+	for _, in := range s.Inputs {
+		if in.N <= 0 {
+			return nil, fmt.Errorf("nsim: input %q has size %d", in.Name, in.N)
+		}
+		if _, dup := banks[in.Name]; dup {
+			return nil, fmt.Errorf("nsim: duplicate input bank %q", in.Name)
+		}
+		delay := in.Delay
+		if delay == 0 {
+			delay = 1
+		}
+		banks[in.Name] = net.AddInputBank(in.Name, in.N,
+			neurogo.SourceProps{Type: neurogo.AxonType(in.Type), Delay: delay})
+	}
+	for _, ps := range s.Populations {
+		if ps.N <= 0 {
+			return nil, fmt.Errorf("nsim: population %q has size %d", ps.Name, ps.N)
+		}
+		if _, dup := pops[ps.Name]; dup {
+			return nil, fmt.Errorf("nsim: duplicate population %q", ps.Name)
+		}
+		proto := neurogo.DefaultNeuron()
+		if len(ps.Weights) > 0 {
+			if len(ps.Weights) > 4 {
+				return nil, fmt.Errorf("nsim: population %q has %d weights (max 4)", ps.Name, len(ps.Weights))
+			}
+			for i, w := range ps.Weights {
+				proto.SynWeight[i] = w
+			}
+		}
+		if ps.Threshold != 0 {
+			proto.Threshold = ps.Threshold
+		}
+		proto.NegThreshold = ps.NegThreshold
+		proto.NegSaturate = ps.NegSaturate
+		proto.Leak = ps.Leak
+		proto.LeakReversal = ps.LeakReversal
+		proto.ResetV = ps.ResetV
+		proto.MaskBits = ps.MaskBits
+		switch ps.Reset {
+		case "", "normal":
+			proto.Reset = neurogo.ResetNormal
+		case "linear":
+			proto.Reset = neurogo.ResetLinear
+		case "none":
+			proto.Reset = neurogo.ResetNone
+		default:
+			return nil, fmt.Errorf("nsim: population %q has unknown reset %q", ps.Name, ps.Reset)
+		}
+		pop := net.AddPopulation(ps.Name, ps.N, proto)
+		pops[ps.Name] = pop
+		outDelay := ps.OutDelay
+		if outDelay == 0 {
+			outDelay = 1
+		}
+		for i := 0; i < ps.N; i++ {
+			sp := net.SourceProps(pop.ID(i))
+			sp.Type = neurogo.AxonType(ps.OutType)
+			sp.Delay = outDelay
+		}
+	}
+
+	resolveNeuron := func(ref string) (neurogo.NeuronID, error) {
+		name, idx, err := splitRef(ref)
+		if err != nil {
+			return 0, err
+		}
+		pop, ok := pops[name]
+		if !ok {
+			return 0, fmt.Errorf("nsim: unknown population %q in %q", name, ref)
+		}
+		if idx < 0 || idx >= pop.N {
+			return 0, fmt.Errorf("nsim: index out of range in %q", ref)
+		}
+		return pop.ID(idx), nil
+	}
+
+	lines := map[string]int32{}
+	for name, b := range banks {
+		for i := 0; i < b.N; i++ {
+			lines[fmt.Sprintf("%s:%d", name, i)] = b.First + int32(i)
+		}
+	}
+
+	for _, e := range s.Edges {
+		to, err := resolveNeuron(e.To)
+		if err != nil {
+			return nil, err
+		}
+		if line, ok := lines[e.From]; ok {
+			net.Connect(neurogo.InputNode(line), to)
+			continue
+		}
+		from, err := resolveNeuron(e.From)
+		if err != nil {
+			return nil, fmt.Errorf("nsim: edge source %q is neither input nor neuron", e.From)
+		}
+		net.Connect(neurogo.NeuronNode(from), to)
+	}
+
+	outputName := map[neurogo.NeuronID]string{}
+	for _, ref := range s.Outputs {
+		id, err := resolveNeuron(ref)
+		if err != nil {
+			return nil, err
+		}
+		net.MarkOutput(id)
+		outputName[id] = ref
+	}
+
+	for _, sch := range s.Schedule {
+		if _, ok := lines[sch.Line]; !ok {
+			return nil, fmt.Errorf("nsim: schedule references unknown line %q", sch.Line)
+		}
+	}
+
+	opt := neurogo.CompileOptions{Seed: s.Seed, Width: s.Grid.Width, Height: s.Grid.Height}
+	switch s.Placer {
+	case "", "greedy":
+		opt.Placer = neurogo.PlacerGreedy
+	case "random":
+		opt.Placer = neurogo.PlacerRandom
+	case "anneal":
+		opt.Placer = neurogo.PlacerAnneal
+	default:
+		return nil, fmt.Errorf("nsim: unknown placer %q", s.Placer)
+	}
+	mapping, err := neurogo.Compile(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Net: net, Mapping: mapping, Lines: lines, OutputName: outputName, Spec: s}, nil
+}
+
+// InjectionsAt returns the lines to inject at the given tick.
+func (s *Spec) InjectionsAt(tick int64, lines map[string]int32) []int32 {
+	var out []int32
+	for _, sch := range s.Schedule {
+		every := sch.Every
+		if every <= 0 {
+			every = 1
+		}
+		for k := 0; k <= sch.Repeat; k++ {
+			if sch.Tick+int64(k)*every == tick {
+				out = append(out, lines[sch.Line])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+const minimalSpec = `{
+  "inputs": [{"name": "in", "n": 2, "type": 0, "delay": 1}],
+  "populations": [{"name": "p", "n": 2, "threshold": 1}],
+  "edges": [
+    {"from": "in:0", "to": "p:0"},
+    {"from": "p:0", "to": "p:1"}
+  ],
+  "outputs": ["p:1"],
+  "schedule": [{"tick": 0, "line": "in:0"}],
+  "ticks": 10
+}`
+
+func TestParseAndBuildMinimal(t *testing.T) {
+	spec, err := ParseSpec([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Net.Neurons() != 2 || built.Net.InputLines() != 2 {
+		t.Fatalf("net has %d neurons, %d lines", built.Net.Neurons(), built.Net.InputLines())
+	}
+	if len(built.OutputName) != 1 {
+		t.Fatalf("outputs = %v", built.OutputName)
+	}
+	if _, ok := built.Lines["in:1"]; !ok {
+		t.Fatal("line map incomplete")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"populations":[{"name":"p","n":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Ticks != 50 {
+		t.Fatalf("default ticks = %d", spec.Ticks)
+	}
+	if _, err := spec.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecRejections(t *testing.T) {
+	cases := map[string]string{
+		"no populations":    `{}`,
+		"unknown field":     `{"populations":[{"name":"p","n":1}],"bogus":1}`,
+		"bad reset":         `{"populations":[{"name":"p","n":1,"reset":"wat"}]}`,
+		"dup population":    `{"populations":[{"name":"p","n":1},{"name":"p","n":1}]}`,
+		"zero-size pop":     `{"populations":[{"name":"p","n":0}]}`,
+		"too many weights":  `{"populations":[{"name":"p","n":1,"weights":[1,2,3,4,5]}]}`,
+		"edge to unknown":   `{"populations":[{"name":"p","n":1}],"edges":[{"from":"p:0","to":"q:0"}]}`,
+		"edge from unknown": `{"populations":[{"name":"p","n":1}],"edges":[{"from":"x:0","to":"p:0"}]}`,
+		"edge bad index":    `{"populations":[{"name":"p","n":1}],"edges":[{"from":"p:5","to":"p:0"}]}`,
+		"bad output ref":    `{"populations":[{"name":"p","n":1}],"outputs":["p:9"]}`,
+		"bad schedule line": `{"populations":[{"name":"p","n":1}],"schedule":[{"tick":0,"line":"in:0"}]}`,
+		"bad placer":        `{"populations":[{"name":"p","n":1}],"placer":"wat"}`,
+	}
+	for name, js := range cases {
+		spec, err := ParseSpec([]byte(js))
+		if err != nil {
+			continue // rejected at parse time: fine
+		}
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestInjectionsAtRepeats(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "inputs": [{"name":"in","n":1}],
+	  "populations": [{"name":"p","n":1}],
+	  "schedule": [{"tick": 2, "line": "in:0", "repeat": 2, "every": 3}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := map[string]int32{"in:0": 0}
+	want := map[int64]int{2: 1, 5: 1, 8: 1}
+	for tick := int64(0); tick < 12; tick++ {
+		got := len(spec.InjectionsAt(tick, lines))
+		if got != want[tick] {
+			t.Fatalf("tick %d: %d injections, want %d", tick, got, want[tick])
+		}
+	}
+}
+
+func TestRunPulseSpecEndToEnd(t *testing.T) {
+	// The shipped example spec must execute cleanly under every engine.
+	path := "../../examples/specs/pulse.json"
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("example spec not present")
+	}
+	for _, eng := range []string{"event", "dense", "parallel"} {
+		if err := run(path, eng, 2, 0, false); err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	if _, _, err := splitRef("noindex"); err == nil {
+		t.Error("missing colon accepted")
+	}
+	if _, _, err := splitRef("a:b"); err == nil {
+		t.Error("non-numeric index accepted")
+	}
+	name, idx, err := splitRef("bank:12")
+	if err != nil || name != "bank" || idx != 12 {
+		t.Errorf("splitRef = (%q,%d,%v)", name, idx, err)
+	}
+}

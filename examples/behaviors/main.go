@@ -1,0 +1,36 @@
+// Behaviors: render the twenty-behaviour neuron gallery — the richness
+// of the digital neuron model — as spike rasters with their parameter
+// summaries.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neurogo/neurogo"
+)
+
+func main() {
+	for _, b := range neurogo.Gallery() {
+		b := b
+		tr := b.Run()
+		fmt.Printf("%s\n  %s\n", b.Name, b.Description)
+		window := b.Window
+		if window > 96 {
+			window = 96
+		}
+		fmt.Printf("  spikes: %d in %d ticks\n  ", len(tr.SpikeTimes), b.Window)
+		raster := make([]byte, window)
+		for i := range raster {
+			raster[i] = '.'
+		}
+		for _, st := range tr.SpikeTimes {
+			if st < window {
+				raster[st] = '|'
+			}
+		}
+		fmt.Printf("%s\n\n", string(raster))
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("20 behaviours, one parameterised digital neuron each.")
+}

@@ -1,0 +1,354 @@
+// Package chip assembles neurosynaptic cores into a chip: a Width x Height
+// grid of cores joined by the mesh NoC, plus spike input/output ports.
+//
+// The chip advances in global 1 ms ticks. Within a tick every core drains
+// its delay-ring slot, integrates, leaks and fires; emitted spikes are
+// routed to their destination core's delay ring for tick t+delay. Because
+// every axonal delay is at least one tick, cores never observe spikes
+// emitted in the same tick — which makes core evaluation order immaterial
+// and lets TickParallel shard cores across goroutines while remaining
+// bit-identical to the sequential Tick.
+//
+// Functional routing delivers spikes directly and accounts Manhattan hop
+// counts for the energy model; the cycle-level NoC in package noc is used
+// by the dedicated network experiments.
+package chip
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/noc"
+)
+
+// Config describes a chip build.
+type Config struct {
+	// Width and Height are the core-grid dimensions.
+	Width, Height int
+	// Cores holds one configuration per core, row-major (index y*Width+x).
+	// Entries may be nil for unused positions; nil cores are skipped
+	// entirely (they model power-gated cores).
+	Cores []*core.Config
+}
+
+// Validate checks grid dimensions, core configs and routing targets.
+func (c *Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("chip: dimensions %dx%d must be positive", c.Width, c.Height)
+	}
+	if len(c.Cores) != c.Width*c.Height {
+		return fmt.Errorf("chip: %d core configs for a %dx%d grid", len(c.Cores), c.Width, c.Height)
+	}
+	n := int32(len(c.Cores))
+	for i, cc := range c.Cores {
+		if cc == nil {
+			continue
+		}
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("chip: core %d: %w", i, err)
+		}
+		for nIdx, tgt := range cc.Targets {
+			if tgt.Core == core.ExternalCore {
+				continue
+			}
+			if tgt.Core >= n {
+				return fmt.Errorf("chip: core %d neuron %d targets core %d outside grid", i, nIdx, tgt.Core)
+			}
+			if c.Cores[tgt.Core] == nil {
+				return fmt.Errorf("chip: core %d neuron %d targets power-gated core %d", i, nIdx, tgt.Core)
+			}
+		}
+	}
+	return nil
+}
+
+// OutputSpike is a spike that left the chip through an external target.
+type OutputSpike struct {
+	// Tick is the tick at which the spike was emitted.
+	Tick int64
+	// Core is the linear index of the emitting core.
+	Core int32
+	// Neuron is the emitting neuron on that core.
+	Neuron uint8
+}
+
+// Counters aggregates chip-level activity for the energy model.
+type Counters struct {
+	// Core sums the per-core counters.
+	Core core.Counters
+	// RoutedSpikes counts spikes delivered core-to-core.
+	RoutedSpikes uint64
+	// TotalHops accumulates Manhattan distances of routed spikes.
+	TotalHops uint64
+	// OutputSpikes counts spikes that left the chip.
+	OutputSpikes uint64
+	// InputSpikes counts spikes injected from outside.
+	InputSpikes uint64
+}
+
+// Chip is the runtime state of one chip.
+type Chip struct {
+	cfg   *Config
+	cores []*core.Core
+	live  []int32 // indices of non-nil cores
+	tick  int64
+
+	counters Counters
+	outputs  []OutputSpike
+	onRoute  func(src, dst int32)
+}
+
+// SetRouteObserver installs a callback invoked for every core-to-core
+// spike delivery with the source and destination core indices. Used by
+// the multi-chip system layer for boundary-traffic accounting; pass nil
+// to remove. The callback runs on the ticking goroutine.
+func (ch *Chip) SetRouteObserver(fn func(src, dst int32)) { ch.onRoute = fn }
+
+// New builds a chip from cfg. Call cfg.Validate first; New panics on a
+// mismatched config length (a programming error).
+func New(cfg *Config) *Chip {
+	if len(cfg.Cores) != cfg.Width*cfg.Height {
+		panic("chip: config length mismatch")
+	}
+	ch := &Chip{cfg: cfg, cores: make([]*core.Core, len(cfg.Cores))}
+	for i, cc := range cfg.Cores {
+		if cc == nil {
+			continue
+		}
+		ch.cores[i] = core.New(cc)
+		ch.live = append(ch.live, int32(i))
+	}
+	return ch
+}
+
+// Width returns the grid width in cores.
+func (ch *Chip) Width() int { return ch.cfg.Width }
+
+// Height returns the grid height in cores.
+func (ch *Chip) Height() int { return ch.cfg.Height }
+
+// LiveCores returns the number of instantiated (non-gated) cores.
+func (ch *Chip) LiveCores() int { return len(ch.live) }
+
+// Now returns the next tick to be executed.
+func (ch *Chip) Now() int64 { return ch.tick }
+
+// Coord returns the mesh coordinate of core index i.
+func (ch *Chip) Coord(i int32) noc.Coord {
+	return noc.Coord{X: int16(int(i) % ch.cfg.Width), Y: int16(int(i) / ch.cfg.Width)}
+}
+
+// Index returns the linear core index for a coordinate.
+func (ch *Chip) Index(c noc.Coord) int32 {
+	return int32(int(c.Y)*ch.cfg.Width + int(c.X))
+}
+
+// CoreByIndex returns the runtime core at linear index i (nil if gated).
+func (ch *Chip) CoreByIndex(i int32) *core.Core { return ch.cores[i] }
+
+// Inject schedules an external input spike on (coreIdx, axon) to be seen
+// at tick at. The arrival must be within the delay-ring horizon:
+// now <= at < now+16.
+func (ch *Chip) Inject(coreIdx int32, axon int, at int64) error {
+	if coreIdx < 0 || int(coreIdx) >= len(ch.cores) || ch.cores[coreIdx] == nil {
+		return fmt.Errorf("chip: inject into invalid core %d", coreIdx)
+	}
+	if at < ch.tick || at >= ch.tick+core.RingSlots {
+		return fmt.Errorf("chip: inject at tick %d outside window [%d,%d)", at, ch.tick, ch.tick+core.RingSlots)
+	}
+	ch.cores[coreIdx].ScheduleAxon(axon, int(at))
+	ch.counters.InputSpikes++
+	return nil
+}
+
+// route delivers one emitted spike: external spikes are buffered for the
+// caller, on-chip spikes are scheduled into the destination ring.
+func (ch *Chip) route(t int64, srcCore int32, n int, tgt core.Target, delay uint8) {
+	if tgt.Core == core.ExternalCore {
+		ch.counters.OutputSpikes++
+		ch.outputs = append(ch.outputs, OutputSpike{Tick: t, Core: srcCore, Neuron: uint8(n)})
+		return
+	}
+	ch.counters.RoutedSpikes++
+	ch.counters.TotalHops += uint64(noc.HopCount(ch.Coord(srcCore), ch.Coord(tgt.Core)))
+	if ch.onRoute != nil {
+		ch.onRoute(srcCore, tgt.Core)
+	}
+	ch.cores[tgt.Core].ScheduleAxon(int(tgt.Axon), int(t)+int(delay))
+}
+
+// Tick advances the chip one tick sequentially and returns the external
+// output spikes emitted during it. The returned slice is reused across
+// ticks; callers that retain it must copy.
+func (ch *Chip) Tick() []OutputSpike {
+	return ch.tickWith(func(c *core.Core, t int64, emit core.EmitFunc) { c.Tick(t, emit) }, 1)
+}
+
+// TickDense advances the chip one tick using the clock-driven core
+// evaluation (every neuron, every core, every tick) — the von Neumann
+// simulator baseline.
+func (ch *Chip) TickDense() []OutputSpike {
+	t := ch.tick
+	ch.outputs = ch.outputs[:0]
+	for _, i := range ch.live {
+		i := i
+		ch.cores[i].TickDense(t, func(n int, tgt core.Target, d uint8) {
+			ch.route(t, i, n, tgt, d)
+		})
+	}
+	ch.tick++
+	return ch.outputs
+}
+
+// tickWith runs one tick with the given core-step function, optionally in
+// parallel across worker goroutines.
+func (ch *Chip) tickWith(step func(*core.Core, int64, core.EmitFunc), workers int) []OutputSpike {
+	t := ch.tick
+	ch.outputs = ch.outputs[:0]
+
+	if workers <= 1 {
+		for _, i := range ch.live {
+			c := ch.cores[i]
+			if !c.HasWork(t) {
+				continue
+			}
+			i := i
+			step(c, t, func(n int, tgt core.Target, d uint8) {
+				ch.route(t, i, n, tgt, d)
+			})
+		}
+		ch.tick++
+		return ch.outputs
+	}
+
+	// Parallel path: workers own disjoint core ranges and buffer their
+	// emissions per core; deliveries are applied after the barrier, in
+	// core-index order, so no two goroutines touch a destination ring
+	// concurrently and the observable spike order is bit-identical to
+	// the sequential path. Spikes always arrive at t+delay (delay >= 1),
+	// so deferring delivery to the end of the tick is semantically
+	// identical to immediate delivery.
+	type emission struct {
+		n     int
+		tgt   core.Target
+		delay uint8
+	}
+	perCore := make([][]emission, len(ch.live))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := w; k < len(ch.live); k += workers {
+				i := ch.live[k]
+				c := ch.cores[i]
+				if !c.HasWork(t) {
+					continue
+				}
+				var buf []emission
+				step(c, t, func(n int, tgt core.Target, d uint8) {
+					buf = append(buf, emission{n, tgt, d})
+				})
+				perCore[k] = buf
+			}
+		}()
+	}
+	wg.Wait()
+	for k, buf := range perCore {
+		i := ch.live[k]
+		for _, e := range buf {
+			ch.route(t, i, e.n, e.tgt, e.delay)
+		}
+	}
+	ch.tick++
+	return ch.outputs
+}
+
+// TickParallel advances the chip one tick using the given number of
+// worker goroutines. Results are bit-identical to Tick.
+func (ch *Chip) TickParallel(workers int) []OutputSpike {
+	return ch.tickWith(func(c *core.Core, t int64, emit core.EmitFunc) { c.Tick(t, emit) }, workers)
+}
+
+// Counters returns chip-level counters with per-core counters summed in.
+func (ch *Chip) Counters() Counters {
+	out := ch.counters
+	for _, i := range ch.live {
+		out.Core.Add(ch.cores[i].Counters())
+	}
+	return out
+}
+
+// ResetCounters zeroes chip and core counters.
+func (ch *Chip) ResetCounters() {
+	ch.counters = Counters{}
+	for _, i := range ch.live {
+		ch.cores[i].ResetCounters()
+	}
+}
+
+// Snapshot is a complete runtime snapshot of a chip, taken between
+// ticks. Core order matches the live-core order (gated cores have no
+// entry).
+type Snapshot struct {
+	// Tick is the next tick to execute.
+	Tick int64
+	// Cores holds one state per live core, in live-core order.
+	Cores []core.State
+	// Counters are the chip-level counters.
+	Counters Counters
+}
+
+// Snapshot captures the chip's runtime state between ticks.
+func (ch *Chip) Snapshot() Snapshot {
+	s := Snapshot{Tick: ch.tick, Counters: ch.counters}
+	for _, i := range ch.live {
+		s.Cores = append(s.Cores, ch.cores[i].Snapshot())
+	}
+	return s
+}
+
+// Restore overwrites the chip's runtime state from a snapshot taken on a
+// chip with the same configuration. It panics on a live-core count
+// mismatch (wrong configuration).
+func (ch *Chip) Restore(s Snapshot) {
+	if len(s.Cores) != len(ch.live) {
+		panic(fmt.Sprintf("chip: snapshot has %d cores, chip has %d", len(s.Cores), len(ch.live)))
+	}
+	ch.tick = s.Tick
+	ch.counters = s.Counters
+	for k, i := range ch.live {
+		ch.cores[i].Restore(s.Cores[k])
+	}
+}
+
+// Capacity describes the resources of a chip build (experiment T1).
+type Capacity struct {
+	Cores        int
+	Neurons      int
+	Synapses     int
+	SRAMBits     int64
+	MeshDiameter int
+}
+
+// CapacityOf computes the capacity table entries for a WxH chip. SRAM
+// per core: the 256x256 crossbar (65536 bits) plus 256 neurons x ~124
+// config+state bits plus 256 axons x 16-slot ring.
+func CapacityOf(width, height int) Capacity {
+	cores := width * height
+	const (
+		crossbarBits = core.Size * core.Size
+		neuronBits   = 124
+		ringBits     = core.Size * core.RingSlots
+	)
+	perCore := int64(crossbarBits + core.Size*neuronBits + ringBits)
+	return Capacity{
+		Cores:        cores,
+		Neurons:      cores * core.Size,
+		Synapses:     cores * core.Size * core.Size,
+		SRAMBits:     int64(cores) * perCore,
+		MeshDiameter: (width - 1) + (height - 1),
+	}
+}

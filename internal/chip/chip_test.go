@@ -1,0 +1,323 @@
+package chip
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/noc"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// relayConfig builds a core whose neuron n fires after one input spike on
+// axon n and forwards to the given target.
+func relayConfig(targets func(n int) core.Target) *core.Config {
+	cfg := core.NewConfig()
+	for n := 0; n < core.Size; n++ {
+		cfg.Synapses.Set(n, n, true)
+		cfg.Neurons[n].Threshold = 1
+		cfg.Targets[n] = targets(n)
+	}
+	return cfg
+}
+
+// chain2 builds a 2x1 chip where core 0 relays to core 1, and core 1
+// outputs externally.
+func chain2() *Chip {
+	cfg := &Config{
+		Width: 2, Height: 1,
+		Cores: []*core.Config{
+			relayConfig(func(n int) core.Target { return core.Target{Core: 1, Axon: uint8(n)} }),
+			relayConfig(func(n int) core.Target { return core.Target{Core: core.ExternalCore} }),
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return New(cfg)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := &Config{Width: 1, Height: 1, Cores: []*core.Config{core.NewConfig()}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero width", Config{Width: 0, Height: 1, Cores: nil}},
+		{"length mismatch", Config{Width: 2, Height: 1, Cores: []*core.Config{core.NewConfig()}}},
+		{"target outside grid", func() Config {
+			cc := core.NewConfig()
+			cc.Targets[0] = core.Target{Core: 5}
+			return Config{Width: 1, Height: 1, Cores: []*core.Config{cc}}
+		}()},
+		{"target gated core", func() Config {
+			cc := core.NewConfig()
+			cc.Targets[0] = core.Target{Core: 1}
+			return Config{Width: 2, Height: 1, Cores: []*core.Config{cc, nil}}
+		}()},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCoordIndexRoundTrip(t *testing.T) {
+	cfg := &Config{Width: 4, Height: 3, Cores: make([]*core.Config, 12)}
+	for i := range cfg.Cores {
+		cfg.Cores[i] = core.NewConfig()
+	}
+	ch := New(cfg)
+	for i := int32(0); i < 12; i++ {
+		if ch.Index(ch.Coord(i)) != i {
+			t.Fatalf("round-trip failed for core %d", i)
+		}
+	}
+	if ch.Coord(5) != (noc.Coord{X: 1, Y: 1}) {
+		t.Fatalf("Coord(5) = %v", ch.Coord(5))
+	}
+}
+
+func TestSpikeChainAcrossCores(t *testing.T) {
+	ch := chain2()
+	if err := ch.Inject(0, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	var outs []OutputSpike
+	for i := 0; i < 4; i++ {
+		for _, o := range ch.Tick() {
+			outs = append(outs, o)
+		}
+	}
+	// t0: core 0 neuron 7 fires, delay 1 -> core 1 axon 7 at t1.
+	// t1: core 1 neuron 7 fires -> external.
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %v, want exactly one", outs)
+	}
+	if outs[0] != (OutputSpike{Tick: 1, Core: 1, Neuron: 7}) {
+		t.Fatalf("output = %+v", outs[0])
+	}
+	ct := ch.Counters()
+	if ct.RoutedSpikes != 1 || ct.OutputSpikes != 1 || ct.InputSpikes != 1 {
+		t.Fatalf("counters = %+v", ct)
+	}
+	if ct.TotalHops != 1 {
+		t.Fatalf("TotalHops = %d, want 1 (adjacent cores)", ct.TotalHops)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	ch := chain2()
+	if err := ch.Inject(-1, 0, 0); err == nil {
+		t.Error("negative core accepted")
+	}
+	if err := ch.Inject(9, 0, 0); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := ch.Inject(0, 0, -1); err == nil {
+		t.Error("past tick accepted")
+	}
+	if err := ch.Inject(0, 0, int64(core.RingSlots)); err == nil {
+		t.Error("tick beyond ring horizon accepted")
+	}
+	if err := ch.Inject(0, 0, int64(core.RingSlots)-1); err != nil {
+		t.Errorf("tick at horizon edge rejected: %v", err)
+	}
+}
+
+func TestInjectIntoGatedCore(t *testing.T) {
+	cfg := &Config{Width: 2, Height: 1, Cores: []*core.Config{core.NewConfig(), nil}}
+	ch := New(cfg)
+	if err := ch.Inject(1, 0, 0); err == nil {
+		t.Error("injection into gated core accepted")
+	}
+	if ch.LiveCores() != 1 {
+		t.Errorf("LiveCores = %d, want 1", ch.LiveCores())
+	}
+}
+
+func TestDelayedDeliveryAcrossCores(t *testing.T) {
+	cfg := &Config{
+		Width: 2, Height: 1,
+		Cores: []*core.Config{
+			relayConfig(func(n int) core.Target { return core.Target{Core: 1, Axon: uint8(n)} }),
+			relayConfig(func(n int) core.Target { return core.Target{Core: core.ExternalCore} }),
+		},
+	}
+	// Neuron 3 on core 0 has axonal delay 5.
+	cfg.Cores[0].Neurons[3].Delay = 5
+	ch := New(cfg)
+	if err := ch.Inject(0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out []OutputSpike
+	for i := 0; i < 10; i++ {
+		out = append(out, ch.Tick()...)
+	}
+	if len(out) != 1 || out[0].Tick != 5 {
+		t.Fatalf("outputs = %+v, want single spike at tick 5 (0 fire + delay 5)", out)
+	}
+}
+
+// randomChip builds a WxH chip of relay cores with random cross-core
+// wiring and random thresholds, for determinism tests.
+func randomChip(w, h int, seed uint64) *Chip {
+	r := rng.NewSplitMix64(seed)
+	n := w * h
+	cfgs := make([]*core.Config, n)
+	for i := 0; i < n; i++ {
+		cc := core.NewConfig()
+		for k := 0; k < 600; k++ {
+			cc.Synapses.Set(r.Intn(core.Size), r.Intn(core.Size), true)
+		}
+		for nn := 0; nn < core.Size; nn++ {
+			cc.Neurons[nn].Threshold = int32(1 + r.Intn(3))
+			cc.Neurons[nn].Delay = uint8(1 + r.Intn(3))
+			if r.Intn(4) == 0 {
+				cc.Targets[nn] = core.Target{Core: core.ExternalCore}
+			} else {
+				cc.Targets[nn] = core.Target{Core: int32(r.Intn(n)), Axon: uint8(r.Intn(core.Size))}
+			}
+		}
+		cc.Seed = uint16(r.Next())
+		cfgs[i] = cc
+	}
+	cfg := &Config{Width: w, Height: h, Cores: cfgs}
+	return New(cfg)
+}
+
+func runChip(ch *Chip, ticks int, par int, injectSeed uint64) []OutputSpike {
+	r := rng.NewSplitMix64(injectSeed)
+	var outs []OutputSpike
+	for i := 0; i < ticks; i++ {
+		for k := 0; k < 10; k++ {
+			_ = ch.Inject(int32(r.Intn(ch.Width()*ch.Height())), r.Intn(core.Size), ch.Now())
+		}
+		var batch []OutputSpike
+		switch {
+		case par > 1:
+			batch = ch.TickParallel(par)
+		default:
+			batch = ch.Tick()
+		}
+		outs = append(outs, batch...)
+	}
+	return outs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := runChip(randomChip(4, 4, 11), 48, 1, 99)
+	par := runChip(randomChip(4, 4, 11), 48, 3, 99)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential emitted %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("divergence at output %d: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestDenseMatchesEvent(t *testing.T) {
+	ev := runChip(randomChip(3, 3, 5), 48, 1, 7)
+	ch := randomChip(3, 3, 5)
+	r := rng.NewSplitMix64(7)
+	var de []OutputSpike
+	for i := 0; i < 48; i++ {
+		for k := 0; k < 10; k++ {
+			_ = ch.Inject(int32(r.Intn(9)), r.Intn(core.Size), ch.Now())
+		}
+		de = append(de, ch.TickDense()...)
+	}
+	if len(ev) != len(de) {
+		t.Fatalf("event emitted %d, dense %d", len(ev), len(de))
+	}
+	for i := range ev {
+		if ev[i] != de[i] {
+			t.Fatalf("divergence at output %d: %+v vs %+v", i, ev[i], de[i])
+		}
+	}
+}
+
+func TestTickReturnsReusedSlice(t *testing.T) {
+	ch := chain2()
+	_ = ch.Inject(0, 1, 0)
+	ch.Tick()
+	out1 := ch.Tick() // spike exits here
+	if len(out1) != 1 {
+		t.Fatalf("expected output at tick 1, got %v", out1)
+	}
+	// Subsequent tick must reuse/clear the buffer.
+	out2 := ch.Tick()
+	if len(out2) != 0 {
+		t.Fatalf("idle tick returned %v", out2)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	ch := chain2()
+	_ = ch.Inject(0, 0, 0)
+	ch.Tick()
+	ch.Tick()
+	if ch.Counters() == (Counters{}) {
+		t.Fatal("expected nonzero counters")
+	}
+	ch.ResetCounters()
+	if ch.Counters() != (Counters{}) {
+		t.Fatalf("ResetCounters left %+v", ch.Counters())
+	}
+}
+
+func TestCapacityOf(t *testing.T) {
+	cap1 := CapacityOf(64, 64)
+	if cap1.Cores != 4096 {
+		t.Errorf("Cores = %d, want 4096", cap1.Cores)
+	}
+	if cap1.Neurons != 4096*256 {
+		t.Errorf("Neurons = %d, want ~1M", cap1.Neurons)
+	}
+	if cap1.Synapses != 4096*256*256 {
+		t.Errorf("Synapses = %d, want ~268M", cap1.Synapses)
+	}
+	if cap1.MeshDiameter != 126 {
+		t.Errorf("MeshDiameter = %d, want 126", cap1.MeshDiameter)
+	}
+	// Scaling: 4 chips = 4x everything except diameter.
+	cap4 := CapacityOf(128, 128)
+	if cap4.Neurons != 4*cap1.Neurons || cap4.Synapses != 4*cap1.Synapses || cap4.SRAMBits != 4*cap1.SRAMBits {
+		t.Error("capacity must scale linearly in core count")
+	}
+}
+
+func TestHopAccounting(t *testing.T) {
+	// 3x1 chain: core 0 -> core 2 is 2 hops.
+	cfg := &Config{
+		Width: 3, Height: 1,
+		Cores: []*core.Config{
+			relayConfig(func(n int) core.Target { return core.Target{Core: 2, Axon: uint8(n)} }),
+			core.NewConfig(),
+			relayConfig(func(n int) core.Target { return core.Target{Core: core.ExternalCore} }),
+		},
+	}
+	ch := New(cfg)
+	_ = ch.Inject(0, 0, 0)
+	for i := 0; i < 4; i++ {
+		ch.Tick()
+	}
+	if hops := ch.Counters().TotalHops; hops != 2 {
+		t.Fatalf("TotalHops = %d, want 2", hops)
+	}
+}
+
+func BenchmarkChipTick16x16Sparse(b *testing.B) {
+	ch := randomChip(16, 16, 1)
+	r := rng.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ch.Inject(int32(r.Intn(256)), r.Intn(core.Size), ch.Now())
+		ch.Tick()
+	}
+}

@@ -1,0 +1,552 @@
+// Package compile lowers a logical network (package model) onto a chip
+// configuration (package chip): it clusters neurons into core-sized
+// groups, inserts splitter relay trees for multi-core fan-out, allocates
+// axons, places groups on the core grid, and emits crossbars, neuron
+// parameter blocks and routing targets.
+//
+// The lowering respects the hardware constraints exactly:
+//
+//   - at most 256 neurons and 256 distinct inbound sources (axons) per
+//     core;
+//   - one output target per neuron — a source whose destinations span
+//     multiple cores (or that is both internally connected and an
+//     external output) is routed through a relay per destination core,
+//     packed into splitter cores; each relay level costs one tick, so
+//     such sources must declare OutDelay >= 2;
+//   - external input lines may fan out to several cores directly: the
+//     I/O interface duplicates incoming packets (as real systems do), so
+//     no on-chip relays are spent on inputs.
+//
+// Compilation is deterministic: same network, options and seed produce
+// an identical chip image.
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/place"
+)
+
+// Placer selects the placement algorithm.
+type Placer int
+
+const (
+	// PlacerGreedy is the default: best-first insertion.
+	PlacerGreedy Placer = iota
+	// PlacerRandom places groups uniformly at random (baseline).
+	PlacerRandom
+	// PlacerAnneal refines greedy placement with simulated annealing.
+	PlacerAnneal
+)
+
+// String names the placer.
+func (p Placer) String() string {
+	switch p {
+	case PlacerGreedy:
+		return "greedy"
+	case PlacerRandom:
+		return "random"
+	case PlacerAnneal:
+		return "anneal"
+	default:
+		return fmt.Sprintf("Placer(%d)", int(p))
+	}
+}
+
+// Options tunes compilation.
+type Options struct {
+	// Placer selects the placement algorithm (default greedy).
+	Placer Placer
+	// Seed drives random placement and annealing, and derives per-core
+	// LFSR seeds.
+	Seed uint64
+	// AnnealIters overrides the annealing budget (0 = auto).
+	AnnealIters int
+	// Width/Height force grid dimensions; 0 auto-sizes a near-square
+	// grid just large enough.
+	Width, Height int
+}
+
+// Loc is a physical neuron location.
+type Loc struct {
+	Core   int32
+	Neuron uint8
+}
+
+// AxonLoc is a physical axon location.
+type AxonLoc struct {
+	Core int32
+	Axon uint8
+}
+
+// Mapping is the compilation result: the chip image plus the lookup
+// tables connecting logical and physical worlds.
+type Mapping struct {
+	// Chip is the compiled chip configuration.
+	Chip *chip.Config
+	// NeuronLoc locates every logical neuron.
+	NeuronLoc []Loc
+	// InputTargets lists, per input line, the axons to inject into (one
+	// per destination core; the I/O layer duplicates).
+	InputTargets [][]AxonLoc
+	// InputDelay is each input line's axonal delay in ticks.
+	InputDelay []uint8
+	// Stats summarises the lowering.
+	Stats Stats
+
+	outputIndex map[uint32]model.NeuronID
+	outputLag   map[model.NeuronID]uint8
+}
+
+// OutputLag returns how many ticks later than its logical fire time an
+// output neuron's spike crosses the chip boundary: 0 for direct external
+// targets, 1 when the output is replicated through a splitter relay.
+func (m *Mapping) OutputLag(id model.NeuronID) uint8 {
+	return m.outputLag[id]
+}
+
+// Stats summarises what the compiler built.
+type Stats struct {
+	// NeuronGroups is the number of cores holding logical neurons.
+	NeuronGroups int
+	// SplitterGroups is the number of cores holding only relays.
+	SplitterGroups int
+	// Relays is the number of relay neurons inserted.
+	Relays int
+	// UsedCores is NeuronGroups + SplitterGroups.
+	UsedCores int
+	// GridWidth/GridHeight are the placed grid dimensions.
+	GridWidth, GridHeight int
+	// PlacementCost is the traffic-weighted Manhattan cost of the final
+	// placement (the T5 metric).
+	PlacementCost float64
+}
+
+// DecodeOutput maps an external output spike back to its logical neuron.
+// The second result is false for spikes from dropped (unobserved)
+// neurons.
+func (m *Mapping) DecodeOutput(o chip.OutputSpike) (model.NeuronID, bool) {
+	id, ok := m.outputIndex[outKey(o.Core, o.Neuron)]
+	return id, ok
+}
+
+// OutputLoc returns the physical location whose spikes report logical
+// neuron id, or false if id is not an output.
+func (m *Mapping) OutputLoc(id model.NeuronID) (Loc, bool) {
+	for k, v := range m.outputIndex {
+		if v == id {
+			return Loc{Core: int32(k >> 8), Neuron: uint8(k & 0xFF)}, true
+		}
+	}
+	return Loc{}, false
+}
+
+func outKey(coreIdx int32, n uint8) uint32 {
+	return uint32(coreIdx)<<8 | uint32(n)
+}
+
+// group is a core-sized cluster under construction.
+type group struct {
+	members []model.NeuronID
+	// axonOf assigns an axon index to each inbound source node.
+	axonOf map[model.Node]int
+	// axonOrder lists sources in allocation order.
+	axonOrder []model.Node
+}
+
+func (g *group) axonFor(src model.Node) int {
+	if idx, ok := g.axonOf[src]; ok {
+		return idx
+	}
+	idx := len(g.axonOrder)
+	g.axonOf[src] = idx
+	g.axonOrder = append(g.axonOrder, src)
+	return idx
+}
+
+// splitEntry is one source routed through a splitter core.
+type splitEntry struct {
+	src model.Node
+	// axon is the source's axon index in the splitter core.
+	axon int
+	// relayBase is the first relay neuron index; relays follow the
+	// order of dests (then the external relay, if any).
+	relayBase int
+	// dests are the destination group indices, -1 meaning external.
+	dests []int
+}
+
+// splitGroup is a splitter core under construction.
+type splitGroup struct {
+	entries   []splitEntry
+	axonCount int
+	relays    int
+}
+
+// Compile lowers net onto a chip.
+func Compile(net *model.Network, opt Options) (*Mapping, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+
+	nNeurons := net.Neurons()
+	nInputs := net.InputLines()
+
+	// Inbound source sets per neuron, deduplicated, in edge order.
+	inbound := make([][]model.Node, nNeurons)
+	inSeen := make([]map[model.Node]bool, nNeurons)
+	// Outbound destination lists per source, deduplicated, edge order.
+	outNeuron := make([][]model.NeuronID, nNeurons)
+	outInput := make([][]model.NeuronID, nInputs)
+	outSeenN := make([]map[model.NeuronID]bool, nNeurons)
+	outSeenI := make([]map[model.NeuronID]bool, nInputs)
+	for _, e := range net.Edges() {
+		to := e.To
+		if inSeen[to] == nil {
+			inSeen[to] = map[model.Node]bool{}
+		}
+		if !inSeen[to][e.From] {
+			inSeen[to][e.From] = true
+			inbound[to] = append(inbound[to], e.From)
+		}
+		if e.From.IsInput {
+			i := e.From.Idx
+			if outSeenI[i] == nil {
+				outSeenI[i] = map[model.NeuronID]bool{}
+			}
+			if !outSeenI[i][to] {
+				outSeenI[i][to] = true
+				outInput[i] = append(outInput[i], to)
+			}
+		} else {
+			n := e.From.Idx
+			if outSeenN[n] == nil {
+				outSeenN[n] = map[model.NeuronID]bool{}
+			}
+			if !outSeenN[n][to] {
+				outSeenN[n][to] = true
+				outNeuron[n] = append(outNeuron[n], to)
+			}
+		}
+	}
+
+	// ---- Phase 1: cluster neurons into core-sized groups. ----
+	var groups []*group
+	groupOf := make([]int, nNeurons)
+	cur := &group{axonOf: map[model.Node]int{}}
+	flush := func() {
+		if len(cur.members) > 0 {
+			groups = append(groups, cur)
+			cur = &group{axonOf: map[model.Node]int{}}
+		}
+	}
+	for id := 0; id < nNeurons; id++ {
+		// Sources this neuron adds to the open group.
+		added := 0
+		for _, src := range inbound[id] {
+			if _, ok := cur.axonOf[src]; !ok {
+				added++
+			}
+		}
+		if len(cur.members)+1 > core.Size || len(cur.axonOrder)+added > core.Size {
+			flush()
+		}
+		for _, src := range inbound[id] {
+			cur.axonFor(src)
+		}
+		groupOf[id] = len(groups)
+		cur.members = append(cur.members, model.NeuronID(id))
+	}
+	flush()
+	nGroups := len(groups)
+
+	// Local index of each neuron within its group.
+	localOf := make([]int, nNeurons)
+	for gi, g := range groups {
+		for li, id := range g.members {
+			localOf[id] = li
+			_ = gi
+		}
+	}
+
+	// ---- Phase 2: fan-out analysis for neuron sources. ----
+	// For each neuron source: ordered distinct destination groups, plus
+	// external observation.
+	type srcPlan struct {
+		destGroups []int // neuron-group indices
+		external   bool
+		split      bool
+		// For split sources: which splitter group and entry realise it.
+		splitterGroup int // index into splits
+		entryIndex    int
+	}
+	plans := make([]srcPlan, nNeurons)
+	for id := 0; id < nNeurons; id++ {
+		seen := map[int]bool{}
+		var dg []int
+		for _, to := range outNeuron[id] {
+			g := groupOf[to]
+			if !seen[g] {
+				seen[g] = true
+				dg = append(dg, g)
+			}
+		}
+		plans[id] = srcPlan{destGroups: dg, external: net.IsOutput(model.NeuronID(id))}
+	}
+
+	// ---- Phase 3: pack splitter relays. ----
+	var splits []*splitGroup
+	curSplit := &splitGroup{}
+	for id := 0; id < nNeurons; id++ {
+		p := &plans[id]
+		total := len(p.destGroups)
+		if p.external {
+			total++
+		}
+		if total < 2 {
+			continue
+		}
+		props := net.SourceProps(model.NeuronID(id))
+		if props.Delay < 2 {
+			return nil, fmt.Errorf(
+				"compile: neuron %d fans out to %d targets across cores, which requires a splitter relay and OutDelay >= 2 (have %d)",
+				id, total, props.Delay)
+		}
+		if curSplit.axonCount+1 > core.Size || curSplit.relays+total > core.Size {
+			splits = append(splits, curSplit)
+			curSplit = &splitGroup{}
+		}
+		dests := append([]int(nil), p.destGroups...)
+		if p.external {
+			dests = append(dests, -1)
+		}
+		e := splitEntry{
+			src:       model.NeuronNode(model.NeuronID(id)),
+			axon:      curSplit.axonCount,
+			relayBase: curSplit.relays,
+			dests:     dests,
+		}
+		p.split = true
+		p.splitterGroup = len(splits)
+		p.entryIndex = len(curSplit.entries)
+		curSplit.entries = append(curSplit.entries, e)
+		curSplit.axonCount++
+		curSplit.relays += total
+	}
+	if len(curSplit.entries) > 0 {
+		splits = append(splits, curSplit)
+	}
+	nSplits := len(splits)
+	totalGroups := nGroups + nSplits
+
+	// ---- Phase 4: grid sizing and placement. ----
+	width, height := opt.Width, opt.Height
+	if width == 0 || height == 0 {
+		side := int(math.Ceil(math.Sqrt(float64(totalGroups))))
+		if side < 1 {
+			side = 1
+		}
+		width, height = side, side
+	}
+	if width*height < totalGroups {
+		return nil, fmt.Errorf("compile: %d groups exceed the %dx%d grid", totalGroups, width, height)
+	}
+
+	traffic := make([][]float64, totalGroups)
+	for i := range traffic {
+		traffic[i] = make([]float64, totalGroups)
+	}
+	addTraffic := func(from, to int) {
+		if from >= 0 && to >= 0 && from != to {
+			traffic[from][to]++
+		}
+	}
+	for id := 0; id < nNeurons; id++ {
+		p := &plans[id]
+		src := groupOf[id]
+		if p.split {
+			sg := nGroups + p.splitterGroup
+			addTraffic(src, sg)
+			for _, d := range splits[p.splitterGroup].entries[p.entryIndex].dests {
+				if d >= 0 {
+					addTraffic(sg, d)
+				}
+			}
+			continue
+		}
+		for _, d := range p.destGroups {
+			addTraffic(src, d)
+		}
+	}
+
+	prob := &place.Problem{N: totalGroups, Width: width, Height: height, Traffic: traffic}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	var assign place.Assignment
+	switch opt.Placer {
+	case PlacerRandom:
+		assign = place.Random(prob, opt.Seed)
+	case PlacerAnneal:
+		assign = place.Anneal(prob, opt.Seed, place.AnnealOptions{Iters: opt.AnnealIters})
+	case PlacerGreedy:
+		assign = place.Greedy(prob)
+	default:
+		return nil, fmt.Errorf("compile: unknown placer %v", opt.Placer)
+	}
+	if err := prob.CheckLegal(assign); err != nil {
+		return nil, fmt.Errorf("compile: placer produced illegal assignment: %w", err)
+	}
+
+	// coreIdxOf maps a group index to its linear core index on the chip.
+	coreIdxOf := func(g int) int32 { return int32(assign[g]) }
+
+	// ---- Phase 5: emit core configurations. ----
+	cfgs := make([]*core.Config, width*height)
+	mkCore := func(slot int32) *core.Config {
+		if cfgs[slot] == nil {
+			cfgs[slot] = core.NewConfig()
+			cfgs[slot].Seed = uint16(opt.Seed>>4) ^ uint16(slot*0x9E37+1)
+		}
+		return cfgs[slot]
+	}
+
+	// targetOf resolves the physical target of a neuron source.
+	targetOf := func(id int) core.Target {
+		p := &plans[id]
+		total := len(p.destGroups)
+		if p.external {
+			total++
+		}
+		switch {
+		case total == 0:
+			return core.Target{Core: core.ExternalCore}
+		case p.split:
+			sg := p.splitterGroup
+			slot := coreIdxOf(nGroups + sg)
+			return core.Target{Core: slot, Axon: uint8(splits[sg].entries[p.entryIndex].axon)}
+		case p.external:
+			return core.Target{Core: core.ExternalCore}
+		default:
+			d := p.destGroups[0]
+			slot := coreIdxOf(d)
+			ax := groups[d].axonOf[model.NeuronNode(model.NeuronID(id))]
+			return core.Target{Core: slot, Axon: uint8(ax)}
+		}
+	}
+
+	mapping := &Mapping{
+		NeuronLoc:    make([]Loc, nNeurons),
+		InputTargets: make([][]AxonLoc, nInputs),
+		InputDelay:   make([]uint8, nInputs),
+		outputIndex:  map[uint32]model.NeuronID{},
+		outputLag:    map[model.NeuronID]uint8{},
+	}
+
+	// Neuron groups.
+	for gi, g := range groups {
+		slot := coreIdxOf(gi)
+		cc := mkCore(slot)
+		// Axons: type from the source's properties.
+		for ai, src := range g.axonOrder {
+			var props model.SourceProps
+			if src.IsInput {
+				props = *net.InputProps(src.Idx)
+			} else {
+				props = *net.SourceProps(model.NeuronID(src.Idx))
+			}
+			cc.AxonType[ai] = props.Type
+		}
+		// Neurons and crossbar.
+		for li, id := range g.members {
+			p := *net.Params(id)
+			props := net.SourceProps(id)
+			if plans[id].split {
+				// The hop to the splitter costs one tick; the relay
+				// carries the remaining delay.
+				p.Delay = 1
+			} else {
+				p.Delay = props.Delay
+			}
+			cc.Neurons[li] = p
+			cc.Targets[li] = targetOf(int(id))
+			mapping.NeuronLoc[id] = Loc{Core: slot, Neuron: uint8(li)}
+			for _, src := range inbound[id] {
+				cc.Synapses.Set(g.axonOf[src], li, true)
+			}
+			// Direct external outputs decode straight to this neuron.
+			if plans[id].external && !plans[id].split {
+				mapping.outputIndex[outKey(slot, uint8(li))] = id
+				mapping.outputLag[id] = 0
+			}
+		}
+	}
+
+	// Splitter groups.
+	for si, sg := range splits {
+		slot := coreIdxOf(nGroups + si)
+		cc := mkCore(slot)
+		for _, e := range sg.entries {
+			srcID := model.NeuronID(e.src.Idx)
+			props := net.SourceProps(srcID)
+			cc.AxonType[e.axon] = 0
+			for k, d := range e.dests {
+				ri := e.relayBase + k
+				relay := neuron.Params{
+					SynWeight: [neuron.NumAxonTypes]int16{1, 0, 0, 0},
+					Threshold: 1,
+					Reset:     neuron.ResetNormal,
+					Delay:     props.Delay - 1,
+				}
+				cc.Neurons[ri] = relay
+				cc.Synapses.Set(e.axon, ri, true)
+				if d < 0 {
+					cc.Targets[ri] = core.Target{Core: core.ExternalCore}
+					mapping.outputIndex[outKey(slot, uint8(ri))] = srcID
+					mapping.outputLag[srcID] = 1
+				} else {
+					dSlot := coreIdxOf(d)
+					ax := groups[d].axonOf[e.src]
+					cc.Targets[ri] = core.Target{Core: dSlot, Axon: uint8(ax)}
+				}
+			}
+		}
+		mapping.Stats.Relays += sg.relays
+	}
+
+	// Input mapping: one axon per destination group, in group order.
+	for line := 0; line < nInputs; line++ {
+		props := net.InputProps(int32(line))
+		mapping.InputDelay[line] = props.Delay
+		seen := map[int]bool{}
+		for _, to := range outInput[line] {
+			g := groupOf[to]
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			slot := coreIdxOf(g)
+			ax := groups[g].axonOf[model.InputNode(int32(line))]
+			mapping.InputTargets[line] = append(mapping.InputTargets[line],
+				AxonLoc{Core: slot, Axon: uint8(ax)})
+		}
+	}
+
+	mapping.Chip = &chip.Config{Width: width, Height: height, Cores: cfgs}
+	if err := mapping.Chip.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: emitted invalid chip: %w", err)
+	}
+
+	mapping.Stats.NeuronGroups = nGroups
+	mapping.Stats.SplitterGroups = nSplits
+	mapping.Stats.UsedCores = totalGroups
+	mapping.Stats.GridWidth = width
+	mapping.Stats.GridHeight = height
+	mapping.Stats.PlacementCost = prob.Cost(assign)
+	return mapping, nil
+}

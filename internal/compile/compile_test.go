@@ -1,0 +1,338 @@
+package compile
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+)
+
+// ffnet builds a small feed-forward net: 4 inputs -> 8 hidden -> 2 out.
+func ffnet() *model.Network {
+	m := model.New()
+	in := m.AddInputBank("in", 4, model.SourceProps{Type: 0, Delay: 1})
+	hidden := m.AddPopulation("hidden", 8, neuron.Default())
+	out := m.AddPopulation("out", 2, neuron.Default())
+	for i := 0; i < 4; i++ {
+		for h := 0; h < 8; h++ {
+			m.Connect(in.Line(i), hidden.ID(h))
+		}
+	}
+	for h := 0; h < 8; h++ {
+		for o := 0; o < 2; o++ {
+			m.Connect(model.NeuronNode(hidden.ID(h)), out.ID(o))
+		}
+	}
+	for o := 0; o < 2; o++ {
+		m.MarkOutput(out.ID(o))
+	}
+	return m
+}
+
+func TestCompileSmallNet(t *testing.T) {
+	mp, err := Compile(ffnet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Stats.NeuronGroups != 1 {
+		t.Errorf("NeuronGroups = %d, want 1 (10 neurons fit one core)", mp.Stats.NeuronGroups)
+	}
+	if mp.Stats.SplitterGroups != 0 || mp.Stats.Relays != 0 {
+		t.Errorf("unexpected splitters: %+v", mp.Stats)
+	}
+	if len(mp.NeuronLoc) != 10 {
+		t.Fatalf("NeuronLoc length %d", len(mp.NeuronLoc))
+	}
+	if len(mp.InputTargets) != 4 {
+		t.Fatalf("InputTargets length %d", len(mp.InputTargets))
+	}
+	for line, ts := range mp.InputTargets {
+		if len(ts) != 1 {
+			t.Errorf("input %d has %d targets, want 1 (single group)", line, len(ts))
+		}
+	}
+	if err := mp.Chip.Validate(); err != nil {
+		t.Fatalf("compiled chip invalid: %v", err)
+	}
+}
+
+func TestAxonSharing(t *testing.T) {
+	// One input feeding many neurons in one core must consume one axon.
+	m := model.New()
+	in := m.AddInputBank("in", 1, model.SourceProps{Type: 0, Delay: 1})
+	p := m.AddPopulation("p", 50, neuron.Default())
+	for i := 0; i < 50; i++ {
+		m.Connect(in.Line(0), p.ID(i))
+	}
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := mp.Chip.Cores[mp.InputTargets[0][0].Core]
+	ax := int(mp.InputTargets[0][0].Axon)
+	if got := cc.Synapses.RowCount(ax); got != 50 {
+		t.Fatalf("axon row has %d synapses, want 50", got)
+	}
+}
+
+func TestSplitterInsertedForMultiCoreFanout(t *testing.T) {
+	m := model.New()
+	// 300 neurons force two groups.
+	p := m.AddPopulation("p", 300, neuron.Default())
+	src := m.AddPopulation("src", 1, neuron.Default())
+	m.SourceProps(src.ID(0)).Delay = 2
+	m.Connect(model.NeuronNode(src.ID(0)), p.ID(0))
+	m.Connect(model.NeuronNode(src.ID(0)), p.ID(299))
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Stats.SplitterGroups != 1 {
+		t.Fatalf("SplitterGroups = %d, want 1", mp.Stats.SplitterGroups)
+	}
+	if mp.Stats.Relays != 2 {
+		t.Fatalf("Relays = %d, want 2", mp.Stats.Relays)
+	}
+	// The source's physical neuron must have delay 1 (hop to splitter).
+	loc := mp.NeuronLoc[src.ID(0)]
+	if d := mp.Chip.Cores[loc.Core].Neurons[loc.Neuron].Delay; d != 1 {
+		t.Fatalf("split source delay = %d, want 1", d)
+	}
+}
+
+func TestSplitterRequiresDelay2(t *testing.T) {
+	m := model.New()
+	p := m.AddPopulation("p", 300, neuron.Default())
+	src := m.AddPopulation("src", 1, neuron.Default())
+	// Default delay 1: fan-out across two groups must be rejected.
+	m.Connect(model.NeuronNode(src.ID(0)), p.ID(0))
+	m.Connect(model.NeuronNode(src.ID(0)), p.ID(299))
+	if _, err := Compile(m, Options{}); err == nil {
+		t.Fatal("multi-core fanout with delay 1 must fail to compile")
+	}
+}
+
+func TestOutputPlusInternalFanoutSplits(t *testing.T) {
+	m := model.New()
+	p := m.AddPopulation("p", 2, neuron.Default())
+	m.SourceProps(p.ID(0)).Delay = 2
+	m.Connect(model.NeuronNode(p.ID(0)), p.ID(1))
+	m.MarkOutput(p.ID(0))
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Stats.Relays != 2 {
+		t.Fatalf("Relays = %d, want 2 (one internal, one external)", mp.Stats.Relays)
+	}
+	if lag := mp.OutputLag(p.ID(0)); lag != 1 {
+		t.Fatalf("OutputLag = %d, want 1 (via relay)", lag)
+	}
+}
+
+func TestDirectOutputLagZero(t *testing.T) {
+	m := model.New()
+	p := m.AddPopulation("p", 1, neuron.Default())
+	m.MarkOutput(p.ID(0))
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag := mp.OutputLag(p.ID(0)); lag != 0 {
+		t.Fatalf("OutputLag = %d, want 0", lag)
+	}
+	loc := mp.NeuronLoc[p.ID(0)]
+	if mp.Chip.Cores[loc.Core].Targets[loc.Neuron].Core != core.ExternalCore {
+		t.Fatal("sole-output neuron must target ExternalCore directly")
+	}
+}
+
+func TestDecodeOutputRoundTrip(t *testing.T) {
+	mp, err := Compile(ffnet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []model.NeuronID{8, 9} { // the two outputs
+		loc, ok := mp.OutputLoc(id)
+		if !ok {
+			t.Fatalf("neuron %d has no output location", id)
+		}
+		got, ok := mp.DecodeOutput(chipOutput(loc))
+		if !ok || got != id {
+			t.Fatalf("decode(%v) = (%d,%v), want %d", loc, got, ok, id)
+		}
+	}
+}
+
+func chipOutput(l Loc) chip.OutputSpike {
+	return chip.OutputSpike{Core: l.Core, Neuron: l.Neuron}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a, err := Compile(ffnet(), Options{Placer: PlacerAnneal, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(ffnet(), Options{Placer: PlacerAnneal, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.NeuronLoc {
+		if a.NeuronLoc[i] != b.NeuronLoc[i] {
+			t.Fatalf("NeuronLoc[%d] differs", i)
+		}
+	}
+}
+
+func TestPlacersAllLegal(t *testing.T) {
+	for _, p := range []Placer{PlacerGreedy, PlacerRandom, PlacerAnneal} {
+		mp, err := Compile(bigNet(), Options{Placer: p, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := mp.Chip.Validate(); err != nil {
+			t.Fatalf("%v: invalid chip: %v", p, err)
+		}
+	}
+}
+
+// bigNet spans several cores: 3 populations of 300 with sparse wiring.
+func bigNet() *model.Network {
+	m := model.New()
+	a := m.AddPopulation("a", 300, neuron.Default())
+	b := m.AddPopulation("b", 300, neuron.Default())
+	in := m.AddInputBank("in", 16, model.SourceProps{Type: 0, Delay: 1})
+	for i := 0; i < 16; i++ {
+		for k := 0; k < 20; k++ {
+			m.Connect(in.Line(i), a.ID((i*20+k)%300))
+		}
+	}
+	for i := 0; i < 300; i++ {
+		m.SourceProps(a.ID(i)).Delay = 2
+		m.Connect(model.NeuronNode(a.ID(i)), b.ID(i))
+		m.Connect(model.NeuronNode(a.ID(i)), b.ID((i+150)%300))
+	}
+	for i := 0; i < 300; i += 10 {
+		m.MarkOutput(b.ID(i))
+	}
+	return m
+}
+
+func TestGreedyPlacementBeatsRandomOnBigNet(t *testing.T) {
+	g, err := Compile(bigNet(), Options{Placer: PlacerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		r, err := Compile(bigNet(), Options{Placer: PlacerRandom, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats.PlacementCost >= g.Stats.PlacementCost {
+			worse++
+		}
+	}
+	if worse < 4 {
+		t.Errorf("greedy placement (cost %.0f) beat only %d/5 random placements",
+			g.Stats.PlacementCost, worse)
+	}
+}
+
+func TestForcedGridTooSmall(t *testing.T) {
+	if _, err := Compile(bigNet(), Options{Width: 1, Height: 1}); err == nil {
+		t.Fatal("1x1 grid must be rejected for a multi-core net")
+	}
+}
+
+func TestForcedGridHonored(t *testing.T) {
+	mp, err := Compile(ffnet(), Options{Width: 3, Height: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Chip.Width != 3 || mp.Chip.Height != 2 {
+		t.Fatalf("grid = %dx%d", mp.Chip.Width, mp.Chip.Height)
+	}
+	if mp.Stats.GridWidth != 3 || mp.Stats.GridHeight != 2 {
+		t.Fatalf("stats grid = %dx%d", mp.Stats.GridWidth, mp.Stats.GridHeight)
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	m := model.New()
+	p := m.AddPopulation("p", 1, neuron.Default())
+	m.Params(p.ID(0)).Threshold = 0 // invalid
+	if _, err := Compile(m, Options{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestParallelEdgesCollapse(t *testing.T) {
+	m := model.New()
+	in := m.AddInputBank("in", 1, model.SourceProps{Type: 0, Delay: 1})
+	p := m.AddPopulation("p", 1, neuron.Default())
+	m.Connect(in.Line(0), p.ID(0))
+	m.Connect(in.Line(0), p.ID(0)) // duplicate
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := mp.Chip.Cores[mp.InputTargets[0][0].Core]
+	if got := cc.Synapses.RowCount(int(mp.InputTargets[0][0].Axon)); got != 1 {
+		t.Fatalf("parallel edges produced %d synapses, want 1", got)
+	}
+}
+
+func TestDroppedNeuronTargetsExternal(t *testing.T) {
+	m := model.New()
+	p := m.AddPopulation("p", 1, neuron.Default()) // no edges, not output
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := mp.NeuronLoc[p.ID(0)]
+	if mp.Chip.Cores[loc.Core].Targets[loc.Neuron].Core != core.ExternalCore {
+		t.Fatal("dangling neuron must target ExternalCore")
+	}
+	// And its spikes must not decode as outputs.
+	if _, ok := mp.DecodeOutput(chipOutput(loc)); ok {
+		t.Fatal("dropped neuron decoded as output")
+	}
+}
+
+func TestPlacerString(t *testing.T) {
+	if PlacerGreedy.String() != "greedy" || PlacerRandom.String() != "random" || PlacerAnneal.String() != "anneal" {
+		t.Error("placer names wrong")
+	}
+	if Placer(9).String() == "" {
+		t.Error("unknown placer must stringify")
+	}
+}
+
+func TestAxonBudgetForcesGroupSplit(t *testing.T) {
+	// 300 distinct input lines feeding one neuron each, plus a neuron
+	// that needs them all... simpler: 300 lines -> 300 neurons 1:1 fits
+	// one core by neuron count but exceeds the 256-axon budget, so the
+	// cluster must split.
+	m := model.New()
+	in := m.AddInputBank("in", 300, model.SourceProps{Type: 0, Delay: 1})
+	// 250 neurons, each fed by two distinct lines: 250 neurons need
+	// 300 axons > 256.
+	p := m.AddPopulation("p", 150, neuron.Default())
+	for i := 0; i < 150; i++ {
+		m.Connect(in.Line(i*2), p.ID(i))
+		m.Connect(in.Line(i*2+1), p.ID(i))
+	}
+	mp, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Stats.NeuronGroups < 2 {
+		t.Fatalf("NeuronGroups = %d, want >= 2 (axon budget)", mp.Stats.NeuronGroups)
+	}
+}

@@ -1,0 +1,194 @@
+package compile
+
+// Mapping serialization: a compiled network is the deployment artifact
+// (the analogue of a flashed chip image plus its host-side I/O tables),
+// so it round-trips through a versioned binary format. The chip
+// configuration itself is delegated to package persist.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/persist"
+)
+
+const (
+	mappingMagic   = 0x4E474D6150 // "NGMaP"-ish tag
+	mappingVersion = 1
+)
+
+// Write serializes the mapping to dst.
+func (m *Mapping) Write(dst io.Writer) error {
+	w := bufio.NewWriter(dst)
+	u64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	write := func(vs ...uint64) error {
+		for _, v := range vs {
+			if err := u64(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(mappingMagic, mappingVersion); err != nil {
+		return err
+	}
+	if err := persist.WriteConfig(w, m.Chip); err != nil {
+		return err
+	}
+	if err := write(uint64(len(m.NeuronLoc))); err != nil {
+		return err
+	}
+	for _, loc := range m.NeuronLoc {
+		if err := write(uint64(uint32(loc.Core)), uint64(loc.Neuron)); err != nil {
+			return err
+		}
+	}
+	if err := write(uint64(len(m.InputTargets))); err != nil {
+		return err
+	}
+	for line, targets := range m.InputTargets {
+		if err := write(uint64(len(targets)), uint64(m.InputDelay[line])); err != nil {
+			return err
+		}
+		for _, t := range targets {
+			if err := write(uint64(uint32(t.Core)), uint64(t.Axon)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := write(uint64(len(m.outputIndex))); err != nil {
+		return err
+	}
+	// Deterministic order: iterate physical keys ascending.
+	keys := make([]uint32, 0, len(m.outputIndex))
+	for k := range m.outputIndex {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		id := m.outputIndex[k]
+		if err := write(uint64(k), uint64(uint32(id)), uint64(m.outputLag[id])); err != nil {
+			return err
+		}
+	}
+	if err := write(
+		uint64(m.Stats.NeuronGroups), uint64(m.Stats.SplitterGroups),
+		uint64(m.Stats.Relays), uint64(m.Stats.UsedCores),
+		uint64(m.Stats.GridWidth), uint64(m.Stats.GridHeight)); err != nil {
+		return err
+	}
+	if err := u64(uint64(int64(m.Stats.PlacementCost * 1e6))); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadMapping deserializes a mapping written by Write.
+func ReadMapping(src io.Reader) (*Mapping, error) {
+	r := bufio.NewReader(src)
+	u64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	need := func() uint64 {
+		v, err := u64()
+		if err != nil {
+			panic(readErr{err})
+		}
+		return v
+	}
+	m := &Mapping{outputIndex: map[uint32]model.NeuronID{}, outputLag: map[model.NeuronID]uint8{}}
+	var retErr error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if re, ok := p.(readErr); ok {
+					retErr = re.err
+					return
+				}
+				panic(p)
+			}
+		}()
+		if magic := need(); magic != mappingMagic {
+			retErr = fmt.Errorf("compile: bad mapping magic %#x", magic)
+			return
+		}
+		if v := need(); v != mappingVersion {
+			retErr = fmt.Errorf("compile: unsupported mapping version %d", v)
+			return
+		}
+		cfg, err := persist.ReadConfig(r)
+		if err != nil {
+			retErr = err
+			return
+		}
+		m.Chip = cfg
+		nLoc := need()
+		if nLoc > 1<<30 {
+			retErr = fmt.Errorf("compile: implausible neuron count %d", nLoc)
+			return
+		}
+		for i := uint64(0); i < nLoc; i++ {
+			c := int32(uint32(need()))
+			n := uint8(need())
+			m.NeuronLoc = append(m.NeuronLoc, Loc{Core: c, Neuron: n})
+		}
+		nIn := need()
+		if nIn > 1<<30 {
+			retErr = fmt.Errorf("compile: implausible input count %d", nIn)
+			return
+		}
+		for i := uint64(0); i < nIn; i++ {
+			nT := need()
+			m.InputDelay = append(m.InputDelay, uint8(need()))
+			var ts []AxonLoc
+			for k := uint64(0); k < nT; k++ {
+				c := int32(uint32(need()))
+				a := uint8(need())
+				ts = append(ts, AxonLoc{Core: c, Axon: a})
+			}
+			m.InputTargets = append(m.InputTargets, ts)
+		}
+		nOut := need()
+		if nOut > 1<<30 {
+			retErr = fmt.Errorf("compile: implausible output count %d", nOut)
+			return
+		}
+		for i := uint64(0); i < nOut; i++ {
+			key := uint32(need())
+			id := model.NeuronID(uint32(need()))
+			lag := uint8(need())
+			m.outputIndex[key] = id
+			m.outputLag[id] = lag
+		}
+		m.Stats.NeuronGroups = int(need())
+		m.Stats.SplitterGroups = int(need())
+		m.Stats.Relays = int(need())
+		m.Stats.UsedCores = int(need())
+		m.Stats.GridWidth = int(need())
+		m.Stats.GridHeight = int(need())
+		m.Stats.PlacementCost = float64(int64(need())) / 1e6
+	}()
+	if retErr != nil {
+		return nil, retErr
+	}
+	return m, nil
+}
+
+// readErr carries read failures through the decoder's panic path.
+type readErr struct{ err error }

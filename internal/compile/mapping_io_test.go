@@ -1,0 +1,133 @@
+package compile
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/chip"
+)
+
+func TestMappingRoundTrip(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Placer: PlacerGreedy, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Stats != orig.Stats {
+		t.Fatalf("stats differ:\n%+v\n%+v", got.Stats, orig.Stats)
+	}
+	if len(got.NeuronLoc) != len(orig.NeuronLoc) {
+		t.Fatalf("NeuronLoc length %d vs %d", len(got.NeuronLoc), len(orig.NeuronLoc))
+	}
+	for i := range orig.NeuronLoc {
+		if got.NeuronLoc[i] != orig.NeuronLoc[i] {
+			t.Fatalf("NeuronLoc[%d] differs", i)
+		}
+	}
+	if len(got.InputTargets) != len(orig.InputTargets) {
+		t.Fatal("InputTargets length differs")
+	}
+	for line := range orig.InputTargets {
+		if got.InputDelay[line] != orig.InputDelay[line] {
+			t.Fatalf("InputDelay[%d] differs", line)
+		}
+		if len(got.InputTargets[line]) != len(orig.InputTargets[line]) {
+			t.Fatalf("InputTargets[%d] length differs", line)
+		}
+		for k := range orig.InputTargets[line] {
+			if got.InputTargets[line][k] != orig.InputTargets[line][k] {
+				t.Fatalf("InputTargets[%d][%d] differs", line, k)
+			}
+		}
+	}
+	// Output decode tables.
+	if len(got.outputIndex) != len(orig.outputIndex) {
+		t.Fatal("output index size differs")
+	}
+	for k, id := range orig.outputIndex {
+		if got.outputIndex[k] != id {
+			t.Fatalf("outputIndex[%d] differs", k)
+		}
+		if got.outputLag[id] != orig.outputLag[id] {
+			t.Fatalf("outputLag[%d] differs", id)
+		}
+	}
+	// The chip config must validate and match dimensions.
+	if err := got.Chip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Chip.Width != orig.Chip.Width || got.Chip.Height != orig.Chip.Height {
+		t.Fatal("chip dimensions differ")
+	}
+}
+
+func TestMappingLoadedRunsIdentically(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drive := func(m *Mapping) []chip.OutputSpike {
+		ch := chip.New(m.Chip)
+		var out []chip.OutputSpike
+		for t := 0; t < 40; t++ {
+			for line := 0; line < 4; line++ {
+				at := ch.Now() + int64(m.InputDelay[line])
+				for _, tgt := range m.InputTargets[line] {
+					_ = ch.Inject(tgt.Core, int(tgt.Axon), at)
+				}
+			}
+			out = append(out, ch.Tick()...)
+		}
+		return out
+	}
+	a, b := drive(orig), drive(loaded)
+	if len(a) != len(b) {
+		t.Fatalf("original emitted %d spikes, loaded %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spike %d differs", i)
+		}
+	}
+}
+
+func TestReadMappingRejectsGarbage(t *testing.T) {
+	if _, err := ReadMapping(bytes.NewReader([]byte("junk junk junk junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadMapping(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadMappingRejectsTruncated(t *testing.T) {
+	orig, err := Compile(ffnet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadMapping(bytes.NewReader(data[:len(data)-9])); err == nil {
+		t.Fatal("truncated mapping accepted")
+	}
+}

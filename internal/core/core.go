@@ -1,0 +1,317 @@
+// Package core implements the neurosynaptic core: 256 input axons feeding
+// 256 digital neurons through a binary crossbar, with a 16-slot axon delay
+// ring and a per-core hardware-style LFSR.
+//
+// A core is a pure state machine. Each call to Tick:
+//
+//  1. drains the delay-ring slot for the current tick, collecting the set
+//     of axons that receive a spike now;
+//  2. integrates each arrived spike into every connected neuron, in
+//     ascending (axon, neuron) order — the order in which stochastic
+//     synapse draws consume the LFSR;
+//  3. applies leak and threshold to every *active* neuron (ascending
+//     order), emitting output spikes through a caller-supplied function.
+//
+// "Active" is an exact optimisation, not an approximation: a neuron is
+// skipped only when doing so provably has no observable effect — its
+// membrane potential is zero, it has no leak, no stochastic mode, and it
+// received no input this tick. Such a neuron's update would leave V at
+// zero, fire nothing and consume no LFSR draws, so skipping it preserves
+// bit-level equivalence with the dense evaluation the hardware performs.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/neurogo/neurogo/internal/crossbar"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// Size is the number of axons and neurons in a core.
+const Size = crossbar.Size
+
+// RingSlots is the depth of the axon delay ring; axonal delays are 1..15
+// ticks, so 16 slots suffice.
+const RingSlots = 16
+
+// ExternalCore is the Target.Core value meaning "leave the chip": spikes
+// from such neurons are handed to the simulator's output port rather than
+// routed to another core.
+const ExternalCore = -1
+
+// Target identifies where a neuron's output spikes are delivered: one
+// axon on one core, after the neuron's axonal delay. A neuron has exactly
+// one target (the hardware constraint that makes fan-out explicit).
+type Target struct {
+	// Core is the global linear index of the destination core, or
+	// ExternalCore for an off-chip output.
+	Core int32
+	// Axon is the destination axon index on the target core.
+	Axon uint8
+}
+
+// Config is the complete static configuration of one core.
+type Config struct {
+	// AxonType tags each input axon with one of the four types.
+	AxonType [Size]neuron.AxonType
+	// Synapses is the binary crossbar.
+	Synapses crossbar.Matrix
+	// Neurons holds the 256 neuron parameter blocks.
+	Neurons [Size]neuron.Params
+	// Targets holds each neuron's output destination. Neurons that never
+	// fire (or whose spikes should be dropped) may use ExternalCore.
+	Targets [Size]Target
+	// Seed seeds the core's LFSR.
+	Seed uint16
+}
+
+// NewConfig returns a config with every neuron set to neuron.Default and
+// all targets external. The crossbar starts empty.
+func NewConfig() *Config {
+	c := &Config{}
+	for i := range c.Neurons {
+		c.Neurons[i] = neuron.Default()
+		c.Targets[i] = Target{Core: ExternalCore}
+	}
+	return c
+}
+
+// Validate checks every neuron parameter block and target.
+func (c *Config) Validate() error {
+	for i := range c.Neurons {
+		if err := c.Neurons[i].Validate(); err != nil {
+			return fmt.Errorf("core: neuron %d: %w", i, err)
+		}
+	}
+	for i, tgt := range c.Targets {
+		if tgt.Core < ExternalCore {
+			return fmt.Errorf("core: neuron %d target core %d invalid", i, tgt.Core)
+		}
+	}
+	return nil
+}
+
+// Counters aggregates the activity statistics the energy model consumes.
+type Counters struct {
+	// SynapticEvents counts crossbar integrations (one per arrived spike
+	// per connected neuron) — the dominant term in active energy.
+	SynapticEvents uint64
+	// AxonEvents counts arrived input spikes (one SRAM row read each).
+	AxonEvents uint64
+	// NeuronUpdates counts leak-and-fire evaluations actually performed.
+	NeuronUpdates uint64
+	// Spikes counts output spikes emitted.
+	Spikes uint64
+	// Ticks counts Tick calls.
+	Ticks uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.SynapticEvents += other.SynapticEvents
+	c.AxonEvents += other.AxonEvents
+	c.NeuronUpdates += other.NeuronUpdates
+	c.Spikes += other.Spikes
+	c.Ticks += other.Ticks
+}
+
+// EmitFunc receives each output spike: the emitting neuron index, its
+// target, and the delay ticks to add before delivery.
+type EmitFunc func(n int, tgt Target, delay uint8)
+
+// Core is the runtime state of one neurosynaptic core.
+type Core struct {
+	cfg  *Config
+	v    [Size]int32
+	lfsr *rng.LFSR
+
+	// ring[slot] is the bitset of axons receiving a spike at tick
+	// (tick mod RingSlots) == slot.
+	ring [RingSlots]crossbar.Row
+
+	// alwaysActive marks neurons that must be evaluated every tick
+	// because their update has side effects even at rest: nonzero or
+	// stochastic leak, or a stochastic threshold.
+	alwaysActive crossbar.Row
+	// vNonzero tracks neurons with V != 0.
+	vNonzero crossbar.Row
+
+	counters Counters
+}
+
+// New builds a core from cfg. The config is retained by reference and
+// must not be mutated while the core runs.
+func New(cfg *Config) *Core {
+	c := &Core{cfg: cfg, lfsr: rng.NewLFSR(cfg.Seed)}
+	for n := range cfg.Neurons {
+		p := &cfg.Neurons[n]
+		if p.Leak != 0 || p.LeakStochastic || p.MaskBits > 0 {
+			c.alwaysActive[n/64] |= 1 << uint(n%64)
+		}
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() *Config { return c.cfg }
+
+// Counters returns a copy of the activity counters.
+func (c *Core) Counters() Counters { return c.counters }
+
+// ResetCounters zeroes the activity counters.
+func (c *Core) ResetCounters() { c.counters = Counters{} }
+
+// V returns neuron n's membrane potential (for probes and tests).
+func (c *Core) V(n int) int32 { return c.v[n] }
+
+// SetV sets neuron n's membrane potential (for tests and checkpoints).
+func (c *Core) SetV(n int, v int32) {
+	c.v[n] = v
+	c.setNonzero(n, v != 0)
+}
+
+// LFSRState exposes the PRNG state for checkpointing.
+func (c *Core) LFSRState() uint16 { return c.lfsr.State() }
+
+func (c *Core) setNonzero(n int, nz bool) {
+	w, b := n/64, uint(n%64)
+	if nz {
+		c.vNonzero[w] |= 1 << b
+	} else {
+		c.vNonzero[w] &^= 1 << b
+	}
+}
+
+// ScheduleAxon schedules a spike on axon a to be seen by Tick(t) where
+// t mod RingSlots == slot. Chips compute slot from arrival tick.
+func (c *Core) ScheduleAxon(a int, slot int) {
+	if a < 0 || a >= Size {
+		panic(fmt.Sprintf("core: axon %d out of range", a))
+	}
+	c.ring[slot&(RingSlots-1)][a/64] |= 1 << uint(a%64)
+}
+
+// PendingAxons reports how many axon spikes are waiting in the delay ring
+// (for probes and back-pressure diagnostics).
+func (c *Core) PendingAxons() int {
+	total := 0
+	for s := range c.ring {
+		for _, w := range c.ring[s] {
+			total += bits.OnesCount64(w)
+		}
+	}
+	return total
+}
+
+// HasWork reports whether Tick(t) would process any input spikes or any
+// always-active/charged neurons. Engines use it to skip idle cores; the
+// skip is exact for the same reason neuron skipping is.
+func (c *Core) HasWork(t int64) bool {
+	slot := int(t) & (RingSlots - 1)
+	for w := 0; w < crossbar.Words; w++ {
+		if c.ring[slot][w] != 0 || c.alwaysActive[w] != 0 || c.vNonzero[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the core one time step. t is the global tick number; emit
+// receives every output spike (may be nil to drop them).
+func (c *Core) Tick(t int64, emit EmitFunc) {
+	c.counters.Ticks++
+	slot := int(t) & (RingSlots - 1)
+	arrived := c.ring[slot]
+	c.ring[slot] = crossbar.Row{}
+
+	// Phase 1: synaptic integration, ascending (axon, neuron) order.
+	// touched marks neurons that received input this tick.
+	var touched crossbar.Row
+	for w := 0; w < crossbar.Words; w++ {
+		word := arrived[w]
+		base := w * 64
+		for word != 0 {
+			a := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			c.counters.AxonEvents++
+			g := c.cfg.AxonType[a]
+			row := c.cfg.Synapses.Row(a)
+			for rw := 0; rw < crossbar.Words; rw++ {
+				rword := row[rw]
+				rbase := rw * 64
+				touched[rw] |= rword
+				for rword != 0 {
+					n := rbase + bits.TrailingZeros64(rword)
+					rword &= rword - 1
+					c.v[n] = neuron.Integrate(c.v[n], &c.cfg.Neurons[n], g, c.lfsr)
+					c.counters.SynapticEvents++
+				}
+			}
+		}
+	}
+
+	// Phase 2: leak and fire for every active neuron.
+	for w := 0; w < crossbar.Words; w++ {
+		word := touched[w] | c.alwaysActive[w] | c.vNonzero[w]
+		base := w * 64
+		for word != 0 {
+			n := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			p := &c.cfg.Neurons[n]
+			nv, spiked := neuron.LeakFire(c.v[n], p, c.lfsr)
+			c.v[n] = nv
+			c.setNonzero(n, nv != 0)
+			c.counters.NeuronUpdates++
+			if spiked {
+				c.counters.Spikes++
+				if emit != nil {
+					emit(n, c.cfg.Targets[n], p.Delay)
+				}
+			}
+		}
+	}
+}
+
+// TickDense advances the core one time step evaluating every neuron and,
+// for every arrived spike, scanning all 256 crossbar columns. It is the
+// clock-driven baseline used for engine comparisons; given identical
+// state it produces identical results to Tick (the LFSR draw schedule is
+// unchanged because unconnected synapses and resting deterministic
+// neurons never draw).
+func (c *Core) TickDense(t int64, emit EmitFunc) {
+	c.counters.Ticks++
+	slot := int(t) & (RingSlots - 1)
+	arrived := c.ring[slot]
+	c.ring[slot] = crossbar.Row{}
+
+	for a := 0; a < Size; a++ {
+		if arrived[a/64]>>(uint(a%64))&1 == 0 {
+			continue
+		}
+		c.counters.AxonEvents++
+		g := c.cfg.AxonType[a]
+		for n := 0; n < Size; n++ {
+			if !c.cfg.Synapses.Get(a, n) {
+				continue
+			}
+			c.v[n] = neuron.Integrate(c.v[n], &c.cfg.Neurons[n], g, c.lfsr)
+			c.counters.SynapticEvents++
+		}
+	}
+
+	for n := 0; n < Size; n++ {
+		p := &c.cfg.Neurons[n]
+		nv, spiked := neuron.LeakFire(c.v[n], p, c.lfsr)
+		c.v[n] = nv
+		c.setNonzero(n, nv != 0)
+		c.counters.NeuronUpdates++
+		if spiked {
+			c.counters.Spikes++
+			if emit != nil {
+				emit(n, c.cfg.Targets[n], p.Delay)
+			}
+		}
+	}
+}

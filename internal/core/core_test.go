@@ -1,0 +1,426 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// simpleConfig wires axon a -> neuron a for the first k pairs with unit
+// weights and threshold 1, so one input spike produces one output spike
+// on the matching neuron at the next tick.
+func simpleConfig(k int) *Config {
+	cfg := NewConfig()
+	for i := 0; i < k; i++ {
+		cfg.Synapses.Set(i, i, true)
+		cfg.Neurons[i].Threshold = 1
+		cfg.Targets[i] = Target{Core: 7, Axon: uint8(i)}
+	}
+	return cfg
+}
+
+func TestNewConfigValidates(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Neurons[3].Delay = 99
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid neuron params accepted")
+	}
+	cfg = NewConfig()
+	cfg.Targets[0].Core = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid target accepted")
+	}
+}
+
+func TestSpikePassThrough(t *testing.T) {
+	cfg := simpleConfig(4)
+	c := New(cfg)
+	c.ScheduleAxon(2, 0)
+
+	var got []int
+	var gotTargets []Target
+	var gotDelays []uint8
+	emit := func(n int, tgt Target, d uint8) {
+		got = append(got, n)
+		gotTargets = append(gotTargets, tgt)
+		gotDelays = append(gotDelays, d)
+	}
+	c.Tick(0, emit)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("spikes = %v, want [2]", got)
+	}
+	if gotTargets[0] != (Target{Core: 7, Axon: 2}) {
+		t.Fatalf("target = %+v", gotTargets[0])
+	}
+	if gotDelays[0] != 1 {
+		t.Fatalf("delay = %d, want 1", gotDelays[0])
+	}
+	// Neuron resets; next tick silent.
+	got = nil
+	c.Tick(1, emit)
+	if len(got) != 0 {
+		t.Fatalf("unexpected spikes on idle tick: %v", got)
+	}
+}
+
+func TestDelayRingTiming(t *testing.T) {
+	cfg := simpleConfig(1)
+	c := New(cfg)
+	// Schedule for slot 5: only Tick with t%16==5 sees it.
+	c.ScheduleAxon(0, 5)
+	fired := -1
+	for tick := int64(0); tick < 8; tick++ {
+		c.Tick(tick, func(n int, _ Target, _ uint8) { fired = int(tick) })
+	}
+	if fired != 5 {
+		t.Fatalf("spike fired at tick %d, want 5", fired)
+	}
+}
+
+func TestDelayRingWrapAround(t *testing.T) {
+	cfg := simpleConfig(1)
+	c := New(cfg)
+	// At tick 14, schedule for slot (14+3)%16 = 1, i.e. tick 17.
+	for tick := int64(0); tick < 32; tick++ {
+		if tick == 14 {
+			c.ScheduleAxon(0, int(tick+3))
+		}
+		fired := false
+		c.Tick(tick, func(int, Target, uint8) { fired = true })
+		if fired != (tick == 17) {
+			t.Fatalf("tick %d fired=%v", tick, fired)
+		}
+	}
+}
+
+func TestFanoutWithinCore(t *testing.T) {
+	cfg := NewConfig()
+	// One axon drives 10 neurons.
+	for n := 0; n < 10; n++ {
+		cfg.Synapses.Set(0, n, true)
+		cfg.Neurons[n].Threshold = 1
+	}
+	c := New(cfg)
+	c.ScheduleAxon(0, 0)
+	count := 0
+	c.Tick(0, func(int, Target, uint8) { count++ })
+	if count != 10 {
+		t.Fatalf("fanout produced %d spikes, want 10", count)
+	}
+	if got := c.Counters().SynapticEvents; got != 10 {
+		t.Fatalf("SynapticEvents = %d, want 10", got)
+	}
+	if got := c.Counters().AxonEvents; got != 1 {
+		t.Fatalf("AxonEvents = %d, want 1", got)
+	}
+}
+
+func TestAxonTypesSelectWeights(t *testing.T) {
+	cfg := NewConfig()
+	cfg.AxonType[0] = 0
+	cfg.AxonType[1] = 1
+	cfg.AxonType[2] = 2
+	cfg.Synapses.Set(0, 0, true)
+	cfg.Synapses.Set(1, 0, true)
+	cfg.Synapses.Set(2, 0, true)
+	cfg.Neurons[0].SynWeight = [neuron.NumAxonTypes]int16{5, -2, 10, 0}
+	cfg.Neurons[0].Threshold = 1000
+	c := New(cfg)
+	c.ScheduleAxon(0, 0)
+	c.ScheduleAxon(1, 0)
+	c.ScheduleAxon(2, 0)
+	c.Tick(0, nil)
+	if v := c.V(0); v != 13 {
+		t.Fatalf("V = %d, want 5-2+10 = 13", v)
+	}
+}
+
+func TestIntegrationAccumulatesAcrossTicks(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Synapses.Set(0, 0, true)
+	cfg.Neurons[0].Threshold = 3
+	cfg.Neurons[0].SynWeight[0] = 1
+	c := New(cfg)
+	spikes := 0
+	for tick := int64(0); tick < 6; tick++ {
+		c.ScheduleAxon(0, int(tick))
+		c.Tick(tick, func(int, Target, uint8) { spikes++ })
+	}
+	// +1 per tick, threshold 3: spikes at ticks 2 and 5.
+	if spikes != 2 {
+		t.Fatalf("spikes = %d, want 2", spikes)
+	}
+}
+
+func TestLeakRunsWithoutInput(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Neurons[0].Leak = 1 // charges +1 every tick with no input at all
+	cfg.Neurons[0].Threshold = 4
+	c := New(cfg)
+	spikes := 0
+	for tick := int64(0); tick < 12; tick++ {
+		c.Tick(tick, func(int, Target, uint8) { spikes++ })
+	}
+	if spikes != 3 {
+		t.Fatalf("self-charging neuron fired %d times in 12 ticks, want 3", spikes)
+	}
+}
+
+func TestHasWork(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Synapses.Set(0, 0, true)
+	cfg.Neurons[0].Threshold = 10
+	c := New(cfg)
+	if c.HasWork(0) {
+		t.Fatal("fresh idle core reports work")
+	}
+	c.ScheduleAxon(0, 0)
+	if !c.HasWork(0) {
+		t.Fatal("core with scheduled axon reports no work")
+	}
+	c.Tick(0, nil) // V becomes 1: still work (nonzero V)
+	if !c.HasWork(1) {
+		t.Fatal("charged core reports no work")
+	}
+}
+
+func TestHasWorkAlwaysActiveLeak(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Neurons[9].Leak = -1
+	c := New(cfg)
+	if !c.HasWork(0) {
+		t.Fatal("leaky neuron must keep the core always active")
+	}
+}
+
+func TestPendingAxons(t *testing.T) {
+	c := New(NewConfig())
+	if c.PendingAxons() != 0 {
+		t.Fatal("fresh core has pending axons")
+	}
+	c.ScheduleAxon(3, 1)
+	c.ScheduleAxon(9, 5)
+	c.ScheduleAxon(9, 5) // same (axon, slot): idempotent
+	if got := c.PendingAxons(); got != 2 {
+		t.Fatalf("PendingAxons = %d, want 2", got)
+	}
+	c.Tick(1, nil)
+	if got := c.PendingAxons(); got != 1 {
+		t.Fatalf("after tick 1, PendingAxons = %d, want 1", got)
+	}
+}
+
+func TestScheduleAxonPanicsOutOfRange(t *testing.T) {
+	c := New(NewConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.ScheduleAxon(Size, 0)
+}
+
+func TestSetVTracksNonzero(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Neurons[0].Threshold = 2
+	cfg.Synapses.Set(0, 0, true)
+	c := New(cfg)
+	c.SetV(0, 1)
+	// With V=1 and one more +1 input, it must fire: proves SetV marked
+	// the neuron active.
+	c.ScheduleAxon(0, 0)
+	fired := false
+	c.Tick(0, func(int, Target, uint8) { fired = true })
+	if !fired {
+		t.Fatal("SetV state was not observed by Tick")
+	}
+}
+
+// randomConfig builds a randomized core configuration exercising all
+// features, for the event/dense equivalence test.
+func randomConfig(r *rng.SplitMix64) *Config {
+	cfg := NewConfig()
+	for a := 0; a < Size; a++ {
+		cfg.AxonType[a] = neuron.AxonType(r.Intn(neuron.NumAxonTypes))
+	}
+	for i := 0; i < 2000; i++ {
+		cfg.Synapses.Set(r.Intn(Size), r.Intn(Size), true)
+	}
+	for n := 0; n < Size; n++ {
+		p := &cfg.Neurons[n]
+		p.SynWeight = [neuron.NumAxonTypes]int16{
+			int16(r.Intn(21) - 10), int16(r.Intn(21) - 10),
+			int16(r.Intn(255) - 127), int16(r.Intn(255) - 127),
+		}
+		p.SynStochastic[2] = r.Intn(4) == 0
+		p.Leak = int16(r.Intn(7) - 3)
+		p.LeakStochastic = r.Intn(8) == 0
+		p.LeakReversal = r.Intn(8) == 0
+		p.Threshold = int32(1 + r.Intn(20))
+		p.NegThreshold = int32(r.Intn(20))
+		p.MaskBits = uint8(r.Intn(4))
+		p.Reset = neuron.ResetMode(r.Intn(3))
+		p.NegSaturate = r.Intn(2) == 0
+		p.ResetV = int32(r.Intn(11) - 5)
+		p.Delay = uint8(1 + r.Intn(neuron.MaxDelay))
+		cfg.Targets[n] = Target{Core: int32(r.Intn(4)), Axon: uint8(r.Intn(Size))}
+	}
+	cfg.Seed = uint16(r.Next())
+	return cfg
+}
+
+type emitted struct {
+	tick  int64
+	n     int
+	tgt   Target
+	delay uint8
+}
+
+func runCore(cfg *Config, dense bool, traffic func(tick int64, c *Core)) []emitted {
+	c := New(cfg)
+	var out []emitted
+	for tick := int64(0); tick < 64; tick++ {
+		traffic(tick, c)
+		rec := func(n int, tgt Target, d uint8) {
+			out = append(out, emitted{tick, n, tgt, d})
+		}
+		if dense {
+			c.TickDense(tick, rec)
+		} else {
+			c.Tick(tick, rec)
+		}
+	}
+	return out
+}
+
+func TestEventDenseEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.NewSplitMix64(seed)
+		cfg := randomConfig(r)
+		trafficSeed := r.Next()
+		mkTraffic := func() func(int64, *Core) {
+			tr := rng.NewSplitMix64(trafficSeed)
+			return func(tick int64, c *Core) {
+				for i := 0; i < 8; i++ {
+					c.ScheduleAxon(tr.Intn(Size), int(tick))
+				}
+			}
+		}
+		// Two fresh configs (cores share config pointers, so use clones).
+		r2 := rng.NewSplitMix64(seed)
+		cfg2 := randomConfig(r2)
+		r2.Next() // keep stream symmetric with trafficSeed consumption
+
+		ev := runCore(cfg, false, mkTraffic())
+		de := runCore(cfg2, true, mkTraffic())
+		if len(ev) != len(de) {
+			t.Fatalf("seed %d: event emitted %d spikes, dense %d", seed, len(ev), len(de))
+		}
+		for i := range ev {
+			if ev[i] != de[i] {
+				t.Fatalf("seed %d: spike %d differs: %+v vs %+v", seed, i, ev[i], de[i])
+			}
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []emitted {
+		r := rng.NewSplitMix64(99)
+		cfg := randomConfig(r)
+		tr := rng.NewSplitMix64(5)
+		return runCore(cfg, false, func(tick int64, c *Core) {
+			for i := 0; i < 4; i++ {
+				c.ScheduleAxon(tr.Intn(Size), int(tick))
+			}
+		})
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replays differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at spike %d", i)
+		}
+	}
+}
+
+func TestCountersConsistency(t *testing.T) {
+	cfg := simpleConfig(8)
+	c := New(cfg)
+	for tick := int64(0); tick < 10; tick++ {
+		c.ScheduleAxon(int(tick)%8, int(tick))
+		c.Tick(tick, nil)
+	}
+	ct := c.Counters()
+	if ct.Ticks != 10 {
+		t.Errorf("Ticks = %d, want 10", ct.Ticks)
+	}
+	if ct.AxonEvents != 10 {
+		t.Errorf("AxonEvents = %d, want 10", ct.AxonEvents)
+	}
+	if ct.SynapticEvents != 10 {
+		t.Errorf("SynapticEvents = %d, want 10", ct.SynapticEvents)
+	}
+	if ct.Spikes != 10 {
+		t.Errorf("Spikes = %d, want 10", ct.Spikes)
+	}
+	c.ResetCounters()
+	if c.Counters() != (Counters{}) {
+		t.Error("ResetCounters did not zero")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{1, 2, 3, 4, 5}
+	b := Counters{10, 20, 30, 40, 50}
+	a.Add(b)
+	if a != (Counters{11, 22, 33, 44, 55}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestEventSkipsIdleNeuronsButDenseDoesNot(t *testing.T) {
+	cfg := simpleConfig(1)
+	ev, de := New(cfg), New(simpleConfig(1))
+	ev.Tick(0, nil)
+	de.TickDense(0, nil)
+	if ev.Counters().NeuronUpdates != 0 {
+		t.Errorf("event engine updated %d neurons on an idle tick, want 0", ev.Counters().NeuronUpdates)
+	}
+	if de.Counters().NeuronUpdates != Size {
+		t.Errorf("dense engine updated %d neurons, want %d", de.Counters().NeuronUpdates, Size)
+	}
+}
+
+func BenchmarkTickSparse(b *testing.B) {
+	r := rng.NewSplitMix64(1)
+	cfg := randomConfig(r)
+	c := New(cfg)
+	tr := rng.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAxon(tr.Intn(Size), i)
+		c.Tick(int64(i), nil)
+	}
+}
+
+func BenchmarkTickDense(b *testing.B) {
+	r := rng.NewSplitMix64(1)
+	cfg := randomConfig(r)
+	c := New(cfg)
+	tr := rng.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAxon(tr.Intn(Size), i)
+		c.TickDense(int64(i), nil)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "github.com/neurogo/neurogo/internal/crossbar"
+
+// State is a complete runtime snapshot of one core: everything needed to
+// resume simulation bit-exactly. Configurations are snapshotted
+// separately (they are immutable during a run).
+type State struct {
+	// V holds the 256 membrane potentials.
+	V [Size]int32
+	// LFSR is the PRNG register.
+	LFSR uint16
+	// Ring is the axon delay ring (16 slots of axon bitsets).
+	Ring [RingSlots]crossbar.Row
+	// Counters are the activity counters.
+	Counters Counters
+}
+
+// Snapshot captures the core's runtime state.
+func (c *Core) Snapshot() State {
+	return State{V: c.v, LFSR: c.lfsr.State(), Ring: c.ring, Counters: c.counters}
+}
+
+// Restore overwrites the core's runtime state from a snapshot taken on a
+// core with the same configuration. Derived activity masks are rebuilt.
+func (c *Core) Restore(s State) {
+	c.v = s.V
+	c.lfsr.SetState(s.LFSR)
+	c.ring = s.Ring
+	c.counters = s.Counters
+	c.vNonzero = crossbar.Row{}
+	for n := 0; n < Size; n++ {
+		if c.v[n] != 0 {
+			c.vNonzero[n/64] |= 1 << uint(n%64)
+		}
+	}
+}

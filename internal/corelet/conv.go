@@ -1,0 +1,349 @@
+package corelet
+
+// Convolutional corelets: ternary-kernel feature extraction in the
+// crossbar, and classifiers that read internal feature neurons instead
+// of input lines. Because a source neuron has a single axon type (the
+// Dale constraint), every feature is computed by a twin pair of neurons
+// with identical receptive fields — one excitatory (type 0), one
+// inhibitory (type 1) — so downstream layers can weight it with either
+// sign.
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+// Kernel is a square ternary convolution kernel, row-major, values in
+// {-1, 0, +1}.
+type Kernel struct {
+	Size int
+	W    []int8
+}
+
+// OrientedKernels returns four 3x3 oriented *edge* kernels (top, bottom,
+// left and right stroke edges). One-sided edges, not centre-surround
+// bars: glyph strokes are thicker than one pixel, so a symmetric bar
+// kernel cancels inside a stroke, while an edge kernel fires exactly
+// along the stroke boundary of its orientation.
+func OrientedKernels() []Kernel {
+	return []Kernel{
+		{Size: 3, W: []int8{ // top edge: empty above, stroke below
+			-1, -1, -1,
+			1, 1, 1,
+			0, 0, 0,
+		}},
+		{Size: 3, W: []int8{ // bottom edge
+			0, 0, 0,
+			1, 1, 1,
+			-1, -1, -1,
+		}},
+		{Size: 3, W: []int8{ // left edge
+			-1, 1, 0,
+			-1, 1, 0,
+			-1, 1, 0,
+		}},
+		{Size: 3, W: []int8{ // right edge
+			0, 1, -1,
+			0, 1, -1,
+			0, 1, -1,
+		}},
+	}
+}
+
+// Conv2D is a convolution layer corelet.
+type Conv2D struct {
+	// PixPos and PixNeg are the per-pixel input line banks.
+	PixPos, PixNeg *model.InputBank
+	// FeatPos and FeatNeg hold the twin feature populations, one pair
+	// per kernel; neuron i covers output position (i%OutW, i/OutW).
+	FeatPos, FeatNeg []*model.Population
+	// Geometry.
+	ImgW, ImgH, OutW, OutH, Stride int
+	Kernels                        []Kernel
+	// Threshold is the per-position match threshold.
+	Threshold int32
+}
+
+// BuildConv2D wires a ternary convolution layer over an ImgW x ImgH
+// image. Each output position fires when its kernel match (positive taps
+// on lit pixels minus negative taps) reaches threshold that tick; no
+// evidence carries across ticks, so single-shot presentations compute
+// exactly the binary convolution ConvFeatures computes in float.
+func BuildConv2D(net *model.Network, name string, imgW, imgH int,
+	kernels []Kernel, stride int, threshold int32) (*Conv2D, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("corelet: conv stride %d", stride)
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("corelet: conv threshold %d must be >= 1", threshold)
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("corelet: conv needs kernels")
+	}
+	k := kernels[0].Size
+	for _, kn := range kernels {
+		if kn.Size != k || len(kn.W) != k*k {
+			return nil, fmt.Errorf("corelet: kernels must share size (got %dx%d with %d taps)", kn.Size, kn.Size, len(kn.W))
+		}
+	}
+	if imgW < k || imgH < k {
+		return nil, fmt.Errorf("corelet: image %dx%d smaller than kernel %d", imgW, imgH, k)
+	}
+	outW := (imgW-k)/stride + 1
+	outH := (imgH-k)/stride + 1
+
+	pixPos := net.AddInputBank(name+"/pos", imgW*imgH, model.SourceProps{Type: 0, Delay: 1})
+	pixNeg := net.AddInputBank(name+"/neg", imgW*imgH, model.SourceProps{Type: 1, Delay: 1})
+
+	// Coincidence configuration: fire iff this tick's match >= threshold
+	// (threshold 1 + decay threshold-1 under integrate->leak->fire).
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Leak:        -int16(threshold - 1),
+		Threshold:   1,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       2, // feature fan-out may span cores
+	}
+
+	conv := &Conv2D{PixPos: pixPos, PixNeg: pixNeg,
+		ImgW: imgW, ImgH: imgH, OutW: outW, OutH: outH,
+		Stride: stride, Kernels: kernels, Threshold: threshold}
+
+	for ki, kn := range kernels {
+		fp := net.AddPopulation(fmt.Sprintf("%s/k%d+", name, ki), outW*outH, proto)
+		fn := net.AddPopulation(fmt.Sprintf("%s/k%d-", name, ki), outW*outH, proto)
+		conv.FeatPos = append(conv.FeatPos, fp)
+		conv.FeatNeg = append(conv.FeatNeg, fn)
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				idPos := fp.ID(oy*outW + ox)
+				idNeg := fn.ID(oy*outW + ox)
+				// Feature fan-out may span cores: declare delay 2 so
+				// the compiler can insert splitters when needed.
+				net.SourceProps(idPos).Delay = 2
+				net.SourceProps(idNeg).Delay = 2
+				net.SourceProps(idNeg).Type = 1
+				for dy := 0; dy < k; dy++ {
+					for dx := 0; dx < k; dx++ {
+						tap := kn.W[dy*k+dx]
+						if tap == 0 {
+							continue
+						}
+						px := ox*stride + dx
+						py := oy*stride + dy
+						line := py*imgW + px
+						for _, id := range []model.NeuronID{idPos, idNeg} {
+							if tap > 0 {
+								net.Connect(pixPos.Line(line), id)
+							} else {
+								net.Connect(pixNeg.Line(line), id)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return conv, nil
+}
+
+// LinesFor returns the (positive, negative) input lines of pixel i.
+func (c *Conv2D) LinesFor(pixel int) (pos, neg int32) {
+	return c.PixPos.First + int32(pixel), c.PixNeg.First + int32(pixel)
+}
+
+// Features returns the number of feature positions (per twin pair).
+func (c *Conv2D) Features() int { return len(c.Kernels) * c.OutW * c.OutH }
+
+// FeatureIDs returns the twin (positive, negative) neuron IDs of flat
+// feature index f (kernel-major: f = kernel*OutW*OutH + position).
+func (c *Conv2D) FeatureIDs(f int) (pos, neg model.NeuronID) {
+	per := c.OutW * c.OutH
+	return c.FeatPos[f/per].ID(f % per), c.FeatNeg[f/per].ID(f % per)
+}
+
+// ConvFeatures computes, in float, the binary feature vector the spiking
+// layer produces for a single-shot binary image presentation: feature f
+// is 1 when its kernel match reaches the threshold. This is the training-
+// time feature extractor; equivalence with the compiled layer is tested.
+func ConvFeatures(img []float64, imgW int, kernels []Kernel, stride int, threshold int32) []float64 {
+	k := kernels[0].Size
+	imgH := len(img) / imgW
+	outW := (imgW-k)/stride + 1
+	outH := (imgH-k)/stride + 1
+	out := make([]float64, len(kernels)*outW*outH)
+	idx := 0
+	for _, kn := range kernels {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := int32(0)
+				for dy := 0; dy < k; dy++ {
+					for dx := 0; dx < k; dx++ {
+						tap := kn.W[dy*k+dx]
+						if tap == 0 {
+							continue
+						}
+						if img[(oy*stride+dy)*imgW+(ox*stride+dx)] > 0.5 {
+							sum += int32(tap)
+						}
+					}
+				}
+				if sum >= threshold {
+					out[idx] = 1
+				}
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// FeatureSource is any corelet exposing twin (excitatory, inhibitory)
+// feature neuron pairs — conv layers and pooling layers both qualify.
+type FeatureSource interface {
+	// Features returns the number of feature positions.
+	Features() int
+	// FeatureIDs returns the twin neurons of flat feature index f.
+	FeatureIDs(f int) (pos, neg model.NeuronID)
+}
+
+// Pool2D is a 2-D OR-pooling layer over a conv layer's feature maps:
+// each pool position fires when any feature in its window fired, buying
+// translation tolerance at the cost of resolution.
+type Pool2D struct {
+	// PoolPos and PoolNeg are the twin pooled populations, per kernel.
+	PoolPos, PoolNeg []*model.Population
+	OutW, OutH       int
+	kernels          int
+}
+
+// BuildPool2D wires window x window OR-pooling (stride = window) over
+// conv's feature maps. Pool neurons listen to the excitatory feature
+// twins; both pool twins fire on any window activity.
+func BuildPool2D(net *model.Network, conv *Conv2D, name string, window int) (*Pool2D, error) {
+	if window < 1 || conv.OutW < window || conv.OutH < window {
+		return nil, fmt.Errorf("corelet: pool window %d does not fit %dx%d maps", window, conv.OutW, conv.OutH)
+	}
+	outW := conv.OutW / window
+	outH := conv.OutH / window
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Threshold:   1,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       2,
+	}
+	pool := &Pool2D{OutW: outW, OutH: outH, kernels: len(conv.Kernels)}
+	for ki := range conv.Kernels {
+		pp := net.AddPopulation(fmt.Sprintf("%s/k%d+", name, ki), outW*outH, proto)
+		pn := net.AddPopulation(fmt.Sprintf("%s/k%d-", name, ki), outW*outH, proto)
+		pool.PoolPos = append(pool.PoolPos, pp)
+		pool.PoolNeg = append(pool.PoolNeg, pn)
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				idPos := pp.ID(oy*outW + ox)
+				idNeg := pn.ID(oy*outW + ox)
+				net.SourceProps(idPos).Delay = 2
+				net.SourceProps(idNeg).Delay = 2
+				net.SourceProps(idNeg).Type = 1
+				for dy := 0; dy < window; dy++ {
+					for dx := 0; dx < window; dx++ {
+						f := (oy*window+dy)*conv.OutW + (ox*window + dx)
+						src := conv.FeatPos[ki].ID(f)
+						net.Connect(model.NeuronNode(src), idPos)
+						net.Connect(model.NeuronNode(src), idNeg)
+					}
+				}
+			}
+		}
+	}
+	return pool, nil
+}
+
+// Features returns the number of pooled positions.
+func (p *Pool2D) Features() int { return p.kernels * p.OutW * p.OutH }
+
+// FeatureIDs returns the twin pooled neurons of flat index f.
+func (p *Pool2D) FeatureIDs(f int) (pos, neg model.NeuronID) {
+	per := p.OutW * p.OutH
+	return p.PoolPos[f/per].ID(f % per), p.PoolNeg[f/per].ID(f % per)
+}
+
+// FloatPool computes, in float, the OR-pooled features matching
+// BuildPool2D for binary conv features laid out kernel-major.
+func FloatPool(features []float64, kernels, convW, convH, window int) []float64 {
+	outW, outH := convW/window, convH/window
+	out := make([]float64, kernels*outW*outH)
+	idx := 0
+	for k := 0; k < kernels; k++ {
+		base := k * convW * convH
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				v := 0.0
+				for dy := 0; dy < window; dy++ {
+					for dx := 0; dx < window; dx++ {
+						if features[base+(oy*window+dy)*convW+(ox*window+dx)] > 0.5 {
+							v = 1
+						}
+					}
+				}
+				out[idx] = v
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// FeatureClassifier is a classifier layer reading internal feature
+// neurons (the conv stack's read-out stage).
+type FeatureClassifier struct {
+	Classes    *model.Population
+	NumClasses int
+}
+
+// BuildFeatureClassifier wires a ternary read-out over a feature source:
+// class c connects to feature f's excitatory twin where T[c][f] = +1 and
+// to its inhibitory twin where T[c][f] = -1.
+func BuildFeatureClassifier(net *model.Network, t *train.TernaryModel, conv FeatureSource,
+	name string, p ClassifierParams) (*FeatureClassifier, error) {
+	if t.Inputs != conv.Features() {
+		return nil, fmt.Errorf("corelet: model has %d inputs, conv provides %d features", t.Inputs, conv.Features())
+	}
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Leak:        -p.Decay,
+		Threshold:   p.Threshold,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       1,
+	}
+	classes := net.AddPopulation(name+"/classes", t.Classes, proto)
+	for c := 0; c < t.Classes; c++ {
+		id := classes.ID(c)
+		net.MarkOutput(id)
+		for f := 0; f < t.Inputs; f++ {
+			pos, neg := conv.FeatureIDs(f)
+			switch t.T[c][f] {
+			case 1:
+				net.Connect(model.NeuronNode(pos), id)
+			case -1:
+				net.Connect(model.NeuronNode(neg), id)
+			}
+		}
+	}
+	return &FeatureClassifier{Classes: classes, NumClasses: t.Classes}, nil
+}
+
+// ClassOf maps an output neuron to its class index, or -1.
+func (fc *FeatureClassifier) ClassOf(id model.NeuronID) int {
+	off := int(id - fc.Classes.First)
+	if off < 0 || off >= fc.Classes.N {
+		return -1
+	}
+	return off
+}

@@ -1,0 +1,234 @@
+package corelet
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/sim"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+func TestOrientedKernelsShape(t *testing.T) {
+	ks := OrientedKernels()
+	if len(ks) != 4 {
+		t.Fatalf("kernels = %d", len(ks))
+	}
+	for i, k := range ks {
+		if k.Size != 3 || len(k.W) != 9 {
+			t.Fatalf("kernel %d malformed", i)
+		}
+		for _, w := range k.W {
+			if w < -1 || w > 1 {
+				t.Fatalf("kernel %d has non-ternary tap %d", i, w)
+			}
+		}
+	}
+}
+
+func TestBuildConv2DErrors(t *testing.T) {
+	ks := OrientedKernels()
+	cases := map[string]func() error{
+		"bad stride": func() error {
+			_, err := BuildConv2D(model.New(), "c", 8, 8, ks, 0, 2)
+			return err
+		},
+		"bad threshold": func() error {
+			_, err := BuildConv2D(model.New(), "c", 8, 8, ks, 1, 0)
+			return err
+		},
+		"no kernels": func() error {
+			_, err := BuildConv2D(model.New(), "c", 8, 8, nil, 1, 2)
+			return err
+		},
+		"image too small": func() error {
+			_, err := BuildConv2D(model.New(), "c", 2, 2, ks, 1, 2)
+			return err
+		},
+		"mismatched kernel sizes": func() error {
+			bad := append([]Kernel{{Size: 2, W: []int8{1, 1, 1, 1}}}, ks...)
+			_, err := BuildConv2D(model.New(), "c", 8, 8, bad, 1, 2)
+			return err
+		},
+	}
+	for name, fn := range cases {
+		if fn() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestConvGeometry(t *testing.T) {
+	net := model.New()
+	conv, err := BuildConv2D(net, "c", 16, 16, OrientedKernels(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.OutW != 7 || conv.OutH != 7 {
+		t.Fatalf("out = %dx%d, want 7x7", conv.OutW, conv.OutH)
+	}
+	if conv.Features() != 4*49 {
+		t.Fatalf("features = %d", conv.Features())
+	}
+	// Twin pairs must exist for every feature.
+	for f := 0; f < conv.Features(); f += 37 {
+		pos, neg := conv.FeatureIDs(f)
+		if net.SourceProps(pos).Type != 0 || net.SourceProps(neg).Type != 1 {
+			t.Fatalf("feature %d twins mistyped", f)
+		}
+	}
+}
+
+// TestSpikingConvMatchesFloat is the conv golden test: a single-shot
+// binary image through the compiled conv layer must fire exactly the
+// features ConvFeatures computes in float.
+func TestSpikingConvMatchesFloat(t *testing.T) {
+	const imgW, imgH = 10, 10
+	ks := OrientedKernels()
+	net := model.New()
+	conv, err := BuildConv2D(net, "c", imgW, imgH, ks, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe every positive feature twin.
+	for f := 0; f < conv.Features(); f++ {
+		pos, _ := conv.FeatureIDs(f)
+		net.MarkOutput(pos)
+	}
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := dataset.NewDigits(8, 0.05, 1, 11)
+	for trial := 0; trial < 5; trial++ {
+		img8 := gen.Render(trial * 2 % 10)
+		// Embed the 8x8 digit in the 10x10 frame with a 1-pixel border.
+		img := make([]float64, imgW*imgH)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				img[(y+1)*imgW+(x+1)] = img8[y*8+x]
+			}
+		}
+		want := ConvFeatures(img, imgW, ks, 1, 2)
+
+		r := sim.NewRunner(mp, sim.EngineEvent, 1)
+		for i, v := range img {
+			if v > 0.5 {
+				pos, neg := conv.LinesFor(i)
+				_ = r.InjectLine(pos)
+				_ = r.InjectLine(neg)
+			}
+		}
+		got := make([]float64, conv.Features())
+		for k := 0; k < 6; k++ {
+			for _, e := range r.Step() {
+				for f := 0; f < conv.Features(); f++ {
+					pos, _ := conv.FeatureIDs(f)
+					if e.Neuron == pos {
+						got[f] = 1
+					}
+				}
+			}
+		}
+		for f := range want {
+			if got[f] != want[f] {
+				t.Fatalf("trial %d: feature %d spiking=%v float=%v", trial, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func TestFeatureClassifierEndToEnd(t *testing.T) {
+	// Two classes over a 6x6 image: class 0 = horizontal bar (top-edge
+	// features), class 1 = vertical bar (left-edge features). Conv
+	// features feed a handcrafted read-out.
+	const imgW = 6
+	all := OrientedKernels()
+	ks := []Kernel{all[0], all[2]} // top edge, left edge
+	net := model.New()
+	conv, err := BuildConv2D(net, "c", imgW, imgW, ks, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := conv.OutW * conv.OutH
+	tern := &train.TernaryModel{Classes: 2, Inputs: conv.Features(), T: make([][]int8, 2)}
+	for c := 0; c < 2; c++ {
+		tern.T[c] = make([]int8, conv.Features())
+		for f := 0; f < conv.Features(); f++ {
+			if f/per == c {
+				tern.T[c][f] = 1
+			} else {
+				tern.T[c][f] = -1
+			}
+		}
+	}
+	fc, err := BuildFeatureClassifier(net, tern, conv, "out", ClassifierParams{Threshold: 2, Decay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	classify := func(img []float64) int {
+		r := sim.NewRunner(mp, sim.EngineEvent, 1)
+		counts := make([]int, 2)
+		// Present the image for several ticks to accumulate evidence.
+		for k := 0; k < 8; k++ {
+			for i, v := range img {
+				if v > 0.5 {
+					pos, neg := conv.LinesFor(i)
+					_ = r.InjectLine(pos)
+					_ = r.InjectLine(neg)
+				}
+			}
+			for _, e := range r.Step() {
+				if c := fc.ClassOf(e.Neuron); c >= 0 {
+					counts[c]++
+				}
+			}
+		}
+		for _, e := range r.Drain(6) {
+			if c := fc.ClassOf(e.Neuron); c >= 0 {
+				counts[c]++
+			}
+		}
+		if counts[0] == counts[1] {
+			return -1
+		}
+		if counts[0] > counts[1] {
+			return 0
+		}
+		return 1
+	}
+
+	hbar := make([]float64, imgW*imgW)
+	for x := 0; x < imgW; x++ {
+		hbar[3*imgW+x] = 1
+	}
+	vbar := make([]float64, imgW*imgW)
+	for y := 0; y < imgW; y++ {
+		vbar[y*imgW+3] = 1
+	}
+	if got := classify(hbar); got != 0 {
+		t.Errorf("horizontal bar classified as %d", got)
+	}
+	if got := classify(vbar); got != 1 {
+		t.Errorf("vertical bar classified as %d", got)
+	}
+}
+
+func TestBuildFeatureClassifierShapeMismatch(t *testing.T) {
+	net := model.New()
+	conv, err := BuildConv2D(net, "c", 8, 8, OrientedKernels(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &train.TernaryModel{Classes: 2, Inputs: 5, T: [][]int8{make([]int8, 5), make([]int8, 5)}}
+	if _, err := BuildFeatureClassifier(net, bad, conv, "x", DefaultClassifierParams()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,356 @@
+// Package corelet is the composable block library of the programming
+// model: reusable network fragments ("corelets") that assemble into
+// applications and compile onto cores. Each builder adds populations,
+// input banks and edges to a shared model.Network and returns handles
+// for driving and decoding the block.
+//
+// Blocks included: ternary linear classifiers (single and committee),
+// template-matching object detectors, winner-take-all circuits, delay
+// lines, and spatio-temporal pattern detectors.
+package corelet
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+// Classifier is a ternary linear classifier: each pixel drives a
+// positive (excitatory, axon type 0) and a negative (inhibitory, type 1)
+// input line; each class is one output neuron holding weights {+1, -1}.
+type Classifier struct {
+	// Pos and Neg are the per-pixel line banks. A pixel spike must be
+	// injected into both (LinesFor gives the pair); the crossbar decides
+	// which classes see it with which sign.
+	Pos, Neg *model.InputBank
+	// Classes is the output population, one neuron per class.
+	Classes *model.Population
+	// NumClasses is the class count.
+	NumClasses int
+}
+
+// ClassifierParams tunes the class neurons.
+type ClassifierParams struct {
+	// Threshold is the firing threshold of the class neurons.
+	Threshold int32
+	// Decay is the per-tick leak magnitude (applied as -Decay with a
+	// floor at zero), washing out stale evidence between ticks.
+	Decay int16
+}
+
+// DefaultClassifierParams returns the calibrated defaults for
+// rate-coded digit classification.
+func DefaultClassifierParams() ClassifierParams {
+	return ClassifierParams{Threshold: 6, Decay: 1}
+}
+
+// BuildClassifier wires a ternary model into net.
+func BuildClassifier(net *model.Network, t *train.TernaryModel, name string, p ClassifierParams) *Classifier {
+	pos := net.AddInputBank(name+"/pos", t.Inputs, model.SourceProps{Type: 0, Delay: 1})
+	neg := net.AddInputBank(name+"/neg", t.Inputs, model.SourceProps{Type: 1, Delay: 1})
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Leak:        -p.Decay,
+		Threshold:   p.Threshold,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true, // evidence floor at zero
+		Delay:       1,
+	}
+	classes := net.AddPopulation(name+"/classes", t.Classes, proto)
+	for c := 0; c < t.Classes; c++ {
+		id := classes.ID(c)
+		net.MarkOutput(id)
+		for i := 0; i < t.Inputs; i++ {
+			switch t.T[c][i] {
+			case 1:
+				net.Connect(pos.Line(i), id)
+			case -1:
+				net.Connect(neg.Line(i), id)
+			}
+		}
+	}
+	return &Classifier{Pos: pos, Neg: neg, Classes: classes, NumClasses: t.Classes}
+}
+
+// LinesFor returns the (positive, negative) input lines of pixel i.
+func (c *Classifier) LinesFor(pixel int) (pos, neg int32) {
+	return c.Pos.First + int32(pixel), c.Neg.First + int32(pixel)
+}
+
+// ClassOf maps an output neuron ID back to its class index, or -1.
+func (c *Classifier) ClassOf(id model.NeuronID) int {
+	off := int(id - c.Classes.First)
+	if off < 0 || off >= c.Classes.N {
+		return -1
+	}
+	return off
+}
+
+// CommitteeClassifier is K ternary replicas sharing the input banks;
+// class spikes are pooled across members at decode time.
+type CommitteeClassifier struct {
+	Pos, Neg   *model.InputBank
+	Members    []*model.Population
+	NumClasses int
+}
+
+// BuildCommitteeClassifier wires a committee into net. All members share
+// the same pixel lines; each member contributes its own class neurons.
+func BuildCommitteeClassifier(net *model.Network, com *train.Committee, name string, p ClassifierParams) (*CommitteeClassifier, error) {
+	if len(com.Members) == 0 {
+		return nil, fmt.Errorf("corelet: empty committee")
+	}
+	inputs := com.Members[0].Inputs
+	classes := com.Members[0].Classes
+	pos := net.AddInputBank(name+"/pos", inputs, model.SourceProps{Type: 0, Delay: 1})
+	neg := net.AddInputBank(name+"/neg", inputs, model.SourceProps{Type: 1, Delay: 1})
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Leak:        -p.Decay,
+		Threshold:   p.Threshold,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       1,
+	}
+	cc := &CommitteeClassifier{Pos: pos, Neg: neg, NumClasses: classes}
+	for m, t := range com.Members {
+		if t.Inputs != inputs || t.Classes != classes {
+			return nil, fmt.Errorf("corelet: committee member %d has mismatched shape", m)
+		}
+		pop := net.AddPopulation(fmt.Sprintf("%s/m%d", name, m), classes, proto)
+		cc.Members = append(cc.Members, pop)
+		for c := 0; c < classes; c++ {
+			id := pop.ID(c)
+			net.MarkOutput(id)
+			for i := 0; i < inputs; i++ {
+				switch t.T[c][i] {
+				case 1:
+					net.Connect(pos.Line(i), id)
+				case -1:
+					net.Connect(neg.Line(i), id)
+				}
+			}
+		}
+	}
+	return cc, nil
+}
+
+// LinesFor returns the (positive, negative) input lines of pixel i.
+func (c *CommitteeClassifier) LinesFor(pixel int) (pos, neg int32) {
+	return c.Pos.First + int32(pixel), c.Neg.First + int32(pixel)
+}
+
+// ClassOf maps any member's output neuron to its class index, or -1.
+func (c *CommitteeClassifier) ClassOf(id model.NeuronID) int {
+	for _, pop := range c.Members {
+		off := int(id - pop.First)
+		if off >= 0 && off < pop.N {
+			return off
+		}
+	}
+	return -1
+}
+
+// Detector is a grid of template-matching cells: each cell neuron sums
+// evidence for a plus-shaped object in its cell (on-template pixels
+// excite, off-template pixels inhibit), firing when the match score
+// crosses its threshold.
+type Detector struct {
+	// Pos and Neg are per-pixel line banks (frame pixels, row-major).
+	Pos, Neg *model.InputBank
+	// Cells is the output population, row-major cells.
+	Cells          *model.Population
+	CellsX, CellsY int
+	CellPix        int
+}
+
+// BuildDetector wires a detector for the given scene geometry.
+// threshold is the required net template match (on-template hits minus
+// off-template hits).
+func BuildDetector(net *model.Network, cellsX, cellsY, cellPix int, threshold int32) *Detector {
+	w, h := cellsX*cellPix, cellsY*cellPix
+	pos := net.AddInputBank("det/pos", w*h, model.SourceProps{Type: 0, Delay: 1})
+	neg := net.AddInputBank("det/neg", w*h, model.SourceProps{Type: 1, Delay: 1})
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Threshold:   threshold,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       1,
+	}
+	cells := net.AddPopulation("det/cells", cellsX*cellsY, proto)
+	mid := cellPix / 2
+	for cy := 0; cy < cellsY; cy++ {
+		for cx := 0; cx < cellsX; cx++ {
+			id := cells.ID(cy*cellsX + cx)
+			net.MarkOutput(id)
+			for y := 0; y < cellPix; y++ {
+				for x := 0; x < cellPix; x++ {
+					px := cx*cellPix + x
+					py := cy*cellPix + y
+					line := py*w + px
+					onTemplate := (y == mid && x >= 1 && x < cellPix-1) ||
+						(x == mid && y >= 1 && y < cellPix-1)
+					if onTemplate {
+						net.Connect(pos.Line(line), id)
+					} else {
+						net.Connect(neg.Line(line), id)
+					}
+				}
+			}
+		}
+	}
+	return &Detector{Pos: pos, Neg: neg, Cells: cells,
+		CellsX: cellsX, CellsY: cellsY, CellPix: cellPix}
+}
+
+// LinesFor returns the (positive, negative) lines for frame pixel i.
+func (d *Detector) LinesFor(pixel int) (pos, neg int32) {
+	return d.Pos.First + int32(pixel), d.Neg.First + int32(pixel)
+}
+
+// CellOf maps an output neuron to its cell index, or -1.
+func (d *Detector) CellOf(id model.NeuronID) int {
+	off := int(id - d.Cells.First)
+	if off < 0 || off >= d.Cells.N {
+		return -1
+	}
+	return off
+}
+
+// WTA is a winner-take-all circuit: k neurons with mutual inhibition;
+// the most strongly driven neuron suppresses its rivals.
+type WTA struct {
+	// In is the per-candidate excitatory input bank.
+	In *model.InputBank
+	// Pop is the competing population (all marked as outputs).
+	Pop *model.Population
+	K   int
+}
+
+// BuildWTA wires a k-way winner-take-all. inhibition is the strength of
+// the mutual suppression; threshold sets how much drive a candidate
+// needs to fire.
+func BuildWTA(net *model.Network, k int, threshold int32, inhibition int16) *WTA {
+	in := net.AddInputBank("wta/in", k, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{2, -inhibition, 0, 0},
+		Threshold:   threshold,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       1,
+	}
+	pop := net.AddPopulation("wta/pop", k, proto)
+	for i := 0; i < k; i++ {
+		id := pop.ID(i)
+		net.MarkOutput(id)
+		net.Connect(in.Line(i), id)
+		// Mutual inhibition; the source is inhibitory for its rivals.
+		props := net.SourceProps(id)
+		props.Type = 1
+		// Output + internal fan-out forces a splitter, which needs
+		// delay >= 2.
+		props.Delay = 2
+		for j := 0; j < k; j++ {
+			if j != i {
+				net.Connect(model.NeuronNode(id), pop.ID(j))
+			}
+		}
+	}
+	return &WTA{In: in, Pop: pop, K: k}
+}
+
+// SlotOf maps an output neuron to its candidate index, or -1.
+func (w *WTA) SlotOf(id model.NeuronID) int {
+	off := int(id - w.Pop.First)
+	if off < 0 || off >= w.Pop.N {
+		return -1
+	}
+	return off
+}
+
+// DelayLine is a relay chain: a spike entering the line emerges from the
+// last stage after the sum of the per-stage delays.
+type DelayLine struct {
+	// In is the single-line input bank.
+	In *model.InputBank
+	// Stages is the relay population (stage i = neuron i).
+	Stages *model.Population
+}
+
+// BuildDelayLine wires a chain of len(delays) relays; stage i re-emits
+// with axonal delay delays[i]. Total line latency is len(delays) ticks of
+// processing plus the sum of delays... precisely: a spike injected at
+// tick t (arriving t+1) emerges from stage k at tick t+1+sum(delays[0..k-1])
+// as that stage's fire time.
+func BuildDelayLine(net *model.Network, name string, delays []uint8) *DelayLine {
+	if len(delays) == 0 {
+		panic("corelet: delay line needs at least one stage")
+	}
+	in := net.AddInputBank(name+"/in", 1, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Params{
+		SynWeight: [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Threshold: 1,
+		Reset:     neuron.ResetNormal,
+		Delay:     1,
+	}
+	stages := net.AddPopulation(name+"/stages", len(delays), proto)
+	net.Connect(in.Line(0), stages.ID(0))
+	for i := 0; i < len(delays); i++ {
+		id := stages.ID(i)
+		net.SourceProps(id).Delay = delays[i]
+		if i+1 < len(delays) {
+			net.Connect(model.NeuronNode(id), stages.ID(i+1))
+		}
+	}
+	net.MarkOutput(stages.ID(len(delays) - 1))
+	return &DelayLine{In: in, Stages: stages}
+}
+
+// PatternDetector recognises a spatio-temporal spike template: per-line
+// axonal delays align the template's events onto a single tick, where a
+// coincidence neuron counts them against its threshold.
+type PatternDetector struct {
+	// In has one line per pattern line.
+	In *model.InputBank
+	// Out is the single-neuron detector population.
+	Out *model.Population
+	// Pattern is the recognised template.
+	Pattern *dataset.Pattern
+}
+
+// BuildPatternDetector wires a detector for pat; threshold is the number
+// of coinciding events required (= len(pat.Events) for exact matching,
+// lower for tolerance). Pattern span must be at most 14 so the aligning
+// delays fit the 4-bit delay field.
+func BuildPatternDetector(net *model.Network, pat *dataset.Pattern, threshold int32) (*PatternDetector, error) {
+	if pat.Span > 14 {
+		return nil, fmt.Errorf("corelet: pattern span %d exceeds the delay field (max 14)", pat.Span)
+	}
+	in := net.AddInputBank("pat/in", pat.Lines, model.SourceProps{Type: 0, Delay: 1})
+	// Coincidence semantics under the integrate -> leak -> threshold
+	// order: with firing threshold 1 and leak -(threshold-1), the neuron
+	// fires exactly when >= threshold spikes coincide in one tick, and
+	// the saturating floor wipes any sub-threshold evidence so nothing
+	// carries over to the next tick.
+	proto := neuron.Params{
+		SynWeight:   [neuron.NumAxonTypes]int16{1, -1, 0, 0},
+		Leak:        -int16(threshold - 1),
+		Threshold:   1,
+		Reset:       neuron.ResetNormal,
+		NegSaturate: true,
+		Delay:       1,
+	}
+	out := net.AddPopulation("pat/out", 1, proto)
+	net.MarkOutput(out.ID(0))
+	for _, e := range pat.Events {
+		// Event at tick tk aligned to arrive at (pattern start)+span+1:
+		// injected at start+tk, delay span-tk+1 in [1, span+1].
+		net.InputProps(in.First + int32(e.Line)).Delay = uint8(pat.Span - e.Tick + 1)
+		net.Connect(in.Line(e.Line), out.ID(0))
+	}
+	return &PatternDetector{In: in, Out: out, Pattern: pat}, nil
+}

@@ -1,0 +1,309 @@
+package corelet
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/sim"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+// xorTernary is a handcrafted 2-class ternary model over 4 inputs:
+// class 0 likes inputs {0,1}, dislikes {2,3}; class 1 the reverse.
+func xorTernary() *train.TernaryModel {
+	return &train.TernaryModel{
+		Classes: 2, Inputs: 4,
+		T: [][]int8{
+			{1, 1, -1, -1},
+			{-1, -1, 1, 1},
+		},
+	}
+}
+
+func compileRun(t *testing.T, net *model.Network) *sim.Runner {
+	t.Helper()
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.NewRunner(mp, sim.EngineEvent, 1)
+}
+
+// presentPixels injects active pixels into pos+neg lines for `ticks`
+// ticks and counts output spikes per class.
+func presentPixels(t *testing.T, r *sim.Runner, lines func(int) (int32, int32),
+	classOf func(model.NeuronID) int, pixels []float64, ticks, classes int) []int {
+	t.Helper()
+	counts := make([]int, classes)
+	observe := func(evs []sim.Event) {
+		for _, e := range evs {
+			if c := classOf(e.Neuron); c >= 0 {
+				counts[c]++
+			}
+		}
+	}
+	for k := 0; k < ticks; k++ {
+		for i, v := range pixels {
+			if v > 0.5 {
+				pos, neg := lines(i)
+				if err := r.InjectLine(pos); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.InjectLine(neg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		observe(r.Step())
+	}
+	observe(r.Drain(4))
+	return counts
+}
+
+func TestClassifierSeparatesPatterns(t *testing.T) {
+	net := model.New()
+	cls := BuildClassifier(net, xorTernary(), "cls", ClassifierParams{Threshold: 2, Decay: 1})
+	r := compileRun(t, net)
+
+	countsA := presentPixels(t, r, cls.LinesFor, cls.ClassOf, []float64{1, 1, 0, 0}, 10, 2)
+	if countsA[0] <= countsA[1] {
+		t.Fatalf("pattern A counts = %v, want class 0 to win", countsA)
+	}
+
+	r2 := compileRun(t, net)
+	countsB := presentPixels(t, r2, cls.LinesFor, cls.ClassOf, []float64{0, 0, 1, 1}, 10, 2)
+	if countsB[1] <= countsB[0] {
+		t.Fatalf("pattern B counts = %v, want class 1 to win", countsB)
+	}
+}
+
+func TestClassifierInhibitionSuppresses(t *testing.T) {
+	// Anti-pattern for class 0 (its -1 pixels lit) must not fire it.
+	net := model.New()
+	cls := BuildClassifier(net, xorTernary(), "cls", ClassifierParams{Threshold: 2, Decay: 1})
+	r := compileRun(t, net)
+	counts := presentPixels(t, r, cls.LinesFor, cls.ClassOf, []float64{0, 0, 1, 1}, 10, 2)
+	if counts[0] != 0 {
+		t.Fatalf("class 0 fired %d times on its anti-pattern", counts[0])
+	}
+}
+
+func TestClassifierClassOfRange(t *testing.T) {
+	net := model.New()
+	cls := BuildClassifier(net, xorTernary(), "cls", DefaultClassifierParams())
+	if cls.ClassOf(cls.Classes.ID(1)) != 1 {
+		t.Error("ClassOf wrong for member")
+	}
+	if cls.ClassOf(9999) != -1 {
+		t.Error("ClassOf must return -1 outside the population")
+	}
+	if cls.NumClasses != 2 {
+		t.Error("NumClasses wrong")
+	}
+}
+
+func TestCommitteeClassifierPools(t *testing.T) {
+	com := &train.Committee{Members: []*train.TernaryModel{xorTernary(), xorTernary(), xorTernary()}}
+	net := model.New()
+	cc, err := BuildCommitteeClassifier(net, com, "com", ClassifierParams{Threshold: 2, Decay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Members) != 3 {
+		t.Fatalf("members = %d", len(cc.Members))
+	}
+	r := compileRun(t, net)
+	counts := presentPixels(t, r, cc.LinesFor, cc.ClassOf, []float64{1, 1, 0, 0}, 8, 2)
+	// Three members: roughly 3x the single-model evidence.
+	if counts[0] <= counts[1] || counts[0] < 3 {
+		t.Fatalf("committee counts = %v", counts)
+	}
+}
+
+func TestCommitteeClassifierErrors(t *testing.T) {
+	net := model.New()
+	if _, err := BuildCommitteeClassifier(net, &train.Committee{}, "x", DefaultClassifierParams()); err == nil {
+		t.Error("empty committee accepted")
+	}
+	bad := &train.Committee{Members: []*train.TernaryModel{
+		xorTernary(),
+		{Classes: 2, Inputs: 5, T: [][]int8{make([]int8, 5), make([]int8, 5)}},
+	}}
+	if _, err := BuildCommitteeClassifier(model.New(), bad, "x", DefaultClassifierParams()); err == nil {
+		t.Error("mismatched member shapes accepted")
+	}
+}
+
+func TestDetectorFindsObjects(t *testing.T) {
+	const cellsX, cellsY, cellPix = 3, 3, 7
+	net := model.New()
+	det := BuildDetector(net, cellsX, cellsY, cellPix, 8)
+	r := compileRun(t, net)
+
+	scenes := dataset.NewScenes(cellsX, cellsY, cellPix, 0.5, 0.01, 42)
+	pixels, truth := scenes.Frame()
+
+	fired := make([]bool, cellsX*cellsY)
+	inject := func() {
+		for i, v := range pixels {
+			if v > 0.5 {
+				pos, neg := det.LinesFor(i)
+				if err := r.InjectLine(pos); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.InjectLine(neg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	inject()
+	for k := 0; k < 5; k++ {
+		for _, e := range r.Step() {
+			if c := det.CellOf(e.Neuron); c >= 0 {
+				fired[c] = true
+			}
+		}
+	}
+	for c, want := range truth {
+		if fired[c] != want {
+			t.Errorf("cell %d: fired=%v truth=%v", c, fired[c], want)
+		}
+	}
+}
+
+func TestDetectorRejectsSpeckleOnly(t *testing.T) {
+	const cellsX, cellsY, cellPix = 2, 2, 7
+	net := model.New()
+	det := BuildDetector(net, cellsX, cellsY, cellPix, 8)
+	r := compileRun(t, net)
+	scenes := dataset.NewScenes(cellsX, cellsY, cellPix, 0, 0.05, 7)
+	pixels, _ := scenes.Frame()
+	for i, v := range pixels {
+		if v > 0.5 {
+			pos, neg := det.LinesFor(i)
+			_ = r.InjectLine(pos)
+			_ = r.InjectLine(neg)
+		}
+	}
+	for k := 0; k < 5; k++ {
+		for _, e := range r.Step() {
+			if det.CellOf(e.Neuron) >= 0 {
+				t.Fatal("detector fired on speckle-only scene")
+			}
+		}
+	}
+}
+
+func TestWTAWinnerSuppressesRivals(t *testing.T) {
+	net := model.New()
+	w := BuildWTA(net, 3, 4, 8)
+	r := compileRun(t, net)
+
+	counts := make([]int, 3)
+	for k := 0; k < 60; k++ {
+		// Candidate 0 driven every tick, candidate 1 every 2nd, 2 every 3rd.
+		_ = r.InjectLine(w.In.First)
+		if k%2 == 0 {
+			_ = r.InjectLine(w.In.First + 1)
+		}
+		if k%3 == 0 {
+			_ = r.InjectLine(w.In.First + 2)
+		}
+		for _, e := range r.Step() {
+			if s := w.SlotOf(e.Neuron); s >= 0 {
+				counts[s]++
+			}
+		}
+	}
+	if counts[0] <= counts[1] || counts[0] <= counts[2] {
+		t.Fatalf("counts = %v, want candidate 0 to dominate", counts)
+	}
+	// Inhibition must visibly suppress the losers relative to winner.
+	if counts[1]+counts[2] >= counts[0] {
+		t.Fatalf("losers (%d+%d) not suppressed vs winner %d", counts[1], counts[2], counts[0])
+	}
+}
+
+func TestDelayLineTiming(t *testing.T) {
+	net := model.New()
+	dl := BuildDelayLine(net, "dl", []uint8{3, 5, 2})
+	r := compileRun(t, net)
+	_ = r.InjectLine(dl.In.First)
+	evs := r.Run(20)
+	if len(evs) != 1 {
+		t.Fatalf("events = %v, want exactly one", evs)
+	}
+	// Inject at 0 -> stage0 fires t=1 -> stage1 at 1+3=4 -> stage2 at 4+5=9.
+	if evs[0].Tick != 9 {
+		t.Fatalf("delayed spike at tick %d, want 9", evs[0].Tick)
+	}
+}
+
+func TestDelayLinePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildDelayLine(model.New(), "x", nil)
+}
+
+func TestPatternDetectorMatchesTemplate(t *testing.T) {
+	pat := dataset.NewPattern(16, 10, 5, 99)
+	net := model.New()
+	pd, err := BuildPatternDetector(net, pat, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := compileRun(t, net)
+
+	// Replay the exact template starting at tick 0: event (line, tk)
+	// injected at tick tk.
+	cursor := 0
+	for tick := 0; tick < 30; tick++ {
+		for _, e := range pat.Events {
+			if e.Tick == tick {
+				_ = r.InjectLine(pd.In.First + int32(e.Line))
+			}
+		}
+		_ = cursor
+		if evs := r.Step(); len(evs) > 0 {
+			// Alignment: event tk arrives at tk + (span-tk+1) = span+1.
+			if evs[0].Tick != int64(pat.Span+1) {
+				t.Fatalf("detector fired at %d, want %d", evs[0].Tick, pat.Span+1)
+			}
+			return
+		}
+	}
+	t.Fatal("detector never fired on its own template")
+}
+
+func TestPatternDetectorRejectsScrambled(t *testing.T) {
+	pat := dataset.NewPattern(16, 10, 5, 99)
+	net := model.New()
+	pd, err := BuildPatternDetector(net, pat, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := compileRun(t, net)
+	// Same lines, but all events at the same tick 0 (wrong timing): the
+	// aligning delays spread them apart instead of focusing them.
+	for _, e := range pat.Events {
+		_ = r.InjectLine(pd.In.First + int32(e.Line))
+	}
+	for tick := 0; tick < 30; tick++ {
+		if evs := r.Step(); len(evs) > 0 {
+			t.Fatalf("detector fired on scrambled input at %d", evs[0].Tick)
+		}
+	}
+}
+
+func TestPatternDetectorSpanLimit(t *testing.T) {
+	pat := dataset.NewPattern(8, 20, 4, 1)
+	if _, err := BuildPatternDetector(model.New(), pat, 4); err == nil {
+		t.Fatal("span > 14 must be rejected")
+	}
+}

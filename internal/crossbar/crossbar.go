@@ -1,0 +1,133 @@
+// Package crossbar implements the per-core synapse matrix: a Size x Size
+// binary crossbar connecting input axons (rows) to neurons (columns).
+//
+// The matrix is bit-packed, one uint64 word per 64 neurons, so a full axon
+// row is four words. This mirrors the hardware SRAM organisation (one row
+// read per arriving spike) and lets the simulator iterate connected
+// neurons with trailing-zero scans instead of 256 branch tests.
+package crossbar
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Size is the number of axons and neurons per core (the crossbar is
+// Size x Size).
+const Size = 256
+
+// Words is the number of uint64 words that hold one axon row.
+const Words = Size / 64
+
+// Row is one bit-packed axon row: bit n of word n/64 is the synapse from
+// this axon to neuron n.
+type Row [Words]uint64
+
+// Matrix is the full binary synapse crossbar. The zero value is an empty
+// (all-zero) crossbar ready for use.
+type Matrix struct {
+	rows [Size]Row
+}
+
+// check panics on out-of-range indices; the simulator always passes
+// in-range values, so this guards programming errors, not data.
+func check(idx int, what string) {
+	if idx < 0 || idx >= Size {
+		panic(fmt.Sprintf("crossbar: %s index %d out of range [0,%d)", what, idx, Size))
+	}
+}
+
+// Set connects or disconnects the synapse from axon a to neuron n.
+func (m *Matrix) Set(a, n int, on bool) {
+	check(a, "axon")
+	check(n, "neuron")
+	w, b := n/64, uint(n%64)
+	if on {
+		m.rows[a][w] |= 1 << b
+	} else {
+		m.rows[a][w] &^= 1 << b
+	}
+}
+
+// Get reports whether axon a is connected to neuron n.
+func (m *Matrix) Get(a, n int) bool {
+	check(a, "axon")
+	check(n, "neuron")
+	return m.rows[a][n/64]>>(uint(n%64))&1 == 1
+}
+
+// Row returns a pointer to the bit-packed row for axon a. Callers must
+// not modify it; use Set.
+func (m *Matrix) Row(a int) *Row {
+	check(a, "axon")
+	return &m.rows[a]
+}
+
+// ForEachInRow calls fn for every neuron connected to axon a, in
+// ascending neuron order. The fixed order is part of the simulator's
+// determinism contract (stochastic synapse draws happen in this order).
+func (m *Matrix) ForEachInRow(a int, fn func(n int)) {
+	check(a, "axon")
+	for w := 0; w < Words; w++ {
+		word := m.rows[a][w]
+		base := w * 64
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			fn(base + tz)
+			word &= word - 1
+		}
+	}
+}
+
+// RowCount returns the number of neurons connected to axon a.
+func (m *Matrix) RowCount(a int) int {
+	check(a, "axon")
+	c := 0
+	for w := 0; w < Words; w++ {
+		c += bits.OnesCount64(m.rows[a][w])
+	}
+	return c
+}
+
+// ColumnCount returns the number of axons connected to neuron n.
+func (m *Matrix) ColumnCount(n int) int {
+	check(n, "neuron")
+	w, b := n/64, uint(n%64)
+	c := 0
+	for a := 0; a < Size; a++ {
+		c += int(m.rows[a][w] >> b & 1)
+	}
+	return c
+}
+
+// Count returns the total number of connected synapses.
+func (m *Matrix) Count() int {
+	c := 0
+	for a := 0; a < Size; a++ {
+		for w := 0; w < Words; w++ {
+			c += bits.OnesCount64(m.rows[a][w])
+		}
+	}
+	return c
+}
+
+// Density returns the fraction of possible synapses that are connected.
+func (m *Matrix) Density() float64 {
+	return float64(m.Count()) / float64(Size*Size)
+}
+
+// Clear disconnects every synapse.
+func (m *Matrix) Clear() {
+	m.rows = [Size]Row{}
+}
+
+// SetRow replaces the whole row for axon a.
+func (m *Matrix) SetRow(a int, r Row) {
+	check(a, "axon")
+	m.rows[a] = r
+}
+
+// Equal reports whether two crossbars have identical connectivity.
+func (m *Matrix) Equal(o *Matrix) bool {
+	return m.rows == o.rows
+}

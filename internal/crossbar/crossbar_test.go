@@ -1,0 +1,206 @@
+package crossbar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+func TestSetGetRoundTrip(t *testing.T) {
+	var m Matrix
+	f := func(aRaw, nRaw uint8) bool {
+		a, n := int(aRaw), int(nRaw)
+		m.Set(a, n, true)
+		if !m.Get(a, n) {
+			return false
+		}
+		m.Set(a, n, false)
+		return !m.Get(a, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	var m Matrix
+	m.Set(3, 7, true)
+	m.Set(3, 7, true)
+	if m.Count() != 1 {
+		t.Fatalf("double set produced count %d, want 1", m.Count())
+	}
+	m.Set(3, 7, false)
+	m.Set(3, 7, false)
+	if m.Count() != 0 {
+		t.Fatalf("double clear produced count %d, want 0", m.Count())
+	}
+}
+
+func TestZeroValueEmpty(t *testing.T) {
+	var m Matrix
+	if m.Count() != 0 || m.Density() != 0 {
+		t.Fatal("zero-value crossbar must be empty")
+	}
+	for a := 0; a < Size; a += 17 {
+		for n := 0; n < Size; n += 13 {
+			if m.Get(a, n) {
+				t.Fatalf("empty crossbar has synapse (%d,%d)", a, n)
+			}
+		}
+	}
+}
+
+func TestForEachInRowOrderAndCompleteness(t *testing.T) {
+	var m Matrix
+	want := []int{0, 1, 63, 64, 65, 127, 128, 200, 255}
+	for _, n := range want {
+		m.Set(5, n, true)
+	}
+	var got []int
+	m.ForEachInRow(5, func(n int) { got = append(got, n) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration out of order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachMatchesGet(t *testing.T) {
+	var m Matrix
+	r := rng.NewSplitMix64(42)
+	for i := 0; i < 500; i++ {
+		m.Set(r.Intn(Size), r.Intn(Size), true)
+	}
+	for a := 0; a < Size; a++ {
+		seen := map[int]bool{}
+		m.ForEachInRow(a, func(n int) { seen[n] = true })
+		for n := 0; n < Size; n++ {
+			if m.Get(a, n) != seen[n] {
+				t.Fatalf("mismatch at (%d,%d): Get=%v iterated=%v", a, n, m.Get(a, n), seen[n])
+			}
+		}
+	}
+}
+
+func TestRowColumnCounts(t *testing.T) {
+	var m Matrix
+	for n := 0; n < 10; n++ {
+		m.Set(4, n, true)
+	}
+	for a := 0; a < 7; a++ {
+		m.Set(a, 99, true)
+	}
+	// Row 4 has the ten synapses (4,0..9) plus (4,99) from the column loop.
+	if c := m.RowCount(4); c != 11 {
+		t.Errorf("RowCount(4) = %d, want 11", c)
+	}
+	if c := m.ColumnCount(99); c != 7 {
+		t.Errorf("ColumnCount(99) = %d, want 7", c)
+	}
+	if c := m.Count(); c != 17 {
+		t.Errorf("Count = %d, want 17", c)
+	}
+}
+
+func TestCountConsistency(t *testing.T) {
+	var m Matrix
+	r := rng.NewSplitMix64(7)
+	for i := 0; i < 1000; i++ {
+		m.Set(r.Intn(Size), r.Intn(Size), true)
+	}
+	rowSum, colSum := 0, 0
+	for i := 0; i < Size; i++ {
+		rowSum += m.RowCount(i)
+		colSum += m.ColumnCount(i)
+	}
+	if rowSum != m.Count() || colSum != m.Count() {
+		t.Fatalf("row sum %d, col sum %d, count %d must all agree", rowSum, colSum, m.Count())
+	}
+}
+
+func TestDensity(t *testing.T) {
+	var m Matrix
+	for a := 0; a < Size; a++ {
+		for n := 0; n < Size; n++ {
+			m.Set(a, n, true)
+		}
+	}
+	if m.Density() != 1 {
+		t.Fatalf("full crossbar density %v, want 1", m.Density())
+	}
+	m.Clear()
+	if m.Density() != 0 || m.Count() != 0 {
+		t.Fatal("Clear did not empty the crossbar")
+	}
+}
+
+func TestSetRowAndEqual(t *testing.T) {
+	var a, b Matrix
+	row := Row{0xDEADBEEF, 0, 0xFFFF, 1}
+	a.SetRow(9, row)
+	if a.Equal(&b) {
+		t.Fatal("matrices with different rows reported equal")
+	}
+	b.SetRow(9, row)
+	if !a.Equal(&b) {
+		t.Fatal("identical matrices reported unequal")
+	}
+	if got := *a.Row(9); got != row {
+		t.Fatalf("Row(9) = %v, want %v", got, row)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	var m Matrix
+	cases := map[string]func(){
+		"set axon":   func() { m.Set(Size, 0, true) },
+		"set neuron": func() { m.Set(0, -1, true) },
+		"get axon":   func() { m.Get(-1, 0) },
+		"row":        func() { m.Row(Size) },
+		"foreach":    func() { m.ForEachInRow(256, func(int) {}) },
+		"rowcount":   func() { m.RowCount(-2) },
+		"colcount":   func() { m.ColumnCount(300) },
+		"setrow":     func() { m.SetRow(-1, Row{}) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkForEachInRowSparse(b *testing.B) {
+	var m Matrix
+	r := rng.NewSplitMix64(1)
+	for i := 0; i < 32; i++ {
+		m.Set(7, r.Intn(Size), true)
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForEachInRow(7, func(n int) { sink += n })
+	}
+	_ = sink
+}
+
+func BenchmarkForEachInRowDense(b *testing.B) {
+	var m Matrix
+	for n := 0; n < Size; n++ {
+		m.Set(7, n, true)
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForEachInRow(7, func(n int) { sink += n })
+	}
+	_ = sink
+}

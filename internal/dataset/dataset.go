@@ -1,0 +1,336 @@
+// Package dataset provides the deterministic synthetic workloads the
+// experiments run on, substituting for the proprietary datasets the
+// original evaluation used (see DESIGN.md): digit glyphs with jitter and
+// noise for classification, multi-object scenes for detection, spatio-
+// temporal spike patterns for delay-line demos, and Poisson background
+// traffic for throughput and power sweeps.
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// glyphRows defines the 8x8 base font for digits 0-9.
+var glyphRows = [10][8]string{
+	{ // 0
+		"..####..",
+		".##..##.",
+		".##.###.",
+		".###.##.",
+		".##..##.",
+		".##..##.",
+		"..####..",
+		"........",
+	},
+	{ // 1
+		"...##...",
+		"..###...",
+		"...##...",
+		"...##...",
+		"...##...",
+		"...##...",
+		".######.",
+		"........",
+	},
+	{ // 2
+		"..####..",
+		".##..##.",
+		".....##.",
+		"....##..",
+		"...##...",
+		"..##....",
+		".######.",
+		"........",
+	},
+	{ // 3
+		"..####..",
+		".##..##.",
+		".....##.",
+		"...###..",
+		".....##.",
+		".##..##.",
+		"..####..",
+		"........",
+	},
+	{ // 4
+		"....##..",
+		"...###..",
+		"..####..",
+		".##.##..",
+		".######.",
+		"....##..",
+		"....##..",
+		"........",
+	},
+	{ // 5
+		".######.",
+		".##.....",
+		".#####..",
+		".....##.",
+		".....##.",
+		".##..##.",
+		"..####..",
+		"........",
+	},
+	{ // 6
+		"..####..",
+		".##.....",
+		".##.....",
+		".#####..",
+		".##..##.",
+		".##..##.",
+		"..####..",
+		"........",
+	},
+	{ // 7
+		".######.",
+		".....##.",
+		"....##..",
+		"...##...",
+		"..##....",
+		"..##....",
+		"..##....",
+		"........",
+	},
+	{ // 8
+		"..####..",
+		".##..##.",
+		".##..##.",
+		"..####..",
+		".##..##.",
+		".##..##.",
+		"..####..",
+		"........",
+	},
+	{ // 9
+		"..####..",
+		".##..##.",
+		".##..##.",
+		"..#####.",
+		".....##.",
+		".....##.",
+		"..####..",
+		"........",
+	},
+}
+
+// NumClasses is the number of digit classes.
+const NumClasses = 10
+
+// Glyph renders the clean 8x8 glyph for a digit as a 64-element vector
+// of 0/1 intensities.
+func Glyph(digit int) []float64 {
+	if digit < 0 || digit >= NumClasses {
+		panic(fmt.Sprintf("dataset: digit %d out of range", digit))
+	}
+	out := make([]float64, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if glyphRows[digit][y][x] == '#' {
+				out[y*8+x] = 1
+			}
+		}
+	}
+	return out
+}
+
+// Digits generates noisy, jittered digit images.
+type Digits struct {
+	// Size is the output side length; the 8x8 glyph is nearest-
+	// neighbour upscaled (e.g. 16 gives 256 pixels, one full core of
+	// axons).
+	Size int
+	// Noise is the per-pixel flip probability.
+	Noise float64
+	// MaxShift is the maximum absolute translation, in output pixels.
+	MaxShift int
+	r        *rng.SplitMix64
+}
+
+// NewDigits returns a generator. Size must be a multiple of 8.
+func NewDigits(size int, noise float64, maxShift int, seed uint64) *Digits {
+	if size < 8 || size%8 != 0 {
+		panic(fmt.Sprintf("dataset: size %d must be a positive multiple of 8", size))
+	}
+	return &Digits{Size: size, Noise: noise, MaxShift: maxShift, r: rng.NewSplitMix64(seed)}
+}
+
+// Pixels returns the number of pixels per image.
+func (d *Digits) Pixels() int { return d.Size * d.Size }
+
+// Render produces one image of the given digit with the generator's
+// jitter and noise.
+func (d *Digits) Render(digit int) []float64 {
+	if digit < 0 || digit >= NumClasses {
+		panic(fmt.Sprintf("dataset: digit %d out of range", digit))
+	}
+	scale := d.Size / 8
+	dx, dy := 0, 0
+	if d.MaxShift > 0 {
+		dx = d.r.Intn(2*d.MaxShift+1) - d.MaxShift
+		dy = d.r.Intn(2*d.MaxShift+1) - d.MaxShift
+	}
+	out := make([]float64, d.Size*d.Size)
+	for y := 0; y < d.Size; y++ {
+		for x := 0; x < d.Size; x++ {
+			sx, sy := (x-dx)/scale, (y-dy)/scale
+			v := 0.0
+			if sx >= 0 && sx < 8 && sy >= 0 && sy < 8 && (x-dx) >= 0 && (y-dy) >= 0 {
+				if glyphRows[digit][sy][sx] == '#' {
+					v = 1
+				}
+			}
+			if d.Noise > 0 && d.r.Float64() < d.Noise {
+				v = 1 - v
+			}
+			out[y*d.Size+x] = v
+		}
+	}
+	return out
+}
+
+// Sample draws a uniformly random digit and renders it.
+func (d *Digits) Sample() (pixels []float64, label int) {
+	label = d.r.Intn(NumClasses)
+	return d.Render(label), label
+}
+
+// Batch draws n samples.
+func (d *Digits) Batch(n int) (pixels [][]float64, labels []int) {
+	pixels = make([][]float64, n)
+	labels = make([]int, n)
+	for i := 0; i < n; i++ {
+		pixels[i], labels[i] = d.Sample()
+	}
+	return pixels, labels
+}
+
+// Scenes generates multi-object detection frames: a CellsX x CellsY grid
+// of cells, each CellPix x CellPix pixels; occupied cells contain a plus-
+// shaped object, and speckle noise is sprinkled everywhere. Ground truth
+// is per-cell occupancy.
+type Scenes struct {
+	CellsX, CellsY int
+	CellPix        int
+	// ObjectP is the per-cell occupancy probability.
+	ObjectP float64
+	// Speckle is the per-pixel noise probability.
+	Speckle float64
+	r       *rng.SplitMix64
+}
+
+// NewScenes returns a scene generator.
+func NewScenes(cellsX, cellsY, cellPix int, objectP, speckle float64, seed uint64) *Scenes {
+	if cellsX <= 0 || cellsY <= 0 || cellPix < 3 {
+		panic("dataset: invalid scene geometry")
+	}
+	return &Scenes{CellsX: cellsX, CellsY: cellsY, CellPix: cellPix,
+		ObjectP: objectP, Speckle: speckle, r: rng.NewSplitMix64(seed)}
+}
+
+// Width returns the frame width in pixels.
+func (s *Scenes) Width() int { return s.CellsX * s.CellPix }
+
+// Height returns the frame height in pixels.
+func (s *Scenes) Height() int { return s.CellsY * s.CellPix }
+
+// Frame renders one scene and its ground truth (row-major cells).
+func (s *Scenes) Frame() (pixels []float64, truth []bool) {
+	w, h := s.Width(), s.Height()
+	pixels = make([]float64, w*h)
+	truth = make([]bool, s.CellsX*s.CellsY)
+	for cy := 0; cy < s.CellsY; cy++ {
+		for cx := 0; cx < s.CellsX; cx++ {
+			if s.r.Float64() >= s.ObjectP {
+				continue
+			}
+			truth[cy*s.CellsX+cx] = true
+			// A plus shape centred in the cell.
+			mid := s.CellPix / 2
+			for k := 1; k < s.CellPix-1; k++ {
+				px := cx*s.CellPix + k
+				py := cy*s.CellPix + mid
+				pixels[py*w+px] = 1
+				px = cx*s.CellPix + mid
+				py = cy*s.CellPix + k
+				pixels[py*w+px] = 1
+			}
+		}
+	}
+	if s.Speckle > 0 {
+		for i := range pixels {
+			if s.r.Float64() < s.Speckle {
+				pixels[i] = 1
+			}
+		}
+	}
+	return pixels, truth
+}
+
+// PatternEvent is one (line, tick) event of a spatio-temporal template.
+type PatternEvent struct {
+	Line int
+	Tick int
+}
+
+// Pattern is a spatio-temporal spike template spanning Span ticks over
+// Lines input lines.
+type Pattern struct {
+	Lines  int
+	Span   int
+	Events []PatternEvent
+}
+
+// NewPattern draws a random template with one event per occupied tick
+// and distinct lines (each line carries at most one event, so a single
+// per-line delay aligns the whole template).
+func NewPattern(lines, span, events int, seed uint64) *Pattern {
+	if events > span {
+		panic("dataset: more events than ticks in span")
+	}
+	if events > lines {
+		panic("dataset: more events than lines")
+	}
+	r := rng.NewSplitMix64(seed)
+	ticks := r.Perm(span)[:events]
+	linePerm := r.Perm(lines)[:events]
+	p := &Pattern{Lines: lines, Span: span}
+	for i, t := range ticks {
+		p.Events = append(p.Events, PatternEvent{Line: linePerm[i], Tick: t})
+	}
+	// Sort by tick for deterministic replay (insertion sort, small n).
+	for i := 1; i < len(p.Events); i++ {
+		for j := i; j > 0 && p.Events[j].Tick < p.Events[j-1].Tick; j-- {
+			p.Events[j], p.Events[j-1] = p.Events[j-1], p.Events[j]
+		}
+	}
+	return p
+}
+
+// Poisson generates background spike traffic: each line fires
+// independently at the given per-tick rate. Used by the power and
+// throughput sweeps.
+type Poisson struct {
+	Lines int
+	// Rate is the per-line per-tick spike probability.
+	Rate float64
+	r    *rng.SplitMix64
+}
+
+// NewPoisson returns a traffic generator.
+func NewPoisson(lines int, rate float64, seed uint64) *Poisson {
+	return &Poisson{Lines: lines, Rate: rate, r: rng.NewSplitMix64(seed)}
+}
+
+// Tick returns the lines that spike this tick (ascending order).
+func (p *Poisson) Tick() []int {
+	var out []int
+	for i := 0; i < p.Lines; i++ {
+		if p.r.Float64() < p.Rate {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGlyphsDistinct(t *testing.T) {
+	for a := 0; a < NumClasses; a++ {
+		ga := Glyph(a)
+		if len(ga) != 64 {
+			t.Fatalf("glyph %d has %d pixels", a, len(ga))
+		}
+		on := 0
+		for _, v := range ga {
+			if v != 0 && v != 1 {
+				t.Fatalf("glyph %d has non-binary pixel %g", a, v)
+			}
+			if v == 1 {
+				on++
+			}
+		}
+		if on < 8 {
+			t.Fatalf("glyph %d suspiciously sparse (%d pixels)", a, on)
+		}
+		for b := a + 1; b < NumClasses; b++ {
+			gb := Glyph(b)
+			diff := 0
+			for i := range ga {
+				if ga[i] != gb[i] {
+					diff++
+				}
+			}
+			if diff < 4 {
+				t.Errorf("glyphs %d and %d differ in only %d pixels", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestGlyphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Glyph(10)
+}
+
+func TestDigitsCleanRenderMatchesGlyph(t *testing.T) {
+	d := NewDigits(8, 0, 0, 1)
+	for digit := 0; digit < NumClasses; digit++ {
+		img := d.Render(digit)
+		g := Glyph(digit)
+		for i := range g {
+			if img[i] != g[i] {
+				t.Fatalf("digit %d: noise-free render differs from glyph at %d", digit, i)
+			}
+		}
+	}
+}
+
+func TestDigitsUpscale(t *testing.T) {
+	d := NewDigits(16, 0, 0, 1)
+	if d.Pixels() != 256 {
+		t.Fatalf("Pixels = %d", d.Pixels())
+	}
+	img := d.Render(1)
+	g := Glyph(1)
+	// Each glyph pixel becomes a 2x2 block.
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if img[y*16+x] != g[(y/2)*8+(x/2)] {
+				t.Fatalf("upscale mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestDigitsNoiseRate(t *testing.T) {
+	d := NewDigits(8, 0.1, 0, 7)
+	flips := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		img := d.Render(3)
+		g := Glyph(3)
+		for k := range g {
+			if img[k] != g[k] {
+				flips++
+			}
+		}
+	}
+	got := float64(flips) / float64(n*64)
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("flip rate = %g, want ~0.1", got)
+	}
+}
+
+func TestDigitsShiftStaysInFrame(t *testing.T) {
+	d := NewDigits(16, 0, 3, 9)
+	for i := 0; i < 50; i++ {
+		img := d.Render(8)
+		on := 0
+		for _, v := range img {
+			if v == 1 {
+				on++
+			}
+		}
+		if on == 0 {
+			t.Fatal("shifted glyph vanished")
+		}
+	}
+}
+
+func TestDigitsBatchAndDeterminism(t *testing.T) {
+	mk := func() ([][]float64, []int) { return NewDigits(8, 0.05, 1, 42).Batch(20) }
+	p1, l1 := mk()
+	p2, l2 := mk()
+	if len(p1) != 20 || len(l1) != 20 {
+		t.Fatal("batch size wrong")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels not deterministic")
+		}
+		for k := range p1[i] {
+			if p1[i][k] != p2[i][k] {
+				t.Fatal("pixels not deterministic")
+			}
+		}
+	}
+}
+
+func TestDigitsLabelCoverage(t *testing.T) {
+	d := NewDigits(8, 0, 0, 5)
+	seen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		_, l := d.Sample()
+		seen[l] = true
+	}
+	if len(seen) != NumClasses {
+		t.Errorf("only %d classes drawn in 300 samples", len(seen))
+	}
+}
+
+func TestNewDigitsPanics(t *testing.T) {
+	for _, size := range []int{0, 7, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d: expected panic", size)
+				}
+			}()
+			NewDigits(size, 0, 0, 1)
+		}()
+	}
+}
+
+func TestScenesGroundTruth(t *testing.T) {
+	s := NewScenes(4, 4, 8, 0.5, 0, 11)
+	pixels, truth := s.Frame()
+	if len(pixels) != 32*32 || len(truth) != 16 {
+		t.Fatalf("frame %d pixels, %d truth", len(pixels), len(truth))
+	}
+	// Occupied cells contain bright pixels, empty cells are dark.
+	for cy := 0; cy < 4; cy++ {
+		for cx := 0; cx < 4; cx++ {
+			sum := 0.0
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					sum += pixels[(cy*8+y)*32+(cx*8+x)]
+				}
+			}
+			occupied := truth[cy*4+cx]
+			if occupied && sum < 8 {
+				t.Errorf("occupied cell (%d,%d) has only %g pixels lit", cx, cy, sum)
+			}
+			if !occupied && sum != 0 {
+				t.Errorf("empty cell (%d,%d) has %g pixels lit (no speckle configured)", cx, cy, sum)
+			}
+		}
+	}
+}
+
+func TestScenesOccupancyRate(t *testing.T) {
+	s := NewScenes(8, 8, 6, 0.3, 0, 3)
+	occ := 0
+	n := 100
+	for i := 0; i < n; i++ {
+		_, truth := s.Frame()
+		for _, o := range truth {
+			if o {
+				occ++
+			}
+		}
+	}
+	got := float64(occ) / float64(n*64)
+	if math.Abs(got-0.3) > 0.05 {
+		t.Errorf("occupancy = %g, want ~0.3", got)
+	}
+}
+
+func TestScenesSpeckle(t *testing.T) {
+	s := NewScenes(2, 2, 8, 0, 0.05, 5)
+	pixels, truth := s.Frame()
+	for _, o := range truth {
+		if o {
+			t.Fatal("objectP=0 must produce empty truth")
+		}
+	}
+	lit := 0
+	for _, v := range pixels {
+		if v == 1 {
+			lit++
+		}
+	}
+	if lit == 0 {
+		t.Error("speckle produced no noise")
+	}
+	if lit > len(pixels)/5 {
+		t.Errorf("speckle too dense: %d/%d", lit, len(pixels))
+	}
+}
+
+func TestScenesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScenes(0, 1, 8, 0.5, 0, 1)
+}
+
+func TestPatternShape(t *testing.T) {
+	p := NewPattern(32, 16, 8, 9)
+	if len(p.Events) != 8 {
+		t.Fatalf("events = %d, want 8", len(p.Events))
+	}
+	seenTick := map[int]bool{}
+	for i, e := range p.Events {
+		if e.Line < 0 || e.Line >= 32 || e.Tick < 0 || e.Tick >= 16 {
+			t.Fatalf("event %d out of range: %+v", i, e)
+		}
+		if seenTick[e.Tick] {
+			t.Fatalf("duplicate tick %d", e.Tick)
+		}
+		seenTick[e.Tick] = true
+		if i > 0 && p.Events[i].Tick < p.Events[i-1].Tick {
+			t.Fatal("events not sorted by tick")
+		}
+	}
+}
+
+func TestPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPattern(4, 4, 5, 1)
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := NewPoisson(100, 0.2, 13)
+	total := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		lines := p.Tick()
+		total += len(lines)
+		for k := 1; k < len(lines); k++ {
+			if lines[k] <= lines[k-1] {
+				t.Fatal("lines not ascending")
+			}
+		}
+	}
+	got := float64(total) / float64(n*100)
+	if math.Abs(got-0.2) > 0.02 {
+		t.Errorf("rate = %g, want ~0.2", got)
+	}
+}
+
+func TestPoissonZeroRateSilent(t *testing.T) {
+	p := NewPoisson(10, 0, 1)
+	for i := 0; i < 100; i++ {
+		if len(p.Tick()) != 0 {
+			t.Fatal("zero rate must be silent")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package energy converts simulator activity counters into energy and
+// power figures.
+//
+// The architecture's energy is event-proportional: almost all active
+// energy is spent reading crossbar rows and integrating synaptic events,
+// with small per-spike, per-hop and per-update terms, on top of a static
+// leakage floor. The default coefficients are calibrated so that the
+// published nominal operating point — 4096 cores, one million neurons at
+// a 20 Hz mean firing rate with 128 active synapses per neuron — lands at
+// the published figures: roughly 70 mW total chip power and roughly 26 pJ
+// of total energy per synaptic event. Absolute joules are a model, not a
+// measurement; the experiments only rely on the scaling shape (leak floor
+// plus activity-linear term, and the orders-of-magnitude gap to a
+// conventional simulator).
+package energy
+
+import "github.com/neurogo/neurogo/internal/chip"
+
+// TickSeconds is the real-time duration of one tick (1 ms), the rate at
+// which the hardware runs.
+const TickSeconds = 1e-3
+
+// Coefficients holds per-event energies (picojoules) and per-core static
+// leakage (microwatts).
+type Coefficients struct {
+	// SynapticEventPJ is charged per crossbar integration (one connected
+	// synapse receiving a spike).
+	SynapticEventPJ float64
+	// AxonEventPJ is charged per arrived spike (one SRAM row read).
+	AxonEventPJ float64
+	// NeuronUpdatePJ is charged per leak-and-fire evaluation.
+	NeuronUpdatePJ float64
+	// SpikePJ is charged per generated spike.
+	SpikePJ float64
+	// HopPJ is charged per router hop per packet.
+	HopPJ float64
+	// CoreLeakUW is static leakage per core in microwatts.
+	CoreLeakUW float64
+}
+
+// DefaultCoefficients returns the neuromorphic-chip calibration (see the
+// package comment for the operating point it reproduces).
+func DefaultCoefficients() Coefficients {
+	return Coefficients{
+		SynapticEventPJ: 12,
+		AxonEventPJ:     24,
+		NeuronUpdatePJ:  4,
+		SpikePJ:         30,
+		HopPJ:           26,
+		CoreLeakUW:      6.35,
+	}
+}
+
+// ConventionalCoefficients models executing the same spiking network on a
+// general-purpose machine: every synaptic event costs DRAM traffic and
+// ALU work (hundreds of pJ), every neuron update touches cache lines, and
+// the host burns watts standing still. Used as the von Neumann baseline
+// in the energy comparisons; treat Cores as 1 (the host).
+func ConventionalCoefficients() Coefficients {
+	return Coefficients{
+		SynapticEventPJ: 640, // ~2 DRAM line touches + ALU per event
+		AxonEventPJ:     100,
+		NeuronUpdatePJ:  200, // state load/store through the cache
+		SpikePJ:         50,
+		HopPJ:           0,    // no spike fabric
+		CoreLeakUW:      12e6, // ~12 W host idle power
+	}
+}
+
+// Usage is the activity to be priced.
+type Usage struct {
+	SynapticEvents uint64
+	AxonEvents     uint64
+	NeuronUpdates  uint64
+	Spikes         uint64
+	Hops           uint64
+	// Ticks is the number of simulated ticks, which determines wall
+	// time (Ticks x TickSeconds) and hence leakage energy.
+	Ticks uint64
+	// Cores is the number of powered cores.
+	Cores int
+}
+
+// FromChip extracts Usage from chip counters. If hardwareNeuronUpdates is
+// true, neuron updates are charged as the silicon performs them — every
+// neuron on every live core, every tick — regardless of how many updates
+// the (event-driven) simulator actually executed; this is the right
+// setting for modelling chip power. With false, the simulator's own
+// update count is used (the right setting for comparing simulator
+// engines).
+func FromChip(c chip.Counters, cores int, ticks uint64, hardwareNeuronUpdates bool) Usage {
+	u := Usage{
+		SynapticEvents: c.Core.SynapticEvents,
+		AxonEvents:     c.Core.AxonEvents,
+		NeuronUpdates:  c.Core.NeuronUpdates,
+		Spikes:         c.Core.Spikes,
+		Hops:           c.TotalHops,
+		Ticks:          ticks,
+		Cores:          cores,
+	}
+	if hardwareNeuronUpdates {
+		u.NeuronUpdates = uint64(cores) * 256 * ticks
+	}
+	return u
+}
+
+// Report is the priced result.
+type Report struct {
+	// Per-category active energy, picojoules.
+	SynapticPJ float64
+	AxonPJ     float64
+	NeuronPJ   float64
+	SpikePJ    float64
+	HopPJ      float64
+	// LeakPJ is static energy over the run's wall time.
+	LeakPJ float64
+	// TotalPJ is the sum of all categories.
+	TotalPJ float64
+	// WallSeconds is Ticks x TickSeconds.
+	WallSeconds float64
+	// MeanPowerW is TotalPJ over WallSeconds.
+	MeanPowerW float64
+	// PJPerSynapticEvent is TotalPJ / SynapticEvents (0 if none).
+	PJPerSynapticEvent float64
+}
+
+// ActivePJ returns the activity-proportional energy (total minus leak).
+func (r Report) ActivePJ() float64 { return r.TotalPJ - r.LeakPJ }
+
+// Evaluate prices a usage record.
+func (c Coefficients) Evaluate(u Usage) Report {
+	r := Report{
+		SynapticPJ:  float64(u.SynapticEvents) * c.SynapticEventPJ,
+		AxonPJ:      float64(u.AxonEvents) * c.AxonEventPJ,
+		NeuronPJ:    float64(u.NeuronUpdates) * c.NeuronUpdatePJ,
+		SpikePJ:     float64(u.Spikes) * c.SpikePJ,
+		HopPJ:       float64(u.Hops) * c.HopPJ,
+		WallSeconds: float64(u.Ticks) * TickSeconds,
+	}
+	// leak: cores x uW x seconds = 1e-6 J/s x s -> J; convert to pJ (1e12).
+	r.LeakPJ = float64(u.Cores) * c.CoreLeakUW * r.WallSeconds * 1e6
+	r.TotalPJ = r.SynapticPJ + r.AxonPJ + r.NeuronPJ + r.SpikePJ + r.HopPJ + r.LeakPJ
+	if r.WallSeconds > 0 {
+		r.MeanPowerW = r.TotalPJ * 1e-12 / r.WallSeconds
+	}
+	if u.SynapticEvents > 0 {
+		r.PJPerSynapticEvent = r.TotalPJ / float64(u.SynapticEvents)
+	}
+	return r
+}
+
+// NominalUsage returns the published nominal operating point for a chip
+// of the given core count over the given number of ticks: every neuron
+// firing at meanRateHz with fanout active synapses per spike.
+func NominalUsage(cores int, ticks uint64, meanRateHz float64, fanout int) Usage {
+	neurons := uint64(cores) * 256
+	// spikes per tick = neurons x rate x tick duration
+	spikesPerTick := float64(neurons) * meanRateHz * TickSeconds
+	spikes := uint64(spikesPerTick * float64(ticks))
+	return Usage{
+		SynapticEvents: spikes * uint64(fanout),
+		AxonEvents:     spikes,
+		NeuronUpdates:  neurons * ticks,
+		Spikes:         spikes,
+		Hops:           spikes * 8, // typical placed mean distance
+		Ticks:          ticks,
+		Cores:          cores,
+	}
+}

@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+)
+
+func TestNominalOperatingPoint(t *testing.T) {
+	// The calibration claim: 4096 cores at 20 Hz / 128-synapse fanout
+	// lands near 70 mW and near 26 pJ per synaptic event.
+	u := NominalUsage(4096, 1000, 20, 128)
+	r := DefaultCoefficients().Evaluate(u)
+	if r.MeanPowerW < 0.050 || r.MeanPowerW > 0.090 {
+		t.Errorf("nominal power = %.1f mW, want within [50,90] mW", r.MeanPowerW*1e3)
+	}
+	if r.PJPerSynapticEvent < 20 || r.PJPerSynapticEvent > 32 {
+		t.Errorf("energy/synaptic event = %.1f pJ, want within [20,32] pJ", r.PJPerSynapticEvent)
+	}
+}
+
+func TestLeakFloorDominatesAtZeroActivity(t *testing.T) {
+	u := Usage{Ticks: 1000, Cores: 4096}
+	r := DefaultCoefficients().Evaluate(u)
+	if r.ActivePJ() != 0 {
+		t.Errorf("zero activity must have zero active energy, got %g", r.ActivePJ())
+	}
+	if r.MeanPowerW <= 0.010 || r.MeanPowerW >= 0.050 {
+		t.Errorf("idle power = %.1f mW, want a leak floor in (10,50) mW", r.MeanPowerW*1e3)
+	}
+}
+
+func TestPowerLinearInRate(t *testing.T) {
+	coef := DefaultCoefficients()
+	p := func(rate float64) float64 {
+		return coef.Evaluate(NominalUsage(4096, 1000, rate, 128)).MeanPowerW
+	}
+	p0, p10, p20, p40 := p(0), p(10), p(20), p(40)
+	if !(p0 < p10 && p10 < p20 && p20 < p40) {
+		t.Fatalf("power not monotone in rate: %g %g %g %g", p0, p10, p20, p40)
+	}
+	// Linearity: increments per 10 Hz should match within tolerance.
+	d1, d2 := p20-p10, (p40-p20)/2
+	if math.Abs(d1-d2)/d1 > 0.05 {
+		t.Errorf("power increments not linear: %g vs %g", d1, d2)
+	}
+}
+
+func TestEvaluateBreakdownSums(t *testing.T) {
+	u := Usage{
+		SynapticEvents: 1000, AxonEvents: 10, NeuronUpdates: 500,
+		Spikes: 10, Hops: 40, Ticks: 7, Cores: 3,
+	}
+	c := DefaultCoefficients()
+	r := c.Evaluate(u)
+	sum := r.SynapticPJ + r.AxonPJ + r.NeuronPJ + r.SpikePJ + r.HopPJ + r.LeakPJ
+	if math.Abs(sum-r.TotalPJ) > 1e-9 {
+		t.Errorf("breakdown sums to %g, total %g", sum, r.TotalPJ)
+	}
+	if r.SynapticPJ != 1000*c.SynapticEventPJ {
+		t.Errorf("SynapticPJ = %g", r.SynapticPJ)
+	}
+	if r.WallSeconds != 7*TickSeconds {
+		t.Errorf("WallSeconds = %g", r.WallSeconds)
+	}
+}
+
+func TestZeroTicksNoPower(t *testing.T) {
+	r := DefaultCoefficients().Evaluate(Usage{SynapticEvents: 10})
+	if r.MeanPowerW != 0 || r.WallSeconds != 0 {
+		t.Error("zero-tick usage must not report power")
+	}
+	if r.PJPerSynapticEvent <= 0 {
+		t.Error("per-event energy must still be computable")
+	}
+}
+
+func TestZeroSynapticEvents(t *testing.T) {
+	r := DefaultCoefficients().Evaluate(Usage{Ticks: 10, Cores: 1})
+	if r.PJPerSynapticEvent != 0 {
+		t.Error("PJPerSynapticEvent must be 0 with no events")
+	}
+}
+
+func TestConventionalMuchMoreExpensive(t *testing.T) {
+	// Same logical workload, neuromorphic vs conventional host.
+	neu := DefaultCoefficients().Evaluate(NominalUsage(4096, 1000, 20, 128))
+	convUsage := NominalUsage(4096, 1000, 20, 128)
+	convUsage.Cores = 1 // one host machine
+	convUsage.Hops = 0
+	conv := ConventionalCoefficients().Evaluate(convUsage)
+	ratio := conv.TotalPJ / neu.TotalPJ
+	if ratio < 20 {
+		t.Errorf("conventional/neuromorphic energy ratio = %.1fx, want >= 20x", ratio)
+	}
+}
+
+func TestFromChip(t *testing.T) {
+	c := chip.Counters{
+		Core: core.Counters{
+			SynapticEvents: 100, AxonEvents: 10, NeuronUpdates: 50,
+			Spikes: 9, Ticks: 40,
+		},
+		TotalHops: 33,
+	}
+	u := FromChip(c, 4, 10, false)
+	if u.SynapticEvents != 100 || u.Hops != 33 || u.NeuronUpdates != 50 || u.Cores != 4 || u.Ticks != 10 {
+		t.Fatalf("FromChip = %+v", u)
+	}
+	uh := FromChip(c, 4, 10, true)
+	if uh.NeuronUpdates != 4*256*10 {
+		t.Fatalf("hardware neuron updates = %d, want %d", uh.NeuronUpdates, 4*256*10)
+	}
+}
+
+func TestNominalUsageScales(t *testing.T) {
+	a := NominalUsage(1024, 100, 20, 128)
+	b := NominalUsage(4096, 100, 20, 128)
+	if b.SynapticEvents != 4*a.SynapticEvents {
+		t.Errorf("synaptic events must scale with cores: %d vs %d", a.SynapticEvents, b.SynapticEvents)
+	}
+	if b.NeuronUpdates != 4*a.NeuronUpdates {
+		t.Error("neuron updates must scale with cores")
+	}
+}
+
+func TestEnergyPerEventDropsWithActivity(t *testing.T) {
+	// With a fixed leak floor, busier chips amortise it: pJ/event must
+	// fall as rate rises.
+	coef := DefaultCoefficients()
+	lo := coef.Evaluate(NominalUsage(4096, 1000, 5, 128)).PJPerSynapticEvent
+	hi := coef.Evaluate(NominalUsage(4096, 1000, 100, 128)).PJPerSynapticEvent
+	if hi >= lo {
+		t.Errorf("pJ/event must drop with activity: %.1f (5Hz) vs %.1f (100Hz)", lo, hi)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/report"
+	"github.com/neurogo/neurogo/internal/trace"
+)
+
+// F1Behaviors regenerates the neuron-model richness figure: the gallery
+// of twenty canonical behaviours, summarised per entry and rendered as
+// rasters for a representative subset.
+func F1Behaviors() Result {
+	gallery := neuron.Gallery()
+	tb := report.NewTable("Neuron behaviour gallery (single digital neuron per entry)",
+		"behaviour", "spikes", "mean ISI", "ISI CV", "window")
+	showRaster := map[string]bool{
+		"tonic-spiking": true, "tonic-bursting": true,
+		"rebound-burst": true, "stochastic-spontaneous": true,
+	}
+	var rasters strings.Builder
+	for _, b := range gallery {
+		b := b
+		tr := b.Run()
+		var rec trace.Recorder
+		for _, st := range tr.SpikeTimes {
+			rec.Record(int64(st), 0)
+		}
+		times := make([]int64, len(tr.SpikeTimes))
+		for i, st := range tr.SpikeTimes {
+			times[i] = int64(st)
+		}
+		mean, _, cv := trace.ISIStats(times)
+		tb.AddRow(b.Name,
+			report.I(int64(len(tr.SpikeTimes))),
+			report.F(mean),
+			report.F(cv),
+			report.I(int64(b.Window)))
+		if showRaster[b.Name] {
+			window := b.Window
+			if window > 96 {
+				window = 96
+			}
+			fmt.Fprintf(&rasters, "\n%s:\n%s", b.Name, rec.Raster(1, 0, int64(window)))
+		}
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	b.WriteString(rasters.String())
+	fmt.Fprintf(&b, "\nPaper shape: one parameterised digital neuron reproduces the full\n")
+	fmt.Fprintf(&b, "canonical behaviour repertoire (tonic/phasic spiking and bursting,\n")
+	fmt.Fprintf(&b, "integration, rebound, bistability, stochastic modes, ...).\n")
+	return Result{
+		ID:    "F1",
+		Title: "Neuron model richness: 20-behaviour gallery",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"behaviors": float64(len(gallery)),
+		},
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/energy"
+	"github.com/neurogo/neurogo/internal/report"
+)
+
+// T1Capacity regenerates the system capacity table: cores, neurons,
+// synapses and on-chip memory for single- and multi-chip builds.
+func T1Capacity() Result {
+	tb := report.NewTable("System capacity (64x64-core chips, tiled)",
+		"config", "cores", "neurons", "synapses", "SRAM (Mbit)", "mesh diameter")
+	type row struct {
+		name string
+		w, h int
+	}
+	rows := []row{
+		{"1 chip (64x64)", 64, 64},
+		{"4 chips (128x128)", 128, 128},
+		{"16 chips (256x256)", 256, 256},
+	}
+	var oneChip chip.Capacity
+	for i, r := range rows {
+		c := chip.CapacityOf(r.w, r.h)
+		if i == 0 {
+			oneChip = c
+		}
+		tb.AddRow(r.name,
+			report.I(int64(c.Cores)),
+			report.I(int64(c.Neurons)),
+			report.I(int64(c.Synapses)),
+			report.F(float64(c.SRAMBits)/1e6),
+			report.I(int64(c.MeshDiameter)))
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	fmt.Fprintf(&b, "\nPaper shape: 4096 cores, ~1M neurons, ~256M synapses per chip;\n")
+	fmt.Fprintf(&b, "linear scaling of neurons/synapses/SRAM with tiled chips.\n")
+	return Result{
+		ID:    "T1",
+		Title: "Capacity and memory scaling",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"cores_per_chip":    float64(oneChip.Cores),
+			"neurons_per_chip":  float64(oneChip.Neurons),
+			"synapses_per_chip": float64(oneChip.Synapses),
+		},
+	}
+}
+
+// T2Energy regenerates the energy table at the nominal operating point
+// and the comparison against a conventional machine.
+func T2Energy() Result {
+	coef := energy.DefaultCoefficients()
+	u := energy.NominalUsage(4096, 1000, 20, 128)
+	r := coef.Evaluate(u)
+
+	convU := u
+	convU.Cores = 1
+	convU.Hops = 0
+	conv := energy.ConventionalCoefficients().Evaluate(convU)
+
+	tb := report.NewTable("Energy at the nominal operating point (20 Hz, 128 active synapses/neuron, 4096 cores, 1 s)",
+		"quantity", "neuromorphic", "conventional (same workload)")
+	tb.AddRow("total power (mW)", report.F(r.MeanPowerW*1e3), report.F(conv.MeanPowerW*1e3))
+	tb.AddRow("leak power (mW)", report.F(r.LeakPJ*1e-12/r.WallSeconds*1e3), report.F(conv.LeakPJ*1e-12/conv.WallSeconds*1e3))
+	tb.AddRow("active power (mW)", report.F(r.ActivePJ()*1e-12/r.WallSeconds*1e3), report.F(conv.ActivePJ()*1e-12/conv.WallSeconds*1e3))
+	tb.AddRow("energy/syn. event (pJ)", report.F(r.PJPerSynapticEvent), report.F(conv.PJPerSynapticEvent))
+
+	breakdown := report.NewTable("Active energy breakdown (neuromorphic)",
+		"category", "energy (uJ)", "share (%)")
+	total := r.ActivePJ()
+	add := func(name string, pj float64) {
+		breakdown.AddRow(name, report.F(pj*1e-6), report.F(pj/total*100))
+	}
+	add("synaptic events", r.SynapticPJ)
+	add("axon reads", r.AxonPJ)
+	add("neuron updates", r.NeuronPJ)
+	add("spike generation", r.SpikePJ)
+	add("router hops", r.HopPJ)
+
+	var b strings.Builder
+	tb.Render(&b)
+	b.WriteByte('\n')
+	breakdown.Render(&b)
+	fmt.Fprintf(&b, "\nPaper shape: ~70 mW chip power, ~26 pJ per synaptic event, and\n")
+	fmt.Fprintf(&b, "orders of magnitude below a conventional machine on the same workload.\n")
+	return Result{
+		ID:    "T2",
+		Title: "Chip power and energy per synaptic event",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"power_mw":          r.MeanPowerW * 1e3,
+			"pj_per_syn_event":  r.PJPerSynapticEvent,
+			"conventional_gain": conv.TotalPJ / r.TotalPJ,
+		},
+	}
+}
+
+// F2PowerSweep regenerates the power-vs-firing-rate figure: a leak floor
+// plus an activity-linear term, validated against a simulated chip.
+func F2PowerSweep(quick bool) Result {
+	coef := energy.DefaultCoefficients()
+	rates := []float64{0, 10, 20, 40, 80, 120, 160, 200}
+	var xs, ys []float64
+	tb := report.NewTable("Model: chip power vs mean firing rate (4096 cores, 128 syn/spike)",
+		"rate (Hz)", "power (mW)", "leak (mW)", "active (mW)")
+	for _, rate := range rates {
+		r := coef.Evaluate(energy.NominalUsage(4096, 1000, rate, 128))
+		leak := r.LeakPJ * 1e-12 / r.WallSeconds * 1e3
+		tb.AddRow(report.F(rate), report.F(r.MeanPowerW*1e3), report.F(leak),
+			report.F(r.ActivePJ()*1e-12/r.WallSeconds*1e3))
+		xs = append(xs, rate)
+		ys = append(ys, r.MeanPowerW*1e3)
+	}
+
+	// Validation on a real simulated chip: drive the pipeline workload
+	// at three activity levels and fit power vs injected rate.
+	ticks := 400
+	cores := 16
+	if quick {
+		ticks = 120
+	}
+	var simX, simY []float64
+	for _, perTick := range []int{1, 4, 16} {
+		ch := pipelineChip(cores, 1)
+		ct := drivePipeline(ch, perTick, ticks, false, 7)
+		u := energy.FromChip(ct, cores, uint64(ticks), true)
+		r := coef.Evaluate(u)
+		simX = append(simX, float64(perTick))
+		simY = append(simY, r.MeanPowerW*1e6) // uW for a 16-core chip
+	}
+	slope := (simY[2] - simY[0]) / (simX[2] - simX[0])
+	midPredicted := simY[0] + slope*(simX[1]-simX[0])
+	linErr := abs(midPredicted-simY[1]) / simY[1]
+
+	var b strings.Builder
+	tb.Render(&b)
+	b.WriteByte('\n')
+	b.WriteString(report.Chart("power (mW) vs firing rate (Hz)",
+		[]report.Series{{Name: "total", X: xs, Y: ys}}, 56, 12))
+	fmt.Fprintf(&b, "\nSimulated 16-core validation: power %.1f/%.1f/%.1f uW at 1/4/16 inj/tick"+
+		" (linearity error %.1f%%).\n", simY[0], simY[1], simY[2], linErr*100)
+	fmt.Fprintf(&b, "Paper shape: flat leak floor, activity-proportional total.\n")
+	return Result{
+		ID:    "F2",
+		Title: "Power vs mean firing rate",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"leak_floor_mw":     ys[0],
+			"power_200hz_mw":    ys[len(ys)-1],
+			"sim_linearity_err": linErr,
+		},
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

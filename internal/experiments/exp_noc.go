@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/energy"
+	"github.com/neurogo/neurogo/internal/noc"
+	"github.com/neurogo/neurogo/internal/report"
+	"github.com/neurogo/neurogo/internal/rng"
+	"github.com/neurogo/neurogo/internal/stats"
+)
+
+// F3NoCLatency regenerates the NoC latency-vs-load figure: mean and p99
+// delivery latency under uniform-random traffic as injection rate rises,
+// showing the linear region and the saturation knee.
+func F3NoCLatency(quick bool) Result {
+	side := 16
+	cycles := 3000
+	if quick {
+		side = 8
+		cycles = 800
+	}
+	loads := []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4}
+	tb := report.NewTable(
+		fmt.Sprintf("NoC latency vs injection rate (%dx%d mesh, uniform random, %d warm cycles)", side, side, cycles),
+		"inject rate (pkts/router/cycle)", "delivered", "mean latency", "p99 latency", "mean hops", "rejected")
+	var xs, meanY, p99Y []float64
+	satRate := -1.0
+	var baseline float64
+	for _, load := range loads {
+		m := noc.NewMesh(noc.Config{Width: side, Height: side, BufDepth: 4})
+		m.RecordLatencies(true)
+		r := rng.NewSplitMix64(uint64(load*1000) + 1)
+		for c := int64(0); c < int64(cycles); c++ {
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					if r.Float64() < load {
+						src := noc.Coord{X: int16(x), Y: int16(y)}
+						dst := noc.Coord{X: int16(r.Intn(side)), Y: int16(r.Intn(side))}
+						m.Inject(src, noc.Packet{DX: dst.X - src.X, DY: dst.Y - src.Y}, c)
+					}
+				}
+			}
+			m.Step(c, nil)
+		}
+		m.Drain(int64(cycles), 20000, nil)
+		s := m.Stats()
+		lat := m.Latencies()
+		p99 := stats.Percentile(lat, 99)
+		tb.AddRow(report.F(load), report.I(int64(s.Delivered)), report.F(s.MeanLatency()),
+			report.F(p99), report.F(s.MeanHops()), report.I(int64(s.RejectedInjections)))
+		xs = append(xs, load)
+		meanY = append(meanY, s.MeanLatency())
+		p99Y = append(p99Y, p99)
+		if baseline == 0 {
+			baseline = s.MeanLatency()
+		}
+		if satRate < 0 && s.MeanLatency() > 4*baseline {
+			satRate = load
+		}
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	b.WriteByte('\n')
+	b.WriteString(report.Chart("latency (cycles) vs injection rate",
+		[]report.Series{{Name: "mean", X: xs, Y: meanY}, {Name: "p99", X: xs, Y: p99Y}}, 56, 12))
+	fmt.Fprintf(&b, "\nPaper shape: flat latency in the linear region, sharp knee at saturation.\n")
+	metrics := map[string]float64{
+		"base_latency": baseline,
+		"max_latency":  meanY[len(meanY)-1],
+	}
+	if satRate > 0 {
+		metrics["saturation_rate"] = satRate
+	}
+	return Result{
+		ID:      "F3",
+		Title:   "NoC latency vs injection rate",
+		Text:    b.String(),
+		Metrics: metrics,
+	}
+}
+
+// staticHopHistogram computes the wire-length distribution of a compiled
+// chip: for every neuron with an on-chip target, the Manhattan distance
+// from its core to the target core.
+func staticHopHistogram(mp *compile.Mapping) (*stats.Histogram, float64) {
+	h := stats.NewHistogram(0, 16, 16)
+	total, count := 0.0, 0
+	w := mp.Chip.Width
+	for idx, cc := range mp.Chip.Cores {
+		if cc == nil {
+			continue
+		}
+		src := noc.Coord{X: int16(idx % w), Y: int16(idx / w)}
+		for _, tgt := range cc.Targets {
+			if tgt.Core < 0 {
+				continue
+			}
+			dst := noc.Coord{X: int16(int(tgt.Core) % w), Y: int16(int(tgt.Core) / w)}
+			d := float64(noc.HopCount(src, dst))
+			h.Add(d)
+			total += d
+			count++
+		}
+	}
+	if count == 0 {
+		return h, 0
+	}
+	return h, total / float64(count)
+}
+
+// F4Locality regenerates the traffic-locality figure: hop distribution
+// of compiled connections under random, greedy and annealed placement.
+func F4Locality(quick bool) Result {
+	iters := 40000
+	if quick {
+		iters = 6000
+	}
+	placers := []struct {
+		name string
+		opt  compile.Options
+	}{
+		{"random", compile.Options{Placer: compile.PlacerRandom, Seed: 3}},
+		{"greedy", compile.Options{Placer: compile.PlacerGreedy}},
+		{"anneal", compile.Options{Placer: compile.PlacerAnneal, Seed: 3, AnnealIters: iters}},
+	}
+	tb := report.NewTable("Connection wire length by placement (256->512->256 feed-forward net)",
+		"placer", "mean hops", "p(0-1 hops)", "p(>=4 hops)", "placement cost")
+	var sers []report.Series
+	means := map[string]float64{}
+	for _, p := range placers {
+		mp, err := compile.Compile(ffNet(1), p.opt)
+		if err != nil {
+			panic(err)
+		}
+		h, mean := staticHopHistogram(mp)
+		fr := h.Fractions()
+		short := fr[0] + fr[1]
+		long := 0.0
+		for i := 4; i < len(fr); i++ {
+			long += fr[i]
+		}
+		tb.AddRow(p.name, report.F(mean), report.F(short), report.F(long),
+			report.F(mp.Stats.PlacementCost))
+		var xs, ys []float64
+		for i, f := range fr {
+			xs = append(xs, h.BinCenter(i))
+			ys = append(ys, f)
+		}
+		sers = append(sers, report.Series{Name: p.name, X: xs, Y: ys})
+		means[p.name] = mean
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	b.WriteByte('\n')
+	b.WriteString(report.Chart("fraction of connections vs hop count", sers, 56, 12))
+	fmt.Fprintf(&b, "\nPaper shape: optimised placement concentrates traffic at short distances.\n")
+	return Result{
+		ID:    "F4",
+		Title: "Traffic locality under placement optimisation",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"mean_hops_random": means["random"],
+			"mean_hops_greedy": means["greedy"],
+			"mean_hops_anneal": means["anneal"],
+		},
+	}
+}
+
+// T5Placement regenerates the placement ablation table: traffic cost,
+// relays and NoC energy per tick for the three placers on the same net.
+func T5Placement(quick bool) Result {
+	iters := 40000
+	ticks := 200
+	if quick {
+		iters = 6000
+		ticks = 60
+	}
+	coef := energy.DefaultCoefficients()
+	placers := []struct {
+		name string
+		opt  compile.Options
+	}{
+		{"random", compile.Options{Placer: compile.PlacerRandom, Seed: 3}},
+		{"greedy", compile.Options{Placer: compile.PlacerGreedy}},
+		{"anneal", compile.Options{Placer: compile.PlacerAnneal, Seed: 3, AnnealIters: iters}},
+	}
+	tb := report.NewTable("Placement quality (same net, three placers)",
+		"placer", "placement cost", "used cores", "relays", "measured hops/spike", "NoC energy/tick (pJ)")
+	costs := map[string]float64{}
+	for _, p := range placers {
+		mp, err := compile.Compile(ffNet(1), p.opt)
+		if err != nil {
+			panic(err)
+		}
+		// Drive the compiled chip with Poisson input and measure hops.
+		measured := runFFTraffic(mp, ticks)
+		hopsPerSpike := 0.0
+		if measured.RoutedSpikes > 0 {
+			hopsPerSpike = float64(measured.TotalHops) / float64(measured.RoutedSpikes)
+		}
+		nocEnergyPerTick := float64(measured.TotalHops) * coef.HopPJ / float64(ticks)
+		tb.AddRow(p.name,
+			report.F(mp.Stats.PlacementCost),
+			report.I(int64(mp.Stats.UsedCores)),
+			report.I(int64(mp.Stats.Relays)),
+			report.F(hopsPerSpike),
+			report.F(nocEnergyPerTick))
+		costs[p.name] = mp.Stats.PlacementCost
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	fmt.Fprintf(&b, "\nPaper shape: placement optimisation cuts traffic-weighted wire length\n")
+	fmt.Fprintf(&b, "and with it the NoC share of active energy; relay count is placement-\n")
+	fmt.Fprintf(&b, "independent (it is fixed by the network's fan-out structure).\n")
+	return Result{
+		ID:    "T5",
+		Title: "Placement ablation: cost and NoC energy",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"cost_random": costs["random"],
+			"cost_greedy": costs["greedy"],
+			"cost_anneal": costs["anneal"],
+		},
+	}
+}
+
+// runFFTraffic drives a compiled ffNet with Poisson input spikes and
+// returns the chip counters.
+func runFFTraffic(mp *compile.Mapping, ticks int) chip.Counters {
+	r := rng.NewSplitMix64(99)
+	ch := chip.New(mp.Chip)
+	for t := 0; t < ticks; t++ {
+		for k := 0; k < 32; k++ {
+			line := int32(r.Intn(len(mp.InputTargets)))
+			at := ch.Now() + int64(mp.InputDelay[line])
+			for _, tgt := range mp.InputTargets[line] {
+				_ = ch.Inject(tgt.Core, int(tgt.Axon), at)
+			}
+		}
+		ch.Tick()
+	}
+	return ch.Counters()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/report"
+	"github.com/neurogo/neurogo/internal/rng"
+	"github.com/neurogo/neurogo/internal/system"
+)
+
+// E2System is the multi-chip extension experiment: the same network
+// compiled with each placer onto a 2x2 tile of chips, measuring what
+// fraction of spike traffic crosses chip-to-chip links — the scarce
+// resource of tiled systems.
+func E2System(quick bool) Result {
+	ticks := 200
+	iters := 30000
+	if quick {
+		ticks = 60
+		iters = 6000
+	}
+	placers := []struct {
+		name string
+		opt  compile.Options
+	}{
+		{"random", compile.Options{Placer: compile.PlacerRandom, Seed: 3}},
+		{"greedy", compile.Options{Placer: compile.PlacerGreedy}},
+		{"anneal", compile.Options{Placer: compile.PlacerAnneal, Seed: 3, AnnealIters: iters}},
+	}
+	// A 6x6 core grid split into four 3x3-core chips; the workload
+	// occupies roughly one chip's worth of cores, so placement decides
+	// whether it straddles boundaries.
+	tb := report.NewTable("Multi-chip boundary traffic (6x6 cores as 2x2 chips of 3x3)",
+		"placer", "inter-chip fraction", "inter-chip spikes", "busiest link")
+	fracs := map[string]float64{}
+	for _, p := range placers {
+		opt := p.opt
+		opt.Width, opt.Height = 6, 6
+		mp, err := compile.Compile(ffNet(1), opt)
+		if err != nil {
+			panic(err)
+		}
+		sys, err := system.New(mp.Chip, system.Config{ChipCoresX: 3, ChipCoresY: 3})
+		if err != nil {
+			panic(err)
+		}
+		r := rng.NewSplitMix64(99)
+		for t := 0; t < ticks; t++ {
+			for k := 0; k < 32; k++ {
+				line := int32(r.Intn(len(mp.InputTargets)))
+				at := sys.Chip().Now() + int64(mp.InputDelay[line])
+				for _, tgt := range mp.InputTargets[line] {
+					_ = sys.Chip().Inject(tgt.Core, int(tgt.Axon), at)
+				}
+			}
+			sys.Tick()
+		}
+		st := sys.Stats()
+		tb.AddRow(p.name,
+			report.F(sys.InterChipFraction()),
+			report.I(int64(st.InterChip)),
+			report.I(int64(st.BusiestLink)))
+		fracs[p.name] = sys.InterChipFraction()
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	fmt.Fprintf(&b, "\nExtension shape: compact placement (greedy) keeps traffic on-chip.\n")
+	fmt.Fprintf(&b, "Note the finding: annealing minimises hop distance, not boundary\n")
+	fmt.Fprintf(&b, "crossings — its hop-optimal blob can straddle the chip corner, so\n")
+	fmt.Fprintf(&b, "boundary-aware placement is a distinct objective in tiled systems.\n")
+	return Result{
+		ID:    "E2",
+		Title: "Extension: multi-chip boundary traffic vs placement",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"interchip_random": fracs["random"],
+			"interchip_greedy": fracs["greedy"],
+			"interchip_anneal": fracs["anneal"],
+		},
+	}
+}

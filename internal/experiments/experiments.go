@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md section 3 and EXPERIMENTS.md).
+// Each experiment returns a Result holding rendered tables/charts plus
+// the headline metrics, and is exposed both through cmd/npaper and the
+// root-level benchmarks.
+//
+// Experiments accept a quick flag: quick runs shrink workloads to keep
+// test suites fast; full runs (cmd/npaper) use the canonical sizes.
+// All randomness is seeded, so results are reproducible; only wall-clock
+// throughput metrics (T4, F6) vary between machines.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier (T1..T5, F1..F7).
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Text is the rendered table(s) and chart(s).
+	Text string
+	// Metrics holds the headline numbers for bench reporting.
+	Metrics map[string]float64
+}
+
+// Render returns the full human-readable block for the result.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s ====\n\n", r.ID, r.Title)
+	b.WriteString(r.Text)
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("\nmetrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.6g", k, r.Metrics[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// runner describes one experiment for the registry.
+type runner struct {
+	ID string
+	Fn func(quick bool) Result
+}
+
+// registry lists every experiment in presentation order.
+func registry() []runner {
+	return []runner{
+		{"T1", func(bool) Result { return T1Capacity() }},
+		{"F1", func(bool) Result { return F1Behaviors() }},
+		{"T2", func(bool) Result { return T2Energy() }},
+		{"F2", F2PowerSweep},
+		{"F3", F3NoCLatency},
+		{"F4", F4Locality},
+		{"T3", T3Classification},
+		{"F5", F5Window},
+		{"T4", T4Engines},
+		{"F6", F6Scaling},
+		{"T5", T5Placement},
+		{"F7", F7Detector},
+		{"E1", E1Conv},
+		{"E2", E2System},
+	}
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	var out []string
+	for _, r := range registry() {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, quick bool) (Result, error) {
+	for _, r := range registry() {
+		if strings.EqualFold(r.ID, id) {
+			return r.Fn(quick), nil
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// All executes every experiment in order.
+func All(quick bool) []Result {
+	var out []Result
+	for _, r := range registry() {
+		out = append(out, r.Fn(quick))
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"T1", "F1", "T2", "F2", "F3", "F4", "T3", "F5", "T4", "F6", "T5", "F7", "E1", "E2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("T9", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	r, err := Run("t1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "T1" {
+		t.Fatalf("ID = %s", r.ID)
+	}
+}
+
+func TestT1Capacity(t *testing.T) {
+	r := T1Capacity()
+	if r.Metrics["cores_per_chip"] != 4096 {
+		t.Errorf("cores_per_chip = %g", r.Metrics["cores_per_chip"])
+	}
+	if r.Metrics["neurons_per_chip"] != 4096*256 {
+		t.Errorf("neurons_per_chip = %g", r.Metrics["neurons_per_chip"])
+	}
+	if !strings.Contains(r.Text, "268,435,456") {
+		t.Error("synapse count missing from table")
+	}
+}
+
+func TestF1Behaviors(t *testing.T) {
+	r := F1Behaviors()
+	if r.Metrics["behaviors"] != 20 {
+		t.Errorf("behaviors = %g", r.Metrics["behaviors"])
+	}
+	if !strings.Contains(r.Text, "tonic-spiking") || !strings.Contains(r.Text, "bistability") {
+		t.Error("gallery entries missing")
+	}
+	if !strings.Contains(r.Text, "|") {
+		t.Error("rasters missing")
+	}
+}
+
+func TestT2Energy(t *testing.T) {
+	r := T2Energy()
+	if p := r.Metrics["power_mw"]; p < 50 || p > 90 {
+		t.Errorf("power = %g mW, want calibration window [50,90]", p)
+	}
+	if e := r.Metrics["pj_per_syn_event"]; e < 20 || e > 32 {
+		t.Errorf("pJ/event = %g, want [20,32]", e)
+	}
+	if g := r.Metrics["conventional_gain"]; g < 20 {
+		t.Errorf("conventional gain = %g, want >= 20x", g)
+	}
+}
+
+func TestF2PowerSweep(t *testing.T) {
+	r := F2PowerSweep(true)
+	if r.Metrics["leak_floor_mw"] <= 0 {
+		t.Error("no leak floor")
+	}
+	if r.Metrics["power_200hz_mw"] <= r.Metrics["leak_floor_mw"] {
+		t.Error("power must grow with rate")
+	}
+	if r.Metrics["sim_linearity_err"] > 0.15 {
+		t.Errorf("simulated power not activity-linear: err=%g", r.Metrics["sim_linearity_err"])
+	}
+}
+
+func TestF3NoCLatency(t *testing.T) {
+	r := F3NoCLatency(true)
+	if r.Metrics["base_latency"] <= 0 {
+		t.Error("no base latency")
+	}
+	if r.Metrics["max_latency"] <= r.Metrics["base_latency"] {
+		t.Error("latency must grow with load")
+	}
+}
+
+func TestF4Locality(t *testing.T) {
+	r := F4Locality(true)
+	if r.Metrics["mean_hops_greedy"] >= r.Metrics["mean_hops_random"] {
+		t.Errorf("greedy (%g) must beat random (%g)",
+			r.Metrics["mean_hops_greedy"], r.Metrics["mean_hops_random"])
+	}
+}
+
+func TestT3Classification(t *testing.T) {
+	r := T3Classification(true)
+	if r.Metrics["float_acc"] < 0.9 {
+		t.Errorf("float accuracy = %g", r.Metrics["float_acc"])
+	}
+	if r.Metrics["spiking_acc"] < r.Metrics["ternary_acc"]-0.12 {
+		t.Errorf("spiking accuracy %g too far below ternary %g",
+			r.Metrics["spiking_acc"], r.Metrics["ternary_acc"])
+	}
+	if r.Metrics["conventional_gain"] < 10 {
+		t.Errorf("conventional gain = %g", r.Metrics["conventional_gain"])
+	}
+}
+
+func TestF5Window(t *testing.T) {
+	r := F5Window(true)
+	if r.Metrics["acc_last_window"] <= r.Metrics["acc_first_window"] {
+		t.Errorf("accuracy must improve with window: %g -> %g",
+			r.Metrics["acc_first_window"], r.Metrics["acc_last_window"])
+	}
+}
+
+func TestT4Engines(t *testing.T) {
+	r := T4Engines(true)
+	if r.Metrics["speedup_idle"] <= r.Metrics["speedup_saturated"] {
+		t.Errorf("event advantage must shrink with activity: idle %gx vs saturated %gx",
+			r.Metrics["speedup_idle"], r.Metrics["speedup_saturated"])
+	}
+	if r.Metrics["speedup_idle"] < 2 {
+		t.Errorf("idle speedup = %gx, expected event engine to dominate", r.Metrics["speedup_idle"])
+	}
+}
+
+func TestF6Scaling(t *testing.T) {
+	r := F6Scaling(true)
+	if r.Metrics["event_ticks_s_large"] <= r.Metrics["dense_ticks_s_large"] {
+		t.Error("event engine must beat dense at scale on sparse traffic")
+	}
+}
+
+func TestT5Placement(t *testing.T) {
+	r := T5Placement(true)
+	if r.Metrics["cost_greedy"] >= r.Metrics["cost_random"] {
+		t.Errorf("greedy cost %g must beat random %g",
+			r.Metrics["cost_greedy"], r.Metrics["cost_random"])
+	}
+}
+
+func TestF7Detector(t *testing.T) {
+	r := F7Detector(true)
+	if r.Metrics["best_f1"] < 0.9 {
+		t.Errorf("best F1 = %g, want >= 0.9", r.Metrics["best_f1"])
+	}
+}
+
+func TestE1Conv(t *testing.T) {
+	r := E1Conv(true)
+	if r.Metrics["conv_ternary_acc"] <= r.Metrics["flat_ternary_acc"] {
+		t.Errorf("conv ternary %g must beat flat ternary %g under jitter",
+			r.Metrics["conv_ternary_acc"], r.Metrics["flat_ternary_acc"])
+	}
+	if r.Metrics["conv_spiking_acc"] < r.Metrics["conv_ternary_acc"]-0.12 {
+		t.Errorf("spiking conv %g too far below its ternary bound %g",
+			r.Metrics["conv_spiking_acc"], r.Metrics["conv_ternary_acc"])
+	}
+}
+
+func TestE2System(t *testing.T) {
+	r := E2System(true)
+	// Greedy's compact blob is the robust boundary winner; annealing
+	// optimises hop distance, not boundary crossings, so it is not
+	// asserted against random (see the experiment's discussion).
+	if r.Metrics["interchip_greedy"] >= r.Metrics["interchip_random"] {
+		t.Errorf("greedy inter-chip fraction %g must beat random %g",
+			r.Metrics["interchip_greedy"], r.Metrics["interchip_random"])
+	}
+}
+
+func TestRenderIncludesMetrics(t *testing.T) {
+	r := T1Capacity()
+	s := r.Render()
+	if !strings.Contains(s, "T1") || !strings.Contains(s, "metrics:") {
+		t.Error("Render missing sections")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// pipelineChip builds the synthetic traffic workload used by the power,
+// throughput and scaling experiments: cores form a linear relay chain
+// (neuron n of core i forwards to axon n of core i+1; the last core's
+// spikes leave the chip), so every injected spike generates exactly one
+// synaptic event, one neuron update and one routed packet per core it
+// traverses. Activity is therefore precisely controlled by the injection
+// rate.
+func pipelineChip(w, h int) *chip.Chip {
+	n := w * h
+	cfgs := make([]*core.Config, n)
+	for i := 0; i < n; i++ {
+		cc := core.NewConfig()
+		for nn := 0; nn < core.Size; nn++ {
+			cc.Synapses.Set(nn, nn, true)
+			cc.Neurons[nn].Threshold = 1
+			if i+1 < n {
+				cc.Targets[nn] = core.Target{Core: int32(i + 1), Axon: uint8(nn)}
+			} else {
+				cc.Targets[nn] = core.Target{Core: core.ExternalCore}
+			}
+		}
+		cc.Seed = uint16(i + 1)
+		cfgs[i] = cc
+	}
+	cfg := &chip.Config{Width: w, Height: h, Cores: cfgs}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return chip.New(cfg)
+}
+
+// drivePipeline injects `perTick` spikes per tick at core 0 (random
+// axons) for `ticks` ticks using the given tick function, then returns
+// the chip counters.
+func drivePipeline(ch *chip.Chip, perTick int, ticks int, dense bool, seed uint64) chip.Counters {
+	r := rng.NewSplitMix64(seed)
+	for t := 0; t < ticks; t++ {
+		for k := 0; k < perTick; k++ {
+			_ = ch.Inject(0, r.Intn(core.Size), ch.Now())
+		}
+		if dense {
+			ch.TickDense()
+		} else {
+			ch.Tick()
+		}
+	}
+	return ch.Counters()
+}
+
+// ffNet builds the three-layer feed-forward network (256 -> 512 -> 256)
+// used by the locality and placement experiments. Layer-1 and layer-2
+// sources need delay 2 because their fan-out spans cores.
+func ffNet(seed uint64) *model.Network {
+	r := rng.NewSplitMix64(seed)
+	m := model.New()
+	in := m.AddInputBank("px", 256, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	proto.Threshold = 2
+	l1 := m.AddPopulation("l1", 512, proto)
+	l2 := m.AddPopulation("l2", 256, proto)
+	for i := 0; i < 256; i++ {
+		for k := 0; k < 4; k++ {
+			m.Connect(in.Line(i), l1.ID(r.Intn(512)))
+		}
+	}
+	for i := 0; i < 512; i++ {
+		m.SourceProps(l1.ID(i)).Delay = 2
+		for k := 0; k < 3; k++ {
+			m.Connect(model.NeuronNode(l1.ID(i)), l2.ID(r.Intn(256)))
+		}
+	}
+	for i := 0; i < 256; i += 4 {
+		m.MarkOutput(l2.ID(i))
+	}
+	return m
+}

@@ -1,0 +1,253 @@
+// Package model describes logical spiking networks independently of their
+// physical mapping onto cores.
+//
+// The abstraction mirrors the architecture's real constraints rather than
+// hiding them:
+//
+//   - A connection carries no weight. Weights live on the destination
+//     neuron, one signed value per axon type; an edge only selects which
+//     type it uses — and the type is a property of the *source* (its axon
+//     line), as in the hardware. This is a Dale's-law-like discipline:
+//     a source is excitatory or inhibitory (or one of the two auxiliary
+//     classes) for all of its targets.
+//
+//   - Axonal delay is a property of the source neuron, applied to all of
+//     its targets.
+//
+//   - Fan-out is unrestricted at this level; the compiler realises it
+//     with in-core axon fan-out and splitter relay trees, which is why
+//     multi-core fan-out needs OutDelay >= 2 (each relay level costs one
+//     tick).
+//
+// Networks are built incrementally from populations, input banks and
+// edges, then handed to the compiler.
+package model
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/neuron"
+)
+
+// NeuronID identifies a logical neuron (dense, starting at 0).
+type NeuronID int32
+
+// Node is an edge source: either a logical neuron or an external input
+// line. The zero Node is neuron 0; use Input(true) constructors below.
+type Node struct {
+	// IsInput distinguishes input lines from neurons.
+	IsInput bool
+	// Idx is a NeuronID or an input-line index, per IsInput.
+	Idx int32
+}
+
+// NeuronNode returns the Node for a logical neuron.
+func NeuronNode(id NeuronID) Node { return Node{Idx: int32(id)} }
+
+// InputNode returns the Node for an external input line.
+func InputNode(line int32) Node { return Node{IsInput: true, Idx: line} }
+
+// String renders the node for diagnostics.
+func (n Node) String() string {
+	if n.IsInput {
+		return fmt.Sprintf("in%d", n.Idx)
+	}
+	return fmt.Sprintf("n%d", n.Idx)
+}
+
+// Edge is one logical connection.
+type Edge struct {
+	From Node
+	To   NeuronID
+}
+
+// Population is a named block of consecutively numbered neurons.
+type Population struct {
+	Name  string
+	First NeuronID
+	N     int
+}
+
+// ID returns the NeuronID of member i.
+func (p *Population) ID(i int) NeuronID {
+	if i < 0 || i >= p.N {
+		panic(fmt.Sprintf("model: population %q index %d out of range [0,%d)", p.Name, i, p.N))
+	}
+	return p.First + NeuronID(i)
+}
+
+// InputBank is a named block of consecutive external input lines.
+type InputBank struct {
+	Name  string
+	First int32
+	N     int
+}
+
+// Line returns the Node for member i of the bank.
+func (b *InputBank) Line(i int) Node {
+	if i < 0 || i >= b.N {
+		panic(fmt.Sprintf("model: input bank %q index %d out of range [0,%d)", b.Name, i, b.N))
+	}
+	return InputNode(b.First + int32(i))
+}
+
+// SourceProps are the per-source emission properties (the "axon line"
+// configuration): the axon type seen by all targets, and the axonal delay.
+type SourceProps struct {
+	Type  neuron.AxonType
+	Delay uint8
+}
+
+// Network is a logical spiking network under construction.
+type Network struct {
+	pops   []*Population
+	banks  []*InputBank
+	params []neuron.Params // per neuron
+	nprops []SourceProps   // per neuron (output line properties)
+	iprops []SourceProps   // per input line
+	output []bool          // per neuron: externally observed
+	edges  []Edge
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{}
+}
+
+// AddPopulation appends n neurons initialised from proto and returns the
+// handle. Source properties default to type 0, delay 1.
+func (m *Network) AddPopulation(name string, n int, proto neuron.Params) *Population {
+	if n <= 0 {
+		panic(fmt.Sprintf("model: population %q size %d must be positive", name, n))
+	}
+	p := &Population{Name: name, First: NeuronID(len(m.params)), N: n}
+	m.pops = append(m.pops, p)
+	for i := 0; i < n; i++ {
+		m.params = append(m.params, proto)
+		m.nprops = append(m.nprops, SourceProps{Type: 0, Delay: 1})
+		m.output = append(m.output, false)
+	}
+	return p
+}
+
+// AddInputBank appends n external input lines with the given source
+// properties and returns the handle.
+func (m *Network) AddInputBank(name string, n int, props SourceProps) *InputBank {
+	if n <= 0 {
+		panic(fmt.Sprintf("model: input bank %q size %d must be positive", name, n))
+	}
+	b := &InputBank{Name: name, First: int32(len(m.iprops)), N: n}
+	m.banks = append(m.banks, b)
+	for i := 0; i < n; i++ {
+		m.iprops = append(m.iprops, props)
+	}
+	return b
+}
+
+// Connect adds an edge from a source node to a destination neuron.
+func (m *Network) Connect(from Node, to NeuronID) {
+	m.edges = append(m.edges, Edge{From: from, To: to})
+}
+
+// MarkOutput flags a neuron as externally observed: its spikes are
+// reported off-chip in addition to any internal fan-out.
+func (m *Network) MarkOutput(id NeuronID) {
+	m.output[id] = true
+}
+
+// IsOutput reports whether the neuron is externally observed.
+func (m *Network) IsOutput(id NeuronID) bool { return m.output[id] }
+
+// Params returns a mutable pointer to a neuron's parameters.
+func (m *Network) Params(id NeuronID) *neuron.Params { return &m.params[id] }
+
+// SourceProps returns a mutable pointer to a neuron's emission properties.
+func (m *Network) SourceProps(id NeuronID) *SourceProps { return &m.nprops[id] }
+
+// InputProps returns a mutable pointer to an input line's properties.
+func (m *Network) InputProps(line int32) *SourceProps { return &m.iprops[line] }
+
+// Neurons returns the number of logical neurons.
+func (m *Network) Neurons() int { return len(m.params) }
+
+// InputLines returns the number of external input lines.
+func (m *Network) InputLines() int { return len(m.iprops) }
+
+// Edges returns the edge list in insertion order. Callers must not
+// modify it.
+func (m *Network) Edges() []Edge { return m.edges }
+
+// Populations returns the population handles in creation order.
+func (m *Network) Populations() []*Population { return m.pops }
+
+// InputBanks returns the input bank handles in creation order.
+func (m *Network) InputBanks() []*InputBank { return m.banks }
+
+// OutputNeurons returns the IDs of all externally observed neurons, in
+// ascending order.
+func (m *Network) OutputNeurons() []NeuronID {
+	var out []NeuronID
+	for id, isOut := range m.output {
+		if isOut {
+			out = append(out, NeuronID(id))
+		}
+	}
+	return out
+}
+
+// Validate checks ranges, parameter blocks and emission properties.
+func (m *Network) Validate() error {
+	for id := range m.params {
+		if err := m.params[id].Validate(); err != nil {
+			return fmt.Errorf("model: neuron %d: %w", id, err)
+		}
+		if err := validateProps(m.nprops[id]); err != nil {
+			return fmt.Errorf("model: neuron %d source: %w", id, err)
+		}
+	}
+	for line, pr := range m.iprops {
+		if err := validateProps(pr); err != nil {
+			return fmt.Errorf("model: input line %d: %w", line, err)
+		}
+	}
+	for i, e := range m.edges {
+		if e.To < 0 || int(e.To) >= len(m.params) {
+			return fmt.Errorf("model: edge %d targets unknown neuron %d", i, e.To)
+		}
+		if e.From.IsInput {
+			if e.From.Idx < 0 || int(e.From.Idx) >= len(m.iprops) {
+				return fmt.Errorf("model: edge %d from unknown input line %d", i, e.From.Idx)
+			}
+		} else if e.From.Idx < 0 || int(e.From.Idx) >= len(m.params) {
+			return fmt.Errorf("model: edge %d from unknown neuron %d", i, e.From.Idx)
+		}
+	}
+	return nil
+}
+
+func validateProps(p SourceProps) error {
+	if p.Type >= neuron.NumAxonTypes {
+		return fmt.Errorf("axon type %d out of range", p.Type)
+	}
+	if p.Delay < 1 || p.Delay > neuron.MaxDelay {
+		return fmt.Errorf("delay %d outside [1,%d]", p.Delay, neuron.MaxDelay)
+	}
+	return nil
+}
+
+// FanOut returns, for every source node, its destination list in edge
+// insertion order. The outer map is returned as two slices (neuron
+// sources indexed by NeuronID, input sources by line) to keep iteration
+// deterministic.
+func (m *Network) FanOut() (fromNeuron [][]NeuronID, fromInput [][]NeuronID) {
+	fromNeuron = make([][]NeuronID, len(m.params))
+	fromInput = make([][]NeuronID, len(m.iprops))
+	for _, e := range m.edges {
+		if e.From.IsInput {
+			fromInput[e.From.Idx] = append(fromInput[e.From.Idx], e.To)
+		} else {
+			fromNeuron[e.From.Idx] = append(fromNeuron[e.From.Idx], e.To)
+		}
+	}
+	return fromNeuron, fromInput
+}

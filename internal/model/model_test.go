@@ -1,0 +1,181 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/neuron"
+)
+
+func TestAddPopulationNumbering(t *testing.T) {
+	m := New()
+	a := m.AddPopulation("a", 3, neuron.Default())
+	b := m.AddPopulation("b", 2, neuron.Default())
+	if a.First != 0 || a.N != 3 {
+		t.Fatalf("a = %+v", a)
+	}
+	if b.First != 3 || b.N != 2 {
+		t.Fatalf("b = %+v", b)
+	}
+	if m.Neurons() != 5 {
+		t.Fatalf("Neurons = %d", m.Neurons())
+	}
+	if a.ID(2) != 2 || b.ID(0) != 3 {
+		t.Fatal("ID numbering wrong")
+	}
+}
+
+func TestPopulationIDPanics(t *testing.T) {
+	m := New()
+	a := m.AddPopulation("a", 3, neuron.Default())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.ID(3)
+}
+
+func TestAddPopulationPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().AddPopulation("x", 0, neuron.Default())
+}
+
+func TestInputBanks(t *testing.T) {
+	m := New()
+	in := m.AddInputBank("px", 4, SourceProps{Type: 1, Delay: 2})
+	if m.InputLines() != 4 {
+		t.Fatalf("InputLines = %d", m.InputLines())
+	}
+	n := in.Line(3)
+	if !n.IsInput || n.Idx != 3 {
+		t.Fatalf("Line(3) = %+v", n)
+	}
+	if got := m.InputProps(0); got.Type != 1 || got.Delay != 2 {
+		t.Fatalf("props = %+v", got)
+	}
+	if n.String() != "in3" {
+		t.Fatalf("String = %q", n.String())
+	}
+	if NeuronNode(7).String() != "n7" {
+		t.Fatal("neuron node string wrong")
+	}
+}
+
+func TestConnectAndFanOut(t *testing.T) {
+	m := New()
+	in := m.AddInputBank("px", 2, SourceProps{Type: 0, Delay: 1})
+	p := m.AddPopulation("p", 3, neuron.Default())
+	m.Connect(in.Line(0), p.ID(0))
+	m.Connect(in.Line(0), p.ID(1))
+	m.Connect(NeuronNode(p.ID(0)), p.ID(2))
+	fn, fi := m.FanOut()
+	if len(fi[0]) != 2 || fi[0][0] != 0 || fi[0][1] != 1 {
+		t.Fatalf("input fanout = %v", fi[0])
+	}
+	if len(fi[1]) != 0 {
+		t.Fatalf("unused input has fanout %v", fi[1])
+	}
+	if len(fn[0]) != 1 || fn[0][0] != 2 {
+		t.Fatalf("neuron fanout = %v", fn[0])
+	}
+	if len(m.Edges()) != 3 {
+		t.Fatalf("edges = %d", len(m.Edges()))
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	m := New()
+	p := m.AddPopulation("p", 4, neuron.Default())
+	m.MarkOutput(p.ID(1))
+	m.MarkOutput(p.ID(3))
+	outs := m.OutputNeurons()
+	if len(outs) != 2 || outs[0] != 1 || outs[1] != 3 {
+		t.Fatalf("outputs = %v", outs)
+	}
+	if !m.IsOutput(1) || m.IsOutput(0) {
+		t.Fatal("IsOutput wrong")
+	}
+}
+
+func TestParamsMutable(t *testing.T) {
+	m := New()
+	p := m.AddPopulation("p", 2, neuron.Default())
+	m.Params(p.ID(1)).Threshold = 42
+	if m.Params(p.ID(1)).Threshold != 42 {
+		t.Fatal("params not mutable in place")
+	}
+	if m.Params(p.ID(0)).Threshold == 42 {
+		t.Fatal("mutation leaked across neurons")
+	}
+	m.SourceProps(p.ID(0)).Delay = 3
+	if m.SourceProps(p.ID(0)).Delay != 3 {
+		t.Fatal("source props not mutable")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	m := New()
+	in := m.AddInputBank("px", 2, SourceProps{Type: 0, Delay: 1})
+	p := m.AddPopulation("p", 2, neuron.Default())
+	m.Connect(in.Line(0), p.ID(0))
+	m.Connect(NeuronNode(p.ID(0)), p.ID(1))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mk := func() *Network {
+		m := New()
+		m.AddInputBank("px", 1, SourceProps{Type: 0, Delay: 1})
+		m.AddPopulation("p", 2, neuron.Default())
+		return m
+	}
+	cases := []struct {
+		name string
+		mut  func(m *Network)
+	}{
+		{"bad neuron params", func(m *Network) { m.Params(0).Threshold = 0 }},
+		{"bad neuron delay", func(m *Network) { m.SourceProps(0).Delay = 0 }},
+		{"bad neuron type", func(m *Network) { m.SourceProps(0).Type = 4 }},
+		{"bad input delay", func(m *Network) { m.InputProps(0).Delay = 77 }},
+		{"edge to unknown", func(m *Network) { m.Connect(NeuronNode(0), 99) }},
+		{"edge from unknown neuron", func(m *Network) { m.Connect(NeuronNode(55), 0) }},
+		{"edge from unknown input", func(m *Network) { m.Connect(InputNode(9), 0) }},
+	}
+	for _, c := range cases {
+		m := mk()
+		c.mut(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestInputBankLinePanics(t *testing.T) {
+	m := New()
+	b := m.AddInputBank("px", 2, SourceProps{Type: 0, Delay: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Line(-1)
+}
+
+func TestPopulationsAndBanksAccessors(t *testing.T) {
+	m := New()
+	m.AddPopulation("a", 1, neuron.Default())
+	m.AddPopulation("b", 1, neuron.Default())
+	m.AddInputBank("x", 1, SourceProps{Type: 0, Delay: 1})
+	if len(m.Populations()) != 2 || m.Populations()[1].Name != "b" {
+		t.Fatal("Populations accessor wrong")
+	}
+	if len(m.InputBanks()) != 1 || m.InputBanks()[0].Name != "x" {
+		t.Fatal("InputBanks accessor wrong")
+	}
+}

@@ -1,0 +1,376 @@
+package neuron
+
+// This file defines the behaviour gallery: twenty canonical spiking
+// behaviours, each realised by a single digital neuron with a specific
+// parameterisation and stimulus script. The gallery demonstrates the
+// richness of the core's neuron model (experiment F1) and doubles as an
+// executable specification: every entry's qualitative signature is checked
+// by tests.
+//
+// Where the textbook behaviour arises from network effects (e.g. rhythmic
+// inhibition for tonic bursting, ramping inhibition for adaptation), the
+// stimulus script encodes the network's contribution; the entry documents
+// this. All entries are deterministic except the explicitly stochastic
+// ones, which consume draws from a fixed-seed LFSR.
+
+import "github.com/neurogo/neurogo/internal/rng"
+
+// Behavior couples a neuron configuration with a stimulus script and a
+// simulation window, producing a reproducible raster.
+type Behavior struct {
+	// Name is the canonical behaviour name.
+	Name string
+	// Description explains the mechanism and what the raster shows.
+	Description string
+	// Params configures the neuron.
+	Params Params
+	// Window is the number of ticks to simulate.
+	Window int
+	// Seed seeds the LFSR for stochastic entries (ignored otherwise).
+	Seed uint16
+	// Stimulus returns the number of excitatory (axon type 0) and
+	// inhibitory (axon type 1) input spikes delivered at tick t.
+	Stimulus func(t int) (exc, inh int)
+}
+
+// Trace is the result of running a Behavior: the spike times and the
+// post-update membrane potential at every tick.
+type Trace struct {
+	SpikeTimes []int
+	V          []int32
+}
+
+// Run simulates the behaviour and returns its trace.
+func (b *Behavior) Run() Trace {
+	l := rng.NewLFSR(b.Seed)
+	var v int32
+	tr := Trace{V: make([]int32, b.Window)}
+	for t := 0; t < b.Window; t++ {
+		exc, inh := b.Stimulus(t)
+		var spiked bool
+		v, spiked = Step(v, &b.Params, exc, inh, l)
+		tr.V[t] = v
+		if spiked {
+			tr.SpikeTimes = append(tr.SpikeTimes, t)
+		}
+	}
+	return tr
+}
+
+// constStim returns a stimulus of fixed excitation and inhibition per tick.
+func constStim(exc, inh int) func(int) (int, int) {
+	return func(int) (int, int) { return exc, inh }
+}
+
+// Gallery returns the twenty-behaviour gallery in presentation order.
+func Gallery() []Behavior {
+	return []Behavior{
+		{
+			Name:        "tonic-spiking",
+			Description: "Constant input, regular output: integrates +1/tick to threshold 4, firing every 4 ticks.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{1, -1, 0, 0},
+				Threshold: 4, Reset: ResetNormal, Delay: 1,
+			},
+			Window:   96,
+			Stimulus: constStim(1, 0),
+		},
+		{
+			Name:        "phasic-spiking",
+			Description: "Single spike at stimulus onset: net drive +1/tick, then a deep reset (-250) silences the neuron for the rest of the window.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{2, -1, 0, 0},
+				Leak:      -1,
+				Threshold: 2, Reset: ResetNormal, ResetV: -250,
+				NegThreshold: 255, NegSaturate: true, Delay: 1,
+			},
+			Window:   96,
+			Stimulus: constStim(1, 0),
+		},
+		{
+			Name:        "tonic-bursting",
+			Description: "Spike groups separated by silences: constant excitation with rhythmic inhibition (the network contribution) gates firing into bursts.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{3, -6, 0, 0},
+				Threshold: 4, Reset: ResetNormal, NegSaturate: true, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				if t%10 >= 8 {
+					return 1, 1
+				}
+				return 1, 0
+			},
+		},
+		{
+			Name:        "phasic-bursting",
+			Description: "A pulse of input is converted into a finite burst: linear reset preserves the integration surplus, emitting one spike per tick until it is spent.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{1, -1, 0, 0},
+				Threshold: 1, Reset: ResetLinear, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				if t == 0 {
+					return 5, 0
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "mixed-mode",
+			Description: "Onset burst followed by tonic tail: an input transient charges the potential, linear reset drains it as a burst, and sustained input maintains regular firing.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{2, -1, 0, 0},
+				Leak:      -1,
+				Threshold: 2, Reset: ResetLinear, NegSaturate: true, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				if t == 0 {
+					return 5, 0
+				}
+				return 1, 0
+			},
+		},
+		{
+			Name:        "spike-frequency-adaptation",
+			Description: "Inter-spike intervals lengthen over time: inhibition ramps up with the stimulus history (the network contribution), thinning the net drive.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{2, -1, 0, 0},
+				Threshold: 4, Reset: ResetNormal, NegSaturate: true, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				return 1, t / 24
+			},
+		},
+		{
+			Name:        "class-1-excitable",
+			Description: "Firing rate proportional to input strength: a pure integrator with a high threshold transduces a ramping input into an accelerating spike train.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{1, -1, 0, 0},
+				Threshold: 16, Reset: ResetNormal, Delay: 1,
+			},
+			Window: 128,
+			Stimulus: func(t int) (int, int) {
+				return 1 + t/32, 0
+			},
+		},
+		{
+			Name:        "class-2-excitable",
+			Description: "All-or-nothing rate response: a strong decay leak (-3/tick) suppresses weak input entirely; once input exceeds it, firing starts at a nonzero rate.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{1, -1, 0, 0},
+				Leak:      -3,
+				Threshold: 4, Reset: ResetNormal, NegSaturate: true, Delay: 1,
+			},
+			Window: 128,
+			Stimulus: func(t int) (int, int) {
+				return t / 24, 0
+			},
+		},
+		{
+			Name:        "spike-latency",
+			Description: "Output spike delayed well past its input: a subthreshold impulse is amplified by the reversed leak (+1 toward the rails) until threshold is crossed ticks later.",
+			Params: Params{
+				SynWeight:    [NumAxonTypes]int16{1, -1, 0, 0},
+				Leak:         1,
+				LeakReversal: true,
+				Threshold:    8, Reset: ResetNormal, Delay: 1,
+			},
+			Window: 64,
+			Stimulus: func(t int) (int, int) {
+				if t == 10 {
+					return 3, 0
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "integrator",
+			Description: "Coincidence detector: only input spikes arriving on consecutive ticks overcome the decay leak; isolated or widely spaced spikes are forgotten.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{4, -1, 0, 0},
+				Leak:      -2,
+				Threshold: 4, Reset: ResetNormal, NegSaturate: true, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				switch t {
+				case 10, 13, 40, 41, 70, 75:
+					return 1, 0
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "rebound-spike",
+			Description: "A purely inhibitory pulse produces a spike: crossing the negative threshold triggers a negative reset to a suprathreshold positive value, firing on the next tick.",
+			Params: Params{
+				SynWeight:    [NumAxonTypes]int16{1, -12, 0, 0},
+				Threshold:    4,
+				NegThreshold: 10,
+				Reset:        ResetNormal, ResetV: -4, Delay: 1,
+			},
+			Window: 64,
+			Stimulus: func(t int) (int, int) {
+				if t == 20 {
+					return 0, 1
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "rebound-burst",
+			Description: "Release from inhibition yields a burst: the negative reset lands the potential far above threshold and the linear reset drains it over several spikes.",
+			Params: Params{
+				SynWeight:    [NumAxonTypes]int16{1, -12, 0, 0},
+				Threshold:    2,
+				NegThreshold: 10,
+				Reset:        ResetLinear, ResetV: -9, Delay: 1,
+			},
+			Window: 64,
+			Stimulus: func(t int) (int, int) {
+				if t == 20 {
+					return 0, 1
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "threshold-variability",
+			Description: "Identical inputs sometimes fire and sometimes do not: a 3-bit stochastic threshold offset raises the effective threshold unpredictably each tick.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{4, -1, 0, 0},
+				Threshold: 4,
+				MaskBits:  3,
+				Reset:     ResetNormal, Delay: 1,
+			},
+			Window: 256,
+			Seed:   0x5EED,
+			Stimulus: func(t int) (int, int) {
+				if t%4 == 0 {
+					return 1, 0
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "bistability",
+			Description: "Two stable modes: reset-to-threshold makes firing self-sustaining once triggered by an excitatory pulse; an inhibitory pulse knocks it back to rest.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{1, -8, 0, 0},
+				Threshold: 4, Reset: ResetNormal, ResetV: 4,
+				NegSaturate: true, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				switch t {
+				case 10:
+					return 4, 0
+				case 50:
+					return 0, 1
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "depolarizing-after-potential",
+			Description: "The potential stays elevated after each spike: reset lands just below threshold, so a weak follow-up input that could never fire from rest fires immediately.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{2, -1, 0, 0},
+				Threshold: 4, Reset: ResetNormal, ResetV: 3,
+				NegSaturate: true, Delay: 1,
+			},
+			Window: 64,
+			Stimulus: func(t int) (int, int) {
+				switch t {
+				case 10:
+					return 4, 0
+				case 12:
+					return 1, 0
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "accommodation",
+			Description: "A slow ramp never fires; the same charge delivered quickly does: the decay leak cancels slow input but cannot keep up with a fast step.",
+			Params: Params{
+				SynWeight: [NumAxonTypes]int16{2, -1, 0, 0},
+				Leak:      -1,
+				Threshold: 4, Reset: ResetNormal, NegSaturate: true, Delay: 1,
+			},
+			Window: 96,
+			Stimulus: func(t int) (int, int) {
+				if t < 40 && t%2 == 0 {
+					return 1, 0 // slow: +2 every other tick, leak erases it
+				}
+				if t >= 60 && t < 68 {
+					return 1, 0 // fast: +1 net per tick for 8 ticks
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "inhibition-induced-spiking",
+			Description: "Fires only while inhibited: sustained inhibition repeatedly crosses the negative threshold, whose reset flips the potential above the firing threshold.",
+			Params: Params{
+				SynWeight:    [NumAxonTypes]int16{1, -3, 0, 0},
+				Threshold:    2,
+				NegThreshold: 4,
+				Reset:        ResetLinear, ResetV: -6, Delay: 1,
+			},
+			Window: 60,
+			Stimulus: func(t int) (int, int) {
+				if t >= 10 {
+					return 0, 1
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "inhibition-induced-bursting",
+			Description: "Bursts only while inhibited: each negative-threshold crossing flips the potential far above threshold, and the linear reset spends it as a multi-spike burst.",
+			Params: Params{
+				SynWeight:    [NumAxonTypes]int16{1, -3, 0, 0},
+				Threshold:    2,
+				NegThreshold: 4,
+				Reset:        ResetLinear, ResetV: -20, Delay: 1,
+			},
+			Window: 60,
+			Stimulus: func(t int) (int, int) {
+				if t >= 10 {
+					return 0, 1
+				}
+				return 0, 0
+			},
+		},
+		{
+			Name:        "stochastic-spontaneous",
+			Description: "Fires with no input at all: a stochastic upward leak (+1 with probability 1/4) random-walks the potential to threshold at irregular intervals.",
+			Params: Params{
+				SynWeight:      [NumAxonTypes]int16{1, -1, 0, 0},
+				Leak:           64, // probability 64/256 = 1/4 per tick
+				LeakStochastic: true,
+				Threshold:      4, Reset: ResetNormal, Delay: 1,
+			},
+			Window:   512,
+			Seed:     0xACE1,
+			Stimulus: constStim(0, 0),
+		},
+		{
+			Name:        "stochastic-transduction",
+			Description: "Deterministic input, probabilistic output: stochastic synapses pass each input spike with probability 1/2, thinning a regular train into a Bernoulli one.",
+			Params: Params{
+				SynWeight:     [NumAxonTypes]int16{128, -1, 0, 0},
+				SynStochastic: [NumAxonTypes]bool{true, false, false, false},
+				Threshold:     1, Reset: ResetNormal, Delay: 1,
+			},
+			Window:   512,
+			Seed:     0xBEEF,
+			Stimulus: constStim(1, 0),
+		},
+	}
+}

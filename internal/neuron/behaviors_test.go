@@ -1,0 +1,421 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+)
+
+// byName runs the gallery and indexes traces by behaviour name.
+func byName(t *testing.T) map[string]Trace {
+	t.Helper()
+	out := make(map[string]Trace)
+	for _, b := range Gallery() {
+		b := b
+		if err := b.Params.Validate(); err != nil {
+			t.Fatalf("behaviour %q has invalid params: %v", b.Name, err)
+		}
+		out[b.Name] = b.Run()
+	}
+	return out
+}
+
+// isis returns the inter-spike intervals of a spike-time list.
+func isis(times []int) []int {
+	if len(times) < 2 {
+		return nil
+	}
+	out := make([]int, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		out[i-1] = times[i] - times[i-1]
+	}
+	return out
+}
+
+// groups splits spike times into bursts: spikes within maxGap ticks of the
+// previous spike belong to the same group.
+func groups(times []int, maxGap int) [][]int {
+	var out [][]int
+	for _, t := range times {
+		if n := len(out); n > 0 && t-out[n-1][len(out[n-1])-1] <= maxGap {
+			out[n-1] = append(out[n-1], t)
+			continue
+		}
+		out = append(out, []int{t})
+	}
+	return out
+}
+
+func TestGalleryHasTwentyDistinctBehaviors(t *testing.T) {
+	g := Gallery()
+	if len(g) != 20 {
+		t.Fatalf("gallery has %d entries, want 20", len(g))
+	}
+	seen := map[string]bool{}
+	for _, b := range g {
+		if seen[b.Name] {
+			t.Errorf("duplicate behaviour name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Description == "" {
+			t.Errorf("behaviour %q lacks a description", b.Name)
+		}
+		if b.Window <= 0 || b.Stimulus == nil {
+			t.Errorf("behaviour %q has no window or stimulus", b.Name)
+		}
+	}
+}
+
+func TestGalleryDeterministicReruns(t *testing.T) {
+	for _, b := range Gallery() {
+		b := b
+		a1, a2 := b.Run(), b.Run()
+		if len(a1.SpikeTimes) != len(a2.SpikeTimes) {
+			t.Fatalf("%s: rerun changed spike count %d -> %d", b.Name, len(a1.SpikeTimes), len(a2.SpikeTimes))
+		}
+		for i := range a1.SpikeTimes {
+			if a1.SpikeTimes[i] != a2.SpikeTimes[i] {
+				t.Fatalf("%s: rerun changed spike %d", b.Name, i)
+			}
+		}
+	}
+}
+
+func TestTonicSpiking(t *testing.T) {
+	tr := byName(t)["tonic-spiking"]
+	if len(tr.SpikeTimes) < 8 {
+		t.Fatalf("too few spikes: %d", len(tr.SpikeTimes))
+	}
+	for _, isi := range isis(tr.SpikeTimes) {
+		if isi != 4 {
+			t.Fatalf("tonic ISI = %d, want uniformly 4 (times %v)", isi, tr.SpikeTimes)
+		}
+	}
+}
+
+func TestPhasicSpiking(t *testing.T) {
+	tr := byName(t)["phasic-spiking"]
+	if len(tr.SpikeTimes) != 1 {
+		t.Fatalf("phasic must spike exactly once, got %v", tr.SpikeTimes)
+	}
+	if tr.SpikeTimes[0] > 5 {
+		t.Fatalf("phasic spike must be at onset, got t=%d", tr.SpikeTimes[0])
+	}
+}
+
+func TestTonicBursting(t *testing.T) {
+	tr := byName(t)["tonic-bursting"]
+	gs := groups(tr.SpikeTimes, 2)
+	if len(gs) < 3 {
+		t.Fatalf("want >=3 bursts, got %d (%v)", len(gs), tr.SpikeTimes)
+	}
+	for i, g := range gs {
+		if len(g) < 3 {
+			t.Fatalf("burst %d has %d spikes, want >=3 (%v)", i, len(g), tr.SpikeTimes)
+		}
+	}
+	// Bursts must be separated by silence of at least 3 ticks.
+	for i := 1; i < len(gs); i++ {
+		gap := gs[i][0] - gs[i-1][len(gs[i-1])-1]
+		if gap < 3 {
+			t.Fatalf("bursts %d,%d separated by only %d ticks", i-1, i, gap)
+		}
+	}
+}
+
+func TestPhasicBursting(t *testing.T) {
+	tr := byName(t)["phasic-bursting"]
+	if len(tr.SpikeTimes) != 5 {
+		t.Fatalf("want a 5-spike burst, got %v", tr.SpikeTimes)
+	}
+	for i, st := range tr.SpikeTimes {
+		if st != i {
+			t.Fatalf("burst must be consecutive from t=0, got %v", tr.SpikeTimes)
+		}
+	}
+}
+
+func TestMixedMode(t *testing.T) {
+	tr := byName(t)["mixed-mode"]
+	if len(tr.SpikeTimes) < 8 {
+		t.Fatalf("too few spikes: %v", tr.SpikeTimes)
+	}
+	// Initial burst: at least 4 consecutive ticks spiking.
+	consec := 1
+	maxConsec := 1
+	for _, isi := range isis(tr.SpikeTimes) {
+		if isi == 1 {
+			consec++
+			if consec > maxConsec {
+				maxConsec = consec
+			}
+		} else {
+			consec = 1
+		}
+	}
+	if maxConsec < 4 {
+		t.Fatalf("onset burst too short: %v", tr.SpikeTimes)
+	}
+	// Tail: the last ISIs are regular and > 1.
+	iv := isis(tr.SpikeTimes)
+	last := iv[len(iv)-1]
+	if last < 2 {
+		t.Fatalf("tail must be tonic with ISI >= 2, got %d", last)
+	}
+	for i := len(iv) - 3; i < len(iv); i++ {
+		if iv[i] != last {
+			t.Fatalf("tail ISIs irregular: %v", iv)
+		}
+	}
+}
+
+func TestSpikeFrequencyAdaptation(t *testing.T) {
+	tr := byName(t)["spike-frequency-adaptation"]
+	iv := isis(tr.SpikeTimes)
+	if len(iv) < 4 {
+		t.Fatalf("too few spikes: %v", tr.SpikeTimes)
+	}
+	distinct := map[int]bool{}
+	for i := 1; i < len(iv); i++ {
+		if iv[i] < iv[i-1] {
+			t.Fatalf("ISIs must be non-decreasing, got %v", iv)
+		}
+	}
+	for _, x := range iv {
+		distinct[x] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("adaptation needs at least 2 distinct ISIs, got %v", iv)
+	}
+}
+
+func TestClass1Excitable(t *testing.T) {
+	tr := byName(t)["class-1-excitable"]
+	mid := 64
+	var first, second int
+	for _, st := range tr.SpikeTimes {
+		if st < mid {
+			first++
+		} else {
+			second++
+		}
+	}
+	if second <= first {
+		t.Fatalf("rate must grow with input: first half %d, second half %d", first, second)
+	}
+}
+
+func TestClass2Excitable(t *testing.T) {
+	tr := byName(t)["class-2-excitable"]
+	for _, st := range tr.SpikeTimes {
+		if st < 96 {
+			t.Fatalf("class 2 must stay silent below the input threshold, spiked at %d", st)
+		}
+	}
+	if len(tr.SpikeTimes) < 2 {
+		t.Fatalf("class 2 must fire at a nonzero rate once triggered, got %v", tr.SpikeTimes)
+	}
+	iv := isis(tr.SpikeTimes)
+	for _, x := range iv {
+		if x > 6 {
+			t.Fatalf("class 2 onset must be at a high rate, ISI %d too long", x)
+		}
+	}
+}
+
+func TestSpikeLatency(t *testing.T) {
+	tr := byName(t)["spike-latency"]
+	if len(tr.SpikeTimes) != 1 {
+		t.Fatalf("want exactly one spike, got %v", tr.SpikeTimes)
+	}
+	if lat := tr.SpikeTimes[0] - 10; lat < 3 {
+		t.Fatalf("spike latency %d ticks after input, want >= 3", lat)
+	}
+}
+
+func TestIntegrator(t *testing.T) {
+	tr := byName(t)["integrator"]
+	if len(tr.SpikeTimes) != 1 {
+		t.Fatalf("integrator must fire once (for the close pair only), got %v", tr.SpikeTimes)
+	}
+	if st := tr.SpikeTimes[0]; st != 41 {
+		t.Fatalf("integrator fired at %d, want 41 (the adjacent pair)", st)
+	}
+}
+
+func TestReboundSpike(t *testing.T) {
+	tr := byName(t)["rebound-spike"]
+	if len(tr.SpikeTimes) != 1 {
+		t.Fatalf("want exactly one rebound spike, got %v", tr.SpikeTimes)
+	}
+	if st := tr.SpikeTimes[0]; st <= 20 {
+		t.Fatalf("rebound must follow the inhibitory pulse at t=20, got %d", st)
+	}
+}
+
+func TestReboundBurst(t *testing.T) {
+	tr := byName(t)["rebound-burst"]
+	if len(tr.SpikeTimes) < 3 {
+		t.Fatalf("want a rebound burst of >=3 spikes, got %v", tr.SpikeTimes)
+	}
+	for _, st := range tr.SpikeTimes {
+		if st <= 20 {
+			t.Fatalf("all spikes must follow the inhibition, got %v", tr.SpikeTimes)
+		}
+	}
+	for _, isi := range isis(tr.SpikeTimes) {
+		if isi != 1 {
+			t.Fatalf("rebound burst must be consecutive, got %v", tr.SpikeTimes)
+		}
+	}
+}
+
+func TestThresholdVariability(t *testing.T) {
+	tr := byName(t)["threshold-variability"]
+	inputs := 256 / 4
+	frac := float64(len(tr.SpikeTimes)) / float64(inputs)
+	if frac <= 0.05 || frac >= 0.95 {
+		t.Fatalf("stochastic threshold fired on %.0f%% of inputs; want strictly between deterministic extremes", frac*100)
+	}
+	// Contrast: the deterministic twin fires on every input.
+	b := Behavior{
+		Params: func() Params {
+			p := Gallery()[12].Params
+			p.MaskBits = 0
+			return p
+		}(),
+		Window:   256,
+		Stimulus: Gallery()[12].Stimulus,
+	}
+	det := b.Run()
+	if len(det.SpikeTimes) != inputs {
+		t.Fatalf("deterministic twin fired %d times, want %d", len(det.SpikeTimes), inputs)
+	}
+}
+
+func TestBistability(t *testing.T) {
+	tr := byName(t)["bistability"]
+	for _, st := range tr.SpikeTimes {
+		if st < 10 || st >= 50 {
+			t.Fatalf("spike outside the self-sustained window: %d", st)
+		}
+	}
+	if len(tr.SpikeTimes) != 40 {
+		t.Fatalf("self-sustained firing must cover every tick in [10,50), got %d spikes", len(tr.SpikeTimes))
+	}
+}
+
+func TestDepolarizingAfterPotential(t *testing.T) {
+	tr := byName(t)["depolarizing-after-potential"]
+	if len(tr.SpikeTimes) != 2 {
+		t.Fatalf("want 2 spikes (pulse + DAP-assisted), got %v", tr.SpikeTimes)
+	}
+	// After the first spike the potential sits above zero (the DAP).
+	if v := tr.V[tr.SpikeTimes[0]]; v <= 0 {
+		t.Fatalf("post-spike potential %d, want > 0 (depolarized)", v)
+	}
+	// The weak second input (1 spike, weight 2 < threshold 4) fires only
+	// because of the after-potential.
+	if tr.SpikeTimes[1]-tr.SpikeTimes[0] != 2 {
+		t.Fatalf("DAP-assisted spike timing wrong: %v", tr.SpikeTimes)
+	}
+}
+
+func TestAccommodation(t *testing.T) {
+	tr := byName(t)["accommodation"]
+	for _, st := range tr.SpikeTimes {
+		if st < 60 {
+			t.Fatalf("slow ramp must not fire, spiked at %d", st)
+		}
+	}
+	if len(tr.SpikeTimes) == 0 {
+		t.Fatal("fast step must fire")
+	}
+}
+
+func TestInhibitionInducedSpiking(t *testing.T) {
+	tr := byName(t)["inhibition-induced-spiking"]
+	if len(tr.SpikeTimes) < 5 {
+		t.Fatalf("want sustained firing under inhibition, got %v", tr.SpikeTimes)
+	}
+	for _, st := range tr.SpikeTimes {
+		if st < 10 {
+			t.Fatalf("spiking before the inhibition began: %d", st)
+		}
+	}
+	// Single spikes, not bursts.
+	for _, isi := range isis(tr.SpikeTimes) {
+		if isi < 2 {
+			t.Fatalf("expected isolated spikes, got ISI %d", isi)
+		}
+	}
+}
+
+func TestInhibitionInducedBursting(t *testing.T) {
+	tr := byName(t)["inhibition-induced-bursting"]
+	gs := groups(tr.SpikeTimes, 1)
+	if len(gs) < 2 {
+		t.Fatalf("want >=2 bursts, got %v", tr.SpikeTimes)
+	}
+	for i, g := range gs {
+		if len(g) < 3 {
+			t.Fatalf("burst %d has %d spikes, want >=3 (%v)", i, len(g), tr.SpikeTimes)
+		}
+	}
+	for _, st := range tr.SpikeTimes {
+		if st < 10 {
+			t.Fatalf("burst before the inhibition began: %d", st)
+		}
+	}
+}
+
+func TestStochasticSpontaneous(t *testing.T) {
+	tr := byName(t)["stochastic-spontaneous"]
+	if len(tr.SpikeTimes) < 5 {
+		t.Fatalf("spontaneous firing too rare: %d spikes", len(tr.SpikeTimes))
+	}
+	iv := isis(tr.SpikeTimes)
+	var mean, sq float64
+	for _, x := range iv {
+		mean += float64(x)
+	}
+	mean /= float64(len(iv))
+	for _, x := range iv {
+		d := float64(x) - mean
+		sq += d * d
+	}
+	cv := math.Sqrt(sq/float64(len(iv))) / mean
+	if cv < 0.2 {
+		t.Fatalf("spontaneous ISIs too regular: CV=%.3f", cv)
+	}
+}
+
+func TestStochasticTransduction(t *testing.T) {
+	tr := byName(t)["stochastic-transduction"]
+	rate := float64(len(tr.SpikeTimes)) / 512
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("transduction rate %.3f, want ~0.5 (p=128/256)", rate)
+	}
+	// Must be irregular: not all ISIs identical.
+	iv := isis(tr.SpikeTimes)
+	allSame := true
+	for _, x := range iv {
+		if x != iv[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Fatal("stochastic transduction produced a perfectly periodic train")
+	}
+}
+
+func BenchmarkGallery(b *testing.B) {
+	g := Gallery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, beh := range g {
+			beh := beh
+			_ = beh.Run()
+		}
+	}
+}

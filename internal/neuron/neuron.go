@@ -1,0 +1,294 @@
+// Package neuron implements the digital integrate-and-fire neuron used by
+// neurosynaptic cores.
+//
+// The model follows the TrueNorth-class digital neuron: a signed membrane
+// potential updated with integer arithmetic only, so that the behaviour of a
+// neuron is a bit-exact function of its parameters, its input spikes and the
+// state of the core's LFSR. The per-tick update is:
+//
+//  1. Synaptic integration: for every spike arriving on a connected axon of
+//     type G, add the neuron's signed weight SynWeight[G] (or, in stochastic
+//     synapse mode, add sign(w) with probability |w|/256).
+//  2. Leak: add Leak (optionally stochastic, optionally reversed so that
+//     the leak direction follows the sign of the membrane potential).
+//  3. Threshold: draw a stochastic threshold offset eta from the LFSR
+//     (masked by MaskBits), spike if V >= Threshold + eta, then reset
+//     according to the reset mode. A symmetric negative threshold either
+//     saturates or resets the potential on the negative side.
+//
+// The draw order from the LFSR is fixed and documented: stochastic synapse
+// draws happen in axon order during integration, then one leak draw (if the
+// leak is stochastic), then one threshold draw (if MaskBits > 0). Simulators
+// must preserve this order to remain bit-reproducible.
+package neuron
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// AxonType selects which of the four per-neuron signed weights an incoming
+// spike uses. Hardware tags every axon (core input line) with one type.
+type AxonType uint8
+
+// NumAxonTypes is the number of distinct axon types per core.
+const NumAxonTypes = 4
+
+// ResetMode selects what happens to the membrane potential after a spike.
+type ResetMode uint8
+
+const (
+	// ResetNormal sets V to the configured reset value ResetV.
+	ResetNormal ResetMode = iota
+	// ResetLinear subtracts the (deterministic part of the) threshold,
+	// preserving any integration surplus across the spike.
+	ResetLinear
+	// ResetNone leaves V untouched; combined with a decaying leak this
+	// yields burst-like behaviour.
+	ResetNone
+)
+
+// String returns a human-readable reset-mode name.
+func (m ResetMode) String() string {
+	switch m {
+	case ResetNormal:
+		return "normal"
+	case ResetLinear:
+		return "linear"
+	case ResetNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ResetMode(%d)", uint8(m))
+	}
+}
+
+// Membrane potential bounds. The hardware register is 20-bit two's
+// complement; all arithmetic saturates at these rails instead of wrapping.
+const (
+	VMax = 1<<19 - 1
+	VMin = -(1 << 19)
+)
+
+// Weight bounds for the per-axon-type signed weights (9-bit signed in
+// hardware, restricted to +/-255 so stochastic mode's 8-bit comparison is
+// exact).
+const (
+	WeightMax = 255
+	WeightMin = -255
+)
+
+// MaxThreshold bounds the positive and negative thresholds (18-bit).
+const MaxThreshold = 1<<18 - 1
+
+// MaxMaskBits bounds the stochastic-threshold mask width.
+const MaxMaskBits = 8
+
+// MaxDelay is the largest axonal delay, in ticks, a spike can carry
+// (4-bit field, and delay 0 is reserved: every spike takes at least one
+// tick to arrive).
+const MaxDelay = 15
+
+// Params is the complete per-neuron configuration. The zero value is a
+// permanently silent neuron (threshold 0 fires constantly, so Validate
+// rejects it); use Default for a sane starting point.
+type Params struct {
+	// SynWeight holds the four signed weights, one per axon type.
+	SynWeight [NumAxonTypes]int16
+	// SynStochastic selects, per axon type, probabilistic integration:
+	// each arriving spike adds sign(w) with probability |w|/256.
+	SynStochastic [NumAxonTypes]bool
+	// Leak is added to the potential every tick.
+	Leak int16
+	// LeakStochastic applies sign(Leak) with probability |Leak|/256
+	// instead of the full leak.
+	LeakStochastic bool
+	// LeakReversal makes the leak direction follow the sign of V
+	// (sign(0) counts as 0, so a neuron resting exactly at 0 does not
+	// drift). Useful for amplifying or symmetric-decay dynamics.
+	LeakReversal bool
+	// Threshold is the positive firing threshold alpha (> 0).
+	Threshold int32
+	// NegThreshold is the magnitude beta of the negative floor (>= 0).
+	NegThreshold int32
+	// MaskBits is the stochastic-threshold width TM: each tick a uniform
+	// eta in [0, 2^TM) is added to both thresholds. 0 disables it.
+	MaskBits uint8
+	// Reset selects the post-spike reset behaviour on the positive side.
+	Reset ResetMode
+	// NegSaturate chooses the negative-side policy: true saturates V at
+	// -NegThreshold; false resets V to -ResetV on a negative crossing.
+	NegSaturate bool
+	// ResetV is the reset potential R used by ResetNormal.
+	ResetV int32
+	// Delay is the axonal delay (1..15 ticks) attached to emitted spikes.
+	Delay uint8
+}
+
+// Default returns a plain deterministic integrator: unit excitatory weight
+// on type 0, inhibitory -1 on type 1, threshold 1, normal reset to 0,
+// delay 1.
+func Default() Params {
+	return Params{
+		SynWeight: [NumAxonTypes]int16{1, -1, 0, 0},
+		Threshold: 1,
+		Reset:     ResetNormal,
+		Delay:     1,
+	}
+}
+
+// Validate reports whether the parameters are representable in hardware.
+func (p *Params) Validate() error {
+	for g, w := range p.SynWeight {
+		if w < WeightMin || w > WeightMax {
+			return fmt.Errorf("neuron: SynWeight[%d]=%d outside [%d,%d]", g, w, WeightMin, WeightMax)
+		}
+	}
+	if p.Leak < WeightMin || p.Leak > WeightMax {
+		return fmt.Errorf("neuron: Leak=%d outside [%d,%d]", p.Leak, WeightMin, WeightMax)
+	}
+	if p.Threshold <= 0 || p.Threshold > MaxThreshold {
+		return fmt.Errorf("neuron: Threshold=%d outside (0,%d]", p.Threshold, MaxThreshold)
+	}
+	if p.NegThreshold < 0 || p.NegThreshold > MaxThreshold {
+		return fmt.Errorf("neuron: NegThreshold=%d outside [0,%d]", p.NegThreshold, MaxThreshold)
+	}
+	if p.MaskBits > MaxMaskBits {
+		return fmt.Errorf("neuron: MaskBits=%d exceeds %d", p.MaskBits, MaxMaskBits)
+	}
+	if p.Reset > ResetNone {
+		return fmt.Errorf("neuron: invalid reset mode %d", p.Reset)
+	}
+	if p.ResetV < VMin || p.ResetV > VMax {
+		return fmt.Errorf("neuron: ResetV=%d outside membrane range", p.ResetV)
+	}
+	if p.Delay < 1 || p.Delay > MaxDelay {
+		return fmt.Errorf("neuron: Delay=%d outside [1,%d]", p.Delay, MaxDelay)
+	}
+	return nil
+}
+
+// thresholdMask returns the eta mask 2^TM - 1.
+func (p *Params) thresholdMask() uint32 {
+	return 1<<uint32(p.MaskBits) - 1
+}
+
+// satAdd adds b to a, saturating at the membrane rails.
+func satAdd(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s > VMax {
+		return VMax
+	}
+	if s < VMin {
+		return VMin
+	}
+	return int32(s)
+}
+
+// Integrate applies one incoming spike on an axon of type g to membrane
+// potential v and returns the new potential. In stochastic-synapse mode it
+// consumes one LFSR draw.
+func Integrate(v int32, p *Params, g AxonType, l *rng.LFSR) int32 {
+	w := int32(p.SynWeight[g])
+	if !p.SynStochastic[g] {
+		return satAdd(v, w)
+	}
+	mag := w
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag > 0 && l.Draw8() < uint8(mag) {
+		if w > 0 {
+			return satAdd(v, 1)
+		}
+		return satAdd(v, -1)
+	}
+	return v
+}
+
+// applyLeak performs step 2 of the update: deterministic or stochastic,
+// optionally sign-reversed by the membrane potential.
+func applyLeak(v int32, p *Params, l *rng.LFSR) int32 {
+	leak := int32(p.Leak)
+	if p.LeakStochastic {
+		mag := leak
+		if mag < 0 {
+			mag = -mag
+		}
+		// One draw is consumed whenever stochastic leak is enabled,
+		// regardless of outcome, to keep the draw schedule static.
+		hit := mag > 0 && l.Draw8() < uint8(mag)
+		if !hit {
+			leak = 0
+		} else if leak > 0 {
+			leak = 1
+		} else {
+			leak = -1
+		}
+	}
+	if p.LeakReversal {
+		switch {
+		case v > 0:
+			// keep leak as configured
+		case v < 0:
+			leak = -leak
+		default:
+			leak = 0
+		}
+	}
+	return satAdd(v, leak)
+}
+
+// LeakFire performs the leak and threshold steps for one tick and returns
+// the new membrane potential plus whether the neuron spiked. It consumes
+// LFSR draws per the documented schedule.
+func LeakFire(v int32, p *Params, l *rng.LFSR) (int32, bool) {
+	v = applyLeak(v, p, l)
+
+	var eta int32
+	if p.MaskBits > 0 {
+		eta = int32(l.DrawMask(p.thresholdMask()))
+	}
+
+	if v >= p.Threshold+eta {
+		switch p.Reset {
+		case ResetNormal:
+			v = p.ResetV
+		case ResetLinear:
+			v = satAdd(v, -p.Threshold)
+		case ResetNone:
+			// leave v
+		}
+		return v, true
+	}
+
+	if p.NegSaturate {
+		if v < -p.NegThreshold {
+			v = -p.NegThreshold
+		}
+		return v, false
+	}
+	// Negative reset: crossing the negative threshold always applies
+	// normal-reset semantics mirrored about zero (V becomes -ResetV),
+	// independent of the positive-side reset mode. With a negative ResetV
+	// this "flips" the potential above zero, which is how the rebound
+	// behaviours in the gallery are built.
+	if v < -(p.NegThreshold + eta) {
+		v = -p.ResetV
+	}
+	return v, false
+}
+
+// Step runs a full tick for a standalone neuron: nExc spikes on axon type
+// 0, nInh spikes on type 1, then leak and fire. It is a convenience for
+// single-neuron studies and the behaviour gallery; cores inline the same
+// sequence across their 256 neurons.
+func Step(v int32, p *Params, nExc, nInh int, l *rng.LFSR) (int32, bool) {
+	for i := 0; i < nExc; i++ {
+		v = Integrate(v, p, 0, l)
+	}
+	for i := 0; i < nInh; i++ {
+		v = Integrate(v, p, 1, l)
+	}
+	return LeakFire(v, p, l)
+}

@@ -1,0 +1,398 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"weight too high", func(p *Params) { p.SynWeight[0] = 256 }},
+		{"weight too low", func(p *Params) { p.SynWeight[3] = -256 }},
+		{"leak too high", func(p *Params) { p.Leak = 300 }},
+		{"leak too low", func(p *Params) { p.Leak = -300 }},
+		{"zero threshold", func(p *Params) { p.Threshold = 0 }},
+		{"negative threshold", func(p *Params) { p.Threshold = -1 }},
+		{"threshold too large", func(p *Params) { p.Threshold = MaxThreshold + 1 }},
+		{"neg threshold negative", func(p *Params) { p.NegThreshold = -1 }},
+		{"neg threshold too large", func(p *Params) { p.NegThreshold = MaxThreshold + 1 }},
+		{"mask too wide", func(p *Params) { p.MaskBits = MaxMaskBits + 1 }},
+		{"bad reset mode", func(p *Params) { p.Reset = ResetNone + 1 }},
+		{"reset V too high", func(p *Params) { p.ResetV = VMax + 1 }},
+		{"reset V too low", func(p *Params) { p.ResetV = VMin - 1 }},
+		{"zero delay", func(p *Params) { p.Delay = 0 }},
+		{"delay too large", func(p *Params) { p.Delay = MaxDelay + 1 }},
+	}
+	for _, c := range cases {
+		p := Default()
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", c.name)
+		}
+	}
+}
+
+func TestResetModeString(t *testing.T) {
+	if ResetNormal.String() != "normal" || ResetLinear.String() != "linear" || ResetNone.String() != "none" {
+		t.Error("reset mode names wrong")
+	}
+	if ResetMode(9).String() == "" {
+		t.Error("unknown mode must still stringify")
+	}
+}
+
+func TestIntegrateDeterministic(t *testing.T) {
+	p := Default()
+	p.SynWeight = [NumAxonTypes]int16{5, -3, 100, 0}
+	l := rng.NewLFSR(1)
+	if v := Integrate(0, &p, 0, l); v != 5 {
+		t.Errorf("type 0: got %d, want 5", v)
+	}
+	if v := Integrate(0, &p, 1, l); v != -3 {
+		t.Errorf("type 1: got %d, want -3", v)
+	}
+	if v := Integrate(10, &p, 2, l); v != 110 {
+		t.Errorf("type 2: got %d, want 110", v)
+	}
+	if v := Integrate(7, &p, 3, l); v != 7 {
+		t.Errorf("type 3 (zero weight): got %d, want 7", v)
+	}
+}
+
+func TestIntegrateSaturates(t *testing.T) {
+	p := Default()
+	p.SynWeight[0] = WeightMax
+	p.SynWeight[1] = WeightMin
+	l := rng.NewLFSR(1)
+	if v := Integrate(VMax, &p, 0, l); v != VMax {
+		t.Errorf("positive rail: got %d, want %d", v, VMax)
+	}
+	if v := Integrate(VMin, &p, 1, l); v != VMin {
+		t.Errorf("negative rail: got %d, want %d", v, VMin)
+	}
+}
+
+func TestIntegrateStochasticRate(t *testing.T) {
+	for _, w := range []int16{64, 128, 192, -128} {
+		p := Default()
+		p.SynWeight[0] = w
+		p.SynStochastic[0] = true
+		l := rng.NewLFSR(0x77)
+		n := 1 << 15
+		var v int32
+		for i := 0; i < n; i++ {
+			v = Integrate(v, &p, 0, l)
+		}
+		mag := float64(w)
+		if mag < 0 {
+			mag = -mag
+		}
+		wantMean := mag / 256 * float64(n)
+		got := float64(v)
+		if w < 0 {
+			got = -got
+		}
+		if math.Abs(got-wantMean)/wantMean > 0.05 {
+			t.Errorf("w=%d: accumulated %v, want ~%v (+/-5%%)", w, got, wantMean)
+		}
+	}
+}
+
+func TestIntegrateStochasticUnitSteps(t *testing.T) {
+	p := Default()
+	p.SynWeight[0] = 200
+	p.SynStochastic[0] = true
+	l := rng.NewLFSR(3)
+	prev := int32(0)
+	for i := 0; i < 1000; i++ {
+		v := Integrate(prev, &p, 0, l)
+		if d := v - prev; d != 0 && d != 1 {
+			t.Fatalf("stochastic synapse stepped by %d, want 0 or +1", d)
+		}
+		prev = v
+	}
+}
+
+func TestIntegrateStochasticZeroWeight(t *testing.T) {
+	p := Default()
+	p.SynWeight[0] = 0
+	p.SynStochastic[0] = true
+	l := rng.NewLFSR(3)
+	for i := 0; i < 100; i++ {
+		if v := Integrate(0, &p, 0, l); v != 0 {
+			t.Fatal("zero stochastic weight must never move V")
+		}
+	}
+}
+
+func TestLeakDeterministic(t *testing.T) {
+	p := Default()
+	p.Leak = -2
+	p.Threshold = 100
+	l := rng.NewLFSR(1)
+	v, spiked := LeakFire(10, &p, l)
+	if spiked || v != 8 {
+		t.Errorf("leak -2 from 10: got (%d, %v), want (8, false)", v, spiked)
+	}
+}
+
+func TestLeakReversal(t *testing.T) {
+	p := Default()
+	p.Leak = -3
+	p.LeakReversal = true
+	p.Threshold = 100
+	p.NegThreshold = 1000
+	l := rng.NewLFSR(1)
+	// V > 0: leak applies as configured (decay toward zero).
+	if v, _ := LeakFire(10, &p, l); v != 7 {
+		t.Errorf("reversal with V>0: got %d, want 7", v)
+	}
+	// V < 0: leak flips (decay toward zero from below).
+	if v, _ := LeakFire(-10, &p, l); v != -7 {
+		t.Errorf("reversal with V<0: got %d, want -7", v)
+	}
+	// V == 0: no drift.
+	if v, _ := LeakFire(0, &p, l); v != 0 {
+		t.Errorf("reversal with V=0: got %d, want 0", v)
+	}
+}
+
+func TestLeakReversalAmplifies(t *testing.T) {
+	p := Default()
+	p.Leak = 2
+	p.LeakReversal = true
+	p.Threshold = 1000
+	p.NegThreshold = MaxThreshold
+	l := rng.NewLFSR(1)
+	if v, _ := LeakFire(5, &p, l); v != 7 {
+		t.Errorf("positive amplification: got %d, want 7", v)
+	}
+	if v, _ := LeakFire(-5, &p, l); v != -7 {
+		t.Errorf("negative amplification: got %d, want -7", v)
+	}
+}
+
+func TestLeakStochasticRate(t *testing.T) {
+	p := Default()
+	p.Leak = 64 // probability 1/4 of +1
+	p.LeakStochastic = true
+	p.Threshold = MaxThreshold
+	l := rng.NewLFSR(0x21)
+	n := 1 << 15
+	var v int32
+	for i := 0; i < n; i++ {
+		v, _ = LeakFire(v, &p, l)
+	}
+	want := float64(n) / 4
+	if math.Abs(float64(v)-want)/want > 0.07 {
+		t.Errorf("stochastic leak accumulated %d, want ~%.0f", v, want)
+	}
+}
+
+func TestFireAndResetModes(t *testing.T) {
+	l := rng.NewLFSR(1)
+	base := Default()
+	base.Threshold = 10
+
+	normal := base
+	normal.Reset = ResetNormal
+	normal.ResetV = 2
+	if v, s := LeakFire(15, &normal, l); !s || v != 2 {
+		t.Errorf("normal reset: got (%d,%v), want (2,true)", v, s)
+	}
+
+	linear := base
+	linear.Reset = ResetLinear
+	if v, s := LeakFire(15, &linear, l); !s || v != 5 {
+		t.Errorf("linear reset: got (%d,%v), want (5,true)", v, s)
+	}
+
+	none := base
+	none.Reset = ResetNone
+	if v, s := LeakFire(15, &none, l); !s || v != 15 {
+		t.Errorf("non-reset: got (%d,%v), want (15,true)", v, s)
+	}
+}
+
+func TestNoSpikeBelowThreshold(t *testing.T) {
+	p := Default()
+	p.Threshold = 100
+	l := rng.NewLFSR(5)
+	f := func(raw int16) bool {
+		v := int32(raw) % 100
+		if v < 0 {
+			v = -v
+		}
+		v = v % p.Threshold // strictly below threshold
+		nv, spiked := LeakFire(v, &p, l)
+		return !spiked && nv == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpikeAtExactThreshold(t *testing.T) {
+	p := Default()
+	p.Threshold = 10
+	l := rng.NewLFSR(1)
+	if _, s := LeakFire(10, &p, l); !s {
+		t.Error("V == threshold must spike (condition is >=)")
+	}
+}
+
+func TestNegativeSaturation(t *testing.T) {
+	p := Default()
+	p.NegThreshold = 5
+	p.NegSaturate = true
+	l := rng.NewLFSR(1)
+	if v, s := LeakFire(-100, &p, l); s || v != -5 {
+		t.Errorf("saturation: got (%d,%v), want (-5,false)", v, s)
+	}
+	// At exactly -beta, nothing happens.
+	if v, _ := LeakFire(-5, &p, l); v != -5 {
+		t.Errorf("at -beta: got %d, want -5", v)
+	}
+}
+
+func TestNegativeReset(t *testing.T) {
+	p := Default()
+	p.NegThreshold = 5
+	p.NegSaturate = false
+	p.ResetV = -7 // negative crossing flips V to +7
+	l := rng.NewLFSR(1)
+	if v, s := LeakFire(-6, &p, l); s || v != 7 {
+		t.Errorf("negative reset: got (%d,%v), want (7,false)", v, s)
+	}
+	// No crossing: untouched.
+	if v, _ := LeakFire(-5, &p, l); v != -5 {
+		t.Errorf("no crossing: got %d, want -5", v)
+	}
+}
+
+func TestStochasticThresholdRate(t *testing.T) {
+	p := Default()
+	p.Threshold = 4
+	p.MaskBits = 3 // eta in [0,8)
+	p.Reset = ResetNormal
+	l := rng.NewLFSR(0x99)
+	fires := 0
+	n := 1 << 14
+	for i := 0; i < n; i++ {
+		// V=7 fires iff eta <= 3, i.e. with probability 1/2.
+		if _, s := LeakFire(7, &p, l); s {
+			fires++
+		}
+	}
+	got := float64(fires) / float64(n)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("stochastic threshold fire rate %.3f, want ~0.5", got)
+	}
+}
+
+func TestStochasticThresholdNeverBelowBase(t *testing.T) {
+	p := Default()
+	p.Threshold = 4
+	p.MaskBits = 8
+	l := rng.NewLFSR(0x42)
+	for i := 0; i < 2000; i++ {
+		if _, s := LeakFire(3, &p, l); s {
+			t.Fatal("V below the deterministic threshold must never fire (eta >= 0)")
+		}
+	}
+}
+
+func TestMembraneAlwaysInRange(t *testing.T) {
+	p := Default()
+	p.SynWeight = [NumAxonTypes]int16{WeightMax, WeightMin, 0, 0}
+	p.Leak = WeightMax
+	p.Threshold = MaxThreshold
+	l := rng.NewLFSR(77)
+	f := func(startRaw int32, exc, inh uint8) bool {
+		v := startRaw % (VMax + 1)
+		nv, _ := Step(v, &p, int(exc%8), int(inh%8), l)
+		return nv >= VMin && nv <= VMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearResetPreservesSurplus(t *testing.T) {
+	p := Default()
+	p.Threshold = 10
+	p.Reset = ResetLinear
+	l := rng.NewLFSR(1)
+	f := func(surplusRaw uint16) bool {
+		surplus := int32(surplusRaw % 1000)
+		v, s := LeakFire(p.Threshold+surplus, &p, l)
+		return s && v == surplus
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepDrawOrderReproducible(t *testing.T) {
+	p := Default()
+	p.SynStochastic[0] = true
+	p.SynWeight[0] = 128
+	p.LeakStochastic = true
+	p.Leak = 32
+	p.MaskBits = 4
+	run := func() []int32 {
+		l := rng.NewLFSR(0xD00D)
+		var v int32
+		out := make([]int32, 200)
+		for t := 0; t < 200; t++ {
+			v, _ = Step(v, &p, 2, 0, l)
+			out[t] = v
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical seeds diverged at tick %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkLeakFireDeterministic(b *testing.B) {
+	p := Default()
+	p.Threshold = 100
+	p.Leak = -1
+	l := rng.NewLFSR(1)
+	v := int32(50)
+	for i := 0; i < b.N; i++ {
+		v, _ = LeakFire(v, &p, l)
+		if v < 10 {
+			v = 50
+		}
+	}
+}
+
+func BenchmarkStepStochastic(b *testing.B) {
+	p := Default()
+	p.SynStochastic[0] = true
+	p.SynWeight[0] = 128
+	p.MaskBits = 4
+	l := rng.NewLFSR(1)
+	var v int32
+	for i := 0; i < b.N; i++ {
+		v, _ = Step(v, &p, 1, 0, l)
+	}
+}

@@ -1,0 +1,385 @@
+// Package noc models the chip's network-on-chip: a 2-D mesh of 5-port
+// routers carrying spike packets with relative (dx, dy) addresses under
+// dimension-order (X-then-Y) routing.
+//
+// The mesh is used at two fidelities:
+//
+//   - Functional: the simulator only needs to know which core and axon a
+//     spike reaches and how many hops it travelled; HopCount and Route
+//     answer that without simulating cycles.
+//
+//   - Cycle-level: for the NoC experiments (latency vs injection rate,
+//     saturation, placement locality) Mesh simulates routers with finite
+//     input FIFOs, one-flit-per-port-per-cycle forwarding, and rotating
+//     arbitration. XY routing on a mesh is deadlock-free, and local
+//     delivery always drains, so packets are never dropped — congestion
+//     shows up as queueing latency and injection back-pressure instead.
+package noc
+
+import "fmt"
+
+// Port indexes a router's five ports.
+type Port uint8
+
+// Router port order: Local first, then the four compass directions.
+const (
+	PortLocal Port = iota
+	PortNorth
+	PortEast
+	PortSouth
+	PortWest
+	NumPorts
+)
+
+// String returns the conventional single-letter port name.
+func (p Port) String() string {
+	switch p {
+	case PortLocal:
+		return "L"
+	case PortNorth:
+		return "N"
+	case PortEast:
+		return "E"
+	case PortSouth:
+		return "S"
+	case PortWest:
+		return "W"
+	default:
+		return fmt.Sprintf("Port(%d)", uint8(p))
+	}
+}
+
+// Coord addresses a router (equivalently, a core) on the mesh. X grows
+// eastward, Y grows southward.
+type Coord struct {
+	X, Y int16
+}
+
+// HopCount returns the dimension-order path length between two routers.
+func HopCount(a, b Coord) int {
+	dx, dy := int(b.X)-int(a.X), int(b.Y)-int(a.Y)
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Packet is one spike in flight. DX/DY are the remaining displacement in
+// router hops (decremented as the packet moves, mirroring the relative
+// addressing the hardware uses); DestAxon and DeliverSlot tell the
+// destination core where and when to schedule the spike.
+type Packet struct {
+	DX, DY      int16
+	DestAxon    uint8
+	DeliverSlot uint8
+	// InjectCycle records when the packet entered the mesh, for latency
+	// accounting.
+	InjectCycle int64
+	// Hops counts router-to-router moves taken so far.
+	Hops uint16
+}
+
+// outputPort returns the port this packet wants next under XY routing.
+func (p *Packet) outputPort() Port {
+	switch {
+	case p.DX > 0:
+		return PortEast
+	case p.DX < 0:
+		return PortWest
+	case p.DY > 0:
+		return PortSouth
+	case p.DY < 0:
+		return PortNorth
+	default:
+		return PortLocal
+	}
+}
+
+// fifo is a fixed-capacity packet queue.
+type fifo struct {
+	buf  []Packet
+	head int
+	n    int
+}
+
+func newFIFO(cap int) fifo { return fifo{buf: make([]Packet, cap)} }
+
+func (f *fifo) full() bool  { return f.n == len(f.buf) }
+func (f *fifo) empty() bool { return f.n == 0 }
+func (f *fifo) len() int    { return f.n }
+
+func (f *fifo) push(p Packet) {
+	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.n++
+}
+
+func (f *fifo) peek() *Packet { return &f.buf[f.head] }
+
+func (f *fifo) pop() Packet {
+	p := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return p
+}
+
+// router is one mesh node: five input FIFOs, one per port.
+type router struct {
+	in [NumPorts]fifo
+}
+
+// Stats aggregates mesh-level accounting.
+type Stats struct {
+	// Injected counts packets accepted into the mesh.
+	Injected uint64
+	// Delivered counts packets handed to their destination core.
+	Delivered uint64
+	// RejectedInjections counts Inject calls refused because the source
+	// FIFO was full (back-pressure at the core-to-router interface).
+	RejectedInjections uint64
+	// LatencySum accumulates delivery latencies in cycles.
+	LatencySum uint64
+	// MaxLatency is the largest single-packet latency observed.
+	MaxLatency uint64
+	// HopSum accumulates per-packet hop counts at delivery.
+	HopSum uint64
+	// StallEvents counts head-of-line packets that could not move this
+	// cycle (output busy or downstream FIFO full).
+	StallEvents uint64
+}
+
+// MeanLatency returns the average delivery latency in cycles.
+func (s Stats) MeanLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Delivered)
+}
+
+// MeanHops returns the average hop count of delivered packets.
+func (s Stats) MeanHops() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.HopSum) / float64(s.Delivered)
+}
+
+// DeliverFunc receives a packet that reached its destination router.
+type DeliverFunc func(dst Coord, p Packet)
+
+// Config sets the mesh dimensions and router buffering.
+type Config struct {
+	// Width and Height are the mesh dimensions in routers.
+	Width, Height int
+	// BufDepth is the capacity of each input FIFO (flits).
+	BufDepth int
+}
+
+// Mesh is a cycle-level model of the spike NoC.
+type Mesh struct {
+	cfg     Config
+	routers []router
+	stats   Stats
+	// latencies, when non-nil, records every delivered packet's latency
+	// for percentile analysis.
+	latencies []float64
+	record    bool
+}
+
+// NewMesh builds a mesh. It panics on non-positive dimensions or buffer
+// depth (configuration errors, not runtime conditions).
+func NewMesh(cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	if cfg.BufDepth <= 0 {
+		panic("noc: buffer depth must be positive")
+	}
+	m := &Mesh{cfg: cfg, routers: make([]router, cfg.Width*cfg.Height)}
+	for i := range m.routers {
+		for p := range m.routers[i].in {
+			m.routers[i].in[p] = newFIFO(cfg.BufDepth)
+		}
+	}
+	return m
+}
+
+// RecordLatencies enables per-packet latency capture (for percentiles).
+func (m *Mesh) RecordLatencies(on bool) { m.record = on }
+
+// Latencies returns the captured per-packet latencies.
+func (m *Mesh) Latencies() []float64 { return m.latencies }
+
+// Stats returns a copy of the mesh counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// ResetStats zeroes counters and captured latencies.
+func (m *Mesh) ResetStats() {
+	m.stats = Stats{}
+	m.latencies = nil
+}
+
+func (m *Mesh) at(c Coord) *router {
+	return &m.routers[int(c.Y)*m.cfg.Width+int(c.X)]
+}
+
+func (m *Mesh) inBounds(c Coord) bool {
+	return c.X >= 0 && int(c.X) < m.cfg.Width && c.Y >= 0 && int(c.Y) < m.cfg.Height
+}
+
+// Inject offers a packet to the local input FIFO of the router at src.
+// It reports whether the packet was accepted; a false return models
+// back-pressure into the core's output stage.
+func (m *Mesh) Inject(src Coord, p Packet, cycle int64) bool {
+	if !m.inBounds(src) {
+		panic(fmt.Sprintf("noc: inject at %v outside %dx%d mesh", src, m.cfg.Width, m.cfg.Height))
+	}
+	dst := Coord{src.X + p.DX, src.Y + p.DY}
+	if !m.inBounds(dst) {
+		panic(fmt.Sprintf("noc: packet from %v targets %v outside mesh", src, dst))
+	}
+	f := &m.at(src).in[PortLocal]
+	if f.full() {
+		m.stats.RejectedInjections++
+		return false
+	}
+	p.InjectCycle = cycle
+	f.push(p)
+	m.stats.Injected++
+	return true
+}
+
+// InFlight returns the number of packets buffered anywhere in the mesh.
+func (m *Mesh) InFlight() int {
+	total := 0
+	for i := range m.routers {
+		for p := range m.routers[i].in {
+			total += m.routers[i].in[p].len()
+		}
+	}
+	return total
+}
+
+// move describes one committed transfer for the current cycle.
+type move struct {
+	src  Coord
+	port Port // input port at src to pop from
+	out  Port // output direction
+}
+
+// Step advances the mesh one cycle. Each router forwards at most one
+// packet per output port per cycle, chosen from its input FIFO heads with
+// rotating priority. deliver receives packets that exit at their
+// destination's local port; it may be nil.
+func (m *Mesh) Step(cycle int64, deliver DeliverFunc) {
+	moves := make([]move, 0, len(m.routers))
+
+	// Phase 1: decide. Capacity checks are conservative (start-of-cycle
+	// occupancy), which only delays packets, never drops them.
+	for y := 0; y < m.cfg.Height; y++ {
+		for x := 0; x < m.cfg.Width; x++ {
+			src := Coord{int16(x), int16(y)}
+			r := m.at(src)
+			var outTaken [NumPorts]bool
+			// Rotate which input port gets first pick this cycle.
+			start := int(cycle+int64(x)+int64(y)) % int(NumPorts)
+			for k := 0; k < int(NumPorts); k++ {
+				port := Port((start + k) % int(NumPorts))
+				f := &r.in[port]
+				if f.empty() {
+					continue
+				}
+				out := f.peek().outputPort()
+				if outTaken[out] {
+					m.stats.StallEvents++
+					continue
+				}
+				if out != PortLocal {
+					nb, nbPort := m.neighbor(src, out)
+					if m.at(nb).in[nbPort].full() {
+						m.stats.StallEvents++
+						continue
+					}
+				}
+				outTaken[out] = true
+				moves = append(moves, move{src, port, out})
+			}
+		}
+	}
+
+	// Phase 2: execute. Pops happen before pushes, and each input FIFO
+	// receives at most one push per cycle (one upstream output port maps
+	// to it), so the conservative capacity check from phase 1 holds.
+	type push struct {
+		dst  Coord
+		port Port
+		pkt  Packet
+	}
+	pushes := make([]push, 0, len(moves))
+	for _, mv := range moves {
+		pkt := m.at(mv.src).in[mv.port].pop()
+		if mv.out == PortLocal {
+			m.stats.Delivered++
+			lat := uint64(cycle - pkt.InjectCycle + 1)
+			m.stats.LatencySum += lat
+			if lat > m.stats.MaxLatency {
+				m.stats.MaxLatency = lat
+			}
+			m.stats.HopSum += uint64(pkt.Hops)
+			if m.record {
+				m.latencies = append(m.latencies, float64(lat))
+			}
+			if deliver != nil {
+				deliver(mv.src, pkt)
+			}
+			continue
+		}
+		nb, nbPort := m.neighbor(mv.src, mv.out)
+		switch mv.out {
+		case PortEast:
+			pkt.DX--
+		case PortWest:
+			pkt.DX++
+		case PortSouth:
+			pkt.DY--
+		case PortNorth:
+			pkt.DY++
+		}
+		pkt.Hops++
+		pushes = append(pushes, push{nb, nbPort, pkt})
+	}
+	for _, p := range pushes {
+		m.at(p.dst).in[p.port].push(p.pkt)
+	}
+}
+
+// neighbor returns the router reached by leaving src through out, and the
+// input port the packet arrives on there.
+func (m *Mesh) neighbor(src Coord, out Port) (Coord, Port) {
+	switch out {
+	case PortEast:
+		return Coord{src.X + 1, src.Y}, PortWest
+	case PortWest:
+		return Coord{src.X - 1, src.Y}, PortEast
+	case PortSouth:
+		return Coord{src.X, src.Y + 1}, PortNorth
+	case PortNorth:
+		return Coord{src.X, src.Y - 1}, PortSouth
+	default:
+		panic("noc: neighbor of local port")
+	}
+}
+
+// Drain steps the mesh until empty or maxCycles elapse, returning the
+// number of cycles used. Useful for flushing experiments.
+func (m *Mesh) Drain(fromCycle int64, maxCycles int, deliver DeliverFunc) int {
+	for c := 0; c < maxCycles; c++ {
+		if m.InFlight() == 0 {
+			return c
+		}
+		m.Step(fromCycle+int64(c), deliver)
+	}
+	return maxCycles
+}

@@ -1,0 +1,317 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+func mesh4() *Mesh {
+	return NewMesh(Config{Width: 4, Height: 4, BufDepth: 4})
+}
+
+func TestHopCount(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 0}, 3},
+		{Coord{0, 0}, Coord{0, 2}, 2},
+		{Coord{1, 1}, Coord{3, 3}, 4},
+		{Coord{3, 3}, Coord{1, 1}, 4},
+	}
+	for _, c := range cases {
+		if got := HopCount(c.a, c.b); got != c.want {
+			t.Errorf("HopCount(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopCountSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Coord{int16(ax), int16(ay)}
+		b := Coord{int16(bx), int16(by)}
+		return HopCount(a, b) == HopCount(b, a) && HopCount(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	names := map[Port]string{PortLocal: "L", PortNorth: "N", PortEast: "E", PortSouth: "S", PortWest: "W"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("Port %d = %q, want %q", p, p.String(), want)
+		}
+	}
+	if Port(9).String() == "" {
+		t.Error("unknown port must stringify")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	m := mesh4()
+	var got []Packet
+	var at []Coord
+	ok := m.Inject(Coord{1, 1}, Packet{DX: 0, DY: 0, DestAxon: 42}, 0)
+	if !ok {
+		t.Fatal("injection rejected on an empty mesh")
+	}
+	m.Step(0, func(dst Coord, p Packet) {
+		got = append(got, p)
+		at = append(at, dst)
+	})
+	if len(got) != 1 || got[0].DestAxon != 42 || at[0] != (Coord{1, 1}) {
+		t.Fatalf("delivery = %v at %v", got, at)
+	}
+	if s := m.Stats(); s.Delivered != 1 || s.Injected != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestXYRoutingPathLength(t *testing.T) {
+	m := mesh4()
+	src, dst := Coord{0, 0}, Coord{3, 2}
+	m.Inject(src, Packet{DX: 3, DY: 2, DestAxon: 7}, 0)
+	var deliveredAt Coord
+	var pkt Packet
+	n := 0
+	for c := int64(0); c < 50 && n == 0; c++ {
+		m.Step(c, func(d Coord, p Packet) {
+			deliveredAt = d
+			pkt = p
+			n++
+		})
+	}
+	if n != 1 {
+		t.Fatal("packet never delivered")
+	}
+	if deliveredAt != dst {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, dst)
+	}
+	if int(pkt.Hops) != HopCount(src, dst) {
+		t.Fatalf("hops = %d, want %d (minimal XY path)", pkt.Hops, HopCount(src, dst))
+	}
+	if pkt.DX != 0 || pkt.DY != 0 {
+		t.Fatalf("packet delivered with residual displacement (%d,%d)", pkt.DX, pkt.DY)
+	}
+}
+
+func TestAllPairsDelivery(t *testing.T) {
+	// Every (src,dst) pair on a 4x4 mesh must deliver with minimal hops.
+	for sy := 0; sy < 4; sy++ {
+		for sx := 0; sx < 4; sx++ {
+			for dy := 0; dy < 4; dy++ {
+				for dx := 0; dx < 4; dx++ {
+					m := mesh4()
+					src := Coord{int16(sx), int16(sy)}
+					dst := Coord{int16(dx), int16(dy)}
+					m.Inject(src, Packet{DX: dst.X - src.X, DY: dst.Y - src.Y}, 0)
+					delivered := false
+					for c := int64(0); c < 40 && !delivered; c++ {
+						m.Step(c, func(d Coord, p Packet) {
+							if d != dst {
+								t.Fatalf("src %v dst %v: delivered at %v", src, dst, d)
+							}
+							if int(p.Hops) != HopCount(src, dst) {
+								t.Fatalf("src %v dst %v: hops %d want %d", src, dst, p.Hops, HopCount(src, dst))
+							}
+							delivered = true
+						})
+					}
+					if !delivered {
+						t.Fatalf("src %v dst %v: never delivered", src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConservationUnderRandomTraffic(t *testing.T) {
+	m := NewMesh(Config{Width: 8, Height: 8, BufDepth: 4})
+	r := rng.NewSplitMix64(17)
+	injected := uint64(0)
+	delivered := uint64(0)
+	deliver := func(_ Coord, _ Packet) { delivered++ }
+	for c := int64(0); c < 2000; c++ {
+		if c < 1000 {
+			for k := 0; k < 4; k++ {
+				src := Coord{int16(r.Intn(8)), int16(r.Intn(8))}
+				dst := Coord{int16(r.Intn(8)), int16(r.Intn(8))}
+				if m.Inject(src, Packet{DX: dst.X - src.X, DY: dst.Y - src.Y}, c) {
+					injected++
+				}
+			}
+		}
+		m.Step(c, deliver)
+	}
+	if m.InFlight() != 0 {
+		t.Fatalf("%d packets stuck in the mesh after drain", m.InFlight())
+	}
+	if injected != delivered {
+		t.Fatalf("injected %d != delivered %d (loss or duplication)", injected, delivered)
+	}
+	s := m.Stats()
+	if s.Injected != injected || s.Delivered != delivered {
+		t.Fatalf("stats disagree: %+v vs injected=%d delivered=%d", s, injected, delivered)
+	}
+}
+
+func TestBackPressureRejectsWhenFull(t *testing.T) {
+	m := NewMesh(Config{Width: 2, Height: 1, BufDepth: 2})
+	// Fill the local FIFO at (0,0) without stepping.
+	okCount := 0
+	for i := 0; i < 5; i++ {
+		if m.Inject(Coord{0, 0}, Packet{DX: 1}, 0) {
+			okCount++
+		}
+	}
+	if okCount != 2 {
+		t.Fatalf("accepted %d injections into a depth-2 FIFO, want 2", okCount)
+	}
+	if s := m.Stats(); s.RejectedInjections != 3 {
+		t.Fatalf("RejectedInjections = %d, want 3", s.RejectedInjections)
+	}
+}
+
+func TestInjectPanicsOutsideMesh(t *testing.T) {
+	m := mesh4()
+	for name, fn := range map[string]func(){
+		"bad src": func() { m.Inject(Coord{9, 0}, Packet{}, 0) },
+		"bad dst": func() { m.Inject(Coord{0, 0}, Packet{DX: 100}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	m := mesh4()
+	m.RecordLatencies(true)
+	m.Inject(Coord{0, 0}, Packet{DX: 3, DY: 3}, 0)
+	for c := int64(0); c < 30; c++ {
+		m.Step(c, nil)
+	}
+	s := m.Stats()
+	if s.Delivered != 1 {
+		t.Fatal("packet not delivered")
+	}
+	// 6 hops minimum plus per-router service: latency must be >= 7 cycles.
+	if s.MeanLatency() < 7 {
+		t.Fatalf("mean latency %.1f implausibly low for 6 hops", s.MeanLatency())
+	}
+	if s.MaxLatency < uint64(s.MeanLatency()) {
+		t.Fatal("max latency below mean")
+	}
+	if len(m.Latencies()) != 1 {
+		t.Fatalf("recorded %d latencies, want 1", len(m.Latencies()))
+	}
+	if s.MeanHops() != 6 {
+		t.Fatalf("mean hops %.1f, want 6", s.MeanHops())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := mesh4()
+	m.RecordLatencies(true)
+	m.Inject(Coord{0, 0}, Packet{DX: 1}, 0)
+	for c := int64(0); c < 10; c++ {
+		m.Step(c, nil)
+	}
+	m.ResetStats()
+	if m.Stats() != (Stats{}) || len(m.Latencies()) != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	m := mesh4()
+	m.Inject(Coord{0, 0}, Packet{DX: 3, DY: 3}, 0)
+	used := m.Drain(0, 100, nil)
+	if used >= 100 || m.InFlight() != 0 {
+		t.Fatalf("drain used %d cycles, in-flight %d", used, m.InFlight())
+	}
+	// Draining an empty mesh is free.
+	if m.Drain(0, 100, nil) != 0 {
+		t.Fatal("empty drain must return 0")
+	}
+}
+
+func TestNewMeshPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero width":  {Width: 0, Height: 1, BufDepth: 1},
+		"zero height": {Width: 1, Height: 0, BufDepth: 1},
+		"zero buf":    {Width: 1, Height: 1, BufDepth: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewMesh(cfg)
+		}()
+	}
+}
+
+func TestSaturationLatencyGrows(t *testing.T) {
+	// Mean latency under heavy load must exceed light-load latency:
+	// the congestion behaviour the F3 experiment sweeps.
+	run := func(perCycle int) float64 {
+		m := NewMesh(Config{Width: 8, Height: 8, BufDepth: 4})
+		r := rng.NewSplitMix64(3)
+		for c := int64(0); c < 600; c++ {
+			if c < 400 {
+				for k := 0; k < perCycle; k++ {
+					src := Coord{int16(r.Intn(8)), int16(r.Intn(8))}
+					dst := Coord{int16(r.Intn(8)), int16(r.Intn(8))}
+					m.Inject(src, Packet{DX: dst.X - src.X, DY: dst.Y - src.Y}, c)
+				}
+			}
+			m.Step(c, nil)
+		}
+		return m.Stats().MeanLatency()
+	}
+	light, heavy := run(1), run(24)
+	if heavy <= light {
+		t.Fatalf("latency under load (%.1f) not above light load (%.1f)", heavy, light)
+	}
+}
+
+func BenchmarkMeshStepLight(b *testing.B) {
+	m := NewMesh(Config{Width: 16, Height: 16, BufDepth: 4})
+	r := rng.NewSplitMix64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := int64(i)
+		src := Coord{int16(r.Intn(16)), int16(r.Intn(16))}
+		dst := Coord{int16(r.Intn(16)), int16(r.Intn(16))}
+		m.Inject(src, Packet{DX: dst.X - src.X, DY: dst.Y - src.Y}, c)
+		m.Step(c, nil)
+	}
+}
+
+func BenchmarkMeshStepSaturated(b *testing.B) {
+	m := NewMesh(Config{Width: 16, Height: 16, BufDepth: 4})
+	r := rng.NewSplitMix64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := int64(i)
+		for k := 0; k < 32; k++ {
+			src := Coord{int16(r.Intn(16)), int16(r.Intn(16))}
+			dst := Coord{int16(r.Intn(16)), int16(r.Intn(16))}
+			m.Inject(src, Packet{DX: dst.X - src.X, DY: dst.Y - src.Y}, c)
+		}
+		m.Step(c, nil)
+	}
+}

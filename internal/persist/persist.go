@@ -1,0 +1,305 @@
+// Package persist serializes chip configurations ("chip images", the
+// analogue of the binary a real deployment flashes onto the silicon) and
+// runtime snapshots (for checkpoint/restore of long simulations).
+//
+// The format is a versioned little-endian binary stream. Round-tripping
+// a configuration yields a semantically identical chip; restoring a
+// snapshot resumes simulation bit-exactly (tests assert both).
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/crossbar"
+	"github.com/neurogo/neurogo/internal/neuron"
+)
+
+// Format identifiers.
+const (
+	configMagic   = 0x4E47436647 // "NGCfG"-ish tag
+	snapshotMagic = 0x4E47536E50 // "NGSnP"-ish tag
+	version       = 1
+)
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, w.err = w.w.Write(buf[:])
+}
+
+func (w *writer) u32(v uint32) { w.u64(uint64(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) b(v bool) {
+	if v {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	_, r.err = io.ReadFull(r.r, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (r *reader) u32() uint32 { return uint32(r.u64()) }
+func (r *reader) i64() int64  { return int64(r.u64()) }
+func (r *reader) b() bool     { return r.u64() != 0 }
+
+// WriteConfig serializes a chip configuration.
+func WriteConfig(dst io.Writer, cfg *chip.Config) error {
+	w := &writer{w: bufio.NewWriter(dst)}
+	w.u64(configMagic)
+	w.u64(version)
+	w.u64(uint64(cfg.Width))
+	w.u64(uint64(cfg.Height))
+	for _, cc := range cfg.Cores {
+		if cc == nil {
+			w.b(false)
+			continue
+		}
+		w.b(true)
+		writeCore(w, cc)
+	}
+	if w.err != nil {
+		return fmt.Errorf("persist: writing config: %w", w.err)
+	}
+	return w.w.Flush()
+}
+
+func writeCore(w *writer, cc *core.Config) {
+	for _, t := range cc.AxonType {
+		w.u64(uint64(t))
+	}
+	for a := 0; a < core.Size; a++ {
+		row := cc.Synapses.Row(a)
+		for _, word := range row {
+			w.u64(word)
+		}
+	}
+	for n := range cc.Neurons {
+		writeNeuron(w, &cc.Neurons[n])
+	}
+	for _, t := range cc.Targets {
+		w.i64(int64(t.Core))
+		w.u64(uint64(t.Axon))
+	}
+	w.u64(uint64(cc.Seed))
+}
+
+func writeNeuron(w *writer, p *neuron.Params) {
+	for _, sw := range p.SynWeight {
+		w.i64(int64(sw))
+	}
+	for _, sb := range p.SynStochastic {
+		w.b(sb)
+	}
+	w.i64(int64(p.Leak))
+	w.b(p.LeakStochastic)
+	w.b(p.LeakReversal)
+	w.i64(int64(p.Threshold))
+	w.i64(int64(p.NegThreshold))
+	w.u64(uint64(p.MaskBits))
+	w.u64(uint64(p.Reset))
+	w.b(p.NegSaturate)
+	w.i64(int64(p.ResetV))
+	w.u64(uint64(p.Delay))
+}
+
+// ReadConfig deserializes a chip configuration.
+func ReadConfig(src io.Reader) (*chip.Config, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	if m := r.u64(); m != configMagic {
+		return nil, fmt.Errorf("persist: bad config magic %#x", m)
+	}
+	if v := r.u64(); v != version {
+		return nil, fmt.Errorf("persist: unsupported config version %d", v)
+	}
+	width := int(r.u64())
+	height := int(r.u64())
+	if r.err != nil {
+		return nil, fmt.Errorf("persist: reading header: %w", r.err)
+	}
+	if width <= 0 || height <= 0 || width*height > 1<<22 {
+		return nil, fmt.Errorf("persist: implausible grid %dx%d", width, height)
+	}
+	cfg := &chip.Config{Width: width, Height: height, Cores: make([]*core.Config, width*height)}
+	for i := range cfg.Cores {
+		if !r.b() {
+			continue
+		}
+		cc := core.NewConfig()
+		readCore(r, cc)
+		cfg.Cores[i] = cc
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("persist: reading config: %w", r.err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: loaded config invalid: %w", err)
+	}
+	return cfg, nil
+}
+
+func readCore(r *reader, cc *core.Config) {
+	for a := range cc.AxonType {
+		cc.AxonType[a] = neuron.AxonType(r.u64())
+	}
+	for a := 0; a < core.Size; a++ {
+		var row crossbar.Row
+		for wi := range row {
+			row[wi] = r.u64()
+		}
+		cc.Synapses.SetRow(a, row)
+	}
+	for n := range cc.Neurons {
+		readNeuron(r, &cc.Neurons[n])
+	}
+	for t := range cc.Targets {
+		cc.Targets[t].Core = int32(r.i64())
+		cc.Targets[t].Axon = uint8(r.u64())
+	}
+	cc.Seed = uint16(r.u64())
+}
+
+func readNeuron(r *reader, p *neuron.Params) {
+	for i := range p.SynWeight {
+		p.SynWeight[i] = int16(r.i64())
+	}
+	for i := range p.SynStochastic {
+		p.SynStochastic[i] = r.b()
+	}
+	p.Leak = int16(r.i64())
+	p.LeakStochastic = r.b()
+	p.LeakReversal = r.b()
+	p.Threshold = int32(r.i64())
+	p.NegThreshold = int32(r.i64())
+	p.MaskBits = uint8(r.u64())
+	p.Reset = neuron.ResetMode(r.u64())
+	p.NegSaturate = r.b()
+	p.ResetV = int32(r.i64())
+	p.Delay = uint8(r.u64())
+}
+
+// WriteSnapshot serializes a runtime snapshot.
+func WriteSnapshot(dst io.Writer, s chip.Snapshot) error {
+	w := &writer{w: bufio.NewWriter(dst)}
+	w.u64(snapshotMagic)
+	w.u64(version)
+	w.i64(s.Tick)
+	w.u64(uint64(len(s.Cores)))
+	for _, cs := range s.Cores {
+		for _, v := range cs.V {
+			w.i64(int64(v))
+		}
+		w.u64(uint64(cs.LFSR))
+		for _, slot := range cs.Ring {
+			for _, word := range slot {
+				w.u64(word)
+			}
+		}
+		writeCounters(w, cs.Counters)
+	}
+	writeChipCounters(w, s.Counters)
+	if w.err != nil {
+		return fmt.Errorf("persist: writing snapshot: %w", w.err)
+	}
+	return w.w.Flush()
+}
+
+func writeCounters(w *writer, c core.Counters) {
+	w.u64(c.SynapticEvents)
+	w.u64(c.AxonEvents)
+	w.u64(c.NeuronUpdates)
+	w.u64(c.Spikes)
+	w.u64(c.Ticks)
+}
+
+func writeChipCounters(w *writer, c chip.Counters) {
+	writeCounters(w, c.Core)
+	w.u64(c.RoutedSpikes)
+	w.u64(c.TotalHops)
+	w.u64(c.OutputSpikes)
+	w.u64(c.InputSpikes)
+}
+
+// ReadSnapshot deserializes a runtime snapshot.
+func ReadSnapshot(src io.Reader) (chip.Snapshot, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	var s chip.Snapshot
+	if m := r.u64(); m != snapshotMagic {
+		return s, fmt.Errorf("persist: bad snapshot magic %#x", m)
+	}
+	if v := r.u64(); v != version {
+		return s, fmt.Errorf("persist: unsupported snapshot version %d", v)
+	}
+	s.Tick = r.i64()
+	n := r.u64()
+	if r.err != nil {
+		return s, fmt.Errorf("persist: reading snapshot header: %w", r.err)
+	}
+	if n > 1<<22 {
+		return s, fmt.Errorf("persist: implausible core count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var cs core.State
+		for vi := range cs.V {
+			cs.V[vi] = int32(r.i64())
+		}
+		cs.LFSR = uint16(r.u64())
+		for si := range cs.Ring {
+			for wi := range cs.Ring[si] {
+				cs.Ring[si][wi] = r.u64()
+			}
+		}
+		cs.Counters = readCounters(r)
+		s.Cores = append(s.Cores, cs)
+	}
+	s.Counters = readChipCounters(r)
+	if r.err != nil {
+		return s, fmt.Errorf("persist: reading snapshot: %w", r.err)
+	}
+	return s, nil
+}
+
+func readCounters(r *reader) core.Counters {
+	return core.Counters{
+		SynapticEvents: r.u64(),
+		AxonEvents:     r.u64(),
+		NeuronUpdates:  r.u64(),
+		Spikes:         r.u64(),
+		Ticks:          r.u64(),
+	}
+}
+
+func readChipCounters(r *reader) chip.Counters {
+	return chip.Counters{
+		Core:         readCounters(r),
+		RoutedSpikes: r.u64(),
+		TotalHops:    r.u64(),
+		OutputSpikes: r.u64(),
+		InputSpikes:  r.u64(),
+	}
+}

@@ -1,0 +1,237 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// randomConfig builds a 2x2 chip with one gated core and randomized
+// everything else.
+func randomConfig(seed uint64) *chip.Config {
+	r := rng.NewSplitMix64(seed)
+	cfg := &chip.Config{Width: 2, Height: 2, Cores: make([]*core.Config, 4)}
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			continue // gated
+		}
+		cc := core.NewConfig()
+		for k := 0; k < 800; k++ {
+			cc.Synapses.Set(r.Intn(core.Size), r.Intn(core.Size), true)
+		}
+		for a := range cc.AxonType {
+			cc.AxonType[a] = neuron.AxonType(r.Intn(4))
+		}
+		for n := range cc.Neurons {
+			p := &cc.Neurons[n]
+			p.SynWeight = [4]int16{int16(r.Intn(21) - 10), -3, 100, int16(r.Intn(11))}
+			p.SynStochastic[2] = r.Intn(3) == 0
+			p.Leak = int16(r.Intn(5) - 2)
+			p.LeakStochastic = r.Intn(5) == 0
+			p.LeakReversal = r.Intn(5) == 0
+			p.Threshold = int32(1 + r.Intn(9))
+			p.NegThreshold = int32(r.Intn(5))
+			p.MaskBits = uint8(r.Intn(4))
+			p.Reset = neuron.ResetMode(r.Intn(3))
+			p.NegSaturate = r.Intn(2) == 0
+			p.ResetV = int32(r.Intn(7) - 3)
+			p.Delay = uint8(1 + r.Intn(15))
+			tc := int32(r.Intn(4))
+			if tc == 2 {
+				tc = core.ExternalCore
+			}
+			cc.Targets[n] = core.Target{Core: tc, Axon: uint8(r.Intn(core.Size))}
+		}
+		cc.Seed = uint16(r.Next())
+		cfg.Cores[i] = cc
+	}
+	return cfg
+}
+
+func configsEqual(a, b *chip.Config) bool {
+	if a.Width != b.Width || a.Height != b.Height || len(a.Cores) != len(b.Cores) {
+		return false
+	}
+	for i := range a.Cores {
+		ca, cb := a.Cores[i], b.Cores[i]
+		if (ca == nil) != (cb == nil) {
+			return false
+		}
+		if ca == nil {
+			continue
+		}
+		if ca.AxonType != cb.AxonType || ca.Neurons != cb.Neurons ||
+			ca.Targets != cb.Targets || ca.Seed != cb.Seed {
+			return false
+		}
+		if !ca.Synapses.Equal(&cb.Synapses) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := randomConfig(seed)
+		var buf bytes.Buffer
+		if err := WriteConfig(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadConfig(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !configsEqual(cfg, got) {
+			t.Fatalf("seed %d: round trip changed the configuration", seed)
+		}
+	}
+}
+
+func TestConfigRejectsGarbage(t *testing.T) {
+	if _, err := ReadConfig(bytes.NewReader([]byte("not a chip image"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadConfig(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestConfigRejectsTruncated(t *testing.T) {
+	cfg := randomConfig(1)
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadConfig(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := randomConfig(2)
+	ch := chip.New(cfg)
+	r := rng.NewSplitMix64(9)
+	for i := 0; i < 40; i++ {
+		_ = ch.Inject(0, r.Intn(core.Size), ch.Now())
+		ch.Tick()
+	}
+	snap := ch.Snapshot()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != snap.Tick || len(got.Cores) != len(snap.Cores) {
+		t.Fatalf("header mismatch: %d/%d vs %d/%d", got.Tick, len(got.Cores), snap.Tick, len(snap.Cores))
+	}
+	for i := range snap.Cores {
+		if snap.Cores[i] != got.Cores[i] {
+			t.Fatalf("core %d state differs after round trip", i)
+		}
+	}
+	if got.Counters != snap.Counters {
+		t.Fatal("chip counters differ")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+// TestCheckpointResumeBitExact is the flagship persistence test: running
+// 50 ticks, checkpointing through serialization, resuming on a freshly
+// loaded chip, and comparing against an uninterrupted run must give
+// byte-identical output spikes.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	inject := func(ch *chip.Chip, tick int, r *rng.SplitMix64) {
+		for k := 0; k < 6; k++ {
+			_ = ch.Inject(int32([]int{0, 1, 3}[r.Intn(3)]), r.Intn(core.Size), ch.Now())
+		}
+	}
+
+	// Uninterrupted reference run.
+	ref := chip.New(randomConfig(5))
+	r1 := rng.NewSplitMix64(77)
+	var refOut []chip.OutputSpike
+	for i := 0; i < 100; i++ {
+		inject(ref, i, r1)
+		refOut = append(refOut, ref.Tick()...)
+	}
+
+	// Interrupted run: 50 ticks, serialize config+state, reload, resume.
+	first := chip.New(randomConfig(5))
+	r2 := rng.NewSplitMix64(77)
+	var out []chip.OutputSpike
+	for i := 0; i < 50; i++ {
+		inject(first, i, r2)
+		out = append(out, first.Tick()...)
+	}
+	var cfgBuf, snapBuf bytes.Buffer
+	if err := WriteConfig(&cfgBuf, randomConfig(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&snapBuf, first.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := ReadConfig(&cfgBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(&snapBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := chip.New(cfg2)
+	second.Restore(snap)
+	for i := 50; i < 100; i++ {
+		inject(second, i, r2)
+		out = append(out, second.Tick()...)
+	}
+
+	if len(out) != len(refOut) {
+		t.Fatalf("resumed run emitted %d spikes, reference %d", len(out), len(refOut))
+	}
+	for i := range out {
+		if out[i] != refOut[i] {
+			t.Fatalf("spike %d differs after resume: %+v vs %+v", i, out[i], refOut[i])
+		}
+	}
+}
+
+func TestRestorePanicsOnMismatch(t *testing.T) {
+	ch := chip.New(randomConfig(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.Restore(chip.Snapshot{Tick: 0, Cores: make([]core.State, 1)})
+}
+
+func BenchmarkWriteConfig(b *testing.B) {
+	cfg := randomConfig(1)
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = WriteConfig(&buf, cfg)
+	}
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	ch := chip.New(randomConfig(1))
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = WriteSnapshot(&buf, ch.Snapshot())
+		_, _ = ReadSnapshot(&buf)
+	}
+}

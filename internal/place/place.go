@@ -1,0 +1,358 @@
+// Package place assigns core-sized groups of neurons to positions on the
+// chip's core grid, minimising spike traffic times Manhattan distance —
+// the quantity the NoC pays for in latency and energy.
+//
+// Three placers are provided, forming the ablation ladder used by the
+// locality experiments: Random (the baseline), Greedy (best-first
+// insertion next to already-placed traffic partners), and Anneal
+// (simulated annealing refinement on top of Greedy). All are
+// deterministic given their seed.
+package place
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// Problem is a placement instance.
+type Problem struct {
+	// N is the number of groups to place.
+	N int
+	// Width and Height are the grid dimensions (Width*Height >= N).
+	Width, Height int
+	// Traffic[i][j] is the expected spike rate from group i to group j
+	// (any nonnegative unit; only relative magnitudes matter).
+	Traffic [][]float64
+}
+
+// Validate checks the instance shape.
+func (p *Problem) Validate() error {
+	if p.N < 0 {
+		return fmt.Errorf("place: negative N")
+	}
+	if p.Width <= 0 || p.Height <= 0 {
+		return fmt.Errorf("place: grid %dx%d must be positive", p.Width, p.Height)
+	}
+	if p.Width*p.Height < p.N {
+		return fmt.Errorf("place: %d groups exceed %d grid slots", p.N, p.Width*p.Height)
+	}
+	if len(p.Traffic) != p.N {
+		return fmt.Errorf("place: traffic matrix has %d rows for %d groups", len(p.Traffic), p.N)
+	}
+	for i, row := range p.Traffic {
+		if len(row) != p.N {
+			return fmt.Errorf("place: traffic row %d has %d columns", i, len(row))
+		}
+		for j, w := range row {
+			if w < 0 {
+				return fmt.Errorf("place: negative traffic [%d][%d]", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps each group to a linear grid slot (y*Width + x).
+type Assignment []int
+
+// dist returns the Manhattan distance between two slots.
+func (p *Problem) dist(s1, s2 int) int {
+	x1, y1 := s1%p.Width, s1/p.Width
+	x2, y2 := s2%p.Width, s2/p.Width
+	dx, dy := x1-x2, y1-y2
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Cost returns the total traffic-weighted Manhattan distance of a.
+func (p *Problem) Cost(a Assignment) float64 {
+	total := 0.0
+	for i := 0; i < p.N; i++ {
+		row := p.Traffic[i]
+		for j := 0; j < p.N; j++ {
+			if w := row[j]; w > 0 {
+				total += w * float64(p.dist(a[i], a[j]))
+			}
+		}
+	}
+	return total
+}
+
+// CheckLegal verifies a is a valid injective slot assignment.
+func (p *Problem) CheckLegal(a Assignment) error {
+	if len(a) != p.N {
+		return fmt.Errorf("place: assignment length %d for %d groups", len(a), p.N)
+	}
+	seen := make(map[int]int, p.N)
+	for g, s := range a {
+		if s < 0 || s >= p.Width*p.Height {
+			return fmt.Errorf("place: group %d at slot %d outside grid", g, s)
+		}
+		if prev, dup := seen[s]; dup {
+			return fmt.Errorf("place: groups %d and %d share slot %d", prev, g, s)
+		}
+		seen[s] = g
+	}
+	return nil
+}
+
+// Random places groups uniformly at random (the baseline placer).
+func Random(p *Problem, seed uint64) Assignment {
+	r := rng.NewSplitMix64(seed)
+	perm := r.Perm(p.Width * p.Height)
+	a := make(Assignment, p.N)
+	copy(a, perm[:p.N])
+	return a
+}
+
+// adjacency builds symmetric weighted adjacency lists from the traffic
+// matrix: adj[i] holds (j, T[i][j]+T[j][i]) for all traffic partners.
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+func adjacency(p *Problem) [][]halfEdge {
+	adj := make([][]halfEdge, p.N)
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			if i == j {
+				continue
+			}
+			w := p.Traffic[i][j] + p.Traffic[j][i]
+			if w > 0 {
+				adj[i] = append(adj[i], halfEdge{j, w})
+			}
+		}
+	}
+	return adj
+}
+
+// spiralOrder returns grid slots ordered by distance from the grid centre
+// (ties broken by slot index), so greedy insertion grows a compact blob.
+func spiralOrder(w, h int) []int {
+	type sd struct {
+		slot, d int
+	}
+	cx, cy := (w-1)/2, (h-1)/2
+	all := make([]sd, 0, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := x-cx, y-cy
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			all = append(all, sd{y*w + x, dx + dy})
+		}
+	}
+	// Stable insertion sort by (d, slot); n is small (grid size).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].d < all[j-1].d || (all[j].d == all[j-1].d && all[j].slot < all[j-1].slot)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	out := make([]int, len(all))
+	for i, e := range all {
+		out[i] = e.slot
+	}
+	return out
+}
+
+// Greedy places the most-connected group at the grid centre, then
+// repeatedly takes the unplaced group with the strongest connection to
+// the placed set and puts it on the free slot minimising its incremental
+// traffic-distance cost.
+func Greedy(p *Problem) Assignment {
+	if p.N == 0 {
+		return Assignment{}
+	}
+	adj := adjacency(p)
+
+	// Connection strength to the placed set; -1 marks placed.
+	gain := make([]float64, p.N)
+	placed := make([]bool, p.N)
+	a := make(Assignment, p.N)
+
+	// Total degree picks the seed group.
+	seed := 0
+	best := -1.0
+	for i := 0; i < p.N; i++ {
+		t := 0.0
+		for _, e := range adj[i] {
+			t += e.w
+		}
+		if t > best {
+			best, seed = t, i
+		}
+	}
+
+	slots := spiralOrder(p.Width, p.Height)
+	freeSlots := make([]bool, p.Width*p.Height)
+	for _, s := range slots {
+		freeSlots[s] = true
+	}
+
+	placeAt := func(g, slot int) {
+		a[g] = slot
+		placed[g] = true
+		freeSlots[slot] = false
+		for _, e := range adj[g] {
+			if !placed[e.to] {
+				gain[e.to] += e.w
+			}
+		}
+	}
+	placeAt(seed, slots[0])
+
+	for count := 1; count < p.N; count++ {
+		// Next group: strongest tie to placed set; fall back to first
+		// unplaced (disconnected components).
+		g, bestGain := -1, -1.0
+		for i := 0; i < p.N; i++ {
+			if !placed[i] && gain[i] > bestGain {
+				g, bestGain = i, gain[i]
+			}
+		}
+		// Best free slot by incremental cost; scan in spiral order so
+		// disconnected groups stay compact.
+		bestSlot, bestCost := -1, 0.0
+		for _, s := range slots {
+			if !freeSlots[s] {
+				continue
+			}
+			c := 0.0
+			for _, e := range adj[g] {
+				if placed[e.to] {
+					c += e.w * float64(p.dist(s, a[e.to]))
+				}
+			}
+			if bestSlot == -1 || c < bestCost {
+				bestSlot, bestCost = s, c
+			}
+		}
+		placeAt(g, bestSlot)
+	}
+	return a
+}
+
+// AnnealOptions tunes the simulated-annealing placer.
+type AnnealOptions struct {
+	// Iters is the number of proposed moves. Zero means 200*N.
+	Iters int
+	// T0 is the initial temperature. Zero derives it from the problem.
+	T0 float64
+	// Cooling is the geometric decay per move. Zero means 0.9995.
+	Cooling float64
+}
+
+// Anneal refines the Greedy placement with simulated annealing: random
+// slot swaps (including moves to free slots), Metropolis acceptance, and
+// geometric cooling. Deterministic for a given seed.
+func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
+	a := Greedy(p)
+	if p.N <= 1 {
+		return a
+	}
+	if opt.Iters == 0 {
+		opt.Iters = 200 * p.N
+	}
+	if opt.Cooling == 0 {
+		opt.Cooling = 0.9995
+	}
+	adj := adjacency(p)
+
+	// slotOwner[s] = group at slot s, or -1.
+	slotOwner := make([]int, p.Width*p.Height)
+	for i := range slotOwner {
+		slotOwner[i] = -1
+	}
+	for g, s := range a {
+		slotOwner[s] = g
+	}
+
+	// moveDelta computes the cost change of moving group g to slot s2,
+	// excluding any interaction with group `other` (handled by caller
+	// during swaps).
+	moveDelta := func(g, s2, other int) float64 {
+		s1 := a[g]
+		d := 0.0
+		for _, e := range adj[g] {
+			if e.to == other {
+				continue
+			}
+			d += e.w * float64(p.dist(s2, a[e.to])-p.dist(s1, a[e.to]))
+		}
+		return d
+	}
+
+	t := opt.T0
+	if t == 0 {
+		c := p.Cost(a)
+		t = 1 + c/float64(p.N*4)
+	}
+	r := rng.NewSplitMix64(seed)
+	nSlots := p.Width * p.Height
+
+	for it := 0; it < opt.Iters; it++ {
+		g := r.Intn(p.N)
+		s2 := r.Intn(nSlots)
+		s1 := a[g]
+		if s1 == s2 {
+			continue
+		}
+		o := slotOwner[s2]
+		var delta float64
+		if o == -1 {
+			delta = moveDelta(g, s2, -1)
+		} else {
+			// Swap: pairwise distance between g and o is unchanged
+			// (their slots swap), so exclude it from both deltas.
+			delta = moveDelta(g, s2, o) + moveDelta(o, s1, g)
+		}
+		accept := delta <= 0
+		if !accept && t > 1e-12 {
+			// Metropolis: exp(-delta/t) without math.Exp in the hot
+			// loop is not worth the obscurity; use the real thing.
+			accept = r.Float64() < expNeg(delta/t)
+		}
+		if accept {
+			a[g] = s2
+			slotOwner[s1] = -1
+			if o != -1 {
+				a[o] = s1
+				slotOwner[s1] = o
+			}
+			slotOwner[s2] = g
+		}
+		t *= opt.Cooling
+	}
+	return a
+}
+
+// expNeg returns e^-x for x >= 0 with a cheap clamped series; accuracy is
+// irrelevant for Metropolis acceptance, monotonicity is what matters.
+func expNeg(x float64) float64 {
+	if x > 30 {
+		return 0
+	}
+	// e^-x = 1/e^x via the limit form (1 + x/n)^n with n = 256.
+	y := 1 + x/256
+	y *= y
+	y *= y
+	y *= y
+	y *= y
+	y *= y
+	y *= y
+	y *= y
+	y *= y
+	return 1 / y
+}

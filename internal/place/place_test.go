@@ -1,0 +1,252 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// chainProblem builds N groups in a line: i talks to i+1 only. Optimal
+// placement is a snake with cost N-1.
+func chainProblem(n, w, h int) *Problem {
+	tr := make([][]float64, n)
+	for i := range tr {
+		tr[i] = make([]float64, n)
+		if i+1 < n {
+			tr[i][i+1] = 1
+		}
+	}
+	return &Problem{N: n, Width: w, Height: h, Traffic: tr}
+}
+
+// randomProblem builds dense random traffic.
+func randomProblem(n, w, h int, seed uint64) *Problem {
+	r := rng.NewSplitMix64(seed)
+	tr := make([][]float64, n)
+	for i := range tr {
+		tr[i] = make([]float64, n)
+		for j := range tr[i] {
+			if i != j && r.Intn(4) == 0 {
+				tr[i][j] = float64(1 + r.Intn(10))
+			}
+		}
+	}
+	return &Problem{N: n, Width: w, Height: h, Traffic: tr}
+}
+
+func TestValidate(t *testing.T) {
+	if err := chainProblem(4, 2, 2).Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	bad := []*Problem{
+		{N: 5, Width: 2, Height: 2, Traffic: make([][]float64, 5)},
+		{N: 1, Width: 0, Height: 2, Traffic: [][]float64{{0}}},
+		{N: 2, Width: 2, Height: 2, Traffic: [][]float64{{0, 1}}},
+		{N: 2, Width: 2, Height: 2, Traffic: [][]float64{{0, 1}, {-1, 0}}},
+		{N: 2, Width: 2, Height: 2, Traffic: [][]float64{{0, 1}, {1, 0, 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestCostHandComputed(t *testing.T) {
+	p := chainProblem(3, 3, 1)
+	// Groups on slots 0,1,2 in order: cost = 1 + 1 = 2.
+	if c := p.Cost(Assignment{0, 1, 2}); c != 2 {
+		t.Errorf("cost = %g, want 2", c)
+	}
+	// Reverse order is symmetric.
+	if c := p.Cost(Assignment{2, 1, 0}); c != 2 {
+		t.Errorf("reversed cost = %g, want 2", c)
+	}
+	// Spread: 0 at slot 0, 1 at slot 2, 2 at slot 1: d(0,2)=2, d(2,1)=1.
+	if c := p.Cost(Assignment{0, 2, 1}); c != 3 {
+		t.Errorf("spread cost = %g, want 3", c)
+	}
+}
+
+func TestCheckLegal(t *testing.T) {
+	p := chainProblem(3, 2, 2)
+	if err := p.CheckLegal(Assignment{0, 1, 2}); err != nil {
+		t.Errorf("legal assignment rejected: %v", err)
+	}
+	for name, a := range map[string]Assignment{
+		"short":     {0, 1},
+		"collision": {1, 1, 2},
+		"oob":       {0, 1, 4},
+		"negative":  {0, -1, 2},
+	} {
+		if err := p.CheckLegal(a); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRandomLegalAndDeterministic(t *testing.T) {
+	p := randomProblem(12, 4, 4, 1)
+	a1 := Random(p, 7)
+	a2 := Random(p, 7)
+	if err := p.CheckLegal(a1); err != nil {
+		t.Fatalf("random produced illegal assignment: %v", err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("Random not deterministic for fixed seed")
+		}
+	}
+	a3 := Random(p, 8)
+	same := true
+	for i := range a1 {
+		if a1[i] != a3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical assignment (suspicious)")
+	}
+}
+
+func TestGreedyLegal(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		p := randomProblem(n, 4, 4, uint64(n))
+		a := Greedy(p)
+		if err := p.CheckLegal(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGreedyEmptyProblem(t *testing.T) {
+	p := &Problem{N: 0, Width: 2, Height: 2, Traffic: nil}
+	if a := Greedy(p); len(a) != 0 {
+		t.Fatal("empty problem must yield empty assignment")
+	}
+}
+
+func TestGreedyOptimalOnChain(t *testing.T) {
+	// A 4-chain on a 2x2 grid: every adjacent-pair placement has cost 3
+	// or more; the optimal snake has cost 3.
+	p := chainProblem(4, 2, 2)
+	a := Greedy(p)
+	if err := p.CheckLegal(a); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Cost(a); c != 3 {
+		t.Errorf("greedy chain cost = %g, want optimal 3", c)
+	}
+}
+
+func TestGreedyBeatsRandomOnStructure(t *testing.T) {
+	p := chainProblem(36, 6, 6)
+	greedy := p.Cost(Greedy(p))
+	worse := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		if p.Cost(Random(p, seed)) > greedy {
+			worse++
+		}
+	}
+	if worse < 8 {
+		t.Errorf("greedy (%g) beat only %d/10 random placements on a chain", greedy, worse)
+	}
+}
+
+func TestAnnealLegalAndNoWorseThanGreedy(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		p := randomProblem(24, 6, 6, seed)
+		g := Greedy(p)
+		an := Anneal(p, seed, AnnealOptions{Iters: 5000})
+		if err := p.CheckLegal(an); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Annealing starts from greedy; it may accept uphill moves but
+		// with cooling it must land within a modest factor.
+		if p.Cost(an) > p.Cost(g)*1.25 {
+			t.Errorf("seed %d: anneal cost %g much worse than greedy %g", seed, p.Cost(an), p.Cost(g))
+		}
+	}
+}
+
+func TestAnnealImprovesBadStart(t *testing.T) {
+	// On a strongly structured instance annealing should find most of
+	// the locality that random placement destroys.
+	p := chainProblem(25, 5, 5)
+	rnd := p.Cost(Random(p, 3))
+	an := p.Cost(Anneal(p, 3, AnnealOptions{Iters: 30000}))
+	if an >= rnd {
+		t.Errorf("anneal (%g) failed to improve on random (%g)", an, rnd)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	p := randomProblem(16, 4, 4, 9)
+	a1 := Anneal(p, 42, AnnealOptions{Iters: 2000})
+	a2 := Anneal(p, 42, AnnealOptions{Iters: 2000})
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("Anneal not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestAnnealSingleGroup(t *testing.T) {
+	p := &Problem{N: 1, Width: 2, Height: 2, Traffic: [][]float64{{0}}}
+	a := Anneal(p, 1, AnnealOptions{})
+	if err := p.CheckLegal(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpNegMonotone(t *testing.T) {
+	prev := 1.0
+	for x := 0.0; x < 40; x += 0.5 {
+		v := expNeg(x)
+		if v > prev {
+			t.Fatalf("expNeg not monotone at %g", x)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("expNeg(%g) = %g outside [0,1]", x, v)
+		}
+		prev = v
+	}
+	if math.Abs(expNeg(1)-math.Exp(-1)) > 0.01 {
+		t.Errorf("expNeg(1) = %g, want ~%g", expNeg(1), math.Exp(-1))
+	}
+}
+
+func TestSpiralOrderCoversGrid(t *testing.T) {
+	s := spiralOrder(4, 3)
+	if len(s) != 12 {
+		t.Fatalf("spiral covers %d slots, want 12", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 12 || seen[v] {
+			t.Fatalf("spiral order invalid: %v", s)
+		}
+		seen[v] = true
+	}
+	// First slot is the centre-ish cell.
+	if s[0] != 1*4+1 {
+		t.Errorf("spiral starts at %d, want centre 5", s[0])
+	}
+}
+
+func BenchmarkGreedy64(b *testing.B) {
+	p := randomProblem(64, 8, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(p)
+	}
+}
+
+func BenchmarkAnneal64(b *testing.B) {
+	p := randomProblem(64, 8, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Anneal(p, uint64(i), AnnealOptions{Iters: 2000})
+	}
+}

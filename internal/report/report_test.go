@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("rule = %q", lines[2])
+	}
+	// The value column must start at the same offset in every row.
+	off := strings.Index(lines[1], "value")
+	if lines[3][off:off+1] != "1" || lines[4][off:off+2] != "22" {
+		t.Fatalf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if tb.Rows() != 1 {
+		t.Fatal("row not added")
+	}
+	s := tb.String()
+	if strings.Contains(s, "(MISSING)") || strings.Count(s, "\n") < 3 {
+		t.Fatalf("short row mishandled:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "x", "y")
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	tb.CSV(&b)
+	want := "x,y\n1,2\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	s := Chart("growth", []Series{
+		{Name: "lin", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "quad", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}},
+	}, 40, 10)
+	if !strings.Contains(s, "growth") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatalf("missing glyphs:\n%s", s)
+	}
+	if !strings.Contains(s, "*=lin") || !strings.Contains(s, "o=quad") {
+		t.Fatalf("missing legend:\n%s", s)
+	}
+	if !strings.Contains(s, "x: [0, 3]") {
+		t.Fatalf("missing x range:\n%s", s)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	s := Chart("empty", nil, 40, 10)
+	if !strings.Contains(s, "(no data)") {
+		t.Fatalf("empty chart = %q", s)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := Chart("const", []Series{{Name: "c", X: []float64{1, 1}, Y: []float64{5, 5}}}, 20, 5)
+	if !strings.Contains(s, "*") {
+		t.Fatalf("constant chart missing point:\n%s", s)
+	}
+}
+
+func TestChartPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Chart("x", nil, 2, 2)
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.23e+06",
+		123.4:   "123",
+		12.34:   "12.34",
+		0.5:     "0.5000",
+		0.0001:  "0.0001",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestI(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0",
+		999:       "999",
+		1000:      "1,000",
+		1234567:   "1,234,567",
+		-4096:     "-4,096",
+		268435456: "268,435,456",
+	}
+	for in, want := range cases {
+		if got := I(in); got != want {
+			t.Errorf("I(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package rng provides the deterministic pseudo-random number generators
+// used throughout the simulator.
+//
+// Two generators are provided:
+//
+//   - LFSR: a 16-bit Galois linear-feedback shift register. This mirrors the
+//     hardware PRNG embedded in each neurosynaptic core: cheap, deterministic
+//     and bit-reproducible. All stochastic neuron modes (synapse, leak,
+//     threshold) draw from the core's LFSR, so a chip-level simulation is a
+//     pure function of its configuration and seeds.
+//
+//   - SplitMix64: a high-quality 64-bit generator used by workload and
+//     dataset generators, where statistical quality matters more than
+//     hardware fidelity. It supports cheap stream splitting so that every
+//     experiment derives independent, reproducible sub-streams.
+//
+// Neither generator is safe for concurrent use; callers own one per
+// goroutine (the simulator gives each core its own LFSR, matching hardware).
+package rng
+
+import "math"
+
+// lfsrTaps is the feedback polynomial x^16 + x^14 + x^13 + x^11 + 1
+// (0xB400 in Galois form), which gives the maximal period 2^16-1.
+const lfsrTaps = 0xB400
+
+// LFSR is a 16-bit Galois linear-feedback shift register, modelling the
+// per-core hardware PRNG. The zero value is invalid (an all-zero LFSR is a
+// fixed point); use NewLFSR which maps seed 0 to a nonzero state.
+type LFSR struct {
+	state uint16
+}
+
+// NewLFSR returns an LFSR seeded with s. Seed 0 is remapped to 0xACE1 so
+// every seed yields a working generator.
+func NewLFSR(s uint16) *LFSR {
+	if s == 0 {
+		s = 0xACE1
+	}
+	return &LFSR{state: s}
+}
+
+// Next advances the register one step and returns the new 16-bit state.
+func (l *LFSR) Next() uint16 {
+	lsb := l.state & 1
+	l.state >>= 1
+	if lsb != 0 {
+		l.state ^= lfsrTaps
+	}
+	return l.state
+}
+
+// Draw8 returns a uniform 8-bit draw, the width used by stochastic synapse
+// and leak comparisons (|weight| is at most 255).
+func (l *LFSR) Draw8() uint8 {
+	return uint8(l.Next())
+}
+
+// DrawMask returns the next state masked to the low bits selected by mask.
+// Stochastic thresholds use mask = 2^TM - 1.
+func (l *LFSR) DrawMask(mask uint32) uint32 {
+	return uint32(l.Next()) & mask
+}
+
+// State returns the current register contents (for checkpointing).
+func (l *LFSR) State() uint16 { return l.state }
+
+// SetState restores a previously captured state. A zero state is remapped
+// exactly as in NewLFSR.
+func (l *LFSR) SetState(s uint16) {
+	if s == 0 {
+		s = 0xACE1
+	}
+	l.state = s
+}
+
+// Bernoulli returns true with probability p/256. It consumes one draw.
+func (l *LFSR) Bernoulli(p uint8) bool {
+	return l.Draw8() < p
+}
+
+// SplitMix64 is a 64-bit generator with excellent statistical properties
+// and O(1) stream splitting. It is the workload-side generator: datasets,
+// traffic patterns and placement annealing all derive their randomness from
+// SplitMix64 streams so experiments are reproducible end to end.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with s.
+func NewSplitMix64(s uint64) *SplitMix64 {
+	return &SplitMix64{state: s}
+}
+
+// Next returns the next 64-bit value.
+func (r *SplitMix64) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child stream labelled by tag. Streams with
+// distinct (parent seed, tag) pairs are statistically independent.
+func (r *SplitMix64) Split(tag uint64) *SplitMix64 {
+	mix := r.state ^ (tag * 0xD1342543DE82EF95)
+	child := NewSplitMix64(mix)
+	child.Next() // burn one value to decorrelate from the parent state
+	return child
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar (Marsaglia) method.
+func (r *SplitMix64) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Poisson returns a Poisson-distributed sample with mean lambda, using
+// Knuth's algorithm for small lambda and a normal approximation above 64
+// (adequate for spike-count workloads).
+func (r *SplitMix64) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(lambda + math.Sqrt(lambda)*r.NormFloat64() + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,271 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLFSRZeroSeedRemapped(t *testing.T) {
+	l := NewLFSR(0)
+	if l.State() == 0 {
+		t.Fatal("zero seed must be remapped to a nonzero state")
+	}
+}
+
+func TestLFSRNeverZero(t *testing.T) {
+	l := NewLFSR(1)
+	for i := 0; i < 1<<16; i++ {
+		if l.Next() == 0 {
+			t.Fatalf("LFSR reached the all-zero fixed point at step %d", i)
+		}
+	}
+}
+
+func TestLFSRMaximalPeriod(t *testing.T) {
+	l := NewLFSR(0xACE1)
+	start := l.State()
+	period := 0
+	for {
+		l.Next()
+		period++
+		if l.State() == start {
+			break
+		}
+		if period > 1<<16 {
+			t.Fatal("period exceeds 2^16, polynomial is wrong")
+		}
+	}
+	if period != 1<<16-1 {
+		t.Fatalf("period = %d, want %d (maximal)", period, 1<<16-1)
+	}
+}
+
+func TestLFSRDeterminism(t *testing.T) {
+	a, b := NewLFSR(42), NewLFSR(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("two LFSRs with the same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestLFSRSetStateRoundTrip(t *testing.T) {
+	l := NewLFSR(7)
+	for i := 0; i < 100; i++ {
+		l.Next()
+	}
+	s := l.State()
+	want := []uint16{l.Next(), l.Next(), l.Next()}
+	l.SetState(s)
+	for i, w := range want {
+		if g := l.Next(); g != w {
+			t.Fatalf("after restore, draw %d = %#x, want %#x", i, g, w)
+		}
+	}
+}
+
+func TestLFSRSetStateZeroRemap(t *testing.T) {
+	l := NewLFSR(7)
+	l.SetState(0)
+	if l.State() == 0 {
+		t.Fatal("SetState(0) must remap to nonzero")
+	}
+}
+
+func TestLFSRDraw8Uniformity(t *testing.T) {
+	l := NewLFSR(0xBEEF)
+	var counts [256]int
+	n := 1 << 16
+	for i := 0; i < n; i++ {
+		counts[l.Draw8()]++
+	}
+	// Expected 256 per bucket over one full period; tolerate wide slack.
+	for v, c := range counts {
+		if c < 128 || c > 512 {
+			t.Fatalf("value %d drawn %d times; grossly non-uniform", v, c)
+		}
+	}
+}
+
+func TestLFSRBernoulliRate(t *testing.T) {
+	for _, p := range []uint8{0, 32, 128, 200, 255} {
+		l := NewLFSR(0x1234)
+		n := 1 << 16
+		hits := 0
+		for i := 0; i < n; i++ {
+			if l.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(n)
+		want := float64(p) / 256
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Bernoulli(%d): rate %.4f, want %.4f +/- 0.02", p, got, want)
+		}
+	}
+}
+
+func TestLFSRDrawMask(t *testing.T) {
+	l := NewLFSR(9)
+	for i := 0; i < 1000; i++ {
+		v := l.DrawMask(0x0F)
+		if v > 0x0F {
+			t.Fatalf("DrawMask(0x0F) returned %#x outside mask", v)
+		}
+	}
+	// Mask 0 must always return 0 (deterministic-threshold case).
+	for i := 0; i < 10; i++ {
+		if v := l.DrawMask(0); v != 0 {
+			t.Fatalf("DrawMask(0) = %d, want 0", v)
+		}
+	}
+}
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a, b := NewSplitMix64(99), NewSplitMix64(99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("SplitMix64 streams with same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitMixSplitIndependence(t *testing.T) {
+	parent := NewSplitMix64(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Next() == c2.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("child streams with distinct tags collided %d/1000 times", same)
+	}
+}
+
+func TestSplitMixSplitReproducible(t *testing.T) {
+	mk := func() uint64 {
+		p := NewSplitMix64(7)
+		return p.Split(5).Next()
+	}
+	if mk() != mk() {
+		t.Fatal("Split is not a pure function of (seed, tag)")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewSplitMix64(3)
+	f := func(skip uint8) bool {
+		for i := 0; i < int(skip); i++ {
+			r.Next()
+		}
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewSplitMix64(4)
+	for _, n := range []int{1, 2, 7, 100, 12345} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewSplitMix64(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewSplitMix64(11)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewSplitMix64(21)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("normal mean = %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %.4f, want ~1", variance)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 2, 10, 100} {
+		r := NewSplitMix64(31)
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda)/lambda > 0.05 {
+			t.Errorf("Poisson(%g): mean %.3f, want within 5%%", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := NewSplitMix64(41)
+	f := func(raw uint16) bool {
+		lambda := float64(raw) / 100
+		return r.Poisson(lambda) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-3) != 0 {
+		t.Error("Poisson of non-positive lambda must be 0")
+	}
+}
+
+func BenchmarkLFSRNext(b *testing.B) {
+	l := NewLFSR(1)
+	for i := 0; i < b.N; i++ {
+		l.Next()
+	}
+}
+
+func BenchmarkSplitMixNext(b *testing.B) {
+	r := NewSplitMix64(1)
+	for i := 0; i < b.N; i++ {
+		r.Next()
+	}
+}

@@ -1,0 +1,296 @@
+// Package sim executes networks.
+//
+// Two executors are provided:
+//
+//   - Runner drives a compiled chip (package compile) tick by tick,
+//     injecting external input lines and decoding external output spikes
+//     back to logical neuron IDs. It can evaluate cores event-driven
+//     (the production engine), densely (the clock-driven baseline), or
+//     event-driven across several goroutines; all three produce
+//     bit-identical spike streams.
+//
+//   - Logical interprets a model.Network directly, without compiling.
+//     It is the executable specification: for deterministic networks the
+//     Runner must emit exactly the events Logical emits, which is the
+//     flagship "golden model" integration test of the compiler and chip.
+//
+// Both report events in logical time: an Event's tick is the tick the
+// logical neuron fired, independent of splitter-relay observation lag.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// Engine selects the core evaluation strategy.
+type Engine int
+
+const (
+	// EngineEvent is the sparse, event-driven engine (production).
+	EngineEvent Engine = iota
+	// EngineDense is the clock-driven baseline: every neuron of every
+	// core is evaluated every tick.
+	EngineDense
+	// EngineParallel is EngineEvent sharded across goroutines.
+	EngineParallel
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineEvent:
+		return "event"
+	case EngineDense:
+		return "dense"
+	case EngineParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Event is one output spike in logical time.
+type Event struct {
+	Tick   int64
+	Neuron model.NeuronID
+}
+
+// Runner executes a compiled mapping.
+type Runner struct {
+	mapping *compile.Mapping
+	chip    *chip.Chip
+	engine  Engine
+	workers int
+	pending []Event // events whose logical tick is in the future (lagged)
+}
+
+// NewRunner builds a runner. workers is used only by EngineParallel.
+func NewRunner(m *compile.Mapping, engine Engine, workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{mapping: m, chip: chip.New(m.Chip), engine: engine, workers: workers}
+}
+
+// Chip exposes the underlying chip (for counters and probes).
+func (r *Runner) Chip() *chip.Chip { return r.chip }
+
+// Mapping exposes the compiled mapping.
+func (r *Runner) Mapping() *compile.Mapping { return r.mapping }
+
+// Now returns the next tick to execute.
+func (r *Runner) Now() int64 { return r.chip.Now() }
+
+// InjectLine emits a spike on input line at the current tick; it arrives
+// at Now()+delay(line) at every target axon.
+func (r *Runner) InjectLine(line int32) error {
+	if line < 0 || int(line) >= len(r.mapping.InputTargets) {
+		return fmt.Errorf("sim: unknown input line %d", line)
+	}
+	at := r.chip.Now() + int64(r.mapping.InputDelay[line])
+	for _, t := range r.mapping.InputTargets[line] {
+		if err := r.chip.Inject(t.Core, int(t.Axon), at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances one tick and returns the logical output events whose
+// fire time equals the executed tick. Events are ordered by neuron ID.
+func (r *Runner) Step() []Event {
+	t := r.chip.Now()
+	var outs []chip.OutputSpike
+	switch r.engine {
+	case EngineDense:
+		outs = r.chip.TickDense()
+	case EngineParallel:
+		outs = r.chip.TickParallel(r.workers)
+	default:
+		outs = r.chip.Tick()
+	}
+	for _, o := range outs {
+		id, ok := r.mapping.DecodeOutput(o)
+		if !ok {
+			continue // dropped (unobserved) neuron
+		}
+		r.pending = append(r.pending, Event{Tick: o.Tick - int64(r.mapping.OutputLag(id)), Neuron: id})
+	}
+	// Emit events whose logical tick is t; lag-1 events for tick t were
+	// observed physically at t+1, so with lag up to 1, everything for
+	// tick t is known once tick t has executed... except lag-1 events
+	// observed in tick t+1. Hold events one extra tick to be safe.
+	ready := r.pending[:0:0]
+	var rest []Event
+	for _, e := range r.pending {
+		if e.Tick < t {
+			ready = append(ready, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	r.pending = rest
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].Tick != ready[j].Tick {
+			return ready[i].Tick < ready[j].Tick
+		}
+		return ready[i].Neuron < ready[j].Neuron
+	})
+	return ready
+}
+
+// Drain runs idle ticks until all pending lagged events are flushed and
+// returns them. Call after the last meaningful tick.
+func (r *Runner) Drain(extraTicks int) []Event {
+	var out []Event
+	for i := 0; i < extraTicks; i++ {
+		out = append(out, r.Step()...)
+	}
+	return out
+}
+
+// Run executes n ticks (plus enough drain ticks to flush lag) and
+// returns all events in order.
+func (r *Runner) Run(n int) []Event {
+	var out []Event
+	for i := 0; i < n; i++ {
+		out = append(out, r.Step()...)
+	}
+	out = append(out, r.Drain(2)...)
+	return out
+}
+
+// Logical interprets a model.Network directly. For deterministic
+// networks it defines the semantics the compiled chip must reproduce.
+// Stochastic neurons draw from per-neuron LFSRs seeded by neuron ID, so
+// Logical runs are reproducible but not bit-compatible with a compiled
+// chip's per-core LFSRs; golden tests use deterministic networks.
+//
+// Spike arrival is modelled per source, as one bit per (source, tick):
+// two spikes from the same source line landing on the same tick merge,
+// exactly as the hardware's axon delay ring merges them (one SRAM bit
+// per axon and slot).
+type Logical struct {
+	net  *model.Network
+	v    []int32
+	lfsr []*rng.LFSR
+	tick int64
+
+	// ring[slot] holds the sources whose spike arrives at tick
+	// (tick % RingSlots) == slot: one bit per neuron source and one per
+	// input line.
+	ring [core.RingSlots]struct {
+		neurons []bool
+		inputs  []bool
+	}
+
+	// inbound[n] lists neuron n's distinct sources in edge order (the
+	// integration order).
+	inbound [][]model.Node
+}
+
+// NewLogical builds a reference interpreter for net.
+func NewLogical(net *model.Network) *Logical {
+	n := net.Neurons()
+	l := &Logical{net: net, v: make([]int32, n), lfsr: make([]*rng.LFSR, n)}
+	for i := 0; i < n; i++ {
+		l.lfsr[i] = rng.NewLFSR(uint16(i + 1))
+	}
+	for s := range l.ring {
+		l.ring[s].neurons = make([]bool, n)
+		l.ring[s].inputs = make([]bool, net.InputLines())
+	}
+	l.inbound = make([][]model.Node, n)
+	inSeen := make([]map[model.Node]bool, n)
+	for _, e := range net.Edges() {
+		if inSeen[e.To] == nil {
+			inSeen[e.To] = map[model.Node]bool{}
+		}
+		if !inSeen[e.To][e.From] {
+			inSeen[e.To][e.From] = true
+			l.inbound[e.To] = append(l.inbound[e.To], e.From)
+		}
+	}
+	return l
+}
+
+// Now returns the next tick to execute.
+func (l *Logical) Now() int64 { return l.tick }
+
+// InjectLine emits a spike on an input line at the current tick.
+// Duplicate injections of the same line in one tick merge.
+func (l *Logical) InjectLine(line int32) error {
+	if line < 0 || int(line) >= l.net.InputLines() {
+		return fmt.Errorf("sim: unknown input line %d", line)
+	}
+	props := *l.net.InputProps(line)
+	slot := int(l.tick+int64(props.Delay)) % core.RingSlots
+	l.ring[slot].inputs[line] = true
+	return nil
+}
+
+// Step advances one tick and returns output events (fire-time ordered by
+// neuron ID).
+func (l *Logical) Step() []Event {
+	t := l.tick
+	slot := int(t) % core.RingSlots
+	arr := &l.ring[slot]
+
+	var events []Event
+	for id := 0; id < l.net.Neurons(); id++ {
+		p := l.net.Params(model.NeuronID(id))
+		v := l.v[id]
+		for _, src := range l.inbound[id] {
+			var fired bool
+			var g neuron.AxonType
+			if src.IsInput {
+				fired = arr.inputs[src.Idx]
+				g = l.net.InputProps(src.Idx).Type
+			} else {
+				fired = arr.neurons[src.Idx]
+				g = l.net.SourceProps(model.NeuronID(src.Idx)).Type
+			}
+			if fired {
+				v = neuron.Integrate(v, p, g, l.lfsr[id])
+			}
+		}
+		var spiked bool
+		v, spiked = neuron.LeakFire(v, p, l.lfsr[id])
+		l.v[id] = v
+		if !spiked {
+			continue
+		}
+		props := l.net.SourceProps(model.NeuronID(id))
+		dSlot := int(t+int64(props.Delay)) % core.RingSlots
+		l.ring[dSlot].neurons[id] = true
+		if l.net.IsOutput(model.NeuronID(id)) {
+			events = append(events, Event{Tick: t, Neuron: model.NeuronID(id)})
+		}
+	}
+	// Clear the consumed slot.
+	for i := range arr.neurons {
+		arr.neurons[i] = false
+	}
+	for i := range arr.inputs {
+		arr.inputs[i] = false
+	}
+	l.tick++
+	return events
+}
+
+// Run executes n ticks and returns all events.
+func (l *Logical) Run(n int) []Event {
+	var out []Event
+	for i := 0; i < n; i++ {
+		out = append(out, l.Step()...)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// pulseNet: 1 input -> A -> B(out), all thresholds 1, unit weights.
+func pulseNet() *model.Network {
+	m := model.New()
+	in := m.AddInputBank("in", 1, model.SourceProps{Type: 0, Delay: 1})
+	a := m.AddPopulation("a", 1, neuron.Default())
+	b := m.AddPopulation("b", 1, neuron.Default())
+	m.Connect(in.Line(0), a.ID(0))
+	m.Connect(model.NeuronNode(a.ID(0)), b.ID(0))
+	m.MarkOutput(b.ID(0))
+	return m
+}
+
+func TestLogicalPulseTiming(t *testing.T) {
+	net := pulseNet()
+	l := NewLogical(net)
+	if err := l.InjectLine(0); err != nil {
+		t.Fatal(err)
+	}
+	evs := l.Run(6)
+	// Inject at t0, arrives A at t1, A fires t1, arrives B at t2,
+	// B fires t2.
+	if len(evs) != 1 || evs[0].Tick != 2 || evs[0].Neuron != 1 {
+		t.Fatalf("events = %+v, want [{2 1}]", evs)
+	}
+}
+
+func TestRunnerPulseMatchesLogical(t *testing.T) {
+	net := pulseNet()
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mp, EngineEvent, 1)
+	if err := r.InjectLine(0); err != nil {
+		t.Fatal(err)
+	}
+	evs := r.Run(6)
+	if len(evs) != 1 || evs[0].Tick != 2 || evs[0].Neuron != 1 {
+		t.Fatalf("events = %+v, want [{2 1}]", evs)
+	}
+}
+
+func TestInjectLineValidation(t *testing.T) {
+	l := NewLogical(pulseNet())
+	if err := l.InjectLine(5); err == nil {
+		t.Error("logical: unknown line accepted")
+	}
+	mp, _ := compile.Compile(pulseNet(), compile.Options{})
+	r := NewRunner(mp, EngineEvent, 1)
+	if err := r.InjectLine(-1); err == nil {
+		t.Error("runner: unknown line accepted")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineEvent.String() != "event" || EngineDense.String() != "dense" || EngineParallel.String() != "parallel" {
+		t.Error("engine names wrong")
+	}
+	if Engine(9).String() == "" {
+		t.Error("unknown engine must stringify")
+	}
+}
+
+// goldenNet builds a deterministic multi-core network exercising delays,
+// inhibition, fan-out splitters, leaks and external outputs.
+func goldenNet(seed uint64) *model.Network {
+	r := rng.NewSplitMix64(seed)
+	m := model.New()
+	in := m.AddInputBank("in", 24, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	proto.Threshold = 2
+	a := m.AddPopulation("a", 300, proto) // spans two cores
+	b := m.AddPopulation("b", 150, proto)
+
+	// Inputs fan into population a (multi-core fanout is fine for
+	// inputs: the I/O layer duplicates).
+	for i := 0; i < 24; i++ {
+		for k := 0; k < 25; k++ {
+			m.Connect(in.Line(i), a.ID(r.Intn(300)))
+		}
+	}
+	// a -> b edges; sources get delay 2+ so splitters are legal, and a
+	// quarter of the sources are inhibitory (type 1).
+	for i := 0; i < 300; i++ {
+		props := m.SourceProps(a.ID(i))
+		props.Delay = uint8(2 + r.Intn(3))
+		if r.Intn(4) == 0 {
+			props.Type = 1
+		}
+		targets := 1 + r.Intn(3)
+		for k := 0; k < targets; k++ {
+			m.Connect(model.NeuronNode(a.ID(i)), b.ID(r.Intn(150)))
+		}
+	}
+	// Some leaky b neurons and varied thresholds.
+	for i := 0; i < 150; i++ {
+		p := m.Params(b.ID(i))
+		p.Threshold = int32(1 + r.Intn(3))
+		if r.Intn(3) == 0 {
+			p.Leak = -1
+			p.NegSaturate = true
+		}
+		m.MarkOutput(b.ID(i))
+	}
+	// A few a-neurons are also outputs (split external + internal).
+	for i := 0; i < 300; i += 37 {
+		m.MarkOutput(a.ID(i))
+	}
+	return m
+}
+
+// runGolden executes the same injection schedule on any executor.
+type executor interface {
+	InjectLine(line int32) error
+	Step() []Event
+	Now() int64
+}
+
+func schedule(t *testing.T, ex executor, ticks int, seed uint64) []Event {
+	t.Helper()
+	r := rng.NewSplitMix64(seed)
+	var evs []Event
+	for i := 0; i < ticks; i++ {
+		for k := 0; k < 6; k++ {
+			if err := ex.InjectLine(int32(r.Intn(24))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		evs = append(evs, ex.Step()...)
+	}
+	// Flush long enough that both executors have reported every event
+	// up to the comparison horizon (the runner releases events up to 2
+	// steps after the fire tick).
+	for i := 0; i < 10; i++ {
+		evs = append(evs, ex.Step()...)
+	}
+	// Truncate to the horizon where both streams are complete.
+	horizon := int64(ticks + 6)
+	cut := evs[:0:0]
+	for _, e := range evs {
+		if e.Tick < horizon {
+			cut = append(cut, e)
+		}
+	}
+	return cut
+}
+
+func TestGoldenModelEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		net := goldenNet(seed)
+		want := schedule(t, NewLogical(net), 60, seed*7)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: golden run produced no events; test is vacuous", seed)
+		}
+
+		for _, eng := range []Engine{EngineEvent, EngineDense, EngineParallel} {
+			for _, placer := range []compile.Placer{compile.PlacerGreedy, compile.PlacerRandom} {
+				mp, err := compile.Compile(goldenNet(seed), compile.Options{Placer: placer, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				r := NewRunner(mp, eng, 3)
+				got := schedule(t, r, 60, seed*7)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %v/%v: %d events, golden %d",
+						seed, eng, placer, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d %v/%v: event %d = %+v, golden %+v",
+							seed, eng, placer, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunnerEnginesProduceIdenticalCounters(t *testing.T) {
+	net := goldenNet(4)
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spikes := func(eng Engine) uint64 {
+		mp2, _ := compile.Compile(goldenNet(4), compile.Options{})
+		r := NewRunner(mp2, eng, 2)
+		schedule(t, r, 40, 11)
+		return r.Chip().Counters().Core.Spikes
+	}
+	_ = mp
+	ev, de := spikes(EngineEvent), spikes(EngineDense)
+	if ev != de {
+		t.Fatalf("event engine fired %d spikes, dense %d", ev, de)
+	}
+}
+
+func TestDenseDoesMoreWork(t *testing.T) {
+	mkRunner := func(eng Engine) *Runner {
+		mp, err := compile.Compile(goldenNet(9), compile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewRunner(mp, eng, 1)
+	}
+	ev := mkRunner(EngineEvent)
+	de := mkRunner(EngineDense)
+	schedule(t, ev, 40, 13)
+	schedule(t, de, 40, 13)
+	evWork := ev.Chip().Counters().Core.NeuronUpdates
+	deWork := de.Chip().Counters().Core.NeuronUpdates
+	if deWork <= evWork {
+		t.Fatalf("dense updates (%d) must exceed event updates (%d)", deWork, evWork)
+	}
+}
+
+func TestLogicalDeterministicWithStochastic(t *testing.T) {
+	mk := func() *model.Network {
+		m := model.New()
+		in := m.AddInputBank("in", 1, model.SourceProps{Type: 0, Delay: 1})
+		p := neuron.Default()
+		p.SynStochastic[0] = true
+		p.SynWeight[0] = 128
+		pop := m.AddPopulation("p", 4, p)
+		for i := 0; i < 4; i++ {
+			m.Connect(in.Line(0), pop.ID(i))
+			m.MarkOutput(pop.ID(i))
+		}
+		return m
+	}
+	run := func() []Event {
+		l := NewLogical(mk())
+		var evs []Event
+		for i := 0; i < 50; i++ {
+			_ = l.InjectLine(0)
+			evs = append(evs, l.Step()...)
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("stochastic logical runs not reproducible")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("stochastic logical runs diverged")
+		}
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("stochastic transduction should thin the train, got %d/200", len(a))
+	}
+}
+
+func BenchmarkRunnerEventGolden(b *testing.B) {
+	mp, err := compile.Compile(goldenNet(1), compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRunner(mp, EngineEvent, 1)
+	tr := rng.NewSplitMix64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.InjectLine(int32(tr.Intn(24)))
+		r.Step()
+	}
+}
+
+func BenchmarkRunnerDenseGolden(b *testing.B) {
+	mp, err := compile.Compile(goldenNet(1), compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRunner(mp, EngineDense, 1)
+	tr := rng.NewSplitMix64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.InjectLine(int32(tr.Intn(24)))
+		r.Step()
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 || Variance(nil) != 0 {
+		t.Error("short slices must have zero variance")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max(%v) = %g/%g", xs, Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max must be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {-5, 1}, {200, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMedianMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		med := Median(raw)
+		return med >= Min(raw) && med <= Max(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1.9, 2, 9.9, 10, 11, -3} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	// -3 and 0 and 1.9 in bin 0; 2 in bin 1; 9.9, 10, 11 clamp to bin 4.
+	want := []int{3, 1, 0, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) / 10)
+	}
+	sum := 0.0
+	for _, f := range h.Fractions() {
+		sum += f
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("fractions sum to %g, want 1", sum)
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Fatal("empty histogram must have zero fractions")
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %g, want 1", got)
+	}
+	if got := h.BinCenter(4); !almostEq(got, 9, 1e-12) {
+		t.Errorf("BinCenter(4) = %g, want 9", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":   func() { NewHistogram(0, 1, 0) },
+		"empty range": func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	if !almostEq(a, 1, 1e-9) || !almostEq(b, 2, 1e-9) || !almostEq(r2, 1, 1e-9) {
+		t.Errorf("fit = (%g, %g, r2=%g), want (1, 2, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitFlat(t *testing.T) {
+	a, b, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almostEq(a, 5, 1e-9) || !almostEq(b, 0, 1e-9) || !almostEq(r2, 1, 1e-9) {
+		t.Errorf("flat fit = (%g, %g, %g)", a, b, r2)
+	}
+}
+
+func TestLinearFitDegenerateX(t *testing.T) {
+	a, b, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || !almostEq(a, 2, 1e-9) {
+		t.Errorf("degenerate-x fit = (%g, %g), want (2, 0)", a, b)
+	}
+}
+
+func TestLinearFitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestRunningStatMatchesBatch(t *testing.T) {
+	xs := []float64{1, 4, 2, 8, 5, 7, 1, 0, 9, 3}
+	var r RunningStat
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almostEq(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %g != batch %g", r.Mean(), Mean(xs))
+	}
+	if !almostEq(r.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("running variance %g != batch %g", r.Variance(), Variance(xs))
+	}
+	if !almostEq(r.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("running stddev %g != batch %g", r.StdDev(), StdDev(xs))
+	}
+}
+
+func TestRunningStatEmpty(t *testing.T) {
+	var r RunningStat
+	if r.Mean() != 0 || r.Variance() != 0 || r.N() != 0 {
+		t.Error("zero-value RunningStat must report zeros")
+	}
+}
+
+func TestPercentileMatchesSortedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p0 := Percentile(raw, 0)
+		p100 := Percentile(raw, 100)
+		return p0 <= p100 || len(raw) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package system models multi-chip builds: a compiled core grid
+// partitioned onto a tile of physical chips (as real deployments tile
+// 4x4 boards from single chips). Cores keep their global mesh
+// coordinates — routing semantics are unchanged — but spikes whose
+// source and destination fall on different physical chips cross
+// chip-to-chip links, which are the scarce resource of multi-chip
+// systems. The system layer accounts for that boundary traffic, per
+// link, so placement quality can be judged at the system level.
+package system
+
+import (
+	"fmt"
+
+	"github.com/neurogo/neurogo/internal/chip"
+)
+
+// Config partitions a core grid onto physical chips.
+type Config struct {
+	// ChipCoresX and ChipCoresY are the per-chip core-grid dimensions.
+	ChipCoresX, ChipCoresY int
+}
+
+// System wraps a chip-level simulation with multi-chip accounting.
+type System struct {
+	ch     *chip.Chip
+	cfg    Config
+	chipsX int
+	chipsY int
+
+	intra uint64
+	inter uint64
+	// linkTraffic[src chip][dst chip] counts boundary-crossing spikes.
+	linkTraffic [][]uint64
+}
+
+// New partitions the chip cfg onto physical chips of the given per-chip
+// core dimensions. The core grid must tile exactly.
+func New(coreGrid *chip.Config, cfg Config) (*System, error) {
+	if cfg.ChipCoresX <= 0 || cfg.ChipCoresY <= 0 {
+		return nil, fmt.Errorf("system: chip dimensions %dx%d must be positive", cfg.ChipCoresX, cfg.ChipCoresY)
+	}
+	if coreGrid.Width%cfg.ChipCoresX != 0 || coreGrid.Height%cfg.ChipCoresY != 0 {
+		return nil, fmt.Errorf("system: %dx%d cores do not tile into %dx%d-core chips",
+			coreGrid.Width, coreGrid.Height, cfg.ChipCoresX, cfg.ChipCoresY)
+	}
+	s := &System{
+		ch:     chip.New(coreGrid),
+		cfg:    cfg,
+		chipsX: coreGrid.Width / cfg.ChipCoresX,
+		chipsY: coreGrid.Height / cfg.ChipCoresY,
+	}
+	n := s.chipsX * s.chipsY
+	s.linkTraffic = make([][]uint64, n)
+	for i := range s.linkTraffic {
+		s.linkTraffic[i] = make([]uint64, n)
+	}
+	s.ch.SetRouteObserver(func(src, dst int32) {
+		a, b := s.ChipOf(src), s.ChipOf(dst)
+		if a == b {
+			s.intra++
+			return
+		}
+		s.inter++
+		s.linkTraffic[a][b]++
+	})
+	return s, nil
+}
+
+// Chip exposes the underlying chip simulation.
+func (s *System) Chip() *chip.Chip { return s.ch }
+
+// Chips returns the number of physical chips.
+func (s *System) Chips() int { return s.chipsX * s.chipsY }
+
+// ChipsX returns the chip-tile width.
+func (s *System) ChipsX() int { return s.chipsX }
+
+// ChipsY returns the chip-tile height.
+func (s *System) ChipsY() int { return s.chipsY }
+
+// ChipOf returns the physical chip index (row-major) hosting a core.
+func (s *System) ChipOf(coreIdx int32) int {
+	c := s.ch.Coord(coreIdx)
+	cx := int(c.X) / s.cfg.ChipCoresX
+	cy := int(c.Y) / s.cfg.ChipCoresY
+	return cy*s.chipsX + cx
+}
+
+// Tick advances the system one tick.
+func (s *System) Tick() []chip.OutputSpike { return s.ch.Tick() }
+
+// Stats summarises boundary traffic.
+type Stats struct {
+	// IntraChip counts spikes routed within one physical chip.
+	IntraChip uint64
+	// InterChip counts spikes crossing chip-to-chip links.
+	InterChip uint64
+	// BusiestLink is the highest single (src chip, dst chip) count.
+	BusiestLink uint64
+}
+
+// Stats returns the current boundary-traffic summary.
+func (s *System) Stats() Stats {
+	st := Stats{IntraChip: s.intra, InterChip: s.inter}
+	for _, row := range s.linkTraffic {
+		for _, v := range row {
+			if v > st.BusiestLink {
+				st.BusiestLink = v
+			}
+		}
+	}
+	return st
+}
+
+// LinkTraffic returns the (src chip, dst chip) crossing counts. Callers
+// must not modify it.
+func (s *System) LinkTraffic() [][]uint64 { return s.linkTraffic }
+
+// InterChipFraction returns the fraction of routed spikes that cross
+// chip boundaries (0 when nothing has been routed).
+func (s *System) InterChipFraction() float64 {
+	total := s.intra + s.inter
+	if total == 0 {
+		return 0
+	}
+	return float64(s.inter) / float64(total)
+}
+
+// Capacity aggregates per-chip capacity across the tile.
+func (s *System) Capacity() chip.Capacity {
+	per := chip.CapacityOf(s.cfg.ChipCoresX, s.cfg.ChipCoresY)
+	n := s.Chips()
+	return chip.Capacity{
+		Cores:        per.Cores * n,
+		Neurons:      per.Neurons * n,
+		Synapses:     per.Synapses * n,
+		SRAMBits:     per.SRAMBits * int64(n),
+		MeshDiameter: (s.chipsX*s.cfg.ChipCoresX - 1) + (s.chipsY*s.cfg.ChipCoresY - 1),
+	}
+}

@@ -1,0 +1,185 @@
+package system
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// gridConfig builds a 4x4 core grid where core i's neuron n relays to
+// core target(i) axon n.
+func gridConfig(target func(i int) int32) *chip.Config {
+	cfgs := make([]*core.Config, 16)
+	for i := 0; i < 16; i++ {
+		cc := core.NewConfig()
+		for n := 0; n < core.Size; n++ {
+			cc.Synapses.Set(n, n, true)
+			cc.Neurons[n].Threshold = 1
+			cc.Targets[n] = core.Target{Core: target(i), Axon: uint8(n)}
+		}
+		cfgs[i] = cc
+	}
+	return &chip.Config{Width: 4, Height: 4, Cores: cfgs}
+}
+
+func TestNewValidates(t *testing.T) {
+	cfg := gridConfig(func(i int) int32 { return core.ExternalCore })
+	if _, err := New(cfg, Config{ChipCoresX: 0, ChipCoresY: 2}); err == nil {
+		t.Error("zero chip dims accepted")
+	}
+	if _, err := New(cfg, Config{ChipCoresX: 3, ChipCoresY: 2}); err == nil {
+		t.Error("non-tiling dims accepted")
+	}
+	s, err := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chips() != 4 || s.ChipsX() != 2 || s.ChipsY() != 2 {
+		t.Fatalf("tile = %dx%d", s.ChipsX(), s.ChipsY())
+	}
+}
+
+func TestChipOf(t *testing.T) {
+	cfg := gridConfig(func(i int) int32 { return core.ExternalCore })
+	s, err := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core grid 4x4, chips 2x2 cores: core (x,y) -> chip (x/2, y/2).
+	cases := map[int32]int{
+		0: 0, 1: 0, 2: 1, 3: 1, // row 0
+		4: 0, 5: 0, 6: 1, 7: 1, // row 1
+		8: 2, 11: 3, 15: 3,
+	}
+	for coreIdx, want := range cases {
+		if got := s.ChipOf(coreIdx); got != want {
+			t.Errorf("ChipOf(%d) = %d, want %d", coreIdx, got, want)
+		}
+	}
+}
+
+func TestBoundaryAccounting(t *testing.T) {
+	// Core 0 relays to core 1 (same chip); core 2 relays to core 0
+	// (crossing from chip 1 to chip 0).
+	cfg := gridConfig(func(i int) int32 {
+		switch i {
+		case 0:
+			return 1
+		case 2:
+			return 0
+		default:
+			return core.ExternalCore
+		}
+	})
+	s, err := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One spike through core 0 (intra) and one through core 2 (inter).
+	_ = s.Chip().Inject(0, 5, 0)
+	_ = s.Chip().Inject(2, 9, 0)
+	for i := 0; i < 4; i++ {
+		s.Tick()
+	}
+	st := s.Stats()
+	if st.IntraChip < 1 {
+		t.Errorf("IntraChip = %d, want >= 1", st.IntraChip)
+	}
+	if st.InterChip < 1 {
+		t.Errorf("InterChip = %d, want >= 1", st.InterChip)
+	}
+	if s.LinkTraffic()[1][0] == 0 {
+		t.Error("chip1 -> chip0 link traffic not recorded")
+	}
+	if f := s.InterChipFraction(); f <= 0 || f >= 1 {
+		t.Errorf("InterChipFraction = %g", f)
+	}
+	if st.BusiestLink == 0 {
+		t.Error("BusiestLink not recorded")
+	}
+}
+
+func TestInterChipFractionEmpty(t *testing.T) {
+	cfg := gridConfig(func(i int) int32 { return core.ExternalCore })
+	s, _ := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+	if s.InterChipFraction() != 0 {
+		t.Error("no traffic must give fraction 0")
+	}
+}
+
+func TestCapacityAggregates(t *testing.T) {
+	cfg := gridConfig(func(i int) int32 { return core.ExternalCore })
+	s, _ := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+	c := s.Capacity()
+	per := chip.CapacityOf(2, 2)
+	if c.Cores != 4*per.Cores || c.Neurons != 4*per.Neurons || c.SRAMBits != 4*per.SRAMBits {
+		t.Fatalf("capacity = %+v", c)
+	}
+	if c.MeshDiameter != 6 {
+		t.Errorf("diameter = %d, want 6 (4x4 cores)", c.MeshDiameter)
+	}
+}
+
+// TestPlacementReducesInterChipTraffic is the system-level placement
+// claim: annealed placement crosses chip boundaries less often than
+// random placement for the same network and traffic.
+func TestPlacementReducesInterChipTraffic(t *testing.T) {
+	buildNet := func() *model.Network {
+		r := rng.NewSplitMix64(4)
+		m := model.New()
+		in := m.AddInputBank("in", 32, model.SourceProps{Type: 0, Delay: 1})
+		proto := neuron.Default()
+		a := m.AddPopulation("a", 512, proto)
+		b := m.AddPopulation("b", 512, proto)
+		for i := 0; i < 32; i++ {
+			for k := 0; k < 16; k++ {
+				m.Connect(in.Line(i), a.ID(r.Intn(512)))
+			}
+		}
+		for i := 0; i < 512; i++ {
+			m.SourceProps(a.ID(i)).Delay = 2
+			m.Connect(model.NeuronNode(a.ID(i)), b.ID(r.Intn(512)))
+			m.Connect(model.NeuronNode(a.ID(i)), b.ID((i*7)%512))
+		}
+		return m
+	}
+	// The grid is larger than the workload so compact placement can fit
+	// inside one physical chip. On a grid the workload exactly fills,
+	// hop-optimal placement centres the blob on the four-chip corner
+	// and can *increase* crossings — boundary-aware placement is its
+	// own problem; this test only claims the win when room exists.
+	frac := func(placer compile.Placer) float64 {
+		mp, err := compile.Compile(buildNet(), compile.Options{
+			Placer: placer, Seed: 11, Width: 6, Height: 6, AnnealIters: 20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(mp.Chip, Config{ChipCoresX: 3, ChipCoresY: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.NewSplitMix64(9)
+		for tick := 0; tick < 80; tick++ {
+			for k := 0; k < 16; k++ {
+				line := r.Intn(32)
+				at := s.Chip().Now() + int64(mp.InputDelay[line])
+				for _, tgt := range mp.InputTargets[line] {
+					_ = s.Chip().Inject(tgt.Core, int(tgt.Axon), at)
+				}
+			}
+			s.Tick()
+		}
+		return s.InterChipFraction()
+	}
+	random := frac(compile.PlacerRandom)
+	annealed := frac(compile.PlacerAnneal)
+	if annealed >= random {
+		t.Errorf("annealed inter-chip fraction %.3f not below random %.3f", annealed, random)
+	}
+}

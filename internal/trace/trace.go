@@ -1,0 +1,149 @@
+// Package trace records spike activity and renders it for inspection:
+// rasters (the figures of spiking papers), per-unit rates, and
+// inter-spike-interval statistics.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Spike is one recorded event: a unit (neuron or line) firing at a tick.
+type Spike struct {
+	Tick int64
+	Unit int32
+}
+
+// Recorder accumulates spikes.
+type Recorder struct {
+	spikes []Spike
+}
+
+// Record adds one spike.
+func (r *Recorder) Record(tick int64, unit int32) {
+	r.spikes = append(r.spikes, Spike{Tick: tick, Unit: unit})
+}
+
+// Len returns the number of recorded spikes.
+func (r *Recorder) Len() int { return len(r.spikes) }
+
+// Spikes returns the recorded spikes in insertion order.
+func (r *Recorder) Spikes() []Spike { return r.spikes }
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() { r.spikes = r.spikes[:0] }
+
+// TimesOf returns the sorted spike times of one unit.
+func (r *Recorder) TimesOf(unit int32) []int64 {
+	var out []int64
+	for _, s := range r.spikes {
+		if s.Unit == unit {
+			out = append(out, s.Tick)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counts returns spikes per unit for units [0, n).
+func (r *Recorder) Counts(n int) []int {
+	out := make([]int, n)
+	for _, s := range r.spikes {
+		if s.Unit >= 0 && int(s.Unit) < n {
+			out[s.Unit]++
+		}
+	}
+	return out
+}
+
+// Rates returns per-unit firing rates in spikes/tick over [t0, t1).
+func (r *Recorder) Rates(n int, t0, t1 int64) []float64 {
+	out := make([]float64, n)
+	if t1 <= t0 {
+		return out
+	}
+	for _, s := range r.spikes {
+		if s.Unit >= 0 && int(s.Unit) < n && s.Tick >= t0 && s.Tick < t1 {
+			out[s.Unit]++
+		}
+	}
+	for i := range out {
+		out[i] /= float64(t1 - t0)
+	}
+	return out
+}
+
+// ISI computes the inter-spike intervals of a sorted spike-time list.
+func ISI(times []int64) []int64 {
+	if len(times) < 2 {
+		return nil
+	}
+	out := make([]int64, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		out[i-1] = times[i] - times[i-1]
+	}
+	return out
+}
+
+// ISIStats returns the mean and standard deviation of the inter-spike
+// intervals, and the coefficient of variation (CV = std/mean; 0 for a
+// perfectly regular train, ~1 for Poisson).
+func ISIStats(times []int64) (mean, std, cv float64) {
+	isi := ISI(times)
+	if len(isi) == 0 {
+		return 0, 0, 0
+	}
+	for _, v := range isi {
+		mean += float64(v)
+	}
+	mean /= float64(len(isi))
+	for _, v := range isi {
+		d := float64(v) - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(isi)))
+	if mean > 0 {
+		cv = std / mean
+	}
+	return mean, std, cv
+}
+
+// Raster renders units [0, n) over ticks [t0, t1) as an ASCII raster:
+// one row per unit, '|' at spike positions. Rows are labelled with unit
+// indices.
+func (r *Recorder) Raster(n int, t0, t1 int64) string {
+	width := int(t1 - t0)
+	if width <= 0 || n <= 0 {
+		return ""
+	}
+	grid := make([][]byte, n)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range r.spikes {
+		if s.Unit >= 0 && int(s.Unit) < n && s.Tick >= t0 && s.Tick < t1 {
+			grid[s.Unit][s.Tick-t0] = '|'
+		}
+	}
+	var b strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "%4d %s\n", i, grid[i])
+	}
+	fmt.Fprintf(&b, "     %s\n", timeAxis(width))
+	return b.String()
+}
+
+// timeAxis renders a tick ruler: a '+' every 10 ticks.
+func timeAxis(width int) string {
+	out := make([]byte, width)
+	for i := range out {
+		if i%10 == 0 {
+			out[i] = '+'
+		} else {
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(5, 1)
+	r.Record(3, 1)
+	r.Record(7, 0)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	times := r.TimesOf(1)
+	if len(times) != 2 || times[0] != 3 || times[1] != 5 {
+		t.Fatalf("TimesOf(1) = %v, want sorted [3 5]", times)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var r Recorder
+	r.Record(0, 0)
+	r.Record(1, 0)
+	r.Record(2, 2)
+	r.Record(3, 9) // outside range
+	c := r.Counts(3)
+	if c[0] != 2 || c[1] != 0 || c[2] != 1 {
+		t.Fatalf("Counts = %v", c)
+	}
+}
+
+func TestRates(t *testing.T) {
+	var r Recorder
+	for tick := int64(0); tick < 100; tick += 2 {
+		r.Record(tick, 0)
+	}
+	rates := r.Rates(1, 0, 100)
+	if math.Abs(rates[0]-0.5) > 1e-9 {
+		t.Fatalf("rate = %g, want 0.5", rates[0])
+	}
+	// Window restriction.
+	rates = r.Rates(1, 0, 10)
+	if math.Abs(rates[0]-0.5) > 1e-9 {
+		t.Fatalf("windowed rate = %g", rates[0])
+	}
+	// Degenerate window.
+	if r.Rates(1, 5, 5)[0] != 0 {
+		t.Fatal("empty window must give zero rate")
+	}
+}
+
+func TestISI(t *testing.T) {
+	isi := ISI([]int64{2, 5, 9})
+	if len(isi) != 2 || isi[0] != 3 || isi[1] != 4 {
+		t.Fatalf("ISI = %v", isi)
+	}
+	if ISI([]int64{1}) != nil {
+		t.Fatal("single spike has no ISI")
+	}
+}
+
+func TestISIStatsRegular(t *testing.T) {
+	mean, std, cv := ISIStats([]int64{0, 4, 8, 12, 16})
+	if mean != 4 || std != 0 || cv != 0 {
+		t.Fatalf("regular train stats = (%g,%g,%g)", mean, std, cv)
+	}
+}
+
+func TestISIStatsIrregular(t *testing.T) {
+	mean, std, cv := ISIStats([]int64{0, 1, 10, 11, 30})
+	if mean <= 0 || std <= 0 || cv <= 0 {
+		t.Fatalf("irregular stats = (%g,%g,%g)", mean, std, cv)
+	}
+}
+
+func TestISIStatsEmpty(t *testing.T) {
+	mean, std, cv := ISIStats(nil)
+	if mean != 0 || std != 0 || cv != 0 {
+		t.Fatal("empty stats must be zero")
+	}
+}
+
+func TestRaster(t *testing.T) {
+	var r Recorder
+	r.Record(0, 0)
+	r.Record(5, 1)
+	s := r.Raster(2, 0, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("raster has %d lines: %q", len(lines), s)
+	}
+	// Top row is unit 1; spike at column 5.
+	if !strings.Contains(lines[0], "1 ") || lines[0][5+5] != '|' {
+		t.Fatalf("unit 1 row wrong: %q", lines[0])
+	}
+	if lines[1][5+0] != '|' {
+		t.Fatalf("unit 0 row wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[2]), "+") {
+		t.Fatalf("axis row wrong: %q", lines[2])
+	}
+}
+
+func TestRasterEmptyWindow(t *testing.T) {
+	var r Recorder
+	if r.Raster(2, 5, 5) != "" || r.Raster(0, 0, 5) != "" {
+		t.Fatal("degenerate raster must be empty")
+	}
+}

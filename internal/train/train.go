@@ -1,0 +1,326 @@
+// Package train provides the offline learning pipeline: a float linear
+// classifier trained with softmax SGD (the full-precision baseline), and
+// its quantisation to the ternary weights the crossbar can hold.
+//
+// The deployment story mirrors the architecture's: training happens
+// off-chip in float; the deployed network uses per-(neuron, axon-type)
+// signed weights, so per-synapse weights must collapse to {-1, 0, +1}
+// (axon type 0 carrying +1, type 1 carrying -1). Precision lost to
+// ternarisation is recovered by committees: several ternary replicas with
+// stochastically dithered quantisation vote by spike count.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// LinearModel is a multiclass linear classifier (the float baseline).
+type LinearModel struct {
+	Classes int
+	Inputs  int
+	// W[c][i] is the weight from input i to class c.
+	W [][]float64
+	// B[c] is the class bias.
+	B []float64
+}
+
+// Options tunes SGD training.
+type Options struct {
+	// Epochs over the training set (default 20).
+	Epochs int
+	// LearnRate is the SGD step (default 0.05).
+	LearnRate float64
+	// L2 is the weight decay (default 1e-4).
+	L2 float64
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+func (o *Options) defaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 20
+	}
+	if o.LearnRate == 0 {
+		o.LearnRate = 0.05
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+}
+
+// TrainLinear fits a softmax classifier with SGD.
+func TrainLinear(x [][]float64, y []int, classes int, opt Options) (*LinearModel, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("train: %d samples, %d labels", len(x), len(y))
+	}
+	opt.defaults()
+	inputs := len(x[0])
+	m := &LinearModel{Classes: classes, Inputs: inputs,
+		W: make([][]float64, classes), B: make([]float64, classes)}
+	for c := range m.W {
+		m.W[c] = make([]float64, inputs)
+	}
+	r := rng.NewSplitMix64(opt.Seed)
+	scores := make([]float64, classes)
+	probs := make([]float64, classes)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		order := r.Perm(len(x))
+		for _, idx := range order {
+			xi, yi := x[idx], y[idx]
+			if yi < 0 || yi >= classes {
+				return nil, fmt.Errorf("train: label %d out of range", yi)
+			}
+			m.scoresInto(xi, scores)
+			softmaxInto(scores, probs)
+			for c := 0; c < classes; c++ {
+				g := probs[c]
+				if c == yi {
+					g -= 1
+				}
+				if g == 0 {
+					continue
+				}
+				step := opt.LearnRate * g
+				wc := m.W[c]
+				for i, v := range xi {
+					if v != 0 {
+						wc[i] -= step * v
+					}
+				}
+				m.B[c] -= step
+			}
+		}
+		// Decoupled weight decay once per epoch (cheap and sufficient).
+		decay := 1 - opt.L2
+		for c := range m.W {
+			for i := range m.W[c] {
+				m.W[c][i] *= decay
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *LinearModel) scoresInto(x []float64, out []float64) {
+	for c := 0; c < m.Classes; c++ {
+		s := m.B[c]
+		wc := m.W[c]
+		for i, v := range x {
+			if v != 0 {
+				s += wc[i] * v
+			}
+		}
+		out[c] = s
+	}
+}
+
+func softmaxInto(scores, out []float64) {
+	max := scores[0]
+	for _, s := range scores[1:] {
+		if s > max {
+			max = s
+		}
+	}
+	sum := 0.0
+	for i, s := range scores {
+		e := math.Exp(s - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Predict returns the argmax class for x.
+func (m *LinearModel) Predict(x []float64) int {
+	scores := make([]float64, m.Classes)
+	m.scoresInto(x, scores)
+	best := 0
+	for c := 1; c < m.Classes; c++ {
+		if scores[c] > scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the model on a labelled set.
+func (m *LinearModel) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(x))
+}
+
+// TernaryModel is the crossbar-deployable quantisation: weights in
+// {-1, 0, +1} per (class, input).
+type TernaryModel struct {
+	Classes int
+	Inputs  int
+	// T[c][i] in {-1, 0, +1}.
+	T [][]int8
+}
+
+// Ternarize quantises deterministically: weights with |w| above frac of
+// the class's mean absolute weight keep their sign, the rest drop to 0.
+func (m *LinearModel) Ternarize(frac float64) *TernaryModel {
+	t := &TernaryModel{Classes: m.Classes, Inputs: m.Inputs, T: make([][]int8, m.Classes)}
+	for c := 0; c < m.Classes; c++ {
+		t.T[c] = make([]int8, m.Inputs)
+		mean := 0.0
+		for _, w := range m.W[c] {
+			mean += math.Abs(w)
+		}
+		mean /= float64(m.Inputs)
+		thr := frac * mean
+		for i, w := range m.W[c] {
+			switch {
+			case w > thr:
+				t.T[c][i] = 1
+			case w < -thr:
+				t.T[c][i] = -1
+			}
+		}
+	}
+	return t
+}
+
+// TernarizeStochastic quantises with dithered thresholds, producing a
+// different (but statistically equivalent) replica per seed — the
+// committee members.
+func (m *LinearModel) TernarizeStochastic(frac float64, seed uint64) *TernaryModel {
+	r := rng.NewSplitMix64(seed)
+	t := &TernaryModel{Classes: m.Classes, Inputs: m.Inputs, T: make([][]int8, m.Classes)}
+	for c := 0; c < m.Classes; c++ {
+		t.T[c] = make([]int8, m.Inputs)
+		mean := 0.0
+		for _, w := range m.W[c] {
+			mean += math.Abs(w)
+		}
+		mean /= float64(m.Inputs)
+		for i, w := range m.W[c] {
+			// Dither the threshold per weight: u in [0.5, 1.5) x frac.
+			thr := (0.5 + r.Float64()) * frac * mean
+			switch {
+			case w > thr:
+				t.T[c][i] = 1
+			case w < -thr:
+				t.T[c][i] = -1
+			}
+		}
+	}
+	return t
+}
+
+// Score returns the integer class scores for a (possibly analogue) input.
+func (t *TernaryModel) Score(x []float64) []float64 {
+	out := make([]float64, t.Classes)
+	for c := 0; c < t.Classes; c++ {
+		s := 0.0
+		for i, v := range x {
+			if v != 0 && t.T[c][i] != 0 {
+				s += float64(t.T[c][i]) * v
+			}
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// Predict returns the argmax class under the ternary weights.
+func (t *TernaryModel) Predict(x []float64) int {
+	scores := t.Score(x)
+	best := 0
+	for c := 1; c < t.Classes; c++ {
+		if scores[c] > scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the ternary model directly (the "infinite window"
+// bound for the spiking deployment).
+func (t *TernaryModel) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range x {
+		if t.Predict(x[i]) == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(x))
+}
+
+// NonZeroFraction reports the density of the ternary weight matrix.
+func (t *TernaryModel) NonZeroFraction() float64 {
+	nz := 0
+	for c := range t.T {
+		for _, w := range t.T[c] {
+			if w != 0 {
+				nz++
+			}
+		}
+	}
+	return float64(nz) / float64(t.Classes*t.Inputs)
+}
+
+// Committee is a set of ternary replicas voting by summed score.
+type Committee struct {
+	Members []*TernaryModel
+}
+
+// NewCommittee builds k stochastically dithered replicas.
+func NewCommittee(m *LinearModel, k int, frac float64, seed uint64) *Committee {
+	c := &Committee{}
+	for i := 0; i < k; i++ {
+		c.Members = append(c.Members, m.TernarizeStochastic(frac, seed+uint64(i)*7919))
+	}
+	return c
+}
+
+// Predict sums member scores and returns the argmax class.
+func (c *Committee) Predict(x []float64) int {
+	if len(c.Members) == 0 {
+		return -1
+	}
+	total := make([]float64, c.Members[0].Classes)
+	for _, m := range c.Members {
+		for i, s := range m.Score(x) {
+			total[i] += s
+		}
+	}
+	best := 0
+	for i := 1; i < len(total); i++ {
+		if total[i] > total[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the committee.
+func (c *Committee) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range x {
+		if c.Predict(x[i]) == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(x))
+}

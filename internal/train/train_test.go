@@ -1,0 +1,180 @@
+package train
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/dataset"
+)
+
+// digitData builds train/test splits of noisy 16x16 digits.
+func digitData(t testing.TB, nTrain, nTest int) (xtr [][]float64, ytr []int, xte [][]float64, yte []int) {
+	t.Helper()
+	gen := dataset.NewDigits(16, 0.03, 1, 1234)
+	xtr, ytr = gen.Batch(nTrain)
+	xte, yte = gen.Batch(nTest)
+	return
+}
+
+func trainDigits(t testing.TB) (*LinearModel, [][]float64, []int, [][]float64, []int) {
+	t.Helper()
+	xtr, ytr, xte, yte := digitData(t, 800, 300)
+	m, err := TrainLinear(xtr, ytr, dataset.NumClasses, Options{Epochs: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, xtr, ytr, xte, yte
+}
+
+func TestTrainLinearAccuracy(t *testing.T) {
+	m, xtr, ytr, xte, yte := trainDigits(t)
+	if acc := m.Accuracy(xtr, ytr); acc < 0.95 {
+		t.Errorf("train accuracy = %.3f, want >= 0.95", acc)
+	}
+	if acc := m.Accuracy(xte, yte); acc < 0.90 {
+		t.Errorf("test accuracy = %.3f, want >= 0.90", acc)
+	}
+}
+
+func TestTrainLinearErrors(t *testing.T) {
+	if _, err := TrainLinear(nil, nil, 2, Options{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := TrainLinear([][]float64{{1}}, []int{5}, 2, Options{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := TrainLinear([][]float64{{1}, {0}}, []int{0}, 2, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	xtr, ytr, _, _ := digitData(t, 200, 1)
+	m1, _ := TrainLinear(xtr, ytr, dataset.NumClasses, Options{Epochs: 3, Seed: 9})
+	m2, _ := TrainLinear(xtr, ytr, dataset.NumClasses, Options{Epochs: 3, Seed: 9})
+	for c := range m1.W {
+		for i := range m1.W[c] {
+			if m1.W[c][i] != m2.W[c][i] {
+				t.Fatal("training not deterministic")
+			}
+		}
+	}
+}
+
+func TestTernarizeValues(t *testing.T) {
+	m, _, _, _, _ := trainDigits(t)
+	tern := m.Ternarize(0.7)
+	for c := range tern.T {
+		for _, w := range tern.T[c] {
+			if w < -1 || w > 1 {
+				t.Fatalf("ternary weight %d out of range", w)
+			}
+		}
+	}
+	dens := tern.NonZeroFraction()
+	if dens <= 0 || dens >= 1 {
+		t.Errorf("ternary density = %g, want in (0,1)", dens)
+	}
+}
+
+func TestTernaryAccuracyCloseToFloat(t *testing.T) {
+	// frac 1.3 is the calibrated quantisation threshold (see the frac
+	// sweep in the T3 experiment): keep only weights well above the
+	// class's mean magnitude.
+	m, _, _, xte, yte := trainDigits(t)
+	floatAcc := m.Accuracy(xte, yte)
+	ternAcc := m.Ternarize(1.3).Accuracy(xte, yte)
+	if ternAcc < floatAcc-0.10 {
+		t.Errorf("ternary accuracy %.3f dropped more than 10pp below float %.3f", ternAcc, floatAcc)
+	}
+	if ternAcc < 0.85 {
+		t.Errorf("ternary accuracy %.3f unusably low", ternAcc)
+	}
+}
+
+func TestStochasticTernarizeDiffersBySeed(t *testing.T) {
+	m, _, _, _, _ := trainDigits(t)
+	a := m.TernarizeStochastic(0.7, 1)
+	b := m.TernarizeStochastic(0.7, 2)
+	diff := 0
+	for c := range a.T {
+		for i := range a.T[c] {
+			if a.T[c][i] != b.T[c][i] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical replicas")
+	}
+	// Same seed reproduces.
+	c := m.TernarizeStochastic(0.7, 1)
+	for cc := range a.T {
+		for i := range a.T[cc] {
+			if a.T[cc][i] != c.T[cc][i] {
+				t.Fatal("same seed produced different replica")
+			}
+		}
+	}
+}
+
+func TestCommitteeBeatsWorstMember(t *testing.T) {
+	m, _, _, xte, yte := trainDigits(t)
+	com := NewCommittee(m, 5, 0.7, 77)
+	comAcc := com.Accuracy(xte, yte)
+	worst := 1.0
+	for _, mem := range com.Members {
+		if a := mem.Accuracy(xte, yte); a < worst {
+			worst = a
+		}
+	}
+	if comAcc < worst {
+		t.Errorf("committee %.3f below its worst member %.3f", comAcc, worst)
+	}
+}
+
+func TestCommitteeEmptyPredict(t *testing.T) {
+	c := &Committee{}
+	if c.Predict([]float64{1}) != -1 {
+		t.Error("empty committee must predict -1")
+	}
+}
+
+func TestAccuracyEmptySets(t *testing.T) {
+	m := &LinearModel{Classes: 2, Inputs: 1, W: [][]float64{{1}, {-1}}, B: []float64{0, 0}}
+	if m.Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy must be 0")
+	}
+	tern := m.Ternarize(0)
+	if tern.Accuracy(nil, nil) != 0 {
+		t.Error("empty ternary accuracy must be 0")
+	}
+}
+
+func TestPredictSeparableToy(t *testing.T) {
+	// Two classes: feature 0 high = class 0, feature 1 high = class 1.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{1, 0}, []float64{0, 1})
+		y = append(y, 0, 1)
+	}
+	m, err := TrainLinear(x, y, 2, Options{Epochs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{1, 0}) != 0 || m.Predict([]float64{0, 1}) != 1 {
+		t.Error("failed to learn a trivially separable problem")
+	}
+	if acc := m.Accuracy(x, y); acc != 1 {
+		t.Errorf("toy accuracy = %g, want 1", acc)
+	}
+}
+
+func BenchmarkTrainLinearDigits(b *testing.B) {
+	gen := dataset.NewDigits(16, 0.03, 1, 1)
+	x, y := gen.Batch(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = TrainLinear(x, y, dataset.NumClasses, Options{Epochs: 2, Seed: 1})
+	}
+}

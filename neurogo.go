@@ -1,0 +1,406 @@
+// Package neurogo is a complete, from-scratch implementation of a
+// TrueNorth-class digital neurosynaptic architecture: the core model
+// (256x256 binary crossbar, four axon types, stochastic digital
+// integrate-and-fire neurons, 16-slot axon delay rings), the 2-D mesh
+// network-on-chip with dimension-order routing, chips of thousands of
+// cores, an event-calibrated energy model, and the programming stack —
+// logical network models, a corelet library, a placing compiler, and
+// bit-reproducible simulation engines.
+//
+// # Workflow
+//
+// Build a logical network (directly or with corelets), compile it onto a
+// chip, then drive it with spike encoders and decode its outputs:
+//
+//	net := neurogo.NewNetwork()
+//	in := net.AddInputBank("in", 1, neurogo.SourceProps{Type: 0, Delay: 1})
+//	p := net.AddPopulation("p", 1, neurogo.DefaultNeuron())
+//	net.Connect(in.Line(0), p.ID(0))
+//	net.MarkOutput(p.ID(0))
+//
+//	mapping, err := neurogo.Compile(net, neurogo.CompileOptions{})
+//	if err != nil { ... }
+//	r := neurogo.NewRunner(mapping, neurogo.EngineEvent, 1)
+//	r.InjectLine(0)
+//	events := r.Run(8)
+//
+// Simulation is deterministic: identical configurations and seeds yield
+// bit-identical spike streams across the event-driven, dense and
+// parallel engines.
+//
+// The public API re-exports the stable surface of the internal
+// subsystems; see DESIGN.md for the architecture inventory and
+// EXPERIMENTS.md for the reconstructed evaluation.
+package neurogo
+
+import (
+	"io"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/codec"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/corelet"
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/energy"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/sim"
+	"github.com/neurogo/neurogo/internal/system"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+// ---- Network modelling ----
+
+// Network is a logical spiking network under construction.
+type Network = model.Network
+
+// Population is a named block of logical neurons.
+type Population = model.Population
+
+// InputBank is a named block of external input lines.
+type InputBank = model.InputBank
+
+// Node is an edge source: a neuron or an input line.
+type Node = model.Node
+
+// NeuronID identifies a logical neuron.
+type NeuronID = model.NeuronID
+
+// SourceProps configures a source's axon type and axonal delay.
+type SourceProps = model.SourceProps
+
+// NewNetwork returns an empty logical network.
+func NewNetwork() *Network { return model.New() }
+
+// NeuronNode wraps a neuron ID as an edge source.
+func NeuronNode(id NeuronID) Node { return model.NeuronNode(id) }
+
+// InputNode wraps an input line index as an edge source.
+func InputNode(line int32) Node { return model.InputNode(line) }
+
+// ---- Neuron model ----
+
+// NeuronParams is the full per-neuron configuration.
+type NeuronParams = neuron.Params
+
+// AxonType selects one of the four per-neuron weights.
+type AxonType = neuron.AxonType
+
+// ResetMode selects post-spike behaviour.
+type ResetMode = neuron.ResetMode
+
+// Reset modes.
+const (
+	ResetNormal = neuron.ResetNormal
+	ResetLinear = neuron.ResetLinear
+	ResetNone   = neuron.ResetNone
+)
+
+// Behavior is one entry of the canonical behaviour gallery.
+type Behavior = neuron.Behavior
+
+// DefaultNeuron returns a plain deterministic integrator configuration.
+func DefaultNeuron() NeuronParams { return neuron.Default() }
+
+// Gallery returns the twenty-behaviour neuron gallery (experiment F1).
+func Gallery() []Behavior { return neuron.Gallery() }
+
+// ---- Compilation ----
+
+// CompileOptions tunes placement and grid sizing.
+type CompileOptions = compile.Options
+
+// Placer selects the placement algorithm.
+type Placer = compile.Placer
+
+// Placement algorithms.
+const (
+	PlacerGreedy = compile.PlacerGreedy
+	PlacerRandom = compile.PlacerRandom
+	PlacerAnneal = compile.PlacerAnneal
+)
+
+// Mapping is a compiled network: the chip image plus logical/physical
+// lookup tables.
+type Mapping = compile.Mapping
+
+// Compile lowers a logical network onto a chip configuration.
+func Compile(net *Network, opt CompileOptions) (*Mapping, error) {
+	return compile.Compile(net, opt)
+}
+
+// SaveMapping serializes a compiled mapping (the deployable chip image
+// plus host-side I/O tables) to w.
+func SaveMapping(w io.Writer, m *Mapping) error { return m.Write(w) }
+
+// LoadMapping deserializes a mapping written by SaveMapping. Loaded
+// mappings run bit-identically to the originals.
+func LoadMapping(r io.Reader) (*Mapping, error) { return compile.ReadMapping(r) }
+
+// ---- Simulation ----
+
+// Engine selects the core evaluation strategy.
+type Engine = sim.Engine
+
+// Evaluation engines.
+const (
+	EngineEvent    = sim.EngineEvent
+	EngineDense    = sim.EngineDense
+	EngineParallel = sim.EngineParallel
+)
+
+// Event is one output spike in logical time.
+type Event = sim.Event
+
+// Runner executes a compiled mapping tick by tick.
+type Runner = sim.Runner
+
+// Logical interprets a network directly (the executable specification).
+type Logical = sim.Logical
+
+// NewRunner builds a runner over a compiled mapping.
+func NewRunner(m *Mapping, engine Engine, workers int) *Runner {
+	return sim.NewRunner(m, engine, workers)
+}
+
+// NewLogical builds the reference interpreter for a network.
+func NewLogical(net *Network) *Logical { return sim.NewLogical(net) }
+
+// ---- Chip and capacity ----
+
+// Capacity describes the resources of a chip build.
+type Capacity = chip.Capacity
+
+// CapacityOf computes capacity figures for a WxH-core build.
+func CapacityOf(width, height int) Capacity { return chip.CapacityOf(width, height) }
+
+// ---- Multi-chip systems ----
+
+// System wraps a compiled core grid partitioned onto a tile of physical
+// chips, accounting chip-to-chip link traffic.
+type System = system.System
+
+// SystemConfig sets the per-chip core dimensions of a tile.
+type SystemConfig = system.Config
+
+// NewSystem partitions a compiled mapping's core grid onto physical
+// chips of the given per-chip dimensions.
+func NewSystem(m *Mapping, cfg SystemConfig) (*System, error) {
+	return system.New(m.Chip, cfg)
+}
+
+// ---- Energy ----
+
+// EnergyCoefficients price simulator activity.
+type EnergyCoefficients = energy.Coefficients
+
+// EnergyUsage is the activity to be priced.
+type EnergyUsage = energy.Usage
+
+// EnergyReport is the priced result.
+type EnergyReport = energy.Report
+
+// DefaultEnergyCoefficients returns the neuromorphic calibration
+// (~70 mW / ~26 pJ per synaptic event at the nominal operating point).
+func DefaultEnergyCoefficients() EnergyCoefficients { return energy.DefaultCoefficients() }
+
+// ConventionalEnergyCoefficients models a general-purpose machine
+// running the same workload (the von Neumann baseline).
+func ConventionalEnergyCoefficients() EnergyCoefficients { return energy.ConventionalCoefficients() }
+
+// UsageOf extracts an energy usage record from a runner's chip after a
+// run. hardware=true charges neuron updates as the silicon would (every
+// neuron, every tick).
+func UsageOf(r *Runner, hardware bool) EnergyUsage {
+	return energy.FromChip(r.Chip().Counters(), r.Mapping().Stats.UsedCores, uint64(r.Now()), hardware)
+}
+
+// ---- Corelets ----
+
+// Classifier is the ternary linear classifier corelet.
+type Classifier = corelet.Classifier
+
+// CommitteeClassifier pools several ternary replicas.
+type CommitteeClassifier = corelet.CommitteeClassifier
+
+// ClassifierParams tunes classifier corelets.
+type ClassifierParams = corelet.ClassifierParams
+
+// Detector is the template-matching object-detector corelet.
+type Detector = corelet.Detector
+
+// WTA is the winner-take-all corelet.
+type WTA = corelet.WTA
+
+// DelayLine is the relay-chain corelet.
+type DelayLine = corelet.DelayLine
+
+// PatternDetector recognises spatio-temporal spike templates.
+type PatternDetector = corelet.PatternDetector
+
+// Conv2D is the ternary convolution-layer corelet.
+type Conv2D = corelet.Conv2D
+
+// Pool2D is the OR-pooling corelet.
+type Pool2D = corelet.Pool2D
+
+// Kernel is a square ternary convolution kernel.
+type Kernel = corelet.Kernel
+
+// FeatureClassifier reads internal feature neurons.
+type FeatureClassifier = corelet.FeatureClassifier
+
+// FeatureSource is anything exposing twin feature-neuron pairs.
+type FeatureSource = corelet.FeatureSource
+
+// DefaultClassifierParams returns calibrated classifier defaults.
+func DefaultClassifierParams() ClassifierParams { return corelet.DefaultClassifierParams() }
+
+// OrientedKernels returns the four 3x3 oriented edge kernels.
+func OrientedKernels() []Kernel { return corelet.OrientedKernels() }
+
+// BuildConv2D wires a ternary convolution layer.
+func BuildConv2D(net *Network, name string, imgW, imgH int, kernels []Kernel, stride int, threshold int32) (*Conv2D, error) {
+	return corelet.BuildConv2D(net, name, imgW, imgH, kernels, stride, threshold)
+}
+
+// BuildPool2D wires OR-pooling over a conv layer.
+func BuildPool2D(net *Network, conv *Conv2D, name string, window int) (*Pool2D, error) {
+	return corelet.BuildPool2D(net, conv, name, window)
+}
+
+// BuildFeatureClassifier wires a ternary read-out over a feature source.
+func BuildFeatureClassifier(net *Network, t *TernaryModel, src FeatureSource, name string, p ClassifierParams) (*FeatureClassifier, error) {
+	return corelet.BuildFeatureClassifier(net, t, src, name, p)
+}
+
+// ConvFeatures computes the float-side binary conv features matching a
+// single-shot presentation of a compiled conv layer.
+func ConvFeatures(img []float64, imgW int, kernels []Kernel, stride int, threshold int32) []float64 {
+	return corelet.ConvFeatures(img, imgW, kernels, stride, threshold)
+}
+
+// FloatPool computes the float-side OR-pooling matching BuildPool2D.
+func FloatPool(features []float64, kernels, convW, convH, window int) []float64 {
+	return corelet.FloatPool(features, kernels, convW, convH, window)
+}
+
+// BuildClassifier wires a ternary model into net as a classifier.
+func BuildClassifier(net *Network, t *TernaryModel, name string, p ClassifierParams) *Classifier {
+	return corelet.BuildClassifier(net, t, name, p)
+}
+
+// BuildCommitteeClassifier wires a committee of ternary replicas.
+func BuildCommitteeClassifier(net *Network, com *Committee, name string, p ClassifierParams) (*CommitteeClassifier, error) {
+	return corelet.BuildCommitteeClassifier(net, com, name, p)
+}
+
+// BuildDetector wires a cellsX x cellsY template-matching detector.
+func BuildDetector(net *Network, cellsX, cellsY, cellPix int, threshold int32) *Detector {
+	return corelet.BuildDetector(net, cellsX, cellsY, cellPix, threshold)
+}
+
+// BuildWTA wires a k-way winner-take-all circuit.
+func BuildWTA(net *Network, k int, threshold int32, inhibition int16) *WTA {
+	return corelet.BuildWTA(net, k, threshold, inhibition)
+}
+
+// BuildDelayLine wires a relay chain with the given per-stage delays.
+func BuildDelayLine(net *Network, name string, delays []uint8) *DelayLine {
+	return corelet.BuildDelayLine(net, name, delays)
+}
+
+// BuildPatternDetector wires a coincidence detector for a spike template.
+func BuildPatternDetector(net *Network, pat *Pattern, threshold int32) (*PatternDetector, error) {
+	return corelet.BuildPatternDetector(net, pat, threshold)
+}
+
+// ---- Training ----
+
+// LinearModel is the float training baseline.
+type LinearModel = train.LinearModel
+
+// TernaryModel is the crossbar-deployable quantisation.
+type TernaryModel = train.TernaryModel
+
+// Committee is a set of dithered ternary replicas.
+type Committee = train.Committee
+
+// TrainOptions tunes SGD training.
+type TrainOptions = train.Options
+
+// TrainLinear fits a softmax linear classifier.
+func TrainLinear(x [][]float64, y []int, classes int, opt TrainOptions) (*LinearModel, error) {
+	return train.TrainLinear(x, y, classes, opt)
+}
+
+// NewCommittee builds k stochastically dithered ternary replicas.
+func NewCommittee(m *LinearModel, k int, frac float64, seed uint64) *Committee {
+	return train.NewCommittee(m, k, frac, seed)
+}
+
+// ---- Codecs ----
+
+// BernoulliEncoder emits independent per-tick spikes with p = value*max.
+type BernoulliEncoder = codec.Bernoulli
+
+// RegularEncoder emits evenly spaced deterministic trains.
+type RegularEncoder = codec.Regular
+
+// TTFSEncoder emits a time-to-first-spike (latency) code.
+type TTFSEncoder = codec.TTFS
+
+// CounterDecoder decodes by per-class spike count.
+type CounterDecoder = codec.Counter
+
+// FirstSpikeDecoder decodes by earliest spike.
+type FirstSpikeDecoder = codec.FirstSpike
+
+// NewBernoulliEncoder returns a Bernoulli rate encoder.
+func NewBernoulliEncoder(maxRate float64, seed uint64) *BernoulliEncoder {
+	return codec.NewBernoulli(maxRate, seed)
+}
+
+// NewRegularEncoder returns a regular-train encoder.
+func NewRegularEncoder(maxRate float64) *RegularEncoder { return codec.NewRegular(maxRate) }
+
+// NewTTFSEncoder returns a latency encoder over a window.
+func NewTTFSEncoder(window int, threshold float64) *TTFSEncoder {
+	return codec.NewTTFS(window, threshold)
+}
+
+// NewCounterDecoder returns a spike-count decoder over n classes.
+func NewCounterDecoder(n int) *CounterDecoder { return codec.NewCounter(n) }
+
+// NewFirstSpikeDecoder returns a latency decoder.
+func NewFirstSpikeDecoder() *FirstSpikeDecoder { return codec.NewFirstSpike() }
+
+// ---- Synthetic datasets ----
+
+// DigitGenerator produces noisy, jittered digit images.
+type DigitGenerator = dataset.Digits
+
+// SceneGenerator produces multi-object detection frames.
+type SceneGenerator = dataset.Scenes
+
+// Pattern is a spatio-temporal spike template.
+type Pattern = dataset.Pattern
+
+// NumDigitClasses is the number of digit classes.
+const NumDigitClasses = dataset.NumClasses
+
+// NewDigitGenerator returns a digit image generator (size must be a
+// multiple of 8; noise is the pixel flip probability).
+func NewDigitGenerator(size int, noise float64, maxShift int, seed uint64) *DigitGenerator {
+	return dataset.NewDigits(size, noise, maxShift, seed)
+}
+
+// NewSceneGenerator returns a detection-scene generator.
+func NewSceneGenerator(cellsX, cellsY, cellPix int, objectP, speckle float64, seed uint64) *SceneGenerator {
+	return dataset.NewScenes(cellsX, cellsY, cellPix, objectP, speckle, seed)
+}
+
+// NewPattern draws a random spatio-temporal template.
+func NewPattern(lines, span, events int, seed uint64) *Pattern {
+	return dataset.NewPattern(lines, span, events, seed)
+}

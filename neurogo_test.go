@@ -1,0 +1,161 @@
+package neurogo
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the documented workflow: build,
+// compile, run, decode — all through the public surface only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net := NewNetwork()
+	in := net.AddInputBank("in", 2, SourceProps{Type: 0, Delay: 1})
+	p := net.AddPopulation("p", 2, DefaultNeuron())
+	net.Connect(in.Line(0), p.ID(0))
+	net.Connect(in.Line(1), p.ID(1))
+	net.MarkOutput(p.ID(0))
+	net.MarkOutput(p.ID(1))
+
+	mapping, err := Compile(net, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mapping, EngineEvent, 1)
+	if err := r.InjectLine(0); err != nil {
+		t.Fatal(err)
+	}
+	events := r.Run(6)
+	if len(events) != 1 || events[0].Neuron != p.ID(0) {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestPublicGallery(t *testing.T) {
+	if len(Gallery()) != 20 {
+		t.Fatal("gallery must have 20 behaviours")
+	}
+}
+
+func TestPublicCapacity(t *testing.T) {
+	c := CapacityOf(64, 64)
+	if c.Neurons != 1048576 {
+		t.Fatalf("Neurons = %d", c.Neurons)
+	}
+}
+
+func TestPublicEnergy(t *testing.T) {
+	net := NewNetwork()
+	in := net.AddInputBank("in", 1, SourceProps{Type: 0, Delay: 1})
+	p := net.AddPopulation("p", 1, DefaultNeuron())
+	net.Connect(in.Line(0), p.ID(0))
+	net.MarkOutput(p.ID(0))
+	mapping, err := Compile(net, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mapping, EngineEvent, 1)
+	_ = r.InjectLine(0)
+	r.Run(4)
+	u := UsageOf(r, true)
+	if u.Ticks == 0 || u.SynapticEvents == 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+	rep := DefaultEnergyCoefficients().Evaluate(u)
+	if rep.TotalPJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	conv := ConventionalEnergyCoefficients().Evaluate(u)
+	if conv.TotalPJ <= rep.TotalPJ {
+		t.Fatal("conventional baseline must cost more")
+	}
+}
+
+func TestPublicTrainAndClassify(t *testing.T) {
+	gen := NewDigitGenerator(8, 0.02, 0, 3)
+	x, y := gen.Batch(300)
+	m, err := TrainLinear(x, y, NumDigitClasses, TrainOptions{Epochs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tern := m.Ternarize(1.3)
+	net := NewNetwork()
+	cls := BuildClassifier(net, tern, "d", ClassifierParams{Threshold: 4, Decay: 1})
+	mapping, err := Compile(net, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mapping, EngineEvent, 1)
+	enc := NewBernoulliEncoder(0.5, 7)
+
+	// Classify a handful of test images through the chip.
+	xt, yt := gen.Batch(20)
+	hits := 0
+	for i := range xt {
+		enc.Reset()
+		counter := NewCounterDecoder(NumDigitClasses)
+		for k := 0; k < 16; k++ {
+			enc.Tick(xt[i], func(line int) {
+				pos, neg := cls.LinesFor(line)
+				_ = r.InjectLine(pos)
+				_ = r.InjectLine(neg)
+			})
+			for _, e := range r.Step() {
+				if c := cls.ClassOf(e.Neuron); c >= 0 {
+					counter.Observe(c)
+				}
+			}
+		}
+		for _, e := range r.Drain(10) {
+			if c := cls.ClassOf(e.Neuron); c >= 0 {
+				counter.Observe(c)
+			}
+		}
+		if counter.Argmax() == yt[i] {
+			hits++
+		}
+	}
+	if hits < 14 {
+		t.Fatalf("spiking classifier got %d/20 on easy digits", hits)
+	}
+}
+
+func TestPublicLogicalMatchesRunner(t *testing.T) {
+	build := func() (*Network, *Population) {
+		net := NewNetwork()
+		in := net.AddInputBank("in", 1, SourceProps{Type: 0, Delay: 1})
+		p := net.AddPopulation("p", 1, DefaultNeuron())
+		net.Params(p.ID(0)).Threshold = 2
+		net.Connect(in.Line(0), p.ID(0))
+		net.MarkOutput(p.ID(0))
+		return net, p
+	}
+	netL, _ := build()
+	l := NewLogical(netL)
+	_ = l.InjectLine(0)
+	_ = l.Step()
+	_ = l.InjectLine(0)
+	lEvents := append([]Event(nil), l.Step()...)
+	for i := 0; i < 4; i++ {
+		lEvents = append(lEvents, l.Step()...)
+	}
+
+	netR, _ := build()
+	mapping, err := Compile(netR, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mapping, EngineEvent, 1)
+	_ = r.InjectLine(0)
+	rEvents := append([]Event(nil), r.Step()...)
+	_ = r.InjectLine(0)
+	rEvents = append(rEvents, r.Step()...)
+	rEvents = append(rEvents, r.Drain(4)...)
+
+	if len(lEvents) != len(rEvents) {
+		t.Fatalf("logical %d events, runner %d", len(lEvents), len(rEvents))
+	}
+	for i := range lEvents {
+		if lEvents[i] != rEvents[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, lEvents[i], rEvents[i])
+		}
+	}
+}
