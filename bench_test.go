@@ -11,6 +11,9 @@ package neurogo
 // Benches run the quick configurations; cmd/npaper runs the full ones.
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/neurogo/neurogo/internal/experiments"
@@ -76,3 +79,64 @@ func BenchmarkE1Conv(b *testing.B) { benchExperiment(b, "E1") }
 // BenchmarkE2System regenerates the multi-chip boundary-traffic
 // extension (E2).
 func BenchmarkE2System(b *testing.B) { benchExperiment(b, "E2") }
+
+// throughputRig caches one compiled digit classifier across the
+// pipeline throughput sub-benchmarks.
+var throughputRig struct {
+	once    sync.Once
+	cls     *Classifier
+	mapping *Mapping
+	x       [][]float64
+	err     error
+}
+
+func throughputSetup() error {
+	throughputRig.once.Do(func() {
+		gen := NewDigitGenerator(16, 0.03, 1, 42)
+		xtr, ytr := gen.Batch(600)
+		m, err := TrainLinear(xtr, ytr, NumDigitClasses, TrainOptions{Epochs: 8, Seed: 7})
+		if err != nil {
+			throughputRig.err = err
+			return
+		}
+		net := NewNetwork()
+		throughputRig.cls = BuildClassifier(net, m.Ternarize(1.3), "digits", DefaultClassifierParams())
+		throughputRig.mapping, throughputRig.err = Compile(net, CompileOptions{Seed: 1})
+		throughputRig.x, _ = gen.Batch(64)
+	})
+	return throughputRig.err
+}
+
+// BenchmarkPipelineThroughput measures served classifications/sec
+// through Pipeline.ClassifyBatch at batch sizes 1, 8 and 64 — the
+// serving-layer perf baseline for future scaling PRs. On a multi-core
+// host batch-64 must beat batch-1: larger batches keep the whole
+// session pool busy.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	if err := throughputSetup(); err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			p, err := NewPipeline(throughputRig.mapping,
+				WithEncoder(NewBernoulliEncoder(0.5, 99)),
+				WithDecoder(NewCounterDecoder(NumDigitClasses)),
+				WithLineMapper(TwinLines(throughputRig.cls.LinesFor)),
+				WithClassMapper(throughputRig.cls.ClassOf),
+				WithWindow(16),
+				WithDrain(10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs := throughputRig.x[:size]
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+		})
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,15 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool) e
 		built.Net.Neurons(), built.Net.InputLines(),
 		st.UsedCores, st.Relays, st.GridWidth, st.GridHeight)
 
-	r := neurogo.NewRunner(built.Mapping, eng, workers)
+	p, err := neurogo.NewPipeline(built.Mapping,
+		neurogo.WithEngine(eng),
+		neurogo.WithEngineWorkers(workers),
+		neurogo.WithDrain(4))
+	if err != nil {
+		return err
+	}
+	session := p.NewSession()
+	stream := session.Stream(context.Background())
 	var rec trace.Recorder
 
 	// Stable display order for outputs.
@@ -88,21 +97,29 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool) e
 		rowOf[id] = int32(i)
 	}
 
-	record := func(evs []neurogo.Event) {
-		for _, e := range evs {
-			fmt.Printf("tick %4d: %s\n", e.Tick, built.OutputName[e.Neuron])
-			rec.Record(e.Tick, rowOf[e.Neuron])
+	record := func(labels []neurogo.Label) {
+		for _, l := range labels {
+			fmt.Printf("tick %4d: %s\n", l.Tick, built.OutputName[l.Neuron])
+			rec.Record(l.Tick, rowOf[l.Neuron])
 		}
 	}
 	for t := 0; t < spec.Ticks; t++ {
-		for _, line := range spec.InjectionsAt(r.Now(), built.Lines) {
-			if err := r.InjectLine(line); err != nil {
+		for _, line := range spec.InjectionsAt(stream.Now(), built.Lines) {
+			if err := stream.Inject(line); err != nil {
 				return err
 			}
 		}
-		record(r.Step())
+		labels, err := stream.Tick()
+		if err != nil {
+			return err
+		}
+		record(labels)
 	}
-	record(r.Drain(4))
+	labels, err := stream.Drain()
+	if err != nil {
+		return err
+	}
+	record(labels)
 
 	if raster && len(outIDs) > 0 {
 		fmt.Println()
@@ -112,7 +129,7 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool) e
 		}
 	}
 
-	u := neurogo.UsageOf(r, true)
+	u := neurogo.SessionUsageOf(session, true)
 	rep := neurogo.DefaultEnergyCoefficients().Evaluate(u)
 	tb := report.NewTable("activity and energy", "quantity", "value")
 	tb.AddRow("ticks", report.I(int64(u.Ticks)))

@@ -1,10 +1,12 @@
 // Detector: multi-object detection on synthetic scenes. A grid of
-// template-matching cells is compiled onto cores; every frame is
-// injected as single-shot spikes and all cells report in parallel within
-// a few ticks — the always-on sensory style the architecture targets.
+// template-matching cells is compiled onto cores and served through a
+// pipeline stream: every frame is presented as single-shot spikes and
+// all cells report in parallel within a few ticks — the always-on
+// sensory style the architecture targets.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -17,6 +19,7 @@ const (
 	cellPix        = 7
 	threshold      = 8
 	frames         = 40
+	settleTicks    = 6 // ticks per frame for cells to report
 )
 
 func main() {
@@ -28,7 +31,16 @@ func main() {
 	}
 	fmt.Printf("detector: %dx%d cells on %d cores\n\n", cellsX, cellsY, mapping.Stats.UsedCores)
 
-	runner := neurogo.NewRunner(mapping, neurogo.EngineEvent, 1)
+	// An open-ended stream: binary single-shot frames in, detection
+	// labels out, chip state persisting across frames.
+	p, err := neurogo.NewPipeline(mapping,
+		neurogo.WithEncoder(neurogo.NewBinaryEncoder(0.5, 1)),
+		neurogo.WithLineMapper(neurogo.TwinLines(det.LinesFor)),
+		neurogo.WithClassMapper(det.CellOf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := p.NewSession().Stream(context.Background())
 	scenes := neurogo.NewSceneGenerator(cellsX, cellsY, cellPix, 0.3, 0.02, 42)
 
 	tp, fp, fn := 0, 0, 0
@@ -36,19 +48,14 @@ func main() {
 	var lastFired, lastTruth []bool
 	for f := 0; f < frames; f++ {
 		pixels, truth := scenes.Frame()
-		for i, v := range pixels {
-			if v > 0.5 {
-				pos, neg := det.LinesFor(i)
-				_ = runner.InjectLine(pos)
-				_ = runner.InjectLine(neg)
-			}
+		labels, err := stream.Present(pixels, settleTicks)
+		if err != nil {
+			log.Fatal(err)
 		}
 		fired := make([]bool, cellsX*cellsY)
-		for k := 0; k < 6; k++ {
-			for _, e := range runner.Step() {
-				if c := det.CellOf(e.Neuron); c >= 0 {
-					fired[c] = true
-				}
+		for _, l := range labels {
+			if l.Class >= 0 {
+				fired[l.Class] = true
 			}
 		}
 		for c := range truth {

@@ -1,10 +1,13 @@
 // Digits: the full application pipeline — train a float classifier on
 // synthetic 16x16 digits, quantise it to crossbar-deployable ternary
-// weights, compile it onto neurosynaptic cores, and classify a test set
-// with rate-coded spikes, reporting accuracy and energy per image.
+// weights, compile it onto neurosynaptic cores, and serve the test set
+// through a batched inference Pipeline (a pool of sessions, each its
+// own chip over the shared mapping), reporting accuracy and energy per
+// image.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,38 +47,35 @@ func main() {
 	fmt.Printf("compiled onto %d cores (%dx%d grid)\n",
 		mapping.Stats.UsedCores, mapping.Stats.GridWidth, mapping.Stats.GridHeight)
 
-	// 4. Spiking inference: Bernoulli rate code, spike-count decode.
-	runner := neurogo.NewRunner(mapping, neurogo.EngineEvent, 1)
-	enc := neurogo.NewBernoulliEncoder(0.5, 99)
+	// 4. Spiking inference through the serving pipeline: Bernoulli rate
+	// code in, spike-count decode out, the whole test set fanned across
+	// a pool of concurrent sessions.
+	p, err := neurogo.NewPipeline(mapping,
+		neurogo.WithEncoder(neurogo.NewBernoulliEncoder(0.5, 99)),
+		neurogo.WithDecoder(neurogo.NewCounterDecoder(neurogo.NumDigitClasses)),
+		neurogo.WithLineMapper(neurogo.TwinLines(cls.LinesFor)),
+		neurogo.WithClassMapper(cls.ClassOf),
+		neurogo.WithWindow(window),
+		neurogo.WithDrain(10)) // decay gap flushing each presentation
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := p.ClassifyBatch(context.Background(), xte)
+	if err != nil {
+		log.Fatal(err)
+	}
 	hits := 0
-	for i := range xte {
-		enc.Reset()
-		counter := neurogo.NewCounterDecoder(neurogo.NumDigitClasses)
-		observe := func(evs []neurogo.Event) {
-			for _, e := range evs {
-				if c := cls.ClassOf(e.Neuron); c >= 0 {
-					counter.Observe(c)
-				}
-			}
-		}
-		for t := 0; t < window; t++ {
-			enc.Tick(xte[i], func(line int) {
-				pos, neg := cls.LinesFor(line)
-				_ = runner.InjectLine(pos)
-				_ = runner.InjectLine(neg)
-			})
-			observe(runner.Step())
-		}
-		observe(runner.Drain(10)) // decay gap between presentations
-		if counter.Argmax() == yte[i] {
+	for i, pred := range preds {
+		if pred == yte[i] {
 			hits++
 		}
 	}
 	fmt.Printf("spiking chip accuracy:     %.1f%% (%d-tick window)\n",
 		float64(hits)/float64(testN)*100, window)
 
-	// 5. Energy: chip model vs a conventional machine.
-	usage := neurogo.UsageOf(runner, true)
+	// 5. Energy: chip model vs a conventional machine, aggregated over
+	// the whole session pool.
+	usage := neurogo.PipelineUsageOf(p, true)
 	neu := neurogo.DefaultEnergyCoefficients().Evaluate(usage)
 	convUsage := usage
 	convUsage.Cores = 1

@@ -1,10 +1,13 @@
-// Patterns: spatio-temporal computing with axonal delays. A delay line
-// shifts spikes in time, and a pattern detector uses per-line delays to
-// recognise a spike template — firing only when events arrive with the
-// right relative timing, not merely the right lines.
+// Patterns: spatio-temporal computing with axonal delays, served
+// through pipeline streams. A delay line shifts spikes in time, and a
+// pattern detector uses per-line delays to recognise a spike template —
+// firing only when events arrive with the right relative timing, not
+// merely the right lines. One session is reused across presentations:
+// each Stream reopens it on pristine chip state.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// ---- Part 1: a delay line ----
 	net := neurogo.NewNetwork()
 	dl := neurogo.BuildDelayLine(net, "line", []uint8{4, 6, 3})
@@ -19,10 +24,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := neurogo.NewRunner(mapping, neurogo.EngineEvent, 1)
-	_ = r.InjectLine(dl.In.First)
-	for _, e := range r.Run(20) {
-		fmt.Printf("delay line output at tick %d (inject at 0, stages 4+6 deep)\n", e.Tick)
+	p, err := neurogo.NewPipeline(mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := p.NewSession().Stream(ctx)
+	_ = stream.Inject(dl.In.First)
+	for t := 0; t < 20; t++ {
+		labels, _ := stream.Tick()
+		for _, l := range labels {
+			fmt.Printf("delay line output at tick %d (inject at 0, stages 4+6 deep)\n", l.Tick)
+		}
 	}
 
 	// ---- Part 2: a spatio-temporal pattern detector ----
@@ -41,17 +53,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	p2, err := neurogo.NewPipeline(mapping2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := p2.NewSession()
 
 	present := func(name string, timing func(eventIdx int) int) {
-		rr := neurogo.NewRunner(mapping2, neurogo.EngineEvent, 1)
+		st := session.Stream(ctx) // reopen: session resets to power-on state
 		fired := false
 		for tick := 0; tick < 30; tick++ {
 			for i, ev := range pat.Events {
 				if timing(i) == tick {
-					_ = rr.InjectLine(pd.In.First + int32(ev.Line))
+					_ = st.Inject(pd.In.First + int32(ev.Line))
 				}
 			}
-			if len(rr.Step()) > 0 {
+			labels, _ := st.Tick()
+			if len(labels) > 0 {
 				fired = true
 			}
 		}

@@ -1,8 +1,10 @@
-// Quickstart: build a three-neuron network, compile it onto cores, run
-// it, and watch spikes come out — the minimal end-to-end workflow.
+// Quickstart: build a three-neuron network, compile it onto cores, and
+// watch spikes come out through an inference pipeline session — the
+// minimal end-to-end workflow.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +25,7 @@ func main() {
 	// Give the middle stage a longer axonal delay, just to show it.
 	net.SourceProps(chain.ID(1)).Delay = 5
 
-	// Compile onto a chip (placement, crossbars, routing) and run.
+	// Compile onto a chip (placement, crossbars, routing).
 	mapping, err := neurogo.Compile(net, neurogo.CompileOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -31,18 +33,38 @@ func main() {
 	st := mapping.Stats
 	fmt.Printf("compiled onto %d core(s), grid %dx%d\n", st.UsedCores, st.GridWidth, st.GridHeight)
 
-	runner := neurogo.NewRunner(mapping, neurogo.EngineEvent, 1)
-	if err := runner.InjectLine(0); err != nil {
+	// Serve it through a pipeline session: open a stream, inject a
+	// spike, tick the chip and watch output labels emerge.
+	p, err := neurogo.NewPipeline(mapping, neurogo.WithDrain(2))
+	if err != nil {
 		log.Fatal(err)
 	}
-	for _, e := range runner.Run(16) {
-		fmt.Printf("output neuron %d fired at tick %d\n", e.Neuron, e.Tick)
+	session := p.NewSession()
+	stream := session.Stream(context.Background())
+	if err := stream.Inject(0); err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < 16; t++ {
+		labels, err := stream.Tick()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range labels {
+			fmt.Printf("output neuron %d fired at tick %d\n", l.Neuron, l.Tick)
+		}
+	}
+	labels, err := stream.Drain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range labels {
+		fmt.Printf("output neuron %d fired at tick %d\n", l.Neuron, l.Tick)
 	}
 	// Inject at t=0: stage 0 fires at t=1, stage 1 at t=2 (emitting with
 	// delay 5), stage 2 fires at t=7.
 
-	// Energy accounting for the run.
-	usage := neurogo.UsageOf(runner, true)
+	// Energy accounting for the session.
+	usage := neurogo.SessionUsageOf(session, true)
 	rep := neurogo.DefaultEnergyCoefficients().Evaluate(usage)
 	fmt.Printf("synaptic events: %d, spikes: %d, energy: %.1f pJ\n",
 		usage.SynapticEvents, usage.Spikes, rep.TotalPJ)

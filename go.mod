@@ -1,0 +1,3 @@
+module github.com/neurogo/neurogo
+
+go 1.24

@@ -107,6 +107,11 @@ func (ch *Chip) SetRouteObserver(fn func(src, dst int32)) { ch.onRoute = fn }
 
 // New builds a chip from cfg. Call cfg.Validate first; New panics on a
 // mismatched config length (a programming error).
+//
+// The config is retained by reference and never mutated at runtime, so
+// any number of Chip instances may share one Config concurrently — the
+// basis for session pools running independent chips over one compiled
+// mapping.
 func New(cfg *Config) *Chip {
 	if len(cfg.Cores) != cfg.Width*cfg.Height {
 		panic("chip: config length mismatch")
@@ -120,6 +125,20 @@ func New(cfg *Config) *Chip {
 		ch.live = append(ch.live, int32(i))
 	}
 	return ch
+}
+
+// Reset returns the chip to its power-on state: every live core reset
+// (potentials, delay rings, LFSRs), the tick counter back to zero and
+// buffered outputs discarded. Activity counters are preserved so energy
+// accounting can span many presentations; call ResetCounters to clear
+// them. After Reset the chip produces spike streams bit-identical to a
+// freshly built New(cfg).
+func (ch *Chip) Reset() {
+	for _, i := range ch.live {
+		ch.cores[i].Reset()
+	}
+	ch.tick = 0
+	ch.outputs = ch.outputs[:0]
 }
 
 // Width returns the grid width in cores.

@@ -21,6 +21,25 @@ type Encoder interface {
 	Tick(values []float64, emit EmitFunc)
 	// Reset restarts any internal phase/state for a new presentation.
 	Reset()
+	// Clone returns an independent encoder with the same configuration,
+	// restarted from its seed/phase origin. Session pools clone the
+	// prototype encoder so concurrent sessions never share PRNG state.
+	Clone() Encoder
+}
+
+// Decoder reduces a stream of decoded output spikes to a class decision.
+// Pipelines feed it every observed (class, tick) pair of a presentation
+// and call Decide once at the end.
+type Decoder interface {
+	// ObserveAt records one output spike of class at the given tick.
+	ObserveAt(class int, tick int64)
+	// Decide returns the decoded class, or -1 if nothing decisive fired.
+	Decide() int
+	// Reset clears the decoder for the next presentation.
+	Reset()
+	// Clone returns an independent, reset decoder with the same
+	// configuration, for session pools.
+	Clone() Decoder
 }
 
 // clamp01 limits v to [0,1].
@@ -63,6 +82,9 @@ func (b *Bernoulli) Tick(values []float64, emit EmitFunc) {
 // Reset implements Encoder: the stream restarts from the seed.
 func (b *Bernoulli) Reset() { b.r = rng.NewSplitMix64(b.seed) }
 
+// Clone implements Encoder.
+func (b *Bernoulli) Clone() Encoder { return NewBernoulli(b.MaxRate, b.seed) }
+
 // Regular encodes each value as an evenly spaced deterministic train:
 // value v spikes every round(1/(v*MaxRate)) ticks, phase-staggered by
 // line index to avoid lockstep across lines.
@@ -96,6 +118,9 @@ func (r *Regular) Tick(values []float64, emit EmitFunc) {
 
 // Reset implements Encoder.
 func (r *Regular) Reset() { r.tick = 0 }
+
+// Clone implements Encoder.
+func (r *Regular) Clone() Encoder { return NewRegular(r.MaxRate) }
 
 // TTFS is a time-to-first-spike (latency) code: each line spikes exactly
 // once per presentation, earlier for larger values. Value 1 spikes at
@@ -136,6 +161,49 @@ func (t *TTFS) Tick(values []float64, emit EmitFunc) {
 
 // Reset implements Encoder.
 func (t *TTFS) Reset() { t.tick = 0 }
+
+// Clone implements Encoder.
+func (t *TTFS) Clone() Encoder { return NewTTFS(t.Window, t.Threshold) }
+
+// Binary encodes a thresholded frame: every line whose value exceeds
+// Threshold spikes on each of the first Hold ticks of a presentation
+// (Hold = 1 is a single-shot frame injection; larger Hold re-presents
+// the frame, the deployment code for coincidence-thresholded conv
+// stacks and template detectors).
+type Binary struct {
+	// Threshold is the on/off pixel cut.
+	Threshold float64
+	// Hold is how many leading ticks re-emit the frame.
+	Hold int
+	tick int
+}
+
+// NewBinary returns a thresholded frame encoder holding the frame for
+// hold ticks per presentation.
+func NewBinary(threshold float64, hold int) *Binary {
+	if hold < 1 {
+		panic("codec: binary hold must be positive")
+	}
+	return &Binary{Threshold: threshold, Hold: hold}
+}
+
+// Tick implements Encoder.
+func (b *Binary) Tick(values []float64, emit EmitFunc) {
+	if b.tick < b.Hold {
+		for i, v := range values {
+			if v > b.Threshold {
+				emit(i)
+			}
+		}
+	}
+	b.tick++
+}
+
+// Reset implements Encoder.
+func (b *Binary) Reset() { b.tick = 0 }
+
+// Clone implements Encoder.
+func (b *Binary) Clone() Encoder { return NewBinary(b.Threshold, b.Hold) }
 
 // Population encodes a scalar across N lines with Gaussian tuning
 // curves: line i is most active when the value equals i/(N-1). It turns
@@ -183,6 +251,11 @@ func (p *Population) Tick(values []float64, emit EmitFunc) {
 
 // Reset implements Encoder.
 func (p *Population) Reset() { p.r = rng.NewSplitMix64(p.seed) }
+
+// Clone implements Encoder.
+func (p *Population) Clone() Encoder {
+	return NewPopulation(p.Lines, p.Sigma, p.MaxRate, p.seed)
+}
 
 // Counter accumulates output spikes per class over an observation
 // window and decodes by majority (argmax).
@@ -244,6 +317,16 @@ func (c *Counter) Margin() int {
 	return first - second
 }
 
+// ObserveAt implements Decoder; the tick is ignored (counting is
+// order-free).
+func (c *Counter) ObserveAt(class int, tick int64) { c.Observe(class) }
+
+// Decide implements Decoder (Argmax).
+func (c *Counter) Decide() int { return c.Argmax() }
+
+// Clone implements Decoder.
+func (c *Counter) Clone() Decoder { return NewCounter(len(c.counts)) }
+
 // Reset clears the counters for the next presentation.
 func (c *Counter) Reset() {
 	for i := range c.counts {
@@ -273,6 +356,15 @@ func (f *FirstSpike) Observe(class int, t int64) {
 
 // Winner returns the decoded class (-1 if nothing fired) and its tick.
 func (f *FirstSpike) Winner() (int, int64) { return f.winner, f.tick }
+
+// ObserveAt implements Decoder.
+func (f *FirstSpike) ObserveAt(class int, tick int64) { f.Observe(class, tick) }
+
+// Decide implements Decoder (the earliest class).
+func (f *FirstSpike) Decide() int { return f.winner }
+
+// Clone implements Decoder.
+func (f *FirstSpike) Clone() Decoder { return NewFirstSpike() }
 
 // Reset clears the decoder.
 func (f *FirstSpike) Reset() { f.winner, f.tick = -1, -1 }

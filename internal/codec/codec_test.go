@@ -277,3 +277,92 @@ func TestFirstSpikeTieBreak(t *testing.T) {
 		t.Errorf("tie at same tick must pick lower class, got %d", w)
 	}
 }
+
+func TestBinaryHoldAndThreshold(t *testing.T) {
+	b := NewBinary(0.5, 2)
+	values := []float64{0.9, 0.2, 0.7}
+	var got [][]int
+	for tick := 0; tick < 4; tick++ {
+		var lines []int
+		b.Tick(values, func(i int) { lines = append(lines, i) })
+		got = append(got, lines)
+	}
+	for tick := 0; tick < 2; tick++ {
+		if len(got[tick]) != 2 || got[tick][0] != 0 || got[tick][1] != 2 {
+			t.Fatalf("tick %d emitted %v, want [0 2]", tick, got[tick])
+		}
+	}
+	for tick := 2; tick < 4; tick++ {
+		if len(got[tick]) != 0 {
+			t.Fatalf("tick %d emitted %v after hold expired", tick, got[tick])
+		}
+	}
+	b.Reset()
+	var lines []int
+	b.Tick(values, func(i int) { lines = append(lines, i) })
+	if len(lines) != 2 {
+		t.Fatalf("Reset did not restart the hold: %v", lines)
+	}
+}
+
+func TestBinaryPanicsOnBadHold(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hold 0 accepted")
+		}
+	}()
+	NewBinary(0.5, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	// A clone restarts from the seed and never shares PRNG state with
+	// its origin — the property session pools rely on.
+	values := []float64{0.5, 0.5, 0.5, 0.5}
+	encoders := []Encoder{
+		NewBernoulli(0.8, 42),
+		NewRegular(0.3),
+		NewTTFS(8, 0.1),
+		NewBinary(0.4, 1),
+		NewPopulation(4, 0.2, 0.8, 7),
+	}
+	for _, proto := range encoders {
+		// Advance the prototype so clone state would differ if shared.
+		collect(proto, values, 5)
+		a, b := proto.Clone(), proto.Clone()
+		ta, tb := collect(a, values, 10), collect(b, values, 10)
+		for tick := range ta {
+			la, lb := ta[tick], tb[tick]
+			if len(la) != len(lb) {
+				t.Fatalf("%T: clones diverged at tick %d: %v vs %v", proto, tick, la, lb)
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					t.Fatalf("%T: clones diverged at tick %d: %v vs %v", proto, tick, la, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestDecoderInterface(t *testing.T) {
+	var decoders = []Decoder{NewCounter(3), NewFirstSpike()}
+	for _, d := range decoders {
+		if got := d.Decide(); got != -1 {
+			t.Fatalf("%T: empty Decide = %d, want -1", d, got)
+		}
+		d.ObserveAt(2, 4)
+		d.ObserveAt(2, 5)
+		d.ObserveAt(1, 6)
+		if got := d.Decide(); got != 2 {
+			t.Fatalf("%T: Decide = %d, want 2", d, got)
+		}
+		c := d.Clone()
+		if got := c.Decide(); got != -1 {
+			t.Fatalf("%T: clone inherited observations (Decide = %d)", d, got)
+		}
+		d.Reset()
+		if got := d.Decide(); got != -1 {
+			t.Fatalf("%T: Reset did not clear (Decide = %d)", d, got)
+		}
+	}
+}

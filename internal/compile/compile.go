@@ -86,6 +86,12 @@ type AxonLoc struct {
 
 // Mapping is the compilation result: the chip image plus the lookup
 // tables connecting logical and physical worlds.
+//
+// A Mapping is immutable once Compile (or ReadMapping) returns: nothing
+// in the runtime stack writes to it, and chip.New retains the core
+// configs by reference without copying. One Mapping may therefore back
+// any number of concurrently running chips, runners and pipeline
+// sessions — compile once, serve many.
 type Mapping struct {
 	// Chip is the compiled chip configuration.
 	Chip *chip.Config

@@ -157,6 +157,18 @@ func New(cfg *Config) *Core {
 // Config returns the core's configuration.
 func (c *Core) Config() *Config { return c.cfg }
 
+// Reset returns the core to its power-on state: membrane potentials to
+// zero, the delay ring emptied and the LFSR re-seeded from the config.
+// Activity counters are preserved (use ResetCounters to clear them), so
+// cumulative energy accounting survives session reuse. After Reset the
+// core is bit-identical to a freshly constructed New(cfg).
+func (c *Core) Reset() {
+	c.v = [Size]int32{}
+	c.vNonzero = crossbar.Row{}
+	c.ring = [RingSlots]crossbar.Row{}
+	c.lfsr = rng.NewLFSR(c.cfg.Seed)
+}
+
 // Counters returns a copy of the activity counters.
 func (c *Core) Counters() Counters { return c.counters }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"github.com/neurogo/neurogo/internal/dataset"
 	"github.com/neurogo/neurogo/internal/energy"
 	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/pipeline"
 	"github.com/neurogo/neurogo/internal/report"
 	"github.com/neurogo/neurogo/internal/sim"
 	"github.com/neurogo/neurogo/internal/train"
@@ -45,46 +47,38 @@ func buildClassifierRig(nTrain, nTest int, seed uint64) *classifierRig {
 	return &classifierRig{cls: cls, mapping: mp, model: m, tern: tern, xte: xte, yte: yte}
 }
 
-// presentImage runs one image for `window` ticks (plus a decay gap) and
-// returns the predicted class.
-func (rig *classifierRig) presentImage(r *sim.Runner, enc *codec.Bernoulli,
-	pixels []float64, window int) int {
-	counter := codec.NewCounter(dataset.NumClasses)
-	observe := func(evs []sim.Event) {
-		for _, e := range evs {
-			if c := rig.cls.ClassOf(e.Neuron); c >= 0 {
-				counter.Observe(c)
-			}
-		}
+// newPipeline builds the rig's serving pipeline: Bernoulli rate code
+// in, spike-count decode out, a 10-tick drain as the decay gap.
+func (rig *classifierRig) newPipeline(window int, engine sim.Engine) *pipeline.Pipeline {
+	p, err := pipeline.New(rig.mapping,
+		pipeline.WithEngine(engine),
+		pipeline.WithEncoder(codec.NewBernoulli(0.5, 42)),
+		pipeline.WithDecoder(codec.NewCounter(dataset.NumClasses)),
+		pipeline.WithLineMapper(pipeline.TwinLines(rig.cls.LinesFor)),
+		pipeline.WithClassMapper(rig.cls.ClassOf),
+		pipeline.WithWindow(window),
+		pipeline.WithDrain(10))
+	if err != nil {
+		panic(err)
 	}
-	for t := 0; t < window; t++ {
-		enc.Tick(pixels, func(line int) {
-			pos, neg := rig.cls.LinesFor(line)
-			_ = r.InjectLine(pos)
-			_ = r.InjectLine(neg)
-		})
-		observe(r.Step())
-	}
-	// Decay gap: let class-neuron potentials leak back to zero so the
-	// next presentation starts clean.
-	observe(r.Drain(10))
-	return counter.Argmax()
+	return p
 }
 
-// spikingAccuracy classifies the rig's test set at the given window.
+// spikingAccuracy classifies the rig's test set at the given window,
+// fanning images across the pipeline's session pool.
 func (rig *classifierRig) spikingAccuracy(window int, engine sim.Engine) (acc float64, counters energy.Usage) {
-	r := sim.NewRunner(rig.mapping, engine, 1)
-	enc := codec.NewBernoulli(0.5, 42)
+	p := rig.newPipeline(window, engine)
+	preds, err := p.ClassifyBatch(context.Background(), rig.xte)
+	if err != nil {
+		panic(err)
+	}
 	hits := 0
-	for i := range rig.xte {
-		enc.Reset()
-		if rig.presentImage(r, enc, rig.xte[i], window) == rig.yte[i] {
+	for i, pred := range preds {
+		if pred == rig.yte[i] {
 			hits++
 		}
 	}
-	ticks := uint64(r.Now())
-	used := energy.FromChip(r.Chip().Counters(), rig.mapping.Stats.UsedCores, ticks, true)
-	return float64(hits) / float64(len(rig.xte)), used
+	return float64(hits) / float64(len(rig.xte)), p.Usage(true)
 }
 
 // T3Classification regenerates the application table: accuracy and
@@ -207,24 +201,26 @@ func F7Detector(quick bool) Result {
 		if err != nil {
 			panic(err)
 		}
-		r := sim.NewRunner(mp, sim.EngineEvent, 1)
+		p, err := pipeline.New(mp,
+			pipeline.WithEncoder(codec.NewBinary(0.5, 1)),
+			pipeline.WithLineMapper(pipeline.TwinLines(det.LinesFor)),
+			pipeline.WithClassMapper(det.CellOf))
+		if err != nil {
+			panic(err)
+		}
+		stream := p.NewSession().Stream(context.Background())
 		scenes := dataset.NewScenes(cellsX, cellsY, cellPix, 0.3, 0.02, 42)
 		tp, fp, fn := 0, 0, 0
 		for f := 0; f < frames; f++ {
 			pixels, truth := scenes.Frame()
-			for i, v := range pixels {
-				if v > 0.5 {
-					pos, neg := det.LinesFor(i)
-					_ = r.InjectLine(pos)
-					_ = r.InjectLine(neg)
-				}
+			labels, err := stream.Present(pixels, 6)
+			if err != nil {
+				panic(err)
 			}
 			fired := make([]bool, cellsX*cellsY)
-			for k := 0; k < 6; k++ {
-				for _, e := range r.Step() {
-					if c := det.CellOf(e.Neuron); c >= 0 {
-						fired[c] = true
-					}
+			for _, l := range labels {
+				if l.Class >= 0 {
+					fired[l.Class] = true
 				}
 			}
 			for c := range truth {

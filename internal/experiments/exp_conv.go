@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,8 +10,8 @@ import (
 	"github.com/neurogo/neurogo/internal/corelet"
 	"github.com/neurogo/neurogo/internal/dataset"
 	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/pipeline"
 	"github.com/neurogo/neurogo/internal/report"
-	"github.com/neurogo/neurogo/internal/sim"
 	"github.com/neurogo/neurogo/internal/train"
 )
 
@@ -86,34 +87,28 @@ func E1Conv(quick bool) Result {
 	if err != nil {
 		panic(err)
 	}
-	r := sim.NewRunner(mp, sim.EngineEvent, 1)
+	// Held binary coding: the full image is injected every tick of the
+	// window. Coincidence-thresholded conv features need the whole
+	// patch present in one tick, so this (not a thinned Bernoulli code)
+	// is the deployment code for conv stacks — exactly as the detector
+	// application uses.
+	p, err := pipeline.New(mp,
+		pipeline.WithEncoder(codec.NewBinary(0.5, window)),
+		pipeline.WithDecoder(codec.NewCounter(dataset.NumClasses)),
+		pipeline.WithLineMapper(pipeline.TwinLines(conv.LinesFor)),
+		pipeline.WithClassMapper(fc.ClassOf),
+		pipeline.WithWindow(window),
+		pipeline.WithDrain(12))
+	if err != nil {
+		panic(err)
+	}
+	preds, err := p.ClassifyBatch(context.Background(), xte)
+	if err != nil {
+		panic(err)
+	}
 	hits := 0
-	for i := range xte {
-		counter := codec.NewCounter(dataset.NumClasses)
-		observe := func(evs []sim.Event) {
-			for _, e := range evs {
-				if c := fc.ClassOf(e.Neuron); c >= 0 {
-					counter.Observe(c)
-				}
-			}
-		}
-		// Single-shot binary coding: the full image is injected every
-		// tick of the window. Coincidence-thresholded conv features
-		// need the whole patch present in one tick, so this (not a
-		// thinned Bernoulli code) is the deployment code for conv
-		// stacks — exactly as the detector application uses.
-		for t := 0; t < window; t++ {
-			for px, v := range xte[i] {
-				if v > 0.5 {
-					pos, neg := conv.LinesFor(px)
-					_ = r.InjectLine(pos)
-					_ = r.InjectLine(neg)
-				}
-			}
-			observe(r.Step())
-		}
-		observe(r.Drain(12))
-		if counter.Argmax() == yte[i] {
+	for i, pred := range preds {
+		if pred == yte[i] {
 			hits++
 		}
 	}

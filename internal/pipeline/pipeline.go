@@ -1,0 +1,478 @@
+// Package pipeline is the serving layer over compiled mappings: it
+// turns a *compile.Mapping into a reusable inference Pipeline that
+// encodes value vectors into spikes, drives a simulation engine, and
+// decodes output events into labels — replacing the hand-wired
+// encoder → InjectLine → Step → decoder loops of early examples.
+//
+// A Pipeline is built once per compiled mapping with functional
+// options (engine, codecs, presentation window). It hands out Session
+// objects; each session owns an independent chip instance over the
+// shared immutable mapping, so any number of sessions can run
+// concurrently. Sessions are reusable: Reset returns the chip to its
+// power-on state without re-allocating it, and every Classify call is
+// one self-contained presentation (reset, encode for Window ticks,
+// drain, decide). Because a presentation depends only on its input and
+// the codec seeds, ClassifyBatch fanned across a session pool is
+// bit-identical to classifying the same inputs sequentially on one
+// session.
+//
+// For open-ended spatio-temporal workloads a Session also opens a
+// Stream: an incremental mode that accepts per-tick value frames or
+// raw line injections and yields decoded labels as they emerge, with
+// context cancellation.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/neurogo/neurogo/internal/codec"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/energy"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/sim"
+)
+
+// LineMapper maps an encoder emission index (one per value-vector
+// entry) to the physical input lines to inject. The default maps index
+// i to line i; classifier corelets split each pixel into a
+// (positive, negative) twin pair — see TwinLines.
+type LineMapper func(index int) []int32
+
+// ClassMapper maps an output neuron back to a class index; return -1
+// to drop the event from decoding. The default uses the neuron ID
+// itself as the class.
+type ClassMapper func(id model.NeuronID) int
+
+// TwinLines adapts a corelet-style LinesFor function (pixel ->
+// positive, negative line pair) into a LineMapper.
+func TwinLines(linesFor func(int) (int32, int32)) LineMapper {
+	return func(i int) []int32 {
+		pos, neg := linesFor(i)
+		return []int32{pos, neg}
+	}
+}
+
+// Option configures a Pipeline.
+type Option func(*config)
+
+type config struct {
+	engine        sim.Engine
+	engineWorkers int
+	workers       int
+	encoder       codec.Encoder
+	decoder       codec.Decoder
+	window        int
+	drain         int
+	lines         LineMapper
+	classes       ClassMapper
+}
+
+// WithEngine selects the core evaluation engine (default EngineEvent).
+func WithEngine(e sim.Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithEngineWorkers sets the goroutines each session's EngineParallel
+// runner uses (default 1; clamped by sim.NewRunner). Distinct from
+// WithWorkers, which sizes the session pool.
+func WithEngineWorkers(n int) Option { return func(c *config) { c.engineWorkers = n } }
+
+// WithWorkers sets the session-pool size ClassifyBatch fans inputs
+// across (default runtime.NumCPU()).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithEncoder sets the prototype encoder; every session runs an
+// independent Clone of it, restarted from the same seed, so pooled and
+// sequential classification see identical spike trains.
+func WithEncoder(e codec.Encoder) Option { return func(c *config) { c.encoder = e } }
+
+// WithDecoder sets the prototype decoder; sessions clone it.
+func WithDecoder(d codec.Decoder) Option { return func(c *config) { c.decoder = d } }
+
+// WithWindow sets the presentation length in ticks (default 16).
+func WithWindow(n int) Option { return func(c *config) { c.window = n } }
+
+// WithDrain sets how many extra ticks run after the window to flush
+// lagged events and let potentials decay (default 2, the splitter-lag
+// minimum).
+func WithDrain(n int) Option { return func(c *config) { c.drain = n } }
+
+// WithLineMapper sets the emission-index -> input-line mapping.
+func WithLineMapper(f LineMapper) Option { return func(c *config) { c.lines = f } }
+
+// WithClassMapper sets the output-neuron -> class mapping.
+func WithClassMapper(f ClassMapper) Option { return func(c *config) { c.classes = f } }
+
+// Pipeline serves inference over one compiled mapping. The mapping is
+// shared read-only across all sessions; see compile.Mapping.
+type Pipeline struct {
+	mapping *compile.Mapping
+	cfg     config
+
+	mu       sync.Mutex
+	shared   *Session   // lazy session backing Pipeline.Classify
+	pool     []*Session // lazy pool backing ClassifyBatch
+	sessions []*Session // every session ever created, for Usage
+}
+
+// New builds a pipeline over a compiled mapping.
+func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
+	if m == nil {
+		return nil, errors.New("pipeline: nil mapping")
+	}
+	cfg := config{
+		engine:        sim.EngineEvent,
+		engineWorkers: 1,
+		workers:       runtime.NumCPU(),
+		window:        16,
+		drain:         2,
+		lines:         func(i int) []int32 { return []int32{int32(i)} },
+		classes:       func(id model.NeuronID) int { return int(id) },
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.window < 1 {
+		return nil, fmt.Errorf("pipeline: window %d must be positive", cfg.window)
+	}
+	if cfg.drain < 0 {
+		return nil, fmt.Errorf("pipeline: drain %d must be non-negative", cfg.drain)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	return &Pipeline{mapping: m, cfg: cfg}, nil
+}
+
+// Mapping returns the shared compiled mapping.
+func (p *Pipeline) Mapping() *compile.Mapping { return p.mapping }
+
+// newSessionLocked builds and registers a session; p.mu must be held.
+func (p *Pipeline) newSessionLocked() *Session {
+	s := &Session{
+		p:      p,
+		runner: sim.NewRunner(p.mapping, p.cfg.engine, p.cfg.engineWorkers),
+	}
+	if p.cfg.encoder != nil {
+		s.enc = p.cfg.encoder.Clone()
+	}
+	if p.cfg.decoder != nil {
+		s.dec = p.cfg.decoder.Clone()
+	}
+	p.sessions = append(p.sessions, s)
+	return s
+}
+
+// NewSession creates an independent session: its own chip instance and
+// codec clones over the shared mapping. Sessions are not themselves
+// safe for concurrent use; create one per goroutine.
+func (p *Pipeline) NewSession() *Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.newSessionLocked()
+}
+
+// Classify runs one presentation of values on the pipeline's shared
+// session. Calls are serialized; for concurrency use ClassifyBatch or
+// per-goroutine sessions.
+func (p *Pipeline) Classify(ctx context.Context, values []float64) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.shared == nil {
+		p.shared = p.newSessionLocked()
+	}
+	return p.shared.Classify(ctx, values)
+}
+
+// ClassifyBatch classifies every input, fanning them across the
+// session pool (WithWorkers). Each input is one independent
+// presentation, so the results are bit-identical to classifying the
+// same inputs sequentially on a single session. The first error (or
+// context cancellation) stops the batch. Calls are serialized.
+func (p *Pipeline) ClassifyBatch(ctx context.Context, inputs [][]float64) ([]int, error) {
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	p.mu.Lock()
+	for len(p.pool) < p.cfg.workers {
+		p.pool = append(p.pool, p.newSessionLocked())
+	}
+	pool := p.pool
+	defer p.mu.Unlock()
+
+	n := len(pool)
+	if n > len(inputs) {
+		n = len(inputs)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]int, len(inputs))
+	var next int64
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(inputs) || ctx.Err() != nil {
+					return
+				}
+				class, err := s.Classify(ctx, inputs[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+				results[i] = class
+			}
+		}(pool[w])
+	}
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return results, firstErr
+}
+
+// Usage aggregates activity across every session the pipeline created,
+// priced as one chip running the summed tick count — i.e. the energy a
+// single time-multiplexed chip would spend serving the same stream, so
+// per-classification figures are independent of the pool size.
+func (p *Pipeline) Usage(hardware bool) energy.Usage {
+	p.mu.Lock()
+	sessions := append([]*Session(nil), p.sessions...)
+	p.mu.Unlock()
+	var total energy.Usage
+	for _, s := range sessions {
+		u := s.Usage(hardware)
+		total.SynapticEvents += u.SynapticEvents
+		total.AxonEvents += u.AxonEvents
+		total.NeuronUpdates += u.NeuronUpdates
+		total.Spikes += u.Spikes
+		total.Hops += u.Hops
+		total.Ticks += u.Ticks
+	}
+	total.Cores = p.mapping.Stats.UsedCores
+	return total
+}
+
+// Session is one independent inference lane: a private chip instance
+// plus codec clones over the pipeline's shared mapping. Not safe for
+// concurrent use; a pipeline hands out as many sessions as needed.
+type Session struct {
+	p      *Pipeline
+	runner *sim.Runner
+	enc    codec.Encoder
+	dec    codec.Decoder
+	ticks  uint64 // ticks retired before the last Reset
+}
+
+// Runner exposes the session's runner (for probes and counters).
+func (s *Session) Runner() *sim.Runner { return s.runner }
+
+// Now returns the session's next tick.
+func (s *Session) Now() int64 { return s.runner.Now() }
+
+// Ticks returns the cumulative ticks executed across all resets, the
+// wall-time basis for energy accounting.
+func (s *Session) Ticks() uint64 { return s.ticks + uint64(s.runner.Now()) }
+
+// Reset returns the session to a pristine presentation boundary: chip
+// state to power-on, codecs restarted. Activity counters and the
+// cumulative tick count are preserved. A reset session behaves
+// bit-identically to a brand-new one.
+func (s *Session) Reset() {
+	s.ticks += uint64(s.runner.Now())
+	s.runner.Reset()
+	if s.enc != nil {
+		s.enc.Reset()
+	}
+	if s.dec != nil {
+		s.dec.Reset()
+	}
+}
+
+// Usage extracts the session's activity record for energy pricing.
+func (s *Session) Usage(hardware bool) energy.Usage {
+	return energy.FromChip(s.runner.Chip().Counters(), s.p.mapping.Stats.UsedCores, s.Ticks(), hardware)
+}
+
+// encodeTick encodes one value frame into line injections.
+func (s *Session) encodeTick(values []float64) error {
+	var err error
+	s.enc.Tick(values, func(i int) {
+		for _, line := range s.p.cfg.lines(i) {
+			if e := s.runner.InjectLine(line); e != nil && err == nil {
+				err = e
+			}
+		}
+	})
+	return err
+}
+
+// feed pushes mapped events into the decoder — the allocation-free
+// path Classify runs per tick.
+func (s *Session) feed(evs []sim.Event) {
+	for _, e := range evs {
+		if c := s.p.cfg.classes(e.Neuron); c >= 0 {
+			s.dec.ObserveAt(c, e.Tick)
+		}
+	}
+}
+
+// observe feeds decoded events into the decoder (if any) and returns
+// them as labels — the stream path, where callers consume the events.
+func (s *Session) observe(evs []sim.Event, labels []Label) []Label {
+	for _, e := range evs {
+		c := s.p.cfg.classes(e.Neuron)
+		if c >= 0 && s.dec != nil {
+			s.dec.ObserveAt(c, e.Tick)
+		}
+		labels = append(labels, Label{Class: c, Neuron: e.Neuron, Tick: e.Tick})
+	}
+	return labels
+}
+
+// Classify runs one self-contained presentation: reset, encode values
+// for Window ticks, drain, decide. It depends only on values and the
+// configured codec seeds, never on previous calls — the property that
+// makes pooled and sequential classification bit-identical.
+func (s *Session) Classify(ctx context.Context, values []float64) (int, error) {
+	if s.enc == nil {
+		return -1, errors.New("pipeline: Classify needs WithEncoder")
+	}
+	if s.dec == nil {
+		return -1, errors.New("pipeline: Classify needs WithDecoder")
+	}
+	s.Reset()
+	for t := 0; t < s.p.cfg.window; t++ {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		if err := s.encodeTick(values); err != nil {
+			return -1, err
+		}
+		s.feed(s.runner.Step())
+	}
+	s.feed(s.runner.Drain(s.p.cfg.drain))
+	return s.dec.Decide(), nil
+}
+
+// Label is one decoded output event: the spiking neuron, its logical
+// fire tick, and the class it maps to (-1 if unmapped).
+type Label struct {
+	Class  int
+	Neuron model.NeuronID
+	Tick   int64
+}
+
+// Stream is the incremental mode for open-ended spatio-temporal
+// workloads: frames or raw line spikes go in tick by tick, decoded
+// labels come out as they emerge. Chip state persists across frames
+// (unlike Classify, which resets per presentation).
+type Stream struct {
+	s      *Session
+	ctx    context.Context
+	closed bool
+}
+
+// Stream opens an incremental stream on a freshly reset session. The
+// stream ends when ctx is cancelled or Drain is called.
+func (s *Session) Stream(ctx context.Context) *Stream {
+	s.Reset()
+	return &Stream{s: s, ctx: ctx}
+}
+
+// Now returns the next tick the stream will execute.
+func (st *Stream) Now() int64 { return st.s.runner.Now() }
+
+// Decide returns the decoder's current decision over everything
+// observed so far (-1 without a decoder).
+func (st *Stream) Decide() int {
+	if st.s.dec == nil {
+		return -1
+	}
+	return st.s.dec.Decide()
+}
+
+func (st *Stream) err() error {
+	if st.closed {
+		return errors.New("pipeline: stream closed")
+	}
+	return st.ctx.Err()
+}
+
+// Inject emits a raw spike on a physical input line at the current
+// tick, bypassing the encoder — the spatio-temporal escape hatch.
+func (st *Stream) Inject(line int32) error {
+	if err := st.err(); err != nil {
+		return err
+	}
+	return st.s.runner.InjectLine(line)
+}
+
+// Tick advances one tick without new input and returns the labels that
+// emerged.
+func (st *Stream) Tick() ([]Label, error) {
+	if err := st.err(); err != nil {
+		return nil, err
+	}
+	return st.s.observe(st.s.runner.Step(), nil), nil
+}
+
+// Push encodes one value frame at the current tick and advances one
+// tick.
+func (st *Stream) Push(values []float64) ([]Label, error) {
+	if err := st.err(); err != nil {
+		return nil, err
+	}
+	if st.s.enc == nil {
+		return nil, errors.New("pipeline: Push needs WithEncoder")
+	}
+	if err := st.s.encodeTick(values); err != nil {
+		return nil, err
+	}
+	return st.s.observe(st.s.runner.Step(), nil), nil
+}
+
+// Present restarts the encoder and pushes the same value frame for
+// ticks consecutive ticks — one presentation on persistent chip state,
+// the frame-by-frame idiom of always-on detection.
+func (st *Stream) Present(values []float64, ticks int) ([]Label, error) {
+	if st.s.enc == nil {
+		return nil, errors.New("pipeline: Present needs WithEncoder")
+	}
+	st.s.enc.Reset()
+	var labels []Label
+	for t := 0; t < ticks; t++ {
+		if err := st.err(); err != nil {
+			return labels, err
+		}
+		if err := st.s.encodeTick(values); err != nil {
+			return labels, err
+		}
+		labels = st.s.observe(st.s.runner.Step(), labels)
+	}
+	return labels, nil
+}
+
+// Drain flushes lagged events with the configured drain ticks and
+// closes the stream, returning the final labels.
+func (st *Stream) Drain() ([]Label, error) {
+	if err := st.err(); err != nil {
+		return nil, err
+	}
+	st.closed = true
+	return st.s.observe(st.s.runner.Drain(st.s.p.cfg.drain), nil), nil
+}

@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/codec"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/corelet"
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+// rig is a small compiled digit classifier plus test images.
+type rig struct {
+	cls     *corelet.Classifier
+	mapping *compile.Mapping
+	x       [][]float64
+	y       []int
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	gen := dataset.NewDigits(8, 0.02, 0, 3)
+	xtr, ytr := gen.Batch(300)
+	m, err := train.TrainLinear(xtr, ytr, dataset.NumClasses, train.Options{Epochs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := model.New()
+	cls := corelet.BuildClassifier(net, m.Ternarize(1.3), "d", corelet.ClassifierParams{Threshold: 4, Decay: 1})
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := gen.Batch(24)
+	return &rig{cls: cls, mapping: mp, x: x, y: y}
+}
+
+func (rg *rig) pipeline(t *testing.T, opts ...Option) *Pipeline {
+	t.Helper()
+	base := []Option{
+		WithEncoder(codec.NewBernoulli(0.5, 7)),
+		WithDecoder(codec.NewCounter(dataset.NumClasses)),
+		WithLineMapper(TwinLines(rg.cls.LinesFor)),
+		WithClassMapper(rg.cls.ClassOf),
+		WithWindow(16),
+		WithDrain(10),
+	}
+	p, err := New(rg.mapping, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil mapping accepted")
+	}
+	rg := buildRig(t)
+	if _, err := New(rg.mapping, WithWindow(0)); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := New(rg.mapping, WithDrain(-1)); err == nil {
+		t.Error("negative drain accepted")
+	}
+}
+
+func TestClassifyRequiresCodecs(t *testing.T) {
+	rg := buildRig(t)
+	p, err := New(rg.mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(context.Background(), rg.x[0]); err == nil {
+		t.Error("Classify without codecs accepted")
+	}
+}
+
+func TestSessionReuseBitIdentical(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	s := p.NewSession()
+	ctx := context.Background()
+	var first []int
+	for _, img := range rg.x {
+		c, err := s.Classify(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, c)
+	}
+	// Second pass on the same (now well-used) session must reproduce
+	// the first exactly: every presentation is self-contained.
+	for i, img := range rg.x {
+		c, err := s.Classify(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != first[i] {
+			t.Fatalf("image %d: reused session decided %d, first pass %d", i, c, first[i])
+		}
+	}
+}
+
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	seq := rg.pipeline(t, WithWorkers(1))
+	want, err := seq.ClassifyBatch(ctx, rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := rg.pipeline(t, WithWorkers(8))
+	got, err := par.ClassifyBatch(ctx, rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: pooled %d, sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClassifyCancellation(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Classify(ctx, rg.x[0]); err == nil {
+		t.Error("cancelled Classify succeeded")
+	}
+	if _, err := p.ClassifyBatch(ctx, rg.x); err == nil {
+		t.Error("cancelled ClassifyBatch succeeded")
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	// 1 input -> 1 neuron relay; raw injection through a stream.
+	net := model.New()
+	in := net.AddInputBank("in", 1, model.SourceProps{Type: 0, Delay: 1})
+	pop := net.AddPopulation("p", 1, neuron.Default())
+	net.Connect(in.Line(0), pop.ID(0))
+	net.MarkOutput(pop.ID(0))
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(mp, WithDrain(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.NewSession().Stream(context.Background())
+	if err := st.Inject(5); err == nil {
+		t.Error("unknown line accepted")
+	}
+	if err := st.Inject(0); err != nil {
+		t.Fatal(err)
+	}
+	var labels []Label
+	for i := 0; i < 4; i++ {
+		ls, err := st.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, ls...)
+	}
+	ls, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels = append(labels, ls...)
+	if len(labels) != 1 || labels[0].Tick != 1 || labels[0].Neuron != pop.ID(0) {
+		t.Fatalf("labels = %+v, want one fire at tick 1", labels)
+	}
+	// Default class mapper: the neuron ID itself.
+	if labels[0].Class != int(pop.ID(0)) {
+		t.Fatalf("default class = %d, want %d", labels[0].Class, pop.ID(0))
+	}
+	if _, err := st.Tick(); err == nil {
+		t.Error("tick after Drain accepted")
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	st2 := p.NewSession().Stream(cctx)
+	cancel()
+	if _, err := st2.Tick(); err == nil {
+		t.Error("tick after cancellation accepted")
+	}
+}
+
+func TestUsageAccumulatesAcrossResets(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	s := p.NewSession()
+	ctx := context.Background()
+	if _, err := s.Classify(ctx, rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+	u1 := s.Usage(true)
+	if _, err := s.Classify(ctx, rg.x[1]); err != nil {
+		t.Fatal(err)
+	}
+	u2 := s.Usage(true)
+	if u2.Ticks != 2*u1.Ticks {
+		t.Fatalf("ticks = %d after two presentations, want %d", u2.Ticks, 2*u1.Ticks)
+	}
+	if u2.SynapticEvents <= u1.SynapticEvents {
+		t.Fatal("activity did not accumulate across Reset")
+	}
+	pu := p.Usage(true)
+	if pu.Ticks != u2.Ticks || pu.Cores != rg.mapping.Stats.UsedCores {
+		t.Fatalf("pipeline usage = %+v, session usage = %+v", pu, u2)
+	}
+}

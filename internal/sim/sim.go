@@ -20,6 +20,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"github.com/neurogo/neurogo/internal/chip"
@@ -72,16 +73,42 @@ type Runner struct {
 	pending []Event // events whose logical tick is in the future (lagged)
 }
 
-// NewRunner builds a runner. workers is used only by EngineParallel.
+// NewRunner builds a runner. workers is used only by EngineParallel and
+// is clamped to [1, runtime.NumCPU()] — goroutines beyond the physical
+// core count only add scheduling overhead. EngineParallel output is
+// bit-identical to EngineEvent regardless of the worker count: workers
+// own disjoint core ranges and their emissions are applied after a
+// barrier in core-index order (see chip.TickParallel).
+//
+// The mapping is retained by reference and treated as read-only, so many
+// runners may share one compiled mapping concurrently; each runner owns
+// an independent chip instance.
 func NewRunner(m *compile.Mapping, engine Engine, workers int) *Runner {
 	if workers < 1 {
 		workers = 1
+	}
+	if max := runtime.NumCPU(); workers > max {
+		workers = max
 	}
 	return &Runner{mapping: m, chip: chip.New(m.Chip), engine: engine, workers: workers}
 }
 
 // Chip exposes the underlying chip (for counters and probes).
 func (r *Runner) Chip() *chip.Chip { return r.chip }
+
+// Reset returns the runner to tick zero with pristine chip state, so a
+// session can present fresh inputs without re-allocating the chip. The
+// spike stream after Reset is bit-identical to a freshly built
+// NewRunner over the same mapping. Chip activity counters are preserved
+// for cumulative energy accounting; Chip().ResetCounters() clears them.
+func (r *Runner) Reset() {
+	r.chip.Reset()
+	r.pending = r.pending[:0]
+}
+
+// Workers returns the effective (clamped) worker count used by
+// EngineParallel.
+func (r *Runner) Workers() int { return r.workers }
 
 // Mapping exposes the compiled mapping.
 func (r *Runner) Mapping() *compile.Mapping { return r.mapping }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/neurogo/neurogo/internal/compile"
@@ -287,5 +288,89 @@ func BenchmarkRunnerDenseGolden(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = r.InjectLine(int32(tr.Intn(24)))
 		r.Step()
+	}
+}
+
+func TestRunnerResetBitIdentical(t *testing.T) {
+	// A reset runner must reproduce the spike stream of a freshly
+	// built one, including stochastic LFSR-driven state.
+	mp, err := compile.Compile(goldenNet(5), compile.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRunner(mp, EngineEvent, 1)
+	want := schedule(t, fresh, 40, 21)
+	if len(want) == 0 {
+		t.Fatal("no events; test is vacuous")
+	}
+
+	r := NewRunner(mp, EngineEvent, 1)
+	// Dirty the runner with a different schedule, then reset.
+	schedule(t, r, 25, 99)
+	r.Reset()
+	if r.Now() != 0 {
+		t.Fatalf("Now after Reset = %d", r.Now())
+	}
+	got := schedule(t, r, 40, 21)
+	if len(got) != len(want) {
+		t.Fatalf("reset runner: %d events, fresh %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, fresh %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunnerResetPreservesCounters(t *testing.T) {
+	mp, err := compile.Compile(pulseNet(), compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mp, EngineEvent, 1)
+	_ = r.InjectLine(0)
+	r.Run(4)
+	before := r.Chip().Counters()
+	if before.Core.Spikes == 0 {
+		t.Fatal("no activity recorded")
+	}
+	r.Reset()
+	after := r.Chip().Counters()
+	if after.Core.Spikes < before.Core.Spikes || after.InputSpikes < before.InputSpikes {
+		t.Fatalf("Reset dropped counters: %+v -> %+v", before, after)
+	}
+}
+
+func TestNewRunnerClampsWorkers(t *testing.T) {
+	mp, err := compile.Compile(pulseNet(), compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := NewRunner(mp, EngineParallel, 0).Workers(); w != 1 {
+		t.Fatalf("workers(0) clamped to %d, want 1", w)
+	}
+	if w := NewRunner(mp, EngineParallel, 1<<20).Workers(); w > runtime.NumCPU() || w < 1 {
+		t.Fatalf("workers(2^20) clamped to %d, want within [1,%d]", w, runtime.NumCPU())
+	}
+}
+
+func TestParallelWorkerCountInvariant(t *testing.T) {
+	// EngineParallel output is bit-identical to EngineEvent regardless
+	// of worker count.
+	want := func() []Event {
+		mp, _ := compile.Compile(goldenNet(6), compile.Options{Seed: 6})
+		return schedule(t, NewRunner(mp, EngineEvent, 1), 40, 31)
+	}()
+	for _, workers := range []int{1, 2, 3, 7} {
+		mp, _ := compile.Compile(goldenNet(6), compile.Options{Seed: 6})
+		got := schedule(t, NewRunner(mp, EngineParallel, workers), 40, 31)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d events, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: event %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }

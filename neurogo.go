@@ -24,6 +24,20 @@
 //	r.InjectLine(0)
 //	events := r.Run(8)
 //
+// For serving repeated or concurrent requests against one compiled
+// mapping, build a Pipeline instead of driving a Runner by hand:
+//
+//	p, err := neurogo.NewPipeline(mapping,
+//		neurogo.WithEncoder(neurogo.NewBernoulliEncoder(0.5, 99)),
+//		neurogo.WithDecoder(neurogo.NewCounterDecoder(10)),
+//		neurogo.WithWindow(16))
+//	labels, err := p.ClassifyBatch(ctx, images)
+//
+// Pipelines hand out reusable Sessions (one independent chip each over
+// the shared mapping), fan batches across a session pool with
+// bit-identical results to sequential runs, and open incremental
+// Streams for spatio-temporal workloads.
+//
 // Simulation is deterministic: identical configurations and seeds yield
 // bit-identical spike streams across the event-driven, dense and
 // parallel engines.
@@ -44,6 +58,7 @@ import (
 	"github.com/neurogo/neurogo/internal/energy"
 	"github.com/neurogo/neurogo/internal/model"
 	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/pipeline"
 	"github.com/neurogo/neurogo/internal/sim"
 	"github.com/neurogo/neurogo/internal/system"
 	"github.com/neurogo/neurogo/internal/train"
@@ -165,6 +180,80 @@ func NewRunner(m *Mapping, engine Engine, workers int) *Runner {
 
 // NewLogical builds the reference interpreter for a network.
 func NewLogical(net *Network) *Logical { return sim.NewLogical(net) }
+
+// ---- Inference pipeline ----
+
+// Pipeline serves streaming and batched inference over one compiled
+// mapping (see internal/pipeline).
+type Pipeline = pipeline.Pipeline
+
+// PipelineSession is one independent inference lane of a pipeline.
+type PipelineSession = pipeline.Session
+
+// PipelineStream is the incremental spatio-temporal mode of a session.
+type PipelineStream = pipeline.Stream
+
+// PipelineOption configures a pipeline.
+type PipelineOption = pipeline.Option
+
+// Label is one decoded output event (neuron, logical tick, class).
+type Label = pipeline.Label
+
+// LineMapper maps encoder emission indices to physical input lines.
+type LineMapper = pipeline.LineMapper
+
+// ClassMapper maps output neurons to class indices.
+type ClassMapper = pipeline.ClassMapper
+
+// NewPipeline builds an inference pipeline over a compiled mapping.
+func NewPipeline(m *Mapping, opts ...PipelineOption) (*Pipeline, error) {
+	return pipeline.New(m, opts...)
+}
+
+// WithEngine selects the pipeline's core evaluation engine.
+func WithEngine(e Engine) PipelineOption { return pipeline.WithEngine(e) }
+
+// WithEngineWorkers sets per-session goroutines for EngineParallel.
+func WithEngineWorkers(n int) PipelineOption { return pipeline.WithEngineWorkers(n) }
+
+// WithWorkers sizes the session pool ClassifyBatch fans across.
+func WithWorkers(n int) PipelineOption { return pipeline.WithWorkers(n) }
+
+// WithEncoder sets the prototype encoder (cloned per session).
+func WithEncoder(e Encoder) PipelineOption { return pipeline.WithEncoder(e) }
+
+// WithDecoder sets the prototype decoder (cloned per session).
+func WithDecoder(d Decoder) PipelineOption { return pipeline.WithDecoder(d) }
+
+// WithWindow sets the presentation length in ticks.
+func WithWindow(n int) PipelineOption { return pipeline.WithWindow(n) }
+
+// WithDrain sets the post-window drain ticks.
+func WithDrain(n int) PipelineOption { return pipeline.WithDrain(n) }
+
+// WithLineMapper sets the emission-index -> input-line mapping.
+func WithLineMapper(f LineMapper) PipelineOption { return pipeline.WithLineMapper(f) }
+
+// WithClassMapper sets the output-neuron -> class mapping.
+func WithClassMapper(f ClassMapper) PipelineOption { return pipeline.WithClassMapper(f) }
+
+// TwinLines adapts a corelet LinesFor (pixel -> pos/neg pair) into a
+// LineMapper.
+func TwinLines(linesFor func(int) (int32, int32)) LineMapper {
+	return pipeline.TwinLines(linesFor)
+}
+
+// SessionUsageOf extracts a session's cumulative activity record for
+// energy pricing (the session analogue of UsageOf).
+func SessionUsageOf(s *PipelineSession, hardware bool) EnergyUsage {
+	return s.Usage(hardware)
+}
+
+// PipelineUsageOf aggregates activity across all of a pipeline's
+// sessions, priced as one time-multiplexed chip.
+func PipelineUsageOf(p *Pipeline, hardware bool) EnergyUsage {
+	return p.Usage(hardware)
+}
 
 // ---- Chip and capacity ----
 
@@ -341,6 +430,16 @@ func NewCommittee(m *LinearModel, k int, frac float64, seed uint64) *Committee {
 
 // ---- Codecs ----
 
+// Encoder turns value vectors into per-tick spike emissions; custom
+// codecs implement it (Tick, Reset, Clone) and plug into pipelines via
+// WithEncoder.
+type Encoder = codec.Encoder
+
+// Decoder reduces decoded output spikes to a class decision; custom
+// codecs implement it (ObserveAt, Decide, Reset, Clone) and plug into
+// pipelines via WithDecoder.
+type Decoder = codec.Decoder
+
 // BernoulliEncoder emits independent per-tick spikes with p = value*max.
 type BernoulliEncoder = codec.Bernoulli
 
@@ -349,6 +448,9 @@ type RegularEncoder = codec.Regular
 
 // TTFSEncoder emits a time-to-first-spike (latency) code.
 type TTFSEncoder = codec.TTFS
+
+// BinaryEncoder emits thresholded frames held for a fixed tick count.
+type BinaryEncoder = codec.Binary
 
 // CounterDecoder decodes by per-class spike count.
 type CounterDecoder = codec.Counter
@@ -367,6 +469,12 @@ func NewRegularEncoder(maxRate float64) *RegularEncoder { return codec.NewRegula
 // NewTTFSEncoder returns a latency encoder over a window.
 func NewTTFSEncoder(window int, threshold float64) *TTFSEncoder {
 	return codec.NewTTFS(window, threshold)
+}
+
+// NewBinaryEncoder returns a thresholded frame encoder that re-emits
+// the frame on each of the first hold ticks of a presentation.
+func NewBinaryEncoder(threshold float64, hold int) *BinaryEncoder {
+	return codec.NewBinary(threshold, hold)
 }
 
 // NewCounterDecoder returns a spike-count decoder over n classes.

@@ -1,0 +1,148 @@
+package neurogo
+
+import (
+	"context"
+	"testing"
+)
+
+// equivRig compiles a small spiking digit classifier through the public
+// API, plus test images.
+type equivRig struct {
+	cls     *Classifier
+	mapping *Mapping
+	x       [][]float64
+	y       []int
+}
+
+func buildEquivRig(t *testing.T) *equivRig {
+	t.Helper()
+	gen := NewDigitGenerator(8, 0.02, 0, 3)
+	xtr, ytr := gen.Batch(300)
+	m, err := TrainLinear(xtr, ytr, NumDigitClasses, TrainOptions{Epochs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork()
+	cls := BuildClassifier(net, m.Ternarize(1.3), "d", ClassifierParams{Threshold: 4, Decay: 1})
+	mapping, err := Compile(net, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := gen.Batch(16)
+	return &equivRig{cls: cls, mapping: mapping, x: x, y: y}
+}
+
+// handWired classifies one image with the pre-pipeline idiom: a fresh
+// runner, an encoder restarted from its seed, and a manual
+// encode/inject/step/decode loop.
+func (rg *equivRig) handWired(img []float64, engine Engine, workers, window, drain int) int {
+	r := NewRunner(rg.mapping, engine, workers)
+	enc := NewBernoulliEncoder(0.5, 7)
+	counter := NewCounterDecoder(NumDigitClasses)
+	observe := func(evs []Event) {
+		for _, e := range evs {
+			if c := rg.cls.ClassOf(e.Neuron); c >= 0 {
+				counter.Observe(c)
+			}
+		}
+	}
+	for t := 0; t < window; t++ {
+		enc.Tick(img, func(line int) {
+			pos, neg := rg.cls.LinesFor(line)
+			_ = r.InjectLine(pos)
+			_ = r.InjectLine(neg)
+		})
+		observe(r.Step())
+	}
+	observe(r.Drain(drain))
+	return counter.Argmax()
+}
+
+// TestPipelineMatchesHandWiredLoop asserts Pipeline.Classify is
+// bit-identical to the hand-wired encoder/runner/decoder loop across
+// all three engines, and that a session stays bit-identical across
+// repeated Reset reuse.
+func TestPipelineMatchesHandWiredLoop(t *testing.T) {
+	const window, drain = 16, 10
+	rg := buildEquivRig(t)
+	cases := []struct {
+		name    string
+		engine  Engine
+		workers int
+	}{
+		{"event", EngineEvent, 1},
+		{"dense", EngineDense, 1},
+		{"parallel", EngineParallel, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPipeline(rg.mapping,
+				WithEngine(tc.engine),
+				WithEngineWorkers(tc.workers),
+				WithEncoder(NewBernoulliEncoder(0.5, 7)),
+				WithDecoder(NewCounterDecoder(NumDigitClasses)),
+				WithLineMapper(TwinLines(rg.cls.LinesFor)),
+				WithClassMapper(rg.cls.ClassOf),
+				WithWindow(window),
+				WithDrain(drain))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := p.NewSession()
+			for pass := 0; pass < 2; pass++ { // pass 1 re-uses the session via Reset
+				for i, img := range rg.x {
+					got, err := s.Classify(context.Background(), img)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := rg.handWired(img, tc.engine, tc.workers, window, drain)
+					if got != want {
+						t.Fatalf("pass %d image %d: pipeline %d, hand-wired %d", pass, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClassifyBatchBitIdentical asserts the acceptance criterion:
+// fanning a batch across >= 8 concurrent sessions returns exactly the
+// sequential single-session results.
+func TestClassifyBatchBitIdentical(t *testing.T) {
+	rg := buildEquivRig(t)
+	ctx := context.Background()
+	mk := func(workers int) *Pipeline {
+		p, err := NewPipeline(rg.mapping,
+			WithWorkers(workers),
+			WithEncoder(NewBernoulliEncoder(0.5, 7)),
+			WithDecoder(NewCounterDecoder(NumDigitClasses)),
+			WithLineMapper(TwinLines(rg.cls.LinesFor)),
+			WithClassMapper(rg.cls.ClassOf),
+			WithWindow(16),
+			WithDrain(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	want, err := mk(1).ClassifyBatch(ctx, rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mk(8).ClassifyBatch(ctx, rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: pooled %d, sequential %d", i, got[i], want[i])
+		}
+		if got[i] == rg.y[i] {
+			hits++
+		}
+	}
+	if hits < len(rg.x)*2/3 {
+		t.Fatalf("classifier got %d/%d on easy digits; pipeline is mis-wired", hits, len(rg.x))
+	}
+}
