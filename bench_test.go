@@ -118,13 +118,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 	for _, size := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
-			p, err := NewPipeline(throughputRig.mapping,
-				WithEncoder(NewBernoulliEncoder(0.5, 99)),
-				WithDecoder(NewCounterDecoder(NumDigitClasses)),
-				WithLineMapper(TwinLines(throughputRig.cls.LinesFor)),
-				WithClassMapper(throughputRig.cls.ClassOf),
-				WithWindow(16),
-				WithDrain(10))
+			p, err := throughputPipeline()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -134,6 +128,54 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
 					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+		})
+	}
+}
+
+// throughputPipeline builds the digit-serving pipeline the throughput
+// benchmarks share.
+func throughputPipeline() (*Pipeline, error) {
+	return NewPipeline(throughputRig.mapping,
+		WithEncoder(NewBernoulliEncoder(0.5, 99)),
+		WithDecoder(NewCounterDecoder(NumDigitClasses)),
+		WithLineMapper(TwinLines(throughputRig.cls.LinesFor)),
+		WithClassMapper(throughputRig.cls.ClassOf),
+		WithWindow(16),
+		WithDrain(10))
+}
+
+// BenchmarkAsyncThroughput measures served classifications/sec through
+// the channel-based AsyncPipeline at the same batch sizes as
+// BenchmarkPipelineThroughput, so the two report directly comparable
+// class/s figures: each iteration submits `size` requests and waits for
+// all completions via the per-request channels.
+func BenchmarkAsyncThroughput(b *testing.B) {
+	if err := throughputSetup(); err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			p, err := throughputPipeline()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ap := p.Async(WithQueueDepth(2 * size))
+			defer ap.Close()
+			inputs := throughputRig.x[:size]
+			ctx := context.Background()
+			chans := make([]<-chan AsyncResult, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, img := range inputs {
+					chans[j] = ap.Submit(ctx, img)
+				}
+				for _, ch := range chans {
+					if r := <-ch; r.Err != nil {
+						b.Fatal(r.Err)
+					}
 				}
 			}
 			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")

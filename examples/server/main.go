@@ -1,0 +1,148 @@
+// Server: the async serving backend end to end — train and compile the
+// digit classifier (as in examples/digits), then serve the test set
+// through an AsyncPipeline: concurrent clients submit images into a
+// bounded queue, a pool of sessions classifies them as workers free up,
+// and each client correlates its own completions through the
+// per-request channels while the shared Results stream feeds a
+// monitoring goroutine. The same inputs are also served through
+// ClassifyBatch so the two serving modes' throughput and
+// (bit-identical) predictions can be compared.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/neurogo/neurogo"
+)
+
+func main() {
+	const (
+		trainN  = 1200
+		testN   = 256
+		window  = 16
+		clients = 4 // concurrent submitters
+	)
+
+	// 1. Train, quantise, compile — the standard digit rig.
+	gen := neurogo.NewDigitGenerator(16, 0.03, 1, 42)
+	xtr, ytr := gen.Batch(trainN)
+	xte, yte := gen.Batch(testN)
+	model, err := neurogo.TrainLinear(xtr, ytr, neurogo.NumDigitClasses,
+		neurogo.TrainOptions{Epochs: 10, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := neurogo.NewNetwork()
+	cls := neurogo.BuildClassifier(net, model.Ternarize(1.3), "digits",
+		neurogo.DefaultClassifierParams())
+	mapping, err := neurogo.Compile(net, neurogo.CompileOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipeline := func() *neurogo.Pipeline {
+		p, err := neurogo.NewPipeline(mapping,
+			neurogo.WithEncoder(neurogo.NewBernoulliEncoder(0.5, 99)),
+			neurogo.WithDecoder(neurogo.NewCounterDecoder(neurogo.NumDigitClasses)),
+			neurogo.WithLineMapper(neurogo.TwinLines(cls.LinesFor)),
+			neurogo.WithClassMapper(cls.ClassOf),
+			neurogo.WithWindow(window),
+			neurogo.WithDrain(10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	ctx := context.Background()
+
+	// 2. Baseline: the synchronous batched path.
+	batchP := pipeline()
+	start := time.Now()
+	batchPreds, err := batchP.ClassifyBatch(ctx, xte)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchDur := time.Since(start)
+
+	// 3. The async path. The Results stream plays the serving-side
+	// monitor (subscribe before the first Submit); each client keeps its
+	// per-request channels, so completions correlate with inputs no
+	// matter how submissions interleave across clients.
+	asyncP := pipeline()
+	workers := runtime.NumCPU()
+	ap := asyncP.Async(
+		neurogo.WithAsyncWorkers(workers),
+		neurogo.WithQueueDepth(2*workers))
+
+	results := ap.Results() // subscribe before the first Submit
+	monitored := make(chan int, 1)
+	go func() {
+		served := 0
+		for range results {
+			served++
+		}
+		monitored <- served // stream closed: pool fully drained
+	}()
+
+	asyncPreds := make([]int, testN)
+	start = time.Now()
+	var wg sync.WaitGroup
+	per := testN / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			chans := make([]<-chan neurogo.AsyncResult, hi-lo)
+			for i, img := range xte[lo:hi] {
+				chans[i] = ap.Submit(ctx, img) // blocks only when the queue is full
+			}
+			for i, ch := range chans {
+				r := <-ch
+				if r.Err != nil {
+					log.Fatalf("image %d: %v", lo+i, r.Err)
+				}
+				asyncPreds[lo+i] = r.Class
+			}
+		}(c*per, (c+1)*per)
+	}
+	wg.Wait()
+	ap.Close() // graceful: drains in-flight work, then Results closes
+	served := <-monitored
+	asyncDur := time.Since(start)
+
+	identical := true
+	for i := range batchPreds {
+		if asyncPreds[i] != batchPreds[i] {
+			identical = false
+			break
+		}
+	}
+	score := func(preds []int) float64 {
+		hits := 0
+		for i, p := range preds {
+			if p == yte[i] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(testN) * 100
+	}
+
+	fmt.Printf("compiled onto %d cores; serving %d images, window %d ticks\n",
+		mapping.Stats.UsedCores, testN, window)
+	fmt.Printf("batched ClassifyBatch: %6.1f img/s  (accuracy %.1f%%)\n",
+		float64(testN)/batchDur.Seconds(), score(batchPreds))
+	fmt.Printf("async AsyncPipeline:   %6.1f img/s  (accuracy %.1f%%, %d clients, %d workers, %d monitored)\n",
+		float64(testN)/asyncDur.Seconds(), score(asyncPreds), clients, workers, served)
+	fmt.Printf("async == batched predictions: %v\n", identical)
+
+	usage := neurogo.PipelineUsageOf(asyncP, true)
+	report := neurogo.DefaultEnergyCoefficients().Evaluate(usage)
+	fmt.Printf("energy per classification: %.1f nJ (async pool, time-multiplexed pricing)\n",
+		report.TotalPJ/float64(testN)*1e-3)
+}

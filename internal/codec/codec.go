@@ -318,8 +318,16 @@ func (c *Counter) Margin() int {
 }
 
 // ObserveAt implements Decoder; the tick is ignored (counting is
-// order-free).
-func (c *Counter) ObserveAt(class int, tick int64) { c.Observe(class) }
+// order-free). Out-of-range classes are dropped rather than panicking:
+// a ClassMapper may legitimately emit indices beyond the decoder's
+// range (e.g. auxiliary output neurons), and a serving path must not
+// crash mid-request on one. The strict Observe remains for tests.
+func (c *Counter) ObserveAt(class int, tick int64) {
+	if class < 0 || class >= len(c.counts) {
+		return
+	}
+	c.Observe(class)
+}
 
 // Decide implements Decoder (Argmax).
 func (c *Counter) Decide() int { return c.Argmax() }

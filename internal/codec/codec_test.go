@@ -344,6 +344,30 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestCounterObserveAtDropsOutOfRange pins the serving-path fix: the
+// Decoder interface entry point tolerates classes a ClassMapper may
+// emit beyond the configured range, while the strict Observe keeps
+// panicking for test harnesses.
+func TestCounterObserveAtDropsOutOfRange(t *testing.T) {
+	c := NewCounter(3)
+	c.ObserveAt(-1, 0)
+	c.ObserveAt(3, 1)
+	c.ObserveAt(1000, 2)
+	if c.Total() != 0 {
+		t.Fatalf("out-of-range observations counted: total = %d", c.Total())
+	}
+	c.ObserveAt(2, 3)
+	if c.Decide() != 2 || c.Total() != 1 {
+		t.Fatalf("in-range observation lost: decide %d, total %d", c.Decide(), c.Total())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strict Observe accepted an out-of-range class")
+		}
+	}()
+	c.Observe(3)
+}
+
 func TestDecoderInterface(t *testing.T) {
 	var decoders = []Decoder{NewCounter(3), NewFirstSpike()}
 	for _, d := range decoders {

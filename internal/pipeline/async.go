@@ -1,0 +1,265 @@
+// Async serving backend: a non-blocking, channel-based front-end over a
+// pool of Sessions, so one slow presentation never head-of-line blocks
+// the submit path — the software analogue of the chip's time-multiplexed,
+// event-driven serving discipline.
+//
+// Requests enter through a bounded queue (backpressure: Submit blocks
+// while the queue is full), workers pull them as they free up, and each
+// completion is delivered twice: once on the per-request channel Submit
+// returned, and once on the shared Results stream. Completions arrive
+// out of submission order; the Seq number stamped on every Result lets
+// callers re-order them. Because every presentation is self-contained
+// (see Session.Classify), the re-ordered results are bit-identical to
+// classifying the same inputs sequentially.
+
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is the error a Result carries for a submission made after
+// Close.
+var ErrClosed = errors.New("pipeline: async pipeline closed")
+
+// Result is one asynchronous classification outcome. Exactly one
+// Result is delivered on every channel Submit returns, even when the
+// request was rejected (queue-full cancellation or a closed pipeline);
+// Err is non-nil and Class is -1 in those cases.
+type Result struct {
+	// Seq is the submission sequence number: the i-th Submit call is
+	// stamped i (from 0). Submissions from a single goroutine are
+	// numbered in call order, so Seq re-orders out-of-order completions
+	// back into input order. A rejected submission burns its number, so
+	// index by Seq only when every Submit was accepted (check Err);
+	// when rejections are possible, correlate through the per-request
+	// channels instead.
+	Seq uint64
+	// Class is the decoded class, -1 on error.
+	Class int
+	// Err is the classification or submission error, if any.
+	Err error
+}
+
+type asyncConfig struct {
+	workers int
+	queue   int
+}
+
+// AsyncOption configures an AsyncPipeline.
+type AsyncOption func(*asyncConfig)
+
+// WithAsyncWorkers sets the number of pool sessions serving submissions
+// (default: the pipeline's WithWorkers value).
+func WithAsyncWorkers(n int) AsyncOption { return func(c *asyncConfig) { c.workers = n } }
+
+// WithQueueDepth bounds the submit queue (default 2x workers). A full
+// queue is the backpressure signal: Submit blocks until a worker frees
+// a slot or the submission context is cancelled.
+func WithQueueDepth(n int) AsyncOption { return func(c *asyncConfig) { c.queue = n } }
+
+// asyncRequest is one queued submission.
+type asyncRequest struct {
+	ctx    context.Context
+	seq    uint64
+	values []float64
+	done   chan<- Result // cap 1: the worker's send never blocks
+}
+
+// AsyncPipeline is the non-blocking serving front-end of a Pipeline: a
+// worker pool of Sessions behind a bounded submit queue.
+//
+//	ap := p.Async(pipeline.WithAsyncWorkers(8))
+//	results := ap.Results() // subscribe before submitting
+//	go func() {
+//		for _, img := range images {
+//			ap.Submit(ctx, img) // or keep the returned channel per request
+//		}
+//		ap.Close() // drains queued + in-flight work, then results closes
+//	}()
+//	for r := range results { // drain obligation: read until closed
+//		handle(r.Seq, r.Class, r.Err)
+//	}
+//
+// Submit and Close may be called from any goroutine.
+type AsyncPipeline struct {
+	p        *Pipeline
+	requests chan asyncRequest
+	seq      atomic.Uint64
+	workers  sync.WaitGroup
+
+	// submitMu makes Submit vs Close safe: submitters hold the read
+	// lock across the enqueue, so Close cannot close(requests) under a
+	// blocked send (workers keep draining, so pending submitters always
+	// finish and release it).
+	submitMu sync.RWMutex
+	closed   bool
+
+	// The Results stream is pumped through an unbounded buffer so
+	// workers never block on a slow stream consumer: publish appends
+	// under streamMu, a forwarder goroutine delivers in completion
+	// order. The stream only buffers once Results has been called.
+	streamMu    sync.Mutex
+	streamBuf   []Result
+	streamCh    chan Result
+	notify      chan struct{}
+	workersDone chan struct{}
+	closeOnce   sync.Once
+}
+
+// Async builds the asynchronous serving front-end over the pipeline.
+// Worker sessions are registered with the pipeline, so their activity
+// is part of Pipeline.Usage like any other session's.
+func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
+	cfg := asyncConfig{workers: p.cfg.workers}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queue < 1 {
+		cfg.queue = 2 * cfg.workers
+	}
+	a := &AsyncPipeline{
+		p:           p,
+		requests:    make(chan asyncRequest, cfg.queue),
+		notify:      make(chan struct{}, 1),
+		workersDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.workers; i++ {
+		s := p.NewSession()
+		a.workers.Add(1)
+		go a.worker(s)
+	}
+	return a
+}
+
+// Submit enqueues one classification and returns its result channel,
+// which receives exactly one Result (it is buffered, so the caller may
+// drop it and collect from Results instead). Submit blocks while the
+// queue is full — the backpressure contract — until ctx is cancelled or
+// the pipeline is closed, in which case the Result carries the error.
+func (a *AsyncPipeline) Submit(ctx context.Context, values []float64) <-chan Result {
+	done := make(chan Result, 1)
+	res := Result{Seq: a.seq.Add(1) - 1, Class: -1}
+	a.submitMu.RLock()
+	if a.closed {
+		a.submitMu.RUnlock()
+		res.Err = ErrClosed
+		done <- res
+		return done
+	}
+	select {
+	case a.requests <- asyncRequest{ctx: ctx, seq: res.Seq, values: values, done: done}:
+		a.submitMu.RUnlock()
+	case <-ctx.Done():
+		a.submitMu.RUnlock()
+		res.Err = ctx.Err()
+		done <- res
+	}
+	return done
+}
+
+// Results returns the shared completion stream: every Result the worker
+// pool produces, in completion order, across all submitters. Subscribe
+// before submitting — completions that precede the first Results call
+// are not replayed. The stream closes after Close once the final
+// completion has been delivered. Rejected submissions (closed pipeline,
+// cancelled enqueue) are reported only on their own Submit channel.
+//
+// Subscribing obliges you to drain: keep receiving until the stream
+// closes (`for r := range results`). The forwarder parks on a stream
+// nobody reads, holding the undelivered backlog; a subscriber bailing
+// out early should hand the tail to a sink (`go func() { for range
+// results {} }()`) — every Result is still delivered on its own Submit
+// channel, so nothing is lost by discarding the stream.
+func (a *AsyncPipeline) Results() <-chan Result {
+	a.streamMu.Lock()
+	defer a.streamMu.Unlock()
+	if a.streamCh == nil {
+		a.streamCh = make(chan Result, 16)
+		go a.forward()
+	}
+	return a.streamCh
+}
+
+// Close stops accepting submissions, drains every queued and in-flight
+// request to completion, and returns once the worker pool has retired.
+// Results (if subscribed) closes after its tail is delivered — Close
+// does not wait for that delivery, so it never blocks on a slow stream
+// consumer; the subscriber's drain obligation (see Results) still
+// stands. Close is idempotent; later Submits receive ErrClosed.
+func (a *AsyncPipeline) Close() error {
+	a.closeOnce.Do(func() {
+		a.submitMu.Lock()
+		a.closed = true
+		close(a.requests)
+		a.submitMu.Unlock()
+		a.workers.Wait()
+		close(a.workersDone)
+	})
+	return nil
+}
+
+// worker serves submissions on its own session until the queue closes.
+func (a *AsyncPipeline) worker(s *Session) {
+	defer a.workers.Done()
+	for req := range a.requests {
+		res := Result{Seq: req.seq}
+		if err := req.ctx.Err(); err != nil {
+			// Cancelled while queued: report without running.
+			res.Class, res.Err = -1, err
+		} else {
+			res.Class, res.Err = s.Classify(req.ctx, req.values)
+		}
+		req.done <- res
+		a.publish(res)
+	}
+}
+
+// publish appends a completion for the Results forwarder (a no-op until
+// someone subscribes) and nudges it.
+func (a *AsyncPipeline) publish(r Result) {
+	a.streamMu.Lock()
+	if a.streamCh != nil {
+		a.streamBuf = append(a.streamBuf, r)
+		select {
+		case a.notify <- struct{}{}:
+		default:
+		}
+	}
+	a.streamMu.Unlock()
+}
+
+// forward pumps buffered completions to the stream channel and closes
+// it once the workers have retired and the tail is delivered. Workers
+// publish before exiting, so everything they produced is visible by the
+// time workersDone fires.
+func (a *AsyncPipeline) forward() {
+	defer close(a.streamCh)
+	for {
+		a.streamMu.Lock()
+		batch := a.streamBuf
+		a.streamBuf = nil
+		a.streamMu.Unlock()
+		for _, r := range batch {
+			a.streamCh <- r
+		}
+		select {
+		case <-a.notify:
+		case <-a.workersDone:
+			a.streamMu.Lock()
+			batch = a.streamBuf
+			a.streamBuf = nil
+			a.streamMu.Unlock()
+			for _, r := range batch {
+				a.streamCh <- r
+			}
+			return
+		}
+	}
+}

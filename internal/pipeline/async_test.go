@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/codec"
+)
+
+// TestAsyncMatchesSequential is the async equivalence criterion:
+// completions collected from the Results stream and re-ordered by
+// sequence number are bit-identical to classifying the same inputs
+// sequentially on one session.
+func TestAsyncMatchesSequential(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+
+	s := rg.pipeline(t).NewSession()
+	want := make([]int, len(rg.x))
+	for i, img := range rg.x {
+		c, err := s.Classify(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+
+	// Small queue so submission exercises the backpressure path.
+	ap := rg.pipeline(t).Async(WithAsyncWorkers(4), WithQueueDepth(2))
+	results := ap.Results()
+	for _, img := range rg.x {
+		ap.Submit(ctx, img)
+	}
+	ap.Close()
+	got := make([]int, len(rg.x))
+	seen := 0
+	for r := range results {
+		if r.Err != nil {
+			t.Fatalf("seq %d: %v", r.Seq, r.Err)
+		}
+		if r.Seq >= uint64(len(got)) {
+			t.Fatalf("seq %d out of range", r.Seq)
+		}
+		got[r.Seq] = r.Class
+		seen++
+	}
+	if seen != len(rg.x) {
+		t.Fatalf("stream delivered %d results, want %d", seen, len(rg.x))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("input %d: async %d, sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAsyncPerRequestChannels collects through the channels Submit
+// returns instead of the shared stream.
+func TestAsyncPerRequestChannels(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	ap := rg.pipeline(t).Async(WithAsyncWorkers(3))
+	defer ap.Close()
+
+	chans := make([]<-chan Result, len(rg.x))
+	for i, img := range rg.x {
+		chans[i] = ap.Submit(ctx, img)
+	}
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatalf("input %d: %v", i, r.Err)
+		}
+		if r.Seq != uint64(i) {
+			t.Fatalf("input %d stamped seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestAsyncCloseDrains asserts the graceful-close contract: every
+// submission accepted before Close completes with a real result.
+func TestAsyncCloseDrains(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	ap := rg.pipeline(t).Async(WithAsyncWorkers(2), WithQueueDepth(len(rg.x)))
+	chans := make([]<-chan Result, len(rg.x))
+	for i, img := range rg.x {
+		chans[i] = ap.Submit(ctx, img)
+	}
+	ap.Close() // returns only after queued + in-flight work retired
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("input %d: %v", i, r.Err)
+			}
+		default:
+			t.Fatalf("input %d: no result after Close", i)
+		}
+	}
+	if r := <-ap.Submit(ctx, rg.x[0]); r.Err != ErrClosed {
+		t.Fatalf("post-Close Submit err = %v, want ErrClosed", r.Err)
+	}
+}
+
+// gateEncoder blocks every Tick until released, and flags when the
+// first Tick is reached. Clone returns the shared instance so pooled
+// sessions share the gate.
+type gateEncoder struct {
+	started chan struct{}
+	release chan struct{}
+	once    *sync.Once
+}
+
+func newGateEncoder() *gateEncoder {
+	return &gateEncoder{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		once:    new(sync.Once),
+	}
+}
+
+func (g *gateEncoder) Tick(values []float64, emit codec.EmitFunc) {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+}
+func (g *gateEncoder) Reset()               {}
+func (g *gateEncoder) Clone() codec.Encoder { return g }
+
+// TestAsyncBackpressureCancellation pins the queue-full path: with one
+// worker wedged and the queue full, a Submit under a cancelled context
+// must come back with the context error instead of blocking forever.
+func TestAsyncBackpressureCancellation(t *testing.T) {
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := p.Async(WithAsyncWorkers(1), WithQueueDepth(1))
+	ctx := context.Background()
+
+	first := ap.Submit(ctx, rg.x[0])
+	<-gate.started // worker is wedged inside presentation 0
+	second := ap.Submit(ctx, rg.x[1])
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := <-ap.Submit(cctx, rg.x[2]); r.Err == nil {
+		t.Fatal("queue-full Submit with cancelled ctx returned no error")
+	} else if r.Class != -1 {
+		t.Fatalf("rejected submission carries class %d, want -1", r.Class)
+	}
+
+	close(gate.release)
+	ap.Close()
+	for i, ch := range []<-chan Result{first, second} {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("accepted submission %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+// TestAsyncUsageAccounted asserts async worker sessions feed
+// Pipeline.Usage like any other session.
+func TestAsyncUsageAccounted(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ap := p.Async(WithAsyncWorkers(2))
+	for _, img := range rg.x[:4] {
+		ap.Submit(context.Background(), img)
+	}
+	ap.Close()
+	if u := p.Usage(true); u.Ticks == 0 || u.SynapticEvents == 0 {
+		t.Fatalf("pipeline usage missed async activity: %+v", u)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/neurogo/neurogo/internal/chip"
 	"github.com/neurogo/neurogo/internal/codec"
 	"github.com/neurogo/neurogo/internal/compile"
 	"github.com/neurogo/neurogo/internal/energy"
@@ -116,6 +117,12 @@ type Pipeline struct {
 	shared   *Session   // lazy session backing Pipeline.Classify
 	pool     []*Session // lazy pool backing ClassifyBatch
 	sessions []*Session // every session ever created, for Usage
+
+	// batchMu serializes ClassifyBatch executions and sharedMu the
+	// shared-session Classify calls. Both are separate from p.mu so a
+	// running presentation never blocks Usage or NewSession.
+	batchMu  sync.Mutex
+	sharedMu sync.Mutex
 }
 
 // New builds a pipeline over a compiled mapping.
@@ -176,32 +183,41 @@ func (p *Pipeline) NewSession() *Session {
 }
 
 // Classify runs one presentation of values on the pipeline's shared
-// session. Calls are serialized; for concurrency use ClassifyBatch or
-// per-goroutine sessions.
+// session. Calls are serialized against each other, but a running
+// presentation does not block Usage, NewSession or batches; for
+// concurrency use ClassifyBatch, Async or per-goroutine sessions.
 func (p *Pipeline) Classify(ctx context.Context, values []float64) (int, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.shared == nil {
 		p.shared = p.newSessionLocked()
 	}
-	return p.shared.Classify(ctx, values)
+	s := p.shared
+	p.mu.Unlock()
+	p.sharedMu.Lock()
+	defer p.sharedMu.Unlock()
+	return s.Classify(ctx, values)
 }
 
 // ClassifyBatch classifies every input, fanning them across the
 // session pool (WithWorkers). Each input is one independent
 // presentation, so the results are bit-identical to classifying the
 // same inputs sequentially on a single session. The first error (or
-// context cancellation) stops the batch. Calls are serialized.
+// context cancellation) stops the batch; on any error the returned
+// results are nil — class 0 is a valid label, so partial results are
+// never handed back. Calls are serialized against each other, but a
+// running batch does not block Usage, NewSession or Classify.
 func (p *Pipeline) ClassifyBatch(ctx context.Context, inputs [][]float64) ([]int, error) {
 	if len(inputs) == 0 {
 		return nil, nil
 	}
+	p.batchMu.Lock()
+	defer p.batchMu.Unlock()
 	p.mu.Lock()
 	for len(p.pool) < p.cfg.workers {
 		p.pool = append(p.pool, p.newSessionLocked())
 	}
 	pool := p.pool
-	defer p.mu.Unlock()
+	p.mu.Unlock()
 
 	n := len(pool)
 	if n > len(inputs) {
@@ -242,20 +258,29 @@ func (p *Pipeline) ClassifyBatch(ctx context.Context, inputs [][]float64) ([]int
 	if firstErr == nil {
 		firstErr = ctx.Err()
 	}
-	return results, firstErr
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // Usage aggregates activity across every session the pipeline created,
 // priced as one chip running the summed tick count — i.e. the energy a
 // single time-multiplexed chip would spend serving the same stream, so
 // per-classification figures are independent of the pool size.
+//
+// Sessions may be mid-presentation on other goroutines when Usage is
+// called, so it reads each session's last accounting snapshot (updated
+// at every Reset, completed Classify, and stream operation) rather
+// than its live counters: the figures are exact up to the last
+// completed operation and never block on running work.
 func (p *Pipeline) Usage(hardware bool) energy.Usage {
 	p.mu.Lock()
 	sessions := append([]*Session(nil), p.sessions...)
 	p.mu.Unlock()
 	var total energy.Usage
 	for _, s := range sessions {
-		u := s.Usage(hardware)
+		u := s.snapshotUsage(hardware)
 		total.SynapticEvents += u.SynapticEvents
 		total.AxonEvents += u.AxonEvents
 		total.NeuronUpdates += u.NeuronUpdates
@@ -276,6 +301,13 @@ type Session struct {
 	enc    codec.Encoder
 	dec    codec.Decoder
 	ticks  uint64 // ticks retired before the last Reset
+
+	// snapMu guards the presentation-boundary activity snapshot that
+	// Pipeline.Usage reads; the live chip counters belong to the owning
+	// goroutine alone.
+	snapMu    sync.Mutex
+	snapCtr   chip.Counters
+	snapTicks uint64
 }
 
 // Runner exposes the session's runner (for probes and counters).
@@ -301,11 +333,36 @@ func (s *Session) Reset() {
 	if s.dec != nil {
 		s.dec.Reset()
 	}
+	s.storeUsage()
 }
 
 // Usage extracts the session's activity record for energy pricing.
+// It reads the live chip counters, so only the goroutine running the
+// session may call it mid-presentation; Pipeline.Usage aggregates the
+// boundary snapshots instead.
 func (s *Session) Usage(hardware bool) energy.Usage {
 	return energy.FromChip(s.runner.Chip().Counters(), s.p.mapping.Stats.UsedCores, s.Ticks(), hardware)
+}
+
+// storeUsage records the current activity as the session's
+// accounting snapshot. Called at every Reset, at the end of each
+// Classify, and after every stream operation, so abandoned streams
+// stay fully accounted.
+func (s *Session) storeUsage() {
+	ctr := s.runner.Chip().Counters()
+	ticks := s.Ticks()
+	s.snapMu.Lock()
+	s.snapCtr = ctr
+	s.snapTicks = ticks
+	s.snapMu.Unlock()
+}
+
+// snapshotUsage prices the last stored boundary snapshot.
+func (s *Session) snapshotUsage(hardware bool) energy.Usage {
+	s.snapMu.Lock()
+	ctr, ticks := s.snapCtr, s.snapTicks
+	s.snapMu.Unlock()
+	return energy.FromChip(ctr, s.p.mapping.Stats.UsedCores, ticks, hardware)
 }
 
 // encodeTick encodes one value frame into line injections.
@@ -366,6 +423,7 @@ func (s *Session) Classify(ctx context.Context, values []float64) (int, error) {
 		s.feed(s.runner.Step())
 	}
 	s.feed(s.runner.Drain(s.p.cfg.drain))
+	s.storeUsage()
 	return s.dec.Decide(), nil
 }
 
@@ -419,6 +477,7 @@ func (st *Stream) Inject(line int32) error {
 	if err := st.err(); err != nil {
 		return err
 	}
+	defer st.s.storeUsage()
 	return st.s.runner.InjectLine(line)
 }
 
@@ -428,6 +487,7 @@ func (st *Stream) Tick() ([]Label, error) {
 	if err := st.err(); err != nil {
 		return nil, err
 	}
+	defer st.s.storeUsage()
 	return st.s.observe(st.s.runner.Step(), nil), nil
 }
 
@@ -440,6 +500,7 @@ func (st *Stream) Push(values []float64) ([]Label, error) {
 	if st.s.enc == nil {
 		return nil, errors.New("pipeline: Push needs WithEncoder")
 	}
+	defer st.s.storeUsage()
 	if err := st.s.encodeTick(values); err != nil {
 		return nil, err
 	}
@@ -450,9 +511,15 @@ func (st *Stream) Push(values []float64) ([]Label, error) {
 // ticks consecutive ticks — one presentation on persistent chip state,
 // the frame-by-frame idiom of always-on detection.
 func (st *Stream) Present(values []float64, ticks int) ([]Label, error) {
+	// Validity first, matching Push/Tick/Inject: a closed or cancelled
+	// stream must not clobber encoder phase.
+	if err := st.err(); err != nil {
+		return nil, err
+	}
 	if st.s.enc == nil {
 		return nil, errors.New("pipeline: Present needs WithEncoder")
 	}
+	defer st.s.storeUsage()
 	st.s.enc.Reset()
 	var labels []Label
 	for t := 0; t < ticks; t++ {
@@ -474,5 +541,7 @@ func (st *Stream) Drain() ([]Label, error) {
 		return nil, err
 	}
 	st.closed = true
-	return st.s.observe(st.s.runner.Drain(st.s.p.cfg.drain), nil), nil
+	labels := st.s.observe(st.s.runner.Drain(st.s.p.cfg.drain), nil)
+	st.s.storeUsage()
+	return labels, nil
 }

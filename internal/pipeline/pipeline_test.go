@@ -193,6 +193,165 @@ func TestStreamLifecycle(t *testing.T) {
 	}
 }
 
+// TestUsageNotBlockedByBatch pins the batch-lock fix: a running
+// ClassifyBatch must not block Usage, NewSession or Classify on the
+// pipeline mutex. Before the fix this test deadlocked — the batch held
+// p.mu for its whole duration while the gate encoder wedged it.
+func TestUsageNotBlockedByBatch(t *testing.T) {
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4),
+		WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ClassifyBatch(context.Background(), rg.x[:4])
+		done <- err
+	}()
+	<-gate.started // the batch is mid-presentation, wedged on the gate
+	p.Usage(true)  // must return, not wait for the batch
+	p.NewSession() // likewise
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUsageNotBlockedByClassify is the shared-session analogue: a
+// presentation running through Pipeline.Classify must not pin p.mu
+// either.
+func TestUsageNotBlockedByClassify(t *testing.T) {
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Classify(context.Background(), rg.x[0])
+		done <- err
+	}()
+	<-gate.started // the shared session is mid-presentation, wedged
+	p.Usage(true)
+	p.NewSession()
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUsageCountsAbandonedStream pins the accounting fix: a stream
+// whose context is cancelled before Drain still contributes its pushed
+// activity to Pipeline.Usage through the per-operation snapshots.
+func TestUsageCountsAbandonedStream(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	st := p.NewSession().Stream(ctx)
+	for i := 0; i < 8; i++ {
+		if _, err := st.Push(rg.x[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel() // abandon: Drain can no longer run
+	if _, err := st.Drain(); err == nil {
+		t.Fatal("Drain on a cancelled stream succeeded")
+	}
+	if u := p.Usage(true); u.Ticks != 8 {
+		t.Fatalf("abandoned stream accounted %d ticks, want 8", u.Ticks)
+	}
+}
+
+// TestClassifyBatchErrorReturnsNilResults pins the error contract:
+// class 0 is a valid label, so a failed batch must return nil results,
+// never a zero-filled slice a caller could mistake for labels.
+func TestClassifyBatchErrorReturnsNilResults(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := p.ClassifyBatch(ctx, rg.x)
+	if err == nil {
+		t.Fatal("cancelled batch reported no error")
+	}
+	if results != nil {
+		t.Fatalf("cancelled batch returned results %v, want nil", results)
+	}
+}
+
+// TestOutOfRangeClassDropped pins the serving-path robustness fix: a
+// ClassMapper emitting a class beyond the decoder's range must be
+// dropped by ObserveAt, not crash the presentation.
+func TestOutOfRangeClassDropped(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t, WithClassMapper(func(id model.NeuronID) int {
+		return 1 << 20 // far beyond the 10-class counter
+	}))
+	if _, err := p.Classify(context.Background(), rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// resetCountingEncoder wraps an encoder and counts Reset calls.
+type resetCountingEncoder struct {
+	codec.Encoder
+	resets int
+}
+
+func (r *resetCountingEncoder) Reset() { r.resets++; r.Encoder.Reset() }
+func (r *resetCountingEncoder) Clone() codec.Encoder {
+	return r // shared so the test can observe the session's clone
+}
+
+// TestPresentOnDeadStream pins the Present ordering fix: a closed or
+// cancelled stream must be rejected before the encoder is touched, so
+// stale callers cannot clobber encoder phase.
+func TestPresentOnDeadStream(t *testing.T) {
+	rg := buildRig(t)
+	enc := &resetCountingEncoder{Encoder: codec.NewBernoulli(0.5, 7)}
+	p, err := New(rg.mapping,
+		WithEncoder(enc),
+		WithDecoder(codec.NewCounter(10)),
+		WithLineMapper(TwinLines(rg.cls.LinesFor)),
+		WithClassMapper(rg.cls.ClassOf),
+		WithWindow(4),
+		WithDrain(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.NewSession().Stream(context.Background())
+	if _, err := st.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	before := enc.resets
+	if _, err := st.Present(rg.x[0], 4); err == nil {
+		t.Fatal("Present on a drained stream succeeded")
+	}
+	if enc.resets != before {
+		t.Fatalf("Present on a dead stream reset the encoder (%d -> %d)", before, enc.resets)
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	st2 := p.NewSession().Stream(cctx)
+	cancel()
+	before = enc.resets
+	if _, err := st2.Present(rg.x[0], 4); err == nil {
+		t.Fatal("Present on a cancelled stream succeeded")
+	}
+	if enc.resets != before {
+		t.Fatalf("Present on a cancelled stream reset the encoder (%d -> %d)", before, enc.resets)
+	}
+}
+
 func TestUsageAccumulatesAcrossResets(t *testing.T) {
 	rg := buildRig(t)
 	p := rg.pipeline(t)

@@ -174,11 +174,23 @@ func (r *Runner) Step() []Event {
 	return ready
 }
 
+// drainFlushCap bounds the additional ticks Drain runs beyond
+// extraTicks to empty r.pending. The hold-one-tick rule means a lag-0
+// output firing on a drain tick is still pending when that tick ends,
+// and residual activity can keep producing such events; the cap keeps
+// Drain finite on self-sustaining networks (ResetNone, negative leak).
+const drainFlushCap = 64
+
 // Drain runs idle ticks until all pending lagged events are flushed and
-// returns them. Call after the last meaningful tick.
+// returns them. Call after the last meaningful tick. It always runs
+// extraTicks steps (the caller's decay/lag budget), then keeps stepping
+// while events remain pending, up to drainFlushCap further ticks.
 func (r *Runner) Drain(extraTicks int) []Event {
 	var out []Event
 	for i := 0; i < extraTicks; i++ {
+		out = append(out, r.Step()...)
+	}
+	for i := 0; len(r.pending) > 0 && i < drainFlushCap; i++ {
 		out = append(out, r.Step()...)
 	}
 	return out

@@ -322,6 +322,39 @@ func TestRunnerResetBitIdentical(t *testing.T) {
 	}
 }
 
+// TestDrainFlushesHeldEvents pins the Drain contract: an output that
+// fires on the last executed tick is still held in r.pending (the
+// hold-one-tick emission rule), and Drain must flush it even when the
+// caller's extra-tick budget is already spent. Before the fix,
+// Drain(extraTicks) ran exactly extraTicks steps and silently stranded
+// such events until the next Reset dropped them.
+func TestDrainFlushesHeldEvents(t *testing.T) {
+	mp, err := compile.Compile(pulseNet(), compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(mp, EngineEvent, 1)
+	if err := r.InjectLine(0); err != nil {
+		t.Fatal(err)
+	}
+	// Inject at t0 -> A fires t1 -> B (the output) fires t2. Step
+	// through tick 2: B's event is observed but held pending.
+	var evs []Event
+	for i := 0; i < 3; i++ {
+		evs = append(evs, r.Step()...)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("events before drain = %+v, want none (held)", evs)
+	}
+	evs = r.Drain(0)
+	if len(evs) != 1 || evs[0].Tick != 2 || evs[0].Neuron != 1 {
+		t.Fatalf("Drain(0) = %+v, want the held [{2 1}]", evs)
+	}
+	if evs = r.Drain(0); len(evs) != 0 {
+		t.Fatalf("second Drain = %+v, want none", evs)
+	}
+}
+
 func TestRunnerResetPreservesCounters(t *testing.T) {
 	mp, err := compile.Compile(pulseNet(), compile.Options{})
 	if err != nil {

@@ -243,6 +243,47 @@ func TwinLines(linesFor func(int) (int32, int32)) LineMapper {
 	return pipeline.TwinLines(linesFor)
 }
 
+// ---- Async serving ----
+
+// AsyncPipeline is the non-blocking serving front-end of a Pipeline: a
+// bounded submit queue in front of a worker pool of sessions, with
+// channel-based submit/collect. Build one with Pipeline.Async:
+//
+//	ap := p.Async(neurogo.WithAsyncWorkers(8), neurogo.WithQueueDepth(64))
+//	results := ap.Results() // subscribe before submitting
+//	go func() {
+//		for _, img := range images {
+//			ap.Submit(ctx, img) // or keep the returned channel per request
+//		}
+//		ap.Close() // drains queued + in-flight work, then results closes
+//	}()
+//	for r := range results { // drain obligation: read until closed
+//		handle(r.Seq, r.Class, r.Err)
+//	}
+//
+// Completions arrive out of submission order; re-order by AsyncResult.Seq.
+// Re-ordered results are bit-identical to sequential classification.
+type AsyncPipeline = pipeline.AsyncPipeline
+
+// AsyncResult is one asynchronous classification outcome (sequence
+// number, class, error).
+type AsyncResult = pipeline.Result
+
+// AsyncOption configures Pipeline.Async.
+type AsyncOption = pipeline.AsyncOption
+
+// ErrAsyncClosed is the error an AsyncResult carries for submissions
+// made after AsyncPipeline.Close.
+var ErrAsyncClosed = pipeline.ErrClosed
+
+// WithAsyncWorkers sets the async worker-pool size (default: the
+// pipeline's WithWorkers value).
+func WithAsyncWorkers(n int) AsyncOption { return pipeline.WithAsyncWorkers(n) }
+
+// WithQueueDepth bounds the async submit queue — the backpressure
+// knob (default 2x workers).
+func WithQueueDepth(n int) AsyncOption { return pipeline.WithQueueDepth(n) }
+
 // SessionUsageOf extracts a session's cumulative activity record for
 // energy pricing (the session analogue of UsageOf).
 func SessionUsageOf(s *PipelineSession, hardware bool) EnergyUsage {

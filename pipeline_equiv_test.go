@@ -146,3 +146,59 @@ func TestClassifyBatchBitIdentical(t *testing.T) {
 		t.Fatalf("classifier got %d/%d on easy digits; pipeline is mis-wired", hits, len(rg.x))
 	}
 }
+
+// TestAsyncBitIdentical asserts the async acceptance criterion through
+// the public API: results collected from the AsyncPipeline stream and
+// re-ordered by sequence number are bit-identical to sequential
+// Classify on the same inputs.
+func TestAsyncBitIdentical(t *testing.T) {
+	rg := buildEquivRig(t)
+	ctx := context.Background()
+	mk := func() *Pipeline {
+		p, err := NewPipeline(rg.mapping,
+			WithEncoder(NewBernoulliEncoder(0.5, 7)),
+			WithDecoder(NewCounterDecoder(NumDigitClasses)),
+			WithLineMapper(TwinLines(rg.cls.LinesFor)),
+			WithClassMapper(rg.cls.ClassOf),
+			WithWindow(16),
+			WithDrain(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	seq := mk()
+	want := make([]int, len(rg.x))
+	for i, img := range rg.x {
+		c, err := seq.Classify(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+
+	ap := mk().Async(WithAsyncWorkers(8), WithQueueDepth(4))
+	results := ap.Results()
+	for _, img := range rg.x {
+		ap.Submit(ctx, img)
+	}
+	ap.Close()
+	got := make([]int, len(rg.x))
+	n := 0
+	for r := range results {
+		if r.Err != nil {
+			t.Fatalf("seq %d: %v", r.Seq, r.Err)
+		}
+		got[r.Seq] = r.Class
+		n++
+	}
+	if n != len(rg.x) {
+		t.Fatalf("async stream delivered %d results, want %d", n, len(rg.x))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("input %d: async %d, sequential %d", i, got[i], want[i])
+		}
+	}
+}
