@@ -86,8 +86,11 @@ var throughputRig struct {
 	once    sync.Once
 	cls     *Classifier
 	mapping *Mapping
-	x       [][]float64
-	err     error
+	// sysMapping is the same network on an even grid, so it tiles
+	// exactly into the multi-chip benchmarks' 2x2 tile.
+	sysMapping *Mapping
+	x          [][]float64
+	err        error
 }
 
 func throughputSetup() error {
@@ -102,6 +105,13 @@ func throughputSetup() error {
 		net := NewNetwork()
 		throughputRig.cls = BuildClassifier(net, m.Ternarize(1.3), "digits", DefaultClassifierParams())
 		throughputRig.mapping, throughputRig.err = Compile(net, CompileOptions{Seed: 1})
+		if throughputRig.err != nil {
+			return
+		}
+		st := throughputRig.mapping.Stats
+		throughputRig.sysMapping, throughputRig.err = Compile(net, CompileOptions{
+			Seed: 1, Width: st.GridWidth + st.GridWidth%2, Height: st.GridHeight + st.GridHeight%2,
+		})
 		throughputRig.x, _ = gen.Batch(64)
 	})
 	return throughputRig.err
@@ -145,6 +155,47 @@ func throughputPipeline() (*Pipeline, error) {
 		WithClassMapper(throughputRig.cls.ClassOf),
 		WithWindow(16),
 		WithDrain(10))
+}
+
+// BenchmarkSystemThroughput measures served classifications/sec when
+// one logical model spans a multi-chip tile, at the same batch sizes
+// as BenchmarkPipelineThroughput, for a 1x1 tile (single chip through
+// the system backend) and a 2x2 tile. Each run also reports the
+// inter-chip spike fraction — the boundary-traffic metric the tiled
+// deployments of the paper are won or lost on — seeding the perf
+// trajectory for boundary-aware placement and sharding work.
+func BenchmarkSystemThroughput(b *testing.B) {
+	if err := throughputSetup(); err != nil {
+		b.Fatal(err)
+	}
+	st := throughputRig.sysMapping.Stats
+	for _, tile := range []struct{ x, y int }{{1, 1}, {2, 2}} {
+		for _, size := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("tile-%dx%d/batch-%d", tile.x, tile.y, size), func(b *testing.B) {
+				p, err := NewPipeline(throughputRig.sysMapping,
+					WithEncoder(NewBernoulliEncoder(0.5, 99)),
+					WithDecoder(NewCounterDecoder(NumDigitClasses)),
+					WithLineMapper(TwinLines(throughputRig.cls.LinesFor)),
+					WithClassMapper(throughputRig.cls.ClassOf),
+					WithWindow(16),
+					WithDrain(10),
+					WithSystem(st.GridWidth/tile.x, st.GridHeight/tile.y))
+				if err != nil {
+					b.Fatal(err)
+				}
+				inputs := throughputRig.x[:size]
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+				b.ReportMetric(PipelineTrafficOf(p).InterChipFraction, "interchip-frac")
+			})
+		}
+	}
 }
 
 // BenchmarkAsyncThroughput measures served classifications/sec through

@@ -7,6 +7,7 @@
 //
 //	nsim -spec net.json
 //	nsim -spec net.json -engine dense -ticks 200
+//	nsim -spec net.json -chips 2x2   # serve across a 2x2 multi-chip tile
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/neurogo/neurogo"
 	"github.com/neurogo/neurogo/internal/report"
@@ -28,6 +31,7 @@ func main() {
 		workers  = flag.Int("workers", 2, "goroutines for the parallel engine")
 		ticks    = flag.Int("ticks", 0, "override the spec's simulation length")
 		raster   = flag.Bool("raster", true, "print an output raster")
+		chips    = flag.String("chips", "", "tile the compiled grid across WxH physical chips (e.g. 2x2) and report boundary traffic")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -35,13 +39,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *engine, *workers, *ticks, *raster); err != nil {
+	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips); err != nil {
 		fmt.Fprintln(os.Stderr, "nsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, engineName string, workers, ticksOverride int, raster bool) error {
+// parseChips parses a WxH chip-tile spec like "2x2".
+func parseChips(s string) (w, h int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) == 2 {
+		w, werr := strconv.Atoi(parts[0])
+		h, herr := strconv.Atoi(parts[1])
+		if werr == nil && herr == nil && w > 0 && h > 0 {
+			return w, h, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("invalid -chips %q (want WxH, e.g. 2x2)", s)
+}
+
+func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -75,10 +92,23 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool) e
 		built.Net.Neurons(), built.Net.InputLines(),
 		st.UsedCores, st.Relays, st.GridWidth, st.GridHeight)
 
-	p, err := neurogo.NewPipeline(built.Mapping,
+	opts := []neurogo.PipelineOption{
 		neurogo.WithEngine(eng),
 		neurogo.WithEngineWorkers(workers),
-		neurogo.WithDrain(4))
+		neurogo.WithDrain(4),
+	}
+	if chips != "" {
+		cw, ch, err := parseChips(chips)
+		if err != nil {
+			return err
+		}
+		if st.GridWidth%cw != 0 || st.GridHeight%ch != 0 {
+			return fmt.Errorf("%dx%d-core grid does not tile across %dx%d chips", st.GridWidth, st.GridHeight, cw, ch)
+		}
+		opts = append(opts, neurogo.WithSystem(st.GridWidth/cw, st.GridHeight/ch))
+		fmt.Printf("tiled across %dx%d chips of %dx%d cores each\n", cw, ch, st.GridWidth/cw, st.GridHeight/ch)
+	}
+	p, err := neurogo.NewPipeline(built.Mapping, opts...)
 	if err != nil {
 		return err
 	}
@@ -136,6 +166,13 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool) e
 	tb.AddRow("synaptic events", report.I(int64(u.SynapticEvents)))
 	tb.AddRow("spikes", report.I(int64(u.Spikes)))
 	tb.AddRow("routed hops", report.I(int64(u.Hops)))
+	if bt := session.Traffic(); bt.Chips > 1 {
+		tb.AddRow("physical chips", report.I(int64(bt.Chips)))
+		tb.AddRow("intra-chip spikes", report.I(int64(bt.IntraChip)))
+		tb.AddRow("inter-chip spikes", report.I(int64(bt.InterChip)))
+		tb.AddRow("inter-chip fraction", report.F(bt.InterChipFraction))
+		tb.AddRow("busiest link", report.I(int64(bt.BusiestLink)))
+	}
 	tb.AddRow("total energy (nJ)", report.F(rep.TotalPJ*1e-3))
 	tb.AddRow("mean power (uW)", report.F(rep.MeanPowerW*1e6))
 	fmt.Println()

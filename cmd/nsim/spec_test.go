@@ -102,8 +102,34 @@ func TestRunPulseSpecEndToEnd(t *testing.T) {
 		t.Skip("example spec not present")
 	}
 	for _, eng := range []string{"event", "dense", "parallel"} {
-		if err := run(path, eng, 2, 0, false); err != nil {
+		if err := run(path, eng, 2, 0, false, ""); err != nil {
 			t.Fatalf("engine %s: %v", eng, err)
+		}
+	}
+}
+
+func TestRunPulseSpecTiled(t *testing.T) {
+	// The same spec served across a 1x1 chip tile (always divides) must
+	// run cleanly and report zero inter-chip traffic.
+	path := "../../examples/specs/pulse.json"
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("example spec not present")
+	}
+	if err := run(path, "event", 1, 0, false, "1x1"); err != nil {
+		t.Fatalf("tiled run: %v", err)
+	}
+	if err := run(path, "event", 1, 0, false, "wat"); err == nil {
+		t.Fatal("invalid -chips accepted")
+	}
+}
+
+func TestParseChips(t *testing.T) {
+	if w, h, err := parseChips("2x3"); err != nil || w != 2 || h != 3 {
+		t.Fatalf("parseChips(2x3) = %d,%d,%v", w, h, err)
+	}
+	for _, bad := range []string{"", "2", "0x2", "2x", "ax2", "2x-1", "2x2x4", "2x2junk"} {
+		if _, _, err := parseChips(bad); err == nil {
+			t.Errorf("parseChips(%q) accepted", bad)
 		}
 	}
 }

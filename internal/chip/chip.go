@@ -87,7 +87,12 @@ type Counters struct {
 	InputSpikes uint64
 }
 
-// Chip is the runtime state of one chip.
+// Chip is the runtime state of one chip. It is the single-chip
+// implementation of the sim.Backend execution seam (Tick/TickDense/
+// TickParallel, Inject, Reset, Now, Counters); system.System wraps one
+// Chip into the multi-chip implementation, and everything above the
+// seam — Runner, pipeline sessions, streams, batches, async serving —
+// runs bit-identically over either.
 type Chip struct {
 	cfg   *Config
 	cores []*core.Core

@@ -34,6 +34,13 @@ type Coefficients struct {
 	SpikePJ float64
 	// HopPJ is charged per router hop per packet.
 	HopPJ float64
+	// InterChipSpikePJ is charged per spike crossing a chip-to-chip
+	// link in a multi-chip tile, on top of its mesh hops: off-chip
+	// serdes I/O costs orders of magnitude more per event than an
+	// on-chip router hop, which is why boundary traffic is the scarce
+	// resource of tiled systems. Zero for single-chip workloads (no
+	// crossings are ever counted).
+	InterChipSpikePJ float64
 	// CoreLeakUW is static leakage per core in microwatts.
 	CoreLeakUW float64
 }
@@ -42,12 +49,13 @@ type Coefficients struct {
 // package comment for the operating point it reproduces).
 func DefaultCoefficients() Coefficients {
 	return Coefficients{
-		SynapticEventPJ: 12,
-		AxonEventPJ:     24,
-		NeuronUpdatePJ:  4,
-		SpikePJ:         30,
-		HopPJ:           26,
-		CoreLeakUW:      6.35,
+		SynapticEventPJ:  12,
+		AxonEventPJ:      24,
+		NeuronUpdatePJ:   4,
+		SpikePJ:          30,
+		HopPJ:            26,
+		InterChipSpikePJ: 2600, // ~100 on-chip hops per off-chip serdes crossing
+		CoreLeakUW:       6.35,
 	}
 }
 
@@ -58,12 +66,13 @@ func DefaultCoefficients() Coefficients {
 // in the energy comparisons; treat Cores as 1 (the host).
 func ConventionalCoefficients() Coefficients {
 	return Coefficients{
-		SynapticEventPJ: 640, // ~2 DRAM line touches + ALU per event
-		AxonEventPJ:     100,
-		NeuronUpdatePJ:  200, // state load/store through the cache
-		SpikePJ:         50,
-		HopPJ:           0,    // no spike fabric
-		CoreLeakUW:      12e6, // ~12 W host idle power
+		SynapticEventPJ:  640, // ~2 DRAM line touches + ALU per event
+		AxonEventPJ:      100,
+		NeuronUpdatePJ:   200, // state load/store through the cache
+		SpikePJ:          50,
+		HopPJ:            0,    // no spike fabric
+		InterChipSpikePJ: 0,    // ... and no chip-to-chip links either
+		CoreLeakUW:       12e6, // ~12 W host idle power
 	}
 }
 
@@ -74,11 +83,28 @@ type Usage struct {
 	NeuronUpdates  uint64
 	Spikes         uint64
 	Hops           uint64
+	// IntraChipSpikes and InterChipSpikes split the routed spikes of a
+	// multi-chip tile by whether they crossed a chip-to-chip link; both
+	// are zero for single-chip workloads. InterChipSpikes carries the
+	// InterChipSpikePJ surcharge.
+	IntraChipSpikes uint64
+	InterChipSpikes uint64
 	// Ticks is the number of simulated ticks, which determines wall
 	// time (Ticks x TickSeconds) and hence leakage energy.
 	Ticks uint64
 	// Cores is the number of powered cores.
 	Cores int
+}
+
+// InterChipFraction returns the fraction of boundary-classified routed
+// spikes that crossed chip-to-chip links (0 when nothing was classified,
+// i.e. on single-chip backends).
+func (u Usage) InterChipFraction() float64 {
+	total := u.IntraChipSpikes + u.InterChipSpikes
+	if total == 0 {
+		return 0
+	}
+	return float64(u.InterChipSpikes) / float64(total)
 }
 
 // FromChip extracts Usage from chip counters. If hardwareNeuronUpdates is
@@ -112,6 +138,9 @@ type Report struct {
 	NeuronPJ   float64
 	SpikePJ    float64
 	HopPJ      float64
+	// InterChipPJ is the chip-to-chip link surcharge of a multi-chip
+	// tile (zero for single-chip workloads).
+	InterChipPJ float64
 	// LeakPJ is static energy over the run's wall time.
 	LeakPJ float64
 	// TotalPJ is the sum of all categories.
@@ -135,11 +164,12 @@ func (c Coefficients) Evaluate(u Usage) Report {
 		NeuronPJ:    float64(u.NeuronUpdates) * c.NeuronUpdatePJ,
 		SpikePJ:     float64(u.Spikes) * c.SpikePJ,
 		HopPJ:       float64(u.Hops) * c.HopPJ,
+		InterChipPJ: float64(u.InterChipSpikes) * c.InterChipSpikePJ,
 		WallSeconds: float64(u.Ticks) * TickSeconds,
 	}
 	// leak: cores x uW x seconds = 1e-6 J/s x s -> J; convert to pJ (1e12).
 	r.LeakPJ = float64(u.Cores) * c.CoreLeakUW * r.WallSeconds * 1e6
-	r.TotalPJ = r.SynapticPJ + r.AxonPJ + r.NeuronPJ + r.SpikePJ + r.HopPJ + r.LeakPJ
+	r.TotalPJ = r.SynapticPJ + r.AxonPJ + r.NeuronPJ + r.SpikePJ + r.HopPJ + r.InterChipPJ + r.LeakPJ
 	if r.WallSeconds > 0 {
 		r.MeanPowerW = r.TotalPJ * 1e-12 / r.WallSeconds
 	}

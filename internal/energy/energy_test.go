@@ -136,3 +136,34 @@ func TestEnergyPerEventDropsWithActivity(t *testing.T) {
 		t.Errorf("pJ/event must drop with activity: %.1f (5Hz) vs %.1f (100Hz)", lo, hi)
 	}
 }
+
+// TestInterChipSurcharge pins the multi-chip pricing: inter-chip spikes
+// add exactly InterChipSpikePJ each to the total, zero-traffic usage is
+// priced as before, and the fraction helper splits correctly.
+func TestInterChipSurcharge(t *testing.T) {
+	coef := DefaultCoefficients()
+	base := Usage{SynapticEvents: 100, Spikes: 10, Hops: 40, Ticks: 10, Cores: 4}
+	plain := coef.Evaluate(base)
+	if plain.InterChipPJ != 0 {
+		t.Fatalf("single-chip usage priced %g pJ of link traffic", plain.InterChipPJ)
+	}
+	tiled := base
+	tiled.IntraChipSpikes = 30
+	tiled.InterChipSpikes = 10
+	rep := coef.Evaluate(tiled)
+	if want := 10 * coef.InterChipSpikePJ; rep.InterChipPJ != want {
+		t.Fatalf("InterChipPJ = %g, want %g", rep.InterChipPJ, want)
+	}
+	if rep.TotalPJ != plain.TotalPJ+rep.InterChipPJ {
+		t.Fatalf("total %g, want plain %g + surcharge %g", rep.TotalPJ, plain.TotalPJ, rep.InterChipPJ)
+	}
+	if f := tiled.InterChipFraction(); f != 0.25 {
+		t.Fatalf("InterChipFraction = %g, want 0.25", f)
+	}
+	if f := base.InterChipFraction(); f != 0 {
+		t.Fatalf("no-traffic fraction = %g", f)
+	}
+	if conv := ConventionalCoefficients().Evaluate(tiled); conv.InterChipPJ != 0 {
+		t.Fatal("conventional baseline has no chip-to-chip links")
+	}
+}

@@ -112,7 +112,10 @@ type AsyncPipeline struct {
 
 // Async builds the asynchronous serving front-end over the pipeline.
 // Worker sessions are registered with the pipeline, so their activity
-// is part of Pipeline.Usage like any other session's.
+// is part of Pipeline.Usage like any other session's — including
+// boundary traffic when the pipeline runs WithSystem: each async
+// worker owns its own multi-chip tile, and Pipeline.Traffic aggregates
+// the pool's crossings race-free while workers serve.
 func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
 	cfg := asyncConfig{workers: p.cfg.workers}
 	for _, o := range opts {

@@ -20,6 +20,15 @@
 // Stream: an incremental mode that accepts per-tick value frames or
 // raw line injections and yields decoded labels as they emerge, with
 // context cancellation.
+//
+// Sessions are backend-agnostic (see sim.Backend): by default each
+// owns a single chip instance, while WithSystem gives each its own
+// multi-chip system tile over the same shared mapping, with chip-to-
+// chip boundary traffic accounted per session and aggregated race-free
+// by Pipeline.Traffic and Pipeline.Usage. Predictions are bit-identical
+// across backends — tiling changes accounting, not routing semantics —
+// so Classify, ClassifyBatch, Stream and Async all run unchanged over
+// either.
 package pipeline
 
 import (
@@ -36,6 +45,7 @@ import (
 	"github.com/neurogo/neurogo/internal/energy"
 	"github.com/neurogo/neurogo/internal/model"
 	"github.com/neurogo/neurogo/internal/sim"
+	"github.com/neurogo/neurogo/internal/system"
 )
 
 // LineMapper maps an encoder emission index (one per value-vector
@@ -71,6 +81,7 @@ type config struct {
 	drain         int
 	lines         LineMapper
 	classes       ClassMapper
+	system        *system.Config // nil = single-chip backend
 }
 
 // WithEngine selects the core evaluation engine (default EngineEvent).
@@ -106,6 +117,22 @@ func WithLineMapper(f LineMapper) Option { return func(c *config) { c.lines = f 
 
 // WithClassMapper sets the output-neuron -> class mapping.
 func WithClassMapper(f ClassMapper) Option { return func(c *config) { c.classes = f } }
+
+// WithSystem runs every session over a multi-chip system backend: the
+// compiled core grid partitioned onto a tile of physical chips of
+// chipCoresX x chipCoresY cores each, with chip-to-chip boundary
+// traffic accounted per session (see Pipeline.Traffic and the
+// InterChipSpikes fields of Usage). Each session owns an independent
+// system instance over the shared mapping, exactly as single-chip
+// sessions own independent chips. Predictions are bit-identical to the
+// single-chip backend — tiling only changes accounting, not routing
+// semantics. New errors if the mapping's core grid does not tile
+// exactly into chips of these dimensions.
+func WithSystem(chipCoresX, chipCoresY int) Option {
+	return func(c *config) {
+		c.system = &system.Config{ChipCoresX: chipCoresX, ChipCoresY: chipCoresY}
+	}
+}
 
 // Pipeline serves inference over one compiled mapping. The mapping is
 // shared read-only across all sessions; see compile.Mapping.
@@ -151,6 +178,11 @@ func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
+	if cfg.system != nil {
+		if err := cfg.system.Validate(m.Chip); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+	}
 	return &Pipeline{mapping: m, cfg: cfg}, nil
 }
 
@@ -159,9 +191,16 @@ func (p *Pipeline) Mapping() *compile.Mapping { return p.mapping }
 
 // newSessionLocked builds and registers a session; p.mu must be held.
 func (p *Pipeline) newSessionLocked() *Session {
-	s := &Session{
-		p:      p,
-		runner: sim.NewRunner(p.mapping, p.cfg.engine, p.cfg.engineWorkers),
+	s := &Session{p: p}
+	if p.cfg.system != nil {
+		r, err := sim.NewSystemRunner(p.mapping, *p.cfg.system, p.cfg.engine, p.cfg.engineWorkers)
+		if err != nil {
+			panic(err) // New validated the tiling; unreachable
+		}
+		s.runner = r
+		s.sys = r.System()
+	} else {
+		s.runner = sim.NewRunner(p.mapping, p.cfg.engine, p.cfg.engineWorkers)
 	}
 	if p.cfg.encoder != nil {
 		s.enc = p.cfg.encoder.Clone()
@@ -286,31 +325,130 @@ func (p *Pipeline) Usage(hardware bool) energy.Usage {
 		total.NeuronUpdates += u.NeuronUpdates
 		total.Spikes += u.Spikes
 		total.Hops += u.Hops
+		total.IntraChipSpikes += u.IntraChipSpikes
+		total.InterChipSpikes += u.InterChipSpikes
 		total.Ticks += u.Ticks
 	}
 	total.Cores = p.mapping.Stats.UsedCores
 	return total
 }
 
-// Session is one independent inference lane: a private chip instance
-// plus codec clones over the pipeline's shared mapping. Not safe for
-// concurrent use; a pipeline hands out as many sessions as needed.
+// BoundaryTraffic summarises multi-chip boundary traffic: how the
+// routed spikes of a tiled deployment split between on-chip mesh hops
+// and scarce chip-to-chip links. All counters are zero (and Chips is 1)
+// for single-chip pipelines.
+type BoundaryTraffic struct {
+	// Chips is the number of physical chips in the tile; ChipsX and
+	// ChipsY are its dimensions.
+	Chips, ChipsX, ChipsY int
+	// IntraChip counts routed spikes that stayed on one physical chip.
+	IntraChip uint64
+	// InterChip counts routed spikes that crossed a chip-to-chip link.
+	InterChip uint64
+	// InterChipFraction is InterChip over all routed spikes (0 when
+	// nothing has been routed).
+	InterChipFraction float64
+	// BusiestLink is the highest single (src chip, dst chip) crossing
+	// count; BusiestSrc/BusiestDst identify that link (-1 when no spike
+	// has crossed any link).
+	BusiestLink            uint64
+	BusiestSrc, BusiestDst int
+}
+
+func singleChipTraffic() BoundaryTraffic {
+	return BoundaryTraffic{Chips: 1, ChipsX: 1, ChipsY: 1, BusiestSrc: -1, BusiestDst: -1}
+}
+
+// summarizeTraffic folds totals and a link matrix into the summary.
+func summarizeTraffic(chipsX, chipsY int, intra, inter uint64, link [][]uint64) BoundaryTraffic {
+	bt := BoundaryTraffic{
+		Chips: chipsX * chipsY, ChipsX: chipsX, ChipsY: chipsY,
+		IntraChip: intra, InterChip: inter,
+		BusiestSrc: -1, BusiestDst: -1,
+	}
+	if total := intra + inter; total > 0 {
+		bt.InterChipFraction = float64(inter) / float64(total)
+	}
+	for i, row := range link {
+		for j, v := range row {
+			if v > bt.BusiestLink {
+				bt.BusiestLink, bt.BusiestSrc, bt.BusiestDst = v, i, j
+			}
+		}
+	}
+	return bt
+}
+
+// Traffic aggregates boundary traffic across every session the
+// pipeline created — the multi-chip observability counterpart of
+// Usage. Like Usage it reads each session's accounting snapshot rather
+// than live counters, so it is race-safe against sessions
+// mid-presentation on other goroutines. The intra/inter totals are
+// exact up to each session's last completed operation; the busiest
+// link is computed over the sessions' summed link matrices (every
+// session tiles the same grid the same way), which refresh at
+// presentation boundaries — per-tick stream operations skip the
+// O(chips^2) matrix snapshot. Single-chip pipelines report the zero
+// summary with Chips == 1.
+func (p *Pipeline) Traffic() BoundaryTraffic {
+	if p.cfg.system == nil {
+		return singleChipTraffic()
+	}
+	p.mu.Lock()
+	sessions := append([]*Session(nil), p.sessions...)
+	p.mu.Unlock()
+	chipsX := p.mapping.Chip.Width / p.cfg.system.ChipCoresX
+	chipsY := p.mapping.Chip.Height / p.cfg.system.ChipCoresY
+	n := chipsX * chipsY
+	sum := make([][]uint64, n)
+	for i := range sum {
+		sum[i] = make([]uint64, n)
+	}
+	var intra, inter uint64
+	for _, s := range sessions {
+		bt, link := s.snapshotTraffic()
+		intra += bt.IntraChip
+		inter += bt.InterChip
+		for i, row := range link {
+			for j, v := range row {
+				sum[i][j] += v
+			}
+		}
+	}
+	return summarizeTraffic(chipsX, chipsY, intra, inter, sum)
+}
+
+// Session is one independent inference lane: a private backend (chip
+// or multi-chip system) plus codec clones over the pipeline's shared
+// mapping. Not safe for concurrent use; a pipeline hands out as many
+// sessions as needed.
 type Session struct {
 	p      *Pipeline
 	runner *sim.Runner
+	sys    *system.System // non-nil when the pipeline runs WithSystem
 	enc    codec.Encoder
 	dec    codec.Decoder
-	ticks  uint64 // ticks retired before the last Reset
 
-	// snapMu guards the presentation-boundary activity snapshot that
-	// Pipeline.Usage reads; the live chip counters belong to the owning
-	// goroutine alone.
-	snapMu    sync.Mutex
-	snapCtr   chip.Counters
-	snapTicks uint64
+	// snapMu guards the activity snapshot that Pipeline.Usage and
+	// Pipeline.Traffic read; the live counters belong to the owning
+	// goroutine alone (all cumulative traffic state lives on the
+	// runner, which folds it across Resets). Traffic totals refresh at
+	// every store (O(1)); the link matrix and busiest-link figures
+	// refresh only at full stores (completed Classify, stream Drain) —
+	// per-tick stream operations skip the O(chips^2) matrix work.
+	// snapLink is freshly allocated at every full store and never
+	// written afterwards, so readers may hold it past the lock.
+	snapMu      sync.Mutex
+	snapCtr     chip.Counters
+	snapTicks   uint64
+	snapTraffic BoundaryTraffic
+	snapLink    [][]uint64
 }
 
 // Runner exposes the session's runner (for probes and counters).
+// Prefer Session.Reset over resetting it directly — the runner folds
+// its own cumulative records, but only Session.Reset also restarts the
+// codecs and refreshes the accounting snapshot.
 func (s *Session) Runner() *sim.Runner { return s.runner }
 
 // Now returns the session's next tick.
@@ -318,14 +456,13 @@ func (s *Session) Now() int64 { return s.runner.Now() }
 
 // Ticks returns the cumulative ticks executed across all resets, the
 // wall-time basis for energy accounting.
-func (s *Session) Ticks() uint64 { return s.ticks + uint64(s.runner.Now()) }
+func (s *Session) Ticks() uint64 { return s.runner.LifetimeTicks() }
 
 // Reset returns the session to a pristine presentation boundary: chip
 // state to power-on, codecs restarted. Activity counters and the
 // cumulative tick count are preserved. A reset session behaves
 // bit-identically to a brand-new one.
 func (s *Session) Reset() {
-	s.ticks += uint64(s.runner.Now())
 	s.runner.Reset()
 	if s.enc != nil {
 		s.enc.Reset()
@@ -333,36 +470,111 @@ func (s *Session) Reset() {
 	if s.dec != nil {
 		s.dec.Reset()
 	}
+	// Totals-only store: after a completed presentation the link-matrix
+	// snapshot is already current (Classify and Drain store in full),
+	// so recomputing it per request would be pure churn. An abandoned
+	// stream's links refresh at the next full store, like any other
+	// per-tick work the light store defers.
 	s.storeUsage()
 }
 
-// Usage extracts the session's activity record for energy pricing.
-// It reads the live chip counters, so only the goroutine running the
+// Usage extracts the session's activity record for energy pricing,
+// including cumulative boundary traffic on system-backed sessions.
+// It reads the live counters, so only the goroutine running the
 // session may call it mid-presentation; Pipeline.Usage aggregates the
 // boundary snapshots instead.
 func (s *Session) Usage(hardware bool) energy.Usage {
-	return energy.FromChip(s.runner.Chip().Counters(), s.p.mapping.Stats.UsedCores, s.Ticks(), hardware)
+	u := energy.FromChip(s.runner.Counters(), s.p.mapping.Stats.UsedCores, s.Ticks(), hardware)
+	u.IntraChipSpikes, u.InterChipSpikes = s.runner.BoundarySpikes()
+	return u
 }
 
-// storeUsage records the current activity as the session's
-// accounting snapshot. Called at every Reset, at the end of each
-// Classify, and after every stream operation, so abandoned streams
-// stay fully accounted.
+// Traffic returns the session's cumulative boundary traffic across
+// all presentations since the session was created. For single-chip
+// pipelines it returns the zero summary with Chips == 1. Like Usage it
+// reads live counters, so only the owning goroutine may call it
+// mid-presentation; Pipeline.Traffic aggregates race-safe snapshots.
+func (s *Session) Traffic() BoundaryTraffic {
+	if s.sys == nil {
+		return singleChipTraffic()
+	}
+	bt, _ := s.liveTraffic()
+	return bt
+}
+
+// liveTraffic computes the cumulative boundary traffic from the
+// runner's Reset-spanning records, returning the summary and the
+// cumulative link matrix (freshly allocated; the caller owns it).
+func (s *Session) liveTraffic() (BoundaryTraffic, [][]uint64) {
+	intra, inter := s.runner.BoundarySpikes()
+	link := s.runner.BoundaryLinks()
+	bt := summarizeTraffic(s.sys.ChipsX(), s.sys.ChipsY(), intra, inter, link)
+	return bt, link
+}
+
+// storeUsage records the current activity (and, on system backends,
+// the O(1) boundary-traffic totals) as the session's accounting
+// snapshot. Called after every stream operation and within every full
+// store, so abandoned streams stay fully accounted. The link matrix
+// and busiest-link figures are carried over from the last full store —
+// refreshing them costs O(chips^2), too much for the per-tick paths.
 func (s *Session) storeUsage() {
-	ctr := s.runner.Chip().Counters()
+	ctr := s.runner.Counters()
 	ticks := s.Ticks()
+	var intra, inter uint64
+	if s.sys != nil {
+		intra, inter = s.runner.BoundarySpikes()
+	}
 	s.snapMu.Lock()
 	s.snapCtr = ctr
 	s.snapTicks = ticks
+	if s.sys != nil {
+		// The snapshot consumers read only the totals (Pipeline.Traffic
+		// re-derives the fraction from summed totals), so the busiest
+		// link and fraction fields are left at their last full store.
+		s.snapTraffic.IntraChip = intra
+		s.snapTraffic.InterChip = inter
+	}
+	s.snapMu.Unlock()
+}
+
+// storeUsageFull additionally refreshes the link matrix and busiest
+// link. Called where a presentation's traffic is complete — the end of
+// each Classify and stream Drain; Reset deliberately stays totals-only
+// (see the comment there).
+func (s *Session) storeUsageFull() {
+	if s.sys == nil {
+		s.storeUsage()
+		return
+	}
+	ctr := s.runner.Counters()
+	ticks := s.Ticks()
+	bt, link := s.liveTraffic()
+	s.snapMu.Lock()
+	s.snapCtr = ctr
+	s.snapTicks = ticks
+	s.snapTraffic = bt
+	s.snapLink = link
 	s.snapMu.Unlock()
 }
 
 // snapshotUsage prices the last stored boundary snapshot.
 func (s *Session) snapshotUsage(hardware bool) energy.Usage {
 	s.snapMu.Lock()
-	ctr, ticks := s.snapCtr, s.snapTicks
+	ctr, ticks, bt := s.snapCtr, s.snapTicks, s.snapTraffic
 	s.snapMu.Unlock()
-	return energy.FromChip(ctr, s.p.mapping.Stats.UsedCores, ticks, hardware)
+	u := energy.FromChip(ctr, s.p.mapping.Stats.UsedCores, ticks, hardware)
+	u.IntraChipSpikes, u.InterChipSpikes = bt.IntraChip, bt.InterChip
+	return u
+}
+
+// snapshotTraffic returns the last stored traffic snapshot and its
+// cumulative link matrix (nil for single-chip sessions; never mutated
+// after the store, so the caller may read it lock-free).
+func (s *Session) snapshotTraffic() (BoundaryTraffic, [][]uint64) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapTraffic, s.snapLink
 }
 
 // encodeTick encodes one value frame into line injections.
@@ -423,7 +635,7 @@ func (s *Session) Classify(ctx context.Context, values []float64) (int, error) {
 		s.feed(s.runner.Step())
 	}
 	s.feed(s.runner.Drain(s.p.cfg.drain))
-	s.storeUsage()
+	s.storeUsageFull()
 	return s.dec.Decide(), nil
 }
 
@@ -473,11 +685,14 @@ func (st *Stream) err() error {
 
 // Inject emits a raw spike on a physical input line at the current
 // tick, bypassing the encoder — the spatio-temporal escape hatch.
+// Inject is the streaming hot path (one call per spiking line per
+// tick), so it does not refresh the accounting snapshot; the next
+// Tick/Push/Present/Drain does, and an injection can only reach the
+// counters once a tick runs, so nothing priced is ever missed.
 func (st *Stream) Inject(line int32) error {
 	if err := st.err(); err != nil {
 		return err
 	}
-	defer st.s.storeUsage()
 	return st.s.runner.InjectLine(line)
 }
 
@@ -542,6 +757,6 @@ func (st *Stream) Drain() ([]Label, error) {
 	}
 	st.closed = true
 	labels := st.s.observe(st.s.runner.Drain(st.s.p.cfg.drain), nil)
-	st.s.storeUsage()
+	st.s.storeUsageFull()
 	return labels, nil
 }

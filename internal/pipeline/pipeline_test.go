@@ -376,3 +376,180 @@ func TestUsageAccumulatesAcrossResets(t *testing.T) {
 		t.Fatalf("pipeline usage = %+v, session usage = %+v", pu, u2)
 	}
 }
+
+// trafficMapping compiles a deterministic multi-core network (input ->
+// a spanning two cores -> b on a third) so core-to-core routed spikes —
+// and hence, on 1x1-core chips, boundary crossings — are guaranteed.
+func trafficMapping(t *testing.T) *compile.Mapping {
+	t.Helper()
+	m := model.New()
+	in := m.AddInputBank("in", 4, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	a := m.AddPopulation("a", 300, proto)
+	b := m.AddPopulation("b", 64, proto)
+	for i := 0; i < 300; i++ {
+		m.Connect(in.Line(i%4), a.ID(i))
+		m.SourceProps(a.ID(i)).Delay = 2
+		m.Connect(model.NeuronNode(a.ID(i)), b.ID(i%64))
+	}
+	for i := 0; i < 64; i++ {
+		m.MarkOutput(b.ID(i))
+	}
+	mp, err := compile.Compile(m, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestWithSystemValidation(t *testing.T) {
+	rg := buildRig(t)
+	if _, err := New(rg.mapping, WithSystem(0, 1)); err == nil {
+		t.Error("zero chip dims accepted")
+	}
+	w := rg.mapping.Chip.Width
+	if _, err := New(rg.mapping, WithSystem(2*w, 1)); err == nil {
+		t.Error("non-tiling chip dims accepted")
+	}
+	if _, err := New(rg.mapping, WithSystem(w, rg.mapping.Chip.Height)); err != nil {
+		t.Errorf("1x1 tile rejected: %v", err)
+	}
+}
+
+// TestSystemBackedClassifyBitIdentical asserts the backend-abstraction
+// contract at the pipeline layer: Classify and ClassifyBatch over a
+// multi-chip tile return exactly the single-chip results.
+func TestSystemBackedClassifyBitIdentical(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	want, err := rg.pipeline(t).ClassifyBatch(ctx, rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysP := rg.pipeline(t, WithSystem(1, 1))
+	got, err := sysP.ClassifyBatch(ctx, rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: system %d, chip %d", i, got[i], want[i])
+		}
+	}
+	s := sysP.NewSession()
+	for i, img := range rg.x[:4] {
+		c, err := s.Classify(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != want[i] {
+			t.Fatalf("image %d: system session %d, chip %d", i, c, want[i])
+		}
+	}
+}
+
+// TestSystemTrafficAccumulates pins the session-level boundary-traffic
+// accounting: identical presentations double every counter (the
+// backend's Reset-zeroed live counters are folded at each presentation
+// boundary), the pipeline aggregate matches, and the inter-chip spike
+// counts flow into Usage.
+func TestSystemTrafficAccumulates(t *testing.T) {
+	mp := trafficMapping(t)
+	p, err := New(mp, WithSystem(1, 1), WithDrain(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSession()
+	ctx := context.Background()
+	present := func() {
+		st := s.Stream(ctx)
+		for _, line := range []int32{0, 1, 2, 3} {
+			if err := st.Inject(line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := st.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := st.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	present()
+	t1 := s.Traffic()
+	if t1.InterChip == 0 {
+		t.Fatal("multi-core rig crossed no 1x1-core chip boundary")
+	}
+	if t1.Chips != mp.Chip.Width*mp.Chip.Height {
+		t.Fatalf("Chips = %d, want %d", t1.Chips, mp.Chip.Width*mp.Chip.Height)
+	}
+	present()
+	t2 := s.Traffic()
+	if t2.IntraChip != 2*t1.IntraChip || t2.InterChip != 2*t1.InterChip {
+		t.Fatalf("identical presentations: %+v then %+v (want doubled)", t1, t2)
+	}
+	if t2.BusiestLink != 2*t1.BusiestLink {
+		t.Fatalf("busiest link %d after two presentations, want %d", t2.BusiestLink, 2*t1.BusiestLink)
+	}
+	if t2.InterChipFraction != t1.InterChipFraction {
+		t.Fatalf("fraction changed across identical presentations: %g -> %g",
+			t1.InterChipFraction, t2.InterChipFraction)
+	}
+
+	pt := p.Traffic()
+	if pt.IntraChip != t2.IntraChip || pt.InterChip != t2.InterChip || pt.BusiestLink != t2.BusiestLink {
+		t.Fatalf("pipeline traffic %+v, session traffic %+v", pt, t2)
+	}
+	u := p.Usage(false)
+	if u.IntraChipSpikes != t2.IntraChip || u.InterChipSpikes != t2.InterChip {
+		t.Fatalf("usage traffic (%d,%d), session traffic %+v",
+			u.IntraChipSpikes, u.InterChipSpikes, t2)
+	}
+	if u.InterChipFraction() != t2.InterChipFraction {
+		t.Fatalf("usage fraction %g, traffic fraction %g", u.InterChipFraction(), t2.InterChipFraction)
+	}
+}
+
+func TestSingleChipTrafficIsZero(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	if _, err := p.Classify(context.Background(), rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, bt := range []BoundaryTraffic{p.Traffic(), p.NewSession().Traffic()} {
+		if bt.Chips != 1 || bt.InterChip != 0 || bt.InterChipFraction != 0 || bt.BusiestSrc != -1 {
+			t.Fatalf("single-chip traffic = %+v", bt)
+		}
+	}
+	if u := p.Usage(false); u.IntraChipSpikes != 0 || u.InterChipSpikes != 0 {
+		t.Fatalf("single-chip usage carries traffic: %+v", u)
+	}
+}
+
+// TestTrafficNotBlockedByBatch is the race-safety contract: Traffic and
+// Usage may be called while a system-backed batch is mid-flight on
+// other goroutines (the -race CI run keeps this honest).
+func TestTrafficNotBlockedByBatch(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t, WithSystem(1, 1), WithWorkers(4))
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ClassifyBatch(ctx, rg.x)
+		done <- err
+	}()
+	for i := 0; i < 100; i++ {
+		_ = p.Traffic()
+		_ = p.Usage(true)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	bt := p.Traffic()
+	if bt.IntraChip+bt.InterChip == 0 && rg.mapping.Stats.UsedCores > 1 {
+		t.Fatal("no traffic recorded after batch")
+	}
+}

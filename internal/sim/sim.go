@@ -2,12 +2,13 @@
 //
 // Two executors are provided:
 //
-//   - Runner drives a compiled chip (package compile) tick by tick,
-//     injecting external input lines and decoding external output spikes
-//     back to logical neuron IDs. It can evaluate cores event-driven
-//     (the production engine), densely (the clock-driven baseline), or
-//     event-driven across several goroutines; all three produce
-//     bit-identical spike streams.
+//   - Runner drives a compiled mapping (package compile) tick by tick
+//     over a Backend — a single chip.Chip or a multi-chip system.System
+//     tile — injecting external input lines and decoding external output
+//     spikes back to logical neuron IDs. It can evaluate cores
+//     event-driven (the production engine), densely (the clock-driven
+//     baseline), or event-driven across several goroutines; all three
+//     produce bit-identical spike streams, on either backend.
 //
 //   - Logical interprets a model.Network directly, without compiling.
 //     It is the executable specification: for deterministic networks the
@@ -29,6 +30,48 @@ import (
 	"github.com/neurogo/neurogo/internal/model"
 	"github.com/neurogo/neurogo/internal/neuron"
 	"github.com/neurogo/neurogo/internal/rng"
+	"github.com/neurogo/neurogo/internal/system"
+)
+
+// Backend is the hardware-execution seam under a Runner: anything that
+// can tick a compiled core grid, accept external injections, reset to
+// power-on state, and report activity counters. Two implementations
+// ship today — a single *chip.Chip and a multi-chip *system.System
+// tile — and both produce bit-identical spike streams for the same
+// compiled mapping, because tiling changes accounting, not routing
+// semantics. Everything above the Runner (pipeline sessions, streams,
+// batches, the async front-end) is backend-agnostic.
+type Backend interface {
+	// Tick advances one tick with event-driven core evaluation and
+	// returns the external output spikes emitted during it. The slice
+	// may be reused across ticks; retainers must copy.
+	Tick() []chip.OutputSpike
+	// TickDense advances one tick with clock-driven evaluation.
+	TickDense() []chip.OutputSpike
+	// TickParallel advances one tick sharded across workers goroutines,
+	// bit-identically to Tick.
+	TickParallel(workers int) []chip.OutputSpike
+	// Inject schedules an external input spike on (coreIdx, axon) for
+	// tick at; the arrival must be within the delay-ring horizon.
+	Inject(coreIdx int32, axon int, at int64) error
+	// Reset returns the backend to its power-on state so the next
+	// presentation is bit-identical to one on a freshly built backend.
+	// Chip-level activity counters survive (for cumulative energy
+	// accounting); backend-specific counters may not — system backends
+	// zero their boundary-traffic counters (see system.Reset).
+	Reset()
+	// Now returns the next tick to be executed.
+	Now() int64
+	// Counters reports chip-level activity for the energy model.
+	Counters() chip.Counters
+	// ResetCounters zeroes the chip-level activity counters.
+	ResetCounters()
+}
+
+// Both shipped backends satisfy the seam.
+var (
+	_ Backend = (*chip.Chip)(nil)
+	_ Backend = (*system.System)(nil)
 )
 
 // Engine selects the core evaluation strategy.
@@ -64,46 +107,135 @@ type Event struct {
 	Neuron model.NeuronID
 }
 
-// Runner executes a compiled mapping.
+// Runner executes a compiled mapping over a Backend.
 type Runner struct {
 	mapping *compile.Mapping
-	chip    *chip.Chip
+	backend Backend
+	chip    *chip.Chip     // the underlying chip of the backend
+	system  *system.System // non-nil only for system backends
 	engine  Engine
 	workers int
 	pending []Event // events whose logical tick is in the future (lagged)
+
+	// Cumulative records folded across Resets: a system backend zeroes
+	// its live traffic counters on Reset and every backend zeroes its
+	// tick clock, so the runner accumulates totals, link matrix and
+	// ticks here (see BoundarySpikes, BoundaryLinks, LifetimeTicks).
+	baseIntra, baseInter uint64
+	baseLink             [][]uint64 // nil for single-chip runners
+	baseTicks            uint64
 }
 
-// NewRunner builds a runner. workers is used only by EngineParallel and
-// is clamped to [1, runtime.NumCPU()] — goroutines beyond the physical
-// core count only add scheduling overhead. EngineParallel output is
-// bit-identical to EngineEvent regardless of the worker count: workers
-// own disjoint core ranges and their emissions are applied after a
-// barrier in core-index order (see chip.TickParallel).
+// NewRunner builds a runner over a single-chip backend. workers is used
+// only by EngineParallel and is clamped to [1, runtime.NumCPU()] —
+// goroutines beyond the physical core count only add scheduling
+// overhead. EngineParallel output is bit-identical to EngineEvent
+// regardless of the worker count: workers own disjoint core ranges and
+// their emissions are applied after a barrier in core-index order (see
+// chip.TickParallel).
 //
 // The mapping is retained by reference and treated as read-only, so many
 // runners may share one compiled mapping concurrently; each runner owns
 // an independent chip instance.
 func NewRunner(m *compile.Mapping, engine Engine, workers int) *Runner {
+	ch := chip.New(m.Chip)
+	r := newBackendRunner(m, ch, engine, workers)
+	r.chip = ch
+	return r
+}
+
+// NewSystemRunner builds a runner whose backend is a multi-chip
+// system.System tile: the compiled core grid partitioned onto physical
+// chips of cfg's per-chip dimensions, with chip-to-chip boundary
+// traffic accounted per link. The spike stream is bit-identical to a
+// NewRunner over the same mapping — tiling only adds accounting. It
+// errors when the mapping's core grid does not tile into cfg's chips.
+func NewSystemRunner(m *compile.Mapping, cfg system.Config, engine Engine, workers int) (*Runner, error) {
+	sys, err := system.New(m.Chip, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newBackendRunner(m, sys, engine, workers)
+	r.chip = sys.Chip()
+	r.system = sys
+	r.baseLink = make([][]uint64, sys.Chips())
+	for i := range r.baseLink {
+		r.baseLink[i] = make([]uint64, sys.Chips())
+	}
+	return r, nil
+}
+
+func newBackendRunner(m *compile.Mapping, b Backend, engine Engine, workers int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
 	if max := runtime.NumCPU(); workers > max {
 		workers = max
 	}
-	return &Runner{mapping: m, chip: chip.New(m.Chip), engine: engine, workers: workers}
+	return &Runner{mapping: m, backend: b, engine: engine, workers: workers}
 }
 
-// Chip exposes the underlying chip (for counters and probes).
+// Backend exposes the execution backend driving this runner.
+func (r *Runner) Backend() Backend { return r.backend }
+
+// Chip exposes the underlying chip (for counters and probes). Both
+// shipped backends are chip-based, so this is never nil.
 func (r *Runner) Chip() *chip.Chip { return r.chip }
 
-// Reset returns the runner to tick zero with pristine chip state, so a
+// System returns the multi-chip system backing this runner, or nil for
+// a single-chip runner — the hook boundary-traffic accounting hangs off.
+func (r *Runner) System() *system.System { return r.system }
+
+// Reset returns the runner to tick zero with a pristine backend, so a
 // session can present fresh inputs without re-allocating the chip. The
-// spike stream after Reset is bit-identical to a freshly built
-// NewRunner over the same mapping. Chip activity counters are preserved
-// for cumulative energy accounting; Chip().ResetCounters() clears them.
+// spike stream after Reset is bit-identical to a freshly built runner
+// over the same mapping and backend. Chip activity counters are
+// preserved for cumulative energy accounting (ResetCounters clears
+// them); a system backend's boundary-traffic counters are zeroed, with
+// the intra/inter totals and the link matrix folded into the runner's
+// cumulative record first (BoundarySpikes, BoundaryLinks).
 func (r *Runner) Reset() {
-	r.chip.Reset()
+	if r.system != nil {
+		intra, inter := r.system.BoundaryTotals()
+		r.baseIntra += intra
+		r.baseInter += inter
+		r.system.AddLinkTrafficInto(r.baseLink)
+	}
+	r.baseTicks += uint64(r.backend.Now())
+	r.backend.Reset()
 	r.pending = r.pending[:0]
+}
+
+// LifetimeTicks returns the ticks executed across all Resets — the
+// wall-time basis matching the cumulative activity counters, which also
+// span Resets. Now() covers the current epoch only.
+func (r *Runner) LifetimeTicks() uint64 { return r.baseTicks + uint64(r.backend.Now()) }
+
+// BoundarySpikes returns the cumulative intra- and inter-chip routed
+// spike counts across all Resets, in O(1) — (0, 0) for single-chip
+// runners.
+func (r *Runner) BoundarySpikes() (intra, inter uint64) {
+	if r.system == nil {
+		return 0, 0
+	}
+	intra, inter = r.system.BoundaryTotals()
+	return r.baseIntra + intra, r.baseInter + inter
+}
+
+// BoundaryLinks returns the cumulative (src chip, dst chip) crossing
+// matrix across all Resets — freshly allocated, the caller owns it —
+// or nil for single-chip runners. Costs O(chips^2); the boundary-
+// summary hot paths use BoundarySpikes instead.
+func (r *Runner) BoundaryLinks() [][]uint64 {
+	if r.system == nil {
+		return nil
+	}
+	link := make([][]uint64, len(r.baseLink))
+	for i, row := range r.baseLink {
+		link[i] = append([]uint64(nil), row...)
+	}
+	r.system.AddLinkTrafficInto(link)
+	return link
 }
 
 // Workers returns the effective (clamped) worker count used by
@@ -114,7 +246,10 @@ func (r *Runner) Workers() int { return r.workers }
 func (r *Runner) Mapping() *compile.Mapping { return r.mapping }
 
 // Now returns the next tick to execute.
-func (r *Runner) Now() int64 { return r.chip.Now() }
+func (r *Runner) Now() int64 { return r.backend.Now() }
+
+// Counters reports the backend's chip-level activity counters.
+func (r *Runner) Counters() chip.Counters { return r.backend.Counters() }
 
 // InjectLine emits a spike on input line at the current tick; it arrives
 // at Now()+delay(line) at every target axon.
@@ -122,9 +257,9 @@ func (r *Runner) InjectLine(line int32) error {
 	if line < 0 || int(line) >= len(r.mapping.InputTargets) {
 		return fmt.Errorf("sim: unknown input line %d", line)
 	}
-	at := r.chip.Now() + int64(r.mapping.InputDelay[line])
+	at := r.backend.Now() + int64(r.mapping.InputDelay[line])
 	for _, t := range r.mapping.InputTargets[line] {
-		if err := r.chip.Inject(t.Core, int(t.Axon), at); err != nil {
+		if err := r.backend.Inject(t.Core, int(t.Axon), at); err != nil {
 			return err
 		}
 	}
@@ -134,15 +269,15 @@ func (r *Runner) InjectLine(line int32) error {
 // Step advances one tick and returns the logical output events whose
 // fire time equals the executed tick. Events are ordered by neuron ID.
 func (r *Runner) Step() []Event {
-	t := r.chip.Now()
+	t := r.backend.Now()
 	var outs []chip.OutputSpike
 	switch r.engine {
 	case EngineDense:
-		outs = r.chip.TickDense()
+		outs = r.backend.TickDense()
 	case EngineParallel:
-		outs = r.chip.TickParallel(r.workers)
+		outs = r.backend.TickParallel(r.workers)
 	default:
-		outs = r.chip.Tick()
+		outs = r.backend.Tick()
 	}
 	for _, o := range outs {
 		id, ok := r.mapping.DecodeOutput(o)

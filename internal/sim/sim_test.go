@@ -8,6 +8,7 @@ import (
 	"github.com/neurogo/neurogo/internal/model"
 	"github.com/neurogo/neurogo/internal/neuron"
 	"github.com/neurogo/neurogo/internal/rng"
+	"github.com/neurogo/neurogo/internal/system"
 )
 
 // pulseNet: 1 input -> A -> B(out), all thresholds 1, unit weights.
@@ -371,6 +372,115 @@ func TestRunnerResetPreservesCounters(t *testing.T) {
 	after := r.Chip().Counters()
 	if after.Core.Spikes < before.Core.Spikes || after.InputSpikes < before.InputSpikes {
 		t.Fatalf("Reset dropped counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestSystemRunnerBitIdentical pins the backend-abstraction contract:
+// a runner over a multi-chip system tile emits exactly the event stream
+// of a single-chip runner under every engine — tiling only changes
+// accounting — and the tile's boundary counters classify every routed
+// spike.
+func TestSystemRunnerBitIdentical(t *testing.T) {
+	net := goldenNet(5)
+	mp, err := compile.Compile(net, compile.Options{Width: 6, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []Engine{EngineEvent, EngineDense, EngineParallel} {
+		t.Run(eng.String(), func(t *testing.T) {
+			want := schedule(t, NewRunner(mp, eng, 2), 40, 17)
+			// 1x1-core chips: every core-to-core route crosses a boundary,
+			// so the crossing assertion below cannot be placement-lucky.
+			sr, err := NewSystemRunner(mp, system.Config{ChipCoresX: 1, ChipCoresY: 1}, eng, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := schedule(t, sr, 40, 17)
+			if len(got) != len(want) {
+				t.Fatalf("system runner emitted %d events, chip runner %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("event %d: system %+v, chip %+v", i, got[i], want[i])
+				}
+			}
+			sys := sr.System()
+			if sys == nil {
+				t.Fatal("System() = nil on a system runner")
+			}
+			st := sys.Stats()
+			if routed := sr.Counters().RoutedSpikes; st.IntraChip+st.InterChip != routed {
+				t.Fatalf("boundary classification %d+%d does not cover %d routed spikes",
+					st.IntraChip, st.InterChip, routed)
+			}
+			if st.InterChip == 0 {
+				t.Fatal("golden net on 1x1-core chips crossed no boundary; rig too small")
+			}
+		})
+	}
+}
+
+// TestSystemRunnerBoundarySpikesAccumulate pins the cumulative traffic
+// record: Reset zeroes the system's live counters but folds them into
+// the runner first, so identical presentations double BoundarySpikes —
+// matching how chip activity counters accumulate for energy pricing.
+func TestSystemRunnerBoundarySpikesAccumulate(t *testing.T) {
+	mp, err := compile.Compile(goldenNet(5), compile.Options{Width: 6, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewSystemRunner(mp, system.Config{ChipCoresX: 1, ChipCoresY: 1}, EngineEvent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule(t, r, 20, 23)
+	intra1, inter1 := r.BoundarySpikes()
+	if inter1 == 0 {
+		t.Fatal("no crossings recorded")
+	}
+	link1 := r.BoundaryLinks()
+	ticks1 := r.LifetimeTicks()
+	r.Reset()
+	if st := r.System().Stats(); st.InterChip != 0 {
+		t.Fatal("Reset did not zero the live system counters")
+	}
+	if intra, inter := r.BoundarySpikes(); intra != intra1 || inter != inter1 {
+		t.Fatalf("BoundarySpikes lost the pre-Reset record: (%d,%d) -> (%d,%d)", intra1, inter1, intra, inter)
+	}
+	schedule(t, r, 20, 23)
+	if intra, inter := r.BoundarySpikes(); intra != 2*intra1 || inter != 2*inter1 {
+		t.Fatalf("identical presentations: (%d,%d), want doubled (%d,%d)", intra, inter, 2*intra1, 2*inter1)
+	}
+	if ticks := r.LifetimeTicks(); ticks != 2*ticks1 {
+		t.Fatalf("LifetimeTicks = %d after two presentations, want %d", ticks, 2*ticks1)
+	}
+	link2 := r.BoundaryLinks()
+	var sum1, sum2 uint64
+	for i := range link1 {
+		for j := range link1[i] {
+			sum1 += link1[i][j]
+			sum2 += link2[i][j]
+			if link2[i][j] != 2*link1[i][j] {
+				t.Fatalf("link[%d][%d] = %d, want %d", i, j, link2[i][j], 2*link1[i][j])
+			}
+		}
+	}
+	if sum1 != inter1 {
+		t.Fatalf("link matrix sums to %d, inter total %d", sum1, inter1)
+	}
+}
+
+// TestSystemRunnerValidates pins the tiling error path.
+func TestSystemRunnerValidates(t *testing.T) {
+	mp, err := compile.Compile(goldenNet(5), compile.Options{Width: 6, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystemRunner(mp, system.Config{ChipCoresX: 4, ChipCoresY: 3}, EngineEvent, 1); err == nil {
+		t.Fatal("non-tiling chip dims accepted")
+	}
+	if r := NewRunner(mp, EngineEvent, 1); r.System() != nil {
+		t.Fatal("System() non-nil on a chip runner")
 	}
 }
 

@@ -20,6 +20,21 @@ type Config struct {
 	ChipCoresX, ChipCoresY int
 }
 
+// Validate checks that the core grid tiles exactly into chips of the
+// configured per-chip dimensions. New performs the same check; callers
+// that defer construction (e.g. a pipeline validating options before
+// building per-session systems) can validate up front.
+func (cfg Config) Validate(coreGrid *chip.Config) error {
+	if cfg.ChipCoresX <= 0 || cfg.ChipCoresY <= 0 {
+		return fmt.Errorf("system: chip dimensions %dx%d must be positive", cfg.ChipCoresX, cfg.ChipCoresY)
+	}
+	if coreGrid.Width%cfg.ChipCoresX != 0 || coreGrid.Height%cfg.ChipCoresY != 0 {
+		return fmt.Errorf("system: %dx%d cores do not tile into %dx%d-core chips",
+			coreGrid.Width, coreGrid.Height, cfg.ChipCoresX, cfg.ChipCoresY)
+	}
+	return nil
+}
+
 // System wraps a chip-level simulation with multi-chip accounting.
 type System struct {
 	ch     *chip.Chip
@@ -36,12 +51,8 @@ type System struct {
 // New partitions the chip cfg onto physical chips of the given per-chip
 // core dimensions. The core grid must tile exactly.
 func New(coreGrid *chip.Config, cfg Config) (*System, error) {
-	if cfg.ChipCoresX <= 0 || cfg.ChipCoresY <= 0 {
-		return nil, fmt.Errorf("system: chip dimensions %dx%d must be positive", cfg.ChipCoresX, cfg.ChipCoresY)
-	}
-	if coreGrid.Width%cfg.ChipCoresX != 0 || coreGrid.Height%cfg.ChipCoresY != 0 {
-		return nil, fmt.Errorf("system: %dx%d cores do not tile into %dx%d-core chips",
-			coreGrid.Width, coreGrid.Height, cfg.ChipCoresX, cfg.ChipCoresY)
+	if err := cfg.Validate(coreGrid); err != nil {
+		return nil, err
 	}
 	s := &System{
 		ch:     chip.New(coreGrid),
@@ -69,6 +80,26 @@ func New(coreGrid *chip.Config, cfg Config) (*System, error) {
 // Chip exposes the underlying chip simulation.
 func (s *System) Chip() *chip.Chip { return s.ch }
 
+// Reset returns the system to its power-on state: every core pristine
+// (see chip.Reset) and the boundary-traffic counters — linkTraffic,
+// intra- and inter-chip totals — zeroed. After Reset the system is
+// bit-identical to a freshly built New over the same configuration,
+// which is what makes system-backed sessions reusable like chip-backed
+// ones. Chip-level activity counters are preserved (chip.Reset
+// semantics) for cumulative energy accounting; callers that want
+// cumulative *traffic* accounting across Resets must fold Stats and
+// LinkTraffic before calling (as the pipeline's sessions do).
+func (s *System) Reset() {
+	s.ch.Reset()
+	s.intra = 0
+	s.inter = 0
+	for i := range s.linkTraffic {
+		for j := range s.linkTraffic[i] {
+			s.linkTraffic[i][j] = 0
+		}
+	}
+}
+
 // Chips returns the number of physical chips.
 func (s *System) Chips() int { return s.chipsX * s.chipsY }
 
@@ -86,8 +117,32 @@ func (s *System) ChipOf(coreIdx int32) int {
 	return cy*s.chipsX + cx
 }
 
-// Tick advances the system one tick.
+// Tick advances the system one tick (event-driven core evaluation).
 func (s *System) Tick() []chip.OutputSpike { return s.ch.Tick() }
+
+// TickDense advances one tick with the clock-driven core evaluation.
+func (s *System) TickDense() []chip.OutputSpike { return s.ch.TickDense() }
+
+// TickParallel advances one tick sharded across worker goroutines,
+// bit-identically to Tick. The route observer (and hence boundary
+// accounting) runs on the ticking goroutine after the barrier, exactly
+// as on a bare chip.
+func (s *System) TickParallel(workers int) []chip.OutputSpike { return s.ch.TickParallel(workers) }
+
+// Inject schedules an external input spike; see chip.Inject.
+func (s *System) Inject(coreIdx int32, axon int, at int64) error {
+	return s.ch.Inject(coreIdx, axon, at)
+}
+
+// Now returns the next tick to be executed.
+func (s *System) Now() int64 { return s.ch.Now() }
+
+// Counters returns the underlying chip-level activity counters.
+func (s *System) Counters() chip.Counters { return s.ch.Counters() }
+
+// ResetCounters zeroes the underlying chip and core activity counters
+// (boundary-traffic counters are cleared by Reset instead).
+func (s *System) ResetCounters() { s.ch.ResetCounters() }
 
 // Stats summarises boundary traffic.
 type Stats struct {
@@ -97,6 +152,22 @@ type Stats struct {
 	InterChip uint64
 	// BusiestLink is the highest single (src chip, dst chip) count.
 	BusiestLink uint64
+}
+
+// BoundaryTotals returns the intra- and inter-chip routed spike counts
+// in O(1) — the hot-path alternative to Stats, which scans the link
+// matrix for the busiest link.
+func (s *System) BoundaryTotals() (intra, inter uint64) { return s.intra, s.inter }
+
+// AddLinkTrafficInto adds the live link matrix into dst (same shape)
+// without allocating — the accumulation-path alternative to the
+// deep-copying LinkTraffic.
+func (s *System) AddLinkTrafficInto(dst [][]uint64) {
+	for i, row := range s.linkTraffic {
+		for j, v := range row {
+			dst[i][j] += v
+		}
+	}
 }
 
 // Stats returns the current boundary-traffic summary.
@@ -112,9 +183,16 @@ func (s *System) Stats() Stats {
 	return st
 }
 
-// LinkTraffic returns the (src chip, dst chip) crossing counts. Callers
-// must not modify it.
-func (s *System) LinkTraffic() [][]uint64 { return s.linkTraffic }
+// LinkTraffic returns a snapshot of the (src chip, dst chip) crossing
+// counts. The matrix is a deep copy, so callers may keep or mutate it
+// freely without corrupting the live accounting.
+func (s *System) LinkTraffic() [][]uint64 {
+	out := make([][]uint64, len(s.linkTraffic))
+	for i, row := range s.linkTraffic {
+		out[i] = append([]uint64(nil), row...)
+	}
+	return out
+}
 
 // InterChipFraction returns the fraction of routed spikes that cross
 // chip boundaries (0 when nothing has been routed).

@@ -102,6 +102,119 @@ func TestBoundaryAccounting(t *testing.T) {
 	if st.BusiestLink == 0 {
 		t.Error("BusiestLink not recorded")
 	}
+	if intra, inter := s.BoundaryTotals(); intra != st.IntraChip || inter != st.InterChip {
+		t.Errorf("BoundaryTotals = (%d,%d), Stats = %+v", intra, inter, st)
+	}
+	sum := make([][]uint64, s.Chips())
+	for i := range sum {
+		sum[i] = make([]uint64, s.Chips())
+	}
+	s.AddLinkTrafficInto(sum)
+	s.AddLinkTrafficInto(sum)
+	if want := s.LinkTraffic(); sum[1][0] != 2*want[1][0] {
+		t.Errorf("AddLinkTrafficInto twice = %d, want %d", sum[1][0], 2*want[1][0])
+	}
+}
+
+// TestResetBitIdentical is the session-reuse regression: after Reset a
+// system must produce exactly the spike stream and traffic accounting
+// of a freshly built one, with all boundary counters zeroed.
+func TestResetBitIdentical(t *testing.T) {
+	// Relay chain crossing a chip boundary: 0 -> 1 -> 2 (chip 0 -> chip 0
+	// -> chip 1), with core 2 emitting externally.
+	build := func() *System {
+		cfg := gridConfig(func(i int) int32 {
+			switch i {
+			case 0:
+				return 1
+			case 1:
+				return 2
+			default:
+				return core.ExternalCore
+			}
+		})
+		s, err := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	present := func(s *System) ([]chip.OutputSpike, Stats) {
+		_ = s.Inject(0, 3, 0)
+		var outs []chip.OutputSpike
+		for i := 0; i < 6; i++ {
+			outs = append(outs, s.Tick()...)
+		}
+		return outs, s.Stats()
+	}
+
+	fresh := build()
+	wantOuts, wantStats := present(fresh)
+	if wantStats.IntraChip == 0 || wantStats.InterChip == 0 {
+		t.Fatalf("rig routes nothing: %+v", wantStats)
+	}
+
+	reused := build()
+	present(reused)
+	reused.Reset()
+	if st := reused.Stats(); st != (Stats{}) {
+		t.Fatalf("Reset left traffic counters %+v", st)
+	}
+	if now := reused.Now(); now != 0 {
+		t.Fatalf("Reset left tick %d", now)
+	}
+	for _, row := range reused.LinkTraffic() {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatal("Reset left link traffic")
+			}
+		}
+	}
+	gotOuts, gotStats := present(reused)
+	if len(gotOuts) != len(wantOuts) {
+		t.Fatalf("reset system emitted %d spikes, fresh %d", len(gotOuts), len(wantOuts))
+	}
+	for i := range gotOuts {
+		if gotOuts[i] != wantOuts[i] {
+			t.Fatalf("spike %d: reset %+v, fresh %+v", i, gotOuts[i], wantOuts[i])
+		}
+	}
+	if gotStats != wantStats {
+		t.Fatalf("traffic after reset = %+v, fresh = %+v", gotStats, wantStats)
+	}
+}
+
+// TestLinkTrafficIsSnapshot pins the accounting-isolation contract:
+// LinkTraffic returns a copy, so callers mutating it cannot corrupt
+// Stats or subsequent snapshots.
+func TestLinkTrafficIsSnapshot(t *testing.T) {
+	cfg := gridConfig(func(i int) int32 {
+		if i == 2 {
+			return 0 // chip 1 -> chip 0 crossing
+		}
+		return core.ExternalCore
+	})
+	s, err := New(cfg, Config{ChipCoresX: 2, ChipCoresY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Inject(2, 9, 0)
+	for i := 0; i < 4; i++ {
+		s.Tick()
+	}
+	before := s.Stats()
+	lt := s.LinkTraffic()
+	if lt[1][0] == 0 {
+		t.Fatal("no crossing recorded")
+	}
+	lt[1][0] = 0
+	lt[0][1] = 1 << 40
+	if got := s.Stats(); got != before {
+		t.Fatalf("mutating the returned matrix changed Stats: %+v -> %+v", before, got)
+	}
+	if again := s.LinkTraffic(); again[1][0] == 0 || again[0][1] != 0 {
+		t.Fatalf("mutation leaked into a later snapshot: %v", again)
+	}
 }
 
 func TestInterChipFractionEmpty(t *testing.T) {

@@ -36,7 +36,14 @@
 // Pipelines hand out reusable Sessions (one independent chip each over
 // the shared mapping), fan batches across a session pool with
 // bit-identical results to sequential runs, and open incremental
-// Streams for spatio-temporal workloads.
+// Streams for spatio-temporal workloads. With WithSystem the same
+// pipeline serves one logical model across a multi-chip tile —
+// bit-identical predictions, plus per-request chip-to-chip boundary
+// traffic accounting (Pipeline.Traffic):
+//
+//	p, err := neurogo.NewPipeline(mapping, neurogo.WithSystem(4, 4), ...)
+//	labels, err := p.ClassifyBatch(ctx, images)
+//	fmt.Println(neurogo.PipelineTrafficOf(p).InterChipFraction)
 //
 // Simulation is deterministic: identical configurations and seeds yield
 // bit-identical spike streams across the event-driven, dense and
@@ -167,15 +174,29 @@ const (
 // Event is one output spike in logical time.
 type Event = sim.Event
 
-// Runner executes a compiled mapping tick by tick.
+// Runner executes a compiled mapping tick by tick over a Backend.
 type Runner = sim.Runner
+
+// Backend is the hardware-execution seam under a Runner: a single chip
+// or a multi-chip system tile. Both yield bit-identical spike streams
+// for the same mapping; tiling only changes accounting.
+type Backend = sim.Backend
 
 // Logical interprets a network directly (the executable specification).
 type Logical = sim.Logical
 
-// NewRunner builds a runner over a compiled mapping.
+// NewRunner builds a runner over a compiled mapping on a single-chip
+// backend.
 func NewRunner(m *Mapping, engine Engine, workers int) *Runner {
 	return sim.NewRunner(m, engine, workers)
+}
+
+// NewSystemRunner builds a runner whose backend is a multi-chip tile:
+// the mapping's core grid partitioned onto physical chips of the given
+// per-chip dimensions, with chip-to-chip boundary traffic accounted.
+// It errors when the core grid does not tile exactly.
+func NewSystemRunner(m *Mapping, cfg SystemConfig, engine Engine, workers int) (*Runner, error) {
+	return sim.NewSystemRunner(m, cfg, engine, workers)
 }
 
 // NewLogical builds the reference interpreter for a network.
@@ -236,6 +257,24 @@ func WithLineMapper(f LineMapper) PipelineOption { return pipeline.WithLineMappe
 
 // WithClassMapper sets the output-neuron -> class mapping.
 func WithClassMapper(f ClassMapper) PipelineOption { return pipeline.WithClassMapper(f) }
+
+// WithSystem serves every pipeline session over a multi-chip tile of
+// chipCoresX x chipCoresY-core chips instead of one monolithic chip.
+// Predictions are bit-identical to the single-chip backend; boundary
+// traffic becomes observable per request via Pipeline.Traffic and the
+// inter-chip fields of PipelineUsageOf.
+func WithSystem(chipCoresX, chipCoresY int) PipelineOption {
+	return pipeline.WithSystem(chipCoresX, chipCoresY)
+}
+
+// BoundaryTraffic summarises a pipeline's multi-chip boundary traffic
+// (intra/inter spike counts, inter-chip fraction, busiest link).
+type BoundaryTraffic = pipeline.BoundaryTraffic
+
+// PipelineTrafficOf aggregates boundary traffic across all of a
+// pipeline's sessions, race-safe against in-flight presentations (the
+// traffic analogue of PipelineUsageOf).
+func PipelineTrafficOf(p *Pipeline) BoundaryTraffic { return p.Traffic() }
 
 // TwinLines adapts a corelet LinesFor (pixel -> pos/neg pair) into a
 // LineMapper.
@@ -338,11 +377,17 @@ func DefaultEnergyCoefficients() EnergyCoefficients { return energy.DefaultCoeff
 // running the same workload (the von Neumann baseline).
 func ConventionalEnergyCoefficients() EnergyCoefficients { return energy.ConventionalCoefficients() }
 
-// UsageOf extracts an energy usage record from a runner's chip after a
-// run. hardware=true charges neuron updates as the silicon would (every
-// neuron, every tick).
+// UsageOf extracts an energy usage record from a runner's backend after
+// a run. hardware=true charges neuron updates as the silicon would
+// (every neuron, every tick). Everything is priced over the runner's
+// whole life: activity counters, ticks (LifetimeTicks) and — for
+// system-backed runners — the inter-chip spike counts all span Resets,
+// so leakage, mean power and the link surcharge stay consistent across
+// reused runners.
 func UsageOf(r *Runner, hardware bool) EnergyUsage {
-	return energy.FromChip(r.Chip().Counters(), r.Mapping().Stats.UsedCores, uint64(r.Now()), hardware)
+	u := energy.FromChip(r.Counters(), r.Mapping().Stats.UsedCores, r.LifetimeTicks(), hardware)
+	u.IntraChipSpikes, u.InterChipSpikes = r.BoundarySpikes()
+	return u
 }
 
 // ---- Corelets ----

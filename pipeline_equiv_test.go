@@ -10,8 +10,11 @@ import (
 type equivRig struct {
 	cls     *Classifier
 	mapping *Mapping
-	x       [][]float64
-	y       []int
+	// sysMapping is the same network compiled onto an even grid, so it
+	// tiles exactly into 2x2 physical chips for the multi-chip tests.
+	sysMapping *Mapping
+	x          [][]float64
+	y          []int
 }
 
 func buildEquivRig(t *testing.T) *equivRig {
@@ -28,8 +31,13 @@ func buildEquivRig(t *testing.T) *equivRig {
 	if err != nil {
 		t.Fatal(err)
 	}
+	gw, gh := mapping.Stats.GridWidth+mapping.Stats.GridWidth%2, mapping.Stats.GridHeight+mapping.Stats.GridHeight%2
+	sysMapping, err := Compile(net, CompileOptions{Width: gw, Height: gh})
+	if err != nil {
+		t.Fatal(err)
+	}
 	x, y := gen.Batch(16)
-	return &equivRig{cls: cls, mapping: mapping, x: x, y: y}
+	return &equivRig{cls: cls, mapping: mapping, sysMapping: sysMapping, x: x, y: y}
 }
 
 // handWired classifies one image with the pre-pipeline idiom: a fresh
@@ -144,6 +152,120 @@ func TestClassifyBatchBitIdentical(t *testing.T) {
 	}
 	if hits < len(rg.x)*2/3 {
 		t.Fatalf("classifier got %d/%d on easy digits; pipeline is mis-wired", hits, len(rg.x))
+	}
+}
+
+// TestSystemBackedEquivalence asserts the multi-chip acceptance
+// criterion through the public API: a pipeline served across a 2x2
+// chip tile returns predictions bit-identical to the single-chip
+// backend for Classify, ClassifyBatch and Async, under all three
+// engines — tiling changes accounting, never routing semantics.
+func TestSystemBackedEquivalence(t *testing.T) {
+	rg := buildEquivRig(t)
+	ctx := context.Background()
+	gw, gh := rg.sysMapping.Stats.GridWidth, rg.sysMapping.Stats.GridHeight
+	mk := func(opts ...PipelineOption) *Pipeline {
+		base := []PipelineOption{
+			WithEncoder(NewBernoulliEncoder(0.5, 7)),
+			WithDecoder(NewCounterDecoder(NumDigitClasses)),
+			WithLineMapper(TwinLines(rg.cls.LinesFor)),
+			WithClassMapper(rg.cls.ClassOf),
+			WithWindow(16),
+			WithDrain(10),
+		}
+		p, err := NewPipeline(rg.sysMapping, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name    string
+		engine  Engine
+		workers int
+	}{
+		{"event", EngineEvent, 1},
+		{"dense", EngineDense, 1},
+		{"parallel", EngineParallel, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := []PipelineOption{WithEngine(tc.engine), WithEngineWorkers(tc.workers)}
+			want, err := mk(eng...).ClassifyBatch(ctx, rg.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysP := mk(append(eng, WithSystem(gw/2, gh/2))...)
+			got, err := sysP.ClassifyBatch(ctx, rg.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("batch image %d: system %d, chip %d", i, got[i], want[i])
+				}
+			}
+			if bt := PipelineTrafficOf(sysP); bt.Chips != 4 {
+				t.Fatalf("tile has %d chips, want 4", bt.Chips)
+			}
+
+			// Shared-session Classify.
+			sysC := mk(append(eng, WithSystem(gw/2, gh/2))...)
+			for i, img := range rg.x {
+				c, err := sysC.Classify(ctx, img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c != want[i] {
+					t.Fatalf("image %d: system Classify %d, chip %d", i, c, want[i])
+				}
+			}
+
+			// Async over the tile, re-ordered by Seq.
+			ap := mk(append(eng, WithSystem(gw/2, gh/2))...).Async(WithAsyncWorkers(4))
+			results := ap.Results()
+			for _, img := range rg.x {
+				ap.Submit(ctx, img)
+			}
+			ap.Close()
+			for r := range results {
+				if r.Err != nil {
+					t.Fatalf("seq %d: %v", r.Seq, r.Err)
+				}
+				if r.Class != want[r.Seq] {
+					t.Fatalf("async input %d: system %d, chip %d", r.Seq, r.Class, want[r.Seq])
+				}
+			}
+		})
+	}
+}
+
+// TestOneByOneTileHasNoBoundaryTraffic pins the degenerate tiling: a
+// 1x1 tile (the whole grid on one physical chip) classifies routed
+// spikes but never records a crossing.
+func TestOneByOneTileHasNoBoundaryTraffic(t *testing.T) {
+	rg := buildEquivRig(t)
+	gw, gh := rg.sysMapping.Stats.GridWidth, rg.sysMapping.Stats.GridHeight
+	p, err := NewPipeline(rg.sysMapping,
+		WithEncoder(NewBernoulliEncoder(0.5, 7)),
+		WithDecoder(NewCounterDecoder(NumDigitClasses)),
+		WithLineMapper(TwinLines(rg.cls.LinesFor)),
+		WithClassMapper(rg.cls.ClassOf),
+		WithSystem(gw, gh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ClassifyBatch(context.Background(), rg.x); err != nil {
+		t.Fatal(err)
+	}
+	bt := PipelineTrafficOf(p)
+	if bt.Chips != 1 {
+		t.Fatalf("1x1 tile has %d chips", bt.Chips)
+	}
+	if bt.InterChip != 0 || bt.InterChipFraction != 0 || bt.BusiestLink != 0 {
+		t.Fatalf("1x1 tile recorded boundary traffic: %+v", bt)
+	}
+	if u := PipelineUsageOf(p, false); u.InterChipSpikes != 0 || u.InterChipFraction() != 0 {
+		t.Fatalf("1x1 tile usage carries inter-chip spikes: %+v", u)
 	}
 }
 
