@@ -80,6 +80,10 @@ func BenchmarkE1Conv(b *testing.B) { benchExperiment(b, "E1") }
 // extension (E2).
 func BenchmarkE2System(b *testing.B) { benchExperiment(b, "E2") }
 
+// BenchmarkE3Boundary regenerates the boundary-aware placement
+// ablation (E3): the λ sweep tracing inter-chip fraction vs hop cost.
+func BenchmarkE3Boundary(b *testing.B) { benchExperiment(b, "E3") }
+
 // throughputRig caches one compiled digit classifier across the
 // pipeline throughput sub-benchmarks.
 var throughputRig struct {
@@ -164,6 +168,13 @@ func throughputPipeline() (*Pipeline, error) {
 // inter-chip spike fraction — the boundary-traffic metric the tiled
 // deployments of the paper are won or lost on — seeding the perf
 // trajectory for boundary-aware placement and sharding work.
+//
+// The flat digit classifier has no core-to-core edges (fraction 0 on
+// any tiling), so the boundary-aware legs serve a conv/pool/read-out
+// stack — a workload with real internal routing — compiled for the
+// same 2x2 tile twice: tiling-blind (λ=0) and boundary-aware (λ=4).
+// The aware leg must report a lower interchip-frac at equal class/s:
+// placement changes accounting, never routing work.
 func BenchmarkSystemThroughput(b *testing.B) {
 	if err := throughputSetup(); err != nil {
 		b.Fatal(err)
@@ -196,6 +207,133 @@ func BenchmarkSystemThroughput(b *testing.B) {
 			})
 		}
 	}
+	if err := boundarySetup(); err != nil {
+		b.Fatal(err)
+	}
+	for _, leg := range []struct {
+		name string
+		mp   *Mapping
+	}{
+		{"blind", boundaryRig.blind},
+		{"aware", boundaryRig.aware},
+	} {
+		for _, size := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("conv-2x2-%s/batch-%d", leg.name, size), func(b *testing.B) {
+				p, err := NewPipeline(leg.mp,
+					WithEncoder(NewBinaryEncoder(0.5, boundaryWindow)),
+					WithDecoder(NewCounterDecoder(NumDigitClasses)),
+					WithLineMapper(TwinLines(boundaryRig.conv.LinesFor)),
+					WithClassMapper(boundaryRig.fc.ClassOf),
+					WithWindow(boundaryWindow),
+					WithDrain(12),
+					WithSystem(boundaryRig.chipX, boundaryRig.chipY))
+				if err != nil {
+					b.Fatal(err)
+				}
+				inputs := boundaryRig.x[:size]
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bt := PipelineTrafficOf(p)
+				b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+				b.ReportMetric(bt.InterChipFraction, "interchip-frac")
+				b.ReportMetric(bt.PredictedInterChipFraction, "predicted-frac")
+			})
+		}
+	}
+}
+
+// boundaryWindow is the held-binary presentation length of the conv
+// legs (coincidence-thresholded conv features need the whole patch
+// present each tick, as E1 deploys).
+const boundaryWindow = 8
+
+// boundaryRig caches the routed conv/pool/read-out workload compiled
+// for a 2x2 chip tile two ways: tiling-blind (λ=0, bit-identical to an
+// untiled compile) and boundary-aware (λ=4).
+var boundaryRig struct {
+	once         sync.Once
+	conv         *Conv2D
+	fc           *FeatureClassifier
+	blind, aware *Mapping
+	chipX, chipY int
+	x            [][]float64
+	err          error
+}
+
+func boundarySetup() error {
+	boundaryRig.once.Do(func() {
+		fail := func(err error) { boundaryRig.err = err }
+		const (
+			imgSize = 16
+			stride  = 1
+			convThr = 2
+			poolWin = 2
+		)
+		gen := NewDigitGenerator(imgSize, 0.02, 2, 42)
+		xtr, ytr := gen.Batch(400)
+		kernels := OrientedKernels()
+		convW := (imgSize-kernels[0].Size)/stride + 1
+		feat := make([][]float64, len(xtr))
+		for i, img := range xtr {
+			f := ConvFeatures(img, imgSize, kernels, stride, convThr)
+			feat[i] = FloatPool(f, len(kernels), convW, convW, poolWin)
+		}
+		m, err := TrainLinear(feat, ytr, NumDigitClasses, TrainOptions{Epochs: 8, Seed: 7})
+		if err != nil {
+			fail(err)
+			return
+		}
+		net := NewNetwork()
+		conv, err := BuildConv2D(net, "conv", imgSize, imgSize, kernels, stride, convThr)
+		if err != nil {
+			fail(err)
+			return
+		}
+		pool, err := BuildPool2D(net, conv, "pool", poolWin)
+		if err != nil {
+			fail(err)
+			return
+		}
+		fc, err := BuildFeatureClassifier(net, m.Ternarize(1.3), pool, "out", DefaultClassifierParams())
+		if err != nil {
+			fail(err)
+			return
+		}
+		boundaryRig.conv, boundaryRig.fc = conv, fc
+		// Probe compile to learn the grid, then force an even grid that
+		// splits into a 2x2 chip tile and compile both placements for it.
+		probe, err := Compile(net, CompileOptions{Seed: 1})
+		if err != nil {
+			fail(err)
+			return
+		}
+		st := probe.Stats
+		w, h := st.GridWidth+st.GridWidth%2, st.GridHeight+st.GridHeight%2
+		boundaryRig.chipX, boundaryRig.chipY = w/2, h/2
+		// Anneal both placements: the annealer optimises the combined
+		// objective directly, so the λ legs differ only in λ.
+		tiled := CompileOptions{Placer: PlacerAnneal, AnnealIters: 30000,
+			Seed: 1, Width: w, Height: h,
+			ChipCoresX: boundaryRig.chipX, ChipCoresY: boundaryRig.chipY}
+		boundaryRig.blind, err = Compile(net, tiled)
+		if err != nil {
+			fail(err)
+			return
+		}
+		tiled.BoundaryWeight = 4
+		boundaryRig.aware, err = Compile(net, tiled)
+		if err != nil {
+			fail(err)
+			return
+		}
+		boundaryRig.x, _ = gen.Batch(64)
+	})
+	return boundaryRig.err
 }
 
 // BenchmarkAsyncThroughput measures served classifications/sec through

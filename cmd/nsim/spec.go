@@ -78,6 +78,9 @@ type ScheduleSpec struct {
 type Built struct {
 	Net     *neurogo.Network
 	Mapping *neurogo.Mapping
+	// Opts are the compile options the mapping was built with, so
+	// callers can recompile variants (e.g. boundary-aware for a tile).
+	Opts neurogo.CompileOptions
 	// Lines resolves "bank:i" to global input line indices.
 	Lines map[string]int32
 	// OutputName labels each output neuron for display.
@@ -252,7 +255,7 @@ func (s *Spec) Build() (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Built{Net: net, Mapping: mapping, Lines: lines, OutputName: outputName, Spec: s}, nil
+	return &Built{Net: net, Mapping: mapping, Opts: opt, Lines: lines, OutputName: outputName, Spec: s}, nil
 }
 
 // InjectionsAt returns the lines to inject at the given tick.

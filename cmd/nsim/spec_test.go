@@ -1,7 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -102,7 +105,7 @@ func TestRunPulseSpecEndToEnd(t *testing.T) {
 		t.Skip("example spec not present")
 	}
 	for _, eng := range []string{"event", "dense", "parallel"} {
-		if err := run(path, eng, 2, 0, false, ""); err != nil {
+		if err := run(path, eng, 2, 0, false, "", 1); err != nil {
 			t.Fatalf("engine %s: %v", eng, err)
 		}
 	}
@@ -115,10 +118,10 @@ func TestRunPulseSpecTiled(t *testing.T) {
 	if _, err := os.Stat(path); err != nil {
 		t.Skip("example spec not present")
 	}
-	if err := run(path, "event", 1, 0, false, "1x1"); err != nil {
+	if err := run(path, "event", 1, 0, false, "1x1", 1); err != nil {
 		t.Fatalf("tiled run: %v", err)
 	}
-	if err := run(path, "event", 1, 0, false, "wat"); err == nil {
+	if err := run(path, "event", 1, 0, false, "wat", 1); err == nil {
 		t.Fatal("invalid -chips accepted")
 	}
 }
@@ -144,5 +147,46 @@ func TestSplitRef(t *testing.T) {
 	name, idx, err := splitRef("bank:12")
 	if err != nil || name != "bank" || idx != 12 {
 		t.Errorf("splitRef = (%q,%d,%v)", name, idx, err)
+	}
+}
+
+// TestRunTiledBoundarySpec drives the -chips/-boundary path end to end:
+// a four-core relay chain on a 4x2 grid served across a 2x1 chip tile,
+// recompiled boundary-aware (λ=4), tiling-blind (λ=0), and with a tile
+// that does not divide the grid (must be rejected).
+func TestRunTiledBoundarySpec(t *testing.T) {
+	var edges strings.Builder
+	for i := 0; i < 256; i++ {
+		fmt.Fprintf(&edges, `{"from":"in:%d","to":"a:%d"},`, i%4, i)
+		fmt.Fprintf(&edges, `{"from":"a:%d","to":"b:%d"},`, i, i)
+		fmt.Fprintf(&edges, `{"from":"b:%d","to":"c:%d"},`, i, i)
+		fmt.Fprintf(&edges, `{"from":"c:%d","to":"d:%d"},`, i, i)
+	}
+	spec := fmt.Sprintf(`{
+	  "grid": {"width": 4, "height": 2},
+	  "inputs": [{"name": "in", "n": 4, "type": 0, "delay": 1}],
+	  "populations": [
+	    {"name": "a", "n": 256, "threshold": 1},
+	    {"name": "b", "n": 256, "threshold": 1},
+	    {"name": "c", "n": 256, "threshold": 1},
+	    {"name": "d", "n": 256, "threshold": 1}
+	  ],
+	  "edges": [%s],
+	  "outputs": ["d:0"],
+	  "schedule": [{"tick": 0, "line": "in:0", "repeat": 3}],
+	  "ticks": 8
+	}`, strings.TrimSuffix(edges.String(), ","))
+	path := filepath.Join(t.TempDir(), "chain.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "event", 1, 0, false, "2x1", 4); err != nil {
+		t.Fatalf("boundary-aware tiled run: %v", err)
+	}
+	if err := run(path, "event", 1, 0, false, "2x1", 0); err != nil {
+		t.Fatalf("tiling-blind tiled run: %v", err)
+	}
+	if err := run(path, "event", 1, 0, false, "3x2", 1); err == nil {
+		t.Fatal("tile not dividing the grid accepted")
 	}
 }

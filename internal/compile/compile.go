@@ -70,6 +70,19 @@ type Options struct {
 	// Width/Height force grid dimensions; 0 auto-sizes a near-square
 	// grid just large enough.
 	Width, Height int
+	// ChipCoresX/ChipCoresY compile for a multi-chip tile: the grid is
+	// partitioned into physical chips of that many cores each (the same
+	// tiling system.Config describes at serving time) and the placement
+	// objective prices chip crossings. Both zero means untiled. Forced
+	// Width/Height must divide by them; auto-sized grids are rounded up
+	// to tile exactly.
+	ChipCoresX, ChipCoresY int
+	// BoundaryWeight is the λ of the combined placement objective: the
+	// extra cost per unit of traffic whose endpoints land on different
+	// chips. Requires ChipCoresX/ChipCoresY; zero records the tiling
+	// (and its predicted inter-chip fraction) without perturbing the
+	// placement — assignments stay bit-identical to an untiled compile.
+	BoundaryWeight float64
 }
 
 // Loc is a physical neuron location.
@@ -129,8 +142,19 @@ type Stats struct {
 	// GridWidth/GridHeight are the placed grid dimensions.
 	GridWidth, GridHeight int
 	// PlacementCost is the traffic-weighted Manhattan cost of the final
-	// placement (the T5 metric).
+	// placement (the T5 metric), excluding any boundary term.
 	PlacementCost float64
+	// ChipCoresX/ChipCoresY record the per-chip core dimensions the
+	// placement was compiled for (0 = untiled). Serving layers validate
+	// their tile against these.
+	ChipCoresX, ChipCoresY int
+	// BoundaryCost is the λ-weighted crossing cost of the placement
+	// (zero when untiled or λ = 0).
+	BoundaryCost float64
+	// PredictedInterChipFraction is the fraction of compile-time traffic
+	// weight whose endpoints land on different chips — the placement's
+	// prediction of the measured system.InterChipFraction (0 untiled).
+	PredictedInterChipFraction float64
 }
 
 // DecodeOutput maps an external output spike back to its logical neuron.
@@ -351,6 +375,15 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 	totalGroups := nGroups + nSplits
 
 	// ---- Phase 4: grid sizing and placement. ----
+	if (opt.ChipCoresX > 0) != (opt.ChipCoresY > 0) || opt.ChipCoresX < 0 || opt.ChipCoresY < 0 {
+		return nil, fmt.Errorf("compile: chip tile %dx%d must set both dimensions", opt.ChipCoresX, opt.ChipCoresY)
+	}
+	if opt.BoundaryWeight < 0 {
+		return nil, fmt.Errorf("compile: negative boundary weight %g", opt.BoundaryWeight)
+	}
+	if opt.BoundaryWeight > 0 && opt.ChipCoresX == 0 {
+		return nil, fmt.Errorf("compile: boundary weight %g needs ChipCoresX/ChipCoresY", opt.BoundaryWeight)
+	}
 	width, height := opt.Width, opt.Height
 	if width == 0 || height == 0 {
 		side := int(math.Ceil(math.Sqrt(float64(totalGroups))))
@@ -358,6 +391,16 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 			side = 1
 		}
 		width, height = side, side
+		// Compiling for a tile: round the auto grid up so it splits into
+		// whole chips, mirroring system.Config's serving-time constraint.
+		if opt.ChipCoresX > 0 {
+			width += (opt.ChipCoresX - width%opt.ChipCoresX) % opt.ChipCoresX
+			height += (opt.ChipCoresY - height%opt.ChipCoresY) % opt.ChipCoresY
+		}
+	}
+	if opt.ChipCoresX > 0 && (width%opt.ChipCoresX != 0 || height%opt.ChipCoresY != 0) {
+		return nil, fmt.Errorf("compile: %dx%d grid does not tile into %dx%d-core chips",
+			width, height, opt.ChipCoresX, opt.ChipCoresY)
 	}
 	if width*height < totalGroups {
 		return nil, fmt.Errorf("compile: %d groups exceed the %dx%d grid", totalGroups, width, height)
@@ -390,7 +433,11 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 		}
 	}
 
-	prob := &place.Problem{N: totalGroups, Width: width, Height: height, Traffic: traffic}
+	prob := &place.Problem{
+		N: totalGroups, Width: width, Height: height, Traffic: traffic,
+		ChipCoresX: opt.ChipCoresX, ChipCoresY: opt.ChipCoresY,
+		BoundaryWeight: opt.BoundaryWeight,
+	}
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
@@ -553,6 +600,15 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 	mapping.Stats.UsedCores = totalGroups
 	mapping.Stats.GridWidth = width
 	mapping.Stats.GridHeight = height
-	mapping.Stats.PlacementCost = prob.Cost(assign)
+	mapping.Stats.PlacementCost = prob.HopCost(assign)
+	if opt.ChipCoresX > 0 {
+		mapping.Stats.ChipCoresX = opt.ChipCoresX
+		mapping.Stats.ChipCoresY = opt.ChipCoresY
+		cross, total := prob.CrossWeight(assign)
+		mapping.Stats.BoundaryCost = opt.BoundaryWeight * cross
+		if total > 0 {
+			mapping.Stats.PredictedInterChipFraction = cross / total
+		}
+	}
 	return mapping, nil
 }

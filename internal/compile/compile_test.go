@@ -336,3 +336,100 @@ func TestAxonBudgetForcesGroupSplit(t *testing.T) {
 		t.Fatalf("NeuronGroups = %d, want >= 2 (axon budget)", mp.Stats.NeuronGroups)
 	}
 }
+
+func TestCompileBoundaryOptionsValidated(t *testing.T) {
+	net := bigNet()
+	bad := map[string]Options{
+		"one chip dim":        {ChipCoresX: 2},
+		"negative chip dim":   {ChipCoresX: -2, ChipCoresY: 2},
+		"lambda without tile": {BoundaryWeight: 1},
+		"negative lambda":     {ChipCoresX: 2, ChipCoresY: 2, BoundaryWeight: -1},
+		"forced grid no tile": {Width: 3, Height: 3, ChipCoresX: 2, ChipCoresY: 2},
+	}
+	for name, opt := range bad {
+		if _, err := Compile(net, opt); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCompileTiledAutoGridRounds(t *testing.T) {
+	// bigNet needs 3 cores -> auto side 2; compiling for 3x3-core chips
+	// must round the grid up to tile exactly.
+	mp, err := Compile(bigNet(), Options{ChipCoresX: 3, ChipCoresY: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Stats.GridWidth%3 != 0 || mp.Stats.GridHeight%3 != 0 {
+		t.Fatalf("auto grid %dx%d does not tile into 3x3-core chips",
+			mp.Stats.GridWidth, mp.Stats.GridHeight)
+	}
+	if mp.Stats.ChipCoresX != 3 || mp.Stats.ChipCoresY != 3 {
+		t.Fatalf("tiling not recorded: %+v", mp.Stats)
+	}
+}
+
+// TestCompileTiledLambdaZeroBitIdentical pins the compatibility
+// contract end to end: compiling with a tiling recorded but λ = 0 must
+// produce the exact placement (and hence chip image) of an untiled
+// compile, while additionally reporting the predicted fraction.
+func TestCompileTiledLambdaZeroBitIdentical(t *testing.T) {
+	for _, placer := range []Placer{PlacerGreedy, PlacerRandom, PlacerAnneal} {
+		plain, err := Compile(bigNet(), Options{Placer: placer, Seed: 5, Width: 4, Height: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiled, err := Compile(bigNet(), Options{Placer: placer, Seed: 5, Width: 4, Height: 4,
+			ChipCoresX: 2, ChipCoresY: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range plain.NeuronLoc {
+			if plain.NeuronLoc[id] != tiled.NeuronLoc[id] {
+				t.Fatalf("%v: λ=0 tiling moved neuron %d: %+v -> %+v",
+					placer, id, plain.NeuronLoc[id], tiled.NeuronLoc[id])
+			}
+		}
+		if plain.Stats.PlacementCost != tiled.Stats.PlacementCost {
+			t.Fatalf("%v: hop cost changed: %g -> %g",
+				placer, plain.Stats.PlacementCost, tiled.Stats.PlacementCost)
+		}
+		if tiled.Stats.BoundaryCost != 0 {
+			t.Fatalf("%v: λ=0 compile has boundary cost %g", placer, tiled.Stats.BoundaryCost)
+		}
+		if plain.Stats.PredictedInterChipFraction != 0 {
+			t.Fatalf("%v: untiled compile predicts fraction %g",
+				placer, plain.Stats.PredictedInterChipFraction)
+		}
+	}
+}
+
+// TestCompileBoundaryAwareReducesPredictedFraction is the compile-level
+// objective test: with λ > 0 the recorded predicted inter-chip fraction
+// must not exceed the λ=0 placement's, and for the annealer on this
+// instance it must strictly drop.
+func TestCompileBoundaryAwareReducesPredictedFraction(t *testing.T) {
+	base := Options{Placer: PlacerAnneal, Seed: 3, AnnealIters: 20000,
+		Width: 4, Height: 4, ChipCoresX: 2, ChipCoresY: 2}
+	blind, err := Compile(bigNet(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := base
+	aware.BoundaryWeight = 8
+	opt, err := Compile(bigNet(), aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := blind.Stats.PredictedInterChipFraction
+	fa := opt.Stats.PredictedInterChipFraction
+	if fb == 0 {
+		t.Skip("λ=0 placement has no crossings; instance no longer discriminates")
+	}
+	if fa >= fb {
+		t.Errorf("λ=8 predicted fraction %g not below λ=0's %g", fa, fb)
+	}
+	if opt.Stats.BoundaryCost < 0 {
+		t.Errorf("negative boundary cost %g", opt.Stats.BoundaryCost)
+	}
+}

@@ -16,8 +16,11 @@ import (
 )
 
 const (
-	mappingMagic   = 0x4E474D6150 // "NGMaP"-ish tag
-	mappingVersion = 1
+	mappingMagic = 0x4E474D6150 // "NGMaP"-ish tag
+	// Version 2 appended the tiling stats (chip dims, boundary cost,
+	// predicted inter-chip fraction) for boundary-aware placements;
+	// v1 streams still load, with the untiled zero values.
+	mappingVersion = 2
 )
 
 // Write serializes the mapping to dst.
@@ -92,6 +95,15 @@ func (m *Mapping) Write(dst io.Writer) error {
 	if err := u64(uint64(int64(m.Stats.PlacementCost * 1e6))); err != nil {
 		return err
 	}
+	if err := write(uint64(m.Stats.ChipCoresX), uint64(m.Stats.ChipCoresY)); err != nil {
+		return err
+	}
+	if err := u64(uint64(int64(m.Stats.BoundaryCost * 1e6))); err != nil {
+		return err
+	}
+	if err := u64(uint64(int64(m.Stats.PredictedInterChipFraction * 1e9))); err != nil {
+		return err
+	}
 	return w.Flush()
 }
 
@@ -128,8 +140,9 @@ func ReadMapping(src io.Reader) (*Mapping, error) {
 			retErr = fmt.Errorf("compile: bad mapping magic %#x", magic)
 			return
 		}
-		if v := need(); v != mappingVersion {
-			retErr = fmt.Errorf("compile: unsupported mapping version %d", v)
+		version := need()
+		if version < 1 || version > mappingVersion {
+			retErr = fmt.Errorf("compile: unsupported mapping version %d", version)
 			return
 		}
 		cfg, err := persist.ReadConfig(r)
@@ -183,6 +196,14 @@ func ReadMapping(src io.Reader) (*Mapping, error) {
 		m.Stats.GridWidth = int(need())
 		m.Stats.GridHeight = int(need())
 		m.Stats.PlacementCost = float64(int64(need())) / 1e6
+		// The v2 tiling stats are appended at the end of the stream, so
+		// v1 artifacts load unchanged with the untiled zero values.
+		if version >= 2 {
+			m.Stats.ChipCoresX = int(need())
+			m.Stats.ChipCoresY = int(need())
+			m.Stats.BoundaryCost = float64(int64(need())) / 1e6
+			m.Stats.PredictedInterChipFraction = float64(int64(need())) / 1e9
+		}
 	}()
 	if retErr != nil {
 		return nil, retErr

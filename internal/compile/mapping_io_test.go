@@ -2,6 +2,7 @@ package compile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"github.com/neurogo/neurogo/internal/chip"
@@ -129,5 +130,68 @@ func TestReadMappingRejectsTruncated(t *testing.T) {
 	data := buf.Bytes()
 	if _, err := ReadMapping(bytes.NewReader(data[:len(data)-9])); err == nil {
 		t.Fatal("truncated mapping accepted")
+	}
+}
+
+// TestMappingRoundTripTiledStats pins the v2 serialization of the
+// boundary-aware tiling stats (fixed-point encoded, so fractions
+// round-trip to 1e-9).
+func TestMappingRoundTripTiledStats(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Placer: PlacerAnneal, Seed: 3,
+		Width: 4, Height: 4, ChipCoresX: 2, ChipCoresY: 2, BoundaryWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.ChipCoresX != 2 || got.Stats.ChipCoresY != 2 {
+		t.Fatalf("tiling lost: %+v", got.Stats)
+	}
+	if d := got.Stats.BoundaryCost - orig.Stats.BoundaryCost; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("boundary cost %g vs %g", got.Stats.BoundaryCost, orig.Stats.BoundaryCost)
+	}
+	f1, f2 := got.Stats.PredictedInterChipFraction, orig.Stats.PredictedInterChipFraction
+	if d := f1 - f2; d > 1e-8 || d < -1e-8 {
+		t.Fatalf("predicted fraction %g vs %g", f1, f2)
+	}
+}
+
+// TestMappingReadsV1Stream pins backward compatibility: the v2 tiling
+// stats are appended at the end of the stream, so a v1 artifact (no
+// trailing 32 stat bytes, version word 1) must load with the untiled
+// zero values.
+func TestMappingReadsV1Stream(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := buf.Bytes()
+	v1 = v1[:len(v1)-32] // drop the four appended v2 stat words
+	binary.LittleEndian.PutUint64(v1[8:16], 1)
+	got, err := ReadMapping(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if got.Stats.ChipCoresX != 0 || got.Stats.ChipCoresY != 0 ||
+		got.Stats.BoundaryCost != 0 || got.Stats.PredictedInterChipFraction != 0 {
+		t.Fatalf("v1 stream loaded tiling stats: %+v", got.Stats)
+	}
+	if got.Stats.PlacementCost != orig.Stats.PlacementCost {
+		t.Fatalf("placement cost %g, want %g", got.Stats.PlacementCost, orig.Stats.PlacementCost)
+	}
+	for i := range orig.NeuronLoc {
+		if got.NeuronLoc[i] != orig.NeuronLoc[i] {
+			t.Fatalf("NeuronLoc[%d] differs", i)
+		}
 	}
 }

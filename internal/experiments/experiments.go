@@ -71,6 +71,7 @@ func registry() []runner {
 		{"F7", F7Detector},
 		{"E1", E1Conv},
 		{"E2", E2System},
+		{"E3", E3Boundary},
 	}
 }
 

@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"T1", "F1", "T2", "F2", "F3", "F4", "T3", "F5", "T4", "F6", "T5", "F7", "E1", "E2"}
+	want := []string{"T1", "F1", "T2", "F2", "F3", "F4", "T3", "F5", "T4", "F6", "T5", "F7", "E1", "E2", "E3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -179,6 +179,25 @@ func TestE2System(t *testing.T) {
 	if r.Metrics["interchip_greedy"] >= r.Metrics["interchip_random"] {
 		t.Errorf("greedy inter-chip fraction %g must beat random %g",
 			r.Metrics["interchip_greedy"], r.Metrics["interchip_random"])
+	}
+}
+
+func TestE3Boundary(t *testing.T) {
+	r := E3Boundary(true)
+	if r.Metrics["measured_l0"] == 0 {
+		t.Fatal("λ=0 annealing crossed no boundary; instance no longer discriminates")
+	}
+	// The headline claim: pricing crossings lowers the measured
+	// inter-chip fraction vs the boundary-blind (λ=0) placement.
+	if r.Metrics["measured_l8"] >= r.Metrics["measured_l0"] {
+		t.Errorf("λ=8 measured fraction %g not below λ=0's %g",
+			r.Metrics["measured_l8"], r.Metrics["measured_l0"])
+	}
+	// The compile-time prediction tracks the measurement directionally:
+	// λ=8's predicted fraction must also undercut λ=0's.
+	if r.Metrics["predicted_l8"] >= r.Metrics["predicted_l0"] {
+		t.Errorf("λ=8 predicted fraction %g not below λ=0's %g",
+			r.Metrics["predicted_l8"], r.Metrics["predicted_l0"])
 	}
 }
 

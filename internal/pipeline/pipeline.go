@@ -182,6 +182,16 @@ func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
 		if err := cfg.system.Validate(m.Chip); err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
+		// A boundary-aware mapping is optimised for one specific tiling;
+		// serving it across a different one silently voids the placement
+		// (and its predicted fraction), so mismatches are errors. Untiled
+		// mappings (ChipCoresX == 0) serve any tile, as before.
+		if st := m.Stats; st.ChipCoresX > 0 &&
+			(st.ChipCoresX != cfg.system.ChipCoresX || st.ChipCoresY != cfg.system.ChipCoresY) {
+			return nil, fmt.Errorf(
+				"pipeline: mapping compiled for %dx%d-core chips cannot serve a %dx%d-core tile; recompile with the serving tiling",
+				st.ChipCoresX, st.ChipCoresY, cfg.system.ChipCoresX, cfg.system.ChipCoresY)
+		}
 	}
 	return &Pipeline{mapping: m, cfg: cfg}, nil
 }
@@ -353,6 +363,12 @@ type BoundaryTraffic struct {
 	// has crossed any link).
 	BusiestLink            uint64
 	BusiestSrc, BusiestDst int
+	// PredictedInterChipFraction is the compile-time prediction of
+	// InterChipFraction recorded by a boundary-aware mapping (see
+	// compile.Stats); zero when the mapping was compiled untiled.
+	// Comparing it against the measured fraction is how placement
+	// quality is judged per deployment.
+	PredictedInterChipFraction float64
 }
 
 func singleChipTraffic() BoundaryTraffic {
@@ -392,7 +408,12 @@ func summarizeTraffic(chipsX, chipsY int, intra, inter uint64, link [][]uint64) 
 // summary with Chips == 1.
 func (p *Pipeline) Traffic() BoundaryTraffic {
 	if p.cfg.system == nil {
-		return singleChipTraffic()
+		// A tiled-compiled mapping served single-chip still reports its
+		// compiled prediction (the field is zero only for untiled
+		// compiles, per the BoundaryTraffic doc).
+		bt := singleChipTraffic()
+		bt.PredictedInterChipFraction = p.mapping.Stats.PredictedInterChipFraction
+		return bt
 	}
 	p.mu.Lock()
 	sessions := append([]*Session(nil), p.sessions...)
@@ -415,7 +436,9 @@ func (p *Pipeline) Traffic() BoundaryTraffic {
 			}
 		}
 	}
-	return summarizeTraffic(chipsX, chipsY, intra, inter, sum)
+	out := summarizeTraffic(chipsX, chipsY, intra, inter, sum)
+	out.PredictedInterChipFraction = p.mapping.Stats.PredictedInterChipFraction
+	return out
 }
 
 // Session is one independent inference lane: a private backend (chip
@@ -495,10 +518,13 @@ func (s *Session) Usage(hardware bool) energy.Usage {
 // reads live counters, so only the owning goroutine may call it
 // mid-presentation; Pipeline.Traffic aggregates race-safe snapshots.
 func (s *Session) Traffic() BoundaryTraffic {
+	var bt BoundaryTraffic
 	if s.sys == nil {
-		return singleChipTraffic()
+		bt = singleChipTraffic()
+	} else {
+		bt, _ = s.liveTraffic()
 	}
-	bt, _ := s.liveTraffic()
+	bt.PredictedInterChipFraction = s.p.mapping.Stats.PredictedInterChipFraction
 	return bt
 }
 

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/neurogo/neurogo/internal/codec"
@@ -551,5 +552,135 @@ func TestTrafficNotBlockedByBatch(t *testing.T) {
 	bt := p.Traffic()
 	if bt.IntraChip+bt.InterChip == 0 && rg.mapping.Stats.UsedCores > 1 {
 		t.Fatal("no traffic recorded after batch")
+	}
+}
+
+// chainNet builds four exactly-core-sized populations in a relay chain
+// (in -> p0 -> p1 -> p2 -> p3 -> out, 1:1 wiring), so the group-level
+// traffic graph is a 4-chain with equal edge weights — the instance
+// where boundary-blind placement straddles a chip edge that
+// boundary-aware placement can avoid at zero hop cost.
+func chainNet() *model.Network {
+	m := model.New()
+	in := m.AddInputBank("in", 4, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	var pops [4]*model.Population
+	for pi := range pops {
+		pops[pi] = m.AddPopulation(fmt.Sprintf("p%d", pi), 256, proto)
+	}
+	for i := 0; i < 256; i++ {
+		m.Connect(in.Line(i%4), pops[0].ID(i))
+		for pi := 0; pi+1 < len(pops); pi++ {
+			m.Connect(model.NeuronNode(pops[pi].ID(i)), pops[pi+1].ID(i))
+		}
+		m.MarkOutput(pops[3].ID(i))
+	}
+	return m
+}
+
+// chainTraffic serves mp across a 2-chip tile (2x2 cores each), drives
+// one deterministic presentation, and returns the measured boundary
+// traffic plus the label stream.
+func chainTraffic(t *testing.T, mp *compile.Mapping) (BoundaryTraffic, []Label) {
+	t.Helper()
+	p, err := New(mp, WithSystem(2, 2), WithDrain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSession()
+	st := s.Stream(context.Background())
+	var labels []Label
+	for tick := 0; tick < 6; tick++ {
+		for line := int32(0); line < 4; line++ {
+			if err := st.Inject(line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ls, err := st.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, ls...)
+	}
+	ls, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels = append(labels, ls...)
+	return p.Traffic(), labels
+}
+
+// TestBoundaryAwarePlacementLowersMeasuredFraction is the end-to-end
+// acceptance test for boundary-aware placement: on a 2-chip tile the
+// λ>0 compile must measure a strictly lower
+// Pipeline.Traffic.InterChipFraction than the λ=0 compile of the same
+// network under the same workload, with bit-identical predictions, and
+// the compile-time predicted fraction must agree with the measurement.
+func TestBoundaryAwarePlacementLowersMeasuredFraction(t *testing.T) {
+	base := compile.Options{Placer: compile.PlacerGreedy, Width: 4, Height: 2,
+		ChipCoresX: 2, ChipCoresY: 2}
+	blindMp, err := compile.Compile(chainNet(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := base
+	aware.BoundaryWeight = 4
+	awareMp, err := compile.Compile(chainNet(), aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blind, blindLabels := chainTraffic(t, blindMp)
+	opt, optLabels := chainTraffic(t, awareMp)
+
+	if blind.InterChipFraction == 0 {
+		t.Fatal("λ=0 placement crossed no boundary; instance no longer discriminates")
+	}
+	if opt.InterChipFraction >= blind.InterChipFraction {
+		t.Fatalf("λ=4 measured fraction %g not below λ=0's %g",
+			opt.InterChipFraction, blind.InterChipFraction)
+	}
+	// Placement never changes spike semantics: the label streams match.
+	if len(blindLabels) == 0 || len(blindLabels) != len(optLabels) {
+		t.Fatalf("label streams differ in length: %d vs %d", len(blindLabels), len(optLabels))
+	}
+	for i := range blindLabels {
+		if blindLabels[i] != optLabels[i] {
+			t.Fatalf("label %d differs: %+v vs %+v", i, blindLabels[i], optLabels[i])
+		}
+	}
+	// The compiled prediction is carried into the traffic summary and
+	// agrees with the measurement (equal edge weights make it exact).
+	for name, pair := range map[string][2]float64{
+		"blind": {blind.PredictedInterChipFraction, blind.InterChipFraction},
+		"aware": {opt.PredictedInterChipFraction, opt.InterChipFraction},
+	} {
+		if d := pair[0] - pair[1]; d > 1e-9 || d < -1e-9 {
+			t.Errorf("%s: predicted %g vs measured %g", name, pair[0], pair[1])
+		}
+	}
+}
+
+// TestTilingMismatchRejected pins the compile/serve tiling contract: a
+// mapping compiled for one tiling must not silently serve another.
+func TestTilingMismatchRejected(t *testing.T) {
+	mp, err := compile.Compile(chainNet(), compile.Options{Width: 4, Height: 2,
+		ChipCoresX: 2, ChipCoresY: 2, BoundaryWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mp, WithSystem(4, 2)); err == nil {
+		t.Error("serving a 2x2-compiled mapping on 4x2-core chips accepted")
+	}
+	if _, err := New(mp, WithSystem(2, 2)); err != nil {
+		t.Errorf("matching tile rejected: %v", err)
+	}
+	// Untiled mappings keep serving any tile.
+	plain, err := compile.Compile(chainNet(), compile.Options{Width: 4, Height: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(plain, WithSystem(4, 2)); err != nil {
+		t.Errorf("untiled mapping rejected on 1x1 tile: %v", err)
 	}
 }

@@ -7,10 +7,19 @@
 // insertion next to already-placed traffic partners), and Anneal
 // (simulated annealing refinement on top of Greedy). All are
 // deterministic given their seed.
+//
+// For multi-chip builds the grid can additionally be partitioned into a
+// tile of physical chips (ChipCoresX x ChipCoresY cores each). The
+// objective then gains a boundary term: every unit of traffic whose
+// endpoints land on different chips costs an extra BoundaryWeight (λ),
+// because chip-to-chip links — not mesh hops — are the scarce resource
+// of tiled systems. With λ = 0 the boundary machinery is inert and every
+// placer reproduces its untiled assignment bit-identically.
 package place
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/neurogo/neurogo/internal/rng"
 )
@@ -24,6 +33,16 @@ type Problem struct {
 	// Traffic[i][j] is the expected spike rate from group i to group j
 	// (any nonnegative unit; only relative magnitudes matter).
 	Traffic [][]float64
+	// ChipCoresX and ChipCoresY optionally partition the grid into
+	// physical chips of that many cores each (0,0 = untiled). When set,
+	// both must be positive and divide Width and Height — the same
+	// tiling constraint system.Config enforces at serving time.
+	ChipCoresX, ChipCoresY int
+	// BoundaryWeight is λ: the extra cost charged per unit of traffic
+	// whose endpoints land on different chips. Requires a tiling; zero
+	// leaves the objective (and every placer's output) bit-identical to
+	// the untiled problem.
+	BoundaryWeight float64
 }
 
 // Validate checks the instance shape.
@@ -36,6 +55,19 @@ func (p *Problem) Validate() error {
 	}
 	if p.Width*p.Height < p.N {
 		return fmt.Errorf("place: %d groups exceed %d grid slots", p.N, p.Width*p.Height)
+	}
+	if (p.ChipCoresX > 0) != (p.ChipCoresY > 0) || p.ChipCoresX < 0 || p.ChipCoresY < 0 {
+		return fmt.Errorf("place: chip tile %dx%d must set both dimensions", p.ChipCoresX, p.ChipCoresY)
+	}
+	if p.ChipCoresX > 0 && (p.Width%p.ChipCoresX != 0 || p.Height%p.ChipCoresY != 0) {
+		return fmt.Errorf("place: %dx%d grid does not tile into %dx%d-core chips",
+			p.Width, p.Height, p.ChipCoresX, p.ChipCoresY)
+	}
+	if p.BoundaryWeight < 0 {
+		return fmt.Errorf("place: negative boundary weight %g", p.BoundaryWeight)
+	}
+	if p.BoundaryWeight > 0 && p.ChipCoresX == 0 {
+		return fmt.Errorf("place: boundary weight %g needs a chip tiling", p.BoundaryWeight)
 	}
 	if len(p.Traffic) != p.N {
 		return fmt.Errorf("place: traffic matrix has %d rows for %d groups", len(p.Traffic), p.N)
@@ -51,6 +83,29 @@ func (p *Problem) Validate() error {
 		}
 	}
 	return nil
+}
+
+// tiled reports whether the grid is partitioned into physical chips.
+func (p *Problem) tiled() bool { return p.ChipCoresX > 0 && p.ChipCoresY > 0 }
+
+// boundaryActive reports whether the placers must price chip crossings.
+func (p *Problem) boundaryActive() bool { return p.tiled() && p.BoundaryWeight > 0 }
+
+// chipIndex returns, per grid slot, the physical chip hosting it
+// (row-major over the chip tile), or nil for untiled problems. Placers
+// precompute it once so the hot loops pay an array load, not divisions.
+func (p *Problem) chipIndex() []int {
+	if !p.tiled() {
+		return nil
+	}
+	chipsX := p.Width / p.ChipCoresX
+	idx := make([]int, p.Width*p.Height)
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			idx[y*p.Width+x] = (y/p.ChipCoresY)*chipsX + x/p.ChipCoresX
+		}
+	}
+	return idx
 }
 
 // Assignment maps each group to a linear grid slot (y*Width + x).
@@ -70,8 +125,9 @@ func (p *Problem) dist(s1, s2 int) int {
 	return dx + dy
 }
 
-// Cost returns the total traffic-weighted Manhattan distance of a.
-func (p *Problem) Cost(a Assignment) float64 {
+// HopCost returns the traffic-weighted Manhattan distance of a — the
+// classic placement objective, excluding any boundary term.
+func (p *Problem) HopCost(a Assignment) float64 {
 	total := 0.0
 	for i := 0; i < p.N; i++ {
 		row := p.Traffic[i]
@@ -82,6 +138,48 @@ func (p *Problem) Cost(a Assignment) float64 {
 		}
 	}
 	return total
+}
+
+// CrossWeight returns the total traffic weight whose endpoints land on
+// different physical chips under a, and the total traffic weight
+// overall. Both are zero-safe for untiled problems (cross is 0).
+func (p *Problem) CrossWeight(a Assignment) (cross, total float64) {
+	chip := p.chipIndex()
+	for i := 0; i < p.N; i++ {
+		row := p.Traffic[i]
+		for j := 0; j < p.N; j++ {
+			if w := row[j]; w > 0 {
+				total += w
+				if chip != nil && chip[a[i]] != chip[a[j]] {
+					cross += w
+				}
+			}
+		}
+	}
+	return cross, total
+}
+
+// InterChipFraction returns the fraction of traffic weight crossing
+// chip boundaries under a — the compile-time prediction of the measured
+// system.InterChipFraction. Zero for untiled problems or no traffic.
+func (p *Problem) InterChipFraction(a Assignment) float64 {
+	cross, total := p.CrossWeight(a)
+	if total == 0 {
+		return 0
+	}
+	return cross / total
+}
+
+// Cost returns the combined placement objective: traffic-weighted
+// Manhattan distance plus BoundaryWeight per unit of traffic crossing a
+// chip boundary. With λ = 0 (or no tiling) it equals HopCost exactly.
+func (p *Problem) Cost(a Assignment) float64 {
+	c := p.HopCost(a)
+	if p.boundaryActive() {
+		cross, _ := p.CrossWeight(a)
+		c += p.BoundaryWeight * cross
+	}
+	return c
 }
 
 // CheckLegal verifies a is a valid injective slot assignment.
@@ -154,12 +252,15 @@ func spiralOrder(w, h int) []int {
 			all = append(all, sd{y*w + x, dx + dy})
 		}
 	}
-	// Stable insertion sort by (d, slot); n is small (grid size).
-	for i := 1; i < len(all); i++ {
-		for j := i; j > 0 && (all[j].d < all[j-1].d || (all[j].d == all[j-1].d && all[j].slot < all[j-1].slot)); j-- {
-			all[j], all[j-1] = all[j-1], all[j]
+	// (d, slot) is a strict total order (slots are unique), so any
+	// comparison sort yields the same sequence the old insertion sort
+	// did — in O(n log n) instead of O(n²) over the whole grid.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
 		}
-	}
+		return all[i].slot < all[j].slot
+	})
 	out := make([]int, len(all))
 	for i, e := range all {
 		out[i] = e.slot
@@ -167,15 +268,29 @@ func spiralOrder(w, h int) []int {
 	return out
 }
 
+// placedEdge is one already-placed traffic partner of the group being
+// inserted: its slot coordinates, hosting chip (when tiled) and the
+// symmetric edge weight.
+type placedEdge struct {
+	x, y, chip int
+	w          float64
+}
+
 // Greedy places the most-connected group at the grid centre, then
 // repeatedly takes the unplaced group with the strongest connection to
 // the placed set and puts it on the free slot minimising its incremental
-// traffic-distance cost.
+// cost: traffic times distance to every placed partner, plus λ times the
+// traffic of partners left on a different chip (when the problem tiles).
 func Greedy(p *Problem) Assignment {
 	if p.N == 0 {
 		return Assignment{}
 	}
 	adj := adjacency(p)
+	lambda := p.BoundaryWeight
+	var chip []int
+	if p.boundaryActive() {
+		chip = p.chipIndex()
+	}
 
 	// Connection strength to the placed set; -1 marks placed.
 	gain := make([]float64, p.N)
@@ -195,24 +310,33 @@ func Greedy(p *Problem) Assignment {
 		}
 	}
 
-	slots := spiralOrder(p.Width, p.Height)
-	freeSlots := make([]bool, p.Width*p.Height)
-	for _, s := range slots {
-		freeSlots[s] = true
+	// free holds the still-unused slots in spiral order; placements
+	// remove their slot order-preservingly, so the scan below visits
+	// exactly the free slots the old full-grid scan would have kept.
+	free := spiralOrder(p.Width, p.Height)
+
+	// Per-slot coordinates, precomputed so the insertion scan pays two
+	// subtractions per distance instead of div/mod (exact either way).
+	xs := make([]int, p.Width*p.Height)
+	ys := make([]int, p.Width*p.Height)
+	for s := range xs {
+		xs[s], ys[s] = s%p.Width, s/p.Width
 	}
 
-	placeAt := func(g, slot int) {
+	placeAt := func(g, freeIdx int) {
+		slot := free[freeIdx]
+		free = append(free[:freeIdx], free[freeIdx+1:]...)
 		a[g] = slot
 		placed[g] = true
-		freeSlots[slot] = false
 		for _, e := range adj[g] {
 			if !placed[e.to] {
 				gain[e.to] += e.w
 			}
 		}
 	}
-	placeAt(seed, slots[0])
+	placeAt(seed, 0)
 
+	partners := make([]placedEdge, 0, 16)
 	for count := 1; count < p.N; count++ {
 		// Next group: strongest tie to placed set; fall back to first
 		// unplaced (disconnected components).
@@ -222,24 +346,57 @@ func Greedy(p *Problem) Assignment {
 				g, bestGain = i, gain[i]
 			}
 		}
-		// Best free slot by incremental cost; scan in spiral order so
-		// disconnected groups stay compact.
-		bestSlot, bestCost := -1, 0.0
-		for _, s := range slots {
-			if !freeSlots[s] {
-				continue
-			}
-			c := 0.0
-			for _, e := range adj[g] {
-				if placed[e.to] {
-					c += e.w * float64(p.dist(s, a[e.to]))
+		// Placed partners of g, in adjacency order (so the incremental
+		// cost accumulates in the same order the unpruned scan used).
+		partners = partners[:0]
+		for _, e := range adj[g] {
+			if placed[e.to] {
+				s := a[e.to]
+				pc := 0
+				if chip != nil {
+					pc = chip[s]
 				}
-			}
-			if bestSlot == -1 || c < bestCost {
-				bestSlot, bestCost = s, c
+				partners = append(partners, placedEdge{xs[s], ys[s], pc, e.w})
 			}
 		}
-		placeAt(g, bestSlot)
+		// Best free slot by incremental cost, scanned in spiral order so
+		// disconnected groups stay compact. Two prunes keep the scan
+		// cheap without changing the selection: partial sums only grow
+		// (weights are nonnegative), so a slot is abandoned as soon as
+		// it reaches the incumbent cost, and a zero-cost incumbent can
+		// never be beaten.
+		bestIdx, bestCost := -1, 0.0
+		for fi, s := range free {
+			c := 0.0
+			sx, sy := xs[s], ys[s]
+			schip := 0
+			if chip != nil {
+				schip = chip[s]
+			}
+			for _, pe := range partners {
+				dx, dy := sx-pe.x, sy-pe.y
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				c += pe.w * float64(dx+dy)
+				if chip != nil && schip != pe.chip {
+					c += lambda * pe.w
+				}
+				if bestIdx != -1 && c >= bestCost {
+					break
+				}
+			}
+			if bestIdx == -1 || c < bestCost {
+				bestIdx, bestCost = fi, c
+			}
+			if bestCost == 0 {
+				break
+			}
+		}
+		placeAt(g, bestIdx)
 	}
 	return a
 }
@@ -257,6 +414,10 @@ type AnnealOptions struct {
 // Anneal refines the Greedy placement with simulated annealing: random
 // slot swaps (including moves to free slots), Metropolis acceptance, and
 // geometric cooling. Deterministic for a given seed.
+//
+// Anneal tracks the best assignment seen and returns it, so its result
+// never costs more than its Greedy start — late uphill moves accepted
+// by the cooling schedule cannot leak into the output.
 func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 	a := Greedy(p)
 	if p.N <= 1 {
@@ -269,6 +430,11 @@ func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 		opt.Cooling = 0.9995
 	}
 	adj := adjacency(p)
+	lambda := p.BoundaryWeight
+	var chip []int
+	if p.boundaryActive() {
+		chip = p.chipIndex()
+	}
 
 	// slotOwner[s] = group at slot s, or -1.
 	slotOwner := make([]int, p.Width*p.Height)
@@ -279,9 +445,10 @@ func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 		slotOwner[s] = g
 	}
 
-	// moveDelta computes the cost change of moving group g to slot s2,
-	// excluding any interaction with group `other` (handled by caller
-	// during swaps).
+	// moveDelta computes the combined-cost change of moving group g to
+	// slot s2, excluding any interaction with group `other` (handled by
+	// caller during swaps): the hop-distance change plus λ per unit of
+	// partner traffic that starts or stops crossing a chip boundary.
 	moveDelta := func(g, s2, other int) float64 {
 		s1 := a[g]
 		d := 0.0
@@ -290,14 +457,30 @@ func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 				continue
 			}
 			d += e.w * float64(p.dist(s2, a[e.to])-p.dist(s1, a[e.to]))
+			if chip != nil {
+				partner := chip[a[e.to]]
+				was, now := chip[s1] != partner, chip[s2] != partner
+				if was != now {
+					if now {
+						d += lambda * e.w
+					} else {
+						d -= lambda * e.w
+					}
+				}
+			}
 		}
 		return d
 	}
 
+	cur := p.Cost(a)
+	start := append(Assignment(nil), a...)
+	startCost := cur
+	bestA := append(Assignment(nil), a...)
+	bestCost := cur
+
 	t := opt.T0
 	if t == 0 {
-		c := p.Cost(a)
-		t = 1 + c/float64(p.N*4)
+		t = 1 + cur/float64(p.N*4)
 	}
 	r := rng.NewSplitMix64(seed)
 	nSlots := p.Width * p.Height
@@ -314,8 +497,9 @@ func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 		if o == -1 {
 			delta = moveDelta(g, s2, -1)
 		} else {
-			// Swap: pairwise distance between g and o is unchanged
-			// (their slots swap), so exclude it from both deltas.
+			// Swap: the pairwise g<->o interaction is unchanged — their
+			// slots trade places, so both the distance and the crossing
+			// indicator are symmetric — and is excluded from both deltas.
 			delta = moveDelta(g, s2, o) + moveDelta(o, s1, g)
 		}
 		accept := delta <= 0
@@ -332,10 +516,21 @@ func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 				slotOwner[s1] = o
 			}
 			slotOwner[s2] = g
+			cur += delta
+			if cur < bestCost {
+				bestCost = cur
+				copy(bestA, a)
+			}
 		}
 		t *= opt.Cooling
 	}
-	return a
+	// cur accumulates incrementally, so float drift could crown a
+	// snapshot that an exact re-score puts above the Greedy start;
+	// re-check so Cost(Anneal) <= Cost(Greedy) holds unconditionally.
+	if p.Cost(bestA) > startCost {
+		return start
+	}
+	return bestA
 }
 
 // expNeg returns e^-x for x >= 0 with a cheap clamped series; accuracy is

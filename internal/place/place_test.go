@@ -2,6 +2,7 @@ package place
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"github.com/neurogo/neurogo/internal/rng"
@@ -170,6 +171,67 @@ func TestAnnealLegalAndNoWorseThanGreedy(t *testing.T) {
 	}
 }
 
+// TestAnnealReturnsBestSeen is the regression test for the best-so-far
+// bug: Anneal used to return the *last accepted* assignment, so a late
+// Metropolis uphill move could ship a placement worse than its own
+// Greedy start. It must now hold Cost(Anneal) <= Cost(Greedy) for every
+// seed and iteration budget, including hot short runs where the uphill
+// acceptance rate is highest.
+func TestAnnealReturnsBestSeen(t *testing.T) {
+	for _, n := range []int{8, 24, 36} {
+		for seed := uint64(0); seed < 8; seed++ {
+			p := randomProblem(n, 6, 6, seed+100)
+			greedy := p.Cost(Greedy(p))
+			for _, opt := range []AnnealOptions{
+				{Iters: 50, T0: 100}, // hot and short: mostly uphill moves
+				{Iters: 500, T0: 10}, // cooling mid-run
+				{Iters: 4000},        // the default schedule
+			} {
+				an := Anneal(p, seed, opt)
+				if err := p.CheckLegal(an); err != nil {
+					t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+				}
+				if c := p.Cost(an); c > greedy {
+					t.Errorf("n=%d seed=%d opts=%+v: anneal %g worse than greedy start %g",
+						n, seed, opt, c, greedy)
+				}
+			}
+		}
+	}
+}
+
+// TestPlacerQualityLadder pins the monotone quality invariant on seeded
+// instances: Cost(Anneal) <= Cost(Greedy) <= median Cost(Random), with
+// every placer output legal.
+func TestPlacerQualityLadder(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		p := randomProblem(30, 6, 6, seed)
+		g := Greedy(p)
+		an := Anneal(p, seed, AnnealOptions{Iters: 8000})
+		rnd := make([]float64, 0, 11)
+		for rs := uint64(0); rs < 11; rs++ {
+			ra := Random(p, rs)
+			if err := p.CheckLegal(ra); err != nil {
+				t.Fatalf("seed %d random %d: %v", seed, rs, err)
+			}
+			rnd = append(rnd, p.Cost(ra))
+		}
+		sort.Float64s(rnd)
+		median := rnd[len(rnd)/2]
+		for name, a := range map[string]Assignment{"greedy": g, "anneal": an} {
+			if err := p.CheckLegal(a); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+		}
+		if p.Cost(an) > p.Cost(g) {
+			t.Errorf("seed %d: anneal %g > greedy %g", seed, p.Cost(an), p.Cost(g))
+		}
+		if p.Cost(g) > median {
+			t.Errorf("seed %d: greedy %g > median random %g", seed, p.Cost(g), median)
+		}
+	}
+}
+
 func TestAnnealImprovesBadStart(t *testing.T) {
 	// On a strongly structured instance annealing should find most of
 	// the locality that random placement destroys.
@@ -235,6 +297,143 @@ func TestSpiralOrderCoversGrid(t *testing.T) {
 	}
 }
 
+// boundaryProblem tiles the given grid into chips and sets λ.
+func boundaryProblem(p *Problem, chipX, chipY int, lambda float64) *Problem {
+	q := *p
+	q.ChipCoresX, q.ChipCoresY = chipX, chipY
+	q.BoundaryWeight = lambda
+	return &q
+}
+
+func TestBoundaryValidate(t *testing.T) {
+	base := chainProblem(4, 4, 2)
+	if err := boundaryProblem(base, 2, 2, 1).Validate(); err != nil {
+		t.Fatalf("valid tiled problem rejected: %v", err)
+	}
+	if err := boundaryProblem(base, 2, 2, 0).Validate(); err != nil {
+		t.Fatalf("tiled problem with λ=0 rejected: %v", err)
+	}
+	bad := map[string]*Problem{
+		"one chip dim":        boundaryProblem(base, 2, 0, 0),
+		"negative chip dim":   boundaryProblem(base, -2, 2, 0),
+		"non-tiling chips":    boundaryProblem(base, 3, 2, 1),
+		"negative lambda":     boundaryProblem(base, 2, 2, -1),
+		"lambda without tile": boundaryProblem(base, 0, 0, 1),
+	}
+	for name, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBoundaryCostHandComputed(t *testing.T) {
+	// 3-chain on a 4x1 grid of two 2x1-core chips: slots {0,1} are chip
+	// 0, {2,3} chip 1.
+	p := boundaryProblem(chainProblem(3, 4, 1), 2, 1, 10)
+	// 0,1,2 in a row: edge 0-1 stays on chip 0, edge 1-2 crosses.
+	a := Assignment{0, 1, 2}
+	if c := p.HopCost(a); c != 2 {
+		t.Errorf("hop cost = %g, want 2", c)
+	}
+	if cross, total := p.CrossWeight(a); cross != 1 || total != 2 {
+		t.Errorf("cross/total = %g/%g, want 1/2", cross, total)
+	}
+	if f := p.InterChipFraction(a); f != 0.5 {
+		t.Errorf("fraction = %g, want 0.5", f)
+	}
+	if c := p.Cost(a); c != 2+10*1 {
+		t.Errorf("combined cost = %g, want 12", c)
+	}
+	// All of the chain on chip 0's two slots is impossible (3 groups),
+	// but 0,1 on chip 0 and 2 on chip 1 is what we priced above; pushing
+	// the whole chain onto chip 1's pair plus slot 1 flips the crossing
+	// to edge 0-1.
+	if cross, _ := p.CrossWeight(Assignment{1, 2, 3}); cross != 1 {
+		t.Errorf("cross = %g, want 1", cross)
+	}
+	// Untiled problems never cross.
+	if f := chainProblem(3, 4, 1).InterChipFraction(a); f != 0 {
+		t.Errorf("untiled fraction = %g, want 0", f)
+	}
+}
+
+// TestLambdaZeroBitIdentical is the compatibility contract: recording a
+// tiling with λ = 0 must reproduce the untiled assignments of every
+// placer bit-identically — the boundary machinery is pay-for-use.
+func TestLambdaZeroBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		plain := randomProblem(24, 6, 6, seed)
+		tiled := boundaryProblem(plain, 3, 3, 0)
+		for name, pair := range map[string][2]Assignment{
+			"random": {Random(plain, seed), Random(tiled, seed)},
+			"greedy": {Greedy(plain), Greedy(tiled)},
+			"anneal": {
+				Anneal(plain, seed, AnnealOptions{Iters: 3000}),
+				Anneal(tiled, seed, AnnealOptions{Iters: 3000}),
+			},
+		} {
+			for g := range pair[0] {
+				if pair[0][g] != pair[1][g] {
+					t.Fatalf("seed %d %s: λ=0 tiling moved group %d (%d -> %d)",
+						seed, name, g, pair[0][g], pair[1][g])
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyBoundaryAware pins the objective on a hand-analysable
+// instance: a 4-chain on a 4x2 grid of two 2x2-core chips. Hop cost has
+// crossing and non-crossing optima; λ = 0 greedy happens to pick a
+// crossing one (the blindness E2 documents), λ > 0 must keep the chain
+// on one chip.
+func TestGreedyBoundaryAware(t *testing.T) {
+	blind := boundaryProblem(chainProblem(4, 4, 2), 2, 2, 0)
+	aware := boundaryProblem(chainProblem(4, 4, 2), 2, 2, 4)
+	ab, aa := Greedy(blind), Greedy(aware)
+	if err := blind.CheckLegal(ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := aware.CheckLegal(aa); err != nil {
+		t.Fatal(err)
+	}
+	if f := blind.InterChipFraction(ab); f == 0 {
+		t.Skip("λ=0 greedy found a crossing-free optimum; instance no longer discriminates")
+	}
+	if f := aware.InterChipFraction(aa); f != 0 {
+		t.Errorf("boundary-aware greedy crossed chips: fraction %g, assignment %v", f, aa)
+	}
+	// The crossing-free placement must not give up hop optimality here:
+	// a 4-chain fits a 2x2 chip as a snake of cost 3.
+	if c := aware.HopCost(aa); c != 3 {
+		t.Errorf("boundary-aware greedy hop cost = %g, want 3", c)
+	}
+}
+
+// TestAnnealBoundaryAware drives annealing with a boundary term on
+// structured instances and checks it strictly reduces the predicted
+// inter-chip fraction vs the λ=0 placement while staying legal and
+// never worse than its own greedy start on the combined objective.
+func TestAnnealBoundaryAware(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		blind := boundaryProblem(randomProblem(16, 6, 6, seed), 3, 3, 0)
+		aware := boundaryProblem(randomProblem(16, 6, 6, seed), 3, 3, 6)
+		ab := Anneal(blind, seed, AnnealOptions{Iters: 20000})
+		aa := Anneal(aware, seed, AnnealOptions{Iters: 20000})
+		if err := aware.CheckLegal(aa); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if aware.Cost(aa) > aware.Cost(Greedy(aware)) {
+			t.Errorf("seed %d: aware anneal worse than aware greedy", seed)
+		}
+		fb, fa := blind.InterChipFraction(ab), aware.InterChipFraction(aa)
+		if fa > fb {
+			t.Errorf("seed %d: λ=6 fraction %g above λ=0 fraction %g", seed, fa, fb)
+		}
+	}
+}
+
 func BenchmarkGreedy64(b *testing.B) {
 	p := randomProblem(64, 8, 8, 1)
 	b.ResetTimer()
@@ -248,5 +447,28 @@ func BenchmarkAnneal64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Anneal(p, uint64(i), AnnealOptions{Iters: 2000})
+	}
+}
+
+// BenchmarkPlaceGreedy pins the spiral-order sort and pruned-scan win
+// on a production-scale grid: 512 groups over the full 64x64-core chip
+// (4096 slots — the grid where the old O(n²) insertion sort and
+// full-grid rescans dominated).
+func BenchmarkPlaceGreedy(b *testing.B) {
+	p := randomProblem(512, 64, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(p)
+	}
+}
+
+// BenchmarkPlaceGreedyBoundary is the same instance with the boundary
+// term active (2x2 chips of 32x32 cores), pinning the overhead of
+// pricing crossings in the insertion scan.
+func BenchmarkPlaceGreedyBoundary(b *testing.B) {
+	p := boundaryProblem(randomProblem(512, 64, 64, 1), 32, 32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(p)
 	}
 }

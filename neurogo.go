@@ -45,6 +45,19 @@
 //	labels, err := p.ClassifyBatch(ctx, images)
 //	fmt.Println(neurogo.PipelineTrafficOf(p).InterChipFraction)
 //
+// Mappings destined for a tile should be compiled for it: setting
+// ChipCoresX/ChipCoresY (and a BoundaryWeight λ) makes the placer
+// minimise chip crossings alongside hop distance, and the mapping
+// records its predicted inter-chip fraction for comparison against the
+// measured one:
+//
+//	mapping, err := neurogo.Compile(net, neurogo.CompileOptions{
+//		ChipCoresX: 4, ChipCoresY: 4, BoundaryWeight: 2,
+//	})
+//	p, err := neurogo.NewPipeline(mapping, neurogo.WithSystem(4, 4), ...)
+//	bt := neurogo.PipelineTrafficOf(p)
+//	fmt.Println(bt.PredictedInterChipFraction, bt.InterChipFraction)
+//
 // Simulation is deterministic: identical configurations and seeds yield
 // bit-identical spike streams across the event-driven, dense and
 // parallel engines.
@@ -129,7 +142,9 @@ func Gallery() []Behavior { return neuron.Gallery() }
 
 // ---- Compilation ----
 
-// CompileOptions tunes placement and grid sizing.
+// CompileOptions tunes placement and grid sizing, including the
+// multi-chip tiling (ChipCoresX/ChipCoresY) and boundary weight λ of
+// boundary-aware placement.
 type CompileOptions = compile.Options
 
 // Placer selects the placement algorithm.
