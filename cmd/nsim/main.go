@@ -41,6 +41,7 @@ func main() {
 		raster   = flag.Bool("raster", true, "print an output raster")
 		chips    = flag.String("chips", "", "tile the compiled grid across WxH physical chips (e.g. 2x2) and report boundary traffic")
 		boundary = flag.Float64("boundary", 1, "boundary weight λ for the tile-aware recompile (with -chips; 0 keeps the tiling-blind placement)")
+		noPlan   = flag.Bool("noplan", false, "force the legacy scalar core path (disable precompiled integration plans) for A/B debugging")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -54,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nsim: -boundary only applies with -chips")
 		os.Exit(2)
 	}
-	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips, *boundary); err != nil {
+	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips, *boundary, *noPlan); err != nil {
 		fmt.Fprintln(os.Stderr, "nsim:", err)
 		os.Exit(1)
 	}
@@ -73,7 +74,7 @@ func parseChips(s string) (w, h int, err error) {
 	return 0, 0, fmt.Errorf("invalid -chips %q (want WxH, e.g. 2x2)", s)
 }
 
-func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string, boundary float64) error {
+func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string, boundary float64, noPlan bool) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -111,6 +112,10 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool, c
 		neurogo.WithEngine(eng),
 		neurogo.WithEngineWorkers(workers),
 		neurogo.WithDrain(4),
+	}
+	if noPlan {
+		opts = append(opts, neurogo.WithoutPlan())
+		fmt.Println("integration plans disabled (-noplan): legacy scalar core path")
 	}
 	if chips != "" {
 		cw, ch, err := parseChips(chips)
@@ -197,6 +202,13 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool, c
 	u := neurogo.SessionUsageOf(session, true)
 	rep := neurogo.DefaultEnergyCoefficients().Evaluate(u)
 	tb := report.NewTable("activity and energy", "quantity", "value")
+	st = built.Mapping.Stats
+	if noPlan {
+		tb.AddRow("core path", "scalar (-noplan)")
+	} else {
+		tb.AddRow("core path", "integration plan")
+	}
+	tb.AddRow("fast-path neuron coverage", report.F(st.DeterministicFraction))
 	tb.AddRow("ticks", report.I(int64(u.Ticks)))
 	tb.AddRow("synaptic events", report.I(int64(u.SynapticEvents)))
 	tb.AddRow("spikes", report.I(int64(u.Spikes)))

@@ -110,23 +110,40 @@ type Chip struct {
 // to remove. The callback runs on the ticking goroutine.
 func (ch *Chip) SetRouteObserver(fn func(src, dst int32)) { ch.onRoute = fn }
 
-// New builds a chip from cfg. Call cfg.Validate first; New panics on a
-// mismatched config length (a programming error).
+// Options tunes chip construction.
+type Options struct {
+	// NoPlan pins every core to the legacy scalar integration path
+	// (core.NewScalar) instead of the precompiled plan — the A/B
+	// debugging escape hatch behind cmd/nsim -noplan. Spike streams are
+	// bit-identical either way; only throughput differs.
+	NoPlan bool
+}
+
+// New builds a chip from cfg with default options (plan-backed cores).
+// Call cfg.Validate first; New panics on a mismatched config length (a
+// programming error).
 //
 // The config is retained by reference and never mutated at runtime, so
 // any number of Chip instances may share one Config concurrently — the
 // basis for session pools running independent chips over one compiled
 // mapping.
-func New(cfg *Config) *Chip {
+func New(cfg *Config) *Chip { return NewWithOptions(cfg, Options{}) }
+
+// NewWithOptions builds a chip from cfg with explicit options.
+func NewWithOptions(cfg *Config, opt Options) *Chip {
 	if len(cfg.Cores) != cfg.Width*cfg.Height {
 		panic("chip: config length mismatch")
+	}
+	mk := core.New
+	if opt.NoPlan {
+		mk = core.NewScalar
 	}
 	ch := &Chip{cfg: cfg, cores: make([]*core.Core, len(cfg.Cores))}
 	for i, cc := range cfg.Cores {
 		if cc == nil {
 			continue
 		}
-		ch.cores[i] = core.New(cc)
+		ch.cores[i] = mk(cc)
 		ch.live = append(ch.live, int32(i))
 	}
 	return ch

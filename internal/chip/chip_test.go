@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/neurogo/neurogo/internal/core"
+	"github.com/neurogo/neurogo/internal/neuron"
 	"github.com/neurogo/neurogo/internal/noc"
 	"github.com/neurogo/neurogo/internal/rng"
 )
@@ -319,5 +320,112 @@ func BenchmarkChipTick16x16Sparse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = ch.Inject(int32(r.Intn(256)), r.Intn(core.Size), ch.Now())
 		ch.Tick()
+	}
+}
+
+// mixedChip builds a WxH chip whose cores mix deterministic and
+// stochastic neurons (stochastic synapses, leak, thresholds) with random
+// cross-core wiring — the fuzz substrate for plan/scalar/engine
+// equivalence.
+func mixedChipConfig(w, h int, seed uint64) *Config {
+	r := rng.NewSplitMix64(seed)
+	n := w * h
+	cfgs := make([]*core.Config, n)
+	for i := 0; i < n; i++ {
+		cc := core.NewConfig()
+		for a := 0; a < core.Size; a++ {
+			cc.AxonType[a] = neuron.AxonType(r.Intn(neuron.NumAxonTypes))
+		}
+		for k := 0; k < 1500; k++ {
+			cc.Synapses.Set(r.Intn(core.Size), r.Intn(core.Size), true)
+		}
+		for nn := 0; nn < core.Size; nn++ {
+			p := &cc.Neurons[nn]
+			p.SynWeight = [neuron.NumAxonTypes]int16{
+				int16(r.Intn(9) - 4), int16(r.Intn(9) - 4),
+				int16(r.Intn(255) - 127), int16(r.Intn(255) - 127),
+			}
+			p.SynStochastic[2] = r.Intn(3) == 0
+			p.Leak = int16(r.Intn(5) - 2)
+			p.LeakStochastic = r.Intn(6) == 0
+			p.Threshold = int32(1 + r.Intn(12))
+			p.NegThreshold = int32(r.Intn(12))
+			p.MaskBits = uint8(r.Intn(4))
+			p.Reset = neuron.ResetMode(r.Intn(3))
+			p.NegSaturate = r.Intn(2) == 0
+			p.ResetV = int32(r.Intn(7) - 3)
+			p.Delay = uint8(1 + r.Intn(4))
+			if r.Intn(4) == 0 {
+				cc.Targets[nn] = core.Target{Core: core.ExternalCore}
+			} else {
+				cc.Targets[nn] = core.Target{Core: int32(r.Intn(n)), Axon: uint8(r.Intn(core.Size))}
+			}
+		}
+		cc.Seed = uint16(r.Next())
+		cfgs[i] = cc
+	}
+	return &Config{Width: w, Height: h, Cores: cfgs}
+}
+
+// TestPlanScalarEngineFuzzEquivalence pins the tentpole at the chip
+// level: over mixed deterministic/stochastic cores, the plan-backed
+// event engine, the scalar (NoPlan) engine, the parallel engine and the
+// clock-driven dense baseline must produce bit-identical output spike
+// streams and exact counters.
+func TestPlanScalarEngineFuzzEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		drive := func(ch *Chip, mode string) []OutputSpike {
+			r := rng.NewSplitMix64(seed * 31)
+			var outs []OutputSpike
+			for i := 0; i < 48; i++ {
+				for k := 0; k < 12; k++ {
+					_ = ch.Inject(int32(r.Intn(ch.Width()*ch.Height())), r.Intn(core.Size), ch.Now())
+				}
+				var batch []OutputSpike
+				switch mode {
+				case "dense":
+					batch = ch.TickDense()
+				case "parallel":
+					batch = ch.TickParallel(3)
+				default:
+					batch = ch.Tick()
+				}
+				outs = append(outs, batch...)
+			}
+			return outs
+		}
+		plan := NewWithOptions(mixedChipConfig(3, 3, seed), Options{})
+		ref := drive(plan, "event")
+		for _, v := range []struct {
+			name string
+			ch   *Chip
+			mode string
+		}{
+			{"scalar", NewWithOptions(mixedChipConfig(3, 3, seed), Options{NoPlan: true}), "event"},
+			{"dense", New(mixedChipConfig(3, 3, seed)), "dense"},
+			{"parallel", New(mixedChipConfig(3, 3, seed)), "parallel"},
+		} {
+			got := drive(v.ch, v.mode)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d: %s emitted %d spikes, plan %d", seed, v.name, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d: %s spike %d = %+v, plan %+v", seed, v.name, i, got[i], ref[i])
+				}
+			}
+			pc, vc := plan.Counters(), v.ch.Counters()
+			if pc.Core.SynapticEvents != vc.Core.SynapticEvents ||
+				pc.Core.AxonEvents != vc.Core.AxonEvents ||
+				pc.Core.Spikes != vc.Core.Spikes ||
+				pc.RoutedSpikes != vc.RoutedSpikes ||
+				pc.OutputSpikes != vc.OutputSpikes ||
+				pc.TotalHops != vc.TotalHops {
+				t.Fatalf("seed %d: %s counters %+v, plan %+v", seed, v.name, vc, pc)
+			}
+			if v.name != "dense" && pc.Core.NeuronUpdates != vc.Core.NeuronUpdates {
+				t.Fatalf("seed %d: %s NeuronUpdates %d, plan %d", seed, v.name, vc.Core.NeuronUpdates, pc.Core.NeuronUpdates)
+			}
+		}
 	}
 }

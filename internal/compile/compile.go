@@ -155,6 +155,17 @@ type Stats struct {
 	// weight whose endpoints land on different chips — the placement's
 	// prediction of the measured system.InterChipFraction (0 untiled).
 	PredictedInterChipFraction float64
+	// MappedNeurons counts the neurons the compiler emitted: logical
+	// neurons plus splitter relays (unused core slots excluded).
+	MappedNeurons int
+	// DeterministicNeurons counts mapped neurons whose tick update never
+	// consumes an LFSR draw — exactly the neurons the core integration
+	// plan serves end-to-end on its branch-free fast path (see
+	// internal/core/plan.go).
+	DeterministicNeurons int
+	// DeterministicFraction is DeterministicNeurons / MappedNeurons (0
+	// for empty mappings) — the serving fast-path coverage reports print.
+	DeterministicFraction float64
 }
 
 // DecodeOutput maps an external output spike back to its logical neuron.
@@ -527,6 +538,10 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 				p.Delay = props.Delay
 			}
 			cc.Neurons[li] = p
+			mapping.Stats.MappedNeurons++
+			if p.Deterministic() {
+				mapping.Stats.DeterministicNeurons++
+			}
 			cc.Targets[li] = targetOf(int(id))
 			mapping.NeuronLoc[id] = Loc{Core: slot, Neuron: uint8(li)}
 			for _, src := range inbound[id] {
@@ -557,6 +572,10 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 					Delay:     props.Delay - 1,
 				}
 				cc.Neurons[ri] = relay
+				mapping.Stats.MappedNeurons++
+				if relay.Deterministic() {
+					mapping.Stats.DeterministicNeurons++
+				}
 				cc.Synapses.Set(e.axon, ri, true)
 				if d < 0 {
 					cc.Targets[ri] = core.Target{Core: core.ExternalCore}
@@ -600,6 +619,10 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 	mapping.Stats.UsedCores = totalGroups
 	mapping.Stats.GridWidth = width
 	mapping.Stats.GridHeight = height
+	if mapping.Stats.MappedNeurons > 0 {
+		mapping.Stats.DeterministicFraction =
+			float64(mapping.Stats.DeterministicNeurons) / float64(mapping.Stats.MappedNeurons)
+	}
 	mapping.Stats.PlacementCost = prob.HopCost(assign)
 	if opt.ChipCoresX > 0 {
 		mapping.Stats.ChipCoresX = opt.ChipCoresX

@@ -433,3 +433,59 @@ func TestCompileBoundaryAwareReducesPredictedFraction(t *testing.T) {
 		t.Errorf("negative boundary cost %g", opt.Stats.BoundaryCost)
 	}
 }
+
+// TestCompileDeterministicFraction pins the fast-path coverage stats: a
+// mixed network must report exactly its deterministic neuron count, and
+// an all-deterministic one full coverage.
+func TestCompileDeterministicFraction(t *testing.T) {
+	mp, err := Compile(ffnet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Stats.MappedNeurons != 10 || mp.Stats.DeterministicNeurons != 10 {
+		t.Fatalf("all-deterministic net: %d/%d, want 10/10",
+			mp.Stats.DeterministicNeurons, mp.Stats.MappedNeurons)
+	}
+	if mp.Stats.DeterministicFraction != 1 {
+		t.Fatalf("DeterministicFraction = %v, want 1", mp.Stats.DeterministicFraction)
+	}
+
+	// Make three hidden neurons stochastic: two via synapse draws, one
+	// via a stochastic threshold.
+	m := model.New()
+	in := m.AddInputBank("in", 2, model.SourceProps{Type: 0, Delay: 1})
+	stoch := neuron.Default()
+	stoch.SynStochastic[0] = true // weight 1: draws
+	masked := neuron.Default()
+	masked.MaskBits = 3
+	zeroW := neuron.Default()
+	zeroW.SynStochastic[2] = true // weight 0: no draw, still deterministic
+	pop := m.AddPopulation("s", 2, stoch)
+	popM := m.AddPopulation("m", 1, masked)
+	popZ := m.AddPopulation("z", 1, zeroW)
+	popD := m.AddPopulation("d", 4, neuron.Default())
+	for i := 0; i < 2; i++ {
+		m.Connect(in.Line(0), pop.ID(i))
+		m.MarkOutput(pop.ID(i))
+	}
+	m.Connect(in.Line(1), popM.ID(0))
+	m.MarkOutput(popM.ID(0))
+	m.Connect(in.Line(1), popZ.ID(0))
+	m.MarkOutput(popZ.ID(0))
+	for i := 0; i < 4; i++ {
+		m.Connect(in.Line(0), popD.ID(i))
+		m.MarkOutput(popD.ID(i))
+	}
+	mp2, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp2.Stats.MappedNeurons != 8 || mp2.Stats.DeterministicNeurons != 5 {
+		t.Fatalf("mixed net coverage %d/%d, want 5/8",
+			mp2.Stats.DeterministicNeurons, mp2.Stats.MappedNeurons)
+	}
+	want := 5.0 / 8.0
+	if mp2.Stats.DeterministicFraction != want {
+		t.Fatalf("DeterministicFraction = %v, want %v", mp2.Stats.DeterministicFraction, want)
+	}
+}

@@ -19,8 +19,10 @@ const (
 	mappingMagic = 0x4E474D6150 // "NGMaP"-ish tag
 	// Version 2 appended the tiling stats (chip dims, boundary cost,
 	// predicted inter-chip fraction) for boundary-aware placements;
-	// v1 streams still load, with the untiled zero values.
-	mappingVersion = 2
+	// version 3 appended the fast-path coverage stats (mapped and
+	// deterministic neuron counts). Older streams still load, with the
+	// missing stats left at their zero values.
+	mappingVersion = 3
 )
 
 // Write serializes the mapping to dst.
@@ -102,6 +104,9 @@ func (m *Mapping) Write(dst io.Writer) error {
 		return err
 	}
 	if err := u64(uint64(int64(m.Stats.PredictedInterChipFraction * 1e9))); err != nil {
+		return err
+	}
+	if err := write(uint64(m.Stats.MappedNeurons), uint64(m.Stats.DeterministicNeurons)); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -203,6 +208,14 @@ func ReadMapping(src io.Reader) (*Mapping, error) {
 			m.Stats.ChipCoresY = int(need())
 			m.Stats.BoundaryCost = float64(int64(need())) / 1e6
 			m.Stats.PredictedInterChipFraction = float64(int64(need())) / 1e9
+		}
+		if version >= 3 {
+			m.Stats.MappedNeurons = int(need())
+			m.Stats.DeterministicNeurons = int(need())
+			if m.Stats.MappedNeurons > 0 {
+				m.Stats.DeterministicFraction =
+					float64(m.Stats.DeterministicNeurons) / float64(m.Stats.MappedNeurons)
+			}
 		}
 	}()
 	if retErr != nil {

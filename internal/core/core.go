@@ -18,11 +18,17 @@
 // received no input this tick. Such a neuron's update would leave V at
 // zero, fire nothing and consume no LFSR draws, so skipping it preserves
 // bit-level equivalence with the dense evaluation the hardware performs.
+//
+// New additionally precompiles a per-core integration plan (see plan.go)
+// that serves deterministic neurons through column-major batch
+// accumulation and a flat leak/fire sweep, bit-identically to the scalar
+// path; NewScalar opts out for A/B debugging.
 package core
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"github.com/neurogo/neurogo/internal/crossbar"
 	"github.com/neurogo/neurogo/internal/neuron"
@@ -65,6 +71,14 @@ type Config struct {
 	Targets [Size]Target
 	// Seed seeds the core's LFSR.
 	Seed uint16
+
+	// The integration plan is derived purely from the fields above,
+	// which are immutable once a core runs, so it is built once per
+	// Config and shared by every Core over it (session pools build many
+	// chips from one compiled mapping). Configs must therefore not be
+	// copied by value after first use.
+	planOnce sync.Once
+	plan     *planTables
 }
 
 // NewConfig returns a config with every neuron set to neuron.Default and
@@ -138,12 +152,34 @@ type Core struct {
 	// vNonzero tracks neurons with V != 0.
 	vNonzero crossbar.Row
 
+	// pt is the precompiled integration plan (nil on scalar cores); acc
+	// is its per-tick column accumulator (all-zero between ticks); vHot
+	// marks neurons whose potential is close enough to a rail that
+	// batched accumulation could saturate differently from per-event
+	// integration — they take the exact path for the tick (see plan.go).
+	pt   *planTables
+	acc  [Size]int32
+	vHot crossbar.Row
+
 	counters Counters
 }
 
-// New builds a core from cfg. The config is retained by reference and
-// must not be mutated while the core runs.
+// New builds a core from cfg, precompiling its integration plan. The
+// config is retained by reference and must not be mutated while the
+// core runs.
 func New(cfg *Config) *Core {
+	c := newCore(cfg)
+	c.pt = planFor(cfg)
+	return c
+}
+
+// NewScalar builds a core pinned to the legacy scalar integration path,
+// with no precompiled plan — the A/B debugging escape hatch behind
+// cmd/nsim -noplan. Output is bit-identical to New; only throughput
+// differs.
+func NewScalar(cfg *Config) *Core { return newCore(cfg) }
+
+func newCore(cfg *Config) *Core {
 	c := &Core{cfg: cfg, lfsr: rng.NewLFSR(cfg.Seed)}
 	for n := range cfg.Neurons {
 		p := &cfg.Neurons[n]
@@ -153,6 +189,9 @@ func New(cfg *Config) *Core {
 	}
 	return c
 }
+
+// Planned reports whether the core runs the precompiled plan path.
+func (c *Core) Planned() bool { return c.pt != nil }
 
 // Config returns the core's configuration.
 func (c *Core) Config() *Config { return c.cfg }
@@ -165,6 +204,8 @@ func (c *Core) Config() *Config { return c.cfg }
 func (c *Core) Reset() {
 	c.v = [Size]int32{}
 	c.vNonzero = crossbar.Row{}
+	c.vHot = crossbar.Row{}
+	c.acc = [Size]int32{}
 	c.ring = [RingSlots]crossbar.Row{}
 	c.lfsr = rng.NewLFSR(c.cfg.Seed)
 }
@@ -175,24 +216,46 @@ func (c *Core) Counters() Counters { return c.counters }
 // ResetCounters zeroes the activity counters.
 func (c *Core) ResetCounters() { c.counters = Counters{} }
 
+// checkNeuron panics on an out-of-range neuron index, mirroring
+// ScheduleAxon's guard for axons.
+func checkNeuron(n int) {
+	if n < 0 || n >= Size {
+		panic(fmt.Sprintf("core: neuron %d out of range", n))
+	}
+}
+
 // V returns neuron n's membrane potential (for probes and tests).
-func (c *Core) V(n int) int32 { return c.v[n] }
+func (c *Core) V(n int) int32 {
+	checkNeuron(n)
+	return c.v[n]
+}
 
 // SetV sets neuron n's membrane potential (for tests and checkpoints).
 func (c *Core) SetV(n int, v int32) {
+	checkNeuron(n)
 	c.v[n] = v
-	c.setNonzero(n, v != 0)
+	c.setNonzero(n, v)
 }
 
 // LFSRState exposes the PRNG state for checkpointing.
 func (c *Core) LFSRState() uint16 { return c.lfsr.State() }
 
-func (c *Core) setNonzero(n int, nz bool) {
+// setNonzero refreshes the derived activity masks for neuron n after its
+// potential becomes v: the nonzero tracker and, on planned cores, the
+// rail-proximity (hot) bit the saturation guard reads at the next tick.
+func (c *Core) setNonzero(n int, v int32) {
 	w, b := n/64, uint(n%64)
-	if nz {
+	if v != 0 {
 		c.vNonzero[w] |= 1 << b
 	} else {
 		c.vNonzero[w] &^= 1 << b
+	}
+	if c.pt != nil {
+		if v > c.pt.hotHi[n] || v < c.pt.hotLo[n] {
+			c.vHot[w] |= 1 << b
+		} else {
+			c.vHot[w] &^= 1 << b
+		}
 	}
 }
 
@@ -231,8 +294,20 @@ func (c *Core) HasWork(t int64) bool {
 }
 
 // Tick advances the core one time step. t is the global tick number; emit
-// receives every output spike (may be nil to drop them).
+// receives every output spike (may be nil to drop them). Planned cores
+// (New) run the precompiled column-major path; scalar cores (NewScalar)
+// run the legacy per-event loop. Both are bit-identical.
 func (c *Core) Tick(t int64, emit EmitFunc) {
+	if c.pt != nil {
+		c.tickPlan(t, emit)
+		return
+	}
+	c.tickScalar(t, emit)
+}
+
+// tickScalar is the legacy per-event evaluation: every synaptic event
+// goes through neuron.Integrate against the AoS Params block.
+func (c *Core) tickScalar(t int64, emit EmitFunc) {
 	c.counters.Ticks++
 	slot := int(t) & (RingSlots - 1)
 	arrived := c.ring[slot]
@@ -274,7 +349,7 @@ func (c *Core) Tick(t int64, emit EmitFunc) {
 			p := &c.cfg.Neurons[n]
 			nv, spiked := neuron.LeakFire(c.v[n], p, c.lfsr)
 			c.v[n] = nv
-			c.setNonzero(n, nv != 0)
+			c.setNonzero(n, nv)
 			c.counters.NeuronUpdates++
 			if spiked {
 				c.counters.Spikes++
@@ -317,7 +392,7 @@ func (c *Core) TickDense(t int64, emit EmitFunc) {
 		p := &c.cfg.Neurons[n]
 		nv, spiked := neuron.LeakFire(c.v[n], p, c.lfsr)
 		c.v[n] = nv
-		c.setNonzero(n, nv != 0)
+		c.setNonzero(n, nv)
 		c.counters.NeuronUpdates++
 		if spiked {
 			c.counters.Spikes++

@@ -1,0 +1,372 @@
+// Integration plans: the precompiled column-major fast path for Tick.
+//
+// TrueNorth-class cores are overwhelmingly deterministic — stochastic
+// synapses, leak and thresholds are the exception — and a deterministic
+// neuron never touches the core's LFSR. That makes its updates safe to
+// reorder: phase-1 integration can be batched per tick into a plain
+// column accumulation acc[n] += weight[type][n] over the arrived-axon
+// bitset and applied once, and phase 2 can run as a flat struct-of-arrays
+// leak/fire sweep with no Params pointer chasing, while stochastic
+// neurons keep the exact per-event path, interleaved in ascending
+// (axon, neuron) order so the LFSR draw schedule — and therefore every
+// output bit — is unchanged.
+//
+// Two invariants make the reordering exact rather than approximate:
+//
+//   - LFSR order: only stochastic (draw-consuming) synapse/leak/threshold
+//     operations advance the LFSR, and the plan path performs exactly
+//     those operations in exactly the legacy order. Deterministic work is
+//     invisible to the draw schedule wherever it runs.
+//
+//   - Saturation: membrane arithmetic saturates at the rails, so batched
+//     "sum then apply once" could differ from per-event integration only
+//     if some intermediate potential clamps. Every partial sum of a
+//     tick's synaptic contributions lies within [maxNeg, maxPos] — the
+//     sums of the negative and positive per-arrival bounds over all
+//     connected axons — so whenever VMin <= v+maxNeg and v+maxPos <= VMax
+//     at tick start, no ordering can clamp and batching is bit-exact.
+//     The plan precomputes per-neuron hot thresholds (hotHi = VMax-maxPos,
+//     hotLo = VMin-maxNeg) and the core tracks the rare rail-proximate
+//     neurons in the vHot bitset; those take the exact per-event path for
+//     the tick.
+//
+// Counters stay exact by construction: AxonEvents and SynapticEvents are
+// popcounts over the arrived bitset and the crossbar rows (identical to
+// the legacy loop trip counts), and NeuronUpdates is the popcount of the
+// phase-2 active set, which the plan path computes from the same masks.
+package core
+
+import (
+	"math/bits"
+
+	"github.com/neurogo/neurogo/internal/crossbar"
+	"github.com/neurogo/neurogo/internal/neuron"
+)
+
+// planTables is the per-core precompiled integration plan: struct-of-
+// arrays columns derived purely from the (immutable) Config at New.
+type planTables struct {
+	// weight[g][n] is neuron n's deterministic contribution per arrival
+	// on a type-g axon (0 for draw-consuming pairs, which the stoch mask
+	// routes to the exact path anyway).
+	weight [neuron.NumAxonTypes][Size]int32
+	// stoch[g] marks neurons whose type-g synapse consumes an LFSR draw.
+	stoch [neuron.NumAxonTypes]crossbar.Row
+	// detP2 marks neurons whose leak/threshold step is draw-free and can
+	// take the flat phase-2 sweep.
+	detP2 crossbar.Row
+
+	// Packed phase-2 parameter columns, valid where detP2 is set (delay
+	// is filled for every neuron; both phase-2 paths emit through it).
+	leak   [Size]int32
+	thr    [Size]int32
+	negThr [Size]int32
+	resetV [Size]int32
+	flags  [Size]uint8
+	delay  [Size]uint8
+
+	// Saturation guard: neuron n is "hot" when its potential is outside
+	// [hotLo, hotHi], i.e. close enough to a rail that this tick's
+	// arrivals could clamp mid-sequence. Hot neurons integrate exactly.
+	hotHi [Size]int32
+	hotLo [Size]int32
+}
+
+// flags bit layout: low two bits are the neuron.ResetMode, then the
+// NegSaturate and LeakReversal booleans.
+const (
+	flagResetMask    uint8 = 0x03
+	flagNegSaturate  uint8 = 0x04
+	flagLeakReversal uint8 = 0x08
+)
+
+// planFor returns cfg's memoized plan, building it on first use. The
+// tables are read-only after construction, so one copy serves every
+// Core instantiated over the shared Config.
+func planFor(cfg *Config) *planTables {
+	cfg.planOnce.Do(func() { cfg.plan = buildPlan(cfg) })
+	return cfg.plan
+}
+
+// buildPlan compiles cfg into planTables.
+func buildPlan(cfg *Config) *planTables {
+	pt := &planTables{}
+	for n := range cfg.Neurons {
+		p := &cfg.Neurons[n]
+		w, b := n/64, uint(n%64)
+		for g := neuron.AxonType(0); g < neuron.NumAxonTypes; g++ {
+			if p.SynDrawsOn(g) {
+				pt.stoch[g][w] |= 1 << b
+			} else {
+				pt.weight[g][n] = p.DeterministicWeight(g)
+			}
+		}
+		pt.delay[n] = p.Delay
+		if p.FireDeterministic() {
+			pt.detP2[w] |= 1 << b
+			pt.leak[n] = p.DeterministicLeak()
+			pt.thr[n] = p.Threshold
+			pt.negThr[n] = p.NegThreshold
+			pt.resetV[n] = p.ResetV
+			fl := uint8(p.Reset) & flagResetMask
+			if p.NegSaturate {
+				fl |= flagNegSaturate
+			}
+			if p.LeakReversal {
+				fl |= flagLeakReversal
+			}
+			pt.flags[n] = fl
+		}
+	}
+
+	// Per-neuron static bounds on one tick's total synaptic contribution:
+	// a draw-consuming synapse adds sign(w) or nothing, a deterministic
+	// one adds its weight, and each connected axon arrives at most once
+	// per tick (the delay ring is one bit per axon and slot).
+	var maxPos, maxNeg [Size]int32
+	for a := 0; a < Size; a++ {
+		g := cfg.AxonType[a]
+		row := cfg.Synapses.Row(a)
+		for rw := 0; rw < crossbar.Words; rw++ {
+			word := row[rw]
+			base := rw * 64
+			for word != 0 {
+				n := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				p := &cfg.Neurons[n]
+				var c int32
+				if p.SynDrawsOn(g) {
+					if p.SynWeight[g] > 0 {
+						c = 1
+					} else {
+						c = -1
+					}
+				} else {
+					c = p.DeterministicWeight(g)
+				}
+				if c > 0 {
+					maxPos[n] += c
+				} else {
+					maxNeg[n] += c
+				}
+			}
+		}
+	}
+	for n := 0; n < Size; n++ {
+		pt.hotHi[n] = neuron.VMax - maxPos[n]
+		pt.hotLo[n] = neuron.VMin - maxNeg[n]
+	}
+	return pt
+}
+
+// clampV saturates v at the membrane rails. Callers guarantee v fits in
+// int32 (every plan-path addition is bounded by |leak| <= 255,
+// |threshold| < 2^18 or |acc| <= 256*255, far from int32 overflow), so
+// this matches neuron's saturating add exactly.
+func clampV(v int32) int32 {
+	if v > neuron.VMax {
+		return neuron.VMax
+	}
+	if v < neuron.VMin {
+		return neuron.VMin
+	}
+	return v
+}
+
+// stepDet is the flat leak/fire update for a phase-2-deterministic
+// neuron: neuron.LeakFire with the draw-free branches resolved against
+// the plan columns. Bit-identical to LeakFire (eta = 0, leak exact).
+func (pt *planTables) stepDet(v int32, n int) (int32, bool) {
+	leak := pt.leak[n]
+	fl := pt.flags[n]
+	if fl&flagLeakReversal != 0 {
+		switch {
+		case v < 0:
+			leak = -leak
+		case v == 0:
+			leak = 0
+		}
+	}
+	v = clampV(v + leak)
+	if thr := pt.thr[n]; v >= thr {
+		switch fl & flagResetMask {
+		case uint8(neuron.ResetNormal):
+			v = pt.resetV[n]
+		case uint8(neuron.ResetLinear):
+			v = clampV(v - thr)
+		}
+		return v, true
+	}
+	if nt := pt.negThr[n]; v < -nt {
+		if fl&flagNegSaturate != 0 {
+			v = -nt
+		} else {
+			v = -pt.resetV[n]
+		}
+	}
+	return v, false
+}
+
+// tickPlan is Tick over the precompiled plan. See the package comment at
+// the top of this file for the bit-identity argument.
+func (c *Core) tickPlan(t int64, emit EmitFunc) {
+	pt := c.pt
+	cfg := c.cfg
+	c.counters.Ticks++
+	slot := int(t) & (RingSlots - 1)
+	arrived := c.ring[slot]
+	c.ring[slot] = crossbar.Row{}
+
+	// Phase 1: synaptic integration. Stochastic pairs and rail-proximate
+	// (hot) neurons take the exact per-event path in ascending
+	// (axon, neuron) order — the LFSR draw schedule; everything else is
+	// batch-of-axon column accumulation into acc, applied once below.
+	// The exact-path masks are fixed for the tick (vHot only changes in
+	// phase 2), so hoist them per axon type.
+	var exMask [neuron.NumAxonTypes]crossbar.Row
+	for g := range exMask {
+		for w := 0; w < crossbar.Words; w++ {
+			exMask[g][w] = pt.stoch[g][w] | c.vHot[w]
+		}
+	}
+	var touched, batched crossbar.Row
+	var axonEvents, synEvents uint64
+	acc := &c.acc
+	for w := 0; w < crossbar.Words; w++ {
+		word := arrived[w]
+		base := w * 64
+		for word != 0 {
+			a := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			axonEvents++
+			g := cfg.AxonType[a&(Size-1)]
+			row := cfg.Synapses.Row(a & (Size - 1))
+			wcol := &pt.weight[g]
+			ex := &exMask[g]
+			for rw := 0; rw < crossbar.Words; rw++ {
+				rword := row[rw]
+				if rword == 0 {
+					continue
+				}
+				synEvents += uint64(bits.OnesCount64(rword))
+				touched[rw] |= rword
+				exact := rword & ex[rw]
+				batch := rword &^ exact
+				batched[rw] |= batch
+				rbase := rw * 64
+				for exact != 0 {
+					n := (rbase + bits.TrailingZeros64(exact)) & (Size - 1)
+					exact &= exact - 1
+					c.v[n] = neuron.Integrate(c.v[n], &cfg.Neurons[n], g, c.lfsr)
+				}
+				for batch != 0 {
+					n := (rbase + bits.TrailingZeros64(batch)) & (Size - 1)
+					batch &= batch - 1
+					acc[n] += wcol[n]
+				}
+			}
+		}
+	}
+	c.counters.AxonEvents += axonEvents
+	c.counters.SynapticEvents += synEvents
+
+	// Phase 2 per word: first apply that word's batched columns once
+	// (restoring the all-zero acc invariant — the hot guard proved no
+	// intermediate clamp was possible, so one saturating add equals the
+	// per-event sequence), then leak and fire the active set. Words
+	// holding only draw-free neurons take the flat SoA sweep; a word
+	// with any active stochastic neuron is walked merged in ascending
+	// order so draws and emissions keep their sequence.
+	var neuronUpdates, spikes uint64
+	for w := 0; w < crossbar.Words; w++ {
+		base := w * 64
+		bword := batched[w]
+		for bword != 0 {
+			n := (base + bits.TrailingZeros64(bword)) & (Size - 1)
+			bword &= bword - 1
+			a := acc[n]
+			acc[n] = 0
+			c.v[n] = clampV(c.v[n] + a)
+		}
+
+		word := touched[w] | c.alwaysActive[w] | c.vNonzero[w]
+		if word == 0 {
+			continue
+		}
+		neuronUpdates += uint64(bits.OnesCount64(word))
+		if word&^pt.detP2[w] == 0 {
+			// Flat sweep: stepDet inlined by hand — a call per neuron
+			// costs more than the update itself.
+			evaluated := word
+			var nz, hot uint64
+			for word != 0 {
+				tz := bits.TrailingZeros64(word)
+				word &= word - 1
+				n := (base + tz) & (Size - 1)
+				v := c.v[n]
+				leak := pt.leak[n]
+				fl := pt.flags[n]
+				if fl&flagLeakReversal != 0 {
+					switch {
+					case v < 0:
+						leak = -leak
+					case v == 0:
+						leak = 0
+					}
+				}
+				v = clampV(v + leak)
+				if thr := pt.thr[n]; v >= thr {
+					switch fl & flagResetMask {
+					case uint8(neuron.ResetNormal):
+						v = pt.resetV[n]
+					case uint8(neuron.ResetLinear):
+						v = clampV(v - thr)
+					}
+					spikes++
+					if emit != nil {
+						emit(n, cfg.Targets[n], pt.delay[n])
+					}
+				} else if nt := pt.negThr[n]; v < -nt {
+					if fl&flagNegSaturate != 0 {
+						v = -nt
+					} else {
+						v = -pt.resetV[n]
+					}
+				}
+				c.v[n] = v
+				if v != 0 {
+					nz |= 1 << uint(tz)
+				}
+				if v > pt.hotHi[n] || v < pt.hotLo[n] {
+					hot |= 1 << uint(tz)
+				}
+			}
+			c.vNonzero[w] = c.vNonzero[w]&^evaluated | nz
+			c.vHot[w] = c.vHot[w]&^evaluated | hot
+		} else {
+			det := pt.detP2[w]
+			for word != 0 {
+				tz := bits.TrailingZeros64(word)
+				word &= word - 1
+				n := (base + tz) & (Size - 1)
+				var nv int32
+				var spiked bool
+				if det>>uint(tz)&1 == 1 {
+					nv, spiked = pt.stepDet(c.v[n], n)
+				} else {
+					nv, spiked = neuron.LeakFire(c.v[n], &cfg.Neurons[n], c.lfsr)
+				}
+				c.v[n] = nv
+				c.setNonzero(n, nv)
+				if spiked {
+					spikes++
+					if emit != nil {
+						emit(n, cfg.Targets[n], pt.delay[n])
+					}
+				}
+			}
+		}
+	}
+	c.counters.NeuronUpdates += neuronUpdates
+	c.counters.Spikes += spikes
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// runVariant drives one core for ticks steps under traffic and returns
+// every emission. step selects the evaluation path under test.
+func runVariant(c *Core, ticks int, traffic func(tick int64, c *Core), dense bool) []emitted {
+	var out []emitted
+	for tick := int64(0); tick < int64(ticks); tick++ {
+		traffic(tick, c)
+		rec := func(n int, tgt Target, d uint8) {
+			out = append(out, emitted{tick, n, tgt, d})
+		}
+		if dense {
+			c.TickDense(tick, rec)
+		} else {
+			c.Tick(tick, rec)
+		}
+	}
+	return out
+}
+
+// hotConfig builds a core that lives at the membrane rails: huge
+// deterministic weights, ResetNone/NegSaturate-off neurons whose
+// negative reset flips them to a near-VMax potential, plus a stochastic
+// minority — the regime where batched accumulation would diverge from
+// per-event saturation without the hot-neuron guard.
+func hotConfig(r *rng.SplitMix64) *Config {
+	cfg := NewConfig()
+	for a := 0; a < Size; a++ {
+		cfg.AxonType[a] = neuron.AxonType(r.Intn(neuron.NumAxonTypes))
+	}
+	for i := 0; i < 6000; i++ {
+		cfg.Synapses.Set(r.Intn(Size), r.Intn(Size), true)
+	}
+	for n := 0; n < Size; n++ {
+		p := &cfg.Neurons[n]
+		p.SynWeight = [neuron.NumAxonTypes]int16{
+			int16(255 - r.Intn(20)), int16(-255 + r.Intn(20)),
+			int16(200 - r.Intn(400)), int16(200 - r.Intn(400)),
+		}
+		p.SynStochastic[3] = r.Intn(4) == 0
+		p.Threshold = int32(neuron.MaxThreshold - r.Intn(1000))
+		p.NegThreshold = int32(r.Intn(1000))
+		switch r.Intn(3) {
+		case 0:
+			// Climbs to the positive rail and stays there.
+			p.Reset = neuron.ResetNone
+		case 1:
+			// Negative crossing flips to a near-VMax potential.
+			p.Reset = neuron.ResetNormal
+			p.NegSaturate = false
+			p.ResetV = -(neuron.VMax - int32(r.Intn(100)))
+		default:
+			p.Reset = neuron.ResetLinear
+			p.NegSaturate = true
+		}
+		p.Leak = int16(r.Intn(11) - 5)
+		p.Delay = uint8(1 + r.Intn(neuron.MaxDelay))
+	}
+	cfg.Seed = uint16(r.Next())
+	return cfg
+}
+
+// comparePaths runs the same config-and-traffic recipe through the plan
+// path, the scalar path and the dense baseline and demands bit-identical
+// emissions, potentials, LFSR state and counters.
+func comparePaths(t *testing.T, mk func() *Config, traffic func(seed uint64) func(int64, *Core), seed uint64, ticks int) {
+	t.Helper()
+	plan := New(mk())
+	scalar := NewScalar(mk())
+	dense := New(mk())
+
+	if !plan.Planned() || scalar.Planned() {
+		t.Fatal("constructor plan wiring wrong")
+	}
+	outPlan := runVariant(plan, ticks, traffic(seed), false)
+	outScalar := runVariant(scalar, ticks, traffic(seed), false)
+	outDense := runVariant(dense, ticks, traffic(seed), true)
+
+	check := func(name string, got []emitted, c *Core) {
+		t.Helper()
+		if len(got) != len(outPlan) {
+			t.Fatalf("%s emitted %d spikes, plan %d", name, len(got), len(outPlan))
+		}
+		for i := range got {
+			if got[i] != outPlan[i] {
+				t.Fatalf("%s spike %d = %+v, plan %+v", name, i, got[i], outPlan[i])
+			}
+		}
+		for n := 0; n < Size; n++ {
+			if c.V(n) != plan.V(n) {
+				t.Fatalf("%s V[%d] = %d, plan %d", name, n, c.V(n), plan.V(n))
+			}
+		}
+		if c.LFSRState() != plan.LFSRState() {
+			t.Fatalf("%s LFSR = %#x, plan %#x", name, c.LFSRState(), plan.LFSRState())
+		}
+	}
+	check("scalar", outScalar, scalar)
+	check("dense", outDense, dense)
+
+	// Event-path counters must agree exactly (dense differs by design in
+	// NeuronUpdates, so compare the event-exact subset there).
+	cp, cs, cd := plan.Counters(), scalar.Counters(), dense.Counters()
+	if cp != cs {
+		t.Fatalf("plan counters %+v != scalar %+v", cp, cs)
+	}
+	if cp.SynapticEvents != cd.SynapticEvents || cp.AxonEvents != cd.AxonEvents ||
+		cp.Spikes != cd.Spikes || cp.Ticks != cd.Ticks {
+		t.Fatalf("plan counters %+v disagree with dense %+v", cp, cd)
+	}
+}
+
+// TestPlanFuzzEquivalence is the randomized pin for the tentpole: over
+// random mixed deterministic/stochastic cores, the plan path, the
+// scalar path and the clock-driven dense baseline must be bit-identical
+// in spikes, potentials, LFSR schedule and counters.
+func TestPlanFuzzEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		r := rng.NewSplitMix64(seed)
+		mk := func() *Config { return randomConfig(rng.NewSplitMix64(seed)) }
+		trafficSeed := r.Next()
+		traffic := func(ts uint64) func(int64, *Core) {
+			tr := rng.NewSplitMix64(ts)
+			return func(tick int64, c *Core) {
+				for i := 0; i < 8; i++ {
+					c.ScheduleAxon(tr.Intn(Size), int(tick))
+				}
+			}
+		}
+		comparePaths(t, mk, traffic, trafficSeed, 64)
+	}
+}
+
+// TestPlanSaturationEquivalence drives rail-hugging cores with heavy
+// traffic so batched accumulation meets per-event saturation: the hot
+// guard must keep all three paths bit-identical.
+func TestPlanSaturationEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		mk := func() *Config { return hotConfig(rng.NewSplitMix64(seed)) }
+		traffic := func(ts uint64) func(int64, *Core) {
+			tr := rng.NewSplitMix64(ts)
+			return func(tick int64, c *Core) {
+				for i := 0; i < 48; i++ {
+					c.ScheduleAxon(tr.Intn(Size), int(tick))
+				}
+			}
+		}
+		comparePaths(t, mk, traffic, seed*77+1, 48)
+	}
+}
+
+// TestPlanSetVNearRail pins the guard on externally forced potentials:
+// a deterministic neuron parked at the positive rail must clamp its
+// mixed-sign arrivals in per-event order on every path.
+func TestPlanSetVNearRail(t *testing.T) {
+	mk := func() *Config {
+		cfg := NewConfig()
+		cfg.AxonType[1] = 1
+		cfg.Synapses.Set(0, 0, true) // type 0: +200
+		cfg.Synapses.Set(1, 0, true) // type 1: -150
+		cfg.Neurons[0].SynWeight = [neuron.NumAxonTypes]int16{200, -150, 0, 0}
+		cfg.Neurons[0].Threshold = neuron.MaxThreshold
+		cfg.Neurons[0].Reset = neuron.ResetNone
+		return cfg
+	}
+	run := func(c *Core, dense bool) (int32, uint64) {
+		c.SetV(0, neuron.VMax-100) // +200 then -150 clamps; -150 then +200 does not
+		c.ScheduleAxon(0, 0)
+		c.ScheduleAxon(1, 0)
+		if dense {
+			c.TickDense(0, nil)
+		} else {
+			c.Tick(0, nil)
+		}
+		return c.V(0), c.Counters().SynapticEvents
+	}
+	vPlan, sePlan := run(New(mk()), false)
+	vScalar, seScalar := run(NewScalar(mk()), false)
+	vDense, _ := run(New(mk()), true)
+	// Per-event order: VMax-100 +200 -> VMax (clamped), -150 -> VMax-150.
+	// A naive batch would give VMax-100+50 = VMax-50.
+	want := int32(neuron.VMax - 150)
+	if vPlan != want || vScalar != want || vDense != want {
+		t.Fatalf("V after rail-adjacent tick: plan %d scalar %d dense %d, want %d", vPlan, vScalar, vDense, want)
+	}
+	if sePlan != 2 || seScalar != 2 {
+		t.Fatalf("SynapticEvents plan %d scalar %d, want 2", sePlan, seScalar)
+	}
+}
+
+// TestPlanResetReplay pins Reset bit-identity on plan-backed cores: a
+// reset core must replay a presentation exactly, including the hot and
+// accumulator state surviving only as cleared.
+func TestPlanResetReplay(t *testing.T) {
+	for _, mk := range []func() *Config{
+		func() *Config { return randomConfig(rng.NewSplitMix64(3)) },
+		func() *Config { return hotConfig(rng.NewSplitMix64(3)) },
+	} {
+		c := New(mk())
+		traffic := func() func(int64, *Core) {
+			tr := rng.NewSplitMix64(17)
+			return func(tick int64, c *Core) {
+				for i := 0; i < 24; i++ {
+					c.ScheduleAxon(tr.Intn(Size), int(tick))
+				}
+			}
+		}
+		first := runVariant(c, 48, traffic(), false)
+		c.Reset()
+		second := runVariant(c, 48, traffic(), false)
+		fresh := runVariant(New(mk()), 48, traffic(), false)
+		if len(first) != len(second) || len(first) != len(fresh) {
+			t.Fatalf("replay lengths diverge: %d vs %d vs fresh %d", len(first), len(second), len(fresh))
+		}
+		for i := range first {
+			if first[i] != second[i] || first[i] != fresh[i] {
+				t.Fatalf("replay diverged at spike %d: %+v vs %+v vs fresh %+v", i, first[i], second[i], fresh[i])
+			}
+		}
+	}
+}
+
+// TestPlanSnapshotRestore pins that Restore rebuilds the plan's derived
+// masks: resuming from a snapshot stays bit-identical to the original.
+func TestPlanSnapshotRestore(t *testing.T) {
+	mk := func() *Config { return hotConfig(rng.NewSplitMix64(9)) }
+	traffic := func() func(int64, *Core) {
+		tr := rng.NewSplitMix64(23)
+		return func(tick int64, c *Core) {
+			for i := 0; i < 24; i++ {
+				c.ScheduleAxon(tr.Intn(Size), int(tick))
+			}
+		}
+	}
+	ref := New(mk())
+	full := runVariant(ref, 64, traffic(), false)
+
+	c := New(mk())
+	tr := traffic()
+	var out []emitted
+	for tick := int64(0); tick < 32; tick++ {
+		tr(tick, c)
+		c.Tick(tick, func(n int, tgt Target, d uint8) { out = append(out, emitted{tick, n, tgt, d}) })
+	}
+	resumed := New(mk())
+	resumed.Restore(c.Snapshot())
+	for tick := int64(32); tick < 64; tick++ {
+		tr(tick, resumed)
+		resumed.Tick(tick, func(n int, tgt Target, d uint8) { out = append(out, emitted{tick, n, tgt, d}) })
+	}
+	if len(out) != len(full) {
+		t.Fatalf("snapshot-resumed run emitted %d spikes, full run %d", len(out), len(full))
+	}
+	for i := range out {
+		if out[i] != full[i] {
+			t.Fatalf("snapshot resume diverged at spike %d: %+v vs %+v", i, out[i], full[i])
+		}
+	}
+}
+
+func TestVPanicsOutOfRange(t *testing.T) {
+	c := New(NewConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.V(Size)
+}
+
+func TestSetVPanicsOutOfRange(t *testing.T) {
+	c := New(NewConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SetV(-1, 1)
+}
+
+// detTrafficConfig is the dense-traffic deterministic core the E4
+// benchmarks drive: a half-dense crossbar, all four axon types, signed
+// weights, leak and linear reset — the TrueNorth-style common case the
+// integration plan is built for.
+func detTrafficConfig() *Config {
+	r := rng.NewSplitMix64(42)
+	cfg := NewConfig()
+	for a := 0; a < Size; a++ {
+		cfg.AxonType[a] = neuron.AxonType(a % neuron.NumAxonTypes)
+	}
+	for a := 0; a < Size; a++ {
+		for n := 0; n < Size; n++ {
+			if r.Intn(2) == 0 {
+				cfg.Synapses.Set(a, n, true)
+			}
+		}
+	}
+	for n := 0; n < Size; n++ {
+		p := &cfg.Neurons[n]
+		p.SynWeight = [neuron.NumAxonTypes]int16{
+			int16(1 + r.Intn(8)), int16(-1 - r.Intn(8)),
+			int16(1 + r.Intn(4)), int16(-1 - r.Intn(4)),
+		}
+		p.Leak = int16(-1 - r.Intn(2))
+		p.Threshold = int32(20 + r.Intn(100))
+		p.Reset = neuron.ResetLinear
+		p.Delay = 1
+	}
+	cfg.Seed = 7
+	return cfg
+}
+
+func benchDetTraffic(b *testing.B, c *Core) {
+	tr := rng.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 32; k++ {
+			c.ScheduleAxon(tr.Intn(Size), i)
+		}
+		c.Tick(int64(i), nil)
+	}
+	b.StopTimer()
+	ct := c.Counters()
+	if ct.Ticks > 0 {
+		b.ReportMetric(float64(ct.SynapticEvents)/float64(ct.Ticks), "synev/tick")
+	}
+}
+
+// BenchmarkTickDetTraffic is the E4 headline: dense deterministic
+// traffic (32 arrivals/tick on a half-dense crossbar) over the
+// precompiled plan path.
+func BenchmarkTickDetTraffic(b *testing.B) {
+	benchDetTraffic(b, New(detTrafficConfig()))
+}
+
+// BenchmarkTickDetTrafficScalar is the same workload on the legacy
+// scalar path (the -noplan baseline).
+func BenchmarkTickDetTrafficScalar(b *testing.B) {
+	benchDetTraffic(b, NewScalar(detTrafficConfig()))
+}
+
+// BenchmarkTickSparseScalar is BenchmarkTickSparse's A/B twin on the
+// scalar path (mixed stochastic random core, 1 arrival/tick).
+func BenchmarkTickSparseScalar(b *testing.B) {
+	r := rng.NewSplitMix64(1)
+	cfg := randomConfig(r)
+	c := NewScalar(cfg)
+	tr := rng.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAxon(tr.Intn(Size), i)
+		c.Tick(int64(i), nil)
+	}
+}

@@ -22,16 +22,18 @@ func (c *Core) Snapshot() State {
 }
 
 // Restore overwrites the core's runtime state from a snapshot taken on a
-// core with the same configuration. Derived activity masks are rebuilt.
+// core with the same configuration. Derived activity masks (nonzero and
+// rail-proximity trackers) are rebuilt.
 func (c *Core) Restore(s State) {
 	c.v = s.V
 	c.lfsr.SetState(s.LFSR)
 	c.ring = s.Ring
 	c.counters = s.Counters
 	c.vNonzero = crossbar.Row{}
+	c.vHot = crossbar.Row{}
 	for n := 0; n < Size; n++ {
 		if c.v[n] != 0 {
-			c.vNonzero[n/64] |= 1 << uint(n%64)
+			c.setNonzero(n, c.v[n])
 		}
 	}
 }

@@ -173,7 +173,74 @@ func (p *Params) thresholdMask() uint32 {
 	return 1<<uint32(p.MaskBits) - 1
 }
 
-// satAdd adds b to a, saturating at the membrane rails.
+// SynDrawsOn reports whether a spike arriving on a type-g axon consumes
+// an LFSR draw: stochastic synapse mode with a nonzero weight. A
+// stochastic synapse whose weight is zero short-circuits before drawing
+// (see Integrate), so it is effectively a deterministic zero-weight
+// synapse.
+func (p *Params) SynDrawsOn(g AxonType) bool {
+	return p.SynStochastic[g] && p.SynWeight[g] != 0
+}
+
+// DeterministicWeight returns the exact per-spike contribution of a
+// type-g arrival when SynDrawsOn(g) is false: the signed weight for a
+// deterministic synapse, 0 for a zero-weight stochastic one. Meaningless
+// (and unused) when SynDrawsOn(g) is true.
+func (p *Params) DeterministicWeight(g AxonType) int32 {
+	if p.SynStochastic[g] {
+		return 0
+	}
+	return int32(p.SynWeight[g])
+}
+
+// LeakDraws reports whether the leak step consumes an LFSR draw:
+// stochastic leak with a nonzero magnitude (a zero-magnitude stochastic
+// leak short-circuits before drawing, see applyLeak).
+func (p *Params) LeakDraws() bool {
+	return p.LeakStochastic && p.Leak != 0
+}
+
+// DeterministicLeak returns the exact per-tick leak (before any
+// LeakReversal sign flip) when LeakDraws is false.
+func (p *Params) DeterministicLeak() int32 {
+	if p.LeakStochastic {
+		return 0
+	}
+	return int32(p.Leak)
+}
+
+// IntegrationDeterministic reports whether phase-1 synaptic integration
+// for this neuron never consumes an LFSR draw, for any axon type.
+func (p *Params) IntegrationDeterministic() bool {
+	for g := AxonType(0); g < NumAxonTypes; g++ {
+		if p.SynDrawsOn(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// FireDeterministic reports whether the leak-and-threshold step (phase
+// 2) never consumes an LFSR draw: no effective stochastic leak and no
+// stochastic threshold.
+func (p *Params) FireDeterministic() bool {
+	return !p.LeakDraws() && p.MaskBits == 0
+}
+
+// Deterministic reports whether the neuron's whole tick update is a
+// pure function of its inputs and previous potential — it never touches
+// the core's LFSR. Deterministic neurons are exactly the ones a core's
+// precompiled integration plan may evaluate out of order (batched
+// column accumulation, flat leak/fire sweep) without perturbing the
+// LFSR draw schedule of the remaining stochastic neurons.
+func (p *Params) Deterministic() bool {
+	return p.IntegrationDeterministic() && p.FireDeterministic()
+}
+
+// satAdd adds b to a, saturating at the membrane rails. It is the only
+// addition the membrane ever sees; core's planned integration path
+// mirrors it with an int32 clamp (see core/plan.go clampV), which is
+// identical whenever the operands cannot overflow int32.
 func satAdd(a, b int32) int32 {
 	s := int64(a) + int64(b)
 	if s > VMax {

@@ -396,3 +396,51 @@ func BenchmarkStepStochastic(b *testing.B) {
 		v, _ = Step(v, &p, 1, 0, l)
 	}
 }
+
+func TestDeterminismClassification(t *testing.T) {
+	p := Default()
+	if !p.IntegrationDeterministic() || !p.FireDeterministic() || !p.Deterministic() {
+		t.Fatal("default params must classify deterministic")
+	}
+	if p.DeterministicWeight(0) != 1 || p.DeterministicWeight(1) != -1 {
+		t.Fatalf("DeterministicWeight = %d,%d, want 1,-1", p.DeterministicWeight(0), p.DeterministicWeight(1))
+	}
+
+	p = Default()
+	p.SynStochastic[1] = true // weight -1: draws
+	if p.IntegrationDeterministic() || !p.SynDrawsOn(1) || p.SynDrawsOn(0) {
+		t.Fatal("stochastic nonzero-weight synapse must draw")
+	}
+	if p.Deterministic() {
+		t.Fatal("drawing synapse classified deterministic")
+	}
+
+	p = Default()
+	p.SynStochastic[2] = true // weight 0: short-circuits before drawing
+	if !p.IntegrationDeterministic() || p.SynDrawsOn(2) {
+		t.Fatal("zero-weight stochastic synapse must not draw")
+	}
+	if p.DeterministicWeight(2) != 0 {
+		t.Fatalf("zero-weight stochastic DeterministicWeight = %d", p.DeterministicWeight(2))
+	}
+
+	p = Default()
+	p.LeakStochastic = true
+	p.Leak = 2
+	if p.FireDeterministic() || !p.LeakDraws() {
+		t.Fatal("stochastic nonzero leak must draw")
+	}
+	if p.DeterministicLeak() != 0 {
+		t.Fatal("stochastic leak has no deterministic value")
+	}
+	p.Leak = 0
+	if !p.FireDeterministic() || p.LeakDraws() {
+		t.Fatal("zero-magnitude stochastic leak must not draw")
+	}
+
+	p = Default()
+	p.MaskBits = 1
+	if p.FireDeterministic() || p.Deterministic() {
+		t.Fatal("stochastic threshold classified deterministic")
+	}
+}

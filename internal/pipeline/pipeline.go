@@ -82,6 +82,7 @@ type config struct {
 	lines         LineMapper
 	classes       ClassMapper
 	system        *system.Config // nil = single-chip backend
+	noPlan        bool
 }
 
 // WithEngine selects the core evaluation engine (default EngineEvent).
@@ -133,6 +134,13 @@ func WithSystem(chipCoresX, chipCoresY int) Option {
 		c.system = &system.Config{ChipCoresX: chipCoresX, ChipCoresY: chipCoresY}
 	}
 }
+
+// WithoutPlan pins every session's cores to the legacy scalar
+// integration path, disabling the precompiled per-core plans (the
+// cmd/nsim -noplan escape hatch). Predictions are bit-identical either
+// way — the plan only changes throughput — so this exists purely for
+// A/B debugging and performance comparison.
+func WithoutPlan() Option { return func(c *config) { c.noPlan = true } }
 
 // Pipeline serves inference over one compiled mapping. The mapping is
 // shared read-only across all sessions; see compile.Mapping.
@@ -202,15 +210,16 @@ func (p *Pipeline) Mapping() *compile.Mapping { return p.mapping }
 // newSessionLocked builds and registers a session; p.mu must be held.
 func (p *Pipeline) newSessionLocked() *Session {
 	s := &Session{p: p}
+	ropt := sim.RunnerOptions{NoPlan: p.cfg.noPlan}
 	if p.cfg.system != nil {
-		r, err := sim.NewSystemRunner(p.mapping, *p.cfg.system, p.cfg.engine, p.cfg.engineWorkers)
+		r, err := sim.NewSystemRunnerWith(p.mapping, *p.cfg.system, p.cfg.engine, p.cfg.engineWorkers, ropt)
 		if err != nil {
 			panic(err) // New validated the tiling; unreachable
 		}
 		s.runner = r
 		s.sys = r.System()
 	} else {
-		s.runner = sim.NewRunner(p.mapping, p.cfg.engine, p.cfg.engineWorkers)
+		s.runner = sim.NewRunnerWith(p.mapping, p.cfg.engine, p.cfg.engineWorkers, ropt)
 	}
 	if p.cfg.encoder != nil {
 		s.enc = p.cfg.encoder.Clone()

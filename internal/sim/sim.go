@@ -8,7 +8,14 @@
 //     spikes back to logical neuron IDs. It can evaluate cores
 //     event-driven (the production engine), densely (the clock-driven
 //     baseline), or event-driven across several goroutines; all three
-//     produce bit-identical spike streams, on either backend.
+//     produce bit-identical spike streams, on either backend. The
+//     event-driven engines additionally run each core's precompiled
+//     integration plan (core/plan.go): deterministic neurons take
+//     branch-free column accumulation and a flat leak/fire sweep,
+//     stochastic ones keep the exact per-event path in LFSR draw order,
+//     so the plan changes throughput, never output bits.
+//     RunnerOptions.NoPlan forces the legacy scalar path for A/B
+//     debugging.
 //
 //   - Logical interprets a model.Network directly, without compiling.
 //     It is the executable specification: for deterministic networks the
@@ -126,6 +133,15 @@ type Runner struct {
 	baseTicks            uint64
 }
 
+// RunnerOptions tunes backend construction.
+type RunnerOptions struct {
+	// NoPlan pins every core to the legacy scalar integration path
+	// (chip.Options.NoPlan) — bit-identical output, scalar throughput.
+	NoPlan bool
+}
+
+func (o RunnerOptions) chipOptions() chip.Options { return chip.Options{NoPlan: o.NoPlan} }
+
 // NewRunner builds a runner over a single-chip backend. workers is used
 // only by EngineParallel and is clamped to [1, runtime.NumCPU()] —
 // goroutines beyond the physical core count only add scheduling
@@ -138,7 +154,12 @@ type Runner struct {
 // runners may share one compiled mapping concurrently; each runner owns
 // an independent chip instance.
 func NewRunner(m *compile.Mapping, engine Engine, workers int) *Runner {
-	ch := chip.New(m.Chip)
+	return NewRunnerWith(m, engine, workers, RunnerOptions{})
+}
+
+// NewRunnerWith is NewRunner with explicit backend options.
+func NewRunnerWith(m *compile.Mapping, engine Engine, workers int, opt RunnerOptions) *Runner {
+	ch := chip.NewWithOptions(m.Chip, opt.chipOptions())
 	r := newBackendRunner(m, ch, engine, workers)
 	r.chip = ch
 	return r
@@ -151,7 +172,12 @@ func NewRunner(m *compile.Mapping, engine Engine, workers int) *Runner {
 // NewRunner over the same mapping — tiling only adds accounting. It
 // errors when the mapping's core grid does not tile into cfg's chips.
 func NewSystemRunner(m *compile.Mapping, cfg system.Config, engine Engine, workers int) (*Runner, error) {
-	sys, err := system.New(m.Chip, cfg)
+	return NewSystemRunnerWith(m, cfg, engine, workers, RunnerOptions{})
+}
+
+// NewSystemRunnerWith is NewSystemRunner with explicit backend options.
+func NewSystemRunnerWith(m *compile.Mapping, cfg system.Config, engine Engine, workers int, opt RunnerOptions) (*Runner, error) {
+	sys, err := system.NewWithOptions(m.Chip, cfg, opt.chipOptions())
 	if err != nil {
 		return nil, err
 	}

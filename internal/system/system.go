@@ -51,11 +51,17 @@ type System struct {
 // New partitions the chip cfg onto physical chips of the given per-chip
 // core dimensions. The core grid must tile exactly.
 func New(coreGrid *chip.Config, cfg Config) (*System, error) {
+	return NewWithOptions(coreGrid, cfg, chip.Options{})
+}
+
+// NewWithOptions is New with explicit chip construction options (e.g.
+// chip.Options.NoPlan to force the legacy scalar core path).
+func NewWithOptions(coreGrid *chip.Config, cfg Config, opt chip.Options) (*System, error) {
 	if err := cfg.Validate(coreGrid); err != nil {
 		return nil, err
 	}
 	s := &System{
-		ch:     chip.New(coreGrid),
+		ch:     chip.NewWithOptions(coreGrid, opt),
 		cfg:    cfg,
 		chipsX: coreGrid.Width / cfg.ChipCoresX,
 		chipsY: coreGrid.Height / cfg.ChipCoresY,

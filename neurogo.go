@@ -282,6 +282,12 @@ func WithSystem(chipCoresX, chipCoresY int) PipelineOption {
 	return pipeline.WithSystem(chipCoresX, chipCoresY)
 }
 
+// WithoutPlan pins every session's cores to the legacy scalar
+// integration path, disabling the precompiled per-core plans (the
+// cmd/nsim -noplan escape hatch). Bit-identical output, scalar
+// throughput; for A/B debugging only.
+func WithoutPlan() PipelineOption { return pipeline.WithoutPlan() }
+
 // BoundaryTraffic summarises a pipeline's multi-chip boundary traffic
 // (intra/inter spike counts, inter-chip fraction, busiest link).
 type BoundaryTraffic = pipeline.BoundaryTraffic
