@@ -8,11 +8,19 @@
 // ClassifyBatch so the two serving modes' throughput and
 // (bit-identical) predictions can be compared.
 //
-// Finally the same model is served across a 2x2 multi-chip tile
+// The same model is then served across a 2x2 multi-chip tile
 // (WithSystem): predictions stay bit-identical — tiling changes
 // accounting, not routing — while Pipeline.Traffic exposes the
 // chip-to-chip boundary spikes that tiled deployments are won or
 // lost on.
+//
+// Finally two models — the flat digit classifier and a routed
+// conv→pool→read-out stack — are served through one Registry: the
+// multi-model front-end cold-starts each on first request, reports
+// per-model hits, cold-start latency and live sessions, demotes the
+// LRU model under a warm cap, and hot-swaps a recompiled mapping with
+// zero downtime. Registry-served predictions are verified bit-identical
+// to direct Pipeline serving throughout.
 package main
 
 import (
@@ -205,4 +213,168 @@ func main() {
 	sysReport := neurogo.DefaultEnergyCoefficients().Evaluate(sysUsage)
 	fmt.Printf("tiled energy per classification: %.1f nJ (%.1f nJ of it chip-to-chip links)\n",
 		sysReport.TotalPJ/float64(testN)*1e-3, sysReport.InterChipPJ/float64(testN)*1e-3)
+
+	// 5. The multi-model front-end: the flat classifier and a routed
+	// conv stack behind one Registry.
+	serveRegistry(ctx, mapping, cls, xte, batchPreds)
+}
+
+// serveRegistry runs the multi-model leg: two models of very different
+// shapes — the flat digit classifier (no core-to-core edges) and a
+// conv→pool→read-out stack (relay-routed, deep) — registered in one
+// Registry and served through a single front-end, with per-model stats,
+// a warm-cap eviction demo and a zero-downtime hot swap. Every
+// registry-served prediction set is checked bit-for-bit against the
+// reference: flatPreds for the flat model (computed by the batched leg)
+// and a directly-constructed Pipeline for the conv model.
+func serveRegistry(ctx context.Context, flatMapping *neurogo.Mapping,
+	cls *neurogo.Classifier, xte [][]float64, flatPreds []int) {
+
+	// Build the second model: conv → OR-pool → feature read-out, the
+	// routed stack from examples/conv, trained on the matching
+	// float-side features.
+	const (
+		imgSize    = 16
+		stride     = 1
+		convThr    = 2
+		poolWin    = 2
+		convWindow = 8
+		convTestN  = 64
+	)
+	gen := neurogo.NewDigitGenerator(imgSize, 0.02, 2, 42)
+	xtr, ytr := gen.Batch(400)
+	kernels := neurogo.OrientedKernels()
+	convW := (imgSize-kernels[0].Size)/stride + 1
+	feat := make([][]float64, len(xtr))
+	for i, img := range xtr {
+		f := neurogo.ConvFeatures(img, imgSize, kernels, stride, convThr)
+		feat[i] = neurogo.FloatPool(f, len(kernels), convW, convW, poolWin)
+	}
+	fm, err := neurogo.TrainLinear(feat, ytr, neurogo.NumDigitClasses,
+		neurogo.TrainOptions{Epochs: 8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	convNet := neurogo.NewNetwork()
+	conv, err := neurogo.BuildConv2D(convNet, "conv", imgSize, imgSize, kernels, stride, convThr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := neurogo.BuildPool2D(convNet, conv, "pool", poolWin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc, err := neurogo.BuildFeatureClassifier(convNet, fm.Ternarize(1.3), pool, "out",
+		neurogo.DefaultClassifierParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	convMapping, err := neurogo.Compile(convNet, neurogo.CompileOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	convX, _ := gen.Batch(convTestN)
+
+	flatOpts := []neurogo.PipelineOption{
+		neurogo.WithEncoder(neurogo.NewBernoulliEncoder(0.5, 99)),
+		neurogo.WithDecoder(neurogo.NewCounterDecoder(neurogo.NumDigitClasses)),
+		neurogo.WithLineMapper(neurogo.TwinLines(cls.LinesFor)),
+		neurogo.WithClassMapper(cls.ClassOf),
+		neurogo.WithWindow(16),
+		neurogo.WithDrain(10),
+	}
+	convOpts := []neurogo.PipelineOption{
+		neurogo.WithEncoder(neurogo.NewBinaryEncoder(0.5, convWindow)),
+		neurogo.WithDecoder(neurogo.NewCounterDecoder(neurogo.NumDigitClasses)),
+		neurogo.WithLineMapper(neurogo.TwinLines(conv.LinesFor)),
+		neurogo.WithClassMapper(fc.ClassOf),
+		neurogo.WithWindow(convWindow),
+		neurogo.WithDrain(12),
+	}
+
+	// The conv reference: direct Pipeline serving on the same mapping.
+	refConvP, err := neurogo.NewPipeline(convMapping, convOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	convRef, err := refConvP.ClassifyBatch(ctx, convX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refConvP.Close()
+
+	identical := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// One front-end, MaxWarm 1: the two models contend for a single
+	// warm slot, so serving them alternately exercises the LRU path.
+	r := neurogo.NewRegistry(neurogo.RegistryConfig{MaxWarm: 1})
+	defer r.Close()
+	if err := r.Register("digits-flat", flatMapping, flatOpts...); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Register("conv-routed", convMapping, convOpts...); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n-- model registry: %d models behind one front-end (MaxWarm 1) --\n",
+		len(r.Names()))
+
+	// Cold start each model; the second warm-up evicts the first.
+	regFlat, err := r.ClassifyBatch(ctx, "digits-flat", xte)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regConv, err := r.ClassifyBatch(ctx, "conv-routed", convX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry == direct predictions: flat %v, conv %v\n",
+		identical(regFlat, flatPreds), identical(regConv, convRef))
+
+	// Serving the flat model again re-warms it from the registered
+	// mapping (and evicts the conv pool in turn) — still bit-identical.
+	reFlat, err := r.ClassifyBatch(ctx, "digits-flat", xte)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("post-evict reload bit-identical: %v\n", identical(reFlat, flatPreds))
+
+	// Zero-downtime hot swap: recompile the conv network (a stand-in
+	// for a retrained model) and cut the serving front-end over to it.
+	// Requests keep flowing while the old pool drains.
+	swapped, err := neurogo.Compile(convNet, neurogo.CompileOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Swap("conv-routed", swapped, convOpts...); err != nil {
+		log.Fatal(err)
+	}
+	postSwap, err := r.ClassifyBatch(ctx, "conv-routed", convX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A different placement, same logical network: the swap changes the
+	// chip image, not the function it computes.
+	fmt.Printf("post-swap bit-identical to direct serving: %v\n", identical(postSwap, convRef))
+
+	st := r.Stats()
+	fmt.Printf("%-12s %5s %5s %5s %6s %5s %8s %12s\n",
+		"model", "reqs", "hits", "cold", "evict", "swaps", "sessions", "cold-start")
+	for _, m := range st.Models {
+		fmt.Printf("%-12s %5d %5d %5d %6d %5d %8d %12s\n",
+			m.Name, m.Requests, m.Hits, m.ColdStarts, m.Evictions, m.Swaps,
+			m.LiveSessions, m.LastColdStart.Round(time.Microsecond))
+	}
+	fmt.Printf("registry: %d registered, %d warm, %d live sessions, %d evictions\n",
+		st.Registered, st.Warm, st.LiveSessions, st.Evictions)
 }

@@ -162,6 +162,80 @@ func TestMappingRoundTripTiledStats(t *testing.T) {
 	}
 }
 
+// TestMappingRoundTripV3Stats pins the v3 serialization of the
+// determinism census: MappedNeurons and DeterministicNeurons survive
+// the round trip exactly, and DeterministicFraction is recomputed from
+// them on load (it is derived, not stored). The registry lazy-loads
+// mappings through this path, so a drift here would silently change
+// what a reloaded model reports.
+func TestMappingRoundTripV3Stats(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Stats.MappedNeurons == 0 {
+		t.Fatal("compiler recorded no mapped neurons")
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.MappedNeurons != orig.Stats.MappedNeurons {
+		t.Fatalf("MappedNeurons %d, want %d", got.Stats.MappedNeurons, orig.Stats.MappedNeurons)
+	}
+	if got.Stats.DeterministicNeurons != orig.Stats.DeterministicNeurons {
+		t.Fatalf("DeterministicNeurons %d, want %d",
+			got.Stats.DeterministicNeurons, orig.Stats.DeterministicNeurons)
+	}
+	want := float64(orig.Stats.DeterministicNeurons) / float64(orig.Stats.MappedNeurons)
+	if got.Stats.DeterministicFraction != want {
+		t.Fatalf("DeterministicFraction %g, want %g", got.Stats.DeterministicFraction, want)
+	}
+}
+
+// TestMappingReadsV2Stream pins forward compatibility for v2 artifacts:
+// the v3 determinism words are appended after the v2 tiling block, so a
+// v2 stream (16 fewer trailing bytes, version word 2) must load with
+// zero determinism stats while everything earlier — tiling stats
+// included — survives intact.
+func TestMappingReadsV2Stream(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Placer: PlacerAnneal, Seed: 3,
+		Width: 4, Height: 4, ChipCoresX: 2, ChipCoresY: 2, BoundaryWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	v2 = v2[:len(v2)-16] // drop the two appended v3 determinism words
+	binary.LittleEndian.PutUint64(v2[8:16], 2)
+	got, err := ReadMapping(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 stream rejected: %v", err)
+	}
+	if got.Stats.MappedNeurons != 0 || got.Stats.DeterministicNeurons != 0 ||
+		got.Stats.DeterministicFraction != 0 {
+		t.Fatalf("v2 stream loaded determinism stats: %+v", got.Stats)
+	}
+	if got.Stats.ChipCoresX != 2 || got.Stats.ChipCoresY != 2 {
+		t.Fatalf("v2 tiling stats lost: %+v", got.Stats)
+	}
+	if got.Stats.PlacementCost != orig.Stats.PlacementCost {
+		t.Fatalf("placement cost %g, want %g", got.Stats.PlacementCost, orig.Stats.PlacementCost)
+	}
+	for i := range orig.NeuronLoc {
+		if got.NeuronLoc[i] != orig.NeuronLoc[i] {
+			t.Fatalf("NeuronLoc[%d] differs", i)
+		}
+	}
+}
+
 // TestMappingReadsV1Stream pins backward compatibility: the v2 tiling
 // stats are appended at the end of the stream, so a v1 artifact (no
 // trailing 32 stat bytes, version word 1) must load with the untiled

@@ -116,6 +116,11 @@ type AsyncPipeline struct {
 // boundary traffic when the pipeline runs WithSystem: each async
 // worker owns its own multi-chip tile, and Pipeline.Traffic aggregates
 // the pool's crossings race-free while workers serve.
+//
+// The front-end is registered with the pipeline: Pipeline.Close closes
+// it (draining queued and in-flight submissions) before releasing the
+// session pool. Async on an already-closed pipeline returns a
+// front-end that is born closed — every Submit reports ErrClosed.
 func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
 	cfg := asyncConfig{workers: p.cfg.workers}
 	for _, o := range opts {
@@ -133,11 +138,23 @@ func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
 		notify:      make(chan struct{}, 1),
 		workersDone: make(chan struct{}),
 	}
+	// Session creation, registration and the closed check share one
+	// critical section with Close's finalization, so a front-end either
+	// gets live sessions and a Close-time drain, or is born closed —
+	// never a worker pool on a released pipeline.
+	p.mu.Lock()
+	if p.finalized || p.closed.Load() {
+		p.mu.Unlock()
+		_ = a.Close() // born closed: zero workers, Submit reports ErrClosed
+		return a
+	}
 	for i := 0; i < cfg.workers; i++ {
-		s := p.NewSession()
+		s := p.newSessionLocked()
 		a.workers.Add(1)
 		go a.worker(s)
 	}
+	p.asyncs = append(p.asyncs, a)
+	p.mu.Unlock()
 	return a
 }
 

@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/codec"
+)
+
+// TestCloseRejectsNewWork pins the Close contract on every serving
+// entry point: after Close, Classify, ClassifyBatch and Async Submit
+// report ErrPipelineClosed (resp. ErrClosed) and NewSession hands out
+// no lane.
+func TestCloseRejectsNewWork(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ctx := context.Background()
+	if _, err := p.Classify(ctx, rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(ctx, rg.x[0]); !errors.Is(err, ErrPipelineClosed) {
+		t.Errorf("Classify after Close: err = %v, want ErrPipelineClosed", err)
+	}
+	if _, err := p.ClassifyBatch(ctx, rg.x); !errors.Is(err, ErrPipelineClosed) {
+		t.Errorf("ClassifyBatch after Close: err = %v, want ErrPipelineClosed", err)
+	}
+	if s := p.NewSession(); s != nil {
+		t.Error("NewSession after Close returned a session")
+	}
+	if n := p.SessionCount(); n != 0 {
+		t.Errorf("SessionCount after Close = %d, want 0", n)
+	}
+	if !p.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	// A front-end built on a closed pipeline is born closed.
+	ap := p.Async()
+	if r := <-ap.Submit(ctx, rg.x[0]); !errors.Is(r.Err, ErrClosed) {
+		t.Errorf("Submit on closed-pipeline Async: err = %v, want ErrClosed", r.Err)
+	}
+	// Close is idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseFinalizesUsage pins the accounting handoff: the final Usage
+// figures survive the session release, exactly as they stood at Close.
+func TestCloseFinalizesUsage(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ctx := context.Background()
+	if _, err := p.ClassifyBatch(ctx, rg.x[:8]); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Usage(true)
+	if before.Ticks == 0 {
+		t.Fatal("no activity before Close")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Usage(true)
+	if after != before {
+		t.Fatalf("usage changed across Close:\n%+v\n%+v", before, after)
+	}
+	if sw := p.Usage(false); sw.Ticks != before.Ticks {
+		t.Fatalf("software-priced usage lost: %+v", sw)
+	}
+}
+
+// TestCloseFinalizesTraffic is the system-backed analogue: boundary
+// traffic keeps reporting the final figures after the tile sessions
+// are released.
+func TestCloseFinalizesTraffic(t *testing.T) {
+	mp := trafficMapping(t)
+	p, err := New(mp, WithSystem(1, 1), WithDrain(2),
+		WithEncoder(codec.NewBernoulli(0.9, 5)), WithDecoder(codec.NewCounter(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(context.Background(), []float64{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Traffic()
+	if before.IntraChip+before.InterChip == 0 {
+		t.Fatal("no routed traffic before Close")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Traffic()
+	if after != before {
+		t.Fatalf("traffic changed across Close:\n%+v\n%+v", before, after)
+	}
+}
+
+// TestCloseConcurrentWithBatch is the drain-vs-reject race test (run
+// under -race in CI): batches racing a Close either complete fully or
+// report ErrPipelineClosed — never partial results, never a panic on a
+// released pool — and Close returns only after in-flight work is done.
+func TestCloseConcurrentWithBatch(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t, WithWorkers(4))
+	ctx := context.Background()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 8; i++ {
+				res, err := p.ClassifyBatch(ctx, rg.x[:6])
+				switch {
+				case err == nil:
+					if len(res) != 6 {
+						t.Errorf("completed batch returned %d results, want 6", len(res))
+					}
+				case errors.Is(err, ErrPipelineClosed):
+					if res != nil {
+						t.Error("rejected batch returned results")
+					}
+				default:
+					t.Errorf("batch failed with unexpected error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := p.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if _, err := p.ClassifyBatch(ctx, rg.x[:1]); !errors.Is(err, ErrPipelineClosed) {
+		t.Fatalf("batch after settled Close: err = %v", err)
+	}
+}
+
+// TestCloseDrainsAsync pins the AsyncPipeline interaction: closing the
+// pipeline closes its async front-ends, draining queued and in-flight
+// submissions — every accepted submission still gets its Result.
+func TestCloseDrainsAsync(t *testing.T) {
+	rg := buildRig(t)
+	p := rg.pipeline(t)
+	ap := p.Async(WithAsyncWorkers(2), WithQueueDepth(8))
+	ctx := context.Background()
+	const n = 8
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = ap.Submit(ctx, rg.x[i])
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Errorf("submission %d: %v", i, r.Err)
+		}
+	}
+	if r := <-ap.Submit(ctx, rg.x[0]); !errors.Is(r.Err, ErrClosed) {
+		t.Errorf("Submit after pipeline Close: err = %v, want ErrClosed", r.Err)
+	}
+	// The async workers' activity is part of the final accounting.
+	if u := p.Usage(true); u.Ticks == 0 {
+		t.Fatal("final usage lost the async workers' activity")
+	}
+}

@@ -142,6 +142,10 @@ func WithSystem(chipCoresX, chipCoresY int) Option {
 // A/B debugging and performance comparison.
 func WithoutPlan() Option { return func(c *config) { c.noPlan = true } }
 
+// ErrPipelineClosed is the sentinel error every serving entry point
+// returns after Pipeline.Close.
+var ErrPipelineClosed = errors.New("pipeline: pipeline closed")
+
 // Pipeline serves inference over one compiled mapping. The mapping is
 // shared read-only across all sessions; see compile.Mapping.
 type Pipeline struct {
@@ -152,12 +156,25 @@ type Pipeline struct {
 	shared   *Session   // lazy session backing Pipeline.Classify
 	pool     []*Session // lazy pool backing ClassifyBatch
 	sessions []*Session // every session ever created, for Usage
+	asyncs   []*AsyncPipeline
 
 	// batchMu serializes ClassifyBatch executions and sharedMu the
 	// shared-session Classify calls. Both are separate from p.mu so a
 	// running presentation never blocks Usage or NewSession.
 	batchMu  sync.Mutex
 	sharedMu sync.Mutex
+
+	// closed flips once in Close. The load-bearing checks sit behind
+	// batchMu/sharedMu: work that slipped past the flag before Close
+	// drains to completion (Close waits on both locks), work arriving
+	// after is rejected with ErrPipelineClosed.
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeDone chan struct{}
+	finalized bool // under mu: final accounting captured, sessions released
+
+	finalUsageHW, finalUsageSW energy.Usage
+	finalTraffic               BoundaryTraffic
 }
 
 // New builds a pipeline over a compiled mapping.
@@ -201,7 +218,7 @@ func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
 				st.ChipCoresX, st.ChipCoresY, cfg.system.ChipCoresX, cfg.system.ChipCoresY)
 		}
 	}
-	return &Pipeline{mapping: m, cfg: cfg}, nil
+	return &Pipeline{mapping: m, cfg: cfg, closeDone: make(chan struct{})}, nil
 }
 
 // Mapping returns the shared compiled mapping.
@@ -233,19 +250,43 @@ func (p *Pipeline) newSessionLocked() *Session {
 
 // NewSession creates an independent session: its own chip instance and
 // codec clones over the shared mapping. Sessions are not themselves
-// safe for concurrent use; create one per goroutine.
+// safe for concurrent use; create one per goroutine. Returns nil after
+// Close — the pool is released and no new lanes are handed out.
 func (p *Pipeline) NewSession() *Session {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.finalized || p.closed.Load() {
+		return nil
+	}
 	return p.newSessionLocked()
 }
+
+// SessionCount reports how many live sessions the pipeline has created
+// (shared, batch pool and async workers alike); zero after Close. It is
+// the capacity figure registry-style front-ends budget against.
+func (p *Pipeline) SessionCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sessions)
+}
+
+// Closed reports whether Close has been called.
+func (p *Pipeline) Closed() bool { return p.closed.Load() }
 
 // Classify runs one presentation of values on the pipeline's shared
 // session. Calls are serialized against each other, but a running
 // presentation does not block Usage, NewSession or batches; for
 // concurrency use ClassifyBatch, Async or per-goroutine sessions.
+// After Close it returns ErrPipelineClosed.
 func (p *Pipeline) Classify(ctx context.Context, values []float64) (int, error) {
+	if p.closed.Load() {
+		return -1, ErrPipelineClosed
+	}
 	p.mu.Lock()
+	if p.finalized {
+		p.mu.Unlock()
+		return -1, ErrPipelineClosed
+	}
 	if p.shared == nil {
 		p.shared = p.newSessionLocked()
 	}
@@ -253,6 +294,12 @@ func (p *Pipeline) Classify(ctx context.Context, values []float64) (int, error) 
 	p.mu.Unlock()
 	p.sharedMu.Lock()
 	defer p.sharedMu.Unlock()
+	// Re-check behind the serving lock: Close drains under sharedMu, so
+	// a call that acquires it after Close returned must not touch the
+	// released session.
+	if p.closed.Load() {
+		return -1, ErrPipelineClosed
+	}
 	return s.Classify(ctx, values)
 }
 
@@ -268,8 +315,16 @@ func (p *Pipeline) ClassifyBatch(ctx context.Context, inputs [][]float64) ([]int
 	if len(inputs) == 0 {
 		return nil, nil
 	}
+	if p.closed.Load() {
+		return nil, ErrPipelineClosed
+	}
 	p.batchMu.Lock()
 	defer p.batchMu.Unlock()
+	// Re-check behind the serving lock (see Classify): a batch that was
+	// queued behind Close must not rebuild the released pool.
+	if p.closed.Load() {
+		return nil, ErrPipelineClosed
+	}
 	p.mu.Lock()
 	for len(p.pool) < p.cfg.workers {
 		p.pool = append(p.pool, p.newSessionLocked())
@@ -334,8 +389,21 @@ func (p *Pipeline) ClassifyBatch(ctx context.Context, inputs [][]float64) ([]int
 // completed operation and never block on running work.
 func (p *Pipeline) Usage(hardware bool) energy.Usage {
 	p.mu.Lock()
+	if p.finalized {
+		defer p.mu.Unlock()
+		if hardware {
+			return p.finalUsageHW
+		}
+		return p.finalUsageSW
+	}
 	sessions := append([]*Session(nil), p.sessions...)
 	p.mu.Unlock()
+	return p.usageOf(sessions, hardware)
+}
+
+// usageOf aggregates the accounting snapshots of sessions (the body of
+// Usage, shared with Close's finalization; takes no pipeline locks).
+func (p *Pipeline) usageOf(sessions []*Session, hardware bool) energy.Usage {
 	var total energy.Usage
 	for _, s := range sessions {
 		u := s.snapshotUsage(hardware)
@@ -425,8 +493,19 @@ func (p *Pipeline) Traffic() BoundaryTraffic {
 		return bt
 	}
 	p.mu.Lock()
+	if p.finalized {
+		defer p.mu.Unlock()
+		return p.finalTraffic
+	}
 	sessions := append([]*Session(nil), p.sessions...)
 	p.mu.Unlock()
+	return p.trafficOf(sessions)
+}
+
+// trafficOf aggregates the traffic snapshots of sessions (the body of
+// Traffic, shared with Close's finalization; takes no pipeline locks).
+// Only called on system-backed pipelines.
+func (p *Pipeline) trafficOf(sessions []*Session) BoundaryTraffic {
 	chipsX := p.mapping.Chip.Width / p.cfg.system.ChipCoresX
 	chipsY := p.mapping.Chip.Height / p.cfg.system.ChipCoresY
 	n := chipsX * chipsY
@@ -448,6 +527,60 @@ func (p *Pipeline) Traffic() BoundaryTraffic {
 	out := summarizeTraffic(chipsX, chipsY, intra, inter, sum)
 	out.PredictedInterChipFraction = p.mapping.Stats.PredictedInterChipFraction
 	return out
+}
+
+// Close retires the pipeline: it stops accepting new work (Classify,
+// ClassifyBatch, NewSession and Async submissions return
+// ErrPipelineClosed), drains everything already in flight — running
+// batches and shared-session presentations finish, and every
+// AsyncPipeline built from this pipeline is Closed, which drains its
+// queued and in-flight submissions — then captures the final
+// Usage/Traffic aggregates and releases every session, so the chip
+// instances (the memory a warm model pool holds) can be collected.
+// Usage and Traffic keep reporting the final figures after Close.
+//
+// Close is idempotent and safe to call concurrently with serving.
+// Sessions handed out by NewSession keep working mechanically (they own
+// their runners), but their activity after Close is not part of the
+// final accounting; callers who need it priced should finish session
+// work first.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		// Async front-ends first: their workers serve caller-owned
+		// sessions outside batchMu/sharedMu, so each is drained through
+		// its own Close (idempotent; a front-end the caller already
+		// closed is a no-op).
+		p.mu.Lock()
+		asyncs := p.asyncs
+		p.asyncs = nil
+		p.mu.Unlock()
+		for _, a := range asyncs {
+			_ = a.Close()
+		}
+		// Drain the serving paths: a presentation that slipped past the
+		// closed flag holds one of these locks until it completes.
+		p.batchMu.Lock()
+		defer p.batchMu.Unlock()
+		p.sharedMu.Lock()
+		defer p.sharedMu.Unlock()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.finalUsageHW = p.usageOf(p.sessions, true)
+		p.finalUsageSW = p.usageOf(p.sessions, false)
+		if p.cfg.system != nil {
+			p.finalTraffic = p.trafficOf(p.sessions)
+		}
+		p.finalized = true
+		p.shared = nil
+		p.pool = nil
+		p.sessions = nil
+		close(p.closeDone)
+	})
+	// Late and concurrent callers return only once the first Close has
+	// fully drained and finalized.
+	<-p.closeDone
+	return nil
 }
 
 // Session is one independent inference lane: a private backend (chip

@@ -1,0 +1,123 @@
+package registry
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/codec"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/corelet"
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/pipeline"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+var benchRig struct {
+	once    sync.Once
+	err     error
+	cls     *corelet.Classifier
+	mapping *compile.Mapping
+	x       [][]float64
+}
+
+func benchSetup() error {
+	benchRig.once.Do(func() {
+		gen := dataset.NewDigits(8, 0.02, 0, 3)
+		xtr, ytr := gen.Batch(300)
+		m, err := train.TrainLinear(xtr, ytr, dataset.NumClasses, train.Options{Epochs: 6, Seed: 1})
+		if err != nil {
+			benchRig.err = err
+			return
+		}
+		net := model.New()
+		benchRig.cls = corelet.BuildClassifier(net, m.Ternarize(1.3), "d", corelet.ClassifierParams{Threshold: 4, Decay: 1})
+		benchRig.mapping, benchRig.err = compile.Compile(net, compile.Options{})
+		benchRig.x, _ = gen.Batch(16)
+	})
+	return benchRig.err
+}
+
+func benchOpts() []pipeline.Option {
+	return []pipeline.Option{
+		pipeline.WithEncoder(codec.NewBernoulli(0.5, 7)),
+		pipeline.WithDecoder(codec.NewCounter(dataset.NumClasses)),
+		pipeline.WithLineMapper(pipeline.TwinLines(benchRig.cls.LinesFor)),
+		pipeline.WithClassMapper(benchRig.cls.ClassOf),
+		pipeline.WithWindow(16),
+		pipeline.WithDrain(10),
+	}
+}
+
+// BenchmarkRegistryServe measures the serving front-end's three cost
+// classes: warm-hit (the steady state — registry dispatch over a live
+// pool, the overhead vs direct Pipeline serving), cold-start (every
+// request pays a pool build: the evict-reload worst case), and
+// eviction-churn (two models thrash one warm slot, so each request
+// pays a drain-teardown plus a cold start — the cap-pressure regime).
+func BenchmarkRegistryServe(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("warm-hit", func(b *testing.B) {
+		r := New(Config{})
+		defer r.Close()
+		if err := r.Register("m", benchRig.mapping, benchOpts()...); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Warm(ctx, "m"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.ClassifyBatch(ctx, "m", benchRig.x); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(benchRig.x))/b.Elapsed().Seconds(), "class/s")
+	})
+
+	b.Run("cold-start", func(b *testing.B) {
+		r := New(Config{})
+		defer r.Close()
+		if err := r.Register("m", benchRig.mapping, benchOpts()...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.ClassifyBatch(ctx, "m", benchRig.x); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := r.Evict("m"); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(b.N*len(benchRig.x))/b.Elapsed().Seconds(), "class/s")
+	})
+
+	b.Run("eviction-churn", func(b *testing.B) {
+		r := New(Config{MaxWarm: 1})
+		defer r.Close()
+		if err := r.Register("a", benchRig.mapping, benchOpts()...); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Register("b", benchRig.mapping, benchOpts()...); err != nil {
+			b.Fatal(err)
+		}
+		names := [2]string{"a", "b"}
+		b.ResetTimer()
+		// Alternating models under MaxWarm 1: every request evicts the
+		// other model's pool and pays its own cold start.
+		for i := 0; i < b.N; i++ {
+			if _, err := r.ClassifyBatch(ctx, names[i%2], benchRig.x); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(benchRig.x))/b.Elapsed().Seconds(), "class/s")
+	})
+}

@@ -1,0 +1,644 @@
+// Package registry is the multi-model serving front-end: one Registry
+// serves many named models, each resolving on demand to a warm
+// pipeline.Pipeline held in an LRU of live session pools.
+//
+// A model registers one of three ways — as an already-compiled
+// *compile.Mapping, as a mapping stream loaded lazily through
+// compile.ReadMapping, or as a build function compiled on first request
+// — together with the pipeline options it serves under. The first
+// request against a cold model pays the cold start (load or compile,
+// then pipeline construction); subsequent requests hit the warm pool.
+// Under pressure — more warm models than Config.MaxWarm, or more live
+// sessions than Config.MaxSessions — the least-recently-used warm pool
+// is evicted: it is detached so no new request can reach it, its
+// in-flight requests drain, its final Usage/Traffic accounting is
+// folded into the model's lifetime totals, and its sessions are
+// released. The model stays registered and cold; the next request
+// rebuilds the pool from the registered source, bit-identically
+// (pipelines are deterministic functions of mapping + options).
+//
+// Swap hot-swaps a recompiled mapping with zero downtime: the
+// successor pool is built and validated first (a bad swap leaves the
+// old model serving), new requests cut over atomically under the
+// registry lock, and the displaced pool drains its in-flight requests
+// before teardown. No request ever observes a closed pipeline through
+// the registry: a pool is only closed after it is unreachable and its
+// in-flight count has reached zero.
+//
+// Per-model accounting spans pool generations: Usage and Traffic
+// report the summed activity of every pool the model has ever had,
+// cold starts included, so eviction and swap are invisible to the
+// energy and boundary-traffic trajectories. Stats snapshots the whole
+// registry — per-model hits, cold starts, evictions, swap count,
+// cold-start latency and live sessions — for serving dashboards.
+//
+// All methods are safe for concurrent use.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/energy"
+	"github.com/neurogo/neurogo/internal/pipeline"
+)
+
+var (
+	// ErrUnknownModel is returned for a name no Register call declared.
+	ErrUnknownModel = errors.New("registry: unknown model")
+	// ErrDuplicateModel is returned when a name is registered twice.
+	ErrDuplicateModel = errors.New("registry: model already registered")
+	// ErrClosed is returned by every operation after Close.
+	ErrClosed = errors.New("registry: closed")
+)
+
+// Config bounds the registry's warm footprint. Both limits are
+// high-water marks enforced after the request that crossed them (the
+// model just served is never its own victim), so a single over-sized
+// model still serves.
+type Config struct {
+	// MaxWarm caps how many models hold live pools at once
+	// (0 = unlimited).
+	MaxWarm int
+	// MaxSessions caps the total live sessions across all warm pools
+	// (0 = unlimited). Sessions are created lazily by pipelines, so
+	// this is checked as requests complete.
+	MaxSessions int
+}
+
+// ModelStats is one model's serving record.
+type ModelStats struct {
+	// Name is the registered model name.
+	Name string
+	// Warm reports whether the model holds a live pool right now.
+	Warm bool
+	// Requests counts classifications requested (a batch counts its
+	// length); Hits counts the subset served on an already-warm pool.
+	Requests, Hits uint64
+	// ColdStarts counts pool constructions (first request, or first
+	// after an eviction); Evictions counts pool teardowns under
+	// pressure or via Evict; Swaps counts hot swaps.
+	ColdStarts, Evictions, Swaps uint64
+	// LiveSessions is the warm pool's current session count (0 cold).
+	LiveSessions int
+	// LastColdStart and TotalColdStart record cold-start latency (the
+	// load/compile plus pipeline construction the first request paid).
+	LastColdStart, TotalColdStart time.Duration
+}
+
+// Stats is a whole-registry snapshot.
+type Stats struct {
+	// Models lists every registered model's record, sorted by name.
+	Models []ModelStats
+	// Registered and Warm count models; LiveSessions sums the warm
+	// pools' session counts; Evictions sums evictions across models.
+	Registered, Warm, LiveSessions int
+	Evictions                      uint64
+}
+
+// Registry serves many named models behind one front-end.
+type Registry struct {
+	cfg Config
+
+	mu     sync.Mutex
+	models map[string]*entry
+	clock  uint64 // LRU clock: bumped on every touch
+	closed bool
+}
+
+// entry is one registered model. The source, pool pointer, LRU stamp,
+// stats and lifetime accounting bases are guarded by Registry.mu;
+// startMu serializes cold starts and swaps per model (never held
+// together with Registry.mu) so a thundering herd compiles once.
+type entry struct {
+	name    string
+	startMu sync.Mutex
+
+	source      func() (*compile.Mapping, error)
+	opts        []pipeline.Option
+	pool        *pool
+	lastUsed    uint64
+	stats       ModelStats
+	baseHW      energy.Usage
+	baseSW      energy.Usage
+	baseTraffic pipeline.BoundaryTraffic
+}
+
+// pool is one warm generation of a model: a live pipeline plus the
+// in-flight request count that gates its teardown. Requests Add under
+// Registry.mu while the pool is attached; teardown detaches the pool
+// under Registry.mu first, so Wait races no Add.
+type pool struct {
+	p        *pipeline.Pipeline
+	inflight sync.WaitGroup
+}
+
+// New returns an empty registry.
+func New(cfg Config) *Registry {
+	return &Registry{cfg: cfg, models: make(map[string]*entry)}
+}
+
+// Register declares a model backed by an already-compiled mapping. The
+// opts are the pipeline options every pool generation serves under.
+func (r *Registry) Register(name string, m *compile.Mapping, opts ...pipeline.Option) error {
+	if m == nil {
+		return errors.New("registry: nil mapping")
+	}
+	return r.register(name, func() (*compile.Mapping, error) { return m, nil }, opts)
+}
+
+// RegisterBuilder declares a model compiled on first request: build is
+// invoked once per cold start (it must return an equivalent mapping
+// each time for bit-identical serving across evictions).
+func (r *Registry) RegisterBuilder(name string, build func() (*compile.Mapping, error), opts ...pipeline.Option) error {
+	if build == nil {
+		return errors.New("registry: nil builder")
+	}
+	return r.register(name, build, opts)
+}
+
+// RegisterLoader declares a model loaded lazily from a mapping stream:
+// open is invoked once per cold start and the stream decoded with
+// compile.ReadMapping (closed afterwards if it implements io.Closer).
+func (r *Registry) RegisterLoader(name string, open func() (io.Reader, error), opts ...pipeline.Option) error {
+	if open == nil {
+		return errors.New("registry: nil loader")
+	}
+	return r.register(name, func() (*compile.Mapping, error) {
+		src, err := open()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := src.(io.Closer); ok {
+			defer c.Close()
+		}
+		return compile.ReadMapping(src)
+	}, opts)
+}
+
+func (r *Registry) register(name string, source func() (*compile.Mapping, error), opts []pipeline.Option) error {
+	if name == "" {
+		return errors.New("registry: empty model name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if _, ok := r.models[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	r.models[name] = &entry{name: name, source: source, opts: opts, stats: ModelStats{Name: name}}
+	return nil
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// touchLocked stamps e as most recently used; r.mu must be held.
+func (r *Registry) touchLocked(e *entry) {
+	r.clock++
+	e.lastUsed = r.clock
+}
+
+// acquire resolves name to a warm pool with one in-flight reference
+// held (the caller must release), cold-starting the model if needed.
+// n is the request count to account (0 for Warm).
+func (r *Registry) acquire(ctx context.Context, name string, n uint64) (*entry, *pool, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	e, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if po := e.pool; po != nil {
+		po.inflight.Add(1)
+		e.stats.Requests += n
+		e.stats.Hits += n
+		r.touchLocked(e)
+		r.mu.Unlock()
+		return e, po, nil
+	}
+	r.mu.Unlock()
+
+	// Cold: serialize the warm-up per model so a thundering herd pays
+	// one compile/load, with everyone else waiting on the one warm-up.
+	e.startMu.Lock()
+	defer e.startMu.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if po := e.pool; po != nil { // warmed while we waited for startMu
+		po.inflight.Add(1)
+		e.stats.Requests += n
+		e.stats.Hits += n
+		r.touchLocked(e)
+		r.mu.Unlock()
+		return e, po, nil
+	}
+	source, opts := e.source, e.opts
+	r.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	m, err := source()
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: model %q: %w", name, err)
+	}
+	p, err := pipeline.New(m, opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: model %q: %w", name, err)
+	}
+	lat := time.Since(start)
+	po := &pool{p: p}
+
+	r.mu.Lock()
+	if r.closed || r.models[name] != e {
+		// Closed, or unregistered mid-warm-up: discard the orphan pool.
+		r.mu.Unlock()
+		_ = p.Close()
+		if r.closed {
+			return nil, nil, ErrClosed
+		}
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	e.pool = po
+	po.inflight.Add(1)
+	e.stats.Requests += n
+	e.stats.ColdStarts++
+	e.stats.LastColdStart = lat
+	e.stats.TotalColdStart += lat
+	r.touchLocked(e)
+	victims := r.overCapLocked(e)
+	r.mu.Unlock()
+	r.teardownAll(victims)
+	return e, po, nil
+}
+
+// release drops one in-flight reference and enforces the warm caps
+// (sessions are created lazily during serving, so the session
+// high-water mark is checked as requests complete). The request that
+// crossed a cap pays the victims' drain — eviction is synchronous and
+// deterministic, never a background race.
+func (r *Registry) release(e *entry, po *pool) {
+	po.inflight.Done()
+	r.mu.Lock()
+	victims := r.overCapLocked(e)
+	r.mu.Unlock()
+	r.teardownAll(victims)
+}
+
+// victim is a pool detached under r.mu, awaiting drain and teardown.
+type victim struct {
+	e  *entry
+	po *pool
+}
+
+// overCapLocked detaches least-recently-used warm pools (never keep's)
+// until the registry is back under its caps; r.mu must be held.
+// Eviction counters bump at detach time, so Stats is exact the moment
+// a pool becomes unreachable, before its drain completes.
+func (r *Registry) overCapLocked(keep *entry) []victim {
+	var out []victim
+	for {
+		warm, sessions := 0, 0
+		var lru *entry
+		for _, e := range r.models {
+			if e.pool == nil {
+				continue
+			}
+			warm++
+			sessions += e.pool.p.SessionCount()
+			if e == keep {
+				continue
+			}
+			if lru == nil || e.lastUsed < lru.lastUsed {
+				lru = e
+			}
+		}
+		over := (r.cfg.MaxWarm > 0 && warm > r.cfg.MaxWarm) ||
+			(r.cfg.MaxSessions > 0 && sessions > r.cfg.MaxSessions)
+		if !over || lru == nil {
+			return out
+		}
+		out = append(out, victim{lru, lru.pool})
+		lru.stats.Evictions++
+		lru.pool = nil
+	}
+}
+
+func (r *Registry) teardownAll(vs []victim) {
+	for _, v := range vs {
+		r.teardown(v.e, v.po)
+	}
+}
+
+// teardown retires a detached pool: in-flight requests drain, the
+// pipeline closes (releasing its sessions), and its final accounting
+// folds into the model's lifetime base. The pool must already be
+// unreachable (detached under r.mu) so no new reference can appear.
+func (r *Registry) teardown(e *entry, po *pool) {
+	po.inflight.Wait()
+	_ = po.p.Close()
+	hw, sw := po.p.Usage(true), po.p.Usage(false)
+	bt := po.p.Traffic()
+	r.mu.Lock()
+	foldUsage(&e.baseHW, hw)
+	foldUsage(&e.baseSW, sw)
+	bt.IntraChip += e.baseTraffic.IntraChip
+	bt.InterChip += e.baseTraffic.InterChip
+	e.baseTraffic = bt
+	r.mu.Unlock()
+}
+
+// foldUsage accumulates activity counters; the chip-footprint field
+// (Cores) tracks the most recent generation rather than summing — the
+// per-model figure stays "one chip serving this model's stream", the
+// same time-multiplexed pricing Pipeline.Usage uses.
+func foldUsage(dst *energy.Usage, u energy.Usage) {
+	dst.SynapticEvents += u.SynapticEvents
+	dst.AxonEvents += u.AxonEvents
+	dst.NeuronUpdates += u.NeuronUpdates
+	dst.Spikes += u.Spikes
+	dst.Hops += u.Hops
+	dst.IntraChipSpikes += u.IntraChipSpikes
+	dst.InterChipSpikes += u.InterChipSpikes
+	dst.Ticks += u.Ticks
+	if u.Cores > 0 {
+		dst.Cores = u.Cores
+	}
+}
+
+// Classify runs one presentation of values on the named model,
+// cold-starting it if needed. The in-flight reference held across the
+// call guarantees the pool survives any concurrent swap or eviction.
+func (r *Registry) Classify(ctx context.Context, name string, values []float64) (int, error) {
+	e, po, err := r.acquire(ctx, name, 1)
+	if err != nil {
+		return -1, err
+	}
+	defer r.release(e, po)
+	return po.p.Classify(ctx, values)
+}
+
+// ClassifyBatch classifies every input on the named model's pool,
+// fanned across its sessions (see pipeline.ClassifyBatch).
+func (r *Registry) ClassifyBatch(ctx context.Context, name string, inputs [][]float64) ([]int, error) {
+	e, po, err := r.acquire(ctx, name, uint64(len(inputs)))
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(e, po)
+	return po.p.ClassifyBatch(ctx, inputs)
+}
+
+// Warm pre-warms the named model (cold start now, not on the first
+// request) without accounting a request against it.
+func (r *Registry) Warm(ctx context.Context, name string) error {
+	e, po, err := r.acquire(ctx, name, 0)
+	if err != nil {
+		return err
+	}
+	r.release(e, po)
+	return nil
+}
+
+// Swap hot-swaps the named model onto mapping with zero downtime. The
+// successor pipeline is built and validated before the cutover, so a
+// bad mapping leaves the old pool serving and returns the error. New
+// requests cut over atomically; requests in flight on the displaced
+// pool finish there, and Swap returns once that pool has drained and
+// its accounting is folded into the model's lifetime totals. The
+// registered source is replaced too: a later eviction reloads the
+// swapped mapping, not the original. Passing opts replaces the
+// pipeline options; omitting them keeps the registered ones. Swapping
+// a cold model just replaces its source.
+func (r *Registry) Swap(name string, m *compile.Mapping, opts ...pipeline.Option) error {
+	if m == nil {
+		return errors.New("registry: nil mapping")
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	e, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	r.mu.Unlock()
+
+	// startMu: no concurrent cold start or swap may interleave with the
+	// cutover (evictions still may — they only detach).
+	e.startMu.Lock()
+	defer e.startMu.Unlock()
+	r.mu.Lock()
+	useOpts := e.opts
+	if len(opts) > 0 {
+		useOpts = opts
+	}
+	wasWarm := e.pool != nil
+	r.mu.Unlock()
+
+	// Build the successor before touching the live pool.
+	p, err := pipeline.New(m, useOpts...)
+	if err != nil {
+		return fmt.Errorf("registry: swap %q: %w", name, err)
+	}
+	var npo *pool
+	if wasWarm {
+		npo = &pool{p: p}
+	} else {
+		_ = p.Close() // validation only: the model stays cold
+	}
+
+	r.mu.Lock()
+	if r.closed || r.models[name] != e {
+		r.mu.Unlock()
+		if npo != nil {
+			_ = npo.p.Close()
+		}
+		if r.closed {
+			return ErrClosed
+		}
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	e.source = func() (*compile.Mapping, error) { return m, nil }
+	if len(opts) > 0 {
+		e.opts = opts
+	}
+	old := e.pool
+	e.pool = npo // cutover: new requests now resolve to the successor
+	e.stats.Swaps++
+	var victims []victim
+	if npo != nil {
+		r.touchLocked(e)
+		victims = r.overCapLocked(e)
+	}
+	r.mu.Unlock()
+	if old != nil {
+		r.teardown(e, old) // drain the displaced generation
+	}
+	r.teardownAll(victims)
+	return nil
+}
+
+// Evict demotes the named model to cold: its pool (if any) is
+// detached, drained and released, with its accounting folded into the
+// model's lifetime totals. The model stays registered; the next
+// request cold-starts it from its source.
+func (r *Registry) Evict(name string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	e, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	po := e.pool
+	if po == nil {
+		r.mu.Unlock()
+		return nil
+	}
+	e.pool = nil
+	e.stats.Evictions++
+	r.mu.Unlock()
+	r.teardown(e, po)
+	return nil
+}
+
+// Unregister evicts and removes the named model. Its accounting is
+// discarded with it.
+func (r *Registry) Unregister(name string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	e, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	delete(r.models, name)
+	po := e.pool
+	e.pool = nil
+	r.mu.Unlock()
+	if po != nil {
+		r.teardown(e, po)
+	}
+	return nil
+}
+
+// Usage reports the named model's lifetime activity across every pool
+// generation it has had (warm or not), priced like Pipeline.Usage.
+func (r *Registry) Usage(name string, hardware bool) (energy.Usage, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return energy.Usage{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	base := e.baseSW
+	if hardware {
+		base = e.baseHW
+	}
+	if e.pool != nil {
+		foldUsage(&base, e.pool.p.Usage(hardware))
+	}
+	return base, nil
+}
+
+// Traffic reports the named model's lifetime boundary traffic across
+// every pool generation. The intra/inter totals and fraction span
+// generations; the tile geometry and busiest-link figures describe the
+// most recent one.
+func (r *Registry) Traffic(name string) (pipeline.BoundaryTraffic, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return pipeline.BoundaryTraffic{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	bt := e.baseTraffic
+	if e.pool != nil {
+		live := e.pool.p.Traffic()
+		live.IntraChip += bt.IntraChip
+		live.InterChip += bt.InterChip
+		bt = live
+	}
+	if total := bt.IntraChip + bt.InterChip; total > 0 {
+		bt.InterChipFraction = float64(bt.InterChip) / float64(total)
+	}
+	return bt, nil
+}
+
+// Stats snapshots the registry: per-model records sorted by name plus
+// the whole-registry aggregates.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{Registered: len(r.models)}
+	for _, e := range r.models {
+		ms := e.stats
+		ms.Warm = e.pool != nil
+		if e.pool != nil {
+			ms.LiveSessions = e.pool.p.SessionCount()
+			st.Warm++
+			st.LiveSessions += ms.LiveSessions
+		}
+		st.Evictions += ms.Evictions
+		st.Models = append(st.Models, ms)
+	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Name < st.Models[j].Name })
+	return st
+}
+
+// Close retires the registry: every warm pool drains and is released.
+// Models stay inspectable (Stats, Usage, Traffic) but no longer serve;
+// all other operations return ErrClosed. Idempotent.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	var vs []victim
+	for _, e := range r.models {
+		if e.pool != nil {
+			vs = append(vs, victim{e, e.pool})
+			e.pool = nil
+		}
+	}
+	r.mu.Unlock()
+	r.teardownAll(vs)
+	return nil
+}

@@ -1,0 +1,573 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/codec"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/corelet"
+	"github.com/neurogo/neurogo/internal/dataset"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/pipeline"
+	"github.com/neurogo/neurogo/internal/train"
+)
+
+// rig is the digit-classifier fixture every registry test serves: the
+// same recipe the pipeline tests pin, so registry-served results can be
+// compared bit-for-bit against a directly-constructed Pipeline.
+type rig struct {
+	cls     *corelet.Classifier
+	mapping *compile.Mapping
+	x       [][]float64
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	gen := dataset.NewDigits(8, 0.02, 0, 3)
+	xtr, ytr := gen.Batch(300)
+	m, err := train.TrainLinear(xtr, ytr, dataset.NumClasses, train.Options{Epochs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := model.New()
+	cls := corelet.BuildClassifier(net, m.Ternarize(1.3), "d", corelet.ClassifierParams{Threshold: 4, Decay: 1})
+	mp, err := compile.Compile(net, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := gen.Batch(24)
+	return &rig{cls: cls, mapping: mp, x: x}
+}
+
+func (rg *rig) opts() []pipeline.Option {
+	return []pipeline.Option{
+		pipeline.WithEncoder(codec.NewBernoulli(0.5, 7)),
+		pipeline.WithDecoder(codec.NewCounter(dataset.NumClasses)),
+		pipeline.WithLineMapper(pipeline.TwinLines(rg.cls.LinesFor)),
+		pipeline.WithClassMapper(rg.cls.ClassOf),
+		pipeline.WithWindow(16),
+		pipeline.WithDrain(10),
+	}
+}
+
+// direct classifies the rig's test set on a directly-constructed
+// Pipeline — the reference every registry path must match bit-for-bit.
+func (rg *rig) direct(t *testing.T) []int {
+	t.Helper()
+	p, err := pipeline.New(rg.mapping, rg.opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	want, err := p.ClassifyBatch(context.Background(), rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegistryBitIdentical is the acceptance test: classifications
+// served through the Registry — warm hit, cold start, lazy stream load,
+// post-swap, and post-evict reload of the swapped source — are
+// bit-identical to a directly-constructed Pipeline on the same mapping.
+func TestRegistryBitIdentical(t *testing.T) {
+	rg := buildRig(t)
+	want := rg.direct(t)
+	ctx := context.Background()
+
+	r := New(Config{})
+	defer r.Close()
+	if err := r.Register("digits", rg.mapping, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	// Lazy stream load: the same mapping through Write/ReadMapping.
+	var buf bytes.Buffer
+	if err := rg.mapping.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if err := r.RegisterLoader("digits-stream", func() (io.Reader, error) {
+		return bytes.NewReader(blob), nil
+	}, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start, then warm hit.
+	cold, err := r.ClassifyBatch(ctx, "digits", rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(cold, want) {
+		t.Fatalf("cold-start results diverge:\n got %v\nwant %v", cold, want)
+	}
+	warm, err := r.ClassifyBatch(ctx, "digits", rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(warm, want) {
+		t.Fatalf("warm-hit results diverge:\n got %v\nwant %v", warm, want)
+	}
+
+	// Lazy-loaded stream serves identically.
+	streamed, err := r.ClassifyBatch(ctx, "digits-stream", rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(streamed, want) {
+		t.Fatalf("stream-loaded results diverge:\n got %v\nwant %v", streamed, want)
+	}
+
+	// Evict → reload from the registered source, still identical.
+	if err := r.Evict("digits"); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := r.ClassifyBatch(ctx, "digits", rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(reloaded, want) {
+		t.Fatalf("post-evict results diverge:\n got %v\nwant %v", reloaded, want)
+	}
+
+	// Hot swap onto an equivalent mapping: identical results after the
+	// cutover, and after an evict-then-reload of the swapped source.
+	if err := r.Swap("digits", rg.mapping, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := r.ClassifyBatch(ctx, "digits", rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(swapped, want) {
+		t.Fatalf("post-swap results diverge:\n got %v\nwant %v", swapped, want)
+	}
+	if err := r.Evict("digits"); err != nil {
+		t.Fatal(err)
+	}
+	reswapped, err := r.ClassifyBatch(ctx, "digits", rg.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(reswapped, want) {
+		t.Fatalf("post-evict reload of swapped source diverges:\n got %v\nwant %v", reswapped, want)
+	}
+
+	st := r.Stats()
+	var ms ModelStats
+	for _, m := range st.Models {
+		if m.Name == "digits" {
+			ms = m
+		}
+	}
+	if ms.ColdStarts != 3 { // initial + 2 evict-reloads
+		t.Errorf("ColdStarts = %d, want 3", ms.ColdStarts)
+	}
+	if ms.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", ms.Evictions)
+	}
+	if ms.Swaps != 1 {
+		t.Errorf("Swaps = %d, want 1", ms.Swaps)
+	}
+	if ms.Requests != uint64(5*len(rg.x)) {
+		t.Errorf("Requests = %d, want %d", ms.Requests, 5*len(rg.x))
+	}
+	if ms.TotalColdStart <= 0 || ms.LastColdStart <= 0 {
+		t.Errorf("cold-start latency not recorded: %+v", ms)
+	}
+}
+
+// TestRegistrySwapUnderLoad is the zero-downtime acceptance test (run
+// under -race in CI): classifications hammer a model while it is
+// repeatedly hot-swapped; every request succeeds — none observes a
+// closed pipeline, none is lost — and results stay correct throughout.
+func TestRegistrySwapUnderLoad(t *testing.T) {
+	rg := buildRig(t)
+	want := rg.direct(t)
+	ctx := context.Background()
+
+	r := New(Config{})
+	defer r.Close()
+	if err := r.Register("digits", rg.mapping, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Warm(ctx, "digits"); err != nil {
+		t.Fatal(err)
+	}
+
+	var served atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				img := (g*7 + i) % len(rg.x)
+				c, err := r.Classify(ctx, "digits", rg.x[img])
+				if err != nil {
+					t.Errorf("classify during swap: %v", err)
+					return
+				}
+				if c != want[img] {
+					t.Errorf("image %d: class %d, want %d", img, c, want[img])
+					return
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	for i := 0; i < 6; i++ {
+		// Interleave with live traffic: wait for at least one more
+		// request to land before each cutover, so every swap really
+		// displaces a pool that is (or was just) serving.
+		target := served.Load() + 1
+		for served.Load() < target {
+			runtime.Gosched()
+		}
+		if err := r.Swap("digits", rg.mapping); err != nil {
+			t.Errorf("swap %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no requests served during the swap storm")
+	}
+	st := r.Stats()
+	if st.Models[0].Swaps != 6 {
+		t.Errorf("Swaps = %d, want 6", st.Models[0].Swaps)
+	}
+	if st.Models[0].Requests != served.Load() {
+		t.Errorf("Requests = %d, served = %d", st.Models[0].Requests, served.Load())
+	}
+}
+
+// TestRegistryLRUEviction pins the warm-pool cap: with MaxWarm 1, the
+// least-recently-used model is demoted to cold when another warms up,
+// its accounting survives the teardown, and it cold-starts again on its
+// next request.
+func TestRegistryLRUEviction(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	r := New(Config{MaxWarm: 1})
+	defer r.Close()
+	build := func() (*compile.Mapping, error) { return rg.mapping, nil }
+	if err := r.RegisterBuilder("a", build, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterBuilder("b", build, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.ClassifyBatch(ctx, "a", rg.x[:4]); err != nil {
+		t.Fatal(err)
+	}
+	ua, err := r.Usage("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.Ticks == 0 {
+		t.Fatal("no activity recorded for a")
+	}
+
+	// Warming b must evict a (LRU, and never the model just served).
+	if _, err := r.ClassifyBatch(ctx, "b", rg.x[:4]); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Warm != 1 {
+		t.Fatalf("Warm = %d, want 1", st.Warm)
+	}
+	for _, m := range st.Models {
+		switch m.Name {
+		case "a":
+			if m.Warm {
+				t.Error("a still warm after b warmed under MaxWarm 1")
+			}
+			if m.Evictions != 1 {
+				t.Errorf("a.Evictions = %d, want 1", m.Evictions)
+			}
+		case "b":
+			if !m.Warm {
+				t.Error("b not warm after serving")
+			}
+		}
+	}
+
+	// a's lifetime accounting survived its pool's teardown.
+	uaAfter, err := r.Usage("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uaAfter != ua {
+		t.Fatalf("a's usage changed across eviction:\n%+v\n%+v", ua, uaAfter)
+	}
+
+	// a cold-starts again and keeps accumulating.
+	if _, err := r.Classify(ctx, "a", rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+	uaReloaded, err := r.Usage("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uaReloaded.Ticks <= ua.Ticks {
+		t.Fatalf("usage did not accumulate across reload: %d then %d ticks", ua.Ticks, uaReloaded.Ticks)
+	}
+}
+
+// TestRegistryMaxSessions pins the session cap: batch fan-out grows the
+// warm pools' sessions past MaxSessions, and the registry sheds the
+// LRU pool to get back under it.
+func TestRegistryMaxSessions(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	r := New(Config{MaxSessions: 5})
+	defer r.Close()
+	// 4 workers each → two warm pools hold 8 sessions, over the cap.
+	opts := append(rg.opts(), pipeline.WithWorkers(4))
+	if err := r.Register("a", rg.mapping, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("b", rg.mapping, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ClassifyBatch(ctx, "a", rg.x[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ClassifyBatch(ctx, "b", rg.x[:8]); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.LiveSessions > 5 {
+		t.Fatalf("LiveSessions = %d, want <= 5", st.LiveSessions)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no eviction despite session cap breach")
+	}
+}
+
+// TestRegistryErrors pins the error surface: unknown names, duplicate
+// registration, bad sources surfacing on cold start (and leaving the
+// model cold, not wedged), and ErrClosed after Close.
+func TestRegistryErrors(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	r := New(Config{})
+	if _, err := r.Classify(ctx, "ghost", rg.x[0]); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unknown model: err = %v", err)
+	}
+	if err := r.Swap("ghost", rg.mapping); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("swap unknown: err = %v", err)
+	}
+	if err := r.Evict("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("evict unknown: err = %v", err)
+	}
+	if err := r.Register("digits", rg.mapping, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("digits", rg.mapping); !errors.Is(err, ErrDuplicateModel) {
+		t.Errorf("duplicate register: err = %v", err)
+	}
+	if err := r.Register("", rg.mapping); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register("nil", nil); err == nil {
+		t.Error("nil mapping accepted")
+	}
+
+	// A failing builder surfaces its error and leaves the model cold
+	// and retryable, not wedged.
+	boom := errors.New("boom")
+	calls := 0
+	if err := r.RegisterBuilder("flaky", func() (*compile.Mapping, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return rg.mapping, nil
+	}, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Classify(ctx, "flaky", rg.x[0]); !errors.Is(err, boom) {
+		t.Errorf("builder failure: err = %v", err)
+	}
+	if _, err := r.Classify(ctx, "flaky", rg.x[0]); err != nil {
+		t.Errorf("retry after builder failure: %v", err)
+	}
+
+	// A bad swap leaves the old pool serving.
+	if _, err := r.Classify(ctx, "digits", rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+	badOpts := append(rg.opts(), pipeline.WithWindow(0))
+	if err := r.Swap("digits", rg.mapping, badOpts...); err == nil {
+		t.Error("bad swap options accepted")
+	}
+	if _, err := r.Classify(ctx, "digits", rg.x[0]); err != nil {
+		t.Errorf("old pool lost after failed swap: %v", err)
+	}
+
+	// Unregister removes; the name is gone and re-registrable.
+	if err := r.Unregister("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Classify(ctx, "flaky", rg.x[0]); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unregistered model still serves: err = %v", err)
+	}
+
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := r.Classify(ctx, "digits", rg.x[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("classify after Close: err = %v", err)
+	}
+	if err := r.Register("late", rg.mapping); !errors.Is(err, ErrClosed) {
+		t.Errorf("register after Close: err = %v", err)
+	}
+	if err := r.Swap("digits", rg.mapping); !errors.Is(err, ErrClosed) {
+		t.Errorf("swap after Close: err = %v", err)
+	}
+	// Post-mortem stats stay inspectable.
+	st := r.Stats()
+	if st.Registered != 1 || st.Warm != 0 || st.LiveSessions != 0 {
+		t.Errorf("post-Close stats: %+v", st)
+	}
+	if u, err := r.Usage("digits", true); err != nil || u.Ticks == 0 {
+		t.Errorf("post-Close usage lost: %+v err=%v", u, err)
+	}
+}
+
+// TestRegistryColdStartSingleflight pins the thundering-herd contract:
+// concurrent requests against a cold model pay exactly one build.
+func TestRegistryColdStartSingleflight(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	r := New(Config{})
+	defer r.Close()
+	var builds atomic.Int32
+	if err := r.RegisterBuilder("digits", func() (*compile.Mapping, error) {
+		builds.Add(1)
+		return rg.mapping, nil
+	}, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			if _, err := r.Classify(ctx, "digits", rg.x[g]); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builder invoked %d times for one cold start", n)
+	}
+	st := r.Stats()
+	if st.Models[0].ColdStarts != 1 {
+		t.Errorf("ColdStarts = %d, want 1", st.Models[0].ColdStarts)
+	}
+	if st.Models[0].Hits != 7 {
+		t.Errorf("Hits = %d, want 7", st.Models[0].Hits)
+	}
+}
+
+// TestRegistryTraffic pins cross-generation traffic accounting on a
+// system-backed model: totals accumulate across an eviction.
+func TestRegistryTraffic(t *testing.T) {
+	mp := trafficMapping(t)
+	ctx := context.Background()
+	r := New(Config{})
+	defer r.Close()
+	opts := []pipeline.Option{
+		pipeline.WithSystem(1, 1), pipeline.WithDrain(2),
+		pipeline.WithEncoder(codec.NewBernoulli(0.9, 5)),
+		pipeline.WithDecoder(codec.NewCounter(64)),
+	}
+	if err := r.Register("chain", mp, opts...); err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{1, 1, 1, 1}
+	if _, err := r.Classify(ctx, "chain", in); err != nil {
+		t.Fatal(err)
+	}
+	bt1, err := r.Traffic("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt1.IntraChip+bt1.InterChip == 0 {
+		t.Fatal("no routed traffic recorded")
+	}
+	if err := r.Evict("chain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Classify(ctx, "chain", in); err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := r.Traffic("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt2.IntraChip+bt2.InterChip <= bt1.IntraChip+bt1.InterChip {
+		t.Fatalf("traffic did not accumulate across eviction: %d then %d",
+			bt1.IntraChip+bt1.InterChip, bt2.IntraChip+bt2.InterChip)
+	}
+}
+
+// trafficMapping is the two-layer fan-in net the pipeline traffic tests
+// use: enough routed spikes to make boundary accounting observable.
+func trafficMapping(t *testing.T) *compile.Mapping {
+	t.Helper()
+	m := model.New()
+	in := m.AddInputBank("in", 4, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	a := m.AddPopulation("a", 300, proto)
+	b := m.AddPopulation("b", 64, proto)
+	for i := 0; i < 300; i++ {
+		m.Connect(in.Line(i%4), a.ID(i))
+		m.SourceProps(a.ID(i)).Delay = 2
+		m.Connect(model.NeuronNode(a.ID(i)), b.ID(i%64))
+	}
+	for i := 0; i < 64; i++ {
+		m.MarkOutput(b.ID(i))
+	}
+	mp, err := compile.Compile(m, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}

@@ -58,6 +58,15 @@
 //	bt := neurogo.PipelineTrafficOf(p)
 //	fmt.Println(bt.PredictedInterChipFraction, bt.InterChipFraction)
 //
+// A fleet of models is served through a Registry: many named mappings
+// behind one front-end, each resolving on demand to a warm pipeline in
+// an LRU of live pools, with zero-downtime hot swap and per-model
+// usage, traffic and cold-start accounting:
+//
+//	r := neurogo.NewRegistry(neurogo.RegistryConfig{MaxWarm: 4})
+//	r.Register("digits", mapping, opts...)
+//	class, err := r.Classify(ctx, "digits", img)
+//
 // Simulation is deterministic: identical configurations and seeds yield
 // bit-identical spike streams across the event-driven, dense and
 // parallel engines.
@@ -79,6 +88,7 @@ import (
 	"github.com/neurogo/neurogo/internal/model"
 	"github.com/neurogo/neurogo/internal/neuron"
 	"github.com/neurogo/neurogo/internal/pipeline"
+	"github.com/neurogo/neurogo/internal/registry"
 	"github.com/neurogo/neurogo/internal/sim"
 	"github.com/neurogo/neurogo/internal/system"
 	"github.com/neurogo/neurogo/internal/train"
@@ -343,6 +353,50 @@ func WithAsyncWorkers(n int) AsyncOption { return pipeline.WithAsyncWorkers(n) }
 // WithQueueDepth bounds the async submit queue — the backpressure
 // knob (default 2x workers).
 func WithQueueDepth(n int) AsyncOption { return pipeline.WithQueueDepth(n) }
+
+// ErrPipelineClosed is the sentinel error every pipeline serving entry
+// point returns after Pipeline.Close (Close releases the session pool;
+// final Usage/Traffic figures stay readable).
+var ErrPipelineClosed = pipeline.ErrPipelineClosed
+
+// ---- Model registry ----
+
+// Registry serves many named models behind one front-end: models
+// register as compiled mappings, lazily-loaded mapping streams, or
+// build funcs compiled on first request; each resolves to a warm
+// Pipeline held in an LRU of live session pools, evicted under
+// configurable pressure with in-flight requests always drained first.
+// Swap hot-swaps a recompiled mapping with zero downtime.
+//
+//	r := neurogo.NewRegistry(neurogo.RegistryConfig{MaxWarm: 4})
+//	defer r.Close()
+//	r.Register("digits", mapping, opts...)
+//	class, err := r.Classify(ctx, "digits", img)
+//	r.Swap("digits", retrained)          // zero-downtime cutover
+//	fmt.Println(r.Stats().Models[0].Hits)
+type Registry = registry.Registry
+
+// RegistryConfig bounds a registry's warm footprint (max warm models,
+// max total live sessions; zero means unlimited).
+type RegistryConfig = registry.Config
+
+// RegistryStats is a whole-registry snapshot (per-model records plus
+// aggregates) for serving dashboards.
+type RegistryStats = registry.Stats
+
+// ModelStats is one model's serving record: hits, cold starts and
+// their latency, evictions, swaps, live sessions.
+type ModelStats = registry.ModelStats
+
+// Registry sentinel errors.
+var (
+	ErrUnknownModel   = registry.ErrUnknownModel
+	ErrDuplicateModel = registry.ErrDuplicateModel
+	ErrRegistryClosed = registry.ErrClosed
+)
+
+// NewRegistry returns an empty model registry.
+func NewRegistry(cfg RegistryConfig) *Registry { return registry.New(cfg) }
 
 // SessionUsageOf extracts a session's cumulative activity record for
 // energy pricing (the session analogue of UsageOf).
