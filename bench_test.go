@@ -245,6 +245,39 @@ func BenchmarkSystemThroughput(b *testing.B) {
 			})
 		}
 	}
+	// Distributed leg: the boundary-aware conv stack served across two
+	// real shard server processes (re-execs of this test binary over
+	// unix sockets; see spawnShardProcs in remote_test.go) — one RPC
+	// round-trip per tick per shard, bit-identical to conv-2x2-aware.
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("conv-2x2-remote/batch-%d", size), func(b *testing.B) {
+			addrs := spawnShardProcs(b, boundaryRig.aware, 2)
+			p, err := NewPipeline(boundaryRig.aware,
+				WithEncoder(NewBinaryEncoder(0.5, boundaryWindow)),
+				WithDecoder(NewCounterDecoder(NumDigitClasses)),
+				WithLineMapper(TwinLines(boundaryRig.conv.LinesFor)),
+				WithClassMapper(boundaryRig.fc.ClassOf),
+				WithWindow(boundaryWindow),
+				WithDrain(12),
+				WithRemoteSystem(addrs...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			inputs := boundaryRig.x[:size]
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bt := PipelineTrafficOf(p)
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+			b.ReportMetric(bt.InterChipFraction, "interchip-frac")
+			b.ReportMetric(float64(bt.InterChip)/float64(b.N), "inter-spikes/op")
+		})
+	}
 }
 
 // boundaryWindow is the held-binary presentation length of the conv

@@ -9,6 +9,13 @@
 //	nsim -spec net.json -engine dense -ticks 200
 //	nsim -spec net.json -chips 2x2              # serve across a 2x2 multi-chip tile
 //	nsim -spec net.json -chips 2x2 -boundary 4  # boundary-aware placement, λ=4
+//	nsim -spec net.json -chips 2x2 -save-mapping net.nmap   # export for nshard
+//	nsim -spec net.json -chips 2x2 -remote /tmp/s0.sock,/tmp/s1.sock
+//
+// With -remote the tiled model is served across shard processes (one
+// per address, hosted by cmd/nshard over the exported mapping), driven
+// in lockstep with one RPC round-trip per tick — bit-identical to the
+// in-process tile.
 //
 // With -chips the network is recompiled for that tile: with λ > 0 the
 // placer minimises chip crossings; with -boundary 0 the placement stays
@@ -42,6 +49,8 @@ func main() {
 		chips    = flag.String("chips", "", "tile the compiled grid across WxH physical chips (e.g. 2x2) and report boundary traffic")
 		boundary = flag.Float64("boundary", 1, "boundary weight λ for the tile-aware recompile (with -chips; 0 keeps the tiling-blind placement)")
 		noPlan   = flag.Bool("noplan", false, "force the legacy scalar core path (disable precompiled integration plans) for A/B debugging")
+		saveMap  = flag.String("save-mapping", "", "write the compiled mapping to this file (for nshard) and exit without simulating")
+		remoteAt = flag.String("remote", "", "comma-separated shard addresses (see cmd/nshard); serves the tiled model across those processes (requires -chips)")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -55,7 +64,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nsim: -boundary only applies with -chips")
 		os.Exit(2)
 	}
-	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips, *boundary, *noPlan); err != nil {
+	if *remoteAt != "" && *chips == "" {
+		fmt.Fprintln(os.Stderr, "nsim: -remote needs -chips (the shards serve a tiled-compiled mapping)")
+		os.Exit(2)
+	}
+	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips, *boundary, *noPlan, *saveMap, *remoteAt); err != nil {
 		fmt.Fprintln(os.Stderr, "nsim:", err)
 		os.Exit(1)
 	}
@@ -74,7 +87,7 @@ func parseChips(s string) (w, h int, err error) {
 	return 0, 0, fmt.Errorf("invalid -chips %q (want WxH, e.g. 2x2)", s)
 }
 
-func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string, boundary float64, noPlan bool) error {
+func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string, boundary float64, noPlan bool, saveMap, remoteAt string) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -138,7 +151,13 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool, c
 			return err
 		}
 		built.Mapping = tiled
-		opts = append(opts, neurogo.WithSystem(chipX, chipY))
+		if remoteAt != "" {
+			addrs := strings.Split(remoteAt, ",")
+			opts = append(opts, neurogo.WithRemoteSystem(addrs...))
+			fmt.Printf("serving across %d shard processes: %s\n", len(addrs), remoteAt)
+		} else {
+			opts = append(opts, neurogo.WithSystem(chipX, chipY))
+		}
 		fmt.Printf("tiled across %dx%d chips of %dx%d cores each\n", cw, ch, chipX, chipY)
 		mode := fmt.Sprintf("boundary-aware (λ=%g)", boundary)
 		if boundary == 0 {
@@ -147,6 +166,21 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool, c
 		fmt.Printf("recompiled %s: predicted inter-chip fraction %.4f, hop cost %.0f (tiling-blind: %.0f)\n",
 			mode, tiled.Stats.PredictedInterChipFraction,
 			tiled.Stats.PlacementCost, st.PlacementCost)
+	}
+	if saveMap != "" {
+		f, err := os.Create(saveMap)
+		if err != nil {
+			return err
+		}
+		if err := neurogo.SaveMapping(f, built.Mapping); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("mapping saved to %s (serve shards with: nshard -mapping %s -shards N -shard I -listen ADDR)\n", saveMap, saveMap)
+		return nil
 	}
 	p, err := neurogo.NewPipeline(built.Mapping, opts...)
 	if err != nil {

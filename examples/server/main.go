@@ -12,7 +12,10 @@
 // (WithSystem): predictions stay bit-identical — tiling changes
 // accounting, not routing — while Pipeline.Traffic exposes the
 // chip-to-chip boundary spikes that tiled deployments are won or
-// lost on.
+// lost on. The tile is then split across two ShardServers on unix
+// sockets (the wire protocol cmd/nshard serves across machines) and
+// driven through WithRemoteSystem in lockstep, one RPC round-trip per
+// tick per shard — still bit-identical.
 //
 // Finally two models — the flat digit classifier and a routed
 // conv→pool→read-out stack — are served through one Registry: the
@@ -27,6 +30,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	netpkg "net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -214,7 +220,72 @@ func main() {
 	fmt.Printf("tiled energy per classification: %.1f nJ (%.1f nJ of it chip-to-chip links)\n",
 		sysReport.TotalPJ/float64(testN)*1e-3, sysReport.InterChipPJ/float64(testN)*1e-3)
 
-	// 5. The multi-model front-end: the flat classifier and a routed
+	// 5. The same tile split across shard servers: the grid recompiled
+	// with the chip tiling recorded (λ=0, so placement is unchanged),
+	// each half hosted by a ShardServer on a unix socket — the exact
+	// wire protocol cmd/nshard serves across machines — and the pipeline
+	// pointed at the sockets instead of an in-process backend.
+	remMapping, err := neurogo.Compile(net, neurogo.CompileOptions{
+		Seed: 1, Width: sysSt.GridWidth, Height: sysSt.GridHeight,
+		ChipCoresX: sysSt.GridWidth / 2, ChipCoresY: sysSt.GridHeight / 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sockDir, err := os.MkdirTemp("", "neurogo-shards")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(sockDir)
+	const shards = 2
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		srv, err := neurogo.NewShardServer(remMapping, shards, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = filepath.Join(sockDir, fmt.Sprintf("shard%d.sock", i))
+		go srv.ListenAndServe("unix", addrs[i])
+	}
+	for _, addr := range addrs { // wait until both shards accept
+		for {
+			conn, err := netpkg.Dial("unix", addr)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	remP := mkPipeline(remMapping, neurogo.WithRemoteSystem(addrs...))
+	defer remP.Close()
+	remRefP := mkPipeline(remMapping, neurogo.WithSystem(sysSt.GridWidth/2, sysSt.GridHeight/2))
+	start = time.Now()
+	remPreds, err := remP.ClassifyBatch(ctx, xte)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remDur := time.Since(start)
+	remRefPreds, err := remRefP.ClassifyBatch(ctx, xte)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distributed := true
+	for i := range remPreds {
+		if remPreds[i] != remRefPreds[i] {
+			distributed = false
+			break
+		}
+	}
+	rbt := neurogo.PipelineTrafficOf(remP)
+	fmt.Printf("distributed %d shards: %6.1f img/s  (accuracy %.1f%%, one RPC round-trip per tick per shard)\n",
+		shards, float64(testN)/remDur.Seconds(), score(remPreds))
+	fmt.Printf("distributed == in-process tile predictions: %v\n", distributed)
+	fmt.Printf("distributed boundary traffic: %d intra-chip, %d inter-chip spikes (%.1f%% inter)\n",
+		rbt.IntraChip, rbt.InterChip, rbt.InterChipFraction*100)
+
+	// 6. The multi-model front-end: the flat classifier and a routed
 	// conv stack behind one Registry.
 	serveRegistry(ctx, mapping, cls, xte, batchPreds)
 }

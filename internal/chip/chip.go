@@ -93,22 +93,45 @@ type Counters struct {
 // Chip into the multi-chip implementation, and everything above the
 // seam — Runner, pipeline sessions, streams, batches, async serving —
 // runs bit-identically over either.
+//
+// A Chip can also be a shard fragment: a full-size grid where only a
+// subset of the cores is instantiated and emissions towards the
+// missing cores are handed to a shard router instead of delivered (see
+// SetShardRouter and system.Shard). Core indices and mesh coordinates
+// stay global either way, so routing semantics — and the hop and
+// boundary accounting derived from them — are unchanged by sharding.
 type Chip struct {
 	cfg   *Config
 	cores []*core.Core
 	live  []int32 // indices of non-nil cores
 	tick  int64
 
-	counters Counters
-	outputs  []OutputSpike
-	onRoute  func(src, dst int32)
+	counters     Counters
+	outputs      []OutputSpike
+	onRoute      func(src, dst int32)
+	onShardRoute func(t int64, tgt core.Target, delay uint8)
 }
 
 // SetRouteObserver installs a callback invoked for every core-to-core
 // spike delivery with the source and destination core indices. Used by
 // the multi-chip system layer for boundary-traffic accounting; pass nil
-// to remove. The callback runs on the ticking goroutine.
+// to remove. The callback runs on the ticking goroutine. The observer
+// fires for shard-routed (off-fragment) emissions too: routing is
+// accounted where the spike is emitted, so per-shard accounting folds
+// to exactly the single-process totals.
 func (ch *Chip) SetRouteObserver(fn func(src, dst int32)) { ch.onRoute = fn }
+
+// SetShardRouter installs a callback receiving every emission whose
+// destination core is not instantiated on this chip — the outbox hook
+// shard fragments use to collect cross-shard boundary spikes. The
+// emission is already fully accounted (RoutedSpikes, TotalHops and the
+// route observer) when the callback runs; the receiving fragment must
+// deliver it with DeliverRouted, which accounts nothing. Without a
+// shard router, emissions to missing cores panic, as they always did —
+// a validated single-chip config never produces them.
+func (ch *Chip) SetShardRouter(fn func(t int64, tgt core.Target, delay uint8)) {
+	ch.onShardRoute = fn
+}
 
 // Options tunes chip construction.
 type Options struct {
@@ -188,23 +211,58 @@ func (ch *Chip) Index(c noc.Coord) int32 {
 // CoreByIndex returns the runtime core at linear index i (nil if gated).
 func (ch *Chip) CoreByIndex(i int32) *core.Core { return ch.cores[i] }
 
+// ValidateInjection checks an external injection's bounds against the
+// configuration without mutating anything: the core must exist and be
+// instantiated, the axon must be on the crossbar, and the arrival must
+// fall within the delay-ring horizon [now, now+16). Errors carry the
+// `sim:` prefix of the execution seam and identical text across every
+// sim.Backend implementation — single chip, multi-chip system, and the
+// sharded/remote backends all reject exactly the same injections with
+// exactly the same errors, before any state changes.
+func (c *Config) ValidateInjection(coreIdx int32, axon int, now, at int64) error {
+	if coreIdx < 0 || int(coreIdx) >= len(c.Cores) || c.Cores[coreIdx] == nil {
+		return fmt.Errorf("sim: inject into invalid core %d", coreIdx)
+	}
+	if axon < 0 || axon >= core.Size {
+		return fmt.Errorf("sim: inject into invalid axon %d on core %d", axon, coreIdx)
+	}
+	if at < now || at >= now+core.RingSlots {
+		return fmt.Errorf("sim: inject at tick %d outside window [%d,%d)", at, now, now+core.RingSlots)
+	}
+	return nil
+}
+
 // Inject schedules an external input spike on (coreIdx, axon) to be seen
 // at tick at. The arrival must be within the delay-ring horizon:
-// now <= at < now+16.
+// now <= at < now+16. Bounds are validated (core, axon and window, with
+// sim:-prefixed errors shared by every backend) before any state
+// mutation.
 func (ch *Chip) Inject(coreIdx int32, axon int, at int64) error {
-	if coreIdx < 0 || int(coreIdx) >= len(ch.cores) || ch.cores[coreIdx] == nil {
-		return fmt.Errorf("chip: inject into invalid core %d", coreIdx)
-	}
-	if at < ch.tick || at >= ch.tick+core.RingSlots {
-		return fmt.Errorf("chip: inject at tick %d outside window [%d,%d)", at, ch.tick, ch.tick+core.RingSlots)
+	if err := ch.cfg.ValidateInjection(coreIdx, axon, ch.tick, at); err != nil {
+		return err
 	}
 	ch.cores[coreIdx].ScheduleAxon(axon, int(at))
 	ch.counters.InputSpikes++
 	return nil
 }
 
+// DeliverRouted schedules a routed spike arriving from another shard of
+// a partitioned system. Unlike Inject it accounts nothing: the source
+// shard already counted the route (RoutedSpikes, TotalHops, boundary
+// observer) when the spike was emitted, so delivering it here must not
+// double-count. The arrival must be within the delay-ring horizon.
+func (ch *Chip) DeliverRouted(coreIdx int32, axon int, at int64) error {
+	if err := ch.cfg.ValidateInjection(coreIdx, axon, ch.tick, at); err != nil {
+		return err
+	}
+	ch.cores[coreIdx].ScheduleAxon(axon, int(at))
+	return nil
+}
+
 // route delivers one emitted spike: external spikes are buffered for the
-// caller, on-chip spikes are scheduled into the destination ring.
+// caller, on-chip spikes are scheduled into the destination ring, and —
+// on shard fragments — spikes towards cores living on another shard are
+// handed to the shard router after full accounting.
 func (ch *Chip) route(t int64, srcCore int32, n int, tgt core.Target, delay uint8) {
 	if tgt.Core == core.ExternalCore {
 		ch.counters.OutputSpikes++
@@ -215,6 +273,10 @@ func (ch *Chip) route(t int64, srcCore int32, n int, tgt core.Target, delay uint
 	ch.counters.TotalHops += uint64(noc.HopCount(ch.Coord(srcCore), ch.Coord(tgt.Core)))
 	if ch.onRoute != nil {
 		ch.onRoute(srcCore, tgt.Core)
+	}
+	if ch.cores[tgt.Core] == nil && ch.onShardRoute != nil {
+		ch.onShardRoute(t, tgt, delay)
+		return
 	}
 	ch.cores[tgt.Core].ScheduleAxon(int(tgt.Axon), int(t)+int(delay))
 }
@@ -311,6 +373,16 @@ func (ch *Chip) tickWith(step func(*core.Core, int64, core.EmitFunc), workers in
 // worker goroutines. Results are bit-identical to Tick.
 func (ch *Chip) TickParallel(workers int) []OutputSpike {
 	return ch.tickWith(func(c *core.Core, t int64, emit core.EmitFunc) { c.Tick(t, emit) }, workers)
+}
+
+// Add accumulates other into c — how a sharded system folds per-shard
+// chip counters into the logical-model total.
+func (c *Counters) Add(other Counters) {
+	c.Core.Add(other.Core)
+	c.RoutedSpikes += other.RoutedSpikes
+	c.TotalHops += other.TotalHops
+	c.OutputSpikes += other.OutputSpikes
+	c.InputSpikes += other.InputSpikes
 }
 
 // Counters returns chip-level counters with per-core counters summed in.

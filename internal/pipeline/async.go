@@ -129,6 +129,11 @@ func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
+	// A remote pipeline has exactly one lane (the shard processes hold
+	// one model state); extra workers would serialize on it anyway.
+	if len(p.cfg.remoteAddrs) > 0 {
+		cfg.workers = 1
+	}
 	if cfg.queue < 1 {
 		cfg.queue = 2 * cfg.workers
 	}

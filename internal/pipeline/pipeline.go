@@ -38,12 +38,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/neurogo/neurogo/internal/chip"
 	"github.com/neurogo/neurogo/internal/codec"
 	"github.com/neurogo/neurogo/internal/compile"
 	"github.com/neurogo/neurogo/internal/energy"
 	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/remote"
 	"github.com/neurogo/neurogo/internal/sim"
 	"github.com/neurogo/neurogo/internal/system"
 )
@@ -82,6 +84,8 @@ type config struct {
 	lines         LineMapper
 	classes       ClassMapper
 	system        *system.Config // nil = single-chip backend
+	remoteAddrs   []string       // non-empty = distributed backend
+	remoteTimeout time.Duration
 	noPlan        bool
 }
 
@@ -135,6 +139,32 @@ func WithSystem(chipCoresX, chipCoresY int) Option {
 	}
 }
 
+// WithRemoteSystem serves the model over a distributed system: the
+// tile's physical chips partitioned across the shard processes at
+// addrs (addrs[i] must host shard i of len(addrs) — see cmd/nshard),
+// driven in lockstep with one RPC round-trip per tick. The mapping
+// must be tiled-compiled (compile.Options.ChipCoresX/Y), because the
+// serving tile geometry is taken from its Stats and verified against
+// every shard in the connection handshake.
+//
+// A remote pipeline is single-lane: the shard processes hold exactly
+// one model state, so there is exactly one session, shared by
+// Classify, ClassifyBatch and Async (whose worker counts clamp to 1),
+// with presentations serialized. Predictions are bit-identical to the
+// in-process backends. Shard failures surface as errors matching
+// system.ErrShardDown from Classify and stream operations — bounded
+// by the Classify context's deadline and WithRemoteTimeout, never a
+// hang.
+func WithRemoteSystem(addrs ...string) Option {
+	return func(c *config) { c.remoteAddrs = append([]string(nil), addrs...) }
+}
+
+// WithRemoteTimeout bounds each shard RPC round-trip of a
+// WithRemoteSystem pipeline (default remote.DefaultTimeout).
+func WithRemoteTimeout(d time.Duration) Option {
+	return func(c *config) { c.remoteTimeout = d }
+}
+
 // WithoutPlan pins every session's cores to the legacy scalar
 // integration path, disabling the precompiled per-core plans (the
 // cmd/nsim -noplan escape hatch). Predictions are bit-identical either
@@ -168,6 +198,14 @@ type Pipeline struct {
 	// batchMu/sharedMu: work that slipped past the flag before Close
 	// drains to completion (Close waits on both locks), work arriving
 	// after is rejected with ErrPipelineClosed.
+	// remoteSess/remoteSys are set for WithRemoteSystem pipelines: the
+	// single session over the distributed backend (every lane request
+	// returns it) and the backend itself, closed with the pipeline. The
+	// remoteExcl mutex serializes presentations on the shared lane.
+	remoteSess *Session
+	remoteSys  *system.Sharded
+	remoteExcl sync.Mutex
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeDone chan struct{}
@@ -203,6 +241,19 @@ func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
+	if len(cfg.remoteAddrs) > 0 {
+		if cfg.system != nil {
+			return nil, errors.New("pipeline: WithRemoteSystem and WithSystem are mutually exclusive")
+		}
+		st := m.Stats
+		if st.ChipCoresX <= 0 || st.ChipCoresY <= 0 {
+			return nil, errors.New("pipeline: WithRemoteSystem needs a tiled-compiled mapping (compile.Options.ChipCoresX/Y); the serving tile geometry comes from its Stats")
+		}
+		cfg.system = &system.Config{ChipCoresX: st.ChipCoresX, ChipCoresY: st.ChipCoresY}
+		// One shard-process set holds one model state: the pipeline is
+		// single-lane regardless of the requested pool size.
+		cfg.workers = 1
+	}
 	if cfg.system != nil {
 		if err := cfg.system.Validate(m.Chip); err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
@@ -218,17 +269,41 @@ func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
 				st.ChipCoresX, st.ChipCoresY, cfg.system.ChipCoresX, cfg.system.ChipCoresY)
 		}
 	}
-	return &Pipeline{mapping: m, cfg: cfg, closeDone: make(chan struct{})}, nil
+	p := &Pipeline{mapping: m, cfg: cfg, closeDone: make(chan struct{})}
+	if len(cfg.remoteAddrs) > 0 {
+		// Eager dial: connection and handshake failures (bad address,
+		// mapping-hash mismatch, wrong partition) surface here, not on
+		// the first Classify.
+		sys, err := remote.DialSharded(m, *cfg.system, cfg.remoteAddrs, remote.ClientOptions{Timeout: cfg.remoteTimeout})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		p.remoteSys = sys
+		p.mu.Lock()
+		p.remoteSess = p.newSessionLocked()
+		p.mu.Unlock()
+	}
+	return p, nil
 }
 
 // Mapping returns the shared compiled mapping.
 func (p *Pipeline) Mapping() *compile.Mapping { return p.mapping }
 
 // newSessionLocked builds and registers a session; p.mu must be held.
+// On a remote pipeline every call after the first returns the one
+// distributed session — the shard processes hold exactly one model
+// state, so there is exactly one lane to hand out.
 func (p *Pipeline) newSessionLocked() *Session {
+	if p.remoteSess != nil {
+		return p.remoteSess
+	}
 	s := &Session{p: p}
 	ropt := sim.RunnerOptions{NoPlan: p.cfg.noPlan}
-	if p.cfg.system != nil {
+	if p.remoteSys != nil {
+		s.runner = sim.NewTiledRunner(p.mapping, p.remoteSys, p.cfg.engine, p.cfg.engineWorkers)
+		s.sys = p.remoteSys
+		s.excl = &p.remoteExcl
+	} else if p.cfg.system != nil {
 		r, err := sim.NewSystemRunnerWith(p.mapping, *p.cfg.system, p.cfg.engine, p.cfg.engineWorkers, ropt)
 		if err != nil {
 			panic(err) // New validated the tiling; unreachable
@@ -575,6 +650,10 @@ func (p *Pipeline) Close() error {
 		p.shared = nil
 		p.pool = nil
 		p.sessions = nil
+		p.remoteSess = nil
+		if p.remoteSys != nil {
+			_ = p.remoteSys.Close() // sever the shard connections
+		}
 		close(p.closeDone)
 	})
 	// Late and concurrent callers return only once the first Close has
@@ -590,7 +669,8 @@ func (p *Pipeline) Close() error {
 type Session struct {
 	p      *Pipeline
 	runner *sim.Runner
-	sys    *system.System // non-nil when the pipeline runs WithSystem
+	sys    sim.TiledBackend // non-nil when the pipeline runs WithSystem/WithRemoteSystem
+	excl   *sync.Mutex      // non-nil on the shared remote lane: serializes presentations
 	enc    codec.Encoder
 	dec    codec.Decoder
 
@@ -792,7 +872,19 @@ func (s *Session) Classify(ctx context.Context, values []float64) (int, error) {
 	if s.dec == nil {
 		return -1, errors.New("pipeline: Classify needs WithDecoder")
 	}
+	if s.excl != nil {
+		s.excl.Lock()
+		defer s.excl.Unlock()
+	}
+	// Bound the backend's blocking operations (remote tick round-trips)
+	// by this presentation's context, then check the backend after every
+	// step: Step has no error return, so a distributed backend reports
+	// shard failures through the sticky Runner.Err.
+	s.runner.BindContext(ctx)
 	s.Reset()
+	if err := s.runner.Err(); err != nil {
+		return -1, err
+	}
 	for t := 0; t < s.p.cfg.window; t++ {
 		if err := ctx.Err(); err != nil {
 			return -1, err
@@ -801,8 +893,14 @@ func (s *Session) Classify(ctx context.Context, values []float64) (int, error) {
 			return -1, err
 		}
 		s.feed(s.runner.Step())
+		if err := s.runner.Err(); err != nil {
+			return -1, err
+		}
 	}
 	s.feed(s.runner.Drain(s.p.cfg.drain))
+	if err := s.runner.Err(); err != nil {
+		return -1, err
+	}
 	s.storeUsageFull()
 	return s.dec.Decide(), nil
 }
@@ -828,6 +926,7 @@ type Stream struct {
 // Stream opens an incremental stream on a freshly reset session. The
 // stream ends when ctx is cancelled or Drain is called.
 func (s *Session) Stream(ctx context.Context) *Stream {
+	s.runner.BindContext(ctx)
 	s.Reset()
 	return &Stream{s: s, ctx: ctx}
 }
@@ -847,6 +946,9 @@ func (st *Stream) Decide() int {
 func (st *Stream) err() error {
 	if st.closed {
 		return errors.New("pipeline: stream closed")
+	}
+	if err := st.s.runner.Err(); err != nil {
+		return err
 	}
 	return st.ctx.Err()
 }
@@ -871,7 +973,7 @@ func (st *Stream) Tick() ([]Label, error) {
 		return nil, err
 	}
 	defer st.s.storeUsage()
-	return st.s.observe(st.s.runner.Step(), nil), nil
+	return st.s.observe(st.s.runner.Step(), nil), st.s.runner.Err()
 }
 
 // Push encodes one value frame at the current tick and advances one
@@ -887,7 +989,7 @@ func (st *Stream) Push(values []float64) ([]Label, error) {
 	if err := st.s.encodeTick(values); err != nil {
 		return nil, err
 	}
-	return st.s.observe(st.s.runner.Step(), nil), nil
+	return st.s.observe(st.s.runner.Step(), nil), st.s.runner.Err()
 }
 
 // Present restarts the encoder and pushes the same value frame for
@@ -914,7 +1016,7 @@ func (st *Stream) Present(values []float64, ticks int) ([]Label, error) {
 		}
 		labels = st.s.observe(st.s.runner.Step(), labels)
 	}
-	return labels, nil
+	return labels, st.s.runner.Err()
 }
 
 // Drain flushes lagged events with the configured drain ticks and
@@ -926,5 +1028,5 @@ func (st *Stream) Drain() ([]Label, error) {
 	st.closed = true
 	labels := st.s.observe(st.s.runner.Drain(st.s.p.cfg.drain), nil)
 	st.s.storeUsageFull()
-	return labels, nil
+	return labels, st.s.runner.Err()
 }

@@ -1,0 +1,631 @@
+// Package remote runs tile shards in other processes: a thin net/rpc
+// server (gob over TCP or unix socket) hosting one system.Shard, and a
+// client implementing system.ShardConn, so a system.Sharded can drive
+// N shard processes in lockstep as one logical model.
+//
+// The wire protocol is one round-trip per tick per shard: the request
+// carries the boundary spikes addressed to the shard by the previous
+// tick plus every injection buffered since the last tick, the reply
+// carries the shard's output spikes, its fresh outbox, and a
+// cumulative accounting snapshot (chip counters + boundary traffic).
+// Because the snapshot rides every reply, Counters/BoundaryTotals/
+// AddLinkTrafficInto on the client are local reads — serving-layer
+// accounting costs no extra round-trips.
+//
+// A connection opens with a handshake verifying protocol version,
+// mapping identity (SHA-256 over the deterministic mapping
+// serialization), tile geometry, and the (shards, shard) partition
+// coordinates, so a client can never drive a shard built from a
+// different model or a different partitioning. Per-tick requests carry
+// the shard's expected clock; any divergence is an error, never a
+// silent drift.
+//
+// Failure semantics: a dead or timed-out shard surfaces as an error
+// from TickLocal, which system.Sharded wraps into ShardDownError
+// (matching system.ErrShardDown) and makes sticky. Waits are bounded
+// by a per-call timeout and by the context bound via BindContext, so
+// a killed shard process can never hang a Classify.
+package remote
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/system"
+)
+
+// Protocol is the wire format version; bumped on any incompatible
+// change to the handshake or per-tick messages.
+const Protocol = 1
+
+// DefaultTimeout bounds each RPC round-trip when the caller binds no
+// tighter context deadline.
+const DefaultTimeout = 30 * time.Second
+
+// MappingHash fingerprints a compiled mapping: SHA-256 over its
+// deterministic serialization (compile.Mapping.Write sorts all map
+// iteration, so equal mappings hash equally across processes).
+func MappingHash(m *compile.Mapping) ([32]byte, error) {
+	h := sha256.New()
+	if err := m.Write(h); err != nil {
+		return [32]byte{}, fmt.Errorf("remote: hashing mapping: %w", err)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
+
+// HandshakeArgs opens a shard connection: everything both sides must
+// agree on before a single spike crosses the wire.
+type HandshakeArgs struct {
+	Protocol    int
+	MappingHash [32]byte
+	// ChipCoresX and ChipCoresY are the per-chip core dimensions of the
+	// tiling; Shards and Shard the partition coordinates the client
+	// expects this server to hold.
+	ChipCoresX, ChipCoresY int
+	Shards, Shard          int
+}
+
+// HandshakeReply confirms the server's identity.
+type HandshakeReply struct {
+	// Chips lists the physical chips this shard owns (ascending) — the
+	// client cross-checks them against its own PartitionChips result.
+	Chips []int
+}
+
+// Injection is one buffered external input spike.
+type Injection struct {
+	Core int32
+	Axon int32
+	At   int64
+}
+
+// TickArgs advances the shard one tick.
+type TickArgs struct {
+	// Seq is the tick the client expects the shard to execute; the
+	// server rejects any mismatch, so clock drift is an error, never a
+	// silent divergence.
+	Seq int64
+	// Mode and Workers select the shard-local evaluation strategy.
+	Mode    system.EvalMode
+	Workers int
+	// Incoming carries the boundary spikes other shards emitted for
+	// this shard on the previous tick — the batched cross-shard
+	// transfer, piggybacked so each tick is exactly one round-trip.
+	Incoming []system.BoundarySpike
+	// Injections carries every external input spike buffered since the
+	// previous tick; injections always precede the first tick they can
+	// affect, so deferred shipment is exact.
+	Injections []Injection
+}
+
+// Snapshot is the cumulative accounting state piggybacked on every
+// reply, so client-side accounting reads are local.
+type Snapshot struct {
+	Counters     chip.Counters
+	Intra, Inter uint64
+	// Link is the shard's (src chip, dst chip) crossing matrix,
+	// flattened row-major over the full tile.
+	Link []uint64
+}
+
+// TickReply returns one tick's results.
+type TickReply struct {
+	Outputs  []chip.OutputSpike
+	Boundary []system.BoundarySpike
+	Snap     Snapshot
+}
+
+// ResetArgs and ResetReply serve Reset and ResetCounters.
+type ResetArgs struct{}
+
+// ResetReply carries the post-reset accounting snapshot.
+type ResetReply struct {
+	Snap Snapshot
+}
+
+// shardService is the RPC-exported surface over one system.Shard. All
+// methods serialize on mu: one shard process serves one lockstep
+// client, and the mutex keeps a misbehaving second connection from
+// corrupting state rather than giving it service.
+type shardService struct {
+	mu    sync.Mutex
+	shard *system.Shard
+	hash  [32]byte
+	cfg   system.Config
+	parts [][]int
+	idx   int
+}
+
+func (s *shardService) snapshot() Snapshot {
+	intra, inter := s.shard.BoundaryTotals()
+	total := s.totalChips()
+	link := make([][]uint64, total)
+	for i := range link {
+		link[i] = make([]uint64, total)
+	}
+	s.shard.AddLinkTrafficInto(link)
+	flat := make([]uint64, 0, total*total)
+	for _, row := range link {
+		flat = append(flat, row...)
+	}
+	return Snapshot{Counters: s.shard.Counters(), Intra: intra, Inter: inter, Link: flat}
+}
+
+func (s *shardService) totalChips() int {
+	total := 0
+	for _, p := range s.parts {
+		total += len(p)
+	}
+	return total
+}
+
+// Handshake implements the connection-open verification.
+func (s *shardService) Handshake(args HandshakeArgs, reply *HandshakeReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if args.Protocol != Protocol {
+		return fmt.Errorf("remote: protocol %d, server speaks %d", args.Protocol, Protocol)
+	}
+	if args.MappingHash != s.hash {
+		return errors.New("remote: mapping hash mismatch: client and shard were built from different compiled mappings")
+	}
+	if args.ChipCoresX != s.cfg.ChipCoresX || args.ChipCoresY != s.cfg.ChipCoresY {
+		return fmt.Errorf("remote: tile geometry %dx%d-core chips, server tiles %dx%d",
+			args.ChipCoresX, args.ChipCoresY, s.cfg.ChipCoresX, s.cfg.ChipCoresY)
+	}
+	if args.Shards != len(s.parts) || args.Shard != s.idx {
+		return fmt.Errorf("remote: partition mismatch: client expects shard %d/%d, server is shard %d/%d",
+			args.Shard, args.Shards, s.idx, len(s.parts))
+	}
+	reply.Chips = append([]int(nil), s.shard.Chips()...)
+	return nil
+}
+
+// Tick implements the per-tick round-trip.
+func (s *shardService) Tick(args TickArgs, reply *TickReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := s.shard.Now(); args.Seq != now {
+		return fmt.Errorf("remote: lockstep broken: client at tick %d, shard at %d", args.Seq, now)
+	}
+	for _, inj := range args.Injections {
+		if err := s.shard.Inject(inj.Core, int(inj.Axon), inj.At); err != nil {
+			return err
+		}
+	}
+	res, err := s.shard.TickLocal(args.Mode, args.Workers, args.Incoming)
+	if err != nil {
+		return err
+	}
+	reply.Outputs = res.Outputs
+	reply.Boundary = res.Boundary
+	reply.Snap = s.snapshot()
+	return nil
+}
+
+// Reset implements ShardConn.Reset remotely.
+func (s *shardService) Reset(ResetArgs, *ResetReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard.Reset()
+}
+
+// ResetCounters implements ShardConn.ResetCounters remotely; the reply
+// refreshes the client's cached snapshot.
+func (s *shardService) ResetCounters(_ ResetArgs, reply *ResetReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.shard.ResetCounters(); err != nil {
+		return err
+	}
+	reply.Snap = s.snapshot()
+	return nil
+}
+
+// serviceName is the rpc-registered name; versioning it alongside
+// Protocol keeps stale binaries from half-working.
+const serviceName = "NShard"
+
+// Server hosts one shard behind a listener.
+type Server struct {
+	svc *shardService
+	rpc *rpc.Server
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer builds the shard server for partition coordinates
+// (shard of shards) over the mapping's core grid. Every server and
+// every client derive the same partition from system.PartitionChips,
+// so the coordinates alone pin which chips this process owns.
+func NewServer(m *compile.Mapping, cfg system.Config, shards, shard int, opt chip.Options) (*Server, error) {
+	if err := cfg.Validate(m.Chip); err != nil {
+		return nil, err
+	}
+	chipsX := m.Chip.Width / cfg.ChipCoresX
+	chipsY := m.Chip.Height / cfg.ChipCoresY
+	n := chipsX * chipsY
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("remote: cannot split %d chips into %d shards", n, shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("remote: shard index %d outside [0,%d)", shard, shards)
+	}
+	parts := system.PartitionChips(n, shards)
+	sh, err := system.NewShard(m.Chip, cfg, parts[shard], opt)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := MappingHash(m)
+	if err != nil {
+		return nil, err
+	}
+	svc := &shardService{shard: sh, hash: hash, cfg: cfg, parts: parts, idx: shard}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(serviceName, svc); err != nil {
+		return nil, err
+	}
+	return &Server{
+		svc:   svc,
+		rpc:   srv,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Shard exposes the hosted shard (for probes and tests).
+func (s *Server) Shard() *system.Shard { return s.svc.shard }
+
+// Serve accepts connections on ln until Close; each connection gets
+// the gob-encoded rpc loop. It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("remote: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+		close(s.done)
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.rpc.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Close stops the server: the listener closes and every live
+// connection is severed (how the kill-the-shard tests take a shard
+// down mid-presentation). Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// ListenAndServe listens on network/addr ("unix" sockets for same-host
+// shard pairs, "tcp" across hosts) and serves until Close.
+func (s *Server) ListenAndServe(network, addr string) error {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Client drives one remote shard; it implements system.ShardConn, so
+// a system.Sharded built over Clients is the distributed system.
+type Client struct {
+	rpc     *rpc.Client
+	shard   int
+	chips   []int
+	timeout time.Duration
+
+	ctx  context.Context
+	seq  int64 // the remote shard's clock, for the lockstep guard
+	inj  []Injection
+	snap Snapshot
+	down error // sticky transport failure
+}
+
+// ClientOptions configure Dial.
+type ClientOptions struct {
+	// Timeout bounds each RPC round-trip (DefaultTimeout when zero). A
+	// context bound via BindContext additionally bounds every wait.
+	Timeout time.Duration
+}
+
+// netw infers the network from the address: addresses containing a
+// path separator dial unix sockets, everything else TCP.
+func netw(addr string) string {
+	for _, r := range addr {
+		if r == '/' {
+			return "unix"
+		}
+	}
+	return "tcp"
+}
+
+// Dial connects to the shard server at addr, handshakes, and verifies
+// the server owns exactly the chips the client-side partition assigns
+// to shard (of shards).
+func Dial(m *compile.Mapping, cfg system.Config, addr string, shards, shard int, opts ClientOptions) (*Client, error) {
+	hash, err := MappingHash(m)
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conn, err := net.DialTimeout(netw(addr), addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dialing shard %d at %s: %w", shard, addr, err)
+	}
+	c := &Client{
+		rpc:     rpc.NewClient(conn),
+		shard:   shard,
+		timeout: timeout,
+		ctx:     context.Background(),
+	}
+	args := HandshakeArgs{
+		Protocol:    Protocol,
+		MappingHash: hash,
+		ChipCoresX:  cfg.ChipCoresX,
+		ChipCoresY:  cfg.ChipCoresY,
+		Shards:      shards,
+		Shard:       shard,
+	}
+	var reply HandshakeReply
+	if err := c.call("Handshake", args, &reply); err != nil {
+		c.rpc.Close()
+		return nil, err
+	}
+	chipsX := m.Chip.Width / cfg.ChipCoresX
+	chipsY := m.Chip.Height / cfg.ChipCoresY
+	want := system.PartitionChips(chipsX*chipsY, shards)[shard]
+	if len(reply.Chips) != len(want) {
+		c.rpc.Close()
+		return nil, fmt.Errorf("remote: shard %d owns %d chips, partition assigns %d", shard, len(reply.Chips), len(want))
+	}
+	for i, ch := range reply.Chips {
+		if ch != want[i] {
+			c.rpc.Close()
+			return nil, fmt.Errorf("remote: shard %d chip set diverges from the canonical partition", shard)
+		}
+	}
+	c.chips = want
+	return c, nil
+}
+
+// call runs one RPC bounded by the client timeout and the bound
+// context — the never-hang guarantee. An abandoned in-flight call
+// (timeout, cancellation, dead transport) breaks lockstep, so any
+// failure marks the client permanently down.
+func (c *Client) call(method string, args any, reply any) error {
+	if c.down != nil {
+		return c.down
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	call := c.rpc.Go(serviceName+"."+method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case done := <-call.Done:
+		if done.Error != nil {
+			// Server-side rejections (validation, lockstep) come back as
+			// rpc.ServerError with the connection intact, but the shard
+			// state on the far side may have half-applied the request;
+			// lockstep recovery is not attempted. Mark down either way.
+			c.down = done.Error
+			return c.down
+		}
+		return nil
+	case <-c.ctx.Done():
+		c.down = fmt.Errorf("remote: shard %d call %s: %w", c.shard, method, c.ctx.Err())
+		return c.down
+	case <-timer.C:
+		c.down = fmt.Errorf("remote: shard %d call %s timed out after %v", c.shard, method, c.timeout)
+		return c.down
+	}
+}
+
+// BindContext bounds every subsequent wait by ctx (in addition to the
+// client timeout). system.Sharded fans this out per presentation.
+func (c *Client) BindContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+}
+
+// Chips returns the physical chips the remote shard owns.
+func (c *Client) Chips() []int { return c.chips }
+
+// Err returns the sticky transport failure, nil while healthy.
+func (c *Client) Err() error { return c.down }
+
+// TickLocal implements system.ShardConn: one round-trip carrying the
+// incoming boundary spikes and the buffered injections, returning the
+// shard's outputs and outbox. The cumulative accounting snapshot on
+// the reply refreshes the client cache.
+func (c *Client) TickLocal(mode system.EvalMode, workers int, incoming []system.BoundarySpike) (system.TickResult, error) {
+	if c.down != nil {
+		return system.TickResult{}, c.down
+	}
+	args := TickArgs{
+		Seq:        c.seq,
+		Mode:       mode,
+		Workers:    workers,
+		Incoming:   incoming,
+		Injections: c.inj,
+	}
+	var reply TickReply
+	if err := c.call("Tick", args, &reply); err != nil {
+		return system.TickResult{}, err
+	}
+	c.inj = c.inj[:0]
+	c.seq++
+	c.snap = reply.Snap
+	return system.TickResult{Outputs: reply.Outputs, Boundary: reply.Boundary}, nil
+}
+
+// Inject implements system.ShardConn: buffered client-side, shipped
+// with the next TickLocal. The driving Sharded validated bounds
+// against the full core grid already; the shard re-validates on
+// arrival as defense in depth.
+func (c *Client) Inject(coreIdx int32, axon int, at int64) error {
+	if c.down != nil {
+		return c.down
+	}
+	c.inj = append(c.inj, Injection{Core: coreIdx, Axon: int32(axon), At: at})
+	return nil
+}
+
+// Reset implements system.ShardConn.
+func (c *Client) Reset() error {
+	if c.down != nil {
+		return c.down
+	}
+	var reply ResetReply
+	if err := c.call("Reset", ResetArgs{}, &reply); err != nil {
+		return err
+	}
+	c.seq = 0
+	c.inj = c.inj[:0]
+	// Reset zeroes boundary traffic but preserves activity counters
+	// (the System.Reset contract); mirror it on the cached snapshot.
+	c.snap.Intra, c.snap.Inter = 0, 0
+	for i := range c.snap.Link {
+		c.snap.Link[i] = 0
+	}
+	return nil
+}
+
+// ResetCounters implements system.ShardConn.
+func (c *Client) ResetCounters() error {
+	if c.down != nil {
+		return c.down
+	}
+	var reply ResetReply
+	if err := c.call("ResetCounters", ResetArgs{}, &reply); err != nil {
+		return err
+	}
+	c.snap = reply.Snap
+	return nil
+}
+
+// Counters implements system.ShardConn from the cached snapshot.
+func (c *Client) Counters() chip.Counters { return c.snap.Counters }
+
+// BoundaryTotals implements system.ShardConn from the cached snapshot.
+func (c *Client) BoundaryTotals() (intra, inter uint64) { return c.snap.Intra, c.snap.Inter }
+
+// AddLinkTrafficInto implements system.ShardConn from the cached
+// snapshot.
+func (c *Client) AddLinkTrafficInto(dst [][]uint64) {
+	n := len(dst)
+	if len(c.snap.Link) != n*n {
+		return // no snapshot yet (no tick has run)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst[i][j] += c.snap.Link[i*n+j]
+		}
+	}
+}
+
+// Close implements system.ShardConn.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+var _ system.ShardConn = (*Client)(nil)
+
+// DialSharded dials one shard server per address and assembles the
+// distributed system: addrs[i] must host shard i of len(addrs) under
+// the canonical partition. The result is a drop-in sim backend —
+// bit-identical to the in-process System over the same mapping.
+func DialSharded(m *compile.Mapping, cfg system.Config, addrs []string, opts ClientOptions) (*system.Sharded, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("remote: no shard addresses")
+	}
+	if err := cfg.Validate(m.Chip); err != nil {
+		return nil, err
+	}
+	chipsX := m.Chip.Width / cfg.ChipCoresX
+	chipsY := m.Chip.Height / cfg.ChipCoresY
+	n := chipsX * chipsY
+	if len(addrs) > n {
+		return nil, fmt.Errorf("remote: %d shard addresses for %d chips", len(addrs), n)
+	}
+	parts := system.PartitionChips(n, len(addrs))
+	conns := make([]system.ShardConn, len(addrs))
+	for i, addr := range addrs {
+		c, err := Dial(m, cfg, addr, len(addrs), i, opts)
+		if err != nil {
+			for _, done := range conns[:i] {
+				done.Close()
+			}
+			return nil, err
+		}
+		conns[i] = c
+	}
+	return system.NewShardedFrom(m.Chip, cfg, conns, parts)
+}

@@ -1,0 +1,412 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+	"github.com/neurogo/neurogo/internal/system"
+)
+
+// testNet builds a deterministic multi-core network with real
+// core-to-core routing (the same shape as the sim golden net, sized
+// for a 4x4 grid).
+func testNet(seed uint64) *model.Network {
+	r := rng.NewSplitMix64(seed)
+	m := model.New()
+	in := m.AddInputBank("in", 16, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	proto.Threshold = 2
+	a := m.AddPopulation("a", 300, proto)
+	b := m.AddPopulation("b", 150, proto)
+	for i := 0; i < 16; i++ {
+		for k := 0; k < 20; k++ {
+			m.Connect(in.Line(i), a.ID(r.Intn(300)))
+		}
+	}
+	for i := 0; i < 300; i++ {
+		props := m.SourceProps(a.ID(i))
+		props.Delay = uint8(2 + r.Intn(3))
+		if r.Intn(4) == 0 {
+			props.Type = 1
+		}
+		for k := 0; k < 1+r.Intn(2); k++ {
+			m.Connect(model.NeuronNode(a.ID(i)), b.ID(r.Intn(150)))
+		}
+	}
+	for i := 0; i < 150; i++ {
+		m.Params(b.ID(i)).Threshold = int32(1 + r.Intn(3))
+		m.MarkOutput(b.ID(i))
+	}
+	return m
+}
+
+func testMapping(t testing.TB, seed uint64) *compile.Mapping {
+	t.Helper()
+	mp, err := compile.Compile(testNet(seed), compile.Options{Seed: seed, Width: 4, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+// testCfg tiles the 4x4 grid into 16 single-core chips, so every
+// core-to-core route crosses a chip boundary.
+var testCfg = system.Config{ChipCoresX: 1, ChipCoresY: 1}
+
+// startServer hosts one in-process shard server on a unix socket and
+// returns its address. The full RPC path — gob, socket, handshake —
+// is exercised; only the process boundary is elided (the root-package
+// test covers that via re-exec).
+func startServer(t testing.TB, m *compile.Mapping, cfg system.Config, shards, shard int) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(m, cfg, shards, shard, chip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := filepath.Join(t.TempDir(), fmt.Sprintf("s%d.sock", shard))
+	ln, err := net.Listen("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func startServers(t testing.TB, m *compile.Mapping, cfg system.Config, shards int) ([]*Server, []string) {
+	t.Helper()
+	srvs := make([]*Server, shards)
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		srvs[i], addrs[i] = startServer(t, m, cfg, shards, i)
+	}
+	return srvs, addrs
+}
+
+// tiledBackend is the execution surface the equivalence driver needs.
+type tiledBackend interface {
+	Inject(coreIdx int32, axon int, at int64) error
+	Tick() []chip.OutputSpike
+	Now() int64
+}
+
+// drive runs a fixed randomized injection schedule and returns copied
+// output spikes.
+func drive(t testing.TB, mp *compile.Mapping, b tiledBackend, ticks int, seed uint64) []chip.OutputSpike {
+	t.Helper()
+	r := rng.NewSplitMix64(seed)
+	var outs []chip.OutputSpike
+	for tick := 0; tick < ticks; tick++ {
+		for k := 0; k < 5; k++ {
+			line := r.Intn(16)
+			at := b.Now() + int64(mp.InputDelay[line])
+			for _, tgt := range mp.InputTargets[line] {
+				if err := b.Inject(tgt.Core, int(tgt.Axon), at); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		outs = append(outs, append([]chip.OutputSpike(nil), b.Tick()...)...)
+	}
+	return outs
+}
+
+func compareOutputs(t testing.TB, label string, got, want []chip.OutputSpike) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d output spikes, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: spike %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRemoteBitIdentical is the distributed-equivalence contract over
+// the real wire: a Sharded over RPC clients (gob over unix sockets)
+// emits byte-identical output spikes to the in-process System, with
+// identical counters, boundary totals and link matrices — including
+// across a Reset mid-sequence.
+func TestRemoteBitIdentical(t *testing.T) {
+	mp := testMapping(t, 5)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			sys, err := system.New(mp.Chip, testCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, addrs := startServers(t, mp, testCfg, shards)
+			shd, err := DialSharded(mp, testCfg, addrs, ClientOptions{Timeout: 10 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shd.Close()
+
+			check := func(leg string) {
+				want := drive(t, mp, sys, 30, 17)
+				got := drive(t, mp, shd, 30, 17)
+				if len(want) == 0 {
+					t.Fatalf("%s: rig emitted nothing; test is vacuous", leg)
+				}
+				compareOutputs(t, leg, got, want)
+				if got, want := shd.Counters(), sys.Chip().Counters(); got != want {
+					t.Fatalf("%s: counters %+v, system %+v", leg, got, want)
+				}
+				gi, ge := shd.BoundaryTotals()
+				wi, we := sys.BoundaryTotals()
+				if gi != wi || ge != we {
+					t.Fatalf("%s: boundary totals (%d,%d), system (%d,%d)", leg, gi, ge, wi, we)
+				}
+				if ge == 0 {
+					t.Fatalf("%s: no crossings on 1x1-core chips", leg)
+				}
+				wantLink := sys.LinkTraffic()
+				gotLink := shd.LinkTraffic()
+				for i := range wantLink {
+					for j := range wantLink[i] {
+						if gotLink[i][j] != wantLink[i][j] {
+							t.Fatalf("%s: link[%d][%d] = %d, system %d", leg, i, j, gotLink[i][j], wantLink[i][j])
+						}
+					}
+				}
+			}
+			check("first presentation")
+			// Reset mid-sequence: traffic zeroes on both sides, activity
+			// counters persist on both sides, and the replayed schedule is
+			// again bit-identical.
+			sys.Reset()
+			shd.Reset()
+			if intra, inter := shd.BoundaryTotals(); intra != 0 || inter != 0 {
+				t.Fatalf("Reset left remote boundary totals (%d,%d)", intra, inter)
+			}
+			check("after reset")
+		})
+	}
+}
+
+// TestHandshakeRejects pins the connection-open verification: a client
+// built from a different mapping, a different tile geometry, or
+// different partition coordinates is refused before any spike crosses.
+func TestHandshakeRejects(t *testing.T) {
+	mp := testMapping(t, 5)
+	_, addrs := startServers(t, mp, testCfg, 2)
+
+	other := testMapping(t, 6)
+	if _, err := DialSharded(other, testCfg, addrs, ClientOptions{}); err == nil {
+		t.Error("foreign mapping accepted")
+	} else if !strings.Contains(err.Error(), "mapping hash") {
+		t.Errorf("foreign mapping error %q", err)
+	}
+
+	if _, err := Dial(mp, system.Config{ChipCoresX: 2, ChipCoresY: 2}, addrs[0], 2, 0, ClientOptions{}); err == nil {
+		t.Error("mismatched tile geometry accepted")
+	} else if !strings.Contains(err.Error(), "geometry") {
+		t.Errorf("geometry error %q", err)
+	}
+
+	// Server 0 holds shard 0 of 2; asking it to be shard 1, or part of a
+	// 4-way partition, must fail.
+	if _, err := Dial(mp, testCfg, addrs[0], 2, 1, ClientOptions{}); err == nil {
+		t.Error("wrong shard index accepted")
+	}
+	if _, err := Dial(mp, testCfg, addrs[0], 4, 0, ClientOptions{}); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	// Addresses out of partition order: shard 1's server answers the
+	// handshake for shard 0.
+	if _, err := DialSharded(mp, testCfg, []string{addrs[1], addrs[0]}, ClientOptions{}); err == nil {
+		t.Error("shuffled shard addresses accepted")
+	}
+}
+
+// TestLockstepGuard pins the clock verification: a second client whose
+// tick sequence does not match the shard's clock is rejected, never
+// silently desynchronized.
+func TestLockstepGuard(t *testing.T) {
+	mp := testMapping(t, 5)
+	_, addr := startServer(t, mp, testCfg, 1, 0)
+	c1, err := Dial(mp, testCfg, addr, 1, 0, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.TickLocal(system.EvalEvent, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh client, seq 0; the shard is at tick 1.
+	c2, err := Dial(mp, testCfg, addr, 1, 0, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	_, err = c2.TickLocal(system.EvalEvent, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "lockstep") {
+		t.Fatalf("desynchronized tick error = %v", err)
+	}
+	if c2.Err() == nil {
+		t.Error("lockstep rejection did not mark the client down")
+	}
+}
+
+// TestKillShardNeverHangs is the disconnect satellite at the transport
+// layer: killing a shard server mid-sequence surfaces a typed
+// ErrShardDown from the next Tick within bounded time — never a hang —
+// and the partition stays down.
+func TestKillShardNeverHangs(t *testing.T) {
+	mp := testMapping(t, 5)
+	srvs, addrs := startServers(t, mp, testCfg, 2)
+	shd, err := DialSharded(mp, testCfg, addrs, ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shd.Close()
+	drive(t, mp, shd, 5, 17)
+	if shd.Err() != nil {
+		t.Fatal(shd.Err())
+	}
+
+	srvs[1].Close() // the kill: listener and live connections severed
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			shd.Tick()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Tick hung after shard kill")
+	}
+	failure := shd.Err()
+	if !errors.Is(failure, system.ErrShardDown) {
+		t.Fatalf("Err after kill = %v, want ErrShardDown match", failure)
+	}
+	var down *system.ShardDownError
+	if !errors.As(failure, &down) || down.Shard != 1 {
+		t.Fatalf("failure %v does not name shard 1", failure)
+	}
+	if err := shd.Inject(0, 0, shd.Now()); !errors.Is(err, system.ErrShardDown) {
+		t.Fatalf("Inject after kill = %v", err)
+	}
+	shd.Reset()
+	if shd.Err() == nil {
+		t.Error("Reset revived a dead partition")
+	}
+}
+
+// TestStalledShardRespectsDeadlines pins the two bounded-wait paths on
+// a shard that is alive but unresponsive (its service mutex held): the
+// per-call timeout, and a context deadline bound via BindContext.
+func TestStalledShardRespectsDeadlines(t *testing.T) {
+	mp := testMapping(t, 5)
+
+	t.Run("call-timeout", func(t *testing.T) {
+		srv, addr := startServer(t, mp, testCfg, 1, 0)
+		c, err := Dial(mp, testCfg, addr, 1, 0, ClientOptions{Timeout: 150 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		srv.svc.mu.Lock()
+		defer srv.svc.mu.Unlock()
+		start := time.Now()
+		_, err = c.TickLocal(system.EvalEvent, 1, nil)
+		if err == nil || !strings.Contains(err.Error(), "timed out") {
+			t.Fatalf("stalled tick error = %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("timeout took %v", elapsed)
+		}
+		if c.Err() == nil {
+			t.Error("timeout did not mark the client down")
+		}
+	})
+
+	t.Run("context-deadline", func(t *testing.T) {
+		srv, addr := startServer(t, mp, testCfg, 1, 0)
+		c, err := Dial(mp, testCfg, addr, 1, 0, ClientOptions{Timeout: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+		c.BindContext(ctx)
+		srv.svc.mu.Lock()
+		defer srv.svc.mu.Unlock()
+		start := time.Now()
+		_, err = c.TickLocal(system.EvalEvent, 1, nil)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("deadline error = %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("deadline took %v", elapsed)
+		}
+	})
+}
+
+// TestDialTimeout pins the bounded handshake: a listener that accepts
+// but never speaks RPC cannot hang Dial.
+func TestDialTimeout(t *testing.T) {
+	mp := testMapping(t, 5)
+	addr := filepath.Join(t.TempDir(), "hole.sock")
+	ln, err := net.Listen("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and say nothing
+		}
+	}()
+	start := time.Now()
+	_, err = Dial(mp, testCfg, addr, 1, 0, ClientOptions{Timeout: 150 * time.Millisecond})
+	if err == nil {
+		t.Fatal("black-hole listener accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Dial took %v against a silent listener", elapsed)
+	}
+}
+
+// TestMappingHashDeterministic pins the handshake fingerprint: equal
+// mappings hash equally, different mappings differently.
+func TestMappingHashDeterministic(t *testing.T) {
+	a1, err := MappingHash(testMapping(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := MappingHash(testMapping(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("identical compiles hash differently")
+	}
+	b, err := MappingHash(testMapping(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Error("different networks hash equally")
+	}
+}

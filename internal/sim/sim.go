@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -75,11 +76,65 @@ type Backend interface {
 	ResetCounters()
 }
 
-// Both shipped backends satisfy the seam.
+// TiledBackend is a Backend partitioned onto a tile of physical chips,
+// with boundary traffic accounted per link. Both multi-chip backends —
+// the in-process *system.System and the sharded/distributed
+// *system.Sharded — satisfy it; the Runner folds its accounting across
+// Resets through this interface alone.
+type TiledBackend interface {
+	Backend
+	// Chips returns the number of physical chips; ChipsX and ChipsY the
+	// tile dimensions.
+	Chips() int
+	ChipsX() int
+	ChipsY() int
+	// BoundaryTotals returns the live intra- and inter-chip routed
+	// spike counts in O(1).
+	BoundaryTotals() (intra, inter uint64)
+	// AddLinkTrafficInto adds the live (src chip, dst chip) crossing
+	// matrix into dst (chips x chips).
+	AddLinkTrafficInto(dst [][]uint64)
+}
+
+// FallibleBackend is a Backend that can fail permanently mid-run — a
+// distributed backend whose shard process died. Err returns the sticky
+// failure (matching system.ErrShardDown via errors.Is for shard
+// deaths); once non-nil, Tick returns no spikes and the backend never
+// recovers. Callers that serve fallible backends must check Err after
+// stepping — the Runner surfaces it via Runner.Err.
+type FallibleBackend interface {
+	Backend
+	Err() error
+}
+
+// ContextBinder is a Backend whose blocking operations (remote tick
+// round-trips) can be bounded by a context deadline. Bind before each
+// presentation; the zero state is context.Background().
+type ContextBinder interface {
+	BindContext(ctx context.Context)
+}
+
+// The shipped backends satisfy the seams.
 var (
-	_ Backend = (*chip.Chip)(nil)
-	_ Backend = (*system.System)(nil)
+	_ Backend         = (*chip.Chip)(nil)
+	_ TiledBackend    = (*system.System)(nil)
+	_ TiledBackend    = (*system.Sharded)(nil)
+	_ FallibleBackend = (*system.Sharded)(nil)
+	_ ContextBinder   = (*system.Sharded)(nil)
 )
+
+// EvalMode translates an Engine into the system-layer evaluation mode
+// shards run locally (system cannot import sim).
+func (e Engine) EvalMode() system.EvalMode {
+	switch e {
+	case EngineDense:
+		return system.EvalDense
+	case EngineParallel:
+		return system.EvalParallel
+	default:
+		return system.EvalEvent
+	}
+}
 
 // Engine selects the core evaluation strategy.
 type Engine int
@@ -118,8 +173,8 @@ type Event struct {
 type Runner struct {
 	mapping *compile.Mapping
 	backend Backend
-	chip    *chip.Chip     // the underlying chip of the backend
-	system  *system.System // non-nil only for system backends
+	chip    *chip.Chip   // the underlying chip; nil for sharded backends
+	tiled   TiledBackend // non-nil only for multi-chip backends
 	engine  Engine
 	workers int
 	pending []Event // events whose logical tick is in the future (lagged)
@@ -183,12 +238,42 @@ func NewSystemRunnerWith(m *compile.Mapping, cfg system.Config, engine Engine, w
 	}
 	r := newBackendRunner(m, sys, engine, workers)
 	r.chip = sys.Chip()
-	r.system = sys
-	r.baseLink = make([][]uint64, sys.Chips())
-	for i := range r.baseLink {
-		r.baseLink[i] = make([]uint64, sys.Chips())
-	}
+	r.setTiled(sys)
 	return r, nil
+}
+
+// NewShardedRunner builds a runner whose backend is a partitioned
+// system.Sharded: the tile's chips split into the given number of
+// in-process shards, each evaluated on its own chip fragment with
+// explicit boundary-spike exchange per tick. The spike stream is
+// bit-identical to NewSystemRunner over the same mapping — sharding is
+// the same computation with the exchange made explicit — which is what
+// the distributed (multi-process) deployment rides on.
+func NewShardedRunner(m *compile.Mapping, cfg system.Config, shards int, engine Engine, workers int, opt RunnerOptions) (*Runner, error) {
+	sys, err := system.NewSharded(m.Chip, cfg, shards, opt.chipOptions())
+	if err != nil {
+		return nil, err
+	}
+	return NewTiledRunner(m, sys, engine, workers), nil
+}
+
+// NewTiledRunner wraps a pre-built tiled backend (e.g. a
+// system.Sharded assembled from remote shard connections) in a runner.
+// The backend must execute m's core grid; the runner cannot verify
+// that, so distributed deployments verify it in the connection
+// handshake (mapping hash) instead.
+func NewTiledRunner(m *compile.Mapping, b TiledBackend, engine Engine, workers int) *Runner {
+	r := newBackendRunner(m, b, engine, workers)
+	r.setTiled(b)
+	return r
+}
+
+func (r *Runner) setTiled(b TiledBackend) {
+	r.tiled = b
+	r.baseLink = make([][]uint64, b.Chips())
+	for i := range r.baseLink {
+		r.baseLink[i] = make([]uint64, b.Chips())
+	}
 }
 
 func newBackendRunner(m *compile.Mapping, b Backend, engine Engine, workers int) *Runner {
@@ -204,13 +289,42 @@ func newBackendRunner(m *compile.Mapping, b Backend, engine Engine, workers int)
 // Backend exposes the execution backend driving this runner.
 func (r *Runner) Backend() Backend { return r.backend }
 
-// Chip exposes the underlying chip (for counters and probes). Both
-// shipped backends are chip-based, so this is never nil.
+// Chip exposes the underlying chip (for counters and probes). It is
+// nil for sharded backends, whose state is split across shard
+// fragments (use Backend-level Counters there).
 func (r *Runner) Chip() *chip.Chip { return r.chip }
 
-// System returns the multi-chip system backing this runner, or nil for
-// a single-chip runner — the hook boundary-traffic accounting hangs off.
-func (r *Runner) System() *system.System { return r.system }
+// System returns the single-process multi-chip system backing this
+// runner, or nil for single-chip and sharded runners.
+func (r *Runner) System() *system.System {
+	sys, _ := r.tiled.(*system.System)
+	return sys
+}
+
+// Tiled returns the multi-chip backend (in-process or sharded), nil
+// for single-chip runners — the seam boundary-traffic accounting
+// hangs off.
+func (r *Runner) Tiled() TiledBackend { return r.tiled }
+
+// Err returns the backend's sticky failure for fallible (distributed)
+// backends, nil otherwise. Check after presentations that crossed a
+// Step returning suspiciously few events; the pipeline does this on
+// every Classify and stream operation.
+func (r *Runner) Err() error {
+	if f, ok := r.backend.(FallibleBackend); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// BindContext bounds the backend's blocking operations (remote tick
+// round-trips) by ctx, when the backend supports it; a no-op
+// otherwise. Call before each presentation.
+func (r *Runner) BindContext(ctx context.Context) {
+	if b, ok := r.backend.(ContextBinder); ok {
+		b.BindContext(ctx)
+	}
+}
 
 // Reset returns the runner to tick zero with a pristine backend, so a
 // session can present fresh inputs without re-allocating the chip. The
@@ -221,11 +335,11 @@ func (r *Runner) System() *system.System { return r.system }
 // the intra/inter totals and the link matrix folded into the runner's
 // cumulative record first (BoundarySpikes, BoundaryLinks).
 func (r *Runner) Reset() {
-	if r.system != nil {
-		intra, inter := r.system.BoundaryTotals()
+	if r.tiled != nil {
+		intra, inter := r.tiled.BoundaryTotals()
 		r.baseIntra += intra
 		r.baseInter += inter
-		r.system.AddLinkTrafficInto(r.baseLink)
+		r.tiled.AddLinkTrafficInto(r.baseLink)
 	}
 	r.baseTicks += uint64(r.backend.Now())
 	r.backend.Reset()
@@ -241,10 +355,10 @@ func (r *Runner) LifetimeTicks() uint64 { return r.baseTicks + uint64(r.backend.
 // spike counts across all Resets, in O(1) — (0, 0) for single-chip
 // runners.
 func (r *Runner) BoundarySpikes() (intra, inter uint64) {
-	if r.system == nil {
+	if r.tiled == nil {
 		return 0, 0
 	}
-	intra, inter = r.system.BoundaryTotals()
+	intra, inter = r.tiled.BoundaryTotals()
 	return r.baseIntra + intra, r.baseInter + inter
 }
 
@@ -253,14 +367,14 @@ func (r *Runner) BoundarySpikes() (intra, inter uint64) {
 // or nil for single-chip runners. Costs O(chips^2); the boundary-
 // summary hot paths use BoundarySpikes instead.
 func (r *Runner) BoundaryLinks() [][]uint64 {
-	if r.system == nil {
+	if r.tiled == nil {
 		return nil
 	}
 	link := make([][]uint64, len(r.baseLink))
 	for i, row := range r.baseLink {
 		link[i] = append([]uint64(nil), row...)
 	}
-	r.system.AddLinkTrafficInto(link)
+	r.tiled.AddLinkTrafficInto(link)
 	return link
 }
 

@@ -1,0 +1,314 @@
+package system
+
+// Shard-local execution: one shard of a partitioned system owns a
+// subset of the physical chips and runs them on a chip fragment — the
+// full-size core grid with only the shard's cores instantiated, so
+// core indices, mesh coordinates and hop counts stay global. Emissions
+// towards cores on other shards are collected into an outbox of
+// BoundarySpikes instead of being delivered; the driving Sharded
+// system (or the RPC shard server in internal/remote) exchanges the
+// outboxes between shards once per tick. Because every axonal delay is
+// at least one tick, delivering tick t's boundary spikes at the start
+// of tick t+1 is bit-identical to delivering them inside tick t — the
+// structural property that makes distributed execution exact, not
+// approximate.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+)
+
+// EvalMode selects the shard-local core evaluation strategy — the
+// system-level mirror of sim.Engine, defined here so the shard wire
+// protocol does not depend on the executor package.
+type EvalMode uint8
+
+const (
+	// EvalEvent is sparse event-driven evaluation (production).
+	EvalEvent EvalMode = iota
+	// EvalDense is the clock-driven baseline.
+	EvalDense
+	// EvalParallel is EvalEvent sharded across goroutines within the
+	// shard process.
+	EvalParallel
+)
+
+// String names the mode.
+func (m EvalMode) String() string {
+	switch m {
+	case EvalEvent:
+		return "event"
+	case EvalDense:
+		return "dense"
+	case EvalParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("EvalMode(%d)", int(m))
+	}
+}
+
+// BoundarySpike is one cross-shard spike transfer: a routed emission
+// whose destination core lives on another shard. It carries exactly
+// what delivery needs — the global destination core, the axon, and the
+// absolute arrival tick (emission tick + axonal delay). Accounting
+// (hops, boundary counters) happened on the source shard at emission,
+// so the wire message stays minimal.
+type BoundarySpike struct {
+	// Core is the global linear index of the destination core.
+	Core int32
+	// Axon is the destination axon on that core.
+	Axon uint8
+	// At is the absolute arrival tick.
+	At int64
+}
+
+// TickResult is what one shard-local tick produces: the external
+// output spikes emitted by the shard's cores and the boundary spikes
+// destined for other shards. Both slices are reused across ticks;
+// retainers must copy.
+type TickResult struct {
+	Outputs  []chip.OutputSpike
+	Boundary []BoundarySpike
+}
+
+// ShardConn is the driving seam of a partitioned system: one
+// connection per shard, implemented in-process by *Shard itself and
+// across processes by the RPC client in internal/remote. The Sharded
+// tick loop is written against this interface alone, so in-process and
+// remote shards execute the identical exchange protocol — bit-identity
+// of distributed runs is structural, not incidental.
+//
+// Counters, BoundaryTotals and AddLinkTrafficInto are snapshot reads:
+// in-process they read live state; remote connections answer from the
+// cumulative snapshot piggybacked on the last tick reply, so none of
+// them costs a network round-trip.
+type ShardConn interface {
+	// TickLocal delivers the incoming boundary spikes (emitted by other
+	// shards on the previous tick) into the shard's delay rings, then
+	// advances the shard one tick and returns its outputs and outbox.
+	TickLocal(mode EvalMode, workers int, incoming []BoundarySpike) (TickResult, error)
+	// Inject schedules an external input spike on a core owned by this
+	// shard. Remote connections may buffer the injection and ship it
+	// with the next TickLocal call — injections always precede the tick
+	// they first affect, so deferred shipment is exact.
+	Inject(coreIdx int32, axon int, at int64) error
+	// Reset returns the shard to power-on state (chip pristine, boundary
+	// traffic zeroed, chip-level activity counters preserved — exactly
+	// the System.Reset contract, per shard).
+	Reset() error
+	// ResetCounters zeroes the shard's chip-level activity counters.
+	ResetCounters() error
+	// Counters reports the shard's chip-level activity counters.
+	Counters() chip.Counters
+	// BoundaryTotals reports the intra- and inter-chip routed spike
+	// counts for spikes sourced on this shard.
+	BoundaryTotals() (intra, inter uint64)
+	// AddLinkTrafficInto adds the shard's (src chip, dst chip) crossing
+	// matrix into dst (full chips x chips shape).
+	AddLinkTrafficInto(dst [][]uint64)
+	// Close releases the connection (a no-op in-process).
+	Close() error
+}
+
+// PartitionChips splits n physical chips (row-major indices 0..n-1)
+// into k contiguous, balanced shards — the canonical partition both
+// the driving system and every shard server compute independently, so
+// a (shards, shard index) pair fully determines a shard's chip set.
+// The first n%k shards get one extra chip. Panics if k is not in
+// [1, n] (a configuration error callers validate first).
+func PartitionChips(n, k int) [][]int {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("system: cannot partition %d chips into %d shards", n, k))
+	}
+	parts := make([][]int, k)
+	base, extra := n/k, n%k
+	next := 0
+	for i := range parts {
+		size := base
+		if i < extra {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			parts[i] = append(parts[i], next)
+			next++
+		}
+	}
+	return parts
+}
+
+// Shard is one in-process shard of a partitioned system: a chip
+// fragment hosting the shard's cores plus the boundary-traffic
+// accounting for every spike the shard sources. It implements
+// ShardConn directly (the in-process connection) and is what the RPC
+// shard server wraps for the remote case.
+type Shard struct {
+	ch     *chip.Chip
+	cfg    Config
+	gridW  int
+	chips  []int  // the physical chips this shard owns, ascending
+	owned  []bool // chip index -> owned by this shard
+	outbox []BoundarySpike
+
+	// Boundary traffic sourced on this shard. Every routed spike is
+	// accounted exactly once, at its source shard, so summing these
+	// across shards reproduces the single-process System totals.
+	intra, inter uint64
+	linkTraffic  [][]uint64
+}
+
+// NewShard builds the shard owning the given physical chips of a
+// core grid partitioned per cfg. The fragment chip keeps the full grid
+// dimensions but instantiates only the shard's cores; emissions to
+// other shards are collected into the outbox. chips must be non-empty,
+// in range, and duplicate-free.
+func NewShard(coreGrid *chip.Config, cfg Config, chips_ []int, opt chip.Options) (*Shard, error) {
+	if err := cfg.Validate(coreGrid); err != nil {
+		return nil, err
+	}
+	chipsX := coreGrid.Width / cfg.ChipCoresX
+	chipsY := coreGrid.Height / cfg.ChipCoresY
+	n := chipsX * chipsY
+	if len(chips_) == 0 {
+		return nil, fmt.Errorf("system: shard owns no chips")
+	}
+	owned := make([]bool, n)
+	for _, c := range chips_ {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("system: shard chip %d outside the %d-chip tile", c, n)
+		}
+		if owned[c] {
+			return nil, fmt.Errorf("system: shard chip %d listed twice", c)
+		}
+		owned[c] = true
+	}
+	sh := &Shard{
+		cfg:   cfg,
+		gridW: coreGrid.Width,
+		chips: append([]int(nil), chips_...),
+		owned: owned,
+	}
+	sort.Ints(sh.chips)
+	// The fragment config shares the immutable per-core configs (and
+	// their precompiled integration plans) with every other user of the
+	// grid; only the slice of who-is-instantiated differs.
+	frag := &chip.Config{
+		Width:  coreGrid.Width,
+		Height: coreGrid.Height,
+		Cores:  make([]*core.Config, len(coreGrid.Cores)),
+	}
+	for i, cc := range coreGrid.Cores {
+		if cc != nil && owned[sh.chipOf(int32(i))] {
+			frag.Cores[i] = cc
+		}
+	}
+	sh.ch = chip.NewWithOptions(frag, opt)
+	sh.linkTraffic = make([][]uint64, n)
+	for i := range sh.linkTraffic {
+		sh.linkTraffic[i] = make([]uint64, n)
+	}
+	sh.ch.SetRouteObserver(func(src, dst int32) {
+		a, b := sh.chipOf(src), sh.chipOf(dst)
+		if a == b {
+			sh.intra++
+			return
+		}
+		sh.inter++
+		sh.linkTraffic[a][b]++
+	})
+	sh.ch.SetShardRouter(func(t int64, tgt core.Target, delay uint8) {
+		sh.outbox = append(sh.outbox, BoundarySpike{
+			Core: tgt.Core, Axon: tgt.Axon, At: t + int64(delay),
+		})
+	})
+	return sh, nil
+}
+
+// chipOf returns the physical chip index (row-major) hosting a core.
+func (sh *Shard) chipOf(coreIdx int32) int {
+	cx := (int(coreIdx) % sh.gridW) / sh.cfg.ChipCoresX
+	cy := (int(coreIdx) / sh.gridW) / sh.cfg.ChipCoresY
+	return cy*(sh.gridW/sh.cfg.ChipCoresX) + cx
+}
+
+// Owns reports whether the shard hosts the given physical chip.
+func (sh *Shard) Owns(chipIdx int) bool {
+	return chipIdx >= 0 && chipIdx < len(sh.owned) && sh.owned[chipIdx]
+}
+
+// Chips returns the physical chips this shard owns, ascending.
+func (sh *Shard) Chips() []int { return sh.chips }
+
+// Chip exposes the fragment chip (for probes and tests).
+func (sh *Shard) Chip() *chip.Chip { return sh.ch }
+
+// Now returns the shard's next tick — the lockstep clock the exchange
+// protocol verifies.
+func (sh *Shard) Now() int64 { return sh.ch.Now() }
+
+// TickLocal implements ShardConn: deliver, evaluate, collect.
+func (sh *Shard) TickLocal(mode EvalMode, workers int, incoming []BoundarySpike) (TickResult, error) {
+	for _, b := range incoming {
+		if err := sh.ch.DeliverRouted(b.Core, int(b.Axon), b.At); err != nil {
+			return TickResult{}, err
+		}
+	}
+	sh.outbox = sh.outbox[:0]
+	var outs []chip.OutputSpike
+	switch mode {
+	case EvalDense:
+		outs = sh.ch.TickDense()
+	case EvalParallel:
+		outs = sh.ch.TickParallel(workers)
+	default:
+		outs = sh.ch.Tick()
+	}
+	return TickResult{Outputs: outs, Boundary: sh.outbox}, nil
+}
+
+// Inject implements ShardConn. The core must be owned by this shard
+// (the driving system routes injections; a miss maps to the invalid-
+// core rejection every backend shares).
+func (sh *Shard) Inject(coreIdx int32, axon int, at int64) error {
+	return sh.ch.Inject(coreIdx, axon, at)
+}
+
+// Reset implements ShardConn: chip pristine, boundary counters zeroed,
+// activity counters preserved (the System.Reset contract, per shard).
+func (sh *Shard) Reset() error {
+	sh.ch.Reset()
+	sh.outbox = sh.outbox[:0]
+	sh.intra, sh.inter = 0, 0
+	for i := range sh.linkTraffic {
+		for j := range sh.linkTraffic[i] {
+			sh.linkTraffic[i][j] = 0
+		}
+	}
+	return nil
+}
+
+// ResetCounters implements ShardConn.
+func (sh *Shard) ResetCounters() error {
+	sh.ch.ResetCounters()
+	return nil
+}
+
+// Counters implements ShardConn.
+func (sh *Shard) Counters() chip.Counters { return sh.ch.Counters() }
+
+// BoundaryTotals implements ShardConn.
+func (sh *Shard) BoundaryTotals() (intra, inter uint64) { return sh.intra, sh.inter }
+
+// AddLinkTrafficInto implements ShardConn.
+func (sh *Shard) AddLinkTrafficInto(dst [][]uint64) {
+	for i, row := range sh.linkTraffic {
+		for j, v := range row {
+			dst[i][j] += v
+		}
+	}
+}
+
+// Close implements ShardConn (no-op in-process).
+func (sh *Shard) Close() error { return nil }

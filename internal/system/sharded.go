@@ -1,0 +1,408 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/neurogo/neurogo/internal/chip"
+)
+
+// ErrShardDown is the sentinel matched by errors.Is when a shard of a
+// partitioned system has failed — disconnected, timed out, or errored
+// mid-tick. Once a shard is down the system cannot re-establish
+// lockstep, so the error is sticky: every subsequent Tick returns no
+// spikes and Err keeps reporting the failure.
+var ErrShardDown = errors.New("sim: shard down")
+
+// ShardDownError reports which shard failed and why. It matches
+// ErrShardDown via errors.Is and exposes the transport cause via
+// errors.Unwrap.
+type ShardDownError struct {
+	// Shard is the index of the failed shard.
+	Shard int
+	// Cause is the underlying failure (RPC error, timeout, ...).
+	Cause error
+}
+
+// Error implements error.
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("sim: shard %d down: %v", e.Shard, e.Cause)
+}
+
+// Is matches ErrShardDown.
+func (e *ShardDownError) Is(target error) bool { return target == ErrShardDown }
+
+// Unwrap exposes the cause.
+func (e *ShardDownError) Unwrap() error { return e.Cause }
+
+// Sharded is a partitioned system: the tile's physical chips split
+// across shards, each shard evaluated behind a ShardConn — in-process
+// (*Shard) or in another process (internal/remote). It implements the
+// same execution surface as System (and hence sim.Backend), and its
+// spike stream is bit-identical to an unpartitioned System over the
+// same core grid: shard-local evaluation plus explicit boundary
+// exchange is the same computation, because every cross-shard spike
+// has at least one tick of axonal delay in hand.
+//
+// Each tick is one round-trip per shard, all shards in flight
+// concurrently: the request carries the boundary spikes addressed to
+// that shard by the *previous* tick (plus any buffered injections, for
+// remote conns), the reply carries the shard's outputs and fresh
+// outbox. Transfers therefore ride the next tick's message — shards
+// compute while the exchange is logically in flight — and no separate
+// transfer round-trip exists to pay for.
+type Sharded struct {
+	cfg      Config
+	coreGrid *chip.Config
+	chipsX   int
+	chipsY   int
+	conns    []ShardConn
+	parts    [][]int
+	shardOf  []int // physical chip -> owning shard
+
+	tick    int64
+	inbox   [][]BoundarySpike // per-shard boundary spikes awaiting delivery
+	results []TickResult
+	errs    []error
+	merged  []chip.OutputSpike
+	err     error // sticky shard failure
+}
+
+// NewSharded partitions the core grid's chips into the given number of
+// in-process shards (PartitionChips order) and builds one *Shard per
+// part. With shards == 1 the result is still exercised through the
+// shard-exchange code path — the degenerate case every multi-shard
+// run must agree with.
+func NewSharded(coreGrid *chip.Config, cfg Config, shards int, opt chip.Options) (*Sharded, error) {
+	if err := cfg.Validate(coreGrid); err != nil {
+		return nil, err
+	}
+	n := (coreGrid.Width / cfg.ChipCoresX) * (coreGrid.Height / cfg.ChipCoresY)
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("system: cannot split %d chips into %d shards", n, shards)
+	}
+	parts := PartitionChips(n, shards)
+	conns := make([]ShardConn, len(parts))
+	for i, part := range parts {
+		sh, err := NewShard(coreGrid, cfg, part, opt)
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = sh
+	}
+	return NewShardedFrom(coreGrid, cfg, conns, parts)
+}
+
+// NewShardedFrom assembles a partitioned system from pre-built shard
+// connections (e.g. remote clients). parts[i] lists the physical chips
+// conn[i] owns; together the parts must cover every chip exactly once.
+func NewShardedFrom(coreGrid *chip.Config, cfg Config, conns []ShardConn, parts [][]int) (*Sharded, error) {
+	if err := cfg.Validate(coreGrid); err != nil {
+		return nil, err
+	}
+	if len(conns) == 0 || len(conns) != len(parts) {
+		return nil, fmt.Errorf("system: %d shard conns for %d parts", len(conns), len(parts))
+	}
+	s := &Sharded{
+		cfg:      cfg,
+		coreGrid: coreGrid,
+		chipsX:   coreGrid.Width / cfg.ChipCoresX,
+		chipsY:   coreGrid.Height / cfg.ChipCoresY,
+		conns:    conns,
+		parts:    parts,
+	}
+	n := s.chipsX * s.chipsY
+	s.shardOf = make([]int, n)
+	for i := range s.shardOf {
+		s.shardOf[i] = -1
+	}
+	for si, part := range parts {
+		for _, c := range part {
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("system: shard %d claims chip %d outside the %d-chip tile", si, c, n)
+			}
+			if s.shardOf[c] != -1 {
+				return nil, fmt.Errorf("system: chip %d claimed by shards %d and %d", c, s.shardOf[c], si)
+			}
+			s.shardOf[c] = si
+		}
+	}
+	for c, si := range s.shardOf {
+		if si == -1 {
+			return nil, fmt.Errorf("system: chip %d owned by no shard", c)
+		}
+	}
+	s.inbox = make([][]BoundarySpike, len(conns))
+	s.results = make([]TickResult, len(conns))
+	s.errs = make([]error, len(conns))
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.conns) }
+
+// Conns exposes the shard connections (for probes and tests).
+func (s *Sharded) Conns() []ShardConn { return s.conns }
+
+// Partition returns the chips-per-shard partition.
+func (s *Sharded) Partition() [][]int { return s.parts }
+
+// Chips returns the number of physical chips.
+func (s *Sharded) Chips() int { return s.chipsX * s.chipsY }
+
+// ChipsX returns the chip-tile width.
+func (s *Sharded) ChipsX() int { return s.chipsX }
+
+// ChipsY returns the chip-tile height.
+func (s *Sharded) ChipsY() int { return s.chipsY }
+
+// ChipOf returns the physical chip index (row-major) hosting a core.
+func (s *Sharded) ChipOf(coreIdx int32) int {
+	cx := (int(coreIdx) % s.coreGrid.Width) / s.cfg.ChipCoresX
+	cy := (int(coreIdx) / s.coreGrid.Width) / s.cfg.ChipCoresY
+	return cy*s.chipsX + cx
+}
+
+// Err returns the sticky shard failure, nil while healthy. Matches
+// ErrShardDown via errors.Is once a shard has failed.
+func (s *Sharded) Err() error { return s.err }
+
+func (s *Sharded) fail(shard int, cause error) {
+	if s.err != nil {
+		return
+	}
+	var down *ShardDownError
+	if errors.As(cause, &down) {
+		s.err = cause
+		return
+	}
+	s.err = &ShardDownError{Shard: shard, Cause: cause}
+}
+
+// tickAll fans one tick out to every shard concurrently, exchanges
+// boundary spikes, and merges the outputs into emission order.
+func (s *Sharded) tickAll(mode EvalMode, workers int) []chip.OutputSpike {
+	if s.err != nil {
+		return nil
+	}
+	if len(s.conns) == 1 {
+		s.results[0], s.errs[0] = s.conns[0].TickLocal(mode, workers, s.inbox[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range s.conns {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s.results[i], s.errs[i] = s.conns[i].TickLocal(mode, workers, s.inbox[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range s.errs {
+		if err != nil {
+			s.fail(i, err)
+			return nil
+		}
+	}
+	// Exchange: tick t's outboxes become tick t+1's incoming. Delivery
+	// order across shards is irrelevant — arrivals are one SRAM bit per
+	// (axon, slot), so merging is order-free, exactly as on one chip.
+	for i := range s.inbox {
+		s.inbox[i] = s.inbox[i][:0]
+	}
+	for _, res := range s.results {
+		for _, b := range res.Boundary {
+			dst := s.shardOf[s.ChipOf(b.Core)]
+			s.inbox[dst] = append(s.inbox[dst], b)
+		}
+	}
+	// Merge outputs into the single-chip emission order: cores evaluate
+	// in ascending index order and each core emits its neurons
+	// ascending, so (Core, Neuron) reproduces it exactly.
+	s.merged = s.merged[:0]
+	for _, res := range s.results {
+		s.merged = append(s.merged, res.Outputs...)
+	}
+	sort.Slice(s.merged, func(i, j int) bool {
+		if s.merged[i].Core != s.merged[j].Core {
+			return s.merged[i].Core < s.merged[j].Core
+		}
+		return s.merged[i].Neuron < s.merged[j].Neuron
+	})
+	s.tick++
+	return s.merged
+}
+
+// Tick advances the system one tick (event-driven core evaluation).
+// After a shard failure it returns nil; check Err.
+func (s *Sharded) Tick() []chip.OutputSpike { return s.tickAll(EvalEvent, 1) }
+
+// TickDense advances one tick with the clock-driven core evaluation.
+func (s *Sharded) TickDense() []chip.OutputSpike { return s.tickAll(EvalDense, 1) }
+
+// TickParallel advances one tick with each shard's cores evaluated
+// across workers goroutines, bit-identically to Tick.
+func (s *Sharded) TickParallel(workers int) []chip.OutputSpike {
+	return s.tickAll(EvalParallel, workers)
+}
+
+// Inject schedules an external input spike. Bounds are validated
+// against the full core grid before anything is routed, so invalid
+// injections are rejected with exactly the errors a single chip
+// reports, and no shard state mutates.
+func (s *Sharded) Inject(coreIdx int32, axon int, at int64) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.coreGrid.ValidateInjection(coreIdx, axon, s.tick, at); err != nil {
+		return err
+	}
+	shard := s.shardOf[s.ChipOf(coreIdx)]
+	if err := s.conns[shard].Inject(coreIdx, axon, at); err != nil {
+		s.fail(shard, err)
+		return s.err
+	}
+	return nil
+}
+
+// Now returns the next tick to be executed.
+func (s *Sharded) Now() int64 { return s.tick }
+
+// Counters sums the per-shard chip-level activity counters. Routed
+// spikes, hops and boundary traffic are accounted at the source shard
+// and injections at the target shard, so each event is counted exactly
+// once and the sum equals the unpartitioned System's counters.
+func (s *Sharded) Counters() chip.Counters {
+	var out chip.Counters
+	for _, c := range s.conns {
+		out.Add(c.Counters())
+	}
+	return out
+}
+
+// ResetCounters zeroes every shard's chip-level activity counters.
+func (s *Sharded) ResetCounters() {
+	if s.err != nil {
+		return
+	}
+	for i, c := range s.conns {
+		if err := c.ResetCounters(); err != nil {
+			s.fail(i, err)
+			return
+		}
+	}
+}
+
+// Reset returns the system to power-on state under the System.Reset
+// contract: chips pristine, boundary-traffic counters zeroed, chip
+// activity counters preserved. A failed shard makes Reset a no-op —
+// lockstep cannot be re-established; check Err.
+func (s *Sharded) Reset() {
+	if s.err != nil {
+		return
+	}
+	for i, c := range s.conns {
+		if err := c.Reset(); err != nil {
+			s.fail(i, err)
+			return
+		}
+	}
+	s.tick = 0
+	for i := range s.inbox {
+		s.inbox[i] = s.inbox[i][:0]
+	}
+}
+
+// BoundaryTotals sums the shards' intra- and inter-chip routed spike
+// counts — each routed spike accounted once, at its source shard.
+func (s *Sharded) BoundaryTotals() (intra, inter uint64) {
+	for _, c := range s.conns {
+		a, b := c.BoundaryTotals()
+		intra += a
+		inter += b
+	}
+	return intra, inter
+}
+
+// AddLinkTrafficInto adds every shard's (src chip, dst chip) crossing
+// matrix into dst (full chips x chips shape).
+func (s *Sharded) AddLinkTrafficInto(dst [][]uint64) {
+	for _, c := range s.conns {
+		c.AddLinkTrafficInto(dst)
+	}
+}
+
+// LinkTraffic returns a fresh copy of the summed crossing matrix.
+func (s *Sharded) LinkTraffic() [][]uint64 {
+	n := s.Chips()
+	out := make([][]uint64, n)
+	for i := range out {
+		out[i] = make([]uint64, n)
+	}
+	s.AddLinkTrafficInto(out)
+	return out
+}
+
+// Stats returns the boundary-traffic summary across all shards.
+func (s *Sharded) Stats() Stats {
+	intra, inter := s.BoundaryTotals()
+	st := Stats{IntraChip: intra, InterChip: inter}
+	for _, row := range s.LinkTraffic() {
+		for _, v := range row {
+			if v > st.BusiestLink {
+				st.BusiestLink = v
+			}
+		}
+	}
+	return st
+}
+
+// InterChipFraction returns the fraction of routed spikes crossing
+// chip boundaries (0 when nothing has been routed).
+func (s *Sharded) InterChipFraction() float64 {
+	intra, inter := s.BoundaryTotals()
+	total := intra + inter
+	if total == 0 {
+		return 0
+	}
+	return float64(inter) / float64(total)
+}
+
+// Capacity aggregates per-chip capacity across the tile.
+func (s *Sharded) Capacity() chip.Capacity {
+	per := chip.CapacityOf(s.cfg.ChipCoresX, s.cfg.ChipCoresY)
+	n := s.Chips()
+	return chip.Capacity{
+		Cores:        per.Cores * n,
+		Neurons:      per.Neurons * n,
+		Synapses:     per.Synapses * n,
+		SRAMBits:     per.SRAMBits * int64(n),
+		MeshDiameter: (s.chipsX*s.cfg.ChipCoresX - 1) + (s.chipsY*s.cfg.ChipCoresY - 1),
+	}
+}
+
+// BindContext propagates a deadline/cancellation context to every
+// shard connection that supports one (remote conns do; in-process
+// shards have nothing to cancel). Call before each presentation so
+// Classify deadlines bound RPC waits.
+func (s *Sharded) BindContext(ctx context.Context) {
+	for _, c := range s.conns {
+		if b, ok := c.(interface{ BindContext(context.Context) }); ok {
+			b.BindContext(ctx)
+		}
+	}
+}
+
+// Close releases every shard connection, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,358 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/core"
+)
+
+func TestPartitionChips(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{1, 1}, {4, 2}, {16, 3}, {16, 16}, {7, 3}} {
+		parts := PartitionChips(tc.n, tc.k)
+		if len(parts) != tc.k {
+			t.Fatalf("PartitionChips(%d,%d) made %d parts", tc.n, tc.k, len(parts))
+		}
+		next := 0
+		min, max := tc.n, 0
+		for _, p := range parts {
+			if len(p) < min {
+				min = len(p)
+			}
+			if len(p) > max {
+				max = len(p)
+			}
+			for _, c := range p {
+				// Contiguous ascending cover: chip i appears exactly once,
+				// in order — the property that makes the partition derivable
+				// from (shards, shard) alone.
+				if c != next {
+					t.Fatalf("PartitionChips(%d,%d) = %v: chip %d where %d expected", tc.n, tc.k, parts, c, next)
+				}
+				next++
+			}
+		}
+		if next != tc.n {
+			t.Fatalf("PartitionChips(%d,%d) covered %d chips", tc.n, tc.k, next)
+		}
+		if max-min > 1 {
+			t.Fatalf("PartitionChips(%d,%d) unbalanced: sizes span [%d,%d]", tc.n, tc.k, min, max)
+		}
+	}
+	mustPanic := func(n, k int) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("PartitionChips(%d,%d) did not panic", n, k)
+			}
+		}()
+		PartitionChips(n, k)
+	}
+	mustPanic(4, 0)
+	mustPanic(4, 5)
+}
+
+// TestInjectParity pins the unified bounds-validation contract: a
+// single chip, a multi-chip System and a partitioned Sharded reject
+// exactly the same invalid injections with exactly the same
+// sim:-prefixed errors, before any state mutates.
+func TestInjectParity(t *testing.T) {
+	ext := func(i int) int32 { return core.ExternalCore }
+	type backend struct {
+		name   string
+		inject func(coreIdx int32, axon int, at int64) error
+		inputs func() uint64
+	}
+	ch := chip.New(gridConfig(ext))
+	sys, err := New(gridConfig(ext), Config{ChipCoresX: 2, ChipCoresY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []backend{
+		{"chip", ch.Inject, func() uint64 { return ch.Counters().InputSpikes }},
+		{"system", sys.Inject, func() uint64 { return sys.Chip().Counters().InputSpikes }},
+	}
+	for _, shards := range []int{2, 4} {
+		shd, err := NewSharded(gridConfig(ext), Config{ChipCoresX: 2, ChipCoresY: 2}, shards, chip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, backend{
+			"sharded-" + string(rune('0'+shards)), shd.Inject,
+			func() uint64 { return shd.Counters().InputSpikes },
+		})
+	}
+
+	cases := []struct {
+		name string
+		core int32
+		axon int
+		at   int64
+		want string // "" means accepted
+	}{
+		{"valid", 0, 3, 0, ""},
+		{"core-negative", -1, 0, 0, "sim: inject into invalid core -1"},
+		{"core-beyond-grid", 16, 0, 0, "sim: inject into invalid core 16"},
+		{"axon-negative", 2, -1, 0, "sim: inject into invalid axon -1 on core 2"},
+		{"axon-beyond-fanin", 2, core.Size, 0, "sim: inject into invalid axon 256 on core 2"},
+		{"tick-in-past", 0, 0, -1, "sim: inject at tick -1 outside window [0,16)"},
+		{"tick-beyond-ring", 0, 0, core.RingSlots, "sim: inject at tick 16 outside window [0,16)"},
+	}
+	for _, b := range backends {
+		for _, tc := range cases {
+			before := b.inputs()
+			err := b.inject(tc.core, tc.axon, tc.at)
+			if tc.want == "" {
+				if err != nil {
+					t.Errorf("%s/%s: rejected: %v", b.name, tc.name, err)
+				}
+				if got := b.inputs(); got != before+1 {
+					t.Errorf("%s/%s: InputSpikes %d -> %d, want +1", b.name, tc.name, before, got)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s/%s: accepted", b.name, tc.name)
+				continue
+			}
+			if err.Error() != tc.want {
+				t.Errorf("%s/%s: error %q, want %q", b.name, tc.name, err, tc.want)
+			}
+			if got := b.inputs(); got != before {
+				t.Errorf("%s/%s: rejected injection mutated InputSpikes %d -> %d", b.name, tc.name, before, got)
+			}
+		}
+	}
+}
+
+// chainRig is the 0 -> 1 -> 2 relay chain crossing one chip boundary
+// (chips 2x2 cores on the 4x4 grid), reused by the sharded-equivalence
+// tests.
+func chainRig() *chip.Config {
+	return gridConfig(func(i int) int32 {
+		switch i {
+		case 0:
+			return 1
+		case 1:
+			return 2
+		default:
+			return core.ExternalCore
+		}
+	})
+}
+
+// present drives one fixed schedule and returns copied outputs.
+func present(t *testing.T, inject func(int32, int, int64) error, tick func() []chip.OutputSpike) []chip.OutputSpike {
+	t.Helper()
+	if err := inject(0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	var outs []chip.OutputSpike
+	for i := 0; i < 6; i++ {
+		outs = append(outs, append([]chip.OutputSpike(nil), tick()...)...)
+	}
+	return outs
+}
+
+// TestShardedMatchesSystem is the partition-equivalence contract at the
+// system layer: for every shard count, a Sharded over the same core
+// grid emits exactly the System's spike stream, and every accounting
+// surface — counters, boundary totals, link matrix — folds to exactly
+// the System's values.
+func TestShardedMatchesSystem(t *testing.T) {
+	cfg := Config{ChipCoresX: 2, ChipCoresY: 2}
+	sys, err := New(chainRig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOuts := present(t, sys.Inject, sys.Tick)
+	wantStats := sys.Stats()
+	if len(wantOuts) == 0 || wantStats.InterChip == 0 {
+		t.Fatalf("rig emits nothing or crosses nothing: %d outs, %+v", len(wantOuts), wantStats)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		shd, err := NewSharded(chainRig(), cfg, shards, chip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOuts := present(t, shd.Inject, shd.Tick)
+		if len(gotOuts) != len(wantOuts) {
+			t.Fatalf("shards=%d: %d outputs, system %d", shards, len(gotOuts), len(wantOuts))
+		}
+		for i := range wantOuts {
+			if gotOuts[i] != wantOuts[i] {
+				t.Fatalf("shards=%d: output %d = %+v, system %+v", shards, i, gotOuts[i], wantOuts[i])
+			}
+		}
+		if got := shd.Stats(); got != wantStats {
+			t.Fatalf("shards=%d: stats %+v, system %+v", shards, got, wantStats)
+		}
+		if got, want := shd.Counters(), sys.Chip().Counters(); got != want {
+			t.Fatalf("shards=%d: counters %+v, system %+v", shards, got, want)
+		}
+		wantLink := sys.LinkTraffic()
+		gotLink := shd.LinkTraffic()
+		for i := range wantLink {
+			for j := range wantLink[i] {
+				if gotLink[i][j] != wantLink[i][j] {
+					t.Fatalf("shards=%d: link[%d][%d] = %d, system %d", shards, i, j, gotLink[i][j], wantLink[i][j])
+				}
+			}
+		}
+		if got, want := shd.InterChipFraction(), sys.InterChipFraction(); got != want {
+			t.Fatalf("shards=%d: inter-chip fraction %g, system %g", shards, got, want)
+		}
+		if shd.Now() != sys.Now() {
+			t.Fatalf("shards=%d: clock %d, system %d", shards, shd.Now(), sys.Now())
+		}
+	}
+}
+
+// TestShardedResetBitIdentical pins the Reset contract across the
+// partition: chips pristine, traffic zeroed, activity counters
+// preserved, and the next presentation bit-identical to a fresh build.
+func TestShardedResetBitIdentical(t *testing.T) {
+	cfg := Config{ChipCoresX: 2, ChipCoresY: 2}
+	fresh, err := NewSharded(chainRig(), cfg, 4, chip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOuts := present(t, fresh.Inject, fresh.Tick)
+	wantStats := fresh.Stats()
+
+	shd, err := NewSharded(chainRig(), cfg, 4, chip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	present(t, shd.Inject, shd.Tick)
+	counters := shd.Counters()
+	shd.Reset()
+	if shd.Now() != 0 {
+		t.Fatalf("Now after Reset = %d", shd.Now())
+	}
+	if st := shd.Stats(); st != (Stats{}) {
+		t.Fatalf("Reset left traffic %+v", st)
+	}
+	if got := shd.Counters(); got != counters {
+		t.Fatalf("Reset dropped activity counters: %+v -> %+v", counters, got)
+	}
+	gotOuts := present(t, shd.Inject, shd.Tick)
+	if len(gotOuts) != len(wantOuts) {
+		t.Fatalf("reset sharded emitted %d outputs, fresh %d", len(gotOuts), len(wantOuts))
+	}
+	for i := range wantOuts {
+		if gotOuts[i] != wantOuts[i] {
+			t.Fatalf("output %d: reset %+v, fresh %+v", i, gotOuts[i], wantOuts[i])
+		}
+	}
+	if got := shd.Stats(); got != wantStats {
+		t.Fatalf("traffic after reset %+v, fresh %+v", got, wantStats)
+	}
+}
+
+func TestNewShardedFromValidates(t *testing.T) {
+	cfg := Config{ChipCoresX: 2, ChipCoresY: 2}
+	mk := func(chips ...int) ShardConn {
+		sh, err := NewShard(chainRig(), cfg, chips, chip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	if _, err := NewShardedFrom(chainRig(), cfg, nil, nil); err == nil {
+		t.Error("no conns accepted")
+	}
+	// Chip 3 unowned.
+	if _, err := NewShardedFrom(chainRig(), cfg,
+		[]ShardConn{mk(0, 1), mk(2)}, [][]int{{0, 1}, {2}}); err == nil {
+		t.Error("partition with an orphan chip accepted")
+	}
+	// Chip 1 claimed twice.
+	if _, err := NewShardedFrom(chainRig(), cfg,
+		[]ShardConn{mk(0, 1), mk(1, 2, 3)}, [][]int{{0, 1}, {1, 2, 3}}); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+	// Chip index outside the tile.
+	if _, err := NewShardedFrom(chainRig(), cfg,
+		[]ShardConn{mk(0, 1, 2, 3)}, [][]int{{0, 1, 2, 9}}); err == nil {
+		t.Error("out-of-range chip accepted")
+	}
+	if _, err := NewSharded(chainRig(), cfg, 0, chip.Options{}); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewSharded(chainRig(), cfg, 5, chip.Options{}); err == nil {
+		t.Error("more shards than chips accepted")
+	}
+}
+
+// failingConn wraps an in-process shard and fails every TickLocal —
+// the minimal stand-in for a dead shard process.
+type failingConn struct {
+	*Shard
+	cause error
+}
+
+func (f *failingConn) TickLocal(EvalMode, int, []BoundarySpike) (TickResult, error) {
+	return TickResult{}, f.cause
+}
+
+// TestShardedFailureSticky pins the failure contract: one failing
+// shard makes the system permanently down — Tick returns nil, Err
+// matches ErrShardDown and names the shard, Inject refuses, Reset is a
+// no-op — and the failure never panics or hangs.
+func TestShardedFailureSticky(t *testing.T) {
+	cfg := Config{ChipCoresX: 2, ChipCoresY: 2}
+	good, err := NewShard(chainRig(), cfg, []int{0, 1}, chip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewShard(chainRig(), cfg, []int{2, 3}, chip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("connection severed")
+	shd, err := NewShardedFrom(chainRig(), cfg,
+		[]ShardConn{good, &failingConn{Shard: bad, cause: cause}}, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs := shd.Tick(); outs != nil {
+		t.Fatalf("Tick on a failing partition returned %+v", outs)
+	}
+	failure := shd.Err()
+	if failure == nil {
+		t.Fatal("Err nil after shard failure")
+	}
+	if !errors.Is(failure, ErrShardDown) {
+		t.Fatalf("Err %v does not match ErrShardDown", failure)
+	}
+	if !errors.Is(failure, cause) {
+		t.Fatalf("Err %v does not unwrap to the transport cause", failure)
+	}
+	var down *ShardDownError
+	if !errors.As(failure, &down) || down.Shard != 1 {
+		t.Fatalf("Err %v does not name shard 1", failure)
+	}
+	if !strings.HasPrefix(failure.Error(), "sim: shard 1 down") {
+		t.Fatalf("Err text %q", failure)
+	}
+	// Sticky: everything after the failure reports it, nothing recovers.
+	if err := shd.Inject(0, 0, shd.Now()); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("Inject after failure = %v", err)
+	}
+	shd.Reset()
+	if shd.Err() == nil {
+		t.Fatal("Reset cleared a failed partition")
+	}
+	if outs := shd.Tick(); outs != nil || !errors.Is(shd.Err(), ErrShardDown) {
+		t.Fatal("second Tick did not stay down")
+	}
+	// BindContext and Close must tolerate the failed state.
+	shd.BindContext(context.Background())
+	if err := shd.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -77,7 +77,9 @@
 package neurogo
 
 import (
+	"errors"
 	"io"
+	"time"
 
 	"github.com/neurogo/neurogo/internal/chip"
 	"github.com/neurogo/neurogo/internal/codec"
@@ -89,6 +91,7 @@ import (
 	"github.com/neurogo/neurogo/internal/neuron"
 	"github.com/neurogo/neurogo/internal/pipeline"
 	"github.com/neurogo/neurogo/internal/registry"
+	"github.com/neurogo/neurogo/internal/remote"
 	"github.com/neurogo/neurogo/internal/sim"
 	"github.com/neurogo/neurogo/internal/system"
 	"github.com/neurogo/neurogo/internal/train"
@@ -224,6 +227,14 @@ func NewSystemRunner(m *Mapping, cfg SystemConfig, engine Engine, workers int) (
 	return sim.NewSystemRunner(m, cfg, engine, workers)
 }
 
+// NewShardedRunner builds a runner over a partitioned system: the
+// tile's chips split into in-process shards with explicit boundary-
+// spike exchange per tick — the same code path the distributed
+// (multi-process) deployment runs, bit-identical to NewSystemRunner.
+func NewShardedRunner(m *Mapping, cfg SystemConfig, shards int, engine Engine, workers int) (*Runner, error) {
+	return sim.NewShardedRunner(m, cfg, shards, engine, workers, sim.RunnerOptions{})
+}
+
 // NewLogical builds the reference interpreter for a network.
 func NewLogical(net *Network) *Logical { return sim.NewLogical(net) }
 
@@ -290,6 +301,44 @@ func WithClassMapper(f ClassMapper) PipelineOption { return pipeline.WithClassMa
 // inter-chip fields of PipelineUsageOf.
 func WithSystem(chipCoresX, chipCoresY int) PipelineOption {
 	return pipeline.WithSystem(chipCoresX, chipCoresY)
+}
+
+// WithRemoteSystem serves the model across shard processes (see
+// cmd/nshard): the tile's chips partitioned over the given addresses,
+// driven in lockstep with one RPC round-trip per tick, bit-identical
+// to the in-process backends. The mapping must be tiled-compiled
+// (CompileOptions.ChipCoresX/Y). Remote pipelines are single-lane —
+// the shard processes hold one model state. Shard failures surface as
+// errors matching ErrShardDown, never hangs.
+func WithRemoteSystem(addrs ...string) PipelineOption {
+	return pipeline.WithRemoteSystem(addrs...)
+}
+
+// WithRemoteTimeout bounds each shard RPC round-trip of a
+// WithRemoteSystem pipeline.
+func WithRemoteTimeout(d time.Duration) PipelineOption {
+	return pipeline.WithRemoteTimeout(d)
+}
+
+// ErrShardDown is matched (errors.Is) by every error a distributed
+// backend surfaces after losing a shard process.
+var ErrShardDown = system.ErrShardDown
+
+// ShardServer hosts one tile shard for WithRemoteSystem clients — the
+// in-process counterpart of the nshard binary, for tests and
+// single-binary deployments.
+type ShardServer = remote.Server
+
+// NewShardServer builds the shard server for partition coordinates
+// (shard of shards) over a tiled-compiled mapping; serve it with
+// ListenAndServe ("unix" sockets on one host, "tcp" across hosts).
+func NewShardServer(m *Mapping, shards, shard int) (*ShardServer, error) {
+	st := m.Stats
+	if st.ChipCoresX <= 0 || st.ChipCoresY <= 0 {
+		return nil, errors.New("neurogo: shard servers need a tiled-compiled mapping (CompileOptions.ChipCoresX/Y)")
+	}
+	cfg := system.Config{ChipCoresX: st.ChipCoresX, ChipCoresY: st.ChipCoresY}
+	return remote.NewServer(m, cfg, shards, shard, chip.Options{})
 }
 
 // WithoutPlan pins every session's cores to the legacy scalar
