@@ -13,8 +13,11 @@ package neurogo
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/neurogo/neurogo/internal/experiments"
 )
@@ -384,7 +387,10 @@ func BenchmarkAsyncThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			ap := p.Async(WithQueueDepth(2 * size))
+			ap, err := p.Async(WithQueueDepth(2 * size))
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer ap.Close()
 			inputs := throughputRig.x[:size]
 			ctx := context.Background()
@@ -401,6 +407,156 @@ func BenchmarkAsyncThroughput(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+		})
+	}
+}
+
+// saturationBase caches the sequential service rate (class/s on one
+// session) that every offered-load level is derived from.
+var saturationBase struct {
+	once   sync.Once
+	perSec float64
+	err    error
+}
+
+func saturationCapacity() (float64, error) {
+	saturationBase.once.Do(func() {
+		p, err := throughputPipeline()
+		if err != nil {
+			saturationBase.err = err
+			return
+		}
+		defer p.Close()
+		ctx := context.Background()
+		const n = 64
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := p.Classify(ctx, throughputRig.x[i%len(throughputRig.x)]); err != nil {
+				saturationBase.err = err
+				return
+			}
+		}
+		saturationBase.perSec = float64(n) / time.Since(start).Seconds()
+	})
+	return saturationBase.perSec, saturationBase.err
+}
+
+// saturationLevel offers n requests at `rate` per second (paced in 1 ms
+// bursts, open loop until backpressure closes it) through a fresh async
+// front-end and returns the delivered rate plus the metrics snapshot.
+func saturationLevel(b *testing.B, opts []AsyncOption, rate float64, n int) (float64, ServingMetrics) {
+	b.Helper()
+	p, err := throughputPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ap, err := p.Async(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	inputs := throughputRig.x
+	chans := make([]<-chan AsyncResult, n)
+	interval := float64(time.Second) / rate
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if target := time.Duration(float64(i) * interval); target > time.Since(start) {
+			time.Sleep(target - time.Since(start))
+		}
+		chans[i] = ap.Submit(ctx, inputs[i%len(inputs)])
+	}
+	for _, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	delivered := float64(n) / time.Since(start).Seconds()
+	m := ap.Metrics()
+	ap.Close()
+	return delivered, m
+}
+
+// BenchmarkSaturation is the SLO-serving headline (EXPERIMENTS.md E6):
+// it ramps offered load through the async front-end and reports the
+// best delivered class/s whose end-to-end p99 stays inside a fixed
+// 10 ms SLO — batch-1 serving vs the adaptive micro-batcher (greedy
+// and windowed), same worker pool and queue either way. Run it with
+// -benchtime 1x (CI does); the ladder inside one iteration is the
+// whole experiment.
+func BenchmarkSaturation(b *testing.B) {
+	if err := throughputSetup(); err != nil {
+		b.Fatal(err)
+	}
+	base, err := saturationCapacity()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		sloP99   = 10 * time.Millisecond
+		perLevel = 512
+		trials   = 3 // median-of-3 p99 rides out scheduler jitter
+		workers  = 4
+		queue    = 256
+	)
+	shared := []AsyncOption{WithAsyncWorkers(workers), WithQueueDepth(queue)}
+	// The batch-window sweep E6 documents: the 200 µs window is the
+	// adaptive sweet spot on this workload — long enough to coalesce a
+	// backlog into chunked fan-outs (amortised handoffs), short next to
+	// the 10 ms SLO. Window 0 (greedy) never waits but barely coalesces;
+	// 1 ms batches harder at a visible latency cost.
+	modes := []struct {
+		name string
+		opts []AsyncOption
+	}{
+		{"batch-1", shared},
+		{"adaptive", append([]AsyncOption{WithMaxBatch(64), WithBatchWindow(200 * time.Microsecond)}, shared...)},
+		{"adaptive-greedy", append([]AsyncOption{WithMaxBatch(64)}, shared...)},
+		{"adaptive-w1ms", append([]AsyncOption{WithMaxBatch(64), WithBatchWindow(time.Millisecond)}, shared...)},
+	}
+	ladder := []float64{0.75, 0.85, 0.92, 0.97, 1.01}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			var bestRate, bestBatch float64
+			var bestP99 time.Duration
+			for i := 0; i < b.N; i++ {
+				bestRate, bestBatch, bestP99 = 0, 0, 0
+				for _, mult := range ladder {
+					offered := base * mult
+					// Median trial by p99: one descheduling hiccup on a
+					// shared box otherwise decides the whole level.
+					type trial struct {
+						delivered float64
+						m         ServingMetrics
+					}
+					ts := make([]trial, trials)
+					for k := range ts {
+						runtime.GC()
+						ts[k].delivered, ts[k].m = saturationLevel(b, mode.opts, offered, perLevel)
+					}
+					sort.Slice(ts, func(i, j int) bool { return ts[i].m.EndToEnd.P99 < ts[j].m.EndToEnd.P99 })
+					delivered, m := ts[trials/2].delivered, ts[trials/2].m
+					p99 := m.EndToEnd.P99
+					if testing.Verbose() {
+						b.Logf("offered %.0f/s: delivered %.0f/s, p99 %v, mean batch %.1f",
+							offered, delivered, p99, m.MeanBatch)
+					}
+					if p99 <= sloP99 && delivered > bestRate {
+						bestRate, bestP99, bestBatch = delivered, p99, m.MeanBatch
+					}
+				}
+			}
+			if bestRate == 0 {
+				// Report zero rather than failing: the sweep legs are
+				// informational, and a descheduling storm on a shared
+				// box can push every level past the SLO.
+				b.Logf("no load level met the %v p99 SLO", sloP99)
+			}
+			b.ReportMetric(bestRate, "class/s@p99")
+			b.ReportMetric(float64(bestP99.Microseconds())/1000, "p99-ms")
+			if bestBatch > 0 {
+				b.ReportMetric(bestBatch, "mean-batch")
+			}
 		})
 	}
 }

@@ -4,9 +4,14 @@
 // bounded queue, a pool of sessions classifies them as workers free up,
 // and each client correlates its own completions through the
 // per-request channels while the shared Results stream feeds a
-// monitoring goroutine. The same inputs are also served through
-// ClassifyBatch so the two serving modes' throughput and
-// (bit-identical) predictions can be compared.
+// monitoring goroutine. The async front-end runs the full SLO-aware
+// configuration: adaptive micro-batching, priority admission (a
+// low-priority flood is shed with ErrShed while interactive traffic
+// is untouched), serving metrics on an expvar /debug/vars endpoint,
+// and a graceful SIGINT shutdown that drains every admitted request.
+// The same inputs are also served through ClassifyBatch so the two
+// serving modes' throughput and (bit-identical) predictions can be
+// compared.
 //
 // The same model is then served across a 2x2 multi-chip tile
 // (WithSystem): predictions stay bit-identical — tiling changes
@@ -28,13 +33,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
 	"fmt"
+	"io"
 	"log"
 	netpkg "net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/neurogo/neurogo"
@@ -93,15 +105,42 @@ func main() {
 	}
 	batchDur := time.Since(start)
 
-	// 3. The async path. The Results stream plays the serving-side
+	// 3. The async path, now the full SLO-aware front-end: adaptive
+	// micro-batching (up to 16 requests per dispatch, 200µs window),
+	// priority admission with an SLO budget that sheds low-priority
+	// work under pressure, and the serving metrics published at a
+	// /debug/vars endpoint. The Results stream plays the serving-side
 	// monitor (subscribe before the first Submit); each client keeps its
 	// per-request channels, so completions correlate with inputs no
 	// matter how submissions interleave across clients.
 	asyncP := pipeline()
 	workers := runtime.NumCPU()
-	ap := asyncP.Async(
+	ap, err := asyncP.Async(
 		neurogo.WithAsyncWorkers(workers),
-		neurogo.WithQueueDepth(2*workers))
+		neurogo.WithQueueDepth(4*workers),
+		neurogo.WithMaxBatch(16),
+		neurogo.WithBatchWindow(200*time.Microsecond),
+		neurogo.WithSLOBudget(50*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tail-latency observability: expvar publishes the live metrics
+	// snapshot, net/http/pprof-style, on a loopback /debug/vars.
+	expvar.Publish("serving", expvar.Func(func() any { return ap.Metrics() }))
+	lis, err := netpkg.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: http.DefaultServeMux}
+	go httpSrv.Serve(lis)
+	defer httpSrv.Close()
+
+	// Graceful shutdown: SIGINT stops admission and drains the pool.
+	// The example raises the signal itself once every request is in
+	// flight; a real deployment gets it from the operator.
+	sigCtx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSignals()
 
 	results := ap.Results() // subscribe before the first Submit
 	monitored := make(chan int, 1)
@@ -119,11 +158,17 @@ func main() {
 	per := testN / clients
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
+			// Interactive traffic: alternate high/normal priority.
+			class := neurogo.PriorityNormal
+			if c%2 == 0 {
+				class = neurogo.PriorityHigh
+			}
 			chans := make([]<-chan neurogo.AsyncResult, hi-lo)
 			for i, img := range xte[lo:hi] {
-				chans[i] = ap.Submit(ctx, img) // blocks only when the queue is full
+				// Blocks only when the queue is full.
+				chans[i] = ap.SubmitPriority(ctx, class, img)
 			}
 			for i, ch := range chans {
 				r := <-ch
@@ -132,12 +177,38 @@ func main() {
 				}
 				asyncPreds[lo+i] = r.Class
 			}
-		}(c*per, (c+1)*per)
+		}(c, c*per, (c+1)*per)
 	}
 	wg.Wait()
+	asyncDur := time.Since(start)
+
+	// Best-effort background flood: low-priority submissions are shed
+	// with ErrShed — instead of queueing — once the queue fills or the
+	// estimated wait crosses the SLO budget. High/normal traffic above
+	// was never shed.
+	const flood = 256
+	shed, floodServed := 0, 0
+	floodChans := make([]<-chan neurogo.AsyncResult, 0, flood)
+	for i := 0; i < flood; i++ {
+		floodChans = append(floodChans, ap.SubmitPriority(ctx, neurogo.PriorityLow, xte[i%testN]))
+	}
+	for _, ch := range floodChans {
+		if r := <-ch; errors.Is(r.Err, neurogo.ErrShed) {
+			shed++
+		} else if r.Err == nil {
+			floodServed++
+		}
+	}
+
+	// Scrape the expvar endpoint while the pool is still live.
+	vars := scrapeServingVars(fmt.Sprintf("http://%s/debug/vars", lis.Addr()))
+
+	// Drain on SIGINT: every admitted request completes, none dropped.
+	syscall.Kill(os.Getpid(), syscall.SIGINT)
+	<-sigCtx.Done()
 	ap.Close() // graceful: drains in-flight work, then Results closes
 	served := <-monitored
-	asyncDur := time.Since(start)
+	met := ap.Metrics()
 
 	identical := true
 	for i := range batchPreds {
@@ -160,9 +231,20 @@ func main() {
 		mapping.Stats.UsedCores, testN, window)
 	fmt.Printf("batched ClassifyBatch: %6.1f img/s  (accuracy %.1f%%)\n",
 		float64(testN)/batchDur.Seconds(), score(batchPreds))
-	fmt.Printf("async AsyncPipeline:   %6.1f img/s  (accuracy %.1f%%, %d clients, %d workers, %d monitored)\n",
-		float64(testN)/asyncDur.Seconds(), score(asyncPreds), clients, workers, served)
+	fmt.Printf("async AsyncPipeline:   %6.1f img/s  (accuracy %.1f%%, %d clients, %d workers)\n",
+		float64(testN)/asyncDur.Seconds(), score(asyncPreds), clients, workers)
 	fmt.Printf("async == batched predictions: %v\n", identical)
+	fmt.Printf("micro-batching: %d dispatches, mean batch %.1f (max %d, window %v)\n",
+		met.Batches, met.MeanBatch, met.MaxBatch, met.BatchWindow)
+	fmt.Printf("latency: queue-wait p50 %v p99 %v, end-to-end p50 %v p99 %v\n",
+		met.QueueWait.P50.Round(time.Microsecond), met.QueueWait.P99.Round(time.Microsecond),
+		met.EndToEnd.P50.Round(time.Microsecond), met.EndToEnd.P99.Round(time.Microsecond))
+	fmt.Printf("low-priority flood: %d submitted, %d served, %d shed (ErrShed; high/normal never shed)\n",
+		flood, floodServed, shed)
+	fmt.Println(vars)
+	dropped := int(met.Submitted) - served
+	fmt.Printf("graceful shutdown: SIGINT received, pool drained — %d admitted, %d dropped\n",
+		served, dropped)
 
 	usage := neurogo.PipelineUsageOf(asyncP, true)
 	report := neurogo.DefaultEnergyCoefficients().Evaluate(usage)
@@ -288,6 +370,36 @@ func main() {
 	// 6. The multi-model front-end: the flat classifier and a routed
 	// conv stack behind one Registry.
 	serveRegistry(ctx, mapping, cls, xte, batchPreds)
+}
+
+// scrapeServingVars GETs the expvar endpoint and condenses the
+// published "serving" metrics into one report line — the same JSON a
+// dashboard would poll.
+func scrapeServingVars(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Sprintf("expvar scrape failed: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Sprintf("expvar scrape failed: %v", err)
+	}
+	var vars struct {
+		Serving struct {
+			Submitted uint64
+			Completed uint64
+			Shed      uint64
+			MeanBatch float64
+			EndToEnd  struct{ P99 time.Duration }
+		} `json:"serving"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		return fmt.Sprintf("expvar decode failed: %v", err)
+	}
+	s := vars.Serving
+	return fmt.Sprintf("expvar %s: submitted %d, completed %d, shed %d, mean batch %.1f, e2e p99 %v",
+		url, s.Submitted, s.Completed, s.Shed, s.MeanBatch, s.EndToEnd.P99.Round(time.Microsecond))
 }
 
 // serveRegistry runs the multi-model leg: two models of very different
@@ -439,12 +551,13 @@ func serveRegistry(ctx context.Context, flatMapping *neurogo.Mapping,
 	fmt.Printf("post-swap bit-identical to direct serving: %v\n", identical(postSwap, convRef))
 
 	st := r.Stats()
-	fmt.Printf("%-12s %5s %5s %5s %6s %5s %8s %12s\n",
-		"model", "reqs", "hits", "cold", "evict", "swaps", "sessions", "cold-start")
+	fmt.Printf("%-12s %5s %5s %5s %6s %5s %8s %12s %10s\n",
+		"model", "reqs", "hits", "cold", "evict", "swaps", "sessions", "cold-start", "p99")
 	for _, m := range st.Models {
-		fmt.Printf("%-12s %5d %5d %5d %6d %5d %8d %12s\n",
+		fmt.Printf("%-12s %5d %5d %5d %6d %5d %8d %12s %10s\n",
 			m.Name, m.Requests, m.Hits, m.ColdStarts, m.Evictions, m.Swaps,
-			m.LiveSessions, m.LastColdStart.Round(time.Microsecond))
+			m.LiveSessions, m.LastColdStart.Round(time.Microsecond),
+			m.Latency.P99.Round(time.Microsecond))
 	}
 	fmt.Printf("registry: %d registered, %d warm, %d live sessions, %d evictions\n",
 		st.Registered, st.Warm, st.LiveSessions, st.Evictions)

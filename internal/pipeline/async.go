@@ -3,32 +3,75 @@
 // the submit path — the software analogue of the chip's time-multiplexed,
 // event-driven serving discipline.
 //
-// Requests enter through a bounded queue (backpressure: Submit blocks
-// while the queue is full), workers pull them as they free up, and each
-// completion is delivered twice: once on the per-request channel Submit
-// returned, and once on the shared Results stream. Completions arrive
-// out of submission order; the Seq number stamped on every Result lets
-// callers re-order them. Because every presentation is self-contained
-// (see Session.Classify), the re-ordered results are bit-identical to
-// classifying the same inputs sequentially.
+// Requests enter through a bounded, priority-classed queue (backpressure:
+// Submit blocks while the queue is full; low-priority work is shed with
+// ErrShed instead of blocking), workers pull them as they free up, and
+// each completion is delivered twice: once on the per-request channel
+// Submit returned, and once on the shared Results stream. Completions
+// arrive out of submission order; the Seq number stamped on every Result
+// lets callers re-order them.
+//
+// With WithMaxBatch(n > 1) an adaptive micro-batcher sits between the
+// queue and the pool: a dispatcher coalesces queued requests into one
+// batch — dispatching early the moment the batch fills, at the
+// WithBatchWindow deadline otherwise (window zero: greedy, it takes
+// whatever is queued and never waits) — and fans the batch out to the
+// workers in contiguous chunks, amortising per-request handoffs the way
+// ClassifyBatch does. Because every presentation is self-contained (see
+// Session.Classify), any such scheduling is bit-identical to classifying
+// the same inputs sequentially.
 
 package pipeline
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is the error a Result carries for a submission made after
 // Close.
 var ErrClosed = errors.New("pipeline: async pipeline closed")
 
+// ErrShed is the error a Result carries when admission control refuses
+// low-priority work: the queue is full, or the estimated queue wait
+// exceeds the WithSLOBudget. Shed requests never consume a worker; test
+// with errors.Is(err, ErrShed) and retry later or degrade.
+var ErrShed = errors.New("pipeline: request shed")
+
+// Priority is the admission class of a submission. Higher classes are
+// dequeued first whenever a backlog exists; only PriorityLow is ever
+// shed by admission control — PriorityHigh and PriorityNormal keep the
+// blocking backpressure contract of Submit.
+type Priority int
+
+const (
+	PriorityHigh Priority = iota
+	PriorityNormal
+	PriorityLow
+	numPriorities // sentinel: number of classes
+)
+
+// String names the class for logs and metrics.
+func (c Priority) String() string {
+	switch c {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	case PriorityLow:
+		return "low"
+	}
+	return fmt.Sprintf("priority(%d)", int(c))
+}
+
 // Result is one asynchronous classification outcome. Exactly one
 // Result is delivered on every channel Submit returns, even when the
-// request was rejected (queue-full cancellation or a closed pipeline);
-// Err is non-nil and Class is -1 in those cases.
+// request was rejected (queue-full cancellation, shed, or a closed
+// pipeline); Err is non-nil and Class is -1 in those cases.
 type Result struct {
 	// Seq is the submission sequence number: the i-th Submit call is
 	// stamped i (from 0). Submissions from a single goroutine are
@@ -45,34 +88,85 @@ type Result struct {
 }
 
 type asyncConfig struct {
-	workers int
-	queue   int
+	workers   int
+	queue     int
+	maxBatch  int
+	window    time.Duration
+	sloBudget time.Duration
 }
 
-// AsyncOption configures an AsyncPipeline.
+// validate rejects malformed option values. Zero always means "use the
+// default"; negatives (and a batch window without batching) are caller
+// bugs reported at Async() time rather than silently clamped.
+func (c *asyncConfig) validate() error {
+	switch {
+	case c.workers < 0:
+		return fmt.Errorf("pipeline: WithAsyncWorkers(%d): worker count cannot be negative", c.workers)
+	case c.queue < 0:
+		return fmt.Errorf("pipeline: WithQueueDepth(%d): queue depth cannot be negative", c.queue)
+	case c.maxBatch < 0:
+		return fmt.Errorf("pipeline: WithMaxBatch(%d): batch size cannot be negative", c.maxBatch)
+	case c.window < 0:
+		return fmt.Errorf("pipeline: WithBatchWindow(%v): batch window cannot be negative", c.window)
+	case c.sloBudget < 0:
+		return fmt.Errorf("pipeline: WithSLOBudget(%v): SLO budget cannot be negative", c.sloBudget)
+	case c.window > 0 && c.maxBatch <= 1:
+		return fmt.Errorf("pipeline: WithBatchWindow(%v) requires WithMaxBatch(n) with n >= 2", c.window)
+	}
+	return nil
+}
+
+// AsyncOption configures an AsyncPipeline. Option values are validated
+// when Async builds the front-end: zero means "default", negative values
+// are an error.
 type AsyncOption func(*asyncConfig)
 
 // WithAsyncWorkers sets the number of pool sessions serving submissions
 // (default: the pipeline's WithWorkers value).
 func WithAsyncWorkers(n int) AsyncOption { return func(c *asyncConfig) { c.workers = n } }
 
-// WithQueueDepth bounds the submit queue (default 2x workers). A full
-// queue is the backpressure signal: Submit blocks until a worker frees
-// a slot or the submission context is cancelled.
+// WithQueueDepth bounds the submit queue (default 2x workers, or 2x
+// MaxBatch if that is larger). A full queue is the backpressure signal:
+// Submit blocks until a worker frees a slot or the submission context is
+// cancelled — except for PriorityLow, which is shed instead.
 func WithQueueDepth(n int) AsyncOption { return func(c *asyncConfig) { c.queue = n } }
+
+// WithMaxBatch caps the adaptive micro-batch (default 1: batching off).
+// With n >= 2 a dispatcher coalesces queued submissions into batches of
+// up to n and fans each batch out to the worker pool in contiguous
+// chunks; results are bit-identical to unbatched serving.
+func WithMaxBatch(n int) AsyncOption { return func(c *asyncConfig) { c.maxBatch = n } }
+
+// WithBatchWindow sets how long an open micro-batch may wait for more
+// requests before dispatching short (default 0: dispatch immediately
+// with whatever is queued — coalescing still happens under backlog, but
+// no request ever waits on an idle pool). The window runs from the
+// moment the batch opens; a batch that fills dispatches early. Requires
+// WithMaxBatch(n >= 2).
+func WithBatchWindow(d time.Duration) AsyncOption { return func(c *asyncConfig) { c.window = d } }
+
+// WithSLOBudget sets the tail-latency budget admission control defends
+// (default 0: disabled). When the estimated queue wait — queued requests
+// times the smoothed service time over the pool width — exceeds the
+// budget, new PriorityLow submissions are shed with ErrShed instead of
+// joining a queue they would only make later.
+func WithSLOBudget(d time.Duration) AsyncOption { return func(c *asyncConfig) { c.sloBudget = d } }
 
 // asyncRequest is one queued submission.
 type asyncRequest struct {
-	ctx    context.Context
-	seq    uint64
-	values []float64
-	done   chan<- Result // cap 1: the worker's send never blocks
+	ctx      context.Context
+	seq      uint64
+	values   []float64
+	done     chan<- Result // cap 1: the worker's send never blocks
+	accepted time.Time     // admission time, for queue-wait accounting
 }
 
 // AsyncPipeline is the non-blocking serving front-end of a Pipeline: a
-// worker pool of Sessions behind a bounded submit queue.
+// worker pool of Sessions behind a bounded, priority-classed submit
+// queue, with an optional adaptive micro-batcher between them.
 //
-//	ap := p.Async(pipeline.WithAsyncWorkers(8))
+//	ap, err := p.Async(pipeline.WithAsyncWorkers(8), pipeline.WithMaxBatch(64))
+//	if err != nil { ... }
 //	results := ap.Results() // subscribe before submitting
 //	go func() {
 //		for _, img := range images {
@@ -84,15 +178,31 @@ type asyncRequest struct {
 //		handle(r.Seq, r.Class, r.Err)
 //	}
 //
-// Submit and Close may be called from any goroutine.
+// Submit, SubmitPriority, Metrics and Close may be called from any
+// goroutine.
 type AsyncPipeline struct {
-	p        *Pipeline
-	requests chan asyncRequest
-	seq      atomic.Uint64
-	workers  sync.WaitGroup
+	p   *Pipeline
+	cfg asyncConfig
+
+	// queues hold admitted requests, one bounded channel per priority
+	// class; slots is the counting semaphore bounding total occupancy
+	// across the classes to cfg.queue (a token is acquired at admission
+	// and released at dequeue, so len(slots) is the queue-depth gauge
+	// and each class channel — sized cfg.queue — can never block an
+	// admitted send).
+	queues [numPriorities]chan asyncRequest
+	slots  chan struct{}
+	// work carries batch chunks from the dispatcher to the workers when
+	// micro-batching is on (cfg.maxBatch > 1); nil otherwise.
+	work chan []asyncRequest
+
+	seq     atomic.Uint64
+	workers sync.WaitGroup // worker pool + dispatcher, when batching
+
+	met asyncMetrics
 
 	// submitMu makes Submit vs Close safe: submitters hold the read
-	// lock across the enqueue, so Close cannot close(requests) under a
+	// lock across the enqueue, so Close cannot close the queues under a
 	// blocked send (workers keep draining, so pending submitters always
 	// finish and release it).
 	submitMu sync.RWMutex
@@ -110,21 +220,29 @@ type AsyncPipeline struct {
 	closeOnce   sync.Once
 }
 
-// Async builds the asynchronous serving front-end over the pipeline.
-// Worker sessions are registered with the pipeline, so their activity
-// is part of Pipeline.Usage like any other session's — including
-// boundary traffic when the pipeline runs WithSystem: each async
-// worker owns its own multi-chip tile, and Pipeline.Traffic aggregates
-// the pool's crossings race-free while workers serve.
+// Async builds the asynchronous serving front-end over the pipeline and
+// validates its options: zero values mean "default", negative values
+// (or a batch window without batching) return an error. Worker sessions
+// are registered with the pipeline, so their activity is part of
+// Pipeline.Usage like any other session's — including boundary traffic
+// when the pipeline runs WithSystem: each async worker owns its own
+// multi-chip tile, and Pipeline.Traffic aggregates the pool's crossings
+// race-free while workers serve.
 //
 // The front-end is registered with the pipeline: Pipeline.Close closes
 // it (draining queued and in-flight submissions) before releasing the
 // session pool. Async on an already-closed pipeline returns a
 // front-end that is born closed — every Submit reports ErrClosed.
-func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
-	cfg := asyncConfig{workers: p.cfg.workers}
+func (p *Pipeline) Async(opts ...AsyncOption) (*AsyncPipeline, error) {
+	var cfg asyncConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.workers == 0 {
+		cfg.workers = p.cfg.workers
 	}
 	if cfg.workers < 1 {
 		cfg.workers = 1
@@ -134,14 +252,24 @@ func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
 	if len(p.cfg.remoteAddrs) > 0 {
 		cfg.workers = 1
 	}
-	if cfg.queue < 1 {
+	if cfg.maxBatch == 0 {
+		cfg.maxBatch = 1
+	}
+	if cfg.queue == 0 {
 		cfg.queue = 2 * cfg.workers
+		if cfg.maxBatch > 1 && cfg.queue < 2*cfg.maxBatch {
+			cfg.queue = 2 * cfg.maxBatch
+		}
 	}
 	a := &AsyncPipeline{
 		p:           p,
-		requests:    make(chan asyncRequest, cfg.queue),
+		cfg:         cfg,
+		slots:       make(chan struct{}, cfg.queue),
 		notify:      make(chan struct{}, 1),
 		workersDone: make(chan struct{}),
+	}
+	for i := range a.queues {
+		a.queues[i] = make(chan asyncRequest, cfg.queue)
 	}
 	// Session creation, registration and the closed check share one
 	// critical section with Close's finalization, so a front-end either
@@ -151,42 +279,148 @@ func (p *Pipeline) Async(opts ...AsyncOption) *AsyncPipeline {
 	if p.finalized || p.closed.Load() {
 		p.mu.Unlock()
 		_ = a.Close() // born closed: zero workers, Submit reports ErrClosed
-		return a
+		return a, nil
+	}
+	batched := cfg.maxBatch > 1
+	if batched {
+		a.work = make(chan []asyncRequest, 2*cfg.workers)
+		a.workers.Add(1)
+		go a.dispatch()
 	}
 	for i := 0; i < cfg.workers; i++ {
 		s := p.newSessionLocked()
 		a.workers.Add(1)
-		go a.worker(s)
+		if batched {
+			go a.batchWorker(s)
+		} else {
+			go a.worker(s)
+		}
 	}
 	p.asyncs = append(p.asyncs, a)
 	p.mu.Unlock()
-	return a
+	return a, nil
 }
 
-// Submit enqueues one classification and returns its result channel,
-// which receives exactly one Result (it is buffered, so the caller may
-// drop it and collect from Results instead). Submit blocks while the
-// queue is full — the backpressure contract — until ctx is cancelled or
-// the pipeline is closed, in which case the Result carries the error.
+// Submit enqueues one PriorityNormal classification and returns its
+// result channel, which receives exactly one Result (it is buffered, so
+// the caller may drop it and collect from Results instead). Submit
+// blocks while the queue is full — the backpressure contract — until
+// ctx is cancelled or the pipeline is closed, in which case the Result
+// carries the error.
 func (a *AsyncPipeline) Submit(ctx context.Context, values []float64) <-chan Result {
+	return a.SubmitPriority(ctx, PriorityNormal, values)
+}
+
+// SubmitPriority enqueues one classification under an admission class.
+// PriorityHigh and PriorityNormal block at a full queue exactly like
+// Submit; PriorityLow never blocks — admission control sheds it with
+// ErrShed when the queue is full or (under WithSLOBudget) when the
+// estimated queue wait exceeds the budget. Within the queue, higher
+// classes are always dequeued first whenever a backlog exists.
+func (a *AsyncPipeline) SubmitPriority(ctx context.Context, class Priority, values []float64) <-chan Result {
 	done := make(chan Result, 1)
 	res := Result{Seq: a.seq.Add(1) - 1, Class: -1}
+	if class < PriorityHigh || class >= numPriorities {
+		a.met.rejected.Add(1)
+		res.Err = fmt.Errorf("pipeline: invalid priority class %d", int(class))
+		done <- res
+		return done
+	}
 	a.submitMu.RLock()
 	if a.closed {
 		a.submitMu.RUnlock()
+		a.met.rejected.Add(1)
 		res.Err = ErrClosed
 		done <- res
 		return done
 	}
-	select {
-	case a.requests <- asyncRequest{ctx: ctx, seq: res.Seq, values: values, done: done}:
-		a.submitMu.RUnlock()
-	case <-ctx.Done():
-		a.submitMu.RUnlock()
-		res.Err = ctx.Err()
-		done <- res
+	if class == PriorityLow {
+		if err := a.admitLow(); err != nil {
+			a.submitMu.RUnlock()
+			a.met.shed.Add(1)
+			res.Err = err
+			done <- res
+			return done
+		}
+	} else {
+		select {
+		case a.slots <- struct{}{}:
+		case <-ctx.Done():
+			a.submitMu.RUnlock()
+			a.met.rejected.Add(1)
+			res.Err = ctx.Err()
+			done <- res
+			return done
+		}
 	}
+	// Never blocks: the slot token bounds total occupancy to cfg.queue,
+	// and each class channel holds cfg.queue.
+	a.queues[class] <- asyncRequest{ctx: ctx, seq: res.Seq, values: values, done: done, accepted: time.Now()}
+	a.met.submitted.Add(1)
+	a.submitMu.RUnlock()
 	return done
+}
+
+// admitLow is the load-shedding admission check for PriorityLow: refuse
+// rather than block. The estimated-wait check runs first (no token
+// held), then a non-blocking slot acquire covers the queue-full case.
+func (a *AsyncPipeline) admitLow() error {
+	if b := a.cfg.sloBudget; b > 0 {
+		if wait := a.estimatedWait(); wait > b {
+			return fmt.Errorf("%w: estimated queue wait %v exceeds SLO budget %v", ErrShed, wait, b)
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+		return fmt.Errorf("%w: queue full (depth %d)", ErrShed, a.cfg.queue)
+	}
+}
+
+// estimatedWait predicts how long a request admitted now would sit in
+// the queue: the current backlog, spread over the pool, at the smoothed
+// per-request service time. Zero until the first service completes.
+func (a *AsyncPipeline) estimatedWait() time.Duration {
+	ewma := a.met.serviceEWMA.Load()
+	if ewma == 0 {
+		return 0
+	}
+	return time.Duration(uint64(len(a.slots)) * ewma / uint64(a.cfg.workers))
+}
+
+// Metrics returns a point-in-time snapshot of the front-end's serving
+// state: gauges, counters and latency histograms. It is safe to call
+// concurrently with serving and costs one pass over the histogram
+// buckets — cheap enough to poll from a scrape endpoint.
+func (a *AsyncPipeline) Metrics() Metrics {
+	m := Metrics{
+		Workers:         a.cfg.workers,
+		QueueCap:        a.cfg.queue,
+		MaxBatch:        a.cfg.maxBatch,
+		BatchWindow:     a.cfg.window,
+		SLOBudget:       a.cfg.sloBudget,
+		QueueDepth:      len(a.slots),
+		InFlight:        int(a.met.inFlight.Load()),
+		ServiceEWMA:     time.Duration(a.met.serviceEWMA.Load()),
+		Submitted:       a.met.submitted.Load(),
+		Completed:       a.met.completed.Load(),
+		Failed:          a.met.failed.Load(),
+		Rejected:        a.met.rejected.Load(),
+		Shed:            a.met.shed.Load(),
+		Batches:         a.met.batches.Load(),
+		BatchedRequests: a.met.batchedRequests.Load(),
+		FullBatches:     a.met.fullBatches.Load(),
+		DeadlineBatches: a.met.deadlineBatches.Load(),
+		DrainBatches:    a.met.drainBatches.Load(),
+		QueueWait:       a.met.queueWait.Snapshot(),
+		EndToEnd:        a.met.endToEnd.Snapshot(),
+	}
+	m.EstimatedWait = a.estimatedWait()
+	if m.Batches > 0 {
+		m.MeanBatch = float64(m.BatchedRequests) / float64(m.Batches)
+	}
+	return m
 }
 
 // Results returns the shared completion stream: every Result the worker
@@ -194,7 +428,8 @@ func (a *AsyncPipeline) Submit(ctx context.Context, values []float64) <-chan Res
 // before submitting — completions that precede the first Results call
 // are not replayed. The stream closes after Close once the final
 // completion has been delivered. Rejected submissions (closed pipeline,
-// cancelled enqueue) are reported only on their own Submit channel.
+// cancelled enqueue, shed) are reported only on their own Submit
+// channel.
 //
 // Subscribing obliges you to drain: keep receiving until the stream
 // closes (`for r := range results`). The forwarder parks on a stream
@@ -222,7 +457,9 @@ func (a *AsyncPipeline) Close() error {
 	a.closeOnce.Do(func() {
 		a.submitMu.Lock()
 		a.closed = true
-		close(a.requests)
+		for _, q := range a.queues {
+			close(q)
+		}
 		a.submitMu.Unlock()
 		a.workers.Wait()
 		close(a.workersDone)
@@ -230,20 +467,226 @@ func (a *AsyncPipeline) Close() error {
 	return nil
 }
 
-// worker serves submissions on its own session until the queue closes.
+// tryNext polls the class queues in strict priority order without
+// blocking. Closed queues are nilled out in the caller's local set; ok
+// is false when every queue is momentarily empty (or closed and
+// drained).
+func (a *AsyncPipeline) tryNext(qs *[numPriorities]chan asyncRequest) (asyncRequest, bool) {
+	for c := range qs {
+		if qs[c] == nil {
+			continue
+		}
+		select {
+		case req, ok := <-qs[c]:
+			if !ok {
+				qs[c] = nil
+				continue
+			}
+			<-a.slots
+			return req, true
+		default:
+		}
+	}
+	return asyncRequest{}, false
+}
+
+// next dequeues the highest-priority queued request, blocking while all
+// queues are empty. ok is false once every queue is closed and drained.
+// Selection among simultaneously-ready queues in the blocking select is
+// random, but the non-blocking priority pass re-asserts strict ordering
+// whenever a backlog exists.
+func (a *AsyncPipeline) next(qs *[numPriorities]chan asyncRequest) (asyncRequest, bool) {
+	for {
+		if req, ok := a.tryNext(qs); ok {
+			return req, true
+		}
+		if qs[PriorityHigh] == nil && qs[PriorityNormal] == nil && qs[PriorityLow] == nil {
+			return asyncRequest{}, false
+		}
+		select {
+		case req, ok := <-qs[PriorityHigh]:
+			if !ok {
+				qs[PriorityHigh] = nil
+				continue
+			}
+			<-a.slots
+			return req, true
+		case req, ok := <-qs[PriorityNormal]:
+			if !ok {
+				qs[PriorityNormal] = nil
+				continue
+			}
+			<-a.slots
+			return req, true
+		case req, ok := <-qs[PriorityLow]:
+			if !ok {
+				qs[PriorityLow] = nil
+				continue
+			}
+			<-a.slots
+			return req, true
+		}
+	}
+}
+
+// worker serves submissions on its own session until the queues close —
+// the unbatched scheduler (MaxBatch <= 1): every worker pulls straight
+// from the classed queues.
 func (a *AsyncPipeline) worker(s *Session) {
 	defer a.workers.Done()
-	for req := range a.requests {
-		res := Result{Seq: req.seq}
-		if err := req.ctx.Err(); err != nil {
-			// Cancelled while queued: report without running.
-			res.Class, res.Err = -1, err
-		} else {
-			res.Class, res.Err = s.Classify(req.ctx, req.values)
+	qs := a.queues
+	for {
+		req, ok := a.next(&qs)
+		if !ok {
+			return
 		}
-		req.done <- res
-		a.publish(res)
+		a.serve(s, req)
 	}
+}
+
+// dispatch is the adaptive micro-batcher (MaxBatch > 1): one goroutine
+// that opens a batch on the first dequeued request, fills it from the
+// classed queues, and fans it out to the pool. A batch closes the
+// moment it reaches MaxBatch (early dispatch), when the batch window
+// expires, or when the queue runs dry with a zero window.
+func (a *AsyncPipeline) dispatch() {
+	defer a.workers.Done()
+	defer close(a.work)
+	qs := a.queues
+	var timer *time.Timer
+	if a.cfg.window > 0 {
+		timer = time.NewTimer(time.Hour)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	}
+	for {
+		first, ok := a.next(&qs)
+		if !ok {
+			return
+		}
+		batch := make([]asyncRequest, 1, a.cfg.maxBatch)
+		batch[0] = first
+		batch, cause := a.fill(&qs, batch, timer)
+		a.met.recordBatch(len(batch), cause)
+		a.fanOut(batch)
+	}
+}
+
+// fill grows an open batch until it is full, the window expires, or the
+// queues run dry. With a zero window it is greedy: it coalesces
+// whatever is already queued and never waits — coalescing still happens
+// under backlog, but no request ever waits on an idle pool.
+func (a *AsyncPipeline) fill(qs *[numPriorities]chan asyncRequest, batch []asyncRequest, timer *time.Timer) ([]asyncRequest, dispatchCause) {
+	if a.cfg.window <= 0 {
+		for len(batch) < a.cfg.maxBatch {
+			req, ok := a.tryNext(qs)
+			if !ok {
+				return batch, causeDrain
+			}
+			batch = append(batch, req)
+		}
+		return batch, causeFull
+	}
+	// The window runs from batch open. Stop-and-drain before Reset keeps
+	// the pattern correct under both pre- and post-1.23 timer semantics.
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(a.cfg.window)
+	for len(batch) < a.cfg.maxBatch {
+		if req, ok := a.tryNext(qs); ok {
+			batch = append(batch, req)
+			continue
+		}
+		if qs[PriorityHigh] == nil && qs[PriorityNormal] == nil && qs[PriorityLow] == nil {
+			return batch, causeDrain
+		}
+		select {
+		case <-timer.C:
+			return batch, causeDeadline
+		case req, ok := <-qs[PriorityHigh]:
+			if !ok {
+				qs[PriorityHigh] = nil
+				continue
+			}
+			<-a.slots
+			batch = append(batch, req)
+		case req, ok := <-qs[PriorityNormal]:
+			if !ok {
+				qs[PriorityNormal] = nil
+				continue
+			}
+			<-a.slots
+			batch = append(batch, req)
+		case req, ok := <-qs[PriorityLow]:
+			if !ok {
+				qs[PriorityLow] = nil
+				continue
+			}
+			<-a.slots
+			batch = append(batch, req)
+		}
+	}
+	return batch, causeFull
+}
+
+// fanOut splits a batch into up to `workers` contiguous chunks and
+// hands them to the pool — the ClassifyBatch fan-out shape, without a
+// barrier: chunks land on the shared work channel and whichever workers
+// are free pick them up, so a slow chunk never stalls the rest of the
+// batch or the next one.
+func (a *AsyncPipeline) fanOut(batch []asyncRequest) {
+	n := len(batch)
+	chunks := a.cfg.workers
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	for lo := 0; lo < n; lo += size {
+		hi := min(lo+size, n)
+		a.work <- batch[lo:hi:hi]
+	}
+}
+
+// batchWorker serves dispatcher chunks on its own session until the
+// dispatcher retires and the work channel drains.
+func (a *AsyncPipeline) batchWorker(s *Session) {
+	defer a.workers.Done()
+	for chunk := range a.work {
+		for _, req := range chunk {
+			a.serve(s, req)
+		}
+	}
+}
+
+// serve runs one request on a session and delivers its Result, keeping
+// the latency accounting: queue wait ends here, service feeds the EWMA,
+// end-to-end covers admission to delivery.
+func (a *AsyncPipeline) serve(s *Session, req asyncRequest) {
+	start := time.Now()
+	a.met.queueWait.Observe(start.Sub(req.accepted))
+	a.met.inFlight.Add(1)
+	res := Result{Seq: req.seq}
+	if err := req.ctx.Err(); err != nil {
+		// Cancelled while queued: report without running.
+		res.Class, res.Err = -1, err
+	} else {
+		res.Class, res.Err = s.Classify(req.ctx, req.values)
+		a.met.observeService(time.Since(start))
+	}
+	a.met.inFlight.Add(-1)
+	a.met.completed.Add(1)
+	if res.Err != nil {
+		a.met.failed.Add(1)
+	}
+	a.met.endToEnd.Observe(time.Since(req.accepted))
+	req.done <- res
+	a.publish(res)
 }
 
 // publish appends a completion for the Results forwarder (a no-op until

@@ -8,6 +8,16 @@ import (
 	"github.com/neurogo/neurogo/internal/codec"
 )
 
+// mustAsync builds the async front-end or fails the test.
+func mustAsync(t *testing.T, p *Pipeline, opts ...AsyncOption) *AsyncPipeline {
+	t.Helper()
+	ap, err := p.Async(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ap
+}
+
 // TestAsyncMatchesSequential is the async equivalence criterion:
 // completions collected from the Results stream and re-ordered by
 // sequence number are bit-identical to classifying the same inputs
@@ -27,7 +37,7 @@ func TestAsyncMatchesSequential(t *testing.T) {
 	}
 
 	// Small queue so submission exercises the backpressure path.
-	ap := rg.pipeline(t).Async(WithAsyncWorkers(4), WithQueueDepth(2))
+	ap := mustAsync(t, rg.pipeline(t), WithAsyncWorkers(4), WithQueueDepth(2))
 	results := ap.Results()
 	for _, img := range rg.x {
 		ap.Submit(ctx, img)
@@ -60,7 +70,7 @@ func TestAsyncMatchesSequential(t *testing.T) {
 func TestAsyncPerRequestChannels(t *testing.T) {
 	rg := buildRig(t)
 	ctx := context.Background()
-	ap := rg.pipeline(t).Async(WithAsyncWorkers(3))
+	ap := mustAsync(t, rg.pipeline(t), WithAsyncWorkers(3))
 	defer ap.Close()
 
 	chans := make([]<-chan Result, len(rg.x))
@@ -83,7 +93,7 @@ func TestAsyncPerRequestChannels(t *testing.T) {
 func TestAsyncCloseDrains(t *testing.T) {
 	rg := buildRig(t)
 	ctx := context.Background()
-	ap := rg.pipeline(t).Async(WithAsyncWorkers(2), WithQueueDepth(len(rg.x)))
+	ap := mustAsync(t, rg.pipeline(t), WithAsyncWorkers(2), WithQueueDepth(len(rg.x)))
 	chans := make([]<-chan Result, len(rg.x))
 	for i, img := range rg.x {
 		chans[i] = ap.Submit(ctx, img)
@@ -141,7 +151,7 @@ func TestAsyncBackpressureCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap := p.Async(WithAsyncWorkers(1), WithQueueDepth(1))
+	ap := mustAsync(t, p, WithAsyncWorkers(1), WithQueueDepth(1))
 	ctx := context.Background()
 
 	first := ap.Submit(ctx, rg.x[0])
@@ -170,7 +180,7 @@ func TestAsyncBackpressureCancellation(t *testing.T) {
 func TestAsyncUsageAccounted(t *testing.T) {
 	rg := buildRig(t)
 	p := rg.pipeline(t)
-	ap := p.Async(WithAsyncWorkers(2))
+	ap := mustAsync(t, p, WithAsyncWorkers(2))
 	for _, img := range rg.x[:4] {
 		ap.Submit(context.Background(), img)
 	}

@@ -39,7 +39,7 @@ func TestCloseRejectsNewWork(t *testing.T) {
 		t.Error("Closed() = false after Close")
 	}
 	// A front-end built on a closed pipeline is born closed.
-	ap := p.Async()
+	ap := mustAsync(t, p)
 	if r := <-ap.Submit(ctx, rg.x[0]); !errors.Is(r.Err, ErrClosed) {
 		t.Errorf("Submit on closed-pipeline Async: err = %v, want ErrClosed", r.Err)
 	}
@@ -153,7 +153,7 @@ func TestCloseConcurrentWithBatch(t *testing.T) {
 func TestCloseDrainsAsync(t *testing.T) {
 	rg := buildRig(t)
 	p := rg.pipeline(t)
-	ap := p.Async(WithAsyncWorkers(2), WithQueueDepth(8))
+	ap := mustAsync(t, p, WithAsyncWorkers(2), WithQueueDepth(8))
 	ctx := context.Background()
 	const n = 8
 	chans := make([]<-chan Result, n)

@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBounds pins the histogram's core guarantees: every
+// value lands in a bucket whose upper bound is >= the value, the
+// mapping is monotone, and the relative overshoot stays within one
+// sub-bucket (~1/16 of the value).
+func TestHistBucketBounds(t *testing.T) {
+	vals := []uint64{0, 1, 15, 16, 17, 31, 32, 100, 999, 1_000, 65_535,
+		1_000_000, 123_456_789, 1e12, 1<<62 + 12345}
+	prev := -1
+	for _, v := range vals {
+		idx := histBucket(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		if idx < prev {
+			t.Fatalf("value %d: bucket %d below previous %d — mapping not monotone", v, idx, prev)
+		}
+		prev = idx
+		upper := uint64(histUpper(idx))
+		if upper < v {
+			t.Fatalf("value %d: bucket upper %d undershoots", v, upper)
+		}
+		// One linear sub-bucket per 2^histSubBits of the octave: the
+		// reported value overshoots by at most v/16 + 1.
+		if maxOver := v/histSubCount + 1; upper-v > maxOver {
+			t.Fatalf("value %d: bucket upper %d overshoots by %d (max %d)", v, upper, upper-v, maxOver)
+		}
+	}
+}
+
+// TestLatencyHistogramQuantiles checks the summary statistics against a
+// uniform ramp where the true quantiles are known.
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	st := h.Snapshot()
+	if st.Count != n {
+		t.Fatalf("Count = %d, want %d", st.Count, n)
+	}
+	if st.Max != n*time.Microsecond {
+		t.Fatalf("Max = %v, want %v", st.Max, n*time.Microsecond)
+	}
+	check := func(name string, got, want time.Duration) {
+		t.Helper()
+		// Log-linear buckets guarantee ~6% relative error; allow 10%.
+		if got < want || got > want+want/10 {
+			t.Errorf("%s = %v, want in [%v, %v]", name, got, want, want+want/10)
+		}
+	}
+	check("P50", st.P50, 500*time.Microsecond)
+	check("P95", st.P95, 950*time.Microsecond)
+	check("P99", st.P99, 990*time.Microsecond)
+	check("Mean", st.Mean, 500*time.Microsecond)
+}
+
+// TestLatencyHistogramZero: the zero value is usable and snapshots to
+// all-zero stats.
+func TestLatencyHistogramZero(t *testing.T) {
+	var h LatencyHistogram
+	st := h.Snapshot()
+	if st.Count != 0 || st.Mean != 0 || st.P50 != 0 || st.P95 != 0 || st.P99 != 0 || st.Max != 0 {
+		t.Fatalf("zero-value snapshot not zero: %+v", st)
+	}
+	h.Observe(-time.Second) // negative clamps to zero, still counted
+	if st := h.Snapshot(); st.Count != 1 || st.Max != 0 {
+		t.Fatalf("negative observation: %+v", st)
+	}
+}
+
+// TestLatencyHistogramConcurrent hammers Observe from many goroutines
+// (the -race payoff) and checks no sample is lost.
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := h.Snapshot()
+	if st.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", st.Count, goroutines*per)
+	}
+	if want := time.Duration(goroutines*per-1) * time.Nanosecond; st.Max != want {
+		t.Fatalf("Max = %v, want %v", st.Max, want)
+	}
+}
+
+// TestPriorityString covers the class labels used in logs and errors.
+func TestPriorityString(t *testing.T) {
+	for want, c := range map[string]Priority{
+		"high": PriorityHigh, "normal": PriorityNormal, "low": PriorityLow,
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Priority(9).String(); got != "priority(9)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}

@@ -194,7 +194,7 @@ func TestRemoteSingleLane(t *testing.T) {
 	}
 	// The async front-end must also collapse to the single lane and
 	// still produce the sequential results.
-	ap := p.Async(WithAsyncWorkers(4))
+	ap := mustAsync(t, p, WithAsyncWorkers(4))
 	chans := make([]<-chan Result, 6)
 	for i, img := range rg.x[:6] {
 		chans[i] = ap.Submit(ctx, img)

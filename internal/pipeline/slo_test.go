@@ -1,0 +1,456 @@
+package pipeline
+
+// SLO-layer tests: option validation, adaptive micro-batch
+// bit-identity, priority ordering, admission control (shed paths),
+// backpressure semantics and the metrics snapshot.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/neurogo/neurogo/internal/codec"
+)
+
+// stepEncoder blocks every Tick on a token from the test, so the test
+// controls exactly how many encode ticks (and with WithWindow(1), how
+// many presentations) may complete. Clone returns the shared instance
+// so pooled sessions share the token stream.
+type stepEncoder struct {
+	step    chan struct{}
+	started chan struct{}
+	once    *sync.Once
+}
+
+func newStepEncoder() *stepEncoder {
+	return &stepEncoder{
+		step:    make(chan struct{}),
+		started: make(chan struct{}),
+		once:    new(sync.Once),
+	}
+}
+
+func (e *stepEncoder) Tick(values []float64, emit codec.EmitFunc) {
+	e.once.Do(func() { close(e.started) })
+	<-e.step
+}
+func (e *stepEncoder) Reset()               {}
+func (e *stepEncoder) Clone() codec.Encoder { return e }
+
+// stepPipeline builds a one-tick-per-presentation pipeline around a
+// stepEncoder: each presentation consumes exactly one token.
+func stepPipeline(t *testing.T, rg *rig, enc *stepEncoder) *Pipeline {
+	t.Helper()
+	p, err := New(rg.mapping,
+		WithEncoder(enc),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAsyncOptionValidation: zero option values mean "default", negative
+// values (and a batch window without batching) fail Async() with a
+// descriptive error instead of being silently clamped.
+func TestAsyncOptionValidation(t *testing.T) {
+	rg := buildRig(t)
+	cases := []struct {
+		name    string
+		opts    []AsyncOption
+		wantErr string // empty: must succeed
+	}{
+		{"defaults", nil, ""},
+		{"zero-workers", []AsyncOption{WithAsyncWorkers(0)}, ""},
+		{"zero-queue", []AsyncOption{WithQueueDepth(0)}, ""},
+		{"zero-batch", []AsyncOption{WithMaxBatch(0)}, ""},
+		{"batched", []AsyncOption{WithMaxBatch(8), WithBatchWindow(time.Millisecond)}, ""},
+		{"budget", []AsyncOption{WithSLOBudget(time.Millisecond)}, ""},
+		{"negative-workers", []AsyncOption{WithAsyncWorkers(-1)}, "WithAsyncWorkers(-1)"},
+		{"negative-queue", []AsyncOption{WithQueueDepth(-4)}, "WithQueueDepth(-4)"},
+		{"negative-batch", []AsyncOption{WithMaxBatch(-2)}, "WithMaxBatch(-2)"},
+		{"negative-window", []AsyncOption{WithMaxBatch(4), WithBatchWindow(-time.Second)}, "WithBatchWindow"},
+		{"negative-budget", []AsyncOption{WithSLOBudget(-time.Second)}, "WithSLOBudget"},
+		{"window-without-batching", []AsyncOption{WithBatchWindow(time.Millisecond)}, "WithMaxBatch"},
+		{"window-batch-1", []AsyncOption{WithMaxBatch(1), WithBatchWindow(time.Millisecond)}, "WithMaxBatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := rg.pipeline(t)
+			defer p.Close()
+			ap, err := p.Async(tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Async() = %v, want success", err)
+				}
+				ap.Close()
+				return
+			}
+			if err == nil {
+				ap.Close()
+				t.Fatalf("Async() succeeded, want error containing %q", tc.wantErr)
+			}
+			if ap != nil {
+				t.Fatal("failed Async() returned a non-nil front-end")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Async() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestAdaptiveBatchBitIdentical is the batching acceptance criterion:
+// micro-batched dispatch — greedy and windowed, under mixed priority
+// classes — produces predictions byte-identical to sequential serving
+// on one session.
+func TestAdaptiveBatchBitIdentical(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+
+	s := rg.pipeline(t).NewSession()
+	want := make([]int, len(rg.x))
+	for i, img := range rg.x {
+		c, err := s.Classify(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+
+	variants := []struct {
+		name string
+		opts []AsyncOption
+	}{
+		{"greedy", []AsyncOption{WithAsyncWorkers(4), WithMaxBatch(8), WithQueueDepth(len(rg.x))}},
+		{"windowed", []AsyncOption{WithAsyncWorkers(4), WithMaxBatch(8), WithBatchWindow(200 * time.Microsecond), WithQueueDepth(len(rg.x))}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			ap := mustAsync(t, rg.pipeline(t), v.opts...)
+			chans := make([]<-chan Result, len(rg.x))
+			for i, img := range rg.x {
+				// Mixed classes: scheduling may reorder, results may not.
+				chans[i] = ap.SubmitPriority(ctx, Priority(i%int(numPriorities)), img)
+			}
+			ap.Close()
+			for i, ch := range chans {
+				r := <-ch
+				if r.Err != nil {
+					t.Fatalf("input %d: %v", i, r.Err)
+				}
+				if r.Class != want[i] {
+					t.Fatalf("input %d: batched %d, sequential %d", i, r.Class, want[i])
+				}
+			}
+			if m := ap.Metrics(); m.BatchedRequests != uint64(len(rg.x)) {
+				t.Fatalf("batcher carried %d requests, want %d", m.BatchedRequests, len(rg.x))
+			}
+		})
+	}
+}
+
+// TestPriorityOrdering wedges the single worker, queues one request of
+// each class, and checks completion order follows class rank, not
+// submission order.
+func TestPriorityOrdering(t *testing.T) {
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := mustAsync(t, p, WithAsyncWorkers(1), WithQueueDepth(8))
+	results := ap.Results()
+	ctx := context.Background()
+
+	ap.Submit(ctx, rg.x[0]) // seq 0 wedges the worker
+	<-gate.started
+	ap.SubmitPriority(ctx, PriorityLow, rg.x[1])    // seq 1
+	ap.SubmitPriority(ctx, PriorityNormal, rg.x[2]) // seq 2
+	ap.SubmitPriority(ctx, PriorityHigh, rg.x[3])   // seq 3
+
+	close(gate.release)
+	ap.Close()
+	var order []uint64
+	for r := range results {
+		if r.Err != nil {
+			t.Fatalf("seq %d: %v", r.Seq, r.Err)
+		}
+		order = append(order, r.Seq)
+	}
+	want := []uint64{0, 3, 2, 1} // wedged first, then high > normal > low
+	if len(order) != len(want) {
+		t.Fatalf("completion order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShedQueueFull pins queue-full shedding: with the worker wedged
+// and the queue at capacity, a PriorityLow submission comes back with
+// ErrShed immediately — no blocking, no worker consumed — while
+// already-accepted work is untouched.
+func TestShedQueueFull(t *testing.T) {
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := mustAsync(t, p, WithAsyncWorkers(1), WithQueueDepth(1))
+	ctx := context.Background()
+
+	first := ap.Submit(ctx, rg.x[0])
+	<-gate.started // worker wedged inside presentation 0
+	second := ap.Submit(ctx, rg.x[1])
+
+	var shedRes Result
+	select {
+	case shedRes = <-ap.SubmitPriority(ctx, PriorityLow, rg.x[2]):
+	case <-time.After(5 * time.Second):
+		t.Fatal("low-priority Submit blocked at full queue instead of shedding")
+	}
+	if !errors.Is(shedRes.Err, ErrShed) {
+		t.Fatalf("shed err = %v, want ErrShed", shedRes.Err)
+	}
+	if shedRes.Class != -1 {
+		t.Fatalf("shed result carries class %d, want -1", shedRes.Class)
+	}
+	m := ap.Metrics()
+	if m.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", m.Shed)
+	}
+	if m.Completed != 0 {
+		t.Fatalf("shed consumed a worker: %d completions before release", m.Completed)
+	}
+
+	close(gate.release)
+	ap.Close()
+	for i, ch := range []<-chan Result{first, second} {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("accepted submission %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+// TestShedEstimatedWait pins budget shedding: once the service-time
+// EWMA is seeded and a backlog exists, a PriorityLow submission is shed
+// because the estimated wait exceeds a tiny SLO budget — even though
+// the queue still has room.
+func TestShedEstimatedWait(t *testing.T) {
+	rg := buildRig(t)
+	enc := newStepEncoder()
+	p := stepPipeline(t, rg, enc)
+	ap := mustAsync(t, p,
+		WithAsyncWorkers(1), WithQueueDepth(4), WithSLOBudget(time.Nanosecond))
+	ctx := context.Background()
+
+	// Seed the EWMA: let exactly one presentation through.
+	first := ap.Submit(ctx, rg.x[0])
+	enc.step <- struct{}{}
+	if r := <-first; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if ap.Metrics().ServiceEWMA <= 0 {
+		t.Fatal("service EWMA not seeded after first completion")
+	}
+
+	// Wedge the worker on presentation 1 and park 2 behind it.
+	second := ap.Submit(ctx, rg.x[1])
+	third := ap.Submit(ctx, rg.x[2])
+	if m := ap.Metrics(); m.QueueDepth < 1 {
+		t.Fatalf("no backlog built: queue depth %d", m.QueueDepth)
+	}
+
+	r := <-ap.SubmitPriority(ctx, PriorityLow, rg.x[3])
+	if !errors.Is(r.Err, ErrShed) {
+		t.Fatalf("budget shed err = %v, want ErrShed", r.Err)
+	}
+	if !strings.Contains(r.Err.Error(), "SLO budget") {
+		t.Fatalf("budget shed err %q does not name the budget", r.Err)
+	}
+	if m := ap.Metrics(); m.Shed != 1 || m.EstimatedWait <= 0 {
+		t.Fatalf("metrics after budget shed: %+v", m)
+	}
+
+	close(enc.step) // release everything
+	ap.Close()
+	for i, ch := range []<-chan Result{second, third} {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("accepted submission %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+// TestSubmitBlocksAtFullQueue is the backpressure contract: a normal
+// Submit parks at a full queue and completes once workers drain it.
+func TestSubmitBlocksAtFullQueue(t *testing.T) {
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := mustAsync(t, p, WithAsyncWorkers(1), WithQueueDepth(1))
+	ctx := context.Background()
+
+	ap.Submit(ctx, rg.x[0])
+	<-gate.started          // worker wedged
+	ap.Submit(ctx, rg.x[1]) // fills the queue
+
+	unparked := make(chan (<-chan Result), 1)
+	go func() { unparked <- ap.Submit(ctx, rg.x[2]) }()
+	select {
+	case <-unparked:
+		t.Fatal("Submit returned at a full queue — backpressure lost")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate.release) // workers drain; the parked Submit must unblock
+	var third <-chan Result
+	select {
+	case third = <-unparked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit still parked after workers drained the queue")
+	}
+	ap.Close()
+	if r := <-third; r.Err != nil {
+		t.Fatalf("unparked submission failed: %v", r.Err)
+	}
+}
+
+// TestSubmitPriorityInvalidClass: an out-of-range class is rejected on
+// the spot with a descriptive error.
+func TestSubmitPriorityInvalidClass(t *testing.T) {
+	rg := buildRig(t)
+	ap := mustAsync(t, rg.pipeline(t), WithAsyncWorkers(1))
+	defer ap.Close()
+	r := <-ap.SubmitPriority(context.Background(), Priority(9), rg.x[0])
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "invalid priority class") {
+		t.Fatalf("invalid class err = %v", r.Err)
+	}
+	if m := ap.Metrics(); m.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", m.Rejected)
+	}
+}
+
+// TestBatchedCloseDrains: the graceful-close contract holds through the
+// micro-batcher — every accepted submission completes with a real
+// result, and post-Close submissions report ErrClosed.
+func TestBatchedCloseDrains(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	ap := mustAsync(t, rg.pipeline(t),
+		WithAsyncWorkers(2), WithMaxBatch(8), WithQueueDepth(len(rg.x)))
+	chans := make([]<-chan Result, len(rg.x))
+	for i, img := range rg.x {
+		chans[i] = ap.Submit(ctx, img)
+	}
+	ap.Close() // returns only after queued + in-flight work retired
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("input %d: %v", i, r.Err)
+			}
+		default:
+			t.Fatalf("input %d: no result after Close", i)
+		}
+	}
+	if r := <-ap.Submit(ctx, rg.x[0]); !errors.Is(r.Err, ErrClosed) {
+		t.Fatalf("post-Close Submit err = %v, want ErrClosed", r.Err)
+	}
+}
+
+// TestMetricsSnapshot drives the batched front-end end to end and
+// checks the snapshot: config echo, counters, batch causes and latency
+// histogram counts.
+func TestMetricsSnapshot(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+
+	t.Run("greedy-causes", func(t *testing.T) {
+		ap := mustAsync(t, rg.pipeline(t),
+			WithAsyncWorkers(2), WithMaxBatch(64), WithQueueDepth(64))
+		n := len(rg.x)
+		for _, img := range rg.x {
+			<-ap.Submit(ctx, img) // closed-loop: queue never fills
+		}
+		ap.Close()
+		m := ap.Metrics()
+		if m.Workers != 2 || m.QueueCap != 64 || m.MaxBatch != 64 {
+			t.Fatalf("config echo wrong: %+v", m)
+		}
+		if m.Submitted != uint64(n) || m.Completed != uint64(n) || m.Failed != 0 {
+			t.Fatalf("counters: %+v", m)
+		}
+		if m.BatchedRequests != uint64(n) || m.Batches == 0 || m.DrainBatches == 0 {
+			t.Fatalf("greedy batcher never dispatched on drain: %+v", m)
+		}
+		if m.QueueWait.Count != uint64(n) || m.EndToEnd.Count != uint64(n) {
+			t.Fatalf("histogram counts: queue-wait %d, e2e %d, want %d",
+				m.QueueWait.Count, m.EndToEnd.Count, n)
+		}
+		if m.EndToEnd.P99 <= 0 || m.EndToEnd.Max < m.EndToEnd.P50 {
+			t.Fatalf("end-to-end stats degenerate: %+v", m.EndToEnd)
+		}
+		if m.QueueDepth != 0 || m.InFlight != 0 {
+			t.Fatalf("gauges nonzero after Close: %+v", m)
+		}
+	})
+
+	t.Run("full-batches", func(t *testing.T) {
+		ap := mustAsync(t, rg.pipeline(t),
+			WithAsyncWorkers(2), WithMaxBatch(2), WithBatchWindow(500*time.Millisecond), WithQueueDepth(16))
+		chans := make([]<-chan Result, 4)
+		for i := 0; i < 4; i++ {
+			chans[i] = ap.Submit(ctx, rg.x[i])
+		}
+		for _, ch := range chans {
+			if r := <-ch; r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+		ap.Close()
+		m := ap.Metrics()
+		if m.FullBatches != 2 || m.BatchedRequests != 4 {
+			t.Fatalf("want 2 full batches of 2, got %+v", m)
+		}
+		if m.MeanBatch != 2 {
+			t.Fatalf("MeanBatch = %v, want 2", m.MeanBatch)
+		}
+	})
+
+	t.Run("deadline-batches", func(t *testing.T) {
+		ap := mustAsync(t, rg.pipeline(t),
+			WithAsyncWorkers(2), WithMaxBatch(64), WithBatchWindow(20*time.Millisecond), WithQueueDepth(64))
+		a, b := ap.Submit(ctx, rg.x[0]), ap.Submit(ctx, rg.x[1])
+		if r := <-a; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r := <-b; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		ap.Close()
+		if m := ap.Metrics(); m.DeadlineBatches == 0 {
+			t.Fatalf("no deadline dispatch despite short batches: %+v", m)
+		}
+	})
+}

@@ -90,6 +90,10 @@ type ModelStats struct {
 	// LastColdStart and TotalColdStart record cold-start latency (the
 	// load/compile plus pipeline construction the first request paid).
 	LastColdStart, TotalColdStart time.Duration
+	// Latency summarises warm serving-call latency over the model's
+	// lifetime (each Classify or ClassifyBatch call is one observation;
+	// cold-start time is excluded — it is accounted above).
+	Latency pipeline.LatencyStats
 }
 
 // Stats is a whole-registry snapshot.
@@ -128,6 +132,10 @@ type entry struct {
 	baseHW      energy.Usage
 	baseSW      energy.Usage
 	baseTraffic pipeline.BoundaryTraffic
+
+	// lat spans pool generations (atomic buckets: observed outside
+	// Registry.mu, snapshotted into ModelStats.Latency by Stats).
+	lat pipeline.LatencyHistogram
 }
 
 // pool is one warm generation of a model: a live pipeline plus the
@@ -401,6 +409,8 @@ func (r *Registry) Classify(ctx context.Context, name string, values []float64) 
 		return -1, err
 	}
 	defer r.release(e, po)
+	start := time.Now()
+	defer func() { e.lat.Observe(time.Since(start)) }()
 	return po.p.Classify(ctx, values)
 }
 
@@ -412,6 +422,8 @@ func (r *Registry) ClassifyBatch(ctx context.Context, name string, inputs [][]fl
 		return nil, err
 	}
 	defer r.release(e, po)
+	start := time.Now()
+	defer func() { e.lat.Observe(time.Since(start)) }()
 	return po.p.ClassifyBatch(ctx, inputs)
 }
 
@@ -608,6 +620,7 @@ func (r *Registry) Stats() Stats {
 	st := Stats{Registered: len(r.models)}
 	for _, e := range r.models {
 		ms := e.stats
+		ms.Latency = e.lat.Snapshot()
 		ms.Warm = e.pool != nil
 		if e.pool != nil {
 			ms.LiveSessions = e.pool.p.SessionCount()

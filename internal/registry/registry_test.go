@@ -571,3 +571,35 @@ func trafficMapping(t *testing.T) *compile.Mapping {
 	}
 	return mp
 }
+
+// TestRegistryLatencyStats: every serving call feeds the per-model
+// latency histogram, the snapshot surfaces through Stats, and the
+// record survives an eviction (lifetime accounting, like Usage).
+func TestRegistryLatencyStats(t *testing.T) {
+	rg := buildRig(t)
+	r := New(Config{})
+	defer r.Close()
+	if err := r.Register("digits", rg.mapping, rg.opts()...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.Classify(ctx, "digits", rg.x[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ClassifyBatch(ctx, "digits", rg.x[:4]); err != nil {
+		t.Fatal(err)
+	}
+	ms := r.Stats().Models[0]
+	if ms.Latency.Count != 2 {
+		t.Fatalf("latency observations = %d, want 2 (one per serving call)", ms.Latency.Count)
+	}
+	if ms.Latency.P50 <= 0 || ms.Latency.Max < ms.Latency.P50 || ms.Latency.Mean <= 0 {
+		t.Fatalf("degenerate latency stats: %+v", ms.Latency)
+	}
+	if err := r.Evict("digits"); err != nil {
+		t.Fatal(err)
+	}
+	if ms := r.Stats().Models[0]; ms.Latency.Count != 2 {
+		t.Fatalf("eviction dropped the latency record: %+v", ms.Latency)
+	}
+}

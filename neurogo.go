@@ -365,10 +365,14 @@ func TwinLines(linesFor func(int) (int32, int32)) LineMapper {
 // ---- Async serving ----
 
 // AsyncPipeline is the non-blocking serving front-end of a Pipeline: a
-// bounded submit queue in front of a worker pool of sessions, with
-// channel-based submit/collect. Build one with Pipeline.Async:
+// bounded, priority-classed submit queue in front of a worker pool of
+// sessions, with channel-based submit/collect, optional adaptive
+// micro-batching and SLO admission control. Build one with
+// Pipeline.Async (options are validated there — zero means default,
+// negatives are an error):
 //
-//	ap := p.Async(neurogo.WithAsyncWorkers(8), neurogo.WithQueueDepth(64))
+//	ap, err := p.Async(neurogo.WithAsyncWorkers(8), neurogo.WithMaxBatch(64))
+//	if err != nil { ... }
 //	results := ap.Results() // subscribe before submitting
 //	go func() {
 //		for _, img := range images {
@@ -381,7 +385,12 @@ func TwinLines(linesFor func(int) (int32, int32)) LineMapper {
 //	}
 //
 // Completions arrive out of submission order; re-order by AsyncResult.Seq.
-// Re-ordered results are bit-identical to sequential classification.
+// Re-ordered results are bit-identical to sequential classification —
+// batched or not. SubmitPriority classes requests high/normal/low
+// (low is shed with ErrShed instead of blocking when the queue is full
+// or the estimated wait exceeds WithSLOBudget), and Metrics snapshots
+// the serving state: queue/in-flight gauges, shed and batch counters,
+// p50/p95/p99 queue-wait and end-to-end latency.
 type AsyncPipeline = pipeline.AsyncPipeline
 
 // AsyncResult is one asynchronous classification outcome (sequence
@@ -391,17 +400,62 @@ type AsyncResult = pipeline.Result
 // AsyncOption configures Pipeline.Async.
 type AsyncOption = pipeline.AsyncOption
 
+// Priority is the admission class of an AsyncPipeline.SubmitPriority
+// call: higher classes dequeue first under backlog, and only
+// PriorityLow is ever shed by admission control.
+type Priority = pipeline.Priority
+
+// Admission classes for AsyncPipeline.SubmitPriority.
+const (
+	PriorityHigh   = pipeline.PriorityHigh
+	PriorityNormal = pipeline.PriorityNormal
+	PriorityLow    = pipeline.PriorityLow
+)
+
+// ServingMetrics is the AsyncPipeline.Metrics snapshot: configuration
+// echo, queue/in-flight gauges, submit/shed/batch counters and latency
+// summaries. It marshals cleanly to JSON for scrape endpoints.
+type ServingMetrics = pipeline.Metrics
+
+// LatencyStats is a histogram summary (count, mean, p50/p95/p99, max).
+type LatencyStats = pipeline.LatencyStats
+
+// LatencyHistogram is the lock-cheap log-linear histogram behind every
+// LatencyStats; the zero value is usable.
+type LatencyHistogram = pipeline.LatencyHistogram
+
 // ErrAsyncClosed is the error an AsyncResult carries for submissions
 // made after AsyncPipeline.Close.
 var ErrAsyncClosed = pipeline.ErrClosed
+
+// ErrShed is the error an AsyncResult carries when admission control
+// refuses low-priority work (full queue, or estimated wait above the
+// SLO budget). Test with errors.Is.
+var ErrShed = pipeline.ErrShed
 
 // WithAsyncWorkers sets the async worker-pool size (default: the
 // pipeline's WithWorkers value).
 func WithAsyncWorkers(n int) AsyncOption { return pipeline.WithAsyncWorkers(n) }
 
 // WithQueueDepth bounds the async submit queue — the backpressure
-// knob (default 2x workers).
+// knob (default 2x workers, or 2x MaxBatch if larger).
 func WithQueueDepth(n int) AsyncOption { return pipeline.WithQueueDepth(n) }
+
+// WithMaxBatch caps the adaptive micro-batch (default 1: batching off).
+// With n >= 2 a dispatcher coalesces queued submissions and fans each
+// batch out to the pool in contiguous chunks — bit-identical results,
+// amortised handoffs.
+func WithMaxBatch(n int) AsyncOption { return pipeline.WithMaxBatch(n) }
+
+// WithBatchWindow bounds how long an open micro-batch may wait for more
+// requests before dispatching short (default 0: greedy — coalesce only
+// what is already queued, never idle the pool). Requires WithMaxBatch.
+func WithBatchWindow(d time.Duration) AsyncOption { return pipeline.WithBatchWindow(d) }
+
+// WithSLOBudget sets the tail-latency budget admission control defends:
+// once the estimated queue wait exceeds it, PriorityLow submissions are
+// shed with ErrShed (default 0: disabled).
+func WithSLOBudget(d time.Duration) AsyncOption { return pipeline.WithSLOBudget(d) }
 
 // ErrPipelineClosed is the sentinel error every pipeline serving entry
 // point returns after Pipeline.Close (Close releases the session pool;

@@ -221,7 +221,10 @@ func TestSystemBackedEquivalence(t *testing.T) {
 			}
 
 			// Async over the tile, re-ordered by Seq.
-			ap := mk(append(eng, WithSystem(gw/2, gh/2))...).Async(WithAsyncWorkers(4))
+			ap, err := mk(append(eng, WithSystem(gw/2, gh/2))...).Async(WithAsyncWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
 			results := ap.Results()
 			for _, img := range rg.x {
 				ap.Submit(ctx, img)
@@ -300,7 +303,10 @@ func TestAsyncBitIdentical(t *testing.T) {
 		want[i] = c
 	}
 
-	ap := mk().Async(WithAsyncWorkers(8), WithQueueDepth(4))
+	ap, err := mk().Async(WithAsyncWorkers(8), WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	results := ap.Results()
 	for _, img := range rg.x {
 		ap.Submit(ctx, img)
