@@ -560,3 +560,176 @@ func BenchmarkSaturation(b *testing.B) {
 		})
 	}
 }
+
+// streamingPipeline builds a digit pipeline with a sliding-window
+// decoder over the cached throughput mapping — the rig the streaming
+// legs share.
+func streamingPipeline(window int) (*Pipeline, error) {
+	return NewPipeline(throughputRig.mapping,
+		WithEncoder(NewBernoulliEncoder(0.5, 99)),
+		WithDecoder(NewSlidingCounterDecoder(NumDigitClasses, window)),
+		WithLineMapper(TwinLines(throughputRig.cls.LinesFor)),
+		WithClassMapper(throughputRig.cls.ClassOf),
+		WithWindow(window),
+		WithDrain(10))
+}
+
+// BenchmarkStreamingThroughput is the streaming-serving headline
+// (EXPERIMENTS.md E7): continuous decisions over open-ended streams.
+// The kept-full legs sweep the sliding decision window over one
+// always-on stream — images presented back to back, chip state never
+// reset, gated decisions drained from the Decisions channel — and the
+// reset leg serves the same images present-reset-present (a fresh
+// stream per image, the bounded-presentation idiom), so the cost of
+// session turnover is the gap between them. The keyword leg runs the
+// pattern-detector spotting workload end to end and reports detection
+// latency in ticks from each embedding's ground-truth end.
+func BenchmarkStreamingThroughput(b *testing.B) {
+	if err := throughputSetup(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, w := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("kept-full/window-%d", w), func(b *testing.B) {
+			p, err := streamingPipeline(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			st := p.NewSession().Stream(ctx)
+			decCh := st.Decisions()
+			var decisions int64
+			done := make(chan struct{})
+			go func() {
+				for range decCh {
+					decisions++
+				}
+				close(done)
+			}()
+			inputs := throughputRig.x
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Present(inputs[i%len(inputs)], w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+			b.ReportMetric(float64(b.N*w)/b.Elapsed().Seconds(), "ticks/s")
+			b.ReportMetric(float64(decisions)/b.Elapsed().Seconds(), "dec/s")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+
+	// The bounded-presentation idiom on the same workload and decoder:
+	// a fresh stream per image (reset to power-on state), decisions
+	// consumed per presentation, and a full drain before the next image
+	// can start — the drain ticks and session turnover the kept-full
+	// stream never pays.
+	b.Run("reset/window-16", func(b *testing.B) {
+		const w, drain = 16, 10 // mirrors streamingPipeline's WithDrain
+		p, err := streamingPipeline(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		sess := p.NewSession()
+		inputs := throughputRig.x
+		var decisions int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := sess.Stream(ctx) // reset to power-on state per image
+			decCh := st.Decisions()
+			if _, err := st.Present(inputs[i%len(inputs)], w); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			for range decCh {
+				decisions++
+			}
+		}
+		b.ReportMetric(float64(b.N*(w+drain))/b.Elapsed().Seconds(), "ticks/s")
+		b.ReportMetric(float64(decisions)/b.Elapsed().Seconds(), "dec/s")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "img/s")
+	})
+
+	b.Run("keyword-latency", func(b *testing.B) {
+		pat := NewPattern(16, 10, 5, 99)
+		net := NewNetwork()
+		pd, err := BuildPatternDetector(net, pat, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mapping, err := Compile(net, CompileOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec := NewSlidingCounterDecoder(1, 2)
+		dec.MinCount = 1
+		p, err := NewPipeline(mapping,
+			WithDecoder(dec),
+			WithClassMapper(func(id NeuronID) int {
+				if id == pd.Out.First {
+					return 0
+				}
+				return -1
+			}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		motifs := NewMotifStream(pat, 0.02, 20, 60, 7)
+		st := p.NewSession().Stream(ctx)
+		decCh := st.Decisions()
+		var decTicks []int64
+		done := make(chan struct{})
+		go func() {
+			for d := range decCh {
+				decTicks = append(decTicks, d.Tick)
+			}
+			close(done)
+		}()
+		var ends []int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ { // one iteration = one stream tick
+			spikes, motifEnd := motifs.Tick()
+			for _, line := range spikes {
+				if err := st.Inject(pd.In.First + int32(line)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.Tick(); err != nil {
+				b.Fatal(err)
+			}
+			if motifEnd {
+				ends = append(ends, int64(i))
+			}
+		}
+		if _, err := st.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+		b.ReportMetric(float64(len(decTicks))/b.Elapsed().Seconds(), "dec/s")
+		// First gated decision at or after each embedding's end tick.
+		matched, latencySum := 0, int64(0)
+		di := 0
+		for _, end := range ends {
+			for di < len(decTicks) && decTicks[di] < end {
+				di++
+			}
+			if di < len(decTicks) && decTicks[di] <= end+int64(pat.Span) {
+				matched++
+				latencySum += decTicks[di] - end
+			}
+		}
+		if matched > 0 {
+			b.ReportMetric(float64(latencySum)/float64(matched), "latency-ticks")
+		}
+	})
+}

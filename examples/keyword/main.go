@@ -1,0 +1,145 @@
+// Keyword: always-on keyword spotting over an open-ended spike stream.
+// A pattern detector (per-line axonal delays aligning a spatio-temporal
+// template into one coincidence tick) listens to an endless MotifStream
+// — Poisson distractor traffic with the template embedded at random
+// gaps — through a pipeline Stream. A SlidingCounter windowed decoder
+// turns the detector's spikes into continuous gated decisions on the
+// Decisions channel, and each decision tick minus the embedding's
+// ground-truth end tick is the detection latency, measured in ticks.
+// This is the serving shape the architecture targets: the chip never
+// stops, input never ends, and decisions surface the moment evidence
+// clears the gate.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/neurogo/neurogo"
+)
+
+func main() {
+	const (
+		lines, span, events = 16, 10, 5
+		noiseRate           = 0.02 // distractor spikes per line per tick
+		minGap, maxGap      = 20, 60
+		ticks               = 4000
+		decWindow           = 2 // sliding decision window in ticks
+	)
+
+	// The template and its detector: fires only when all five events
+	// arrive with the right relative timing.
+	pat := neurogo.NewPattern(lines, span, events, 99)
+	net := neurogo.NewNetwork()
+	pd, err := neurogo.BuildPatternDetector(net, pat, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping, err := neurogo.Compile(net, neurogo.CompileOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One keyword class; the gate passes as soon as one detector spike
+	// is inside the window, and abstains the rest of the time.
+	dec := neurogo.NewSlidingCounterDecoder(1, decWindow)
+	dec.MinCount = 1
+	p, err := neurogo.NewPipeline(mapping,
+		neurogo.WithDecoder(dec),
+		neurogo.WithClassMapper(func(id neurogo.NeuronID) int {
+			if id == pd.Out.First {
+				return 0
+			}
+			return -1
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	fmt.Printf("keyword spotter: %d-line template, %d events over %d ticks, on %d cores\n",
+		lines, events, span, mapping.Stats.UsedCores)
+	fmt.Printf("stream: distractor rate %.2f/line/tick, embedding gaps in [%d, %d] ticks\n\n",
+		noiseRate, minGap, maxGap)
+
+	// The always-on loop: raw spikes in via Inject (bypassing the
+	// encoder), one chip tick per stream tick, decisions out on the
+	// channel as the observation frontier passes them.
+	motifs := neurogo.NewMotifStream(pat, noiseRate, minGap, maxGap, 7)
+	st := p.NewSession().Stream(context.Background())
+	decCh := st.Decisions() // subscribe before the first tick
+
+	var ends []int64 // ground truth: last tick of each embedding
+	start := time.Now()
+	for t := int64(0); t < ticks; t++ {
+		spikes, motifEnd := motifs.Tick()
+		for _, line := range spikes {
+			if err := st.Inject(pd.In.First + int32(line)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := st.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		if motifEnd {
+			ends = append(ends, t)
+		}
+	}
+	if _, err := st.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	dur := time.Since(start)
+
+	// Collapse the per-tick decisions into detections: a spike stays in
+	// the window for decWindow ticks, so consecutive decision ticks
+	// belong to one detection.
+	var detections []int64
+	decisions := 0
+	for d := range decCh {
+		decisions++
+		if len(detections) == 0 || d.Tick > detections[len(detections)-1]+decWindow {
+			detections = append(detections, d.Tick)
+		}
+	}
+
+	// Match detections to embeddings in tick order. A detection is a hit
+	// if it lands within span ticks of an embedding's end (the detector
+	// needs the full template plus the input delay before it can fire).
+	hits, falseAlarms := 0, 0
+	var latencySum, latencyMin, latencyMax int64
+	latencyMin = 1 << 62
+	di := 0
+	for _, end := range ends {
+		matched := false
+		for di < len(detections) && detections[di] <= end+span {
+			if lat := detections[di] - end; lat >= 0 && !matched {
+				matched = true
+				hits++
+				latencySum += lat
+				if lat < latencyMin {
+					latencyMin = lat
+				}
+				if lat > latencyMax {
+					latencyMax = lat
+				}
+			} else {
+				falseAlarms++
+			}
+			di++
+		}
+	}
+	falseAlarms += len(detections) - di
+
+	fmt.Printf("served %d ticks in %v (%.0f ticks/s), %d gated decisions\n",
+		ticks, dur.Round(time.Millisecond), float64(ticks)/dur.Seconds(), decisions)
+	fmt.Printf("embeddings %d, detected %d, missed %d, false alarms %d\n",
+		len(ends), hits, len(ends)-hits, falseAlarms)
+	if hits > 0 {
+		fmt.Printf("detection latency: mean %.1f ticks (min %d, max %d) after the embedding completes\n",
+			float64(latencySum)/float64(hits), latencyMin, latencyMax)
+	}
+	fmt.Printf("abstention: decoder stayed silent on %d of %d ticks (gate: >=1 spike in a %d-tick window)\n",
+		int64(ticks)-int64(decisions), int64(ticks), decWindow)
+}

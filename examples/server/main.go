@@ -45,7 +45,9 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -128,6 +130,16 @@ func main() {
 	// Tail-latency observability: expvar publishes the live metrics
 	// snapshot, net/http/pprof-style, on a loopback /debug/vars.
 	expvar.Publish("serving", expvar.Func(func() any { return ap.Metrics() }))
+	// The same snapshot in Prometheus text format on /metrics — serving
+	// counters, gauges and latency summaries, plus the registry's
+	// per-model block once the multi-model leg installs one.
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		ap.Metrics().WritePrometheus(w)
+		if r := promRegistry.Load(); r != nil {
+			r.Stats().WritePrometheus(w)
+		}
+	})
 	lis, err := netpkg.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -200,8 +212,11 @@ func main() {
 		}
 	}
 
-	// Scrape the expvar endpoint while the pool is still live.
+	// Scrape both endpoints while the pool is still live: the JSON
+	// expvar snapshot and its Prometheus twin.
 	vars := scrapeServingVars(fmt.Sprintf("http://%s/debug/vars", lis.Addr()))
+	metricsURL := fmt.Sprintf("http://%s/metrics", lis.Addr())
+	prom := scrapeMetrics(metricsURL, "neurogo_serving_")
 
 	// Drain on SIGINT: every admitted request completes, none dropped.
 	syscall.Kill(os.Getpid(), syscall.SIGINT)
@@ -242,6 +257,7 @@ func main() {
 	fmt.Printf("low-priority flood: %d submitted, %d served, %d shed (ErrShed; high/normal never shed)\n",
 		flood, floodServed, shed)
 	fmt.Println(vars)
+	fmt.Println(prom)
 	dropped := int(met.Submitted) - served
 	fmt.Printf("graceful shutdown: SIGINT received, pool drained — %d admitted, %d dropped\n",
 		served, dropped)
@@ -369,8 +385,12 @@ func main() {
 
 	// 6. The multi-model front-end: the flat classifier and a routed
 	// conv stack behind one Registry.
-	serveRegistry(ctx, mapping, cls, xte, batchPreds)
+	serveRegistry(ctx, mapping, cls, xte, batchPreds, metricsURL)
 }
+
+// promRegistry is the registry the /metrics handler appends per-model
+// families for, once the multi-model leg has created one.
+var promRegistry atomic.Pointer[neurogo.Registry]
 
 // scrapeServingVars GETs the expvar endpoint and condenses the
 // published "serving" metrics into one report line — the same JSON a
@@ -402,6 +422,37 @@ func scrapeServingVars(url string) string {
 		url, s.Submitted, s.Completed, s.Shed, s.MeanBatch, s.EndToEnd.P99.Round(time.Microsecond))
 }
 
+// scrapeMetrics GETs the Prometheus endpoint and condenses the
+// families matching prefix into one report line — the same text
+// format 0.0.4 payload a Prometheus server would poll.
+func scrapeMetrics(url, prefix string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Sprintf("prometheus scrape failed: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Sprintf("prometheus scrape failed: %v", err)
+	}
+	families, samples := 0, 0
+	headline := ""
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "+prefix):
+			families++
+		case strings.HasPrefix(line, "#") || line == "":
+		case strings.HasPrefix(line, prefix):
+			samples++
+			if headline == "" && strings.Contains(line, "_total") {
+				headline = line
+			}
+		}
+	}
+	return fmt.Sprintf("prometheus %s: %d %s* families, %d samples (e.g. %s)",
+		url, families, prefix, samples, headline)
+}
+
 // serveRegistry runs the multi-model leg: two models of very different
 // shapes — the flat digit classifier (no core-to-core edges) and a
 // conv→pool→read-out stack (relay-routed, deep) — registered in one
@@ -411,7 +462,7 @@ func scrapeServingVars(url string) string {
 // reference: flatPreds for the flat model (computed by the batched leg)
 // and a directly-constructed Pipeline for the conv model.
 func serveRegistry(ctx context.Context, flatMapping *neurogo.Mapping,
-	cls *neurogo.Classifier, xte [][]float64, flatPreds []int) {
+	cls *neurogo.Classifier, xte [][]float64, flatPreds []int, metricsURL string) {
 
 	// Build the second model: conv → OR-pool → feature read-out, the
 	// routed stack from examples/conv, trained on the matching
@@ -502,6 +553,7 @@ func serveRegistry(ctx context.Context, flatMapping *neurogo.Mapping,
 	// warm slot, so serving them alternately exercises the LRU path.
 	r := neurogo.NewRegistry(neurogo.RegistryConfig{MaxWarm: 1})
 	defer r.Close()
+	promRegistry.Store(r) // /metrics now appends the per-model block
 	if err := r.Register("digits-flat", flatMapping, flatOpts...); err != nil {
 		log.Fatal(err)
 	}
@@ -561,4 +613,5 @@ func serveRegistry(ctx context.Context, flatMapping *neurogo.Mapping,
 	}
 	fmt.Printf("registry: %d registered, %d warm, %d live sessions, %d evictions\n",
 		st.Registered, st.Warm, st.LiveSessions, st.Evictions)
+	fmt.Println(scrapeMetrics(metricsURL, "neurogo_model_"))
 }

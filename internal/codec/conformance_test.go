@@ -1,0 +1,99 @@
+package codec
+
+// Table-driven conformance suite for the Decoder contract, run against
+// every shipped decoder: observation bounds (out-of-range classes are
+// dropped, never a panic — the serving contract), Reset-to-pristine
+// (a reset decoder reproduces a fresh one bit-for-bit) and Clone
+// independence (clones start pristine and never share state).
+
+import "testing"
+
+// obs is one (class, tick) observation; trains are replayed through
+// ObserveAt in order, ticks non-decreasing like a runner's delivery.
+type obs struct {
+	class int
+	tick  int64
+}
+
+var conformanceTrain = []obs{
+	{0, 0}, {2, 0}, {2, 1}, {1, 3}, {2, 4}, {2, 4},
+	{0, 6}, {2, 7}, {1, 8}, {2, 10}, {2, 12}, {0, 13},
+}
+
+func feed(d Decoder, train []obs) {
+	for _, o := range train {
+		d.ObserveAt(o.class, o.tick)
+	}
+}
+
+func TestDecoderConformance(t *testing.T) {
+	const classes = 4
+	cases := []struct {
+		name string
+		mk   func() Decoder
+	}{
+		{"counter", func() Decoder { return NewCounter(classes) }},
+		{"sliding", func() Decoder { return NewSlidingCounter(classes, 16) }},
+		{"decay", func() Decoder { return NewDecayCounter(classes, 3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/pristine", func(t *testing.T) {
+			if got := tc.mk().Decide(); got != -1 {
+				t.Fatalf("fresh decoder decided %d, want -1", got)
+			}
+		})
+		t.Run(tc.name+"/observe-bounds", func(t *testing.T) {
+			d := tc.mk()
+			// Out-of-range classes must be dropped, not panic: a
+			// ClassMapper may emit indices beyond the decoder's range.
+			for _, bad := range []int{-1, classes, classes + 7} {
+				d.ObserveAt(bad, 0)
+			}
+			if got := d.Decide(); got != -1 {
+				t.Fatalf("out-of-range observations decided %d, want -1", got)
+			}
+			feed(d, conformanceTrain)
+			got := d.Decide()
+			if got < 0 || got >= classes {
+				t.Fatalf("decision %d outside [0,%d)", got, classes)
+			}
+			if got != 2 {
+				t.Fatalf("decision %d, want the majority class 2", got)
+			}
+		})
+		t.Run(tc.name+"/reset-pristine", func(t *testing.T) {
+			d := tc.mk()
+			feed(d, conformanceTrain)
+			first := d.Decide()
+			d.Reset()
+			if got := d.Decide(); got != -1 {
+				t.Fatalf("reset decoder decided %d, want -1", got)
+			}
+			feed(d, conformanceTrain)
+			if got := d.Decide(); got != first {
+				t.Fatalf("replay after Reset decided %d, first pass %d", got, first)
+			}
+		})
+		t.Run(tc.name+"/clone-independence", func(t *testing.T) {
+			d := tc.mk()
+			feed(d, conformanceTrain)
+			want := d.Decide()
+			c := d.Clone()
+			if got := c.Decide(); got != -1 {
+				t.Fatalf("clone of a fed decoder decided %d, want pristine -1", got)
+			}
+			feed(c, conformanceTrain)
+			if got := c.Decide(); got != want {
+				t.Fatalf("clone decided %d on the same train, original %d", got, want)
+			}
+			// Skew the clone hard toward another class; the original must
+			// not move.
+			for i := 0; i < 32; i++ {
+				c.ObserveAt(3, 14)
+			}
+			if got := d.Decide(); got != want {
+				t.Fatalf("original drifted to %d after clone-only observations, want %d", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package codec
+
+import (
+	"testing"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// TestSlidingCounterMatchesCounter is the codec half of the
+// TestStreamingBitIdentical acceptance criterion: for the same spike
+// train bounded to one presentation, a SlidingCounter whose window is
+// the presentation length decides exactly like Counter.
+func TestSlidingCounterMatchesCounter(t *testing.T) {
+	const classes, window = 6, 16
+	for seed := uint64(0); seed < 20; seed++ {
+		r := rng.NewSplitMix64(seed ^ 0x9e3779b9)
+		ctr := NewCounter(classes)
+		sl := NewSlidingCounter(classes, window)
+		for tick := int64(0); tick < window; tick++ {
+			for s := 0; s < r.Intn(4); s++ {
+				c := r.Intn(classes)
+				ctr.ObserveAt(c, tick)
+				sl.ObserveAt(c, tick)
+			}
+		}
+		if got, want := sl.Decide(), ctr.Decide(); got != want {
+			t.Fatalf("seed %d: sliding decided %d, counter %d", seed, got, want)
+		}
+		class, margin, _ := sl.DecideAt(window - 1)
+		if class != ctr.Argmax() || int(margin) != ctr.Margin() {
+			t.Fatalf("seed %d: DecideAt = (%d, %v), counter argmax/margin = (%d, %d)",
+				seed, class, margin, ctr.Argmax(), ctr.Margin())
+		}
+	}
+}
+
+// TestSlidingCounterEviction pins the exact-eviction contract: a spike
+// contributes for exactly Window ticks and not one more.
+func TestSlidingCounterEviction(t *testing.T) {
+	s := NewSlidingCounter(2, 4)
+	s.ObserveAt(0, 0)
+	if class, _, ok := s.DecideAt(3); !ok || class != 0 {
+		t.Fatalf("tick 3 (last covered): class %d ok %v, want 0 true", class, ok)
+	}
+	if _, _, ok := s.DecideAt(4); ok {
+		t.Fatalf("tick 4: the tick-0 spike must have been evicted")
+	}
+	if s.Total() != 0 {
+		t.Fatalf("window total %d after eviction, want 0", s.Total())
+	}
+	// A big head jump (more than a full window) clears everything.
+	s.ObserveAt(1, 10)
+	s.ObserveAt(1, 11)
+	if _, _, ok := s.DecideAt(100); ok || s.Total() != 0 {
+		t.Fatalf("jump past a full window left %d spikes", s.Total())
+	}
+}
+
+// TestSlidingCounterLateEvents: observation lag delivers events up to
+// two ticks behind the decision head; late events inside the window
+// count, late events beyond it are dropped.
+func TestSlidingCounterLateEvents(t *testing.T) {
+	s := NewSlidingCounter(2, 4)
+	s.ObserveAt(0, 5)
+	s.ObserveAt(1, 3) // late but within the window (covers ticks 2..5)
+	if got := s.Total(); got != 2 {
+		t.Fatalf("late in-window event dropped: total %d, want 2", got)
+	}
+	s.ObserveAt(1, 1) // older than the window: must be dropped
+	if got := s.Total(); got != 2 {
+		t.Fatalf("stale event counted: total %d, want 2", got)
+	}
+}
+
+// TestSlidingCounterGate: the confidence gate abstains on thin evidence
+// and thin margins, and reports the decision once both clear.
+func TestSlidingCounterGate(t *testing.T) {
+	s := NewSlidingCounter(3, 8)
+	s.MinCount, s.MinMargin = 3, 2
+	s.ObserveAt(1, 0)
+	if _, _, ok := s.DecideAt(0); ok {
+		t.Fatal("gate passed with 1 spike, MinCount 3")
+	}
+	s.ObserveAt(1, 1)
+	s.ObserveAt(2, 1)
+	// 3 spikes, but margin 1 (class 1: 2, class 2: 1).
+	if _, _, ok := s.DecideAt(1); ok {
+		t.Fatal("gate passed with margin 1, MinMargin 2")
+	}
+	s.ObserveAt(1, 2)
+	class, margin, ok := s.DecideAt(2)
+	if !ok || class != 1 || margin != 2 {
+		t.Fatalf("gate: (%d, %v, %v), want (1, 2, true)", class, margin, ok)
+	}
+	// Decide applies the same gate.
+	if got := s.Decide(); got != 1 {
+		t.Fatalf("Decide = %d, want 1", got)
+	}
+}
+
+// TestDecayCounterExactDecay pins the fixed-point decay law: the
+// accumulator after k idle ticks equals k applications of v -= v>>shift
+// exactly — the property bit-identity across engines rests on.
+func TestDecayCounterExactDecay(t *testing.T) {
+	d := NewDecayCounter(1, 3)
+	d.ObserveAt(0, 0)
+	want := uint64(decayOne)
+	for k := int64(1); k <= 40; k++ {
+		want -= want >> 3
+		d.advanceTo(k)
+		if d.acc[0] != want {
+			t.Fatalf("tick %d: acc %d, want %d", k, d.acc[0], want)
+		}
+	}
+	if lvl := d.Level(0); lvl <= 0 || lvl >= 1 {
+		t.Fatalf("decayed level %v out of (0,1)", lvl)
+	}
+}
+
+// TestDecayCounterLateObservation: a late-delivered spike enters
+// pre-decayed by its age, so delivery order (within lag) cannot change
+// the accumulator.
+func TestDecayCounterLateObservation(t *testing.T) {
+	inOrder := NewDecayCounter(2, 4)
+	inOrder.ObserveAt(0, 3)
+	inOrder.ObserveAt(1, 5)
+	inOrder.advanceTo(5)
+
+	late := NewDecayCounter(2, 4)
+	late.ObserveAt(1, 5) // head advances to 5
+	late.ObserveAt(0, 3) // delivered two ticks late
+	for c := 0; c < 2; c++ {
+		if inOrder.acc[c] != late.acc[c] {
+			t.Fatalf("class %d: in-order acc %d, late acc %d", c, inOrder.acc[c], late.acc[c])
+		}
+	}
+}
+
+// TestDecayCounterGate: level and margin gates in spike units.
+func TestDecayCounterGate(t *testing.T) {
+	d := NewDecayCounter(2, 3)
+	d.MinLevel, d.MinMargin = 2, 1.5
+	d.ObserveAt(0, 0)
+	if _, _, ok := d.DecideAt(0); ok {
+		t.Fatal("gate passed below MinLevel")
+	}
+	d.ObserveAt(0, 0)
+	d.ObserveAt(0, 0)
+	class, margin, ok := d.DecideAt(0)
+	if !ok || class != 0 || margin != 3 {
+		t.Fatalf("gate: (%d, %v, %v), want (0, 3, true)", class, margin, ok)
+	}
+	// Decay below the level floor re-arms the abstention.
+	if _, _, ok := d.DecideAt(10); ok {
+		t.Fatal("gate passed after decaying below MinLevel")
+	}
+}
+
+// TestWindowedTieBreak: ties break toward the lower class index,
+// matching Counter.Argmax.
+func TestWindowedTieBreak(t *testing.T) {
+	s := NewSlidingCounter(3, 8)
+	s.ObserveAt(2, 0)
+	s.ObserveAt(1, 1)
+	if class, _, _ := s.DecideAt(1); class != 1 {
+		t.Fatalf("sliding tie decided %d, want lower index 1", class)
+	}
+	d := NewDecayCounter(3, 3)
+	d.ObserveAt(2, 0)
+	d.ObserveAt(1, 0)
+	if class, _, _ := d.DecideAt(0); class != 1 {
+		t.Fatalf("decay tie decided %d, want lower index 1", class)
+	}
+}

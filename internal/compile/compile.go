@@ -129,6 +129,20 @@ func (m *Mapping) OutputLag(id model.NeuronID) uint8 {
 	return m.outputLag[id]
 }
 
+// MaxOutputLag returns the largest observation lag across all observed
+// outputs — the bound on how many ticks behind execution the delivered
+// logical event stream can run. Continuous (streaming) decoders use it
+// to know which ticks are complete (see sim.Runner.CompleteThrough).
+func (m *Mapping) MaxOutputLag() uint8 {
+	var max uint8
+	for _, lag := range m.outputLag {
+		if lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
 // Stats summarises what the compiler built.
 type Stats struct {
 	// NeuronGroups is the number of cores holding logical neurons.

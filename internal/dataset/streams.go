@@ -1,0 +1,161 @@
+// Open-ended temporal workloads for streaming serving: a keyword-
+// spotting spike stream (a fixed spatio-temporal motif embedded in
+// Poisson distractor traffic) and a synthetic sensor trace with
+// injected anomaly excursions. Both are seeded and fully
+// deterministic, and both report ground truth per tick so detection
+// latency can be measured in ticks.
+
+package dataset
+
+import (
+	"math"
+
+	"github.com/neurogo/neurogo/internal/rng"
+)
+
+// MotifStream is the keyword-spotting workload: an endless spike
+// stream of per-line Poisson distractor traffic with a fixed Pattern
+// embedded at seeded random gaps — the open-ended analogue of the
+// bounded pattern-detection demo. Tick reports motifEnd on the final
+// tick of each embedding; a detector's decision tick minus that tick
+// is its detection latency.
+type MotifStream struct {
+	Pattern *Pattern
+
+	noise          *Poisson
+	minGap, maxGap int
+	r              *rng.SplitMix64
+
+	tick  int64
+	start int64 // first tick of the current or next embedding
+}
+
+// NewMotifStream builds the stream: pat embedded into distractor
+// traffic of the pattern's line count at the given per-line per-tick
+// rate, with gaps (ticks between one embedding's end and the next's
+// start) drawn uniformly from [minGap, maxGap].
+func NewMotifStream(pat *Pattern, rate float64, minGap, maxGap int, seed uint64) *MotifStream {
+	if pat == nil || len(pat.Events) == 0 {
+		panic("dataset: motif stream needs a non-empty pattern")
+	}
+	if minGap < 1 || maxGap < minGap {
+		panic("dataset: motif gaps need 1 <= minGap <= maxGap")
+	}
+	m := &MotifStream{
+		Pattern: pat,
+		noise:   NewPoisson(pat.Lines, rate, seed^0xa5a5a5a5a5a5a5a5),
+		minGap:  minGap,
+		maxGap:  maxGap,
+		r:       rng.NewSplitMix64(seed),
+	}
+	m.start = int64(m.gap())
+	return m
+}
+
+func (m *MotifStream) gap() int {
+	return m.minGap + m.r.Intn(m.maxGap-m.minGap+1)
+}
+
+// Tick returns the lines that spike this tick (ascending, distinct) —
+// distractor traffic plus, inside an embedding, the motif's events —
+// and whether this tick completes an embedding.
+func (m *MotifStream) Tick() (lines []int, motifEnd bool) {
+	lines = m.noise.Tick()
+	off := m.tick - m.start
+	if off >= 0 && off < int64(m.Pattern.Span) {
+		for _, e := range m.Pattern.Events {
+			if int64(e.Tick) == off {
+				lines = insertLine(lines, e.Line)
+			}
+		}
+		if off == int64(m.Pattern.Span)-1 {
+			motifEnd = true
+			m.start = m.tick + 1 + int64(m.gap())
+		}
+	}
+	m.tick++
+	return lines, motifEnd
+}
+
+// insertLine inserts l into an ascending slice, keeping it distinct.
+func insertLine(lines []int, l int) []int {
+	i := 0
+	for i < len(lines) && lines[i] < l {
+		i++
+	}
+	if i < len(lines) && lines[i] == l {
+		return lines
+	}
+	lines = append(lines, 0)
+	copy(lines[i+1:], lines[i:])
+	lines[i] = l
+	return lines
+}
+
+// SensorStream is the anomaly-detection workload: one synthetic sensor
+// reading per tick — a slow sine baseline plus uniform noise, clamped
+// to [0, 1] — with anomaly excursions (the value pinned near the top
+// of the range for Burst consecutive ticks) injected at seeded random
+// gaps. Tick reports the ground truth alongside the value.
+type SensorStream struct {
+	Period int     // baseline sine period in ticks
+	Noise  float64 // uniform noise amplitude around the baseline
+	Burst  int     // anomaly excursion length in ticks
+
+	minGap, maxGap int
+	r              *rng.SplitMix64
+
+	tick  int64
+	start int64 // first tick of the current or next excursion
+}
+
+// NewSensorStream builds the trace. Gaps between excursions are drawn
+// uniformly from [minGap, maxGap] ticks.
+func NewSensorStream(period, burst, minGap, maxGap int, noise float64, seed uint64) *SensorStream {
+	if period < 2 || burst < 1 {
+		panic("dataset: sensor stream needs period >= 2 and burst >= 1")
+	}
+	if minGap < 1 || maxGap < minGap {
+		panic("dataset: sensor gaps need 1 <= minGap <= maxGap")
+	}
+	s := &SensorStream{
+		Period: period,
+		Noise:  noise,
+		Burst:  burst,
+		minGap: minGap,
+		maxGap: maxGap,
+		r:      rng.NewSplitMix64(seed),
+	}
+	s.start = int64(s.gap())
+	return s
+}
+
+func (s *SensorStream) gap() int {
+	return s.minGap + s.r.Intn(s.maxGap-s.minGap+1)
+}
+
+// Tick returns the next reading in [0, 1] and whether it belongs to an
+// anomaly excursion.
+func (s *SensorStream) Tick() (value float64, anomalous bool) {
+	off := s.tick - s.start
+	if off >= 0 && off < int64(s.Burst) {
+		// Excursion: pinned near the top of the range, jittered so a
+		// detector cannot key on one exact value.
+		value = 0.92 + s.Noise*(2*s.r.Float64()-1)
+		anomalous = true
+		if off == int64(s.Burst)-1 {
+			s.start = s.tick + 1 + int64(s.gap())
+		}
+	} else {
+		base := 0.45 + 0.2*math.Sin(2*math.Pi*float64(s.tick)/float64(s.Period))
+		value = base + s.Noise*(2*s.r.Float64()-1)
+	}
+	s.tick++
+	if value < 0 {
+		value = 0
+	}
+	if value > 1 {
+		value = 1
+	}
+	return value, anomalous
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import "testing"
+
+// TestMotifStreamEmbedding: every embedding replays the pattern's
+// events at the right offsets, embeddings end exactly at motifEnd, and
+// gaps stay inside [minGap, maxGap].
+func TestMotifStreamEmbedding(t *testing.T) {
+	pat := NewPattern(16, 10, 5, 42)
+	const minGap, maxGap = 5, 20
+	m := NewMotifStream(pat, 0, minGap, maxGap, 7) // rate 0: motif only
+
+	var ends []int64
+	history := make([][]int, 0, 600)
+	for tick := int64(0); tick < 600; tick++ {
+		lines, end := m.Tick()
+		history = append(history, lines)
+		if end {
+			ends = append(ends, tick)
+		}
+	}
+	if len(ends) < 10 {
+		t.Fatalf("only %d embeddings in 600 ticks with gaps <= %d", len(ends), maxGap)
+	}
+	for _, end := range ends {
+		// The embedding spans [start, start+Span); motifEnd fires on its
+		// last tick. Check every pattern event appeared at its offset.
+		start := end - int64(pat.Span) + 1
+		for _, e := range pat.Events {
+			lines := history[start+int64(e.Tick)]
+			found := false
+			for _, l := range lines {
+				if l == e.Line {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("embedding ending at %d: event %+v missing", end, e)
+			}
+		}
+	}
+	for i := 1; i < len(ends); i++ {
+		gap := ends[i] - int64(pat.Span) + 1 - (ends[i-1] + 1)
+		if gap < minGap || gap > maxGap {
+			t.Fatalf("gap %d between embeddings, want in [%d, %d]", gap, minGap, maxGap)
+		}
+	}
+}
+
+// TestMotifStreamDeterministic: same seed, same stream; noise lines
+// stay ascending and distinct.
+func TestMotifStreamDeterministic(t *testing.T) {
+	pat := NewPattern(12, 8, 4, 3)
+	a := NewMotifStream(pat, 0.1, 3, 9, 11)
+	b := NewMotifStream(pat, 0.1, 3, 9, 11)
+	for tick := 0; tick < 400; tick++ {
+		la, ea := a.Tick()
+		lb, eb := b.Tick()
+		if ea != eb || len(la) != len(lb) {
+			t.Fatalf("tick %d: streams diverged", tick)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("tick %d: lines %v vs %v", tick, la, lb)
+			}
+			if i > 0 && la[i] <= la[i-1] {
+				t.Fatalf("tick %d: lines %v not ascending distinct", tick, la)
+			}
+		}
+	}
+}
+
+// TestSensorStream: values stay in [0, 1], ground truth matches the
+// burst structure, and anomalous readings sit above the baseline band.
+func TestSensorStream(t *testing.T) {
+	const burst, minGap, maxGap = 4, 20, 60
+	s := NewSensorStream(32, burst, minGap, maxGap, 0.03, 5)
+	var anomalies, runLen int
+	for tick := 0; tick < 2000; tick++ {
+		v, bad := s.Tick()
+		if v < 0 || v > 1 {
+			t.Fatalf("tick %d: value %v out of [0,1]", tick, v)
+		}
+		if bad {
+			anomalies++
+			runLen++
+			if v < 0.8 {
+				t.Fatalf("tick %d: anomalous reading %v below excursion band", tick, v)
+			}
+		} else {
+			if runLen != 0 && runLen != burst {
+				t.Fatalf("tick %d: anomaly run of %d ticks, want %d", tick, runLen, burst)
+			}
+			runLen = 0
+			if v > 0.8 {
+				t.Fatalf("tick %d: normal reading %v inside excursion band", tick, v)
+			}
+		}
+	}
+	if anomalies == 0 {
+		t.Fatal("no anomalies in 2000 ticks")
+	}
+	// Same seed reproduces the trace exactly.
+	a := NewSensorStream(32, burst, minGap, maxGap, 0.03, 9)
+	b := NewSensorStream(32, burst, minGap, maxGap, 0.03, 9)
+	for tick := 0; tick < 500; tick++ {
+		va, ba := a.Tick()
+		vb, bb := b.Tick()
+		if va != vb || ba != bb {
+			t.Fatalf("tick %d: traces diverged", tick)
+		}
+	}
+}

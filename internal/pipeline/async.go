@@ -42,6 +42,14 @@ var ErrClosed = errors.New("pipeline: async pipeline closed")
 // with errors.Is(err, ErrShed) and retry later or degrade.
 var ErrShed = errors.New("pipeline: request shed")
 
+// ErrDeadline is the error a Result carries when a request's SLO budget
+// (WithSLOBudget) lapsed while it sat in the queue: the worker checks
+// the queue wait at dequeue and fails the request without running it —
+// serving a presentation whose answer is already too late only delays
+// the requests behind it. Expired requests count in Metrics.Expired;
+// test with errors.Is(err, ErrDeadline).
+var ErrDeadline = errors.New("pipeline: request deadline lapsed in queue")
+
 // Priority is the admission class of a submission. Higher classes are
 // dequeued first whenever a backlog exists; only PriorityLow is ever
 // shed by admission control — PriorityHigh and PriorityNormal keep the
@@ -408,14 +416,21 @@ func (a *AsyncPipeline) Metrics() Metrics {
 		Failed:          a.met.failed.Load(),
 		Rejected:        a.met.rejected.Load(),
 		Shed:            a.met.shed.Load(),
+		Expired:         a.met.expired.Load(),
 		Batches:         a.met.batches.Load(),
 		BatchedRequests: a.met.batchedRequests.Load(),
 		FullBatches:     a.met.fullBatches.Load(),
 		DeadlineBatches: a.met.deadlineBatches.Load(),
 		DrainBatches:    a.met.drainBatches.Load(),
+		StreamsOpened:   a.met.streamsOpened.Load(),
+		StreamsClosed:   a.met.streamsClosed.Load(),
+		StreamFrames:    a.met.streamFrames.Load(),
+		StreamDecisions: a.met.streamDecisions.Load(),
 		QueueWait:       a.met.queueWait.Snapshot(),
 		EndToEnd:        a.met.endToEnd.Snapshot(),
+		StreamLatency:   a.met.streamLatency.Snapshot(),
 	}
+	m.StreamsOpen = int(m.StreamsOpened - m.StreamsClosed)
 	m.EstimatedWait = a.estimatedWait()
 	if m.Batches > 0 {
 		m.MeanBatch = float64(m.BatchedRequests) / float64(m.Batches)
@@ -675,6 +690,13 @@ func (a *AsyncPipeline) serve(s *Session, req asyncRequest) {
 	if err := req.ctx.Err(); err != nil {
 		// Cancelled while queued: report without running.
 		res.Class, res.Err = -1, err
+	} else if wait := start.Sub(req.accepted); a.cfg.sloBudget > 0 && wait > a.cfg.sloBudget {
+		// Deadline-aware scheduling: the SLO budget lapsed in the queue,
+		// so the answer is already late — fail fast instead of burning a
+		// worker on it. Skips the service EWMA (nothing was served).
+		a.met.expired.Add(1)
+		res.Class = -1
+		res.Err = fmt.Errorf("%w: queued %v exceeds SLO budget %v", ErrDeadline, wait, a.cfg.sloBudget)
 	} else {
 		res.Class, res.Err = s.Classify(req.ctx, req.values)
 		a.met.observeService(time.Since(start))
@@ -730,4 +752,133 @@ func (a *AsyncPipeline) forward() {
 			return
 		}
 	}
+}
+
+// AsyncStream is an open-ended stream served under the async
+// front-end: a Stream on its own dedicated session whose operations
+// are metered into the front-end's ServingMetrics — stream gauges and
+// counters, the per-operation StreamLatency histogram, and the
+// continuous decisions counted as they are delivered. A stream owns
+// its session, so a long-lived stream never occupies a worker and
+// coexists with Submit traffic; like Stream, a single AsyncStream is
+// owned by one goroutine at a time.
+type AsyncStream struct {
+	a  *AsyncPipeline
+	st *Stream
+
+	decOnce sync.Once
+	decCh   chan Decision
+	drained atomic.Bool
+}
+
+// OpenStream opens a metered stream on a fresh session of the
+// underlying pipeline. The stream ends when Drain is called or ctx is
+// cancelled. Closing the front-end does not interrupt an open stream
+// mid-operation, but every operation after Close reports ErrClosed.
+func (a *AsyncPipeline) OpenStream(ctx context.Context) (*AsyncStream, error) {
+	a.submitMu.RLock()
+	defer a.submitMu.RUnlock()
+	if a.closed {
+		return nil, ErrClosed
+	}
+	s := a.p.NewSession()
+	if s == nil {
+		return nil, ErrPipelineClosed
+	}
+	a.met.streamsOpened.Add(1)
+	return &AsyncStream{a: a, st: s.Stream(ctx)}, nil
+}
+
+// isClosed reports whether the front-end has been closed.
+func (a *AsyncPipeline) isClosed() bool {
+	a.submitMu.RLock()
+	defer a.submitMu.RUnlock()
+	return a.closed
+}
+
+// observeOp meters one stream operation: ticks frames advanced, one
+// latency sample.
+func (as *AsyncStream) observeOp(start time.Time, ticks int) {
+	as.a.met.streamFrames.Add(uint64(ticks))
+	as.a.met.streamLatency.Observe(time.Since(start))
+}
+
+// Now returns the next tick the stream will execute.
+func (as *AsyncStream) Now() int64 { return as.st.Now() }
+
+// Decide returns the decoder's current decision (see Stream.Decide).
+func (as *AsyncStream) Decide() int { return as.st.Decide() }
+
+// Inject emits a raw spike on a physical input line at the current
+// tick. Like Stream.Inject it is the per-line hot path, so it is not
+// individually metered; the tick that delivers it is.
+func (as *AsyncStream) Inject(line int32) error {
+	if as.a.isClosed() {
+		return ErrClosed
+	}
+	return as.st.Inject(line)
+}
+
+// Tick advances one tick without new input.
+func (as *AsyncStream) Tick() ([]Label, error) {
+	if as.a.isClosed() {
+		return nil, ErrClosed
+	}
+	defer as.observeOp(time.Now(), 1)
+	return as.st.Tick()
+}
+
+// Push encodes one value frame and advances one tick.
+func (as *AsyncStream) Push(values []float64) ([]Label, error) {
+	if as.a.isClosed() {
+		return nil, ErrClosed
+	}
+	defer as.observeOp(time.Now(), 1)
+	return as.st.Push(values)
+}
+
+// Present restarts the encoder and pushes the same frame for ticks
+// consecutive ticks (see Stream.Present).
+func (as *AsyncStream) Present(values []float64, ticks int) ([]Label, error) {
+	if as.a.isClosed() {
+		return nil, ErrClosed
+	}
+	defer as.observeOp(time.Now(), ticks)
+	return as.st.Present(values, ticks)
+}
+
+// Decisions returns the stream's continuous-decision channel (see
+// Stream.Decisions), with each delivered decision counted in
+// Metrics.StreamDecisions. Subscribe before feeding.
+func (as *AsyncStream) Decisions() <-chan Decision {
+	as.decOnce.Do(func() {
+		inner := as.st.Decisions()
+		ch := make(chan Decision, 16)
+		as.decCh = ch
+		go func() {
+			defer close(ch)
+			for d := range inner {
+				as.a.met.streamDecisions.Add(1)
+				ch <- d
+			}
+		}()
+	})
+	return as.decCh
+}
+
+// Drain flushes lagged events, emits the final decisions, and closes
+// the stream (see Stream.Drain).
+func (as *AsyncStream) Drain() ([]Label, error) {
+	if as.a.isClosed() {
+		// Still end the stream so a subscribed Decisions channel closes.
+		as.st.finish()
+		return nil, ErrClosed
+	}
+	start := time.Now()
+	labels, err := as.st.Drain()
+	as.a.met.streamLatency.Observe(time.Since(start))
+	if as.drained.CompareAndSwap(false, true) {
+		as.a.met.streamsClosed.Add(1)
+	}
+	return labels, err
 }

@@ -139,7 +139,14 @@ type asyncMetrics struct {
 	failed    atomic.Uint64 // completions carrying a non-nil error
 	rejected  atomic.Uint64 // refused at Submit: closed front-end or caller ctx done
 	shed      atomic.Uint64 // low-priority work refused by admission control
+	expired   atomic.Uint64 // failed with ErrDeadline: SLO budget lapsed in queue
 	inFlight  atomic.Int64  // requests currently on a worker
+
+	// Streaming front-end (OpenStream) counters.
+	streamsOpened   atomic.Uint64 // streams opened
+	streamsClosed   atomic.Uint64 // streams ended by Drain
+	streamFrames    atomic.Uint64 // ticks advanced across all streams
+	streamDecisions atomic.Uint64 // continuous decisions delivered
 
 	batches         atomic.Uint64 // dispatches by the micro-batcher
 	batchedRequests atomic.Uint64 // requests carried by those dispatches
@@ -152,8 +159,9 @@ type asyncMetrics struct {
 	// the estimated-wait admission check.
 	serviceEWMA atomic.Uint64
 
-	queueWait LatencyHistogram // submit-accept -> serve-start
-	endToEnd  LatencyHistogram // submit-accept -> result delivered
+	queueWait     LatencyHistogram // submit-accept -> serve-start
+	endToEnd      LatencyHistogram // submit-accept -> result delivered
+	streamLatency LatencyHistogram // one stream operation (Tick/Push/Present/Drain)
 }
 
 // observeService folds one measured service time into the EWMA.
@@ -217,6 +225,7 @@ type Metrics struct {
 	Failed    uint64
 	Rejected  uint64
 	Shed      uint64
+	Expired   uint64 // failed with ErrDeadline at dequeue: budget lapsed while queued
 
 	// Micro-batcher counters (zero when MaxBatch <= 1).
 	Batches         uint64
@@ -226,7 +235,15 @@ type Metrics struct {
 	DrainBatches    uint64
 	MeanBatch       float64
 
+	// Streaming front-end (OpenStream).
+	StreamsOpen     int    // streams opened and not yet drained
+	StreamsOpened   uint64 // streams opened
+	StreamsClosed   uint64 // streams ended by Drain
+	StreamFrames    uint64 // ticks advanced across all streams
+	StreamDecisions uint64 // continuous decisions delivered
+
 	// Latency summaries.
-	QueueWait LatencyStats
-	EndToEnd  LatencyStats
+	QueueWait     LatencyStats
+	EndToEnd      LatencyStats
+	StreamLatency LatencyStats // one stream operation (Tick/Push/Present/Drain)
 }

@@ -913,14 +913,48 @@ type Label struct {
 	Tick   int64
 }
 
+// Decision is one continuous-decision emission of a stream: at Tick
+// the windowed decoder's confidence gate passed, with Class leading by
+// Margin (in spike units — see codec.StreamDecoder). Decisions are a
+// pure function of the spike train and the decoder configuration, so
+// a streamed workload emits bit-identical decisions on every engine
+// and backend.
+type Decision struct {
+	Tick   int64
+	Class  int
+	Margin float64
+}
+
 // Stream is the incremental mode for open-ended spatio-temporal
 // workloads: frames or raw line spikes go in tick by tick, decoded
 // labels come out as they emerge. Chip state persists across frames
 // (unlike Classify, which resets per presentation).
+//
+// A stream is open-ended: Present/Push/Tick feed it indefinitely
+// without terminating it, and when the session's decoder is a
+// codec.StreamDecoder (SlidingCounter, DecayCounter) the stream also
+// decides continuously — after every advanced tick it asks the decoder
+// for a decision at the completed-tick frontier (sim.Runner.
+// CompleteThrough, so observation lag can never change a decision) and
+// emits each gated decision on the Decisions channel.
 type Stream struct {
 	s      *Session
 	ctx    context.Context
 	closed bool
+
+	sd      codec.StreamDecoder // non-nil: continuous decisions enabled
+	decided int64               // decision frontier: ticks decided through
+
+	// Decisions machinery, mirroring the async Results stream: the
+	// owner goroutine appends under decMu, a forwarder delivers, so a
+	// slow (or absent) consumer never blocks the feed path. Buffering
+	// starts at the first Decisions call.
+	decMu    sync.Mutex
+	decBuf   []Decision
+	decCh    chan Decision
+	notify   chan struct{}
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // Stream opens an incremental stream on a freshly reset session. The
@@ -928,7 +962,102 @@ type Stream struct {
 func (s *Session) Stream(ctx context.Context) *Stream {
 	s.runner.BindContext(ctx)
 	s.Reset()
-	return &Stream{s: s, ctx: ctx}
+	sd, _ := s.dec.(codec.StreamDecoder)
+	return &Stream{
+		s: s, ctx: ctx,
+		sd:      sd,
+		decided: -1,
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+}
+
+// Decisions returns the stream's continuous-decision channel: one
+// Decision per (tick, gate-pass) of the windowed decoder, in tick
+// order. Subscribe before feeding — decisions emitted before the first
+// Decisions call are not replayed. The channel closes once the stream
+// ends (Drain, or ctx cancellation); a stream that is simply abandoned
+// without either keeps its forwarder parked, so always finish with
+// Drain or a cancel. Without a codec.StreamDecoder the channel just
+// closes at stream end.
+func (st *Stream) Decisions() <-chan Decision {
+	st.decMu.Lock()
+	defer st.decMu.Unlock()
+	if st.decCh == nil {
+		st.decCh = make(chan Decision, 16)
+		go st.forwardDecisions()
+	}
+	return st.decCh
+}
+
+// emitDecision buffers one decision for the forwarder (a no-op until
+// someone subscribes) and nudges it.
+func (st *Stream) emitDecision(d Decision) {
+	st.decMu.Lock()
+	if st.decCh != nil {
+		st.decBuf = append(st.decBuf, d)
+		select {
+		case st.notify <- struct{}{}:
+		default:
+		}
+	}
+	st.decMu.Unlock()
+}
+
+// forwardDecisions pumps buffered decisions to the channel and closes
+// it when the stream ends.
+func (st *Stream) forwardDecisions() {
+	defer close(st.decCh)
+	flush := func() bool {
+		st.decMu.Lock()
+		batch := st.decBuf
+		st.decBuf = nil
+		st.decMu.Unlock()
+		for _, d := range batch {
+			select {
+			case st.decCh <- d:
+			case <-st.ctx.Done():
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		if !flush() {
+			return
+		}
+		select {
+		case <-st.notify:
+		case <-st.ctx.Done():
+			return
+		case <-st.done:
+			flush() // the Drain tail
+			return
+		}
+	}
+}
+
+// pump advances the decision frontier to `through` (the completed-tick
+// frontier, or the last executed tick at Drain), asking the windowed
+// decoder for a decision at every newly complete tick and emitting the
+// gated ones.
+func (st *Stream) pump(through int64) {
+	if st.sd == nil {
+		return
+	}
+	for t := st.decided + 1; t <= through; t++ {
+		if class, margin, ok := st.sd.DecideAt(t); ok {
+			st.emitDecision(Decision{Tick: t, Class: class, Margin: margin})
+		}
+	}
+	if through > st.decided {
+		st.decided = through
+	}
+}
+
+// finish marks the stream ended for the Decisions forwarder.
+func (st *Stream) finish() {
+	st.doneOnce.Do(func() { close(st.done) })
 }
 
 // Now returns the next tick the stream will execute.
@@ -973,7 +1102,9 @@ func (st *Stream) Tick() ([]Label, error) {
 		return nil, err
 	}
 	defer st.s.storeUsage()
-	return st.s.observe(st.s.runner.Step(), nil), st.s.runner.Err()
+	labels := st.s.observe(st.s.runner.Step(), nil)
+	st.pump(st.s.runner.CompleteThrough())
+	return labels, st.s.runner.Err()
 }
 
 // Push encodes one value frame at the current tick and advances one
@@ -989,7 +1120,9 @@ func (st *Stream) Push(values []float64) ([]Label, error) {
 	if err := st.s.encodeTick(values); err != nil {
 		return nil, err
 	}
-	return st.s.observe(st.s.runner.Step(), nil), st.s.runner.Err()
+	labels := st.s.observe(st.s.runner.Step(), nil)
+	st.pump(st.s.runner.CompleteThrough())
+	return labels, st.s.runner.Err()
 }
 
 // Present restarts the encoder and pushes the same value frame for
@@ -1015,18 +1148,24 @@ func (st *Stream) Present(values []float64, ticks int) ([]Label, error) {
 			return labels, err
 		}
 		labels = st.s.observe(st.s.runner.Step(), labels)
+		st.pump(st.s.runner.CompleteThrough())
 	}
 	return labels, st.s.runner.Err()
 }
 
 // Drain flushes lagged events with the configured drain ticks and
-// closes the stream, returning the final labels.
+// closes the stream, returning the final labels. Drain completes every
+// executed tick, so the decision frontier catches up to the last tick
+// before the Decisions channel closes.
 func (st *Stream) Drain() ([]Label, error) {
 	if err := st.err(); err != nil {
+		st.finish()
 		return nil, err
 	}
 	st.closed = true
 	labels := st.s.observe(st.s.runner.Drain(st.s.p.cfg.drain), nil)
+	st.pump(st.s.runner.Now() - 1)
 	st.s.storeUsageFull()
+	st.finish()
 	return labels, st.s.runner.Err()
 }

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus drives a small front-end and checks the text
+// exposition: family headers, counter/gauge samples, summary quantiles
+// and the parse invariants a scraper relies on (HELP/TYPE before the
+// first sample of each family, no duplicate families).
+func TestWritePrometheus(t *testing.T) {
+	rg := buildRig(t)
+	ctx := context.Background()
+	ap := mustAsync(t, rg.pipeline(t, WithDecoder(slidingDecoder())), WithAsyncWorkers(2))
+	for _, img := range rg.x[:4] {
+		if r := <-ap.Submit(ctx, img); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	as, err := ap.OpenStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Present(rg.x[0], 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ap.Close()
+
+	var sb strings.Builder
+	ap.Metrics().WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE neurogo_serving_submitted_total counter",
+		"neurogo_serving_submitted_total 4",
+		"# TYPE neurogo_serving_expired_total counter",
+		"neurogo_serving_expired_total 0",
+		"# TYPE neurogo_serving_workers gauge",
+		"neurogo_serving_workers 2",
+		"neurogo_serving_streams_opened_total 1",
+		"neurogo_serving_stream_frames_total 8",
+		"# TYPE neurogo_serving_queue_wait_seconds summary",
+		`neurogo_serving_queue_wait_seconds{quantile="0.99"}`,
+		"neurogo_serving_queue_wait_seconds_count 4",
+		`neurogo_serving_stream_op_seconds{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Format invariants: every family appears once, HELP then TYPE, and
+	// every sample line belongs to the most recent family.
+	seen := map[string]bool{}
+	family := ""
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			family = strings.Fields(line)[2]
+			if seen[family] {
+				t.Fatalf("duplicate family %q", family)
+			}
+			seen[family] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			if name := strings.Fields(line)[2]; name != family {
+				t.Fatalf("TYPE %q not preceded by its HELP (current family %q)", name, family)
+			}
+		case line == "":
+			t.Fatal("blank line in exposition")
+		default:
+			name := line[:strings.IndexAny(line, "{ ")]
+			if !strings.HasPrefix(name, family) {
+				t.Fatalf("sample %q outside its family %q", line, family)
+			}
+		}
+	}
+}

@@ -248,25 +248,30 @@ func TestShedQueueFull(t *testing.T) {
 }
 
 // TestShedEstimatedWait pins budget shedding: once the service-time
-// EWMA is seeded and a backlog exists, a PriorityLow submission is shed
-// because the estimated wait exceeds a tiny SLO budget — even though
-// the queue still has room.
+// EWMA is seeded above the SLO budget and a backlog exists, a
+// PriorityLow submission is shed because the estimated wait exceeds
+// the budget — even though the queue still has room.
 func TestShedEstimatedWait(t *testing.T) {
+	const budget = 100 * time.Millisecond
 	rg := buildRig(t)
 	enc := newStepEncoder()
 	p := stepPipeline(t, rg, enc)
 	ap := mustAsync(t, p,
-		WithAsyncWorkers(1), WithQueueDepth(4), WithSLOBudget(time.Nanosecond))
+		WithAsyncWorkers(1), WithQueueDepth(4), WithSLOBudget(budget))
 	ctx := context.Background()
 
-	// Seed the EWMA: let exactly one presentation through.
+	// Seed the EWMA above the budget: hold the first presentation's
+	// encode tick well past it before releasing. The request itself is
+	// dequeued immediately (idle worker), so its own deadline holds.
 	first := ap.Submit(ctx, rg.x[0])
+	<-enc.started
+	time.Sleep(4 * budget)
 	enc.step <- struct{}{}
 	if r := <-first; r.Err != nil {
 		t.Fatal(r.Err)
 	}
-	if ap.Metrics().ServiceEWMA <= 0 {
-		t.Fatal("service EWMA not seeded after first completion")
+	if ewma := ap.Metrics().ServiceEWMA; ewma <= budget {
+		t.Fatalf("service EWMA %v not above the %v budget", ewma, budget)
 	}
 
 	// Wedge the worker on presentation 1 and park 2 behind it.
@@ -289,10 +294,60 @@ func TestShedEstimatedWait(t *testing.T) {
 
 	close(enc.step) // release everything
 	ap.Close()
+	// The parked requests drain; on a heavily loaded machine their queue
+	// wait can legitimately exceed the budget, in which case deadline-
+	// aware dequeue fails them with ErrDeadline instead of serving them.
 	for i, ch := range []<-chan Result{second, third} {
-		if r := <-ch; r.Err != nil {
+		if r := <-ch; r.Err != nil && !errors.Is(r.Err, ErrDeadline) {
 			t.Fatalf("accepted submission %d failed: %v", i, r.Err)
 		}
+	}
+}
+
+// TestDeadlineExpiry pins deadline-aware scheduling: a request whose
+// WithSLOBudget lapses while it sits in the queue fails at dequeue
+// with ErrDeadline — no worker time is spent presenting an answer that
+// is already too late — and is counted in Metrics.Expired.
+func TestDeadlineExpiry(t *testing.T) {
+	const budget = 30 * time.Millisecond
+	rg := buildRig(t)
+	gate := newGateEncoder()
+	p, err := New(rg.mapping,
+		WithEncoder(gate),
+		WithDecoder(codec.NewCounter(10)),
+		WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := mustAsync(t, p, WithAsyncWorkers(1), WithQueueDepth(4), WithSLOBudget(budget))
+	ctx := context.Background()
+
+	first := ap.Submit(ctx, rg.x[0])
+	<-gate.started // worker wedged inside presentation 0, within budget
+	second := ap.Submit(ctx, rg.x[1])
+	time.Sleep(3 * budget) // the queued request's budget lapses
+	close(gate.release)
+	ap.Close()
+
+	// The first request was dequeued instantly; wedging happened in
+	// service, which the deadline check does not cover.
+	if r := <-first; r.Err != nil {
+		t.Fatalf("first request failed: %v", r.Err)
+	}
+	r := <-second
+	if !errors.Is(r.Err, ErrDeadline) {
+		t.Fatalf("expired err = %v, want ErrDeadline", r.Err)
+	}
+	if r.Class != -1 {
+		t.Fatalf("expired result carries class %d, want -1", r.Class)
+	}
+	if !strings.Contains(r.Err.Error(), "SLO budget") {
+		t.Fatalf("expired err %q does not name the budget", r.Err)
+	}
+	m := ap.Metrics()
+	if m.Expired != 1 || m.Failed != 1 || m.Completed != 2 {
+		t.Fatalf("metrics after expiry: Expired %d Failed %d Completed %d, want 1 1 2",
+			m.Expired, m.Failed, m.Completed)
 	}
 }
 

@@ -1,0 +1,64 @@
+// Prometheus text exposition for registry stats: whole-registry gauges
+// under neurogo_registry_* and per-model series under neurogo_model_*,
+// keyed by a model="name" label — the multi-tenant view next to the
+// front-end's neurogo_serving_* block (pipeline.Metrics.
+// WritePrometheus).
+
+package registry
+
+import (
+	"io"
+
+	"github.com/neurogo/neurogo/internal/pipeline"
+)
+
+// WritePrometheus writes the registry snapshot in Prometheus text
+// exposition format. Families emit one header and one sample per
+// registered model, so the output scrapes cleanly however many models
+// the registry holds.
+func (s Stats) WritePrometheus(w io.Writer) {
+	gauge := func(name, help string, v float64) {
+		pipeline.PromFamily(w, name, "gauge", help)
+		pipeline.PromSample(w, name, "", v)
+	}
+	gauge("neurogo_registry_models", "Registered models.", float64(s.Registered))
+	gauge("neurogo_registry_warm_models", "Models holding a live pool.", float64(s.Warm))
+	gauge("neurogo_registry_live_sessions", "Sessions across all warm pools.", float64(s.LiveSessions))
+	pipeline.PromFamily(w, "neurogo_registry_evictions_total", "counter", "Pool teardowns across all models.")
+	pipeline.PromSample(w, "neurogo_registry_evictions_total", "", float64(s.Evictions))
+
+	perModel := func(name, typ, help string, v func(ModelStats) float64) {
+		pipeline.PromFamily(w, name, typ, help)
+		for _, m := range s.Models {
+			pipeline.PromSample(w, name, pipeline.PromLabel("model", m.Name), v(m))
+		}
+	}
+	perModel("neurogo_model_warm", "gauge", "Whether the model holds a live pool (1 warm, 0 cold).",
+		func(m ModelStats) float64 {
+			if m.Warm {
+				return 1
+			}
+			return 0
+		})
+	perModel("neurogo_model_live_sessions", "gauge", "The model's warm-pool session count.",
+		func(m ModelStats) float64 { return float64(m.LiveSessions) })
+	perModel("neurogo_model_requests_total", "counter", "Classifications requested (a batch counts its length).",
+		func(m ModelStats) float64 { return float64(m.Requests) })
+	perModel("neurogo_model_hits_total", "counter", "Requests served on an already-warm pool.",
+		func(m ModelStats) float64 { return float64(m.Hits) })
+	perModel("neurogo_model_cold_starts_total", "counter", "Pool constructions.",
+		func(m ModelStats) float64 { return float64(m.ColdStarts) })
+	perModel("neurogo_model_evictions_total", "counter", "Pool teardowns.",
+		func(m ModelStats) float64 { return float64(m.Evictions) })
+	perModel("neurogo_model_swaps_total", "counter", "Hot swaps.",
+		func(m ModelStats) float64 { return float64(m.Swaps) })
+	perModel("neurogo_model_last_cold_start_seconds", "gauge", "Latency of the most recent cold start.",
+		func(m ModelStats) float64 { return m.LastColdStart.Seconds() })
+	perModel("neurogo_model_cold_start_seconds_total", "counter", "Cumulative cold-start latency.",
+		func(m ModelStats) float64 { return m.TotalColdStart.Seconds() })
+
+	pipeline.PromFamily(w, "neurogo_model_latency_seconds", "summary", "Warm serving-call latency per model.")
+	for _, m := range s.Models {
+		m.Latency.PromSummaryRow(w, "neurogo_model_latency_seconds", pipeline.PromLabel("model", m.Name))
+	}
+}

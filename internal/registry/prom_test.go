@@ -1,0 +1,56 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neurogo/neurogo/internal/pipeline"
+)
+
+// TestStatsWritePrometheus checks the registry exposition: whole-
+// registry gauges, one labelled sample per model under each family,
+// and label-value escaping.
+func TestStatsWritePrometheus(t *testing.T) {
+	s := Stats{
+		Registered:   2,
+		Warm:         1,
+		LiveSessions: 3,
+		Evictions:    5,
+		Models: []ModelStats{
+			{
+				Name: "digits", Warm: true, Requests: 40, Hits: 38,
+				ColdStarts: 2, Evictions: 1, Swaps: 1, LiveSessions: 3,
+				LastColdStart:  20 * time.Millisecond,
+				TotalColdStart: 50 * time.Millisecond,
+				Latency:        pipeline.LatencyStats{Count: 40, Mean: time.Millisecond, P50: time.Millisecond, P95: 2 * time.Millisecond, P99: 3 * time.Millisecond, Max: 4 * time.Millisecond},
+			},
+			{Name: `odd"name\`, Requests: 1},
+		},
+	}
+	var sb strings.Builder
+	s.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE neurogo_registry_models gauge",
+		"neurogo_registry_models 2",
+		"neurogo_registry_evictions_total 5",
+		`neurogo_model_requests_total{model="digits"} 40`,
+		`neurogo_model_requests_total{model="odd\"name\\"} 1`,
+		`neurogo_model_warm{model="digits"} 1`,
+		`neurogo_model_warm{model="odd\"name\\"} 0`,
+		`neurogo_model_cold_starts_total{model="digits"} 2`,
+		"# TYPE neurogo_model_latency_seconds summary",
+		`neurogo_model_latency_seconds{model="digits",quantile="0.95"} 0.002`,
+		`neurogo_model_latency_seconds_count{model="digits"} 40`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// One header per family, even with two models.
+	if n := strings.Count(out, "# TYPE neurogo_model_requests_total counter"); n != 1 {
+		t.Fatalf("neurogo_model_requests_total has %d TYPE headers, want 1", n)
+	}
+}

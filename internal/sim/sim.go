@@ -178,6 +178,7 @@ type Runner struct {
 	engine  Engine
 	workers int
 	pending []Event // events whose logical tick is in the future (lagged)
+	hold    int64   // ticks an event can trail execution: max(MaxOutputLag, 1)
 
 	// Cumulative records folded across Resets: a system backend zeroes
 	// its live traffic counters on Reset and every backend zeroes its
@@ -283,7 +284,14 @@ func newBackendRunner(m *compile.Mapping, b Backend, engine Engine, workers int)
 	if max := runtime.NumCPU(); workers > max {
 		workers = max
 	}
-	return &Runner{mapping: m, backend: b, engine: engine, workers: workers}
+	// An event of logical tick t is observed physically at t+lag and
+	// emitted by the Step after that (the hold-one-tick rule in Step), so
+	// a tick is complete once execution has run max(lag, 1) ticks past it.
+	hold := int64(m.MaxOutputLag())
+	if hold < 1 {
+		hold = 1
+	}
+	return &Runner{mapping: m, backend: b, engine: engine, workers: workers, hold: hold}
 }
 
 // Backend exposes the execution backend driving this runner.
@@ -387,6 +395,16 @@ func (r *Runner) Mapping() *compile.Mapping { return r.mapping }
 
 // Now returns the next tick to execute.
 func (r *Runner) Now() int64 { return r.backend.Now() }
+
+// CompleteThrough returns the latest logical tick whose output events
+// have all been delivered by Step: observation lag (splitter relays)
+// plus the hold-one-tick rule mean events for a tick can trickle in
+// for up to max(MaxOutputLag, 1) Steps after it executes. Continuous
+// (windowed) decoders decide per tick at this frontier, which is what
+// makes streamed decisions independent of engine and lag. Negative
+// until enough ticks have run; Drain completes every executed tick
+// regardless.
+func (r *Runner) CompleteThrough() int64 { return r.backend.Now() - 1 - r.hold }
 
 // Counters reports the backend's chip-level activity counters.
 func (r *Runner) Counters() chip.Counters { return r.backend.Counters() }

@@ -433,6 +433,30 @@ var ErrAsyncClosed = pipeline.ErrClosed
 // SLO budget). Test with errors.Is.
 var ErrShed = pipeline.ErrShed
 
+// ErrDeadline is the error an AsyncResult carries when a request's
+// WithSLOBudget lapsed while it sat in the queue: deadline-aware
+// scheduling fails it at dequeue, without spending worker time on an
+// answer that is already late. Counted in ServingMetrics.Expired;
+// test with errors.Is.
+var ErrDeadline = pipeline.ErrDeadline
+
+// Decision is one continuous-decision emission of a stream: the tick
+// at which the windowed decoder's confidence gate fired, the winning
+// class, and its margin in spike units. Decisions are bit-identical
+// across engines and serving front-ends.
+type Decision = pipeline.Decision
+
+// AsyncStream is an open-ended stream served under the async
+// front-end (AsyncPipeline.OpenStream): a PipelineStream on its own
+// session whose operations are metered into ServingMetrics, with
+// continuous decisions counted as they are delivered.
+//
+//	as, err := ap.OpenStream(ctx)
+//	decisions := as.Decisions() // subscribe before feeding
+//	for { as.Present(frame, 8) ... }
+//	as.Drain()                  // decisions channel closes
+type AsyncStream = pipeline.AsyncStream
+
 // WithAsyncWorkers sets the async worker-pool size (default: the
 // pipeline's WithWorkers value).
 func WithAsyncWorkers(n int) AsyncOption { return pipeline.WithAsyncWorkers(n) }
@@ -716,8 +740,27 @@ type TTFSEncoder = codec.TTFS
 // BinaryEncoder emits thresholded frames held for a fixed tick count.
 type BinaryEncoder = codec.Binary
 
+// StreamDecoder is a Decoder that also decides continuously: DecideAt
+// asks for a gated decision at a tick frontier, enabling open-ended
+// streams to emit Decisions as evidence accumulates instead of
+// waiting for a presentation boundary. SlidingCounterDecoder and
+// DecayCounterDecoder implement it.
+type StreamDecoder = codec.StreamDecoder
+
 // CounterDecoder decodes by per-class spike count.
 type CounterDecoder = codec.Counter
+
+// SlidingCounterDecoder decodes by per-class spike count over a
+// sliding window of the last W ticks with exact eviction, plus a
+// confidence gate (MinCount, MinMargin) for abstention. With the
+// window covering a whole presentation it reproduces CounterDecoder
+// exactly.
+type SlidingCounterDecoder = codec.SlidingCounter
+
+// DecayCounterDecoder decodes by exponentially decaying per-class
+// evidence in integer fixed point — half-life ~0.69*2^shift ticks,
+// bit-identical across engines — with level and margin gates.
+type DecayCounterDecoder = codec.DecayCounter
 
 // FirstSpikeDecoder decodes by earliest spike.
 type FirstSpikeDecoder = codec.FirstSpike
@@ -743,6 +786,18 @@ func NewBinaryEncoder(threshold float64, hold int) *BinaryEncoder {
 
 // NewCounterDecoder returns a spike-count decoder over n classes.
 func NewCounterDecoder(n int) *CounterDecoder { return codec.NewCounter(n) }
+
+// NewSlidingCounterDecoder returns a windowed spike-count decoder over
+// n classes and a window of the last `window` ticks.
+func NewSlidingCounterDecoder(n, window int) *SlidingCounterDecoder {
+	return codec.NewSlidingCounter(n, window)
+}
+
+// NewDecayCounterDecoder returns a decaying-evidence decoder over n
+// classes; each tick multiplies the evidence by (1 - 2^-shift).
+func NewDecayCounterDecoder(n int, shift uint) *DecayCounterDecoder {
+	return codec.NewDecayCounter(n, shift)
+}
 
 // NewFirstSpikeDecoder returns a latency decoder.
 func NewFirstSpikeDecoder() *FirstSpikeDecoder { return codec.NewFirstSpike() }
@@ -775,4 +830,28 @@ func NewSceneGenerator(cellsX, cellsY, cellPix int, objectP, speckle float64, se
 // NewPattern draws a random spatio-temporal template.
 func NewPattern(lines, span, events int, seed uint64) *Pattern {
 	return dataset.NewPattern(lines, span, events, seed)
+}
+
+// MotifStream is the keyword-spotting workload: an endless spike
+// stream of Poisson distractor traffic with a fixed Pattern embedded
+// at seeded random gaps, reporting ground truth as each embedding
+// completes.
+type MotifStream = dataset.MotifStream
+
+// SensorStream is the anomaly-detection workload: a synthetic sensor
+// reading per tick (sine baseline plus noise in [0, 1]) with injected
+// anomaly excursions and per-tick ground truth.
+type SensorStream = dataset.SensorStream
+
+// NewMotifStream embeds pat into distractor traffic at the given
+// per-line per-tick rate, with gaps drawn from [minGap, maxGap].
+func NewMotifStream(pat *Pattern, rate float64, minGap, maxGap int, seed uint64) *MotifStream {
+	return dataset.NewMotifStream(pat, rate, minGap, maxGap, seed)
+}
+
+// NewSensorStream builds the sensor trace: a sine baseline of the
+// given period with uniform noise, and anomaly excursions of burst
+// ticks at gaps drawn from [minGap, maxGap].
+func NewSensorStream(period, burst, minGap, maxGap int, noise float64, seed uint64) *SensorStream {
+	return dataset.NewSensorStream(period, burst, minGap, maxGap, noise, seed)
 }
