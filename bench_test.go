@@ -12,7 +12,9 @@ package neurogo
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -21,6 +23,52 @@ import (
 
 	"github.com/neurogo/neurogo/internal/experiments"
 )
+
+// benchJSONEnv names the file BenchmarkSystemThroughput's conv legs
+// append their headline rows to (BENCH_e5.json in CI); unset means no
+// emission. Rows accumulate across sub-benchmarks and are written once
+// after the run by writeBenchJSON (hooked into TestMain).
+const benchJSONEnv = "NEUROGO_BENCH_JSON"
+
+// benchE5Row is one conv-leg measurement in the emitted JSON.
+type benchE5Row struct {
+	Leg               string  `json:"leg"`
+	Batch             int     `json:"batch"`
+	ClassPerSec       float64 `json:"class_per_sec"`
+	InterChipFraction float64 `json:"interchip_frac"`
+	ExchangeWindow    int     `json:"exchange_window"` // 1 = lockstep; 0 = in-process (no exchange RPC)
+}
+
+var benchE5 struct {
+	mu   sync.Mutex
+	rows []benchE5Row
+}
+
+func benchE5Record(row benchE5Row) {
+	if os.Getenv(benchJSONEnv) == "" {
+		return
+	}
+	benchE5.mu.Lock()
+	benchE5.rows = append(benchE5.rows, row)
+	benchE5.mu.Unlock()
+}
+
+// writeBenchJSON dumps the collected rows to $NEUROGO_BENCH_JSON. Called
+// from TestMain after the run so a single `go test -bench` invocation
+// yields one complete file.
+func writeBenchJSON() {
+	path := os.Getenv(benchJSONEnv)
+	if path == "" || len(benchE5.rows) == 0 {
+		return
+	}
+	data, err := json.MarshalIndent(benchE5.rows, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench json:", err)
+	}
+}
 
 // benchExperiment runs one experiment per iteration and republishes its
 // metrics.
@@ -242,44 +290,70 @@ func BenchmarkSystemThroughput(b *testing.B) {
 					}
 				}
 				bt := PipelineTrafficOf(p)
-				b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
+				rate := float64(b.N*size) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "class/s")
 				b.ReportMetric(bt.InterChipFraction, "interchip-frac")
 				b.ReportMetric(bt.PredictedInterChipFraction, "predicted-frac")
+				benchE5Record(benchE5Row{Leg: "conv-2x2-" + leg.name, Batch: size,
+					ClassPerSec: rate, InterChipFraction: bt.InterChipFraction})
 			})
 		}
 	}
-	// Distributed leg: the boundary-aware conv stack served across two
-	// real shard server processes (re-execs of this test binary over
-	// unix sockets; see spawnShardProcs in remote_test.go) — one RPC
-	// round-trip per tick per shard, bit-identical to conv-2x2-aware.
-	for _, size := range []int{1, 8, 64} {
-		b.Run(fmt.Sprintf("conv-2x2-remote/batch-%d", size), func(b *testing.B) {
-			addrs := spawnShardProcs(b, boundaryRig.aware, 2)
-			p, err := NewPipeline(boundaryRig.aware,
-				WithEncoder(NewBinaryEncoder(0.5, boundaryWindow)),
-				WithDecoder(NewCounterDecoder(NumDigitClasses)),
-				WithLineMapper(TwinLines(boundaryRig.conv.LinesFor)),
-				WithClassMapper(boundaryRig.fc.ClassOf),
-				WithWindow(boundaryWindow),
-				WithDrain(12),
-				WithRemoteSystem(addrs...))
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer p.Close()
-			inputs := boundaryRig.x[:size]
-			ctx := context.Background()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
+	// Distributed legs: the conv stack served across two real shard
+	// server processes (re-execs of this test binary over unix sockets;
+	// see spawnShardProcs in remote_test.go). The lockstep leg pays one
+	// RPC round-trip per tick per shard on the boundary-aware mapping;
+	// the windowed leg serves the delay-padded twin mapping at the
+	// widest exchange window its delay structure proves exact,
+	// amortizing that round-trip over the whole window. Both are
+	// bit-identical to the in-process backend on their own mapping.
+	for _, leg := range []struct {
+		name     string
+		mp       *Mapping
+		exchange int // WithExchangeWindow argument; 0 selects the proven max
+	}{
+		{"remote", boundaryRig.aware, 1},
+		{"remote-windowed", boundaryRig.windowed, 0},
+	} {
+		window := leg.exchange
+		if window == 0 {
+			window = MaxExchangeWindow(leg.mp)
+		}
+		for _, size := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("conv-2x2-%s/batch-%d", leg.name, size), func(b *testing.B) {
+				addrs := spawnShardProcs(b, leg.mp, 2)
+				p, err := NewPipeline(leg.mp,
+					WithEncoder(NewBinaryEncoder(0.5, boundaryWindow)),
+					WithDecoder(NewCounterDecoder(NumDigitClasses)),
+					WithLineMapper(TwinLines(boundaryRig.conv.LinesFor)),
+					WithClassMapper(boundaryRig.fc.ClassOf),
+					WithWindow(boundaryWindow),
+					WithDrain(12),
+					WithRemoteSystem(addrs...),
+					WithExchangeWindow(leg.exchange))
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			bt := PipelineTrafficOf(p)
-			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "class/s")
-			b.ReportMetric(bt.InterChipFraction, "interchip-frac")
-			b.ReportMetric(float64(bt.InterChip)/float64(b.N), "inter-spikes/op")
-		})
+				defer p.Close()
+				inputs := boundaryRig.x[:size]
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.ClassifyBatch(ctx, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bt := PipelineTrafficOf(p)
+				rate := float64(b.N*size) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "class/s")
+				b.ReportMetric(bt.InterChipFraction, "interchip-frac")
+				b.ReportMetric(float64(bt.InterChip)/float64(b.N), "inter-spikes/op")
+				b.ReportMetric(float64(window), "xchg-window")
+				benchE5Record(benchE5Row{Leg: "conv-2x2-" + leg.name, Batch: size,
+					ClassPerSec: rate, InterChipFraction: bt.InterChipFraction,
+					ExchangeWindow: window})
+			})
+		}
 	}
 }
 
@@ -289,16 +363,19 @@ func BenchmarkSystemThroughput(b *testing.B) {
 const boundaryWindow = 8
 
 // boundaryRig caches the routed conv/pool/read-out workload compiled
-// for a 2x2 chip tile two ways: tiling-blind (λ=0, bit-identical to an
-// untiled compile) and boundary-aware (λ=4).
+// for a 2x2 chip tile three ways: tiling-blind (λ=0, bit-identical to
+// an untiled compile), boundary-aware (λ=4), and windowed (λ=4 plus a
+// delay penalty that prices delay-1 chip crossings out of the
+// placement, unlocking multi-tick exchange windows for the remote
+// legs).
 var boundaryRig struct {
-	once         sync.Once
-	conv         *Conv2D
-	fc           *FeatureClassifier
-	blind, aware *Mapping
-	chipX, chipY int
-	x            [][]float64
-	err          error
+	once                   sync.Once
+	conv                   *Conv2D
+	fc                     *FeatureClassifier
+	blind, aware, windowed *Mapping
+	chipX, chipY           int
+	x                      [][]float64
+	err                    error
 }
 
 func boundarySetup() error {
@@ -363,6 +440,36 @@ func boundarySetup() error {
 		}
 		tiled.BoundaryWeight = 4
 		boundaryRig.aware, err = Compile(net, tiled)
+		if err != nil {
+			fail(err)
+			return
+		}
+		// Windowed variant: same corelets on a twin network with delays
+		// padded to 5 ticks (neuron ids are identical, so the blind/aware
+		// line and class mappers apply unchanged), compiled delay-aware.
+		// Padding plus splitter re-homing leaves no boundary edge under 5
+		// ticks of slack minus the relay leg — MinBoundaryDelay 4, so the
+		// distributed driver may run 4-tick exchange windows.
+		wnet := NewNetwork()
+		wconv, err := BuildConv2D(wnet, "conv", imgSize, imgSize, kernels, stride, convThr)
+		if err != nil {
+			fail(err)
+			return
+		}
+		wpool, err := BuildPool2D(wnet, wconv, "pool", poolWin)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if _, err := BuildFeatureClassifier(wnet, m.Ternarize(1.3), wpool, "out", DefaultClassifierParams()); err != nil {
+			fail(err)
+			return
+		}
+		wnet.PadNeuronDelays(5)
+		wtiled := tiled
+		wtiled.Seed = 2
+		wtiled.DelayPenalty = 8
+		boundaryRig.windowed, err = Compile(wnet, wtiled)
 		if err != nil {
 			fail(err)
 			return

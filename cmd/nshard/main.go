@@ -3,8 +3,10 @@
 // partition coordinates (-shard of -shards), and serves the shard RPC
 // protocol (gob over a unix socket or TCP) until killed. A
 // system.Sharded client — pipeline.WithRemoteSystem, nsim -remote, or
-// remote.DialSharded — drives N such processes in lockstep as one
-// logical model, bit-identical to running the mapping in one process.
+// remote.DialSharded — drives N such processes in exchange windows (a
+// window of ticks per RPC round-trip, lockstep when the window is 1)
+// as one logical model, bit-identical to running the mapping in one
+// process.
 //
 // Usage:
 //
@@ -78,5 +80,13 @@ func run(listen, mappingPath string, shards, shard int, noPlan bool) error {
 	}
 	fmt.Printf("nshard: shard %d/%d serving chips %v of a %dx%d-core-chip tile on %s\n",
 		shard, shards, srv.Shard().Chips(), cfg.ChipCoresX, cfg.ChipCoresY, listen)
+	switch w := srv.Window(); {
+	case w == 0:
+		fmt.Println("nshard: no cross-chip synapses; any exchange window is exact (drive with nsim -xwindow 0)")
+	case w > 1:
+		fmt.Printf("nshard: mapping proves exchange windows up to %d ticks exact (drive with nsim -xwindow)\n", w)
+	default:
+		fmt.Println("nshard: mapping's minimum boundary delay admits lockstep exchange only (window 1)")
+	}
 	return srv.ListenAndServe(network, listen)
 }

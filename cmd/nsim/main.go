@@ -14,8 +14,10 @@
 //
 // With -remote the tiled model is served across shard processes (one
 // per address, hosted by cmd/nshard over the exported mapping), driven
-// in lockstep with one RPC round-trip per tick — bit-identical to the
-// in-process tile.
+// in exchange windows of one RPC round-trip each — bit-identical to
+// the in-process tile. -xwindow widens the window up to the mapping's
+// minimum cross-chip axonal delay (-xwindow 0 = widest legal),
+// amortizing the round-trip out of the hot path.
 //
 // With -chips the network is recompiled for that tile: with λ > 0 the
 // placer minimises chip crossings; with -boundary 0 the placement stays
@@ -51,6 +53,7 @@ func main() {
 		noPlan   = flag.Bool("noplan", false, "force the legacy scalar core path (disable precompiled integration plans) for A/B debugging")
 		saveMap  = flag.String("save-mapping", "", "write the compiled mapping to this file (for nshard) and exit without simulating")
 		remoteAt = flag.String("remote", "", "comma-separated shard addresses (see cmd/nshard); serves the tiled model across those processes (requires -chips)")
+		xwindow  = flag.Int("xwindow", 1, "exchange window: ticks per boundary exchange (per RPC round-trip with -remote); 0 = widest window the mapping proves exact")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -68,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nsim: -remote needs -chips (the shards serve a tiled-compiled mapping)")
 		os.Exit(2)
 	}
-	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips, *boundary, *noPlan, *saveMap, *remoteAt); err != nil {
+	if err := run(*specPath, *engine, *workers, *ticks, *raster, *chips, *boundary, *noPlan, *saveMap, *remoteAt, *xwindow); err != nil {
 		fmt.Fprintln(os.Stderr, "nsim:", err)
 		os.Exit(1)
 	}
@@ -87,7 +90,7 @@ func parseChips(s string) (w, h int, err error) {
 	return 0, 0, fmt.Errorf("invalid -chips %q (want WxH, e.g. 2x2)", s)
 }
 
-func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string, boundary float64, noPlan bool, saveMap, remoteAt string) error {
+func run(specPath, engineName string, workers, ticksOverride int, raster bool, chips string, boundary float64, noPlan bool, saveMap, remoteAt string, xwindow int) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -129,6 +132,9 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool, c
 	if noPlan {
 		opts = append(opts, neurogo.WithoutPlan())
 		fmt.Println("integration plans disabled (-noplan): legacy scalar core path")
+	}
+	if xwindow != 1 {
+		opts = append(opts, neurogo.WithExchangeWindow(xwindow))
 	}
 	if chips != "" {
 		cw, ch, err := parseChips(chips)
@@ -207,17 +213,33 @@ func run(specPath, engineName string, workers, ticksOverride int, raster bool, c
 			rec.Record(l.Tick, rowOf[l.Neuron])
 		}
 	}
-	for t := 0; t < spec.Ticks; t++ {
-		for _, line := range spec.InjectionsAt(stream.Now(), built.Lines) {
-			if err := stream.Inject(line); err != nil {
-				return err
+	// Spec injections are scheduled by tick, independent of outputs, so
+	// the stream can be driven in exchange-window batches: inject the
+	// window's spikes up front, then advance the whole window in one
+	// step (one RPC round-trip per window with -remote). Bit-identical
+	// to per-tick driving at any window width.
+	if w := stream.ExchangeWindow(); w > 1 {
+		fmt.Printf("exchange window: %d ticks per boundary exchange\n", w)
+	}
+	for t := 0; t < spec.Ticks; {
+		n := stream.ExchangeWindow()
+		if rem := spec.Ticks - t; n > rem {
+			n = rem
+		}
+		base := stream.Now()
+		for k := 0; k < n; k++ {
+			for _, line := range spec.InjectionsAt(base+int64(k), built.Lines) {
+				if err := stream.InjectAt(line, base+int64(k)); err != nil {
+					return err
+				}
 			}
 		}
-		labels, err := stream.Tick()
+		labels, err := stream.TickN(n)
 		if err != nil {
 			return err
 		}
 		record(labels)
+		t += n
 	}
 	labels, err := stream.Drain()
 	if err != nil {

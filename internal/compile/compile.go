@@ -83,6 +83,16 @@ type Options struct {
 	// (and its predicted inter-chip fraction) without perturbing the
 	// placement — assignments stay bit-identical to an untiled compile.
 	BoundaryWeight float64
+	// DelayPenalty, when positive, makes the boundary objective
+	// delay-aware: the crossing weight of every edge whose axonal delay
+	// is a single tick is multiplied by DelayPenalty (higher-delay edges
+	// keep weight 1 per spike). Delay-1 chip crossings are what cap the
+	// distributed exchange window (Stats.MinBoundaryDelay, system
+	// windowed drivers) at W = 1, so pricing them far above ordinary
+	// crossings steers the placer toward tilings that stay windowable.
+	// Requires BoundaryWeight > 0; zero keeps the objective delay-blind
+	// and bit-identical to previous compiles.
+	DelayPenalty float64
 }
 
 // Loc is a physical neuron location.
@@ -169,6 +179,15 @@ type Stats struct {
 	// weight whose endpoints land on different chips — the placement's
 	// prediction of the measured system.InterChipFraction (0 untiled).
 	PredictedInterChipFraction float64
+	// MinBoundaryDelay is the minimum axonal delay, in ticks, across
+	// every edge of the emitted chip image whose endpoints land on
+	// different physical chips — the bound D on the legal exchange
+	// window of the distributed drivers (shards can run up to D ticks
+	// between boundary-spike exchanges without reordering a single
+	// delivery; see system.Sharded). 0 means no edge crosses chips at
+	// all (untiled, or a fully chip-local placement), in which case the
+	// window is unconstrained by routing.
+	MinBoundaryDelay int
 	// MappedNeurons counts the neurons the compiler emitted: logical
 	// neurons plus splitter relays (unused core slots excluded).
 	MappedNeurons int
@@ -234,6 +253,9 @@ type splitEntry struct {
 	relayBase int
 	// dests are the destination group indices, -1 meaning external.
 	dests []int
+	// dead marks an entry re-homed to another splitter core after
+	// placement; its axon/relay slots stay reserved but unemitted.
+	dead bool
 }
 
 // splitGroup is a splitter core under construction.
@@ -409,6 +431,12 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 	if opt.BoundaryWeight > 0 && opt.ChipCoresX == 0 {
 		return nil, fmt.Errorf("compile: boundary weight %g needs ChipCoresX/ChipCoresY", opt.BoundaryWeight)
 	}
+	if opt.DelayPenalty < 0 {
+		return nil, fmt.Errorf("compile: negative delay penalty %g", opt.DelayPenalty)
+	}
+	if opt.DelayPenalty > 0 && opt.BoundaryWeight == 0 {
+		return nil, fmt.Errorf("compile: delay penalty %g needs BoundaryWeight > 0", opt.DelayPenalty)
+	}
 	width, height := opt.Width, opt.Height
 	if width == 0 || height == 0 {
 		side := int(math.Ceil(math.Sqrt(float64(totalGroups))))
@@ -435,26 +463,47 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 	for i := range traffic {
 		traffic[i] = make([]float64, totalGroups)
 	}
-	addTraffic := func(from, to int) {
+	// With a delay penalty, the boundary term prices each edge by how
+	// hard it constrains the distributed exchange window: delay-1 edges
+	// (splitter hops, relays of delay-2 sources, direct delay-1 fan-in)
+	// get DelayPenalty per spike, everything else weight 1.
+	var crossTraffic [][]float64
+	if opt.DelayPenalty > 0 {
+		crossTraffic = make([][]float64, totalGroups)
+		for i := range crossTraffic {
+			crossTraffic[i] = make([]float64, totalGroups)
+		}
+	}
+	addTraffic := func(from, to int, delay uint8) {
 		if from >= 0 && to >= 0 && from != to {
 			traffic[from][to]++
+			if crossTraffic != nil {
+				w := 1.0
+				if delay <= 1 {
+					w = opt.DelayPenalty
+				}
+				crossTraffic[from][to] += w
+			}
 		}
 	}
 	for id := 0; id < nNeurons; id++ {
 		p := &plans[id]
 		src := groupOf[id]
+		delay := net.SourceProps(model.NeuronID(id)).Delay
 		if p.split {
+			// The source→splitter hop always runs at delay 1; the relay
+			// carries the remaining delay to each destination.
 			sg := nGroups + p.splitterGroup
-			addTraffic(src, sg)
+			addTraffic(src, sg, 1)
 			for _, d := range splits[p.splitterGroup].entries[p.entryIndex].dests {
 				if d >= 0 {
-					addTraffic(sg, d)
+					addTraffic(sg, d, delay-1)
 				}
 			}
 			continue
 		}
 		for _, d := range p.destGroups {
-			addTraffic(src, d)
+			addTraffic(src, d, delay)
 		}
 	}
 
@@ -462,6 +511,7 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 		N: totalGroups, Width: width, Height: height, Traffic: traffic,
 		ChipCoresX: opt.ChipCoresX, ChipCoresY: opt.ChipCoresY,
 		BoundaryWeight: opt.BoundaryWeight,
+		CrossTraffic:   crossTraffic,
 	}
 	if err := prob.Validate(); err != nil {
 		return nil, err
@@ -479,6 +529,89 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 	}
 	if err := prob.CheckLegal(assign); err != nil {
 		return nil, fmt.Errorf("compile: placer produced illegal assignment: %w", err)
+	}
+
+	// Stats are scored against the placement the annealer produced; the
+	// re-homing pass below may extend the assignment with fresh splitter
+	// cores, which the original problem knows nothing about.
+	statAssign := assign[:len(assign):len(assign)]
+
+	// ---- Phase 4b: splitter re-homing (delay-aware compiles only). ----
+	// The packer fills splitter cores in neuron-id order, so one core can
+	// serve sources the placer later scatters across chips — and every
+	// such source→splitter hop runs at delay 1, pinning the distributed
+	// exchange window (Stats.MinBoundaryDelay) at a single tick no matter
+	// how good the placement is. When the compile is delay-aware, re-home
+	// each stranded entry onto a splitter core sharing its source's chip:
+	// the relay legs carry the remaining delay wherever the splitter
+	// sits, so the move can never create a new delay-1 edge. Entries stay
+	// put only when the chip is out of splitter and grid capacity, in
+	// which case MinBoundaryDelay reports the surviving crossing.
+	if opt.DelayPenalty > 0 && opt.ChipCoresX > 0 {
+		chipsX := width / opt.ChipCoresX
+		chipOfSlot := func(slot int) int {
+			x := (slot % width) / opt.ChipCoresX
+			y := (slot / width) / opt.ChipCoresY
+			return y*chipsX + x
+		}
+		nChips := chipsX * (height / opt.ChipCoresY)
+		used := make([]bool, width*height)
+		for _, s := range assign {
+			used[s] = true
+		}
+		freeOn := make([][]int, nChips)
+		for s := 0; s < width*height; s++ {
+			if !used[s] {
+				c := chipOfSlot(s)
+				freeOn[c] = append(freeOn[c], s)
+			}
+		}
+		onChip := make([][]int, nChips)
+		for si := range splits {
+			c := chipOfSlot(assign[nGroups+si])
+			onChip[c] = append(onChip[c], si)
+		}
+		for id := 0; id < nNeurons; id++ {
+			p := &plans[id]
+			if !p.split {
+				continue
+			}
+			srcChip := chipOfSlot(assign[groupOf[id]])
+			if chipOfSlot(assign[nGroups+p.splitterGroup]) == srcChip {
+				continue
+			}
+			e := splits[p.splitterGroup].entries[p.entryIndex]
+			need := len(e.dests)
+			dst := -1
+			for _, si := range onChip[srcChip] {
+				if splits[si].axonCount+1 <= core.Size && splits[si].relays+need <= core.Size {
+					dst = si
+					break
+				}
+			}
+			if dst == -1 {
+				if len(freeOn[srcChip]) == 0 {
+					continue
+				}
+				slot := freeOn[srcChip][0]
+				freeOn[srcChip] = freeOn[srcChip][1:]
+				dst = len(splits)
+				splits = append(splits, &splitGroup{})
+				onChip[srcChip] = append(onChip[srcChip], dst)
+				assign = append(assign, slot)
+				totalGroups++
+			}
+			splits[p.splitterGroup].entries[p.entryIndex].dead = true
+			moved := e
+			moved.axon = splits[dst].axonCount
+			moved.relayBase = splits[dst].relays
+			splits[dst].entries = append(splits[dst].entries, moved)
+			splits[dst].axonCount++
+			splits[dst].relays += need
+			p.splitterGroup = dst
+			p.entryIndex = len(splits[dst].entries) - 1
+		}
+		nSplits = len(splits)
 	}
 
 	// coreIdxOf maps a group index to its linear core index on the chip.
@@ -574,9 +707,13 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 		slot := coreIdxOf(nGroups + si)
 		cc := mkCore(slot)
 		for _, e := range sg.entries {
+			if e.dead {
+				continue
+			}
 			srcID := model.NeuronID(e.src.Idx)
 			props := net.SourceProps(srcID)
 			cc.AxonType[e.axon] = 0
+			mapping.Stats.Relays += len(e.dests)
 			for k, d := range e.dests {
 				ri := e.relayBase + k
 				relay := neuron.Params{
@@ -602,7 +739,6 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 				}
 			}
 		}
-		mapping.Stats.Relays += sg.relays
 	}
 
 	// Input mapping: one axon per destination group, in group order.
@@ -637,15 +773,59 @@ func Compile(net *model.Network, opt Options) (*Mapping, error) {
 		mapping.Stats.DeterministicFraction =
 			float64(mapping.Stats.DeterministicNeurons) / float64(mapping.Stats.MappedNeurons)
 	}
-	mapping.Stats.PlacementCost = prob.HopCost(assign)
+	mapping.Stats.PlacementCost = prob.HopCost(statAssign)
 	if opt.ChipCoresX > 0 {
 		mapping.Stats.ChipCoresX = opt.ChipCoresX
 		mapping.Stats.ChipCoresY = opt.ChipCoresY
-		cross, total := prob.CrossWeight(assign)
+		cross, total := prob.CrossWeight(statAssign)
 		mapping.Stats.BoundaryCost = opt.BoundaryWeight * cross
 		if total > 0 {
 			mapping.Stats.PredictedInterChipFraction = cross / total
 		}
+		mapping.Stats.MinBoundaryDelay = MinBoundaryDelay(mapping.Chip, opt.ChipCoresX, opt.ChipCoresY)
 	}
 	return mapping, nil
+}
+
+// MinBoundaryDelay scans cfg under a ChipCoresX x ChipCoresY tiling and
+// returns the minimum axonal delay across edges whose source and
+// destination cores sit on different physical chips — the legal
+// exchange-window bound recorded in Stats.MinBoundaryDelay. It returns
+// 0 when the tiling is absent/degenerate (a single chip) or when no
+// edge crosses chips, meaning routing places no bound on the window.
+func MinBoundaryDelay(cfg *chip.Config, chipCoresX, chipCoresY int) int {
+	if cfg == nil || chipCoresX <= 0 || chipCoresY <= 0 {
+		return 0
+	}
+	if cfg.Width%chipCoresX != 0 || cfg.Height%chipCoresY != 0 {
+		return 0
+	}
+	chipsX := cfg.Width / chipCoresX
+	chipsY := cfg.Height / chipCoresY
+	if chipsX*chipsY <= 1 {
+		return 0
+	}
+	chipOf := func(idx int32) int {
+		x := (int(idx) % cfg.Width) / chipCoresX
+		y := (int(idx) / cfg.Width) / chipCoresY
+		return y*chipsX + x
+	}
+	min := 0
+	for i, cc := range cfg.Cores {
+		if cc == nil {
+			continue
+		}
+		src := chipOf(int32(i))
+		for n := range cc.Targets {
+			tgt := cc.Targets[n]
+			if tgt.Core < 0 || chipOf(tgt.Core) == src {
+				continue
+			}
+			d := int(cc.Neurons[n].Delay)
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+	}
+	return min
 }

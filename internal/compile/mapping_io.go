@@ -20,9 +20,12 @@ const (
 	// Version 2 appended the tiling stats (chip dims, boundary cost,
 	// predicted inter-chip fraction) for boundary-aware placements;
 	// version 3 appended the fast-path coverage stats (mapped and
-	// deterministic neuron counts). Older streams still load, with the
-	// missing stats left at their zero values.
-	mappingVersion = 3
+	// deterministic neuron counts); version 4 appended the minimum
+	// boundary-crossing delay (the distributed exchange-window bound).
+	// Older streams still load: missing stats take their zero values,
+	// except MinBoundaryDelay, which is recomputed from the decoded
+	// chip image so pre-v4 artifacts stay windowable.
+	mappingVersion = 4
 )
 
 // Write serializes the mapping to dst.
@@ -107,6 +110,9 @@ func (m *Mapping) Write(dst io.Writer) error {
 		return err
 	}
 	if err := write(uint64(m.Stats.MappedNeurons), uint64(m.Stats.DeterministicNeurons)); err != nil {
+		return err
+	}
+	if err := u64(uint64(m.Stats.MinBoundaryDelay)); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -216,6 +222,13 @@ func ReadMapping(src io.Reader) (*Mapping, error) {
 				m.Stats.DeterministicFraction =
 					float64(m.Stats.DeterministicNeurons) / float64(m.Stats.MappedNeurons)
 			}
+		}
+		if version >= 4 {
+			m.Stats.MinBoundaryDelay = int(need())
+		} else {
+			// Pre-v4 artifact: derive the exchange-window bound from the
+			// chip image so old deployments can still serve windowed.
+			m.Stats.MinBoundaryDelay = MinBoundaryDelay(m.Chip, m.Stats.ChipCoresX, m.Stats.ChipCoresY)
 		}
 	}()
 	if retErr != nil {

@@ -236,6 +236,66 @@ func TestMappingReadsV2Stream(t *testing.T) {
 	}
 }
 
+// TestMappingRoundTripV4Window pins the v4 serialization of the
+// minimum boundary-crossing delay: the exchange-window bound a
+// distributed driver reads off the artifact must survive the round
+// trip exactly and agree with a recompute from the decoded chip image.
+func TestMappingRoundTripV4Window(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Placer: PlacerAnneal, Seed: 3,
+		Width: 4, Height: 4, ChipCoresX: 2, ChipCoresY: 2, BoundaryWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Stats.MinBoundaryDelay == 0 {
+		t.Fatal("tiled compile recorded no boundary-delay bound; the fixture no longer crosses a chip boundary")
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.MinBoundaryDelay != orig.Stats.MinBoundaryDelay {
+		t.Fatalf("MinBoundaryDelay %d, want %d", got.Stats.MinBoundaryDelay, orig.Stats.MinBoundaryDelay)
+	}
+	if d := MinBoundaryDelay(got.Chip, got.Stats.ChipCoresX, got.Stats.ChipCoresY); d != got.Stats.MinBoundaryDelay {
+		t.Fatalf("stored bound %d disagrees with recompute %d", got.Stats.MinBoundaryDelay, d)
+	}
+}
+
+// TestMappingReadsV3Stream pins forward compatibility for v3 artifacts:
+// the v4 boundary-delay word is appended last, so a v3 stream (8 fewer
+// trailing bytes, version word 3) must load — and because pre-v4
+// deployments still need to serve windowed, the bound is recomputed
+// from the decoded chip image rather than defaulting to lockstep zero.
+func TestMappingReadsV3Stream(t *testing.T) {
+	orig, err := Compile(bigNet(), Options{Placer: PlacerAnneal, Seed: 3,
+		Width: 4, Height: 4, ChipCoresX: 2, ChipCoresY: 2, BoundaryWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v3 := buf.Bytes()
+	v3 = v3[:len(v3)-8] // drop the appended v4 boundary-delay word
+	binary.LittleEndian.PutUint64(v3[8:16], 3)
+	got, err := ReadMapping(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatalf("v3 stream rejected: %v", err)
+	}
+	if got.Stats.MinBoundaryDelay != orig.Stats.MinBoundaryDelay {
+		t.Fatalf("v3 stream recomputed MinBoundaryDelay %d, want %d",
+			got.Stats.MinBoundaryDelay, orig.Stats.MinBoundaryDelay)
+	}
+	if got.Stats.MappedNeurons != orig.Stats.MappedNeurons {
+		t.Fatalf("v3 determinism stats lost: %+v", got.Stats)
+	}
+}
+
 // TestMappingReadsV1Stream pins backward compatibility: the v2 tiling
 // stats are appended at the end of the stream, so a v1 artifact (no
 // trailing 32 stat bytes, version word 1) must load with the untiled

@@ -130,6 +130,27 @@ func (m *Network) AddPopulation(name string, n int, proto neuron.Params) *Popula
 	return p
 }
 
+// PadNeuronDelays raises every neuron source delay below min up to min
+// (input-line delays are untouched — they gate the injection horizon,
+// not chip-to-chip routing). Padding trades a few ticks of added
+// classification latency for boundary slack: after compilation every
+// inter-core edge carries at least min ticks (min-1 on the relay leg of
+// split fan-outs), which is what lets the distributed drivers run
+// multi-tick exchange windows (see compile.Stats.MinBoundaryDelay).
+// Each padded stage's output stream shifts later by the added delay;
+// decoders observing a long enough window see the same evidence.
+// Panics if min exceeds neuron.MaxDelay.
+func (m *Network) PadNeuronDelays(min uint8) {
+	if min > neuron.MaxDelay {
+		panic(fmt.Sprintf("model: pad delay %d exceeds max %d", min, neuron.MaxDelay))
+	}
+	for i := range m.nprops {
+		if m.nprops[i].Delay < min {
+			m.nprops[i].Delay = min
+		}
+	}
+}
+
 // AddInputBank appends n external input lines with the given source
 // properties and returns the handle.
 func (m *Network) AddInputBank(name string, n int, props SourceProps) *InputBank {

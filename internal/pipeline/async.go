@@ -164,6 +164,7 @@ func WithSLOBudget(d time.Duration) AsyncOption { return func(c *asyncConfig) { 
 type asyncRequest struct {
 	ctx      context.Context
 	seq      uint64
+	class    Priority
 	values   []float64
 	done     chan<- Result // cap 1: the worker's send never blocks
 	accepted time.Time     // admission time, for queue-wait accounting
@@ -363,7 +364,7 @@ func (a *AsyncPipeline) SubmitPriority(ctx context.Context, class Priority, valu
 	}
 	// Never blocks: the slot token bounds total occupancy to cfg.queue,
 	// and each class channel holds cfg.queue.
-	a.queues[class] <- asyncRequest{ctx: ctx, seq: res.Seq, values: values, done: done, accepted: time.Now()}
+	a.queues[class] <- asyncRequest{ctx: ctx, seq: res.Seq, class: class, values: values, done: done, accepted: time.Now()}
 	a.met.submitted.Add(1)
 	a.submitMu.RUnlock()
 	return done
@@ -434,6 +435,14 @@ func (a *AsyncPipeline) Metrics() Metrics {
 	m.EstimatedWait = a.estimatedWait()
 	if m.Batches > 0 {
 		m.MeanBatch = float64(m.BatchedRequests) / float64(m.Batches)
+	}
+	m.PerPriority = make([]PriorityLatency, numPriorities)
+	for c := PriorityHigh; c < numPriorities; c++ {
+		m.PerPriority[c] = PriorityLatency{
+			Class:     c.String(),
+			QueueWait: a.met.classQueueWait[c].Snapshot(),
+			EndToEnd:  a.met.classEndToEnd[c].Snapshot(),
+		}
 	}
 	return m
 }
@@ -685,6 +694,7 @@ func (a *AsyncPipeline) batchWorker(s *Session) {
 func (a *AsyncPipeline) serve(s *Session, req asyncRequest) {
 	start := time.Now()
 	a.met.queueWait.Observe(start.Sub(req.accepted))
+	a.met.classQueueWait[req.class].Observe(start.Sub(req.accepted))
 	a.met.inFlight.Add(1)
 	res := Result{Seq: req.seq}
 	if err := req.ctx.Err(); err != nil {
@@ -707,6 +717,7 @@ func (a *AsyncPipeline) serve(s *Session, req asyncRequest) {
 		a.met.failed.Add(1)
 	}
 	a.met.endToEnd.Observe(time.Since(req.accepted))
+	a.met.classEndToEnd[req.class].Observe(time.Since(req.accepted))
 	req.done <- res
 	a.publish(res)
 }

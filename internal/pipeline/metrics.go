@@ -162,6 +162,13 @@ type asyncMetrics struct {
 	queueWait     LatencyHistogram // submit-accept -> serve-start
 	endToEnd      LatencyHistogram // submit-accept -> result delivered
 	streamLatency LatencyHistogram // one stream operation (Tick/Push/Present/Drain)
+
+	// Per-admission-class splits of queueWait/endToEnd, indexed by
+	// Priority. The aggregate histograms above stay authoritative; the
+	// splits let an operator see whether priority scheduling actually
+	// protects the high class's tail under load.
+	classQueueWait [numPriorities]LatencyHistogram
+	classEndToEnd  [numPriorities]LatencyHistogram
 }
 
 // observeService folds one measured service time into the EWMA.
@@ -246,4 +253,20 @@ type Metrics struct {
 	QueueWait     LatencyStats
 	EndToEnd      LatencyStats
 	StreamLatency LatencyStats // one stream operation (Tick/Push/Present/Drain)
+
+	// PerPriority splits QueueWait/EndToEnd by admission class, in
+	// Priority order (high, normal, low). Always length 3; classes with
+	// no traffic carry zero stats.
+	PerPriority []PriorityLatency
+}
+
+// PriorityLatency is one admission class's slice of the submit-path
+// latency accounting: how long that class's requests queued and how
+// long until their results were delivered. Under load these diverge by
+// design — strict priority dequeueing holds the high class's queue
+// wait down by letting the low class's grow.
+type PriorityLatency struct {
+	Class     string // "high", "normal", "low"
+	QueueWait LatencyStats
+	EndToEnd  LatencyStats
 }

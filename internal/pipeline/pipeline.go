@@ -81,6 +81,7 @@ type config struct {
 	decoder       codec.Decoder
 	window        int
 	drain         int
+	exchange      int
 	lines         LineMapper
 	classes       ClassMapper
 	system        *system.Config // nil = single-chip backend
@@ -117,6 +118,19 @@ func WithWindow(n int) Option { return func(c *config) { c.window = n } }
 // minimum).
 func WithDrain(n int) Option { return func(c *config) { c.drain = n } }
 
+// WithExchangeWindow sets the multi-tick exchange window sessions
+// drive their backends in: Classify pre-injects n encoded frames and
+// steps n ticks per exchange, which on a sharded backend is one
+// boundary exchange — and, distributed, one RPC round-trip per shard —
+// instead of n. Output bits never change: windows are clamped to the
+// mapping's exact bound (sim.MaxExchangeWindow — the minimum boundary-
+// crossing delay and the injection horizon), and a windowed run is
+// tick-for-tick identical to the lockstep one. n == 1 (the default) is
+// today's per-tick driving; n <= 0 selects the widest exact window.
+// Single-chip and in-process tiled backends accept any window (they
+// have no exchange to amortize; the clamp still applies).
+func WithExchangeWindow(n int) Option { return func(c *config) { c.exchange = n } }
+
 // WithLineMapper sets the emission-index -> input-line mapping.
 func WithLineMapper(f LineMapper) Option { return func(c *config) { c.lines = f } }
 
@@ -142,7 +156,10 @@ func WithSystem(chipCoresX, chipCoresY int) Option {
 // WithRemoteSystem serves the model over a distributed system: the
 // tile's physical chips partitioned across the shard processes at
 // addrs (addrs[i] must host shard i of len(addrs) — see cmd/nshard),
-// driven in lockstep with one RPC round-trip per tick. The mapping
+// driven in exchange windows of one RPC round-trip each (one per tick
+// by default; WithExchangeWindow amortizes the round-trip over the
+// mapping's legal multi-tick window — the distributed throughput
+// lever). The mapping
 // must be tiled-compiled (compile.Options.ChipCoresX/Y), because the
 // serving tile geometry is taken from its Stats and verified against
 // every shard in the connection handshake.
@@ -226,6 +243,7 @@ func New(m *compile.Mapping, opts ...Option) (*Pipeline, error) {
 		workers:       runtime.NumCPU(),
 		window:        16,
 		drain:         2,
+		exchange:      1,
 		lines:         func(i int) []int32 { return []int32{int32(i)} },
 		classes:       func(id model.NeuronID) int { return int(id) },
 	}
@@ -313,6 +331,7 @@ func (p *Pipeline) newSessionLocked() *Session {
 	} else {
 		s.runner = sim.NewRunnerWith(p.mapping, p.cfg.engine, p.cfg.engineWorkers, ropt)
 	}
+	s.runner.SetExchangeWindow(p.cfg.exchange)
 	if p.cfg.encoder != nil {
 		s.enc = p.cfg.encoder.Clone()
 	}
@@ -825,12 +844,21 @@ func (s *Session) snapshotTraffic() (BoundaryTraffic, [][]uint64) {
 	return s.snapTraffic, s.snapLink
 }
 
-// encodeTick encodes one value frame into line injections.
+// encodeTick encodes one value frame into line injections at the
+// current tick.
 func (s *Session) encodeTick(values []float64) error {
+	return s.encodeTickAt(values, s.runner.Now())
+}
+
+// encodeTickAt encodes one value frame into line injections as of tick
+// base — possibly a future tick within the current exchange window.
+// Encoders are output-independent (the spike train depends only on the
+// frame sequence), so pre-encoding a window's frames up front is exact.
+func (s *Session) encodeTickAt(values []float64, base int64) error {
 	var err error
 	s.enc.Tick(values, func(i int) {
 		for _, line := range s.p.cfg.lines(i) {
-			if e := s.runner.InjectLine(line); e != nil && err == nil {
+			if e := s.runner.InjectLineAt(line, base); e != nil && err == nil {
 				err = e
 			}
 		}
@@ -885,17 +913,29 @@ func (s *Session) Classify(ctx context.Context, values []float64) (int, error) {
 	if err := s.runner.Err(); err != nil {
 		return -1, err
 	}
-	for t := 0; t < s.p.cfg.window; t++ {
+	// Drive the presentation in exchange windows: encode the window's
+	// frames up front (injections stamped for their future ticks), then
+	// step the whole window in one exchange. With the default 1-tick
+	// window this is exactly the classic encode-step loop.
+	for t, w := 0, s.runner.ExchangeWindow(); t < s.p.cfg.window; {
 		if err := ctx.Err(); err != nil {
 			return -1, err
 		}
-		if err := s.encodeTick(values); err != nil {
-			return -1, err
+		n := w
+		if rem := s.p.cfg.window - t; n > rem {
+			n = rem
 		}
-		s.feed(s.runner.Step())
+		base := s.runner.Now()
+		for k := 0; k < n; k++ {
+			if err := s.encodeTickAt(values, base+int64(k)); err != nil {
+				return -1, err
+			}
+		}
+		s.feed(s.runner.StepN(n))
 		if err := s.runner.Err(); err != nil {
 			return -1, err
 		}
+		t += n
 	}
 	s.feed(s.runner.Drain(s.p.cfg.drain))
 	if err := s.runner.Err(); err != nil {
@@ -1098,14 +1138,42 @@ func (st *Stream) Inject(line int32) error {
 // Tick advances one tick without new input and returns the labels that
 // emerged.
 func (st *Stream) Tick() ([]Label, error) {
+	return st.TickN(1)
+}
+
+// TickN advances n ticks without new input, returning the labels that
+// emerged. On a windowed backend (WithRemoteSystem plus
+// WithExchangeWindow) the whole batch is one exchange round-trip, so a
+// streaming driver that knows its injections n ticks ahead (see
+// InjectAt) amortizes the per-tick RPC the same way Classify does.
+// Labels and decisions are bit-identical to n calls of Tick.
+func (st *Stream) TickN(n int) ([]Label, error) {
 	if err := st.err(); err != nil {
 		return nil, err
 	}
 	defer st.s.storeUsage()
-	labels := st.s.observe(st.s.runner.Step(), nil)
+	labels := st.s.observe(st.s.runner.StepN(n), nil)
 	st.pump(st.s.runner.CompleteThrough())
 	return labels, st.s.runner.Err()
 }
+
+// InjectAt emits a raw spike on a physical input line at tick at (the
+// logical injection tick, so the spike lands after the line's input
+// delay — InjectAt(line, st.Now()) is exactly Inject(line)). The tick
+// must not precede the current one, and injecting more than one
+// exchange window ahead risks overrunning the 16-slot ring horizon;
+// the intended pattern is: inject the next ExchangeWindow ticks'
+// spikes, then TickN(ExchangeWindow()).
+func (st *Stream) InjectAt(line int32, at int64) error {
+	if err := st.err(); err != nil {
+		return err
+	}
+	return st.s.runner.InjectLineAt(line, at)
+}
+
+// ExchangeWindow reports the effective exchange window the stream's
+// backend runs at (see WithExchangeWindow); 1 means lockstep.
+func (st *Stream) ExchangeWindow() int { return st.s.runner.ExchangeWindow() }
 
 // Push encodes one value frame at the current tick and advances one
 // tick.

@@ -136,4 +136,17 @@ func (m Metrics) WritePrometheus(w io.Writer) {
 	promSummary(w, "neurogo_serving_queue_wait_seconds", "Queue wait: submit-accept to serve-start.", "", m.QueueWait)
 	promSummary(w, "neurogo_serving_end_to_end_seconds", "End-to-end: submit-accept to result delivered.", "", m.EndToEnd)
 	promSummary(w, "neurogo_serving_stream_op_seconds", "One stream operation: Tick, Push, Present or Drain.", "", m.StreamLatency)
+
+	// Per-admission-class splits: one summary family each, one series
+	// per class, so an alert can watch the high class's tail directly.
+	if len(m.PerPriority) > 0 {
+		promHead(w, "neurogo_serving_class_queue_wait_seconds", "summary", "Queue wait split by admission class.")
+		for _, pc := range m.PerPriority {
+			promSummaryRow(w, "neurogo_serving_class_queue_wait_seconds", PromLabel("class", pc.Class), pc.QueueWait)
+		}
+		promHead(w, "neurogo_serving_class_end_to_end_seconds", "summary", "End-to-end latency split by admission class.")
+		for _, pc := range m.PerPriority {
+			promSummaryRow(w, "neurogo_serving_class_end_to_end_seconds", PromLabel("class", pc.Class), pc.EndToEnd)
+		}
+	}
 }

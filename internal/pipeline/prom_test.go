@@ -19,6 +19,9 @@ func TestWritePrometheus(t *testing.T) {
 			t.Fatal(r.Err)
 		}
 	}
+	if r := <-ap.SubmitPriority(ctx, PriorityHigh, rg.x[0]); r.Err != nil {
+		t.Fatal(r.Err)
+	}
 	as, err := ap.OpenStream(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +40,7 @@ func TestWritePrometheus(t *testing.T) {
 
 	for _, want := range []string{
 		"# TYPE neurogo_serving_submitted_total counter",
-		"neurogo_serving_submitted_total 4",
+		"neurogo_serving_submitted_total 5",
 		"# TYPE neurogo_serving_expired_total counter",
 		"neurogo_serving_expired_total 0",
 		"# TYPE neurogo_serving_workers gauge",
@@ -46,12 +49,42 @@ func TestWritePrometheus(t *testing.T) {
 		"neurogo_serving_stream_frames_total 8",
 		"# TYPE neurogo_serving_queue_wait_seconds summary",
 		`neurogo_serving_queue_wait_seconds{quantile="0.99"}`,
-		"neurogo_serving_queue_wait_seconds_count 4",
+		"neurogo_serving_queue_wait_seconds_count 5",
 		`neurogo_serving_stream_op_seconds{quantile="0.5"}`,
+		"# TYPE neurogo_serving_class_queue_wait_seconds summary",
+		`neurogo_serving_class_queue_wait_seconds_count{class="high"} 1`,
+		`neurogo_serving_class_queue_wait_seconds_count{class="normal"} 4`,
+		`neurogo_serving_class_end_to_end_seconds_count{class="low"} 0`,
+		`neurogo_serving_class_end_to_end_seconds{class="high",quantile="0.99"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)
 		}
+	}
+
+	// The snapshot's per-class split matches: 3 classes in priority
+	// order, counts adding up to the aggregate.
+	m := ap.Metrics()
+	if len(m.PerPriority) != 3 {
+		t.Fatalf("PerPriority has %d classes", len(m.PerPriority))
+	}
+	var sum uint64
+	for i, name := range []string{"high", "normal", "low"} {
+		pc := m.PerPriority[i]
+		if pc.Class != name {
+			t.Fatalf("PerPriority[%d].Class = %q, want %q", i, pc.Class, name)
+		}
+		if pc.QueueWait.Count != pc.EndToEnd.Count {
+			t.Fatalf("class %s: queue-wait count %d != end-to-end count %d", name, pc.QueueWait.Count, pc.EndToEnd.Count)
+		}
+		sum += pc.EndToEnd.Count
+	}
+	if sum != m.EndToEnd.Count {
+		t.Fatalf("per-class end-to-end counts sum to %d, aggregate %d", sum, m.EndToEnd.Count)
+	}
+	if m.PerPriority[0].QueueWait.Count != 1 || m.PerPriority[1].QueueWait.Count != 4 {
+		t.Fatalf("class counts = %d/%d, want 1 high / 4 normal",
+			m.PerPriority[0].QueueWait.Count, m.PerPriority[1].QueueWait.Count)
 	}
 
 	// Format invariants: every family appears once, HELP then TYPE, and

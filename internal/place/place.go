@@ -43,6 +43,16 @@ type Problem struct {
 	// leaves the objective (and every placer's output) bit-identical to
 	// the untiled problem.
 	BoundaryWeight float64
+	// CrossTraffic, when non-nil, replaces Traffic in the boundary term
+	// only: the crossing cost of edge (i,j) is λ·CrossTraffic[i][j]
+	// while the hop term keeps using Traffic. This lets callers price
+	// some crossings harder than others — e.g. edges whose axonal delay
+	// is 1 tick cap the distributed exchange window at 1, so a
+	// delay-aware compiler inflates their crossing weight to steer the
+	// placement toward windowable tilings. Nil means CrossTraffic ==
+	// Traffic and every placer output is bit-identical to before the
+	// field existed. Same shape constraints as Traffic.
+	CrossTraffic [][]float64
 }
 
 // Validate checks the instance shape.
@@ -82,7 +92,31 @@ func (p *Problem) Validate() error {
 			}
 		}
 	}
+	if p.CrossTraffic != nil {
+		if len(p.CrossTraffic) != p.N {
+			return fmt.Errorf("place: cross-traffic matrix has %d rows for %d groups", len(p.CrossTraffic), p.N)
+		}
+		for i, row := range p.CrossTraffic {
+			if len(row) != p.N {
+				return fmt.Errorf("place: cross-traffic row %d has %d columns", i, len(row))
+			}
+			for j, w := range row {
+				if w < 0 {
+					return fmt.Errorf("place: negative cross-traffic [%d][%d]", i, j)
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// crossMatrix returns the matrix pricing the boundary term: CrossTraffic
+// when set, Traffic otherwise.
+func (p *Problem) crossMatrix() [][]float64 {
+	if p.CrossTraffic != nil {
+		return p.CrossTraffic
+	}
+	return p.Traffic
 }
 
 // tiled reports whether the grid is partitioned into physical chips.
@@ -170,14 +204,35 @@ func (p *Problem) InterChipFraction(a Assignment) float64 {
 	return cross / total
 }
 
+// CrossCost returns the total crossing weight under a as priced by the
+// boundary term — CrossTraffic when set, Traffic otherwise. Zero for
+// untiled problems.
+func (p *Problem) CrossCost(a Assignment) float64 {
+	chip := p.chipIndex()
+	if chip == nil {
+		return 0
+	}
+	cm := p.crossMatrix()
+	cross := 0.0
+	for i := 0; i < p.N; i++ {
+		row := cm[i]
+		for j := 0; j < p.N; j++ {
+			if w := row[j]; w > 0 && chip[a[i]] != chip[a[j]] {
+				cross += w
+			}
+		}
+	}
+	return cross
+}
+
 // Cost returns the combined placement objective: traffic-weighted
-// Manhattan distance plus BoundaryWeight per unit of traffic crossing a
-// chip boundary. With λ = 0 (or no tiling) it equals HopCost exactly.
+// Manhattan distance plus BoundaryWeight per unit of crossing weight
+// (CrossTraffic when set, Traffic otherwise). With λ = 0 (or no
+// tiling) it equals HopCost exactly.
 func (p *Problem) Cost(a Assignment) float64 {
 	c := p.HopCost(a)
 	if p.boundaryActive() {
-		cross, _ := p.CrossWeight(a)
-		c += p.BoundaryWeight * cross
+		c += p.BoundaryWeight * p.CrossCost(a)
 	}
 	return c
 }
@@ -210,13 +265,17 @@ func Random(p *Problem, seed uint64) Assignment {
 }
 
 // adjacency builds symmetric weighted adjacency lists from the traffic
-// matrix: adj[i] holds (j, T[i][j]+T[j][i]) for all traffic partners.
+// matrix: adj[i] holds (j, T[i][j]+T[j][i]) for all traffic partners,
+// plus the crossing weight cw the boundary term charges for the pair
+// (equal to w unless CrossTraffic overrides it).
 type halfEdge struct {
 	to int
 	w  float64
+	cw float64
 }
 
 func adjacency(p *Problem) [][]halfEdge {
+	cm := p.crossMatrix()
 	adj := make([][]halfEdge, p.N)
 	for i := 0; i < p.N; i++ {
 		for j := 0; j < p.N; j++ {
@@ -224,8 +283,9 @@ func adjacency(p *Problem) [][]halfEdge {
 				continue
 			}
 			w := p.Traffic[i][j] + p.Traffic[j][i]
-			if w > 0 {
-				adj[i] = append(adj[i], halfEdge{j, w})
+			cw := cm[i][j] + cm[j][i]
+			if w > 0 || cw > 0 {
+				adj[i] = append(adj[i], halfEdge{j, w, cw})
 			}
 		}
 	}
@@ -274,6 +334,7 @@ func spiralOrder(w, h int) []int {
 type placedEdge struct {
 	x, y, chip int
 	w          float64
+	cw         float64
 }
 
 // Greedy places the most-connected group at the grid centre, then
@@ -356,7 +417,7 @@ func Greedy(p *Problem) Assignment {
 				if chip != nil {
 					pc = chip[s]
 				}
-				partners = append(partners, placedEdge{xs[s], ys[s], pc, e.w})
+				partners = append(partners, placedEdge{xs[s], ys[s], pc, e.w, e.cw})
 			}
 		}
 		// Best free slot by incremental cost, scanned in spiral order so
@@ -383,7 +444,7 @@ func Greedy(p *Problem) Assignment {
 				}
 				c += pe.w * float64(dx+dy)
 				if chip != nil && schip != pe.chip {
-					c += lambda * pe.w
+					c += lambda * pe.cw
 				}
 				if bestIdx != -1 && c >= bestCost {
 					break
@@ -462,9 +523,9 @@ func Anneal(p *Problem, seed uint64, opt AnnealOptions) Assignment {
 				was, now := chip[s1] != partner, chip[s2] != partner
 				if was != now {
 					if now {
-						d += lambda * e.w
+						d += lambda * e.cw
 					} else {
-						d -= lambda * e.w
+						d -= lambda * e.cw
 					}
 				}
 			}

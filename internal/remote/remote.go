@@ -1,27 +1,41 @@
 // Package remote runs tile shards in other processes: a thin net/rpc
 // server (gob over TCP or unix socket) hosting one system.Shard, and a
 // client implementing system.ShardConn, so a system.Sharded can drive
-// N shard processes in lockstep as one logical model.
+// N shard processes as one logical model.
 //
-// The wire protocol is one round-trip per tick per shard: the request
-// carries the boundary spikes addressed to the shard by the previous
-// tick plus every injection buffered since the last tick, the reply
-// carries the shard's output spikes, its fresh outbox, and a
-// cumulative accounting snapshot (chip counters + boundary traffic).
-// Because the snapshot rides every reply, Counters/BoundaryTotals/
-// AddLinkTrafficInto on the client are local reads — serving-layer
-// accounting costs no extra round-trips.
+// The wire protocol (version 2) is one round-trip per *exchange
+// window* per shard: TickN carries the boundary spikes other shards
+// emitted during the previous window plus every injection buffered
+// since, and returns the window's per-tick outputs, its combined
+// outbox, and the shard's running activity totals (chip counters plus
+// intra/inter boundary counts — a few fixed-size words, so
+// Counters/BoundaryTotals on the client stay local reads). Spike
+// payloads travel as packed flat []uint32 words with arrival ticks
+// relative to the window start, and both sides reuse their
+// encode/decode buffers, so steady-state windows allocate almost
+// nothing. A one-tick window is exactly the lockstep protocol; wider
+// windows amortize the round-trip over N ticks, which is what buys
+// distributed throughput (the mapping's Stats.MinBoundaryDelay bounds
+// the legal window; the server enforces the bound it derives from its
+// own chip image).
+//
+// The full (src chip, dst chip) link-traffic matrix no longer rides
+// tick replies: it moves over the explicit Sync RPC, called lazily by
+// AddLinkTrafficInto, and each Sync carries only the cells that
+// changed since the previous Sync (sparse index/delta pairs) — cheap
+// even on large tiles, and nothing at all on the hot path.
 //
 // A connection opens with a handshake verifying protocol version,
 // mapping identity (SHA-256 over the deterministic mapping
 // serialization), tile geometry, and the (shards, shard) partition
 // coordinates, so a client can never drive a shard built from a
-// different model or a different partitioning. Per-tick requests carry
-// the shard's expected clock; any divergence is an error, never a
-// silent drift.
+// different model or a different partitioning — and a version-1
+// client is rejected before a single spike crosses the wire. Per-
+// window requests carry the shard's expected clock; any divergence is
+// an error, never a silent drift.
 //
 // Failure semantics: a dead or timed-out shard surfaces as an error
-// from TickLocal, which system.Sharded wraps into ShardDownError
+// from TickLocalN, which system.Sharded wraps into ShardDownError
 // (matching system.ErrShardDown) and makes sticky. Waits are bounded
 // by a per-call timeout and by the context bound via BindContext, so
 // a killed shard process can never hang a Classify.
@@ -43,8 +57,10 @@ import (
 )
 
 // Protocol is the wire format version; bumped on any incompatible
-// change to the handshake or per-tick messages.
-const Protocol = 1
+// change to the handshake or per-window messages. Version 2 replaced
+// the per-tick Tick RPC (full accounting snapshot on every reply)
+// with the windowed TickN RPC plus the delta-based Sync RPC.
+const Protocol = 2
 
 // DefaultTimeout bounds each RPC round-trip when the caller binds no
 // tighter context deadline.
@@ -80,85 +96,123 @@ type HandshakeReply struct {
 	// Chips lists the physical chips this shard owns (ascending) — the
 	// client cross-checks them against its own PartitionChips result.
 	Chips []int
+	// Window is the widest exchange window the server will execute,
+	// derived from its mapping's minimum boundary-crossing delay
+	// (0 = unbounded: no chip-crossing edges exist).
+	Window int
 }
 
-// Injection is one buffered external input spike.
-type Injection struct {
-	Core int32
-	Axon int32
-	At   int64
+// Boundary spikes and injections travel as two packed words each: the
+// destination core, then axon | (arrival − window-start) << 8. Offsets
+// are small and non-negative for any legal window (arrival ≥ window
+// start on delivery, ≥ start+1 on emission; at most window + max
+// delay — the chip's delay-ring horizon bounds injections the same
+// way). Packing beats gob's reflective struct encoding by an order of
+// magnitude on the serving path, where injections are the bulk of the
+// request bytes.
+
+// packBoundary appends spikes to dst in packed form, arrival ticks
+// relative to base.
+func packBoundary(dst []uint32, spikes []system.BoundarySpike, base int64) []uint32 {
+	for _, b := range spikes {
+		dst = append(dst, uint32(b.Core), uint32(b.Axon)|uint32(b.At-base)<<8)
+	}
+	return dst
 }
 
-// TickArgs advances the shard one tick.
-type TickArgs struct {
-	// Seq is the tick the client expects the shard to execute; the
+// unpackBoundary appends decoded spikes to dst, restoring absolute
+// arrival ticks from base.
+func unpackBoundary(dst []system.BoundarySpike, packed []uint32, base int64) []system.BoundarySpike {
+	for i := 0; i+1 < len(packed); i += 2 {
+		dst = append(dst, system.BoundarySpike{
+			Core: int32(packed[i]),
+			Axon: uint8(packed[i+1]),
+			At:   base + int64(packed[i+1]>>8),
+		})
+	}
+	return dst
+}
+
+// TickNArgs advances the shard one exchange window of N ticks.
+type TickNArgs struct {
+	// Seq is the tick the client expects the shard to execute next; the
 	// server rejects any mismatch, so clock drift is an error, never a
 	// silent divergence.
 	Seq int64
+	// N is the window width in ticks. The server rejects windows wider
+	// than the bound it derives from its own mapping.
+	N int
 	// Mode and Workers select the shard-local evaluation strategy.
 	Mode    system.EvalMode
 	Workers int
 	// Incoming carries the boundary spikes other shards emitted for
-	// this shard on the previous tick — the batched cross-shard
-	// transfer, piggybacked so each tick is exactly one round-trip.
-	Incoming []system.BoundarySpike
+	// this shard during the previous window, packed (arrivals relative
+	// to Seq).
+	Incoming []uint32
 	// Injections carries every external input spike buffered since the
-	// previous tick; injections always precede the first tick they can
-	// affect, so deferred shipment is exact.
-	Injections []Injection
+	// previous window, packed like Incoming (arrivals relative to Seq);
+	// injections always precede the first tick they can affect, so
+	// deferred shipment is exact.
+	Injections []uint32
 }
 
-// Snapshot is the cumulative accounting state piggybacked on every
-// reply, so client-side accounting reads are local.
-type Snapshot struct {
+// TickNReply returns one window's results plus the shard's running
+// activity totals (fixed-size, so client-side accounting reads cost no
+// round-trips).
+type TickNReply struct {
+	// OutCounts[k] is the number of output spikes window tick k
+	// emitted; Outputs holds them back to back, each packed as
+	// core<<8 | neuron (the tick is implied by position).
+	OutCounts []uint32
+	Outputs   []uint32
+	// Boundary is the window's combined outbox, packed (arrivals
+	// relative to Seq).
+	Boundary []uint32
+	// Counters, Intra and Inter are the shard's cumulative activity
+	// totals after the window.
 	Counters     chip.Counters
 	Intra, Inter uint64
-	// Link is the shard's (src chip, dst chip) crossing matrix,
-	// flattened row-major over the full tile.
-	Link []uint64
 }
 
-// TickReply returns one tick's results.
-type TickReply struct {
-	Outputs  []chip.OutputSpike
-	Boundary []system.BoundarySpike
-	Snap     Snapshot
+// SyncArgs and SyncReply serve the lazy link-traffic synchronization.
+type SyncArgs struct{}
+
+// SyncReply carries the link-traffic cells that changed since the
+// previous Sync, as flattened (row-major index, increment) pairs over
+// the full chips x chips matrix.
+type SyncReply struct {
+	Deltas []uint64
 }
 
 // ResetArgs and ResetReply serve Reset and ResetCounters.
 type ResetArgs struct{}
 
-// ResetReply carries the post-reset accounting snapshot.
-type ResetReply struct {
-	Snap Snapshot
-}
+// ResetReply is empty: the client adjusts its cached totals locally
+// (both resets have exact client-side mirrors).
+type ResetReply struct{}
 
 // shardService is the RPC-exported surface over one system.Shard. All
 // methods serialize on mu: one shard process serves one lockstep
 // client, and the mutex keeps a misbehaving second connection from
-// corrupting state rather than giving it service.
+// corrupting state rather than giving it service. Reply buffers are
+// reused across calls — safe for the same reason the shard's own
+// reused slices are: exactly one driving client.
 type shardService struct {
-	mu    sync.Mutex
-	shard *system.Shard
-	hash  [32]byte
-	cfg   system.Config
-	parts [][]int
-	idx   int
-}
+	mu     sync.Mutex
+	shard  *system.Shard
+	hash   [32]byte
+	cfg    system.Config
+	parts  [][]int
+	idx    int
+	window int // widest legal exchange window (0 = unbounded)
 
-func (s *shardService) snapshot() Snapshot {
-	intra, inter := s.shard.BoundaryTotals()
-	total := s.totalChips()
-	link := make([][]uint64, total)
-	for i := range link {
-		link[i] = make([]uint64, total)
-	}
-	s.shard.AddLinkTrafficInto(link)
-	flat := make([]uint64, 0, total*total)
-	for _, row := range link {
-		flat = append(flat, row...)
-	}
-	return Snapshot{Counters: s.shard.Counters(), Intra: intra, Inter: inter, Link: flat}
+	inBuf    []system.BoundarySpike
+	cntBuf   []uint32
+	outBuf   []uint32
+	bndBuf   []uint32
+	linkBuf  [][]uint64 // scratch for the current matrix
+	lastLink [][]uint64 // matrix as of the previous Sync
+	deltaBuf []uint64
 }
 
 func (s *shardService) totalChips() int {
@@ -188,48 +242,104 @@ func (s *shardService) Handshake(args HandshakeArgs, reply *HandshakeReply) erro
 			args.Shard, args.Shards, s.idx, len(s.parts))
 	}
 	reply.Chips = append([]int(nil), s.shard.Chips()...)
+	reply.Window = s.window
 	return nil
 }
 
-// Tick implements the per-tick round-trip.
-func (s *shardService) Tick(args TickArgs, reply *TickReply) error {
+// TickN implements the per-window round-trip.
+func (s *shardService) TickN(args TickNArgs, reply *TickNReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if now := s.shard.Now(); args.Seq != now {
 		return fmt.Errorf("remote: lockstep broken: client at tick %d, shard at %d", args.Seq, now)
 	}
-	for _, inj := range args.Injections {
-		if err := s.shard.Inject(inj.Core, int(inj.Axon), inj.At); err != nil {
+	if args.N < 1 {
+		return fmt.Errorf("remote: execution window of %d ticks", args.N)
+	}
+	if s.window > 0 && args.N > s.window {
+		return fmt.Errorf("remote: %d-tick window exceeds the mapping's %d-tick exchange bound", args.N, s.window)
+	}
+	for i := 0; i+1 < len(args.Injections); i += 2 {
+		w := args.Injections[i+1]
+		if err := s.shard.Inject(int32(args.Injections[i]), int(w&0xff), args.Seq+int64(w>>8)); err != nil {
 			return err
 		}
 	}
-	res, err := s.shard.TickLocal(args.Mode, args.Workers, args.Incoming)
+	s.inBuf = unpackBoundary(s.inBuf[:0], args.Incoming, args.Seq)
+	res, err := s.shard.TickLocalN(args.Mode, args.Workers, s.inBuf, args.N)
 	if err != nil {
 		return err
 	}
-	reply.Outputs = res.Outputs
-	reply.Boundary = res.Boundary
-	reply.Snap = s.snapshot()
+	cnts, outs := s.cntBuf[:0], s.outBuf[:0]
+	for _, tick := range res.Outputs {
+		cnts = append(cnts, uint32(len(tick)))
+		for _, o := range tick {
+			outs = append(outs, uint32(o.Core)<<8|uint32(o.Neuron))
+		}
+	}
+	s.cntBuf, s.outBuf = cnts, outs
+	s.bndBuf = packBoundary(s.bndBuf[:0], res.Boundary, args.Seq)
+	reply.OutCounts = cnts
+	reply.Outputs = outs
+	reply.Boundary = s.bndBuf
+	reply.Counters = s.shard.Counters()
+	reply.Intra, reply.Inter = s.shard.BoundaryTotals()
 	return nil
 }
 
-// Reset implements ShardConn.Reset remotely.
+// Sync implements the lazy link-traffic pull: only cells that changed
+// since the previous Sync cross the wire.
+func (s *shardService) Sync(_ SyncArgs, reply *SyncReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.totalChips()
+	if s.linkBuf == nil {
+		s.linkBuf = make([][]uint64, total)
+		for i := range s.linkBuf {
+			s.linkBuf[i] = make([]uint64, total)
+		}
+	}
+	for i := range s.linkBuf {
+		for j := range s.linkBuf[i] {
+			s.linkBuf[i][j] = 0
+		}
+	}
+	s.shard.AddLinkTrafficInto(s.linkBuf)
+	deltas := s.deltaBuf[:0]
+	for i := 0; i < total; i++ {
+		for j := 0; j < total; j++ {
+			if cur, last := s.linkBuf[i][j], s.lastLink[i][j]; cur != last {
+				deltas = append(deltas, uint64(i*total+j), cur-last)
+				s.lastLink[i][j] = cur
+			}
+		}
+	}
+	s.deltaBuf = deltas
+	reply.Deltas = deltas
+	return nil
+}
+
+// Reset implements ShardConn.Reset remotely. The shard zeroes its
+// boundary traffic, so the last-synced matrix restarts from zero too.
 func (s *shardService) Reset(ResetArgs, *ResetReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.shard.Reset()
-}
-
-// ResetCounters implements ShardConn.ResetCounters remotely; the reply
-// refreshes the client's cached snapshot.
-func (s *shardService) ResetCounters(_ ResetArgs, reply *ResetReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.shard.ResetCounters(); err != nil {
+	if err := s.shard.Reset(); err != nil {
 		return err
 	}
-	reply.Snap = s.snapshot()
+	for i := range s.lastLink {
+		for j := range s.lastLink[i] {
+			s.lastLink[i][j] = 0
+		}
+	}
 	return nil
+}
+
+// ResetCounters implements ShardConn.ResetCounters remotely.
+func (s *shardService) ResetCounters(ResetArgs, *ResetReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard.ResetCounters()
 }
 
 // serviceName is the rpc-registered name; versioning it alongside
@@ -251,7 +361,9 @@ type Server struct {
 // NewServer builds the shard server for partition coordinates
 // (shard of shards) over the mapping's core grid. Every server and
 // every client derive the same partition from system.PartitionChips,
-// so the coordinates alone pin which chips this process owns.
+// so the coordinates alone pin which chips this process owns. The
+// server also derives its exchange-window bound from the mapping's
+// chip image, so a client can never talk it into an inexact window.
 func NewServer(m *compile.Mapping, cfg system.Config, shards, shard int, opt chip.Options) (*Server, error) {
 	if err := cfg.Validate(m.Chip); err != nil {
 		return nil, err
@@ -274,7 +386,18 @@ func NewServer(m *compile.Mapping, cfg system.Config, shards, shard int, opt chi
 	if err != nil {
 		return nil, err
 	}
-	svc := &shardService{shard: sh, hash: hash, cfg: cfg, parts: parts, idx: shard}
+	svc := &shardService{
+		shard:  sh,
+		hash:   hash,
+		cfg:    cfg,
+		parts:  parts,
+		idx:    shard,
+		window: compile.MinBoundaryDelay(m.Chip, cfg.ChipCoresX, cfg.ChipCoresY),
+	}
+	svc.lastLink = make([][]uint64, n)
+	for i := range svc.lastLink {
+		svc.lastLink[i] = make([]uint64, n)
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(serviceName, svc); err != nil {
 		return nil, err
@@ -289,6 +412,10 @@ func NewServer(m *compile.Mapping, cfg system.Config, shards, shard int, opt chi
 
 // Shard exposes the hosted shard (for probes and tests).
 func (s *Server) Shard() *system.Shard { return s.svc.shard }
+
+// Window returns the widest exchange window the server will execute
+// (0 = unbounded).
+func (s *Server) Window() int { return s.svc.window }
 
 // Serve accepts connections on ln until Close; each connection gets
 // the gob-encoded rpc loop. It returns nil after Close.
@@ -375,16 +502,29 @@ func (s *Server) ListenAndServe(network, addr string) error {
 // Client drives one remote shard; it implements system.ShardConn, so
 // a system.Sharded built over Clients is the distributed system.
 type Client struct {
-	rpc     *rpc.Client
-	shard   int
-	chips   []int
-	timeout time.Duration
+	rpc        *rpc.Client
+	shard      int
+	chips      []int
+	totalChips int
+	window     int // server-reported exchange bound (0 = unbounded)
+	timeout    time.Duration
 
-	ctx  context.Context
-	seq  int64 // the remote shard's clock, for the lockstep guard
-	inj  []Injection
-	snap Snapshot
-	down error // sticky transport failure
+	ctx          context.Context
+	seq          int64    // the remote shard's clock, for the lockstep guard
+	inj          []uint32 // buffered injections, packed relative to seq
+	counters     chip.Counters
+	intra, inter uint64
+	link         []uint64 // cumulative crossing matrix, synced lazily
+	down         error    // sticky transport failure
+
+	// Reused wire and decode buffers: the request is gob-encoded
+	// synchronously inside call, and gob decodes replies into existing
+	// capacity, so the steady-state window allocates almost nothing.
+	args      TickNArgs
+	reply     TickNReply
+	syncReply SyncReply
+	outs      [][]chip.OutputSpike
+	boundary  []system.BoundarySpike
 }
 
 // ClientOptions configure Dial.
@@ -442,7 +582,8 @@ func Dial(m *compile.Mapping, cfg system.Config, addr string, shards, shard int,
 	}
 	chipsX := m.Chip.Width / cfg.ChipCoresX
 	chipsY := m.Chip.Height / cfg.ChipCoresY
-	want := system.PartitionChips(chipsX*chipsY, shards)[shard]
+	n := chipsX * chipsY
+	want := system.PartitionChips(n, shards)[shard]
 	if len(reply.Chips) != len(want) {
 		c.rpc.Close()
 		return nil, fmt.Errorf("remote: shard %d owns %d chips, partition assigns %d", shard, len(reply.Chips), len(want))
@@ -454,6 +595,9 @@ func Dial(m *compile.Mapping, cfg system.Config, addr string, shards, shard int,
 		}
 	}
 	c.chips = want
+	c.totalChips = n
+	c.window = reply.Window
+	c.link = make([]uint64, n*n)
 	return c, nil
 }
 
@@ -500,47 +644,108 @@ func (c *Client) BindContext(ctx context.Context) {
 // Chips returns the physical chips the remote shard owns.
 func (c *Client) Chips() []int { return c.chips }
 
+// Window returns the server's exchange-window bound (0 = unbounded).
+func (c *Client) Window() int { return c.window }
+
 // Err returns the sticky transport failure, nil while healthy.
 func (c *Client) Err() error { return c.down }
 
-// TickLocal implements system.ShardConn: one round-trip carrying the
-// incoming boundary spikes and the buffered injections, returning the
-// shard's outputs and outbox. The cumulative accounting snapshot on
-// the reply refreshes the client cache.
-func (c *Client) TickLocal(mode system.EvalMode, workers int, incoming []system.BoundarySpike) (system.TickResult, error) {
+// TickLocalN implements system.ShardConn: one round-trip carrying the
+// window's incoming boundary spikes and the buffered injections,
+// returning the per-tick outputs and the window's combined outbox.
+// The running activity totals on the reply refresh the client cache.
+// All returned slices are reused across windows; retainers must copy.
+func (c *Client) TickLocalN(mode system.EvalMode, workers int, incoming []system.BoundarySpike, n int) (system.WindowResult, error) {
 	if c.down != nil {
-		return system.TickResult{}, c.down
+		return system.WindowResult{}, c.down
 	}
-	args := TickArgs{
-		Seq:        c.seq,
-		Mode:       mode,
-		Workers:    workers,
-		Incoming:   incoming,
-		Injections: c.inj,
+	if n < 1 {
+		return system.WindowResult{}, fmt.Errorf("remote: execution window of %d ticks", n)
 	}
-	var reply TickReply
-	if err := c.call("Tick", args, &reply); err != nil {
-		return system.TickResult{}, err
+	if c.window > 0 && n > c.window {
+		return system.WindowResult{}, fmt.Errorf("remote: %d-tick window exceeds shard %d's %d-tick exchange bound", n, c.shard, c.window)
+	}
+	base := c.seq
+	c.args.Seq = base
+	c.args.N = n
+	c.args.Mode = mode
+	c.args.Workers = workers
+	c.args.Incoming = packBoundary(c.args.Incoming[:0], incoming, base)
+	c.args.Injections = c.inj
+	// gob omits zero-valued reply fields (empty slices included), so a
+	// reused reply struct must be cleared — length only, keeping the
+	// capacity — or stale spikes from the previous window would show
+	// through whenever this window's field is empty.
+	c.reply.OutCounts = c.reply.OutCounts[:0]
+	c.reply.Outputs = c.reply.Outputs[:0]
+	c.reply.Boundary = c.reply.Boundary[:0]
+	c.reply.Counters = chip.Counters{}
+	c.reply.Intra, c.reply.Inter = 0, 0
+	if err := c.call("TickN", &c.args, &c.reply); err != nil {
+		return system.WindowResult{}, err
 	}
 	c.inj = c.inj[:0]
-	c.seq++
-	c.snap = reply.Snap
-	return system.TickResult{Outputs: reply.Outputs, Boundary: reply.Boundary}, nil
+	if len(c.reply.OutCounts) != n {
+		c.down = fmt.Errorf("remote: shard %d returned %d tick counts for a %d-tick window", c.shard, len(c.reply.OutCounts), n)
+		return system.WindowResult{}, c.down
+	}
+	for len(c.outs) < n {
+		c.outs = append(c.outs, nil)
+	}
+	outs := c.outs[:n]
+	pos := 0
+	for k := 0; k < n; k++ {
+		cnt := int(c.reply.OutCounts[k])
+		if cnt < 0 || pos+cnt > len(c.reply.Outputs) {
+			c.down = fmt.Errorf("remote: shard %d output stream shorter than its tick counts", c.shard)
+			return system.WindowResult{}, c.down
+		}
+		o := outs[k][:0]
+		for _, w := range c.reply.Outputs[pos : pos+cnt] {
+			o = append(o, chip.OutputSpike{Tick: base + int64(k), Core: int32(w >> 8), Neuron: uint8(w)})
+		}
+		outs[k] = o
+		pos += cnt
+	}
+	c.boundary = unpackBoundary(c.boundary[:0], c.reply.Boundary, base)
+	c.seq += int64(n)
+	c.counters = c.reply.Counters
+	c.intra, c.inter = c.reply.Intra, c.reply.Inter
+	return system.WindowResult{Outputs: outs, Boundary: c.boundary}, nil
 }
 
-// Inject implements system.ShardConn: buffered client-side, shipped
-// with the next TickLocal. The driving Sharded validated bounds
-// against the full core grid already; the shard re-validates on
-// arrival as defense in depth.
+// TickLocal implements system.ShardConn: the one-tick window.
+func (c *Client) TickLocal(mode system.EvalMode, workers int, incoming []system.BoundarySpike) (system.TickResult, error) {
+	win, err := c.TickLocalN(mode, workers, incoming, 1)
+	if err != nil {
+		return system.TickResult{}, err
+	}
+	return system.TickResult{Outputs: win.Outputs[0], Boundary: win.Boundary}, nil
+}
+
+// Inject implements system.ShardConn: buffered client-side (packed,
+// arrival relative to the next window's start), shipped with the next
+// TickLocalN. The driving Sharded validated bounds against the full
+// core grid already; the shard re-validates on arrival as defense in
+// depth. An arrival before the next window start would land in the
+// shard's past, so it is refused here — the same injections-precede-
+// their-window invariant deferred shipment rests on.
 func (c *Client) Inject(coreIdx int32, axon int, at int64) error {
 	if c.down != nil {
 		return c.down
 	}
-	c.inj = append(c.inj, Injection{Core: coreIdx, Axon: int32(axon), At: at})
+	off := at - c.seq
+	if off < 0 || off > 0xffffff {
+		return fmt.Errorf("remote: injection at tick %d outside shard %d's next window starting at %d", at, c.shard, c.seq)
+	}
+	c.inj = append(c.inj, uint32(coreIdx), uint32(axon)|uint32(off)<<8)
 	return nil
 }
 
-// Reset implements system.ShardConn.
+// Reset implements system.ShardConn. The shard zeroes boundary
+// traffic but preserves activity counters (the System.Reset
+// contract); the client mirrors both exactly, so no state needs to
+// ride the reply.
 func (c *Client) Reset() error {
 	if c.down != nil {
 		return c.down
@@ -551,16 +756,16 @@ func (c *Client) Reset() error {
 	}
 	c.seq = 0
 	c.inj = c.inj[:0]
-	// Reset zeroes boundary traffic but preserves activity counters
-	// (the System.Reset contract); mirror it on the cached snapshot.
-	c.snap.Intra, c.snap.Inter = 0, 0
-	for i := range c.snap.Link {
-		c.snap.Link[i] = 0
+	c.intra, c.inter = 0, 0
+	for i := range c.link {
+		c.link[i] = 0
 	}
 	return nil
 }
 
-// ResetCounters implements system.ShardConn.
+// ResetCounters implements system.ShardConn. Counters only advance
+// inside TickN, so zeroing the cache is the exact mirror of the
+// server-side reset.
 func (c *Client) ResetCounters() error {
 	if c.down != nil {
 		return c.down
@@ -569,26 +774,47 @@ func (c *Client) ResetCounters() error {
 	if err := c.call("ResetCounters", ResetArgs{}, &reply); err != nil {
 		return err
 	}
-	c.snap = reply.Snap
+	c.counters = chip.Counters{}
 	return nil
 }
 
-// Counters implements system.ShardConn from the cached snapshot.
-func (c *Client) Counters() chip.Counters { return c.snap.Counters }
+// Counters implements system.ShardConn from the cached totals.
+func (c *Client) Counters() chip.Counters { return c.counters }
 
-// BoundaryTotals implements system.ShardConn from the cached snapshot.
-func (c *Client) BoundaryTotals() (intra, inter uint64) { return c.snap.Intra, c.snap.Inter }
+// BoundaryTotals implements system.ShardConn from the cached totals.
+func (c *Client) BoundaryTotals() (intra, inter uint64) { return c.intra, c.inter }
 
-// AddLinkTrafficInto implements system.ShardConn from the cached
-// snapshot.
+// syncLink pulls the link-traffic cells that changed since the last
+// Sync and folds them into the cumulative client-side matrix.
+func (c *Client) syncLink() error {
+	c.syncReply.Deltas = c.syncReply.Deltas[:0] // gob omits empty fields
+	if err := c.call("Sync", SyncArgs{}, &c.syncReply); err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(c.syncReply.Deltas); i += 2 {
+		if idx := c.syncReply.Deltas[i]; idx < uint64(len(c.link)) {
+			c.link[idx] += c.syncReply.Deltas[i+1]
+		}
+	}
+	return nil
+}
+
+// AddLinkTrafficInto implements system.ShardConn: a lazy Sync
+// round-trip refreshes the cumulative matrix, then the add is local.
+// Link traffic rides this explicit pull only — never the tick path.
+// On a failed sync the cached (stale) matrix is still added; the
+// sticky failure surfaces on the next tick.
 func (c *Client) AddLinkTrafficInto(dst [][]uint64) {
+	if c.down == nil {
+		_ = c.syncLink()
+	}
 	n := len(dst)
-	if len(c.snap.Link) != n*n {
-		return // no snapshot yet (no tick has run)
+	if n != c.totalChips || len(c.link) != n*n {
+		return
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			dst[i][j] += c.snap.Link[i*n+j]
+			dst[i][j] += c.link[i*n+j]
 		}
 	}
 }

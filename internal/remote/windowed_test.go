@@ -1,0 +1,287 @@
+package remote
+
+// Windowed-exchange coverage: the Protocol v2 bit-identity fuzz across
+// shard counts x window widths x engines (including Reset
+// mid-sequence), the delay-1 mapping that must force lockstep, and the
+// protocol-v1 handshake rejection.
+
+import (
+	"fmt"
+	"net/rpc"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neurogo/neurogo/internal/chip"
+	"github.com/neurogo/neurogo/internal/compile"
+	"github.com/neurogo/neurogo/internal/model"
+	"github.com/neurogo/neurogo/internal/neuron"
+	"github.com/neurogo/neurogo/internal/rng"
+	"github.com/neurogo/neurogo/internal/system"
+)
+
+// windowedNet is the fuzz workload for multi-tick exchange: every
+// neuron-to-neuron edge carries >= 4 ticks of axonal delay, and every
+// neuron has exactly one outgoing edge so no splitter relay (whose
+// source hop runs at delay 1) ever pins the window at lockstep. On
+// 1x1-core chips that makes MinBoundaryDelay 4 — windows 1, 2 and 4
+// are all provably exact.
+func windowedNet(seed uint64) *model.Network {
+	r := rng.NewSplitMix64(seed)
+	m := model.New()
+	in := m.AddInputBank("in", 16, model.SourceProps{Type: 0, Delay: 1})
+	proto := neuron.Default()
+	proto.Threshold = 2
+	a := m.AddPopulation("a", 1600, proto)
+	b := m.AddPopulation("b", 800, proto)
+	for i := 0; i < 16; i++ {
+		for k := 0; k < 25; k++ {
+			m.Connect(in.Line(i), a.ID(r.Intn(1600)))
+		}
+	}
+	for i := 0; i < 1600; i++ {
+		props := m.SourceProps(a.ID(i))
+		props.Delay = uint8(4 + r.Intn(3))
+		if r.Intn(4) == 0 {
+			props.Type = 1
+		}
+		m.Connect(model.NeuronNode(a.ID(i)), b.ID(i%800))
+	}
+	for i := 0; i < 800; i++ {
+		m.Params(b.ID(i)).Threshold = int32(1 + r.Intn(2))
+		m.MarkOutput(b.ID(i))
+	}
+	return m
+}
+
+func windowedMapping(t testing.TB, seed uint64) *compile.Mapping {
+	t.Helper()
+	mp, err := compile.Compile(windowedNet(seed), compile.Options{
+		Seed: seed, Width: 4, Height: 4, ChipCoresX: 1, ChipCoresY: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mp.Stats.MinBoundaryDelay; d < 4 {
+		t.Fatalf("windowed fuzz mapping has MinBoundaryDelay %d, want >= 4; the rig no longer proves the windows it tests", d)
+	}
+	return mp
+}
+
+// driveWindowed runs the same randomized injection schedule as drive,
+// but batched: each exchange window's injections are buffered up
+// front (the schedule is output-independent, so this is legal), then
+// the whole window executes in one TickN. With w == 1 this is exactly
+// drive's lockstep loop.
+func driveWindowed(t testing.TB, mp *compile.Mapping, shd *system.Sharded, mode system.EvalMode, ticks, w int, seed uint64) []chip.OutputSpike {
+	t.Helper()
+	r := rng.NewSplitMix64(seed)
+	var outs []chip.OutputSpike
+	for tick := 0; tick < ticks; {
+		n := w
+		if rem := ticks - tick; n > rem {
+			n = rem
+		}
+		base := shd.Now()
+		for k := 0; k < n; k++ {
+			for j := 0; j < 5; j++ {
+				line := r.Intn(16)
+				at := base + int64(k) + int64(mp.InputDelay[line])
+				for _, tgt := range mp.InputTargets[line] {
+					if err := shd.Inject(tgt.Core, int(tgt.Axon), at); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		win := shd.TickN(mode, 2, n)
+		if win == nil {
+			t.Fatal(shd.Err())
+		}
+		for _, tickOuts := range win {
+			outs = append(outs, tickOuts...)
+		}
+		tick += n
+	}
+	return outs
+}
+
+// TestRemoteWindowedBitIdentical is the windowed-exchange equivalence
+// fuzz: shards x window width x engine, over the real RPC wire, each
+// including a Reset mid-sequence — output spikes, counters, boundary
+// totals and the link matrix must all be bit-identical to the
+// per-tick in-process System.
+func TestRemoteWindowedBitIdentical(t *testing.T) {
+	const ticks = 30
+	mp := windowedMapping(t, 7)
+
+	// Per-tick in-process reference, both sides of a mid-sequence Reset.
+	ref, err := system.New(mp.Chip, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := drive(t, mp, ref, ticks, 23)
+	if len(want1) == 0 {
+		t.Fatal("reference emitted nothing; fuzz is vacuous")
+	}
+	cnt1 := ref.Chip().Counters()
+	intra1, inter1 := ref.BoundaryTotals()
+	if inter1 == 0 {
+		t.Fatal("reference crossed no chip boundary; fuzz is vacuous")
+	}
+	link1 := copyLinks(ref.LinkTraffic())
+	ref.Reset()
+	want2 := drive(t, mp, ref, ticks, 23)
+	cnt2 := ref.Chip().Counters()
+	intra2, inter2 := ref.BoundaryTotals()
+	link2 := copyLinks(ref.LinkTraffic())
+
+	nChips := len(link1)
+	for _, shards := range []int{1, 2, 4} {
+		// Non-vacuity for the exchange path itself: with this partition
+		// some reference traffic must cross shard boundaries, or the
+		// windows would never carry a spike over the wire.
+		if shards > 1 && crossShardTraffic(link1, shards) == 0 {
+			t.Fatalf("shards-%d: no cross-shard traffic in the reference; fuzz is vacuous", shards)
+		}
+		for _, w := range []int{1, 2, 4} {
+			for _, eng := range []struct {
+				name string
+				mode system.EvalMode
+			}{
+				{"event", system.EvalEvent},
+				{"dense", system.EvalDense},
+				{"parallel", system.EvalParallel},
+			} {
+				t.Run(fmt.Sprintf("shards-%d/w-%d/%s", shards, w, eng.name), func(t *testing.T) {
+					_, addrs := startServers(t, mp, testCfg, shards)
+					shd, err := DialSharded(mp, testCfg, addrs, ClientOptions{Timeout: 10 * time.Second})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer shd.Close()
+
+					check := func(leg string, want []chip.OutputSpike, cnt chip.Counters, intra, inter uint64, link [][]uint64) {
+						got := driveWindowed(t, mp, shd, eng.mode, ticks, w, 23)
+						compareOutputs(t, leg, got, want)
+						// Counters are spike-exact across engines except the
+						// dense engine's work metrics (it updates every neuron
+						// every tick by design), so compare them against the
+						// event-mode reference on the event-order engines only.
+						if eng.mode != system.EvalDense {
+							if got := shd.Counters(); got != cnt {
+								t.Fatalf("%s: counters %+v, reference %+v", leg, got, cnt)
+							}
+						}
+						gi, ge := shd.BoundaryTotals()
+						if gi != intra || ge != inter {
+							t.Fatalf("%s: boundary totals (%d,%d), reference (%d,%d)", leg, gi, ge, intra, inter)
+						}
+						gl := shd.LinkTraffic()
+						for i := 0; i < nChips; i++ {
+							for j := 0; j < nChips; j++ {
+								if gl[i][j] != link[i][j] {
+									t.Fatalf("%s: link[%d][%d] = %d, reference %d", leg, i, j, gl[i][j], link[i][j])
+								}
+							}
+						}
+					}
+					check("first presentation", want1, cnt1, intra1, inter1, link1)
+					shd.Reset()
+					check("after reset", want2, cnt2, intra2, inter2, link2)
+				})
+			}
+		}
+	}
+}
+
+func copyLinks(link [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(link))
+	for i := range link {
+		out[i] = append([]uint64(nil), link[i]...)
+	}
+	return out
+}
+
+// crossShardTraffic sums link-matrix traffic between chips that a
+// k-way partition places on different shards.
+func crossShardTraffic(link [][]uint64, shards int) uint64 {
+	shardOf := make([]int, len(link))
+	for s, chips := range system.PartitionChips(len(link), shards) {
+		for _, c := range chips {
+			shardOf[c] = s
+		}
+	}
+	var total uint64
+	for i := range link {
+		for j := range link[i] {
+			if shardOf[i] != shardOf[j] {
+				total += link[i][j]
+			}
+		}
+	}
+	return total
+}
+
+// TestDelayOneMappingForcesLockstep pins the safety rail: a mapping
+// with a delay-1 chip crossing bounds the exchange window at 1, the
+// server refuses wider windows outright, and the client refuses to
+// send them.
+func TestDelayOneMappingForcesLockstep(t *testing.T) {
+	mp := testMapping(t, 5) // splitter relays pin MinBoundaryDelay at 1
+	if d := compile.MinBoundaryDelay(mp.Chip, 1, 1); d != 1 {
+		t.Fatalf("testMapping MinBoundaryDelay = %d, want 1 (test rig drifted)", d)
+	}
+	srvs, addrs := startServers(t, mp, testCfg, 2)
+	if w := srvs[0].Window(); w != 1 {
+		t.Fatalf("server window = %d, want 1", w)
+	}
+	shd, err := DialSharded(mp, testCfg, addrs, ClientOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shd.Close()
+
+	// Lockstep must still work...
+	if out := shd.TickN(system.EvalEvent, 1, 1); out == nil {
+		t.Fatal(shd.Err())
+	}
+	// ...and a 2-tick window must be refused before it can desync state.
+	if out := shd.TickN(system.EvalEvent, 1, 2); out != nil {
+		t.Fatal("2-tick window accepted on a delay-1 mapping")
+	}
+	err = shd.Err()
+	if err == nil || !strings.Contains(err.Error(), "exchange bound") {
+		t.Fatalf("window rejection error = %v", err)
+	}
+}
+
+// TestHandshakeRejectsProtocolV1 pins cross-version safety: a client
+// still speaking the lockstep v1 wire format is refused at handshake,
+// before any spike crosses.
+func TestHandshakeRejectsProtocolV1(t *testing.T) {
+	mp := testMapping(t, 5)
+	_, addr := startServer(t, mp, testCfg, 1, 0)
+	hash, err := MappingHash(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rpc.Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	args := HandshakeArgs{
+		Protocol:    1,
+		MappingHash: hash,
+		ChipCoresX:  testCfg.ChipCoresX,
+		ChipCoresY:  testCfg.ChipCoresY,
+		Shards:      1,
+		Shard:       0,
+	}
+	var reply HandshakeReply
+	err = rc.Call("NShard.Handshake", args, &reply)
+	if err == nil || !strings.Contains(err.Error(), "protocol 1") {
+		t.Fatalf("v1 handshake error = %v, want protocol rejection", err)
+	}
+}

@@ -114,6 +114,18 @@ type ContextBinder interface {
 	BindContext(ctx context.Context)
 }
 
+// WindowedBackend is a Backend that can execute an n-tick exchange
+// window as one operation — the sharded backend, where a window is a
+// single boundary exchange (and, distributed, a single RPC round-trip
+// per shard) instead of n. TickN returns each window tick's output
+// spikes; the slices are reused across windows. Exactness requires
+// every cross-shard edge to carry at least n ticks of axonal delay —
+// see MaxExchangeWindow for the mapping-derived bound.
+type WindowedBackend interface {
+	Backend
+	TickN(mode system.EvalMode, workers, n int) [][]chip.OutputSpike
+}
+
 // The shipped backends satisfy the seams.
 var (
 	_ Backend         = (*chip.Chip)(nil)
@@ -121,7 +133,32 @@ var (
 	_ TiledBackend    = (*system.Sharded)(nil)
 	_ FallibleBackend = (*system.Sharded)(nil)
 	_ ContextBinder   = (*system.Sharded)(nil)
+	_ WindowedBackend = (*system.Sharded)(nil)
 )
+
+// MaxExchangeWindow returns the widest exact exchange window for a
+// compiled mapping: the minimum boundary-crossing axonal delay (when
+// chip crossings exist — Stats.MinBoundaryDelay; spikes must stay in
+// delay-ring flight across the whole window) further clamped by the
+// injection horizon (an input frame encoded at window tick k lands at
+// k + line delay, which must stay inside the core.RingSlots ring seen
+// from the window start). Always at least 1 — the lockstep window
+// every partition supports.
+func MaxExchangeWindow(m *compile.Mapping) int {
+	w := core.RingSlots
+	for _, d := range m.InputDelay {
+		if lim := core.RingSlots - int(d); lim < w {
+			w = lim
+		}
+	}
+	if d := m.Stats.MinBoundaryDelay; d > 0 && d < w {
+		w = d
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // EvalMode translates an Engine into the system-layer evaluation mode
 // shards run locally (system cannot import sim).
@@ -177,6 +214,7 @@ type Runner struct {
 	tiled   TiledBackend // non-nil only for multi-chip backends
 	engine  Engine
 	workers int
+	win     int     // exchange window Drain chunks by (see SetExchangeWindow)
 	pending []Event // events whose logical tick is in the future (lagged)
 	hold    int64   // ticks an event can trail execution: max(MaxOutputLag, 1)
 
@@ -291,8 +329,27 @@ func newBackendRunner(m *compile.Mapping, b Backend, engine Engine, workers int)
 	if hold < 1 {
 		hold = 1
 	}
-	return &Runner{mapping: m, backend: b, engine: engine, workers: workers, hold: hold}
+	return &Runner{mapping: m, backend: b, engine: engine, workers: workers, win: 1, hold: hold}
 }
+
+// SetExchangeWindow sets the tick window StepN-driven paths (Drain's
+// fixed extra ticks, and callers that step by ExchangeWindow) amortize
+// exchanges over. Values are clamped to [1, MaxExchangeWindow] so a
+// window can never be wide enough to lose spikes; 0 (or any
+// non-positive value) selects the widest exact window. The window
+// changes batching only, never output bits — StepN is tick-for-tick
+// identical to sequential Steps.
+func (r *Runner) SetExchangeWindow(n int) {
+	max := MaxExchangeWindow(r.mapping)
+	if n < 1 || n > max {
+		n = max
+	}
+	r.win = n
+}
+
+// ExchangeWindow returns the current exchange window (1 unless raised
+// by SetExchangeWindow).
+func (r *Runner) ExchangeWindow() int { return r.win }
 
 // Backend exposes the execution backend driving this runner.
 func (r *Runner) Backend() Backend { return r.backend }
@@ -412,10 +469,20 @@ func (r *Runner) Counters() chip.Counters { return r.backend.Counters() }
 // InjectLine emits a spike on input line at the current tick; it arrives
 // at Now()+delay(line) at every target axon.
 func (r *Runner) InjectLine(line int32) error {
+	return r.InjectLineAt(line, r.backend.Now())
+}
+
+// InjectLineAt emits a spike on input line as of tick base: it arrives
+// at base+delay(line) at every target axon. base may be in the future
+// (bounded by the backend's delay-ring horizon) — how windowed drivers
+// pre-inject a whole exchange window's frames before stepping it, which
+// is exact because encoders are output-independent: the spike train
+// depends only on the frame sequence, never on what the chip emitted.
+func (r *Runner) InjectLineAt(line int32, base int64) error {
 	if line < 0 || int(line) >= len(r.mapping.InputTargets) {
 		return fmt.Errorf("sim: unknown input line %d", line)
 	}
-	at := r.backend.Now() + int64(r.mapping.InputDelay[line])
+	at := base + int64(r.mapping.InputDelay[line])
 	for _, t := range r.mapping.InputTargets[line] {
 		if err := r.backend.Inject(t.Core, int(t.Axon), at); err != nil {
 			return err
@@ -424,19 +491,11 @@ func (r *Runner) InjectLine(line int32) error {
 	return nil
 }
 
-// Step advances one tick and returns the logical output events whose
-// fire time equals the executed tick. Events are ordered by neuron ID.
-func (r *Runner) Step() []Event {
-	t := r.backend.Now()
-	var outs []chip.OutputSpike
-	switch r.engine {
-	case EngineDense:
-		outs = r.backend.TickDense()
-	case EngineParallel:
-		outs = r.backend.TickParallel(r.workers)
-	default:
-		outs = r.backend.Tick()
-	}
+// collect decodes one executed tick's output spikes into pending
+// events and returns the events whose logical tick precedes t — the
+// emission rule shared by Step and StepN, so windowed and per-tick
+// stepping produce identical event streams.
+func (r *Runner) collect(t int64, outs []chip.OutputSpike) []Event {
 	for _, o := range outs {
 		id, ok := r.mapping.DecodeOutput(o)
 		if !ok {
@@ -467,6 +526,53 @@ func (r *Runner) Step() []Event {
 	return ready
 }
 
+// Step advances one tick and returns the logical output events whose
+// fire time equals the executed tick. Events are ordered by neuron ID.
+func (r *Runner) Step() []Event {
+	t := r.backend.Now()
+	var outs []chip.OutputSpike
+	switch r.engine {
+	case EngineDense:
+		outs = r.backend.TickDense()
+	case EngineParallel:
+		outs = r.backend.TickParallel(r.workers)
+	default:
+		outs = r.backend.Tick()
+	}
+	return r.collect(t, outs)
+}
+
+// StepN advances n ticks and returns the concatenation of the events n
+// sequential Steps would have returned — tick-for-tick identical
+// ordering, because each window tick runs the same decode-then-emit
+// rule. On a WindowedBackend the whole window is one exchange (one RPC
+// round-trip per shard, distributed); any other backend just steps n
+// times. Callers must keep n within the mapping's exact window (see
+// MaxExchangeWindow) when the backend is sharded.
+func (r *Runner) StepN(n int) []Event {
+	wb, windowed := r.backend.(WindowedBackend)
+	if !windowed || n == 1 {
+		var out []Event
+		for i := 0; i < n; i++ {
+			out = append(out, r.Step()...)
+		}
+		return out
+	}
+	if n < 1 {
+		return nil
+	}
+	base := r.backend.Now()
+	win := wb.TickN(r.engine.EvalMode(), r.workers, n)
+	if win == nil {
+		return nil // backend down; Err reports the failure
+	}
+	var out []Event
+	for k, outs := range win {
+		out = append(out, r.collect(base+int64(k), outs)...)
+	}
+	return out
+}
+
 // drainFlushCap bounds the additional ticks Drain runs beyond
 // extraTicks to empty r.pending. The hold-one-tick rule means a lag-0
 // output firing on a drain tick is still pending when that tick ends,
@@ -476,12 +582,19 @@ const drainFlushCap = 64
 
 // Drain runs idle ticks until all pending lagged events are flushed and
 // returns them. Call after the last meaningful tick. It always runs
-// extraTicks steps (the caller's decay/lag budget), then keeps stepping
-// while events remain pending, up to drainFlushCap further ticks.
+// extraTicks steps (the caller's decay/lag budget) — chunked by the
+// exchange window, since their count is fixed up front — then keeps
+// stepping while events remain pending, up to drainFlushCap further
+// ticks (per-tick: each flush tick decides whether another is needed).
 func (r *Runner) Drain(extraTicks int) []Event {
 	var out []Event
-	for i := 0; i < extraTicks; i++ {
-		out = append(out, r.Step()...)
+	for left := extraTicks; left > 0; {
+		n := r.win
+		if n > left {
+			n = left
+		}
+		out = append(out, r.StepN(n)...)
+		left -= n
 	}
 	for i := 0; len(r.pending) > 0 && i < drainFlushCap; i++ {
 		out = append(out, r.Step()...)

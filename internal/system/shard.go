@@ -74,6 +74,16 @@ type TickResult struct {
 	Boundary []BoundarySpike
 }
 
+// WindowResult is what one n-tick shard-local execution window
+// produces: the per-tick external output spikes (Outputs[k] is window
+// tick k) and the boundary spikes the whole window emitted toward
+// other shards, each carrying its absolute arrival tick. All slices
+// are reused across windows; retainers must copy.
+type WindowResult struct {
+	Outputs  [][]chip.OutputSpike
+	Boundary []BoundarySpike
+}
+
 // ShardConn is the driving seam of a partitioned system: one
 // connection per shard, implemented in-process by *Shard itself and
 // across processes by the RPC client in internal/remote. The Sharded
@@ -90,6 +100,14 @@ type ShardConn interface {
 	// shards on the previous tick) into the shard's delay rings, then
 	// advances the shard one tick and returns its outputs and outbox.
 	TickLocal(mode EvalMode, workers int, incoming []BoundarySpike) (TickResult, error)
+	// TickLocalN delivers the incoming boundary spikes (emitted by
+	// other shards during the previous window) into the shard's delay
+	// rings, then advances the shard n ticks, accumulating per-tick
+	// outputs and the window's combined outbox. Exact only when every
+	// cross-shard edge carries at least n ticks of axonal delay (the
+	// compiled mapping's Stats.MinBoundaryDelay) — callers pick n;
+	// n == 1 is always legal and is exactly TickLocal.
+	TickLocalN(mode EvalMode, workers int, incoming []BoundarySpike, n int) (WindowResult, error)
 	// Inject schedules an external input spike on a core owned by this
 	// shard. Remote connections may buffer the injection and ship it
 	// with the next TickLocal call — injections always precede the tick
@@ -151,6 +169,12 @@ type Shard struct {
 	chips  []int  // the physical chips this shard owns, ascending
 	owned  []bool // chip index -> owned by this shard
 	outbox []BoundarySpike
+
+	// winOuts holds the per-tick output copies of the current window
+	// (the chip reuses its emission buffer every tick, so each tick's
+	// outputs are copied out); the copies themselves are reused across
+	// windows.
+	winOuts [][]chip.OutputSpike
 
 	// Boundary traffic sourced on this shard. Every routed spike is
 	// accounted exactly once, at its source shard, so summing these
@@ -266,6 +290,41 @@ func (sh *Shard) TickLocal(mode EvalMode, workers int, incoming []BoundarySpike)
 		outs = sh.ch.Tick()
 	}
 	return TickResult{Outputs: outs, Boundary: sh.outbox}, nil
+}
+
+// TickLocalN implements ShardConn: deliver the window's incoming
+// spikes once, evaluate n ticks, accumulate per-tick outputs and the
+// combined outbox. Delivery up front is exact because every incoming
+// spike's absolute arrival tick was stamped at emission — spikes
+// landing mid-window sit in the delay rings until their tick comes up,
+// exactly as they would have arriving tick by tick.
+func (sh *Shard) TickLocalN(mode EvalMode, workers int, incoming []BoundarySpike, n int) (WindowResult, error) {
+	if n < 1 {
+		return WindowResult{}, fmt.Errorf("system: execution window of %d ticks", n)
+	}
+	for _, b := range incoming {
+		if err := sh.ch.DeliverRouted(b.Core, int(b.Axon), b.At); err != nil {
+			return WindowResult{}, err
+		}
+	}
+	sh.outbox = sh.outbox[:0]
+	for len(sh.winOuts) < n {
+		sh.winOuts = append(sh.winOuts, nil)
+	}
+	outs := sh.winOuts[:n]
+	for k := 0; k < n; k++ {
+		var tick []chip.OutputSpike
+		switch mode {
+		case EvalDense:
+			tick = sh.ch.TickDense()
+		case EvalParallel:
+			tick = sh.ch.TickParallel(workers)
+		default:
+			tick = sh.ch.Tick()
+		}
+		outs[k] = append(outs[k][:0], tick...)
+	}
+	return WindowResult{Outputs: outs, Boundary: sh.outbox}, nil
 }
 
 // Inject implements ShardConn. The core must be owned by this shard

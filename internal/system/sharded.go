@@ -65,10 +65,10 @@ type Sharded struct {
 
 	tick    int64
 	inbox   [][]BoundarySpike // per-shard boundary spikes awaiting delivery
-	results []TickResult
+	results []WindowResult
 	errs    []error
-	merged  []chip.OutputSpike
-	err     error // sticky shard failure
+	merged  [][]chip.OutputSpike // per window tick, emission order
+	err     error                // sticky shard failure
 }
 
 // NewSharded partitions the core grid's chips into the given number of
@@ -136,7 +136,7 @@ func NewShardedFrom(coreGrid *chip.Config, cfg Config, conns []ShardConn, parts 
 		}
 	}
 	s.inbox = make([][]BoundarySpike, len(conns))
-	s.results = make([]TickResult, len(conns))
+	s.results = make([]WindowResult, len(conns))
 	s.errs = make([]error, len(conns))
 	return s, nil
 }
@@ -182,21 +182,45 @@ func (s *Sharded) fail(shard int, cause error) {
 	s.err = &ShardDownError{Shard: shard, Cause: cause}
 }
 
-// tickAll fans one tick out to every shard concurrently, exchanges
-// boundary spikes, and merges the outputs into emission order.
+// tickAll fans one tick out to every shard, exchanges boundary spikes,
+// and merges the outputs into emission order — the lockstep path,
+// which is exactly the degenerate one-tick exchange window.
 func (s *Sharded) tickAll(mode EvalMode, workers int) []chip.OutputSpike {
-	if s.err != nil {
+	win := s.TickN(mode, workers, 1)
+	if win == nil {
+		return nil
+	}
+	return win[0]
+}
+
+// TickN advances the system n ticks as one exchange window: every
+// shard evaluates n ticks locally, then the accumulated outboxes are
+// exchanged in a single round. The returned slice holds each window
+// tick's output spikes in emission order; it (and its elements) are
+// reused across windows, so retainers must copy. After a shard failure
+// it returns nil; check Err.
+//
+// Windowing is exact — bit-identical to n lockstep Tick calls — only
+// when every cross-shard edge carries at least n ticks of axonal
+// delay: a boundary spike emitted at window tick u with delay d >= n
+// arrives at u+d, which is at or after the next window's start, so
+// delivering the whole outbox there loses nothing. The compiled
+// mapping's Stats.MinBoundaryDelay is that bound (over all chip
+// crossings, hence any shard partition); callers must clamp n to it.
+// n == 1 is always exact and is today's lockstep exchange.
+func (s *Sharded) TickN(mode EvalMode, workers, n int) [][]chip.OutputSpike {
+	if s.err != nil || n < 1 {
 		return nil
 	}
 	if len(s.conns) == 1 {
-		s.results[0], s.errs[0] = s.conns[0].TickLocal(mode, workers, s.inbox[0])
+		s.results[0], s.errs[0] = s.conns[0].TickLocalN(mode, workers, s.inbox[0], n)
 	} else {
 		var wg sync.WaitGroup
 		for i := range s.conns {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				s.results[i], s.errs[i] = s.conns[i].TickLocal(mode, workers, s.inbox[i])
+				s.results[i], s.errs[i] = s.conns[i].TickLocalN(mode, workers, s.inbox[i], n)
 			}(i)
 		}
 		wg.Wait()
@@ -207,9 +231,10 @@ func (s *Sharded) tickAll(mode EvalMode, workers int) []chip.OutputSpike {
 			return nil
 		}
 	}
-	// Exchange: tick t's outboxes become tick t+1's incoming. Delivery
-	// order across shards is irrelevant — arrivals are one SRAM bit per
-	// (axon, slot), so merging is order-free, exactly as on one chip.
+	// Exchange: this window's outboxes become the next window's
+	// incoming. Delivery order across shards is irrelevant — arrivals
+	// are one SRAM bit per (axon, slot), so merging is order-free,
+	// exactly as on one chip.
 	for i := range s.inbox {
 		s.inbox[i] = s.inbox[i][:0]
 	}
@@ -219,21 +244,29 @@ func (s *Sharded) tickAll(mode EvalMode, workers int) []chip.OutputSpike {
 			s.inbox[dst] = append(s.inbox[dst], b)
 		}
 	}
-	// Merge outputs into the single-chip emission order: cores evaluate
-	// in ascending index order and each core emits its neurons
-	// ascending, so (Core, Neuron) reproduces it exactly.
-	s.merged = s.merged[:0]
-	for _, res := range s.results {
-		s.merged = append(s.merged, res.Outputs...)
+	// Merge each window tick's outputs into the single-chip emission
+	// order: cores evaluate in ascending index order and each core
+	// emits its neurons ascending, so (Core, Neuron) reproduces it
+	// exactly.
+	for len(s.merged) < n {
+		s.merged = append(s.merged, nil)
 	}
-	sort.Slice(s.merged, func(i, j int) bool {
-		if s.merged[i].Core != s.merged[j].Core {
-			return s.merged[i].Core < s.merged[j].Core
+	win := s.merged[:n]
+	for k := 0; k < n; k++ {
+		mk := win[k][:0]
+		for _, res := range s.results {
+			mk = append(mk, res.Outputs[k]...)
 		}
-		return s.merged[i].Neuron < s.merged[j].Neuron
-	})
-	s.tick++
-	return s.merged
+		sort.Slice(mk, func(i, j int) bool {
+			if mk[i].Core != mk[j].Core {
+				return mk[i].Core < mk[j].Core
+			}
+			return mk[i].Neuron < mk[j].Neuron
+		})
+		win[k] = mk
+	}
+	s.tick += int64(n)
+	return win
 }
 
 // Tick advances the system one tick (event-driven core evaluation).

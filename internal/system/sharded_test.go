@@ -299,6 +299,10 @@ func (f *failingConn) TickLocal(EvalMode, int, []BoundarySpike) (TickResult, err
 	return TickResult{}, f.cause
 }
 
+func (f *failingConn) TickLocalN(EvalMode, int, []BoundarySpike, int) (WindowResult, error) {
+	return WindowResult{}, f.cause
+}
+
 // TestShardedFailureSticky pins the failure contract: one failing
 // shard makes the system permanently down — Tick returns nil, Err
 // matches ErrShardDown and names the shard, Inject refuses, Reset is a

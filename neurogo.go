@@ -320,6 +320,22 @@ func WithRemoteTimeout(d time.Duration) PipelineOption {
 	return pipeline.WithRemoteTimeout(d)
 }
 
+// WithExchangeWindow sets the exchange window: how many ticks the
+// backend executes per boundary-spike exchange (per RPC round-trip on
+// a WithRemoteSystem pipeline). 1 — the default — is classic lockstep;
+// n <= 0 asks for the widest window the mapping proves exact (its
+// minimum cross-chip axonal delay, see MaxExchangeWindow). Output is
+// bit-identical at every legal width; only the RPC amortization
+// changes.
+func WithExchangeWindow(n int) PipelineOption {
+	return pipeline.WithExchangeWindow(n)
+}
+
+// MaxExchangeWindow reports the widest exchange window a mapping's
+// delay structure proves exact — the cap WithExchangeWindow(0)
+// resolves to.
+func MaxExchangeWindow(m *Mapping) int { return sim.MaxExchangeWindow(m) }
+
 // ErrShardDown is matched (errors.Is) by every error a distributed
 // backend surfaces after losing a shard process.
 var ErrShardDown = system.ErrShardDown

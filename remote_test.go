@@ -34,7 +34,9 @@ func TestMain(m *testing.M) {
 		}
 		os.Exit(0)
 	}
-	os.Exit(m.Run())
+	code := m.Run()
+	writeBenchJSON() // BENCH_e5.json emission, gated on NEUROGO_BENCH_JSON
+	os.Exit(code)
 }
 
 // serveShardFromEnv is the child-process body: load the exported
